@@ -1,0 +1,112 @@
+"""Ablation: per-thread features (x/nt terms of paper Table III) on vs. off.
+
+The per-thread features encode how the FLOP and memory volumes are divided
+across the team; dropping them forces the model to learn the thread-count
+interaction from the raw ``nt`` column alone.  The ablation compares the
+achieved speedup of an XGBoost-style model with the full Table III feature
+set against the same model trained on the truncated set.
+"""
+
+import numpy as np
+
+from repro.core.features import THREE_DIM_FEATURES
+from repro.core.gather import DataGatherer
+from repro.core.predictor import ThreadPredictor
+from repro.harness.tables import format_table
+from repro.machine.platforms import get_platform
+from repro.machine.simulator import TimingSimulator
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.preprocessing.pipeline import PreprocessingPipeline
+
+from benchmarks.conftest import run_once
+
+
+def _mean_speedup(simulator, routine, predictor, test_shapes, column_subset=None):
+    ratios = []
+    for dims in test_shapes:
+        threads = predictor.predict_threads(dims, use_cache=False)
+        ratios.append(
+            simulator.time_at_max_threads(routine, dims)
+            / simulator.time(routine, dims, threads)
+        )
+    return float(np.mean(ratios))
+
+
+class _ColumnSubsetPipeline:
+    """Wrap a fitted pipeline, restricting the raw feature matrix first."""
+
+    def __init__(self, inner: PreprocessingPipeline, keep: list):
+        self._inner = inner
+        self._keep = keep
+        self.n_features_out_ = inner.n_features_out_
+
+    def transform(self, X):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return self._inner.transform(X[:, self._keep])
+
+
+def test_ablation_per_thread_features(benchmark, record):
+    platform = get_platform("gadi")
+    simulator = TimingSimulator(platform, seed=0)
+    routine = "dgemm"
+    gatherer = DataGatherer(simulator, routine, n_shapes=50, threads_per_shape=10, seed=0)
+    dataset = gatherer.gather()
+    test_shapes = gatherer.gather_test_set(25)
+
+    full_names = dataset.feature_names
+    truncated_keep = [
+        i for i, name in enumerate(full_names) if "/nt" not in name
+    ]
+
+    def run():
+        X = dataset.feature_matrix()
+        y = dataset.target()
+        results = {}
+
+        # Full Table III feature set.
+        full_pipeline = PreprocessingPipeline(feature_names=full_names, remove_outliers=False)
+        X_full, y_full = full_pipeline.fit_transform(X, y)
+        full_model = GradientBoostingRegressor(n_estimators=60, max_depth=4).fit(X_full, y_full)
+        full_predictor = ThreadPredictor(
+            routine, full_pipeline, full_model, platform.candidate_thread_counts(), "XGBoost"
+        )
+        results["with_per_thread_features"] = _mean_speedup(
+            simulator, routine, full_predictor, test_shapes
+        )
+
+        # Truncated feature set (no x/nt terms).
+        truncated_names = [full_names[i] for i in truncated_keep]
+        truncated_pipeline = PreprocessingPipeline(
+            feature_names=truncated_names, remove_outliers=False
+        )
+        X_truncated, y_truncated = truncated_pipeline.fit_transform(X[:, truncated_keep], y)
+        truncated_model = GradientBoostingRegressor(n_estimators=60, max_depth=4).fit(
+            X_truncated, y_truncated
+        )
+        wrapped = _ColumnSubsetPipeline(truncated_pipeline, truncated_keep)
+        truncated_predictor = ThreadPredictor(
+            routine, wrapped, truncated_model, platform.candidate_thread_counts(), "XGBoost"
+        )
+        results["without_per_thread_features"] = _mean_speedup(
+            simulator, routine, truncated_predictor, test_shapes
+        )
+        return results
+
+    results = run_once(benchmark, run)
+    record(
+        "ablation_per_thread_features",
+        format_table(
+            [{k: round(v, 3) for k, v in results.items()}],
+            title="Ablation: per-thread (x/nt) features for dgemm on Gadi (mean speedup)",
+        ),
+    )
+
+    # The full feature set should not be worse than the truncated one.
+    assert (
+        results["with_per_thread_features"]
+        >= results["without_per_thread_features"] - 0.05
+    )
+    # And both configurations keep the library at or above the baseline.
+    assert results["with_per_thread_features"] > 0.95

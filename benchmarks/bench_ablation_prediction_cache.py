@@ -1,0 +1,61 @@
+"""Ablation: the last-call prediction cache (paper Section III-B).
+
+The runtime remembers the previous call's dimensions and prediction so that
+back-to-back identical BLAS calls skip the model evaluation.  This benchmark
+measures the per-call planning latency with and without the cache for a
+repeated-call workload.
+"""
+
+import time
+
+from repro.harness.experiments import QUICK_CONFIG, get_bundle
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+REPEATS = 200
+DIMS = {"m": 1024, "k": 1024, "n": 1024}
+
+
+def test_ablation_prediction_cache(benchmark, record):
+    bundle = get_bundle("gadi", ["dgemm"], QUICK_CONFIG)
+    predictor = bundle.predictor("dgemm")
+
+    def timed_loop(use_cache: bool) -> float:
+        predictor.clear_cache()
+        start = time.perf_counter()
+        for _ in range(REPEATS):
+            predictor.plan(DIMS, use_cache=use_cache)
+        return (time.perf_counter() - start) / REPEATS
+
+    def run():
+        return {
+            "cached_us_per_call": timed_loop(True) * 1e6,
+            "uncached_us_per_call": timed_loop(False) * 1e6,
+        }
+
+    result = run_once(benchmark, run)
+    result["speedup"] = round(result["uncached_us_per_call"] / result["cached_us_per_call"], 1)
+    record(
+        "ablation_prediction_cache",
+        format_table(
+            [
+                {
+                    "cached_us_per_call": round(result["cached_us_per_call"], 2),
+                    "uncached_us_per_call": round(result["uncached_us_per_call"], 2),
+                    "cache_speedup": result["speedup"],
+                }
+            ],
+            title="Ablation: last-call prediction cache (repeated identical dgemm calls)",
+        ),
+    )
+
+    # Serving repeated identical calls from the cache must be much cheaper
+    # than re-evaluating the model.
+    assert result["cached_us_per_call"] < result["uncached_us_per_call"] / 3
+
+    # And the cache must not change the decision.
+    predictor.clear_cache()
+    uncached_threads = predictor.plan(DIMS, use_cache=False).threads
+    cached_threads = predictor.plan(DIMS, use_cache=True).threads
+    assert cached_threads == uncached_threads

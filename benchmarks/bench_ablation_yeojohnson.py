@@ -1,0 +1,85 @@
+"""Ablation: Yeo-Johnson feature transformation on vs. off.
+
+The paper reports a 10-20% RMSE reduction for linear regression when the
+Yeo-Johnson transform is applied, with little effect on the other models.
+On the *simulated* timing data of this reproduction the effect goes the
+other way for the raw-RMSE metric: the synthetic runtimes are close to
+polynomial in the raw size features, so power-transforming the features
+makes the linear fit worse in absolute RMSE (see EXPERIMENTS.md for the
+discussion of this deviation).  What matters for the library is the end
+metric — the achieved speedup — which this ablation shows is essentially
+insensitive to the transform for the model that actually gets selected.
+"""
+
+import numpy as np
+
+from repro.core.gather import DataGatherer
+from repro.core.selection import evaluate_candidates
+from repro.harness.tables import format_table
+from repro.machine.platforms import get_platform
+from repro.machine.simulator import TimingSimulator
+
+from benchmarks.conftest import run_once
+
+CANDIDATES = ["LinearRegression", "BayesianRidge", "XGBoost", "DecisionTree"]
+
+
+def test_ablation_yeojohnson_transform(benchmark, record):
+    platform = get_platform("gadi")
+    simulator = TimingSimulator(platform, seed=0)
+    gatherer = DataGatherer(simulator, "dgemm", n_shapes=50, threads_per_shape=10, seed=0)
+    dataset = gatherer.gather()
+    test_shapes = gatherer.gather_test_set(20)
+
+    def run():
+        results = {}
+        for use_yj in (True, False):
+            report = evaluate_candidates(
+                dataset,
+                simulator,
+                test_shapes,
+                candidate_names=CANDIDATES,
+                use_yeo_johnson=use_yj,
+                seed=0,
+            )
+            results[use_yj] = {e.model_name: e for e in report.evaluations}
+        return results
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    for model in CANDIDATES:
+        with_yj = results[True][model]
+        without_yj = results[False][model]
+        rows.append(
+            {
+                "model": model,
+                "rmse_with_yj": f"{with_yj.rmse:.4g}",
+                "rmse_without_yj": f"{without_yj.rmse:.4g}",
+                "speedup_with_yj": round(with_yj.estimated_mean_speedup, 3),
+                "speedup_without_yj": round(without_yj.estimated_mean_speedup, 3),
+            }
+        )
+    record(
+        "ablation_yeojohnson",
+        format_table(rows, title="Ablation: Yeo-Johnson transform (dgemm on Gadi, simulated)"),
+    )
+
+    # Every configuration trains and evaluates successfully.
+    for row in rows:
+        assert float(row["rmse_with_yj"]) > 0
+        assert float(row["rmse_without_yj"]) > 0
+
+    # The transform visibly changes the linear models (it is not a no-op)...
+    linear = next(r for r in rows if r["model"] == "LinearRegression")
+    assert float(linear["rmse_with_yj"]) != float(linear["rmse_without_yj"])
+
+    # ...but the end metric the library optimises — the achieved speedup of
+    # the candidates — stays in the same band with or without it.
+    for row in rows:
+        assert abs(row["speedup_with_yj"] - row["speedup_without_yj"]) < 0.35
+        assert row["speedup_with_yj"] > 0.7
+        assert row["speedup_without_yj"] > 0.7
+    # The best candidate remains clearly useful in both configurations.
+    assert max(row["speedup_with_yj"] for row in rows) > 0.95
+    assert max(row["speedup_without_yj"] for row in rows) > 0.95

@@ -1,0 +1,59 @@
+"""Paper Figure 4: heatmaps of the optimal thread count (non-GEMM routines).
+
+Expected shape: the optimal thread count is far below the maximum almost
+everywhere, grows with the problem size, and differs between platforms —
+on Setonix a visible fraction of SYRK/TRMM/TRSM cells prefer more threads
+than there are physical cores, while on Gadi virtually none do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.figures import optimal_threads_heatmap, render_heatmap_ascii
+from repro.machine.platforms import get_platform
+from repro.machine.simulator import TimingSimulator
+
+from benchmarks.conftest import run_once
+
+ROUTINES = ["dsymm", "dsyrk", "dsyr2k", "dtrmm", "dtrsm",
+            "ssymm", "ssyrk", "ssyr2k", "strmm", "strsm"]
+GRID_POINTS = 7
+
+
+@pytest.mark.parametrize("platform_name", ["setonix", "gadi"])
+def test_fig4_optimal_thread_heatmaps(benchmark, record, platform_name):
+    platform = get_platform(platform_name)
+    simulator = TimingSimulator(platform, seed=0)
+
+    def build():
+        return {
+            routine: optimal_threads_heatmap(routine, simulator, n_points=GRID_POINTS)
+            for routine in ROUTINES
+        }
+
+    grids = run_once(benchmark, build)
+    record(
+        f"fig4_optimal_threads_{platform_name}",
+        "\n\n".join(render_heatmap_ascii(grid) for grid in grids.values()),
+    )
+
+    all_values = np.concatenate(
+        [grid.values[~np.isnan(grid.values)] for grid in grids.values()]
+    )
+    # The maximum thread count is almost never optimal.
+    assert np.mean(all_values >= platform.max_threads) < 0.1
+    # The bulk of the optima sit well below the hardware-thread limit.
+    assert np.median(all_values) < 0.6 * platform.max_threads
+
+    symm_values = grids["dsymm"].values[~np.isnan(grids["dsymm"].values)]
+    syrk_values = grids["dsyrk"].values[~np.isnan(grids["dsyrk"].values)]
+    # SYMM saturates earliest -> its optima are the lowest (paper Fig. 4).
+    assert np.median(symm_values) <= np.median(syrk_values)
+
+    over_physical = np.mean(all_values > platform.physical_cores)
+    if platform_name == "setonix":
+        # Some Setonix cells benefit from SMT oversubscription.
+        assert over_physical > 0.02
+    else:
+        # On Gadi nearly all optima are below the physical core count.
+        assert over_physical < 0.25

@@ -1,0 +1,57 @@
+"""Paper Figure 5: heatmaps of the optimal thread count for GEMM.
+
+Expected shape: small/irregular GEMM calls (any small dimension) prefer few
+threads; large square problems tolerate (close to) the full machine; the
+single- and double-precision patterns are similar, and isolated "abnormal"
+cells deviate from their neighbourhood.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.figures import gemm_optimal_threads_heatmap, render_heatmap_ascii
+from repro.machine.platforms import get_platform
+from repro.machine.simulator import TimingSimulator
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("platform_name", ["setonix", "gadi"])
+def test_fig5_gemm_optimal_thread_heatmaps(benchmark, record, platform_name):
+    platform = get_platform(platform_name)
+    simulator = TimingSimulator(platform, seed=0)
+
+    def build():
+        return {
+            routine: gemm_optimal_threads_heatmap(
+                routine, simulator, k=2048, n_points=8
+            )
+            for routine in ("dgemm", "sgemm")
+        }
+
+    grids = run_once(benchmark, build)
+    record(
+        f"fig5_optimal_threads_gemm_{platform_name}",
+        "\n\n".join(render_heatmap_ascii(grid) for grid in grids.values()),
+    )
+
+    for routine, grid in grids.items():
+        values = grid.values
+        feasible = ~np.isnan(values)
+        assert feasible.any()
+        # The smallest-m, smallest-n corner needs far fewer threads than the
+        # largest feasible corner (paper: irregular calls are the ones that
+        # suffer at max threads).
+        small_corner = values[0, 0]
+        large_feasible = values[feasible].max()
+        assert small_corner < 0.5 * platform.max_threads
+        assert large_feasible > small_corner
+
+    # Single and double precision show broadly similar patterns: their
+    # optima are correlated cell by cell.
+    d_values = grids["dgemm"].values
+    s_values = grids["sgemm"].values
+    mask = ~np.isnan(d_values) & ~np.isnan(s_values)
+    if mask.sum() > 4:
+        correlation = np.corrcoef(d_values[mask], s_values[mask])[0, 1]
+        assert correlation > 0.3

@@ -1,0 +1,61 @@
+"""Paper Figure 6: heatmaps of the testing speedup (non-GEMM routines).
+
+Expected shape: the speedup pattern mirrors the optimal-thread pattern of
+Fig. 4 — large speedups where the optimal thread count is far below the
+maximum (small/skinny problems, SYMM everywhere), approaching 1.0 where the
+maximum is already close to optimal (large square problems).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evalcost import estimate_native_eval_time
+from repro.harness.experiments import get_bundle
+from repro.harness.figures import render_heatmap_ascii, speedup_heatmap
+
+from benchmarks.conftest import run_once
+
+ROUTINES = ["dsymm", "dsyrk", "dtrmm", "dtrsm"]
+
+
+@pytest.mark.parametrize("platform_name", ["setonix", "gadi"])
+def test_fig6_speedup_heatmaps(benchmark, record, platform_name):
+    bundle = get_bundle(platform_name)
+    simulator = bundle.simulator
+
+    def build():
+        grids = {}
+        for routine in ROUTINES:
+            predictor = bundle.predictor(routine)
+            eval_time = estimate_native_eval_time(
+                predictor.model,
+                n_candidates=len(predictor.candidate_threads),
+                n_features=predictor.pipeline.n_features_out_,
+            )
+            grids[routine] = speedup_heatmap(
+                routine, simulator, predictor, n_points=7, eval_time=eval_time
+            )
+        return grids
+
+    grids = run_once(benchmark, build)
+    record(
+        f"fig6_speedup_heatmap_{platform_name}",
+        "\n\n".join(render_heatmap_ascii(grid) for grid in grids.values()),
+    )
+
+    for routine, grid in grids.items():
+        values = grid.values[~np.isnan(grid.values)]
+        assert values.size > 0
+        # No total catastrophes anywhere on the grid (isolated blue cells do
+        # occur, exactly as in the paper's Fig. 6)...
+        assert values.min() > 0.25
+        # ...the field does not lose on average...
+        assert values.mean() > 0.85
+        # ...and wins somewhere (the overhead-bound corner).
+        assert values.max() > 1.1
+
+    # SYMM's speedup field is comparable to or better than SYRK's on average
+    # (paper Fig. 6 / Table VII).
+    symm = grids["dsymm"].values[~np.isnan(grids["dsymm"].values)]
+    syrk = grids["dsyrk"].values[~np.isnan(grids["dsyrk"].values)]
+    assert symm.mean() > syrk.mean() * 0.85

@@ -1,0 +1,67 @@
+"""Paper Figure 7: heatmaps of the GEMM speedup over dimension space.
+
+Expected shape: red (speedup) concentrates where at least one dimension is
+small and fades toward 1.0 as all dimensions grow — "the speedup generally
+decreases as three dimensions get larger".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evalcost import estimate_native_eval_time
+from repro.harness.experiments import get_bundle
+from repro.harness.figures import render_heatmap_ascii, speedup_heatmap
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("platform_name", ["setonix", "gadi"])
+def test_fig7_gemm_speedup_heatmaps(benchmark, record, platform_name):
+    bundle = get_bundle(platform_name)
+    simulator = bundle.simulator
+
+    def build():
+        grids = {}
+        for routine in ("dgemm", "sgemm"):
+            predictor = bundle.predictor(routine)
+            eval_time = estimate_native_eval_time(
+                predictor.model,
+                n_candidates=len(predictor.candidate_threads),
+                n_features=predictor.pipeline.n_features_out_,
+            )
+            grids[routine] = speedup_heatmap(
+                routine,
+                simulator,
+                predictor,
+                n_points=7,
+                third_dim=2048,
+                eval_time=eval_time,
+            )
+        return grids
+
+    grids = run_once(benchmark, build)
+    record(
+        f"fig7_speedup_heatmap_gemm_{platform_name}",
+        "\n\n".join(render_heatmap_ascii(grid) for grid in grids.values()),
+    )
+
+    for routine, grid in grids.items():
+        values = grid.values
+        feasible = ~np.isnan(values)
+        assert feasible.any()
+        finite = values[feasible]
+        # No catastrophic regressions anywhere on the grid.
+        assert finite.min() > 0.5
+
+        # Speedup near the small-small corner exceeds the speedup at the
+        # largest feasible problems (speedup decays with size).
+        small_corner = values[0, 0]
+        # Mean over the largest feasible third of the grid.
+        large_region = []
+        n_rows, n_cols = values.shape
+        for i in range(2 * n_rows // 3, n_rows):
+            for j in range(2 * n_cols // 3, n_cols):
+                if not np.isnan(values[i, j]):
+                    large_region.append(values[i, j])
+        if large_region:
+            assert small_corner >= np.mean(large_region) * 0.9

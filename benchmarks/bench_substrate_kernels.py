@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the execution substrate itself.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the blocked BLAS kernels and of the runtime predictor, on the local machine.
+They are not paper artefacts; they document the cost of this package's own
+moving parts (useful when judging the prediction-latency trade-off).
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.threaded import ThreadedBlas
+from repro.harness.experiments import QUICK_CONFIG, get_bundle
+
+
+SIZE = 384
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(SIZE, SIZE)), rng.normal(size=(SIZE, SIZE))
+
+
+@pytest.mark.parametrize("threads", [1, 2])
+def test_bench_blocked_gemm(benchmark, operands, threads):
+    A, B = operands
+    executor = ThreadedBlas(n_threads=threads, tile=128)
+    result = benchmark(lambda: executor.gemm(A, B))
+    assert result.shape == (SIZE, SIZE)
+
+
+def test_bench_blocked_syrk(benchmark, operands):
+    A, _ = operands
+    executor = ThreadedBlas(n_threads=2, tile=128)
+    result = benchmark(lambda: executor.syrk(A))
+    assert result.shape == (SIZE, SIZE)
+
+
+def test_bench_blocked_trsm(benchmark, operands):
+    A, B = operands
+    A = A + SIZE * np.eye(SIZE)
+    executor = ThreadedBlas(n_threads=2, tile=128)
+    result = benchmark(lambda: executor.trsm(A, B))
+    assert result.shape == (SIZE, SIZE)
+
+
+def test_bench_predictor_latency(benchmark):
+    """Wall-clock latency of one thread-count prediction (Python runtime)."""
+    bundle = get_bundle("gadi", ["dgemm"], QUICK_CONFIG)
+    predictor = bundle.predictor("dgemm")
+    dims = {"m": 2048, "k": 2048, "n": 2048}
+    predictor.clear_cache()
+    threads = benchmark(lambda: predictor.plan(dims, use_cache=False).threads)
+    assert 1 <= threads <= bundle.platform.max_threads
+
+
+def test_bench_simulator_evaluation(benchmark):
+    """Latency of one simulated timing query (the installer's inner loop)."""
+    from repro.machine.platforms import get_platform
+    from repro.machine.simulator import TimingSimulator
+
+    simulator = TimingSimulator(get_platform("gadi"), seed=0)
+    value = benchmark(lambda: simulator.time("dgemm", {"m": 1024, "k": 1024, "n": 1024}, 48))
+    assert value > 0

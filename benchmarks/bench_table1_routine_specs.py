@@ -1,0 +1,18 @@
+"""Paper Table I: BLAS Level 3 routine specifications."""
+
+from repro.harness.experiments import table1_routine_specs
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_routine_specs(benchmark, record):
+    rows = run_once(benchmark, table1_routine_specs)
+    text = format_table(rows, title="Table I: specifications of BLAS level III subroutines")
+    record("table1_routine_specs", text)
+
+    assert len(rows) == 6
+    gemm = next(r for r in rows if r["routine"] == "GEMM")
+    assert gemm["dims"] == 3 and gemm["B_shape"] == "kxn"
+    trsm = next(r for r in rows if r["routine"] == "TRSM")
+    assert trsm["A_type"] == "triangular"

@@ -1,0 +1,17 @@
+"""Paper Table II: comparison of candidate ML model characteristics."""
+
+from repro.harness.experiments import table2_model_catalog
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_model_catalog(benchmark, record):
+    rows = run_once(benchmark, table2_model_catalog)
+    text = format_table(rows, title="Table II: comparisons of ML model characteristics")
+    record("table2_model_catalog", text)
+
+    assert len(rows) == 10
+    linear = [r for r in rows if r["category"] == "Linear Models"]
+    assert {r["model"] for r in linear} == {"LinearRegression", "ElasticNet", "BayesianRidge"}
+    assert all(r["parametric"] == "No" for r in rows if r["category"] != "Linear Models")

@@ -1,0 +1,19 @@
+"""Paper Table III: features available for two- and three-dimension routines."""
+
+from repro.harness.experiments import table3_features
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table3_feature_lists(benchmark, record):
+    rows = run_once(benchmark, table3_features)
+    text = format_table(rows, title="Table III: features for BLAS subroutines")
+    record("table3_features", text)
+
+    three_dim = [r["three_dimensions"] for r in rows if r["three_dimensions"]]
+    two_dim = [r["two_dimensions"] for r in rows if r["two_dimensions"]]
+    assert len(three_dim) == 17
+    assert len(two_dim) == 9
+    assert "m*k*n/nt" in three_dim
+    assert "memory_footprint/nt" in two_dim

@@ -1,0 +1,36 @@
+"""Paper Table IV: best model per subroutine on Setonix (BLIS baseline).
+
+Expected shape: tree-ensemble models (XGBoost-style) win most routines, with
+the occasional linear/Bayesian model on routines where prediction latency
+matters more than accuracy.
+"""
+
+from repro.harness.experiments import table4_model_selection_setonix
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+TREE_MODELS = {"XGBoost", "LightGBM", "RandomForest", "DecisionTree", "AdaBoost"}
+
+
+def test_table4_model_selection_setonix(benchmark, record):
+    rows = run_once(benchmark, table4_model_selection_setonix)
+    text = format_table(
+        rows, title="Table IV: best model per subroutine on Setonix (simulated)"
+    )
+    record("table4_model_selection_setonix", text)
+
+    assert len(rows) == 12  # six routines x two precisions
+    best_models = [row["best_model"] for row in rows]
+    # A healthy share of routines picks a tree-based model (the paper's
+    # Table IV is dominated by XGBoost; at quick-preset data sizes linear
+    # models win more often, see EXPERIMENTS.md).
+    assert sum(model in TREE_MODELS for model in best_models) >= 3
+    # The selected configuration should never lose to the max-thread baseline
+    # by more than a few percent on any routine.
+    assert all(row["estimated_mean_speedup"] > 0.9 for row in rows)
+    # ... and should show a positive win for SYMM, the routine with the most
+    # headroom (paper Table VII).
+    symm_rows = [row for row in rows if "symm" in row["subroutine"]]
+    assert max(row["estimated_mean_speedup"] for row in symm_rows) > 1.05

@@ -1,0 +1,27 @@
+"""Paper Table V: best model per subroutine on Gadi (MKL baseline)."""
+
+from repro.harness.experiments import table5_model_selection_gadi
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table5_model_selection_gadi(benchmark, record):
+    rows = run_once(benchmark, table5_model_selection_gadi)
+    text = format_table(
+        rows, title="Table V: best model per subroutine on Gadi (simulated)"
+    )
+    record("table5_model_selection_gadi", text)
+
+    assert len(rows) == 12
+    assert {row["subroutine"] for row in rows} == {
+        prec + base
+        for prec in ("s", "d")
+        for base in ("gemm", "symm", "syrk", "syr2k", "trmm", "trsm")
+    }
+    # Every routine ends up with a usable model (positive estimated speedup,
+    # not catastrophically below 1.0).
+    assert all(row["estimated_mean_speedup"] > 0.9 for row in rows)
+    # The paper finds only a handful of distinct winners across Table V;
+    # the selection must not degenerate to a single model either.
+    assert 1 <= len({row["best_model"] for row in rows}) <= 6

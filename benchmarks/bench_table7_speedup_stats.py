@@ -1,0 +1,49 @@
+"""Paper Table VII: speedup statistics versus max threads on both platforms.
+
+Expected shape (paper Table VII): mean speedup > 1 for every routine and
+precision on both platforms, SYMM with the largest mean speedup, GEMM among
+the smallest, Setonix means generally above Gadi means, with heavy-tailed
+distributions (max values of 3-12x).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import table7_speedup_statistics
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("platform", ["setonix", "gadi"])
+def test_table7_speedup_statistics(benchmark, record, platform):
+    rows = run_once(benchmark, lambda: table7_speedup_statistics(platform))
+    text = format_table(
+        rows,
+        title=f"Table VII: ADSALA speedup statistics on {platform} (simulated, "
+        "includes model evaluation time)",
+    )
+    record(f"table7_speedup_stats_{platform}", text)
+
+    assert len(rows) == 12
+    by_routine = {row["subroutine"]: row for row in rows}
+
+    # Headline claim: the ML-selected thread counts do not lose to the
+    # maximum-thread baseline on average, for any routine.
+    assert all(row["mean"] >= 0.95 for row in rows)
+    # ... and clearly win overall.
+    assert np.mean([row["mean"] for row in rows]) > 1.05
+
+    # SYMM realises a clear win (paper: 2.2-2.9 mean; smaller here because
+    # the simulator's headroom is narrower, see EXPERIMENTS.md).
+    symm_mean = max(by_routine["dsymm"]["mean"], by_routine["ssymm"]["mean"])
+    assert symm_mean > 1.08
+
+    # Distributions are heavy tailed: the per-routine maxima well exceed the
+    # medians, as in the paper's Table VII.
+    assert all(row["max"] >= row["50%"] for row in rows)
+    assert max(row["max"] for row in rows) > 2.0
+
+    # Quartile ordering is internally consistent.
+    for row in rows:
+        assert row["min"] <= row["25%"] <= row["50%"] <= row["75%"] <= row["max"]

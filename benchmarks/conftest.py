@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper (or an ablation
+called out in DESIGN.md).  Heavy artefacts (trained installations) are shared
+through :func:`repro.harness.experiments.get_bundle`, and every benchmark
+writes the rows it produced to ``benchmarks/results/<name>.txt`` so the
+numbers can be inspected (and copied into EXPERIMENTS.md) after a run.
+
+Set ``ADSALA_BENCH_PRESET=paper`` for the paper-scale campaign (slower);
+the default ``quick`` preset reproduces the qualitative results in minutes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Write benchmark output text to ``benchmarks/results/<name>.txt``."""
+
+    def _record(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,99 @@
+"""Blocked Cholesky factorisation + triangular solves on ADSALA-planned BLAS.
+
+This is the kind of higher-level dense solver the paper's introduction
+motivates: a right-looking blocked Cholesky factorisation whose update steps
+are SYRK/GEMM/TRSM calls, followed by forward/backward TRSM solves.  Every
+BLAS Level 3 call goes through :class:`repro.AdsalaBlas`, so the thread count
+of each call is chosen by the trained models; the example reports the calls
+that were planned and checks the numerical result against NumPy.
+
+Run with::
+
+    python examples/blocked_cholesky_solver.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import AdsalaBlas, install_adsala
+from repro.machine import get_platform
+
+
+def blocked_cholesky(blas: AdsalaBlas, A: np.ndarray, block: int = 128) -> np.ndarray:
+    """Lower-triangular Cholesky factor of symmetric positive-definite ``A``."""
+    n = A.shape[0]
+    L = np.array(A, dtype=float, copy=True)
+    for start in range(0, n, block):
+        end = min(start + block, n)
+        # Diagonal block: unblocked factorisation (small).
+        L[start:end, start:end] = np.linalg.cholesky(L[start:end, start:end])
+        if end < n:
+            # Panel update: L21 = A21 * L11^{-T}.  Expressed as a left-side
+            # TRSM on the transposed panel: solve L11 @ Y = A21^T, L21 = Y^T.
+            panel = blas.trsm(
+                L[start:end, start:end],
+                L[end:, start:end].T,
+                lower=True,
+            ).T
+            L[end:, start:end] = panel
+            # Trailing update: A22 -= L21 @ L21^T  ->  SYRK.
+            update = blas.syrk(panel)
+            L[end:, end:] -= update
+    return np.tril(L)
+
+
+def main() -> None:
+    platform = get_platform("setonix")
+    print(f"Installing ADSALA (dgemm, dsyrk, dtrsm) for {platform.name} ...")
+    bundle = install_adsala(
+        platform=platform,
+        routines=["dgemm", "dsyrk", "dtrsm"],
+        n_samples=40,
+        threads_per_shape=8,
+        n_test_shapes=12,
+        candidate_models=["LinearRegression", "DecisionTree", "XGBoost"],
+        seed=0,
+    )
+    for routine, model in bundle.best_models().items():
+        print(f"  {routine:6s} -> {model}")
+    print()
+
+    blas = AdsalaBlas(bundle, execution_thread_cap=2, tile=128)
+    runtime = blas.runtime
+
+    # Build a well-conditioned SPD system and solve it.
+    rng = np.random.default_rng(0)
+    n = 640
+    G = rng.standard_normal((n, n))
+    A = G @ G.T + n * np.eye(n)
+    b = rng.standard_normal((n, 4))
+
+    L = blocked_cholesky(blas, A, block=160)
+    # Solve A x = b via two triangular solves.
+    y = blas.trsm(L, b, lower=True)
+    x = blas.trsm(L.T, y, lower=False)
+
+    residual = np.linalg.norm(A @ x - b) / np.linalg.norm(b)
+    print(f"Blocked Cholesky solve of a {n}x{n} SPD system: relative residual {residual:.2e}")
+
+    planned = Counter()
+    planned_threads = {}
+    # Summarise what the runtime planned (routine -> number of calls).
+    print(f"\nBLAS calls planned by ADSALA: {runtime.calls_planned}")
+    stats = runtime.cache_statistics()
+    print(
+        f"model evaluations: {stats['model_evaluations']}, "
+        f"cache hits: {stats['cache_hits']}"
+    )
+    last = blas.last_plan
+    print(
+        f"last call: {last.routine} {last.dims} -> {last.threads} threads "
+        f"(simulated speedup {last.estimated_speedup:.2f}x over {platform.max_threads} threads)"
+    )
+
+    assert residual < 1e-10, "solver lost accuracy"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Covariance / Gram-matrix pipeline driven by ADSALA thread planning.
+
+A classic SYRK-dominated workload: computing covariance matrices of feature
+blocks of very different shapes (tall-skinny activity matrices, short-fat
+sensor panels).  The interesting part is that the optimal thread count
+differs wildly across these shapes — exactly the situation the paper's
+runtime targets — so the example prints, for each block, the thread count
+ADSALA picks and the simulated time saved versus always using every hardware
+thread.
+
+Run with::
+
+    python examples/covariance_pipeline.py
+"""
+
+import numpy as np
+
+from repro import AdsalaBlas, install_adsala
+from repro.machine import get_platform
+
+
+# (name, n_features, n_observations) — covariance is an n_features^2 SYRK
+# over n_observations columns.
+WORKLOAD = [
+    ("gene-expression panel  ", 256, 60000),
+    ("sensor array snapshot  ", 4000, 900),
+    ("image patch dictionary ", 1024, 8192),
+    ("portfolio returns       ", 64, 150000),
+    ("embedding batch         ", 2048, 2048),
+]
+
+
+def main() -> None:
+    platform = get_platform("gadi")
+    print(f"Installing ADSALA (dsyrk) for {platform.name} ...")
+    bundle = install_adsala(
+        platform=platform,
+        routines=["dsyrk"],
+        n_samples=50,
+        threads_per_shape=10,
+        n_test_shapes=15,
+        candidate_models=["LinearRegression", "DecisionTree", "XGBoost"],
+        seed=0,
+    )
+    print(f"  selected model: {bundle.best_models()['dsyrk']}\n")
+
+    blas = AdsalaBlas(bundle, execution_thread_cap=2)
+    simulator = bundle.simulator
+
+    print(f"{'block':<24s} {'shape':>14s} {'threads':>8s} {'baseline':>10s} "
+          f"{'ADSALA':>10s} {'speedup':>8s}")
+    total_baseline = 0.0
+    total_adsala = 0.0
+    for name, n_features, n_observations in WORKLOAD:
+        dims = {"n": n_features, "k": n_observations}
+        plan = blas.plan("dsyrk", **dims)
+        baseline = simulator.time_at_max_threads("dsyrk", dims)
+        optimised = simulator.time("dsyrk", dims, plan.threads)
+        total_baseline += baseline
+        total_adsala += optimised
+        print(
+            f"{name:<24s} {n_features:>6d}x{n_observations:<7d} {plan.threads:>8d} "
+            f"{baseline * 1e3:>8.1f}ms {optimised * 1e3:>8.1f}ms "
+            f"{baseline / optimised:>7.2f}x"
+        )
+
+    print("-" * 80)
+    print(
+        f"{'pipeline total':<24s} {'':>14s} {'':>8s} {total_baseline * 1e3:>8.1f}ms "
+        f"{total_adsala * 1e3:>8.1f}ms {total_baseline / total_adsala:>7.2f}x"
+    )
+
+    # Execute one real (scaled-down) covariance to show the numerical path.
+    rng = np.random.default_rng(1)
+    X = rng.standard_normal((300, 5000))
+    X -= X.mean(axis=1, keepdims=True)
+    cov = blas.syrk(X) / (X.shape[1] - 1)
+    reference = np.cov(X)
+    print(
+        "\nExecuted one covariance through the blocked substrate: "
+        f"max abs error vs numpy.cov = {np.abs(cov - reference).max():.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Install once, persist to disk, reload at 'runtime' — the paper's Fig. 1 split.
+
+The paper separates the expensive installation phase (data gathering +
+model training, done once per machine) from the runtime phase (load the
+config + model files, predict thread counts with microsecond overhead).
+This example performs the split explicitly through the persistence layer
+and verifies the reloaded library plans identically, then shows the
+equivalent ``adsala`` CLI invocations.
+
+Run with::
+
+    python examples/install_and_persist.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import install_adsala
+from repro.core.persistence import load_bundle, save_bundle
+from repro.core.runtime import AdsalaRuntime
+from repro.machine import get_platform
+
+
+def main() -> None:
+    platform = get_platform("gadi")
+
+    install_start = time.perf_counter()
+    bundle = install_adsala(
+        platform=platform,
+        routines=["dgemm", "dtrsm"],
+        n_samples=40,
+        threads_per_shape=8,
+        n_test_shapes=10,
+        candidate_models=["LinearRegression", "DecisionTree", "XGBoost"],
+        seed=0,
+    )
+    install_seconds = time.perf_counter() - install_start
+    print(f"Installation phase: {install_seconds:.1f}s "
+          f"(simulated data gathering + model selection for 2 routines)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_dir = Path(tmp) / "adsala-gadi"
+        save_bundle(bundle, bundle_dir)
+        files = sorted(p.name for p in bundle_dir.iterdir())
+        print(f"Persisted bundle: {files}")
+
+        load_start = time.perf_counter()
+        restored = load_bundle(bundle_dir)
+        load_seconds = time.perf_counter() - load_start
+        print(f"Runtime phase: bundle loaded in {load_seconds * 1e3:.1f}ms")
+
+        runtime = AdsalaRuntime(restored)
+        calls = [
+            ("dgemm", dict(m=64, k=2048, n=64)),
+            ("dgemm", dict(m=3000, k=3000, n=3000)),
+            ("dtrsm", dict(m=2000, n=500)),
+        ]
+        original_runtime = AdsalaRuntime(bundle)
+        print("\nPlans from the reloaded bundle (and agreement with the original):")
+        for routine, dims in calls:
+            plan = runtime.plan(routine, **dims)
+            original = original_runtime.plan(routine, **dims)
+            agreement = "==" if plan.threads == original.threads else "!="
+            print(
+                f"  {routine} {dims}: {plan.threads} threads "
+                f"({agreement} original), speedup {plan.estimated_speedup:.2f}x"
+            )
+            assert plan.threads == original.threads
+
+    print(
+        "\nEquivalent CLI workflow:\n"
+        "  adsala install --platform gadi --routines dgemm dtrsm --output ./adsala-gadi\n"
+        "  adsala predict --bundle ./adsala-gadi --routine dgemm --dims 64 2048 64\n"
+        "  adsala bench table7 --platform gadi"
+    )
+
+
+if __name__ == "__main__":
+    main()

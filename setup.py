@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP
+517 editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work with the legacy setuptools code path.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — reproduction of the ADSALA BLAS Level 3 runtime optimiser.
+
+This package reproduces "Machine-Learning-Driven Runtime Optimization of
+BLAS Level 3 on Modern Multi-Core Systems" (Xia & Barca, 2024).  It contains
+
+* :mod:`repro.ml` — a from-scratch machine-learning substrate (linear,
+  Bayesian, tree, ensemble, kNN and SVR regressors plus model selection),
+* :mod:`repro.preprocessing` — Yeo-Johnson, standardisation, LOF outlier
+  removal and correlation-based feature pruning,
+* :mod:`repro.machine` — analytic multi-core performance models and a timing
+  simulator standing in for the Setonix / Gadi supercomputers,
+* :mod:`repro.blas` — NumPy reference and blocked multi-threaded
+  implementations of all six BLAS Level 3 routines,
+* :mod:`repro.core` — the ADSALA contribution: domain sampling, feature
+  engineering, data gathering, model selection by estimated speedup, and the
+  runtime thread-count predictor,
+* :mod:`repro.harness` — drivers that regenerate every table and figure of
+  the paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro import install_adsala, AdsalaBlas
+>>> from repro.machine import get_platform
+>>> bundle = install_adsala(platform=get_platform("gadi"), routines=["dgemm"],
+...                         n_samples=64, seed=0)
+>>> blas = AdsalaBlas(bundle)
+>>> plan = blas.plan("dgemm", m=256, k=2048, n=64)
+>>> plan.threads <= bundle.platform.max_threads
+True
+"""
+
+from repro.core.install import install_adsala, InstallationBundle
+from repro.core.runtime import AdsalaBlas, AdsalaRuntime
+from repro.core.predictor import ThreadPredictor
+from repro.machine import get_platform, list_platforms
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "install_adsala",
+    "InstallationBundle",
+    "AdsalaBlas",
+    "AdsalaRuntime",
+    "ThreadPredictor",
+    "get_platform",
+    "list_platforms",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""BLAS Level 3 substrate.
+
+Provides everything the ADSALA layer needs from "a BLAS library":
+
+* :mod:`repro.blas.api` — the unified routine interface and the routine
+  specification table (paper Table I),
+* :mod:`repro.blas.flops` — floating-point-operation and memory-footprint
+  accounting per routine,
+* :mod:`repro.blas.reference` — straightforward NumPy implementations used
+  as correctness oracles,
+* :mod:`repro.blas.blocked` — cache-blocked (tiled) algorithms,
+* :mod:`repro.blas.threaded` — a thread-pool executor that runs the blocked
+  algorithms with an explicitly requested number of threads, mirroring how
+  ADSALA pins the vendor BLAS thread count at runtime.
+"""
+
+from repro.blas.api import (
+    ROUTINE_SPECS,
+    ROUTINE_NAMES,
+    PRECISIONS,
+    RoutineSpec,
+    parse_routine,
+    routine_dims,
+    compute,
+)
+from repro.blas.flops import flop_count, memory_words, memory_bytes, arithmetic_intensity
+from repro.blas.reference import gemm, symm, syrk, syr2k, trmm, trsm
+from repro.blas.threaded import ThreadedBlas
+
+__all__ = [
+    "ROUTINE_SPECS",
+    "ROUTINE_NAMES",
+    "PRECISIONS",
+    "RoutineSpec",
+    "parse_routine",
+    "routine_dims",
+    "compute",
+    "flop_count",
+    "memory_words",
+    "memory_bytes",
+    "arithmetic_intensity",
+    "gemm",
+    "symm",
+    "syrk",
+    "syr2k",
+    "trmm",
+    "trsm",
+    "ThreadedBlas",
+]

@@ -1,0 +1,227 @@
+"""Unified BLAS Level 3 routine interface and specifications (paper Table I).
+
+A *routine key* such as ``"dgemm"`` or ``"ssyr2k"`` combines a precision
+prefix (``s`` = float32, ``d`` = float64) with a base routine name.  The
+:data:`ROUTINE_SPECS` table records, for every base routine, the operand
+shapes and types of Table I, the names of its free dimension parameters and
+how FLOPs and memory footprint are computed from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RoutineSpec",
+    "OperandSpec",
+    "ROUTINE_SPECS",
+    "ROUTINE_NAMES",
+    "ROUTINE_KEYS",
+    "PRECISIONS",
+    "parse_routine",
+    "routine_dims",
+    "precision_dtype",
+    "precision_bytes",
+    "compute",
+]
+
+
+PRECISIONS: Dict[str, np.dtype] = {
+    "s": np.dtype(np.float32),
+    "d": np.dtype(np.float64),
+}
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """Shape/type of one matrix operand as listed in Table I."""
+
+    name: str
+    shape: Tuple[str, str]
+    kind: str  # "regular", "symmetric", "triangular"
+
+
+@dataclass(frozen=True)
+class RoutineSpec:
+    """Specification of one BLAS Level 3 base routine.
+
+    Attributes
+    ----------
+    name:
+        Base routine name (``"gemm"``, ``"symm"``, ...).
+    dim_names:
+        The free size parameters the ADSALA sampler draws (paper: three for
+        GEMM, two for the rest).
+    operands:
+        Operand table matching the paper's Table I.
+    flops:
+        Callable mapping the dimension dict to the floating-point operation
+        count of the routine.
+    memory_words:
+        Callable mapping the dimension dict to the number of matrix elements
+        that must be resident (input/output operands counted once even when
+        overwritten, per the paper's footnote on TRMM/TRSM).
+    """
+
+    name: str
+    dim_names: Tuple[str, ...]
+    operands: Tuple[OperandSpec, ...]
+    flops: Callable[[Dict[str, int]], float]
+    memory_words: Callable[[Dict[str, int]], float]
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dim_names)
+
+    def dims_from_args(self, *args: int, **kwargs: int) -> Dict[str, int]:
+        """Build the dimension dict from positional or keyword sizes."""
+        if args and kwargs:
+            raise TypeError("Pass dimensions either positionally or by name, not both")
+        if args:
+            if len(args) != self.n_dims:
+                raise ValueError(
+                    f"{self.name} expects {self.n_dims} dimensions "
+                    f"{self.dim_names}, got {len(args)}"
+                )
+            dims = dict(zip(self.dim_names, args))
+        else:
+            missing = [d for d in self.dim_names if d not in kwargs]
+            if missing:
+                raise ValueError(f"{self.name} missing dimensions: {missing}")
+            extra = [d for d in kwargs if d not in self.dim_names]
+            if extra:
+                raise ValueError(f"{self.name} got unexpected dimensions: {extra}")
+            dims = {d: kwargs[d] for d in self.dim_names}
+        for key, value in dims.items():
+            value = int(value)
+            if value < 1:
+                raise ValueError(f"Dimension {key} must be positive, got {value}")
+            dims[key] = value
+        return dims
+
+
+ROUTINE_SPECS: Dict[str, RoutineSpec] = {
+    "gemm": RoutineSpec(
+        name="gemm",
+        dim_names=("m", "k", "n"),
+        operands=(
+            OperandSpec("A", ("m", "k"), "regular"),
+            OperandSpec("B", ("k", "n"), "regular"),
+            OperandSpec("C", ("m", "n"), "regular"),
+        ),
+        flops=lambda d: 2.0 * d["m"] * d["k"] * d["n"],
+        memory_words=lambda d: float(
+            d["m"] * d["k"] + d["k"] * d["n"] + d["m"] * d["n"]
+        ),
+    ),
+    "symm": RoutineSpec(
+        name="symm",
+        dim_names=("m", "n"),
+        operands=(
+            OperandSpec("A", ("m", "m"), "symmetric"),
+            OperandSpec("B", ("m", "n"), "regular"),
+            OperandSpec("C", ("m", "n"), "regular"),
+        ),
+        flops=lambda d: 2.0 * d["m"] * d["m"] * d["n"],
+        memory_words=lambda d: float(d["m"] * d["m"] + 2 * d["m"] * d["n"]),
+    ),
+    "syrk": RoutineSpec(
+        name="syrk",
+        dim_names=("n", "k"),
+        operands=(
+            OperandSpec("A", ("n", "k"), "regular"),
+            OperandSpec("C", ("n", "n"), "symmetric"),
+        ),
+        flops=lambda d: float(d["n"]) * (d["n"] + 1) * d["k"],
+        memory_words=lambda d: float(d["n"] * d["k"] + d["n"] * d["n"]),
+    ),
+    "syr2k": RoutineSpec(
+        name="syr2k",
+        dim_names=("n", "k"),
+        operands=(
+            OperandSpec("A", ("n", "k"), "regular"),
+            OperandSpec("B", ("n", "k"), "regular"),
+            OperandSpec("C", ("n", "n"), "symmetric"),
+        ),
+        flops=lambda d: 2.0 * d["n"] * (d["n"] + 1) * d["k"],
+        memory_words=lambda d: float(2 * d["n"] * d["k"] + d["n"] * d["n"]),
+    ),
+    "trmm": RoutineSpec(
+        name="trmm",
+        dim_names=("m", "n"),
+        operands=(
+            OperandSpec("A", ("m", "m"), "triangular"),
+            OperandSpec("B", ("m", "n"), "regular"),
+        ),
+        flops=lambda d: float(d["m"]) * d["m"] * d["n"],
+        memory_words=lambda d: float(d["m"] * d["m"] + d["m"] * d["n"]),
+    ),
+    "trsm": RoutineSpec(
+        name="trsm",
+        dim_names=("m", "n"),
+        operands=(
+            OperandSpec("A", ("m", "m"), "triangular"),
+            OperandSpec("B", ("m", "n"), "regular"),
+        ),
+        flops=lambda d: float(d["m"]) * d["m"] * d["n"],
+        memory_words=lambda d: float(d["m"] * d["m"] + d["m"] * d["n"]),
+    ),
+}
+
+ROUTINE_NAMES: List[str] = list(ROUTINE_SPECS)
+
+#: All precision-qualified routine keys ("sgemm", "dgemm", ..., "dtrsm").
+ROUTINE_KEYS: List[str] = [
+    prec + name for name in ROUTINE_NAMES for prec in ("s", "d")
+]
+
+
+def parse_routine(routine: str) -> Tuple[str, str, RoutineSpec]:
+    """Split ``"dgemm"`` into ``("d", "gemm", spec)``.
+
+    A bare base name (``"gemm"``) defaults to double precision.
+    """
+    key = routine.lower()
+    if key in ROUTINE_SPECS:
+        return "d", key, ROUTINE_SPECS[key]
+    prefix, base = key[:1], key[1:]
+    if prefix in PRECISIONS and base in ROUTINE_SPECS:
+        return prefix, base, ROUTINE_SPECS[base]
+    raise KeyError(
+        f"Unknown BLAS routine {routine!r}; expected one of "
+        f"{ROUTINE_KEYS} or a base name in {ROUTINE_NAMES}"
+    )
+
+
+def routine_dims(routine: str, *args: int, **kwargs: int) -> Dict[str, int]:
+    """Validated dimension dict for a routine key."""
+    _, _, spec = parse_routine(routine)
+    return spec.dims_from_args(*args, **kwargs)
+
+
+def precision_dtype(precision: str) -> np.dtype:
+    if precision not in PRECISIONS:
+        raise KeyError(f"Unknown precision {precision!r}; expected 's' or 'd'")
+    return PRECISIONS[precision]
+
+
+def precision_bytes(precision: str) -> int:
+    return precision_dtype(precision).itemsize
+
+
+def compute(routine: str, threads: int = 1, **operands):
+    """Execute a BLAS L3 routine with the blocked multi-threaded substrate.
+
+    This is a convenience wrapper over :class:`repro.blas.threaded.ThreadedBlas`
+    that accepts the operands as keyword arguments, e.g.::
+
+        C = compute("dgemm", threads=4, A=A, B=B)
+        B = compute("dtrsm", threads=2, A=L, B=B, lower=True)
+    """
+    from repro.blas.threaded import ThreadedBlas
+
+    executor = ThreadedBlas(n_threads=threads)
+    return executor.run(routine, **operands)

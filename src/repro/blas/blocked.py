@@ -1,0 +1,196 @@
+"""Cache-blocked (tiled) BLAS Level 3 algorithms.
+
+Each routine is decomposed into independent *tile tasks* over the output
+matrix so that the threaded executor (:mod:`repro.blas.threaded`) can run
+them on a worker pool.  The tiles call NumPy's matmul on contiguous panels,
+which is the standard Goto/BLIS decomposition expressed at the Python level.
+
+The tile generators return ``(row_slice, col_slice, thunk)`` triples where
+the thunk computes the tile's value without touching any other tile, so the
+executor can write results in place without locking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.blas.reference import make_triangular, symmetrize, trsm as _trsm_reference
+
+__all__ = [
+    "tile_ranges",
+    "gemm_tasks",
+    "symm_tasks",
+    "syrk_tasks",
+    "syr2k_tasks",
+    "trmm_tasks",
+    "trsm_blocked",
+    "DEFAULT_TILE",
+]
+
+#: Default output-tile edge length.  256x256 double-precision tiles keep the
+#: working set of one task inside a typical per-core L2 cache slice.
+DEFAULT_TILE = 256
+
+TileTask = Tuple[slice, slice, Callable[[], np.ndarray]]
+
+
+def tile_ranges(extent: int, tile: int) -> List[Tuple[int, int]]:
+    """Split ``range(extent)`` into contiguous chunks of at most ``tile``."""
+    if extent < 1:
+        raise ValueError("extent must be positive")
+    if tile < 1:
+        raise ValueError("tile must be positive")
+    return [(start, min(start + tile, extent)) for start in range(0, extent, tile)]
+
+
+def gemm_tasks(A, B, alpha: float, tile: int) -> Iterator[TileTask]:
+    """Tile tasks computing ``alpha * A @ B`` block by block of C."""
+    m, k = A.shape
+    k2, n = B.shape
+    if k != k2:
+        raise ValueError(f"Inner dimensions do not match: {A.shape} @ {B.shape}")
+    for row_start, row_end in tile_ranges(m, tile):
+        a_panel = A[row_start:row_end, :]
+        for col_start, col_end in tile_ranges(n, tile):
+            b_panel = B[:, col_start:col_end]
+
+            def task(a_panel=a_panel, b_panel=b_panel):
+                return alpha * (a_panel @ b_panel)
+
+            yield slice(row_start, row_end), slice(col_start, col_end), task
+
+
+def symm_tasks(A, B, alpha: float, lower: bool, tile: int) -> Iterator[TileTask]:
+    """Tile tasks for ``alpha * sym(A) @ B`` (side='L')."""
+    full_A = symmetrize(A, lower=lower)
+    yield from gemm_tasks(full_A, B, alpha, tile)
+
+
+def syrk_tasks(A, alpha: float, trans: bool, tile: int) -> Iterator[TileTask]:
+    """Tile tasks for ``alpha * A @ A.T`` (or ``A.T @ A``).
+
+    Only the tiles of the lower triangle (including diagonal blocks) are
+    computed; the executor mirrors them into the upper triangle afterwards.
+    """
+    op = A.T if trans else A
+    n = op.shape[0]
+    for row_start, row_end in tile_ranges(n, tile):
+        a_panel = op[row_start:row_end, :]
+        for col_start, col_end in tile_ranges(n, tile):
+            if col_start > row_start:
+                continue  # strictly-upper tiles are mirrored later
+            b_panel = op[col_start:col_end, :].T
+
+            def task(a_panel=a_panel, b_panel=b_panel):
+                return alpha * (a_panel @ b_panel)
+
+            yield slice(row_start, row_end), slice(col_start, col_end), task
+
+
+def syr2k_tasks(A, B, alpha: float, trans: bool, tile: int) -> Iterator[TileTask]:
+    """Tile tasks for ``alpha * (A @ B.T + B @ A.T)`` over the lower triangle."""
+    opA = A.T if trans else A
+    opB = B.T if trans else B
+    n = opA.shape[0]
+    for row_start, row_end in tile_ranges(n, tile):
+        a_row = opA[row_start:row_end, :]
+        b_row = opB[row_start:row_end, :]
+        for col_start, col_end in tile_ranges(n, tile):
+            if col_start > row_start:
+                continue
+            a_col = opA[col_start:col_end, :]
+            b_col = opB[col_start:col_end, :]
+
+            def task(a_row=a_row, b_row=b_row, a_col=a_col, b_col=b_col):
+                return alpha * (a_row @ b_col.T + b_row @ a_col.T)
+
+            yield slice(row_start, row_end), slice(col_start, col_end), task
+
+
+def trmm_tasks(
+    A, B, alpha: float, lower: bool, transa: bool, unit_diag: bool, tile: int
+) -> Iterator[TileTask]:
+    """Tile tasks for ``alpha * op(tri(A)) @ B`` (side='L').
+
+    The triangular structure is exploited per row-block: row block ``i`` of
+    the result only needs the columns of ``A`` up to (lower) or from (upper)
+    block ``i``, so skinny row blocks near the apex do less work — the same
+    load-imbalance source a real TRMM has.
+    """
+    tri = make_triangular(A, lower=lower, unit_diag=unit_diag)
+    op = tri.T if transa else tri
+    m = op.shape[0]
+    op_is_lower = lower != transa  # transposing flips the triangle
+    for row_start, row_end in tile_ranges(m, tile):
+        if op_is_lower:
+            a_panel = op[row_start:row_end, :row_end]
+            b_rows = slice(0, row_end)
+        else:
+            a_panel = op[row_start:row_end, row_start:]
+            b_rows = slice(row_start, m)
+        for col_start, col_end in tile_ranges(B.shape[1], tile):
+            b_panel = B[b_rows, col_start:col_end]
+
+            def task(a_panel=a_panel, b_panel=b_panel):
+                return alpha * (a_panel @ b_panel)
+
+            yield slice(row_start, row_end), slice(col_start, col_end), task
+
+
+def trsm_blocked(
+    A,
+    B,
+    alpha: float = 1.0,
+    lower: bool = True,
+    transa: bool = False,
+    unit_diag: bool = False,
+    tile: int = DEFAULT_TILE,
+    column_task_runner: Callable | None = None,
+) -> np.ndarray:
+    """Blocked triangular solve (side='L') with column-panel parallelism.
+
+    The solve recurrence is sequential across row blocks, but independent
+    across column panels of the right-hand side; ``column_task_runner`` (when
+    given) receives a list of thunks, one per column panel, and may execute
+    them concurrently.
+    """
+    tri = make_triangular(A, lower=lower, unit_diag=unit_diag)
+    op = tri.T if transa else tri
+    m, n = B.shape
+    if op.shape[0] != m:
+        raise ValueError("A and B dimensions do not match for side='L'")
+    out_dtype = np.result_type(A, B)
+    if not np.issubdtype(out_dtype, np.floating):
+        out_dtype = np.float64
+    X = alpha * np.array(B, dtype=out_dtype, copy=True)
+
+    col_panels = tile_ranges(n, tile)
+
+    def solve_panel(col_start: int, col_end: int) -> None:
+        # Forward/backward substitution over row blocks for this panel.
+        panel = X[:, col_start:col_end]
+        row_blocks = tile_ranges(m, tile)
+        ordered = row_blocks if (lower != transa) else list(reversed(row_blocks))
+        solved: List[Tuple[int, int]] = []
+        for row_start, row_end in ordered:
+            diag_block = op[row_start:row_end, row_start:row_end]
+            rhs = panel[row_start:row_end, :].copy()
+            for prev_start, prev_end in solved:
+                rhs -= op[row_start:row_end, prev_start:prev_end] @ panel[prev_start:prev_end, :]
+            panel[row_start:row_end, :] = _trsm_reference(
+                diag_block, rhs, lower=(lower != transa), unit_diag=unit_diag
+            )
+            solved.append((row_start, row_end))
+
+    thunks = [
+        (lambda cs=col_start, ce=col_end: solve_panel(cs, ce))
+        for col_start, col_end in col_panels
+    ]
+    if column_task_runner is None:
+        for thunk in thunks:
+            thunk()
+    else:
+        column_task_runner(thunks)
+    return X

@@ -1,0 +1,66 @@
+"""FLOP-count and memory-footprint accounting for BLAS Level 3 routines.
+
+These quantities drive both the analytic performance model
+(:mod:`repro.machine.perfmodel`) and the ADSALA feature engineering
+(:mod:`repro.core.features`), and implement the paper's 500 MB sampling cap
+("the upper bound of the sum size of matrices", with TRMM/TRSM counting the
+overwritten operand once).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.blas.api import parse_routine, precision_bytes
+
+__all__ = [
+    "flop_count",
+    "memory_words",
+    "memory_bytes",
+    "arithmetic_intensity",
+    "fits_memory_cap",
+]
+
+
+def flop_count(routine: str, dims: Dict[str, int]) -> float:
+    """Floating-point operations performed by one call of ``routine``."""
+    _, _, spec = parse_routine(routine)
+    dims = spec.dims_from_args(**dims)
+    return float(spec.flops(dims))
+
+
+def memory_words(routine: str, dims: Dict[str, int]) -> float:
+    """Total matrix elements held by the call (overwritten operands counted once)."""
+    _, _, spec = parse_routine(routine)
+    dims = spec.dims_from_args(**dims)
+    return float(spec.memory_words(dims))
+
+
+def memory_bytes(routine: str, dims: Dict[str, int], precision: str | None = None) -> float:
+    """Memory footprint in bytes for the given precision.
+
+    When ``precision`` is ``None`` it is taken from the routine key prefix
+    (``"sgemm"`` → float32), defaulting to double precision for bare names.
+    """
+    prefix, _, _ = parse_routine(routine)
+    if precision is None:
+        precision = prefix
+    return memory_words(routine, dims) * precision_bytes(precision)
+
+
+def arithmetic_intensity(routine: str, dims: Dict[str, int], precision: str | None = None) -> float:
+    """FLOPs per byte of operand traffic — the roofline x-coordinate."""
+    bytes_moved = memory_bytes(routine, dims, precision)
+    if bytes_moved <= 0:
+        raise ValueError("memory footprint must be positive")
+    return flop_count(routine, dims) / bytes_moved
+
+
+def fits_memory_cap(
+    routine: str,
+    dims: Dict[str, int],
+    precision: str | None = None,
+    cap_bytes: float = 500e6,
+) -> bool:
+    """Whether the call's operands fit under the sampling memory cap (500 MB)."""
+    return memory_bytes(routine, dims, precision) <= cap_bytes

@@ -1,0 +1,195 @@
+"""Straightforward NumPy reference implementations of BLAS Level 3 routines.
+
+These are the correctness oracles for the blocked / threaded substrate and
+the computational backend the ADSALA runtime dispatches to when executing a
+call for real (as opposed to simulating its timing).
+
+Conventions follow the Fortran BLAS:
+
+* ``symm``/``trmm``/``trsm`` take a ``side`` argument ("L" — the structured
+  operand multiplies from the left — or "R");
+* ``uplo``/``lower`` selects which triangle of a symmetric or triangular
+  operand is referenced; the other triangle is never read;
+* ``trmm``/``trsm`` overwrite and return ``B`` (a copy is made, the caller's
+  array is untouched).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gemm", "symm", "syrk", "syr2k", "trmm", "trsm", "symmetrize", "make_triangular"]
+
+
+def _as_matrix(a, name: str) -> np.ndarray:
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got ndim={a.ndim}")
+    return a
+
+
+def symmetrize(a: np.ndarray, lower: bool = True) -> np.ndarray:
+    """Return the full symmetric matrix implied by one triangle of ``a``."""
+    a = _as_matrix(a, "a")
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("symmetrize expects a square matrix")
+    tri = np.tril(a) if lower else np.triu(a)
+    return tri + tri.T - np.diag(np.diag(a))
+
+
+def make_triangular(a: np.ndarray, lower: bool = True, unit_diag: bool = False) -> np.ndarray:
+    """Zero the unreferenced triangle (and optionally force a unit diagonal)."""
+    a = _as_matrix(a, "a")
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("make_triangular expects a square matrix")
+    tri = np.tril(a) if lower else np.triu(a)
+    if unit_diag:
+        tri = tri.copy()
+        np.fill_diagonal(tri, 1.0)
+    return tri
+
+
+def gemm(A, B, C=None, alpha: float = 1.0, beta: float = 0.0, transa: bool = False, transb: bool = False):
+    """General matrix multiply: ``C := alpha*op(A)@op(B) + beta*C``."""
+    A = _as_matrix(A, "A")
+    B = _as_matrix(B, "B")
+    opA = A.T if transa else A
+    opB = B.T if transb else B
+    if opA.shape[1] != opB.shape[0]:
+        raise ValueError(
+            f"Inner dimensions do not match: op(A) is {opA.shape}, op(B) is {opB.shape}"
+        )
+    result = alpha * (opA @ opB)
+    if C is None:
+        if beta != 0.0:
+            raise ValueError("beta != 0 requires C")
+        return result
+    C = _as_matrix(C, "C")
+    if C.shape != result.shape:
+        raise ValueError(f"C has shape {C.shape}, expected {result.shape}")
+    return result + beta * C
+
+
+def symm(A, B, C=None, alpha: float = 1.0, beta: float = 0.0, side: str = "L", lower: bool = True):
+    """Symmetric matrix multiply.
+
+    ``side="L"``: ``C := alpha*sym(A)@B + beta*C`` with ``A`` m×m symmetric.
+    ``side="R"``: ``C := alpha*B@sym(A) + beta*C`` with ``A`` n×n symmetric.
+    Only the ``lower`` (or upper) triangle of ``A`` is referenced.
+    """
+    if side not in ("L", "R"):
+        raise ValueError("side must be 'L' or 'R'")
+    A = _as_matrix(A, "A")
+    B = _as_matrix(B, "B")
+    full_A = symmetrize(A, lower=lower)
+    if side == "L":
+        if full_A.shape[1] != B.shape[0]:
+            raise ValueError("A and B dimensions do not match for side='L'")
+        result = alpha * (full_A @ B)
+    else:
+        if B.shape[1] != full_A.shape[0]:
+            raise ValueError("A and B dimensions do not match for side='R'")
+        result = alpha * (B @ full_A)
+    if C is None:
+        if beta != 0.0:
+            raise ValueError("beta != 0 requires C")
+        return result
+    C = _as_matrix(C, "C")
+    if C.shape != result.shape:
+        raise ValueError(f"C has shape {C.shape}, expected {result.shape}")
+    return result + beta * C
+
+
+def syrk(A, C=None, alpha: float = 1.0, beta: float = 0.0, trans: bool = False, lower: bool = True):
+    """Symmetric rank-k update: ``C := alpha*A@A.T + beta*C`` (or ``A.T@A``).
+
+    Only the selected triangle of the returned matrix is meaningful in a real
+    BLAS; here the full symmetric result is returned for convenience, which
+    keeps the oracle simple while remaining numerically identical on the
+    referenced triangle.
+    """
+    A = _as_matrix(A, "A")
+    product = A.T @ A if trans else A @ A.T
+    result = alpha * product
+    n = result.shape[0]
+    if C is None:
+        if beta != 0.0:
+            raise ValueError("beta != 0 requires C")
+        return result
+    C = _as_matrix(C, "C")
+    if C.shape != (n, n):
+        raise ValueError(f"C has shape {C.shape}, expected {(n, n)}")
+    full_C = symmetrize(C, lower=lower)
+    return result + beta * full_C
+
+
+def syr2k(A, B, C=None, alpha: float = 1.0, beta: float = 0.0, trans: bool = False, lower: bool = True):
+    """Symmetric rank-2k update: ``C := alpha*(A@B.T + B@A.T) + beta*C``."""
+    A = _as_matrix(A, "A")
+    B = _as_matrix(B, "B")
+    if A.shape != B.shape:
+        raise ValueError(f"A and B must have the same shape, got {A.shape} and {B.shape}")
+    if trans:
+        product = A.T @ B + B.T @ A
+    else:
+        product = A @ B.T + B @ A.T
+    result = alpha * product
+    n = result.shape[0]
+    if C is None:
+        if beta != 0.0:
+            raise ValueError("beta != 0 requires C")
+        return result
+    C = _as_matrix(C, "C")
+    if C.shape != (n, n):
+        raise ValueError(f"C has shape {C.shape}, expected {(n, n)}")
+    full_C = symmetrize(C, lower=lower)
+    return result + beta * full_C
+
+
+def trmm(A, B, alpha: float = 1.0, side: str = "L", lower: bool = True,
+         transa: bool = False, unit_diag: bool = False):
+    """Triangular matrix multiply: ``B := alpha*op(tri(A))@B`` (side='L').
+
+    Returns a new array; the caller's ``B`` is not modified.
+    """
+    if side not in ("L", "R"):
+        raise ValueError("side must be 'L' or 'R'")
+    A = _as_matrix(A, "A")
+    B = _as_matrix(B, "B")
+    tri = make_triangular(A, lower=lower, unit_diag=unit_diag)
+    op = tri.T if transa else tri
+    if side == "L":
+        if op.shape[1] != B.shape[0]:
+            raise ValueError("A and B dimensions do not match for side='L'")
+        return alpha * (op @ B)
+    if B.shape[1] != op.shape[0]:
+        raise ValueError("A and B dimensions do not match for side='R'")
+    return alpha * (B @ op)
+
+
+def trsm(A, B, alpha: float = 1.0, side: str = "L", lower: bool = True,
+         transa: bool = False, unit_diag: bool = False):
+    """Triangular solve with multiple right-hand sides.
+
+    side='L': solves ``op(tri(A)) @ X = alpha*B`` for X.
+    side='R': solves ``X @ op(tri(A)) = alpha*B`` for X.
+    Returns the solution as a new array.
+    """
+    if side not in ("L", "R"):
+        raise ValueError("side must be 'L' or 'R'")
+    A = _as_matrix(A, "A")
+    B = _as_matrix(B, "B")
+    tri = make_triangular(A, lower=lower, unit_diag=unit_diag)
+    op = tri.T if transa else tri
+    diag = np.diag(op)
+    if not unit_diag and np.any(np.abs(diag) < np.finfo(float).tiny * 1e3):
+        raise np.linalg.LinAlgError("Triangular matrix is singular to working precision")
+    rhs = alpha * B
+    if side == "L":
+        if op.shape[1] != B.shape[0]:
+            raise ValueError("A and B dimensions do not match for side='L'")
+        return np.linalg.solve(op, rhs)
+    if B.shape[1] != op.shape[0]:
+        raise ValueError("A and B dimensions do not match for side='R'")
+    # X @ op = rhs  <=>  op.T @ X.T = rhs.T
+    return np.linalg.solve(op.T, rhs.T).T

@@ -1,0 +1,162 @@
+"""Command-line interface: ``adsala install | predict | bench | platforms``.
+
+The CLI mirrors how the paper's library is used:
+
+* ``adsala install`` runs the installation workflow for a platform and
+  writes the bundle (config + trained models) to a directory;
+* ``adsala predict`` loads a bundle and prints the predicted-optimal thread
+  count (and estimated speedup) for one BLAS call;
+* ``adsala bench`` regenerates a paper table from the command line;
+* ``adsala platforms`` lists the built-in machine presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.blas.api import ROUTINE_KEYS, parse_routine
+from repro.machine.platforms import get_platform, list_platforms
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adsala",
+        description="ADSALA reproduction: ML-driven thread-count selection for BLAS L3",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    install = sub.add_parser("install", help="run the installation workflow")
+    install.add_argument("--platform", default="gadi", help="platform preset name")
+    install.add_argument(
+        "--routines", nargs="+", default=None, help=f"routine keys (default: all of {ROUTINE_KEYS})"
+    )
+    install.add_argument("--output", required=True, help="directory to write the bundle to")
+    install.add_argument("--samples", type=int, default=80, help="problem shapes per routine")
+    install.add_argument("--threads-per-shape", type=int, default=14)
+    install.add_argument("--test-shapes", type=int, default=30)
+    install.add_argument("--tune", action="store_true", help="run hyper-parameter tuning")
+    install.add_argument("--seed", type=int, default=0)
+
+    predict = sub.add_parser("predict", help="predict the optimal thread count for one call")
+    predict.add_argument("--bundle", required=True, help="bundle directory written by install")
+    predict.add_argument("--routine", required=True, help="routine key, e.g. dgemm")
+    predict.add_argument("--dims", nargs="+", type=int, required=True,
+                         help="matrix dimensions in the routine's natural order")
+
+    bench = sub.add_parser("bench", help="regenerate a paper table")
+    bench.add_argument(
+        "table",
+        choices=["table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8"],
+    )
+    bench.add_argument("--platform", default="gadi")
+
+    sub.add_parser("platforms", help="list built-in platform presets")
+    return parser
+
+
+def _cmd_install(args: argparse.Namespace) -> int:
+    from repro.core.install import install_adsala
+    from repro.core.persistence import save_bundle
+
+    platform = get_platform(args.platform)
+    bundle = install_adsala(
+        platform=platform,
+        routines=args.routines,
+        n_samples=args.samples,
+        threads_per_shape=args.threads_per_shape,
+        n_test_shapes=args.test_shapes,
+        tune_hyperparameters=args.tune,
+        seed=args.seed,
+    )
+    path = save_bundle(bundle, args.output)
+    print(f"Installed {len(bundle.routines)} routine(s) on {platform.name}; bundle at {path}")
+    for routine, model in bundle.best_models().items():
+        print(f"  {routine}: {model}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.persistence import load_bundle
+    from repro.core.runtime import AdsalaRuntime
+
+    bundle = load_bundle(args.bundle)
+    runtime = AdsalaRuntime(bundle)
+    _, _, spec = parse_routine(args.routine)
+    if len(args.dims) != spec.n_dims:
+        print(
+            f"error: {args.routine} expects {spec.n_dims} dimensions {spec.dim_names}, "
+            f"got {len(args.dims)}",
+            file=sys.stderr,
+        )
+        return 2
+    dims = dict(zip(spec.dim_names, args.dims))
+    plan = runtime.plan(args.routine, **dims)
+    print(
+        f"{args.routine} {dims}: use {plan.threads} threads "
+        f"(predicted {plan.predicted_time * 1e3:.2f} ms, "
+        f"max-thread baseline {plan.baseline_time * 1e3:.2f} ms, "
+        f"estimated speedup {plan.estimated_speedup:.2f}x)"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import experiments
+    from repro.harness.tables import format_table
+
+    if args.table == "table1":
+        print(format_table(experiments.table1_routine_specs(), title="Table I: routine specifications"))
+    elif args.table == "table2":
+        print(format_table(experiments.table2_model_catalog(), title="Table II: candidate models"))
+    elif args.table == "table3":
+        print(format_table(experiments.table3_features(), title="Table III: features"))
+    elif args.table == "table4":
+        print(format_table(experiments.table4_model_selection_setonix(), title="Table IV: best models (Setonix)"))
+    elif args.table == "table5":
+        print(format_table(experiments.table5_model_selection_gadi(), title="Table V: best models (Gadi)"))
+    elif args.table == "table6":
+        for routine, rows in experiments.table6_model_statistics(args.platform).items():
+            print(format_table(rows, title=f"Table VI: {routine} on {args.platform}"))
+            print()
+    elif args.table == "table7":
+        print(
+            format_table(
+                experiments.table7_speedup_statistics(args.platform),
+                title=f"Table VII: speedup statistics on {args.platform}",
+            )
+        )
+    elif args.table == "table8":
+        print(
+            format_table(
+                experiments.table8_profiling(args.platform),
+                title=f"Table VIII: profiling breakdown on {args.platform}",
+            )
+        )
+    return 0
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    for name in list_platforms():
+        print(get_platform(name).describe())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "install": _cmd_install,
+        "predict": _cmd_predict,
+        "bench": _cmd_bench,
+        "platforms": _cmd_platforms,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

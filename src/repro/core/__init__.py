@@ -1,0 +1,57 @@
+"""ADSALA core: the paper's primary contribution.
+
+The subpackage implements the installation-time workflow (paper Fig. 1a) —
+domain sampling, timing-data gathering, preprocessing, hyper-parameter
+tuning and model selection by estimated speedup — and the runtime workflow
+(Fig. 1b): a per-routine thread-count predictor with a last-call cache and a
+BLAS front-end that dispatches every call with the predicted thread count.
+"""
+
+from repro.core.sampling import HaltonSequence, ScrambledHaltonSequence, DomainSampler
+from repro.core.features import (
+    feature_names,
+    compute_features,
+    build_feature_matrix,
+    THREE_DIM_FEATURES,
+    TWO_DIM_FEATURES,
+)
+from repro.core.dataset import TimingDataset
+from repro.core.gather import DataGatherer
+from repro.core.tuning import tune_model
+from repro.core.selection import (
+    CandidateEvaluation,
+    SelectionReport,
+    evaluate_candidates,
+    select_best_model,
+)
+from repro.core.predictor import ThreadPredictor, PredictionPlan
+from repro.core.runtime import AdsalaRuntime, AdsalaBlas
+from repro.core.install import install_adsala, InstallationBundle, RoutineInstallation
+from repro.core.persistence import save_bundle, load_bundle
+
+__all__ = [
+    "HaltonSequence",
+    "ScrambledHaltonSequence",
+    "DomainSampler",
+    "feature_names",
+    "compute_features",
+    "build_feature_matrix",
+    "THREE_DIM_FEATURES",
+    "TWO_DIM_FEATURES",
+    "TimingDataset",
+    "DataGatherer",
+    "tune_model",
+    "CandidateEvaluation",
+    "SelectionReport",
+    "evaluate_candidates",
+    "select_best_model",
+    "ThreadPredictor",
+    "PredictionPlan",
+    "AdsalaRuntime",
+    "AdsalaBlas",
+    "install_adsala",
+    "InstallationBundle",
+    "RoutineInstallation",
+    "save_bundle",
+    "load_bundle",
+]

@@ -1,0 +1,198 @@
+"""Feature engineering for the runtime-prediction models (paper Table III).
+
+Two feature sets exist, one for routines with three free matrix dimensions
+(GEMM) and one for routines with two (SYMM, SYRK, SYR2K, TRMM, TRSM).  Both
+combine the raw dimensions, pairwise/cubic products (operand sizes and FLOP
+count), the memory footprint, the thread count and the per-thread variants
+of each size term.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.blas.api import parse_routine
+from repro.blas.flops import memory_words
+
+__all__ = [
+    "THREE_DIM_FEATURES",
+    "TWO_DIM_FEATURES",
+    "feature_names",
+    "compute_features",
+    "feature_matrix_for_threads",
+    "build_feature_matrix",
+]
+
+
+#: Feature names for three-dimension routines (paper Table III, left column).
+THREE_DIM_FEATURES: List[str] = [
+    "m",
+    "k",
+    "n",
+    "nt",
+    "m*k",
+    "m*n",
+    "k*n",
+    "m*k*n",
+    "memory_footprint",
+    "m/nt",
+    "k/nt",
+    "n/nt",
+    "m*k/nt",
+    "m*n/nt",
+    "k*n/nt",
+    "m*k*n/nt",
+    "memory_footprint/nt",
+]
+
+#: Feature names for two-dimension routines (paper Table III, right column).
+#: ``d1``/``d2`` stand for the routine's two free dimensions — (m, n) for
+#: SYMM/TRMM/TRSM and (n, k) for SYRK/SYR2K.
+TWO_DIM_FEATURES: List[str] = [
+    "d1",
+    "d2",
+    "nt",
+    "d1*d2",
+    "memory_footprint",
+    "d1/nt",
+    "d2/nt",
+    "d1*d2/nt",
+    "memory_footprint/nt",
+]
+
+
+def feature_names(routine: str) -> List[str]:
+    """Feature names for a routine key (three- or two-dimension set)."""
+    _, _, spec = parse_routine(routine)
+    if spec.n_dims == 3:
+        return list(THREE_DIM_FEATURES)
+    return list(TWO_DIM_FEATURES)
+
+
+def compute_features(routine: str, dims: Dict[str, int], threads: int) -> np.ndarray:
+    """Feature vector for one (problem shape, thread count) pair."""
+    if threads < 1:
+        raise ValueError("threads must be at least 1")
+    _, _, spec = parse_routine(routine)
+    dims = spec.dims_from_args(**dims)
+    footprint = memory_words(routine, dims)
+    nt = float(threads)
+
+    if spec.n_dims == 3:
+        m, k, n = (float(dims[d]) for d in ("m", "k", "n"))
+        values = [
+            m,
+            k,
+            n,
+            nt,
+            m * k,
+            m * n,
+            k * n,
+            m * k * n,
+            footprint,
+            m / nt,
+            k / nt,
+            n / nt,
+            m * k / nt,
+            m * n / nt,
+            k * n / nt,
+            m * k * n / nt,
+            footprint / nt,
+        ]
+    else:
+        d1, d2 = (float(dims[d]) for d in spec.dim_names)
+        values = [
+            d1,
+            d2,
+            nt,
+            d1 * d2,
+            footprint,
+            d1 / nt,
+            d2 / nt,
+            d1 * d2 / nt,
+            footprint / nt,
+        ]
+    return np.asarray(values, dtype=np.float64)
+
+
+def feature_matrix_for_threads(
+    routine: str, dims: Dict[str, int], threads: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """Vectorised feature matrix for one shape across many thread counts.
+
+    This is the hot path of the runtime predictor (one row per candidate
+    thread count), so it avoids any per-row Python work.
+    """
+    _, _, spec = parse_routine(routine)
+    dims = spec.dims_from_args(**dims)
+    nt = np.asarray(threads, dtype=np.float64)
+    if nt.ndim != 1 or nt.size == 0:
+        raise ValueError("threads must be a non-empty 1-D sequence")
+    if np.any(nt < 1):
+        raise ValueError("threads must be positive")
+    footprint = memory_words(routine, dims)
+    ones = np.ones_like(nt)
+
+    if spec.n_dims == 3:
+        m, k, n = (float(dims[d]) for d in ("m", "k", "n"))
+        columns = [
+            m * ones,
+            k * ones,
+            n * ones,
+            nt,
+            m * k * ones,
+            m * n * ones,
+            k * n * ones,
+            m * k * n * ones,
+            footprint * ones,
+            m / nt,
+            k / nt,
+            n / nt,
+            m * k / nt,
+            m * n / nt,
+            k * n / nt,
+            m * k * n / nt,
+            footprint / nt,
+        ]
+    else:
+        d1, d2 = (float(dims[d]) for d in spec.dim_names)
+        columns = [
+            d1 * ones,
+            d2 * ones,
+            nt,
+            d1 * d2 * ones,
+            footprint * ones,
+            d1 / nt,
+            d2 / nt,
+            d1 * d2 / nt,
+            footprint / nt,
+        ]
+    return np.column_stack(columns)
+
+
+def build_feature_matrix(
+    routine: str,
+    dims_list: Sequence[Dict[str, int]],
+    threads: Sequence[int],
+) -> np.ndarray:
+    """Feature matrix for aligned sequences of shapes and thread counts.
+
+    ``threads`` may be a single integer (broadcast over all shapes) or a
+    sequence aligned with ``dims_list``.
+    """
+    if isinstance(threads, (int, np.integer)):
+        threads = [int(threads)] * len(dims_list)
+    if len(threads) != len(dims_list):
+        raise ValueError(
+            f"dims_list and threads have different lengths: "
+            f"{len(dims_list)} vs {len(threads)}"
+        )
+    if not dims_list:
+        raise ValueError("dims_list must not be empty")
+    rows = [
+        compute_features(routine, dims, int(nt))
+        for dims, nt in zip(dims_list, threads)
+    ]
+    return np.vstack(rows)

@@ -1,0 +1,140 @@
+"""Persistence of installation bundles (paper Fig. 1: saved config + model).
+
+The paper's installer writes two artefacts per routine: a preprocessing
+configuration file and the trained, production-ready model.  Here the bundle
+is written to a directory containing
+
+* ``bundle.json`` — platform name, installer settings, per-routine metadata
+  (winning model name, candidate thread counts, preprocessing config,
+  selection summary),
+* ``<routine>.model.pkl`` — the pickled fitted model for each routine.
+
+The split mirrors the paper's design: the JSON config is human-readable and
+library-agnostic, the model file is opaque.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Dict
+
+from repro.core.install import InstallationBundle, RoutineInstallation
+from repro.core.dataset import TimingDataset
+from repro.core.predictor import ThreadPredictor
+from repro.core.selection import CandidateEvaluation, SelectionReport
+from repro.machine.platforms import get_platform
+from repro.machine.simulator import TimingSimulator
+from repro.preprocessing.pipeline import PreprocessingPipeline
+
+__all__ = ["save_bundle", "load_bundle"]
+
+_BUNDLE_FILE = "bundle.json"
+
+
+def _selection_to_dict(report: SelectionReport) -> dict:
+    return {
+        "routine": report.routine,
+        "platform": report.platform,
+        "best_model_name": report.best_model_name,
+        "evaluations": [
+            {
+                "model_name": e.model_name,
+                "rmse": e.rmse,
+                "normalised_rmse": e.normalised_rmse,
+                "eval_time_us": e.eval_time_us,
+                "ideal_mean_speedup": e.ideal_mean_speedup,
+                "ideal_aggregate_speedup": e.ideal_aggregate_speedup,
+                "estimated_mean_speedup": e.estimated_mean_speedup,
+                "estimated_aggregate_speedup": e.estimated_aggregate_speedup,
+            }
+            for e in report.evaluations
+        ],
+    }
+
+
+def _selection_from_dict(data: dict) -> SelectionReport:
+    return SelectionReport(
+        routine=data["routine"],
+        platform=data["platform"],
+        best_model_name=data["best_model_name"],
+        evaluations=[CandidateEvaluation(**e) for e in data["evaluations"]],
+    )
+
+
+def save_bundle(bundle: InstallationBundle, directory: str | Path) -> Path:
+    """Write an installation bundle to ``directory`` and return that path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    routines_meta: Dict[str, dict] = {}
+    for routine, installation in bundle.routines.items():
+        predictor = installation.predictor
+        model_path = directory / f"{routine}.model.pkl"
+        with open(model_path, "wb") as handle:
+            pickle.dump(predictor.model, handle)
+        routines_meta[routine] = {
+            "model_file": model_path.name,
+            "model_name": predictor.model_name,
+            "candidate_threads": list(predictor.candidate_threads),
+            "preprocessing": predictor.pipeline.to_config().to_dict(),
+            "selection": _selection_to_dict(installation.selection),
+            "dataset": installation.dataset.to_dict(),
+            "test_shapes": [dict(s) for s in installation.test_shapes],
+        }
+
+    manifest = {
+        "format_version": 1,
+        "platform": bundle.platform.name,
+        "settings": bundle.settings,
+        "candidate_names": list(bundle.candidate_names),
+        "routines": routines_meta,
+    }
+    with open(directory / _BUNDLE_FILE, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return directory
+
+
+def load_bundle(directory: str | Path) -> InstallationBundle:
+    """Load a bundle previously written by :func:`save_bundle`."""
+    directory = Path(directory)
+    manifest_path = directory / _BUNDLE_FILE
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"No {_BUNDLE_FILE} found in {directory}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+
+    platform = get_platform(manifest["platform"])
+    settings = manifest.get("settings", {})
+    simulator = TimingSimulator(
+        platform,
+        seed=int(settings.get("seed", 0)),
+        noise_level=float(settings.get("noise_level", 0.04)),
+    )
+    bundle = InstallationBundle(
+        platform=platform,
+        simulator=simulator,
+        candidate_names=list(manifest.get("candidate_names", [])),
+        settings=settings,
+    )
+
+    for routine, meta in manifest["routines"].items():
+        with open(directory / meta["model_file"], "rb") as handle:
+            model = pickle.load(handle)
+        pipeline = PreprocessingPipeline.from_config(meta["preprocessing"])
+        predictor = ThreadPredictor(
+            routine=routine,
+            pipeline=pipeline,
+            model=model,
+            candidate_threads=meta["candidate_threads"],
+            model_name=meta["model_name"],
+        )
+        bundle.routines[routine] = RoutineInstallation(
+            routine=routine,
+            predictor=predictor,
+            selection=_selection_from_dict(meta["selection"]),
+            dataset=TimingDataset.from_dict(meta["dataset"]),
+            test_shapes=[dict(s) for s in meta.get("test_shapes", [])],
+        )
+    return bundle

@@ -1,0 +1,148 @@
+"""Runtime thread-count prediction (paper Fig. 1b, "Parameter Predictor").
+
+For a given BLAS call the predictor evaluates the trained runtime model at
+every admissible thread count and returns the argmin (paper Section IV-A).
+Identical back-to-back calls skip the model evaluation entirely through the
+last-call cache (Section III-B).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.features import feature_matrix_for_threads, feature_names
+from repro.ml.base import BaseRegressor
+from repro.preprocessing.pipeline import PreprocessingPipeline
+
+__all__ = ["PredictionPlan", "ThreadPredictor"]
+
+
+@dataclass(frozen=True)
+class PredictionPlan:
+    """Result of one thread-count prediction."""
+
+    routine: str
+    dims: Dict[str, int]
+    threads: int
+    predicted_time: float
+    from_cache: bool
+
+
+class ThreadPredictor:
+    """Predict the optimal thread count for one BLAS routine.
+
+    Parameters
+    ----------
+    routine:
+        Routine key, e.g. ``"dsyrk"``.
+    pipeline:
+        Fitted preprocessing pipeline (Yeo-Johnson + correlation filter).
+    model:
+        Fitted runtime-regression model.
+    candidate_threads:
+        Thread counts the predictor is allowed to choose between (usually
+        ``platform.candidate_thread_counts()``).
+    model_name:
+        Name of the winning candidate (for reporting).
+    """
+
+    def __init__(
+        self,
+        routine: str,
+        pipeline: PreprocessingPipeline,
+        model: BaseRegressor,
+        candidate_threads: Sequence[int],
+        model_name: str = "unknown",
+    ):
+        candidate_threads = sorted({int(t) for t in candidate_threads})
+        if not candidate_threads:
+            raise ValueError("candidate_threads must not be empty")
+        if candidate_threads[0] < 1:
+            raise ValueError("candidate thread counts must be positive")
+        self.routine = routine
+        self.pipeline = pipeline
+        self.model = model
+        self.candidate_threads = candidate_threads
+        self.model_name = model_name
+        self.feature_names = feature_names(routine)
+        self._cache_key: tuple | None = None
+        self._cache_plan: PredictionPlan | None = None
+        self.n_model_evaluations = 0
+        self.n_cache_hits = 0
+
+    # -- prediction -------------------------------------------------------------
+    def predict_runtimes(self, dims: Dict[str, int]) -> np.ndarray:
+        """Predicted runtime for every candidate thread count (no caching)."""
+        X = feature_matrix_for_threads(
+            self.routine, dims, np.asarray(self.candidate_threads)
+        )
+        transformed = self.pipeline.transform(X)
+        self.n_model_evaluations += 1
+        return np.asarray(self.model.predict(transformed), dtype=float)
+
+    def plan(self, dims: Dict[str, int], use_cache: bool = True) -> PredictionPlan:
+        """Choose the thread count with the smallest predicted runtime.
+
+        Consecutive calls with identical dimensions are served from the
+        last-call cache without re-evaluating the model.
+        """
+        key = (tuple(sorted(dims.items())),)
+        if use_cache and self._cache_key == key and self._cache_plan is not None:
+            self.n_cache_hits += 1
+            return PredictionPlan(
+                routine=self._cache_plan.routine,
+                dims=self._cache_plan.dims,
+                threads=self._cache_plan.threads,
+                predicted_time=self._cache_plan.predicted_time,
+                from_cache=True,
+            )
+        runtimes = self.predict_runtimes(dims)
+        best_idx = int(np.argmin(runtimes))
+        plan = PredictionPlan(
+            routine=self.routine,
+            dims=dict(dims),
+            threads=self.candidate_threads[best_idx],
+            predicted_time=float(runtimes[best_idx]),
+            from_cache=False,
+        )
+        self._cache_key = key
+        self._cache_plan = plan
+        return plan
+
+    def predict_threads(self, dims: Dict[str, int], use_cache: bool = True) -> int:
+        """Convenience wrapper returning only the chosen thread count."""
+        return self.plan(dims, use_cache=use_cache).threads
+
+    def clear_cache(self) -> None:
+        self._cache_key = None
+        self._cache_plan = None
+
+    # -- evaluation-cost measurement ------------------------------------------------
+    def measure_eval_time(
+        self, dims: Dict[str, int] | None = None, repeats: int = 5
+    ) -> float:
+        """Average wall-clock seconds of one full prediction (paper's t_eval).
+
+        The measurement includes feature construction, preprocessing and the
+        model evaluation over all candidate thread counts, exactly what a
+        runtime call pays before the BLAS kernel starts.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        if dims is None:
+            # A mid-sized representative problem.
+            from repro.blas.api import parse_routine
+
+            _, _, spec = parse_routine(self.routine)
+            dims = {name: 1024 for name in spec.dim_names}
+        # One warm-up evaluation so one-off allocation / import costs do not
+        # count against the model.
+        self.predict_runtimes(dims)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            self.predict_runtimes(dims)
+        return (time.perf_counter() - start) / repeats

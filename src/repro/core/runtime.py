@@ -1,0 +1,196 @@
+"""The ADSALA runtime library (paper Fig. 1b).
+
+Two entry points:
+
+* :class:`AdsalaRuntime` — thin planner: given a routine and its matrix
+  dimensions it returns the predicted-optimal thread count (using the
+  per-routine :class:`~repro.core.predictor.ThreadPredictor` with its
+  last-call cache) and the simulator's estimate of the time saved.
+* :class:`AdsalaBlas` — a drop-in BLAS front-end: ``gemm``/``symm``/...
+  methods accept NumPy operands, plan the thread count from the operand
+  shapes and execute the call with the blocked multi-threaded substrate,
+  capping the worker count at the locally available cores.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.blas.api import parse_routine
+from repro.blas.threaded import ThreadedBlas
+from repro.core.install import InstallationBundle
+from repro.core.predictor import PredictionPlan
+
+__all__ = ["ExecutionPlan", "AdsalaRuntime", "AdsalaBlas"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A planned BLAS call: chosen thread count plus simulator estimates."""
+
+    routine: str
+    dims: Dict[str, int]
+    threads: int
+    predicted_time: float
+    baseline_time: float
+    from_cache: bool
+
+    @property
+    def estimated_speedup(self) -> float:
+        if self.predicted_time <= 0:
+            return float("inf")
+        return self.baseline_time / self.predicted_time
+
+
+class AdsalaRuntime:
+    """Plan thread counts for BLAS calls using an installation bundle."""
+
+    def __init__(self, bundle: InstallationBundle):
+        self.bundle = bundle
+        self.platform = bundle.platform
+        self.simulator = bundle.simulator
+        self.calls_planned = 0
+
+    def plan(self, routine: str, use_cache: bool = True, **dims: int) -> ExecutionPlan:
+        """Plan one call: predicted-optimal threads + estimated speedup.
+
+        If the requested precision of a routine was not installed but the
+        other precision was (e.g. ``sgemm`` requested, only ``dgemm``
+        trained), the available predictor is used as a fallback — the
+        runtime-vs-threads structure of the two precisions is close enough
+        for a sensible plan, and refusing the call would be worse.
+        """
+        prefix, base, spec = parse_routine(routine)
+        key = prefix + base
+        dims = spec.dims_from_args(**dims)
+        if key not in self.bundle.routines:
+            fallback = ("d" if prefix == "s" else "s") + base
+            if fallback in self.bundle.routines:
+                key = fallback
+        predictor = self.bundle.predictor(key)
+        plan: PredictionPlan = predictor.plan(dims, use_cache=use_cache)
+        predicted_time = self.simulator.time(key, dims, plan.threads)
+        baseline_time = self.simulator.time_at_max_threads(key, dims)
+        self.calls_planned += 1
+        return ExecutionPlan(
+            routine=key,
+            dims=dims,
+            threads=plan.threads,
+            predicted_time=predicted_time,
+            baseline_time=baseline_time,
+            from_cache=plan.from_cache,
+        )
+
+    def cache_statistics(self) -> Dict[str, int]:
+        """Aggregate model-evaluation / cache-hit counters across routines."""
+        evaluations = 0
+        hits = 0
+        for installation in self.bundle.routines.values():
+            evaluations += installation.predictor.n_model_evaluations
+            hits += installation.predictor.n_cache_hits
+        return {"model_evaluations": evaluations, "cache_hits": hits}
+
+
+class AdsalaBlas:
+    """BLAS Level 3 front-end with ML-selected thread counts.
+
+    Parameters
+    ----------
+    bundle:
+        The installation bundle for the target platform.
+    execution_thread_cap:
+        Maximum number of worker threads actually spawned when executing a
+        call locally.  Defaults to the local CPU count: the *planned* thread
+        count refers to the modelled platform (e.g. 96 threads on Gadi) and
+        is reported in the plan, while local execution clamps to what the
+        host can run.
+    tile:
+        Tile size for the blocked execution substrate.
+    """
+
+    def __init__(
+        self,
+        bundle: InstallationBundle,
+        execution_thread_cap: int | None = None,
+        tile: int = 256,
+    ):
+        self.runtime = AdsalaRuntime(bundle)
+        if execution_thread_cap is None:
+            execution_thread_cap = os.cpu_count() or 1
+        if execution_thread_cap < 1:
+            raise ValueError("execution_thread_cap must be at least 1")
+        self.execution_thread_cap = execution_thread_cap
+        self.tile = tile
+        self.last_plan: ExecutionPlan | None = None
+
+    # -- planning --------------------------------------------------------------
+    def plan(self, routine: str, **dims: int) -> ExecutionPlan:
+        plan = self.runtime.plan(routine, **dims)
+        self.last_plan = plan
+        return plan
+
+    def _executor(self, plan: ExecutionPlan) -> ThreadedBlas:
+        threads = min(plan.threads, self.execution_thread_cap)
+        return ThreadedBlas(n_threads=max(1, threads), tile=self.tile)
+
+    @staticmethod
+    def _precision_of(*arrays: np.ndarray) -> str:
+        return "s" if all(np.asarray(a).dtype == np.float32 for a in arrays) else "d"
+
+    # -- BLAS front-end ------------------------------------------------------------
+    def gemm(self, A, B, C=None, alpha=1.0, beta=0.0) -> np.ndarray:
+        A = np.asarray(A)
+        B = np.asarray(B)
+        precision = self._precision_of(A, B)
+        plan = self.plan(
+            precision + "gemm", m=A.shape[0], k=A.shape[1], n=B.shape[1]
+        )
+        return self._executor(plan).gemm(A, B, C=C, alpha=alpha, beta=beta)
+
+    def symm(self, A, B, C=None, alpha=1.0, beta=0.0, lower=True) -> np.ndarray:
+        A = np.asarray(A)
+        B = np.asarray(B)
+        precision = self._precision_of(A, B)
+        plan = self.plan(precision + "symm", m=A.shape[0], n=B.shape[1])
+        return self._executor(plan).symm(A, B, C=C, alpha=alpha, beta=beta, lower=lower)
+
+    def syrk(self, A, C=None, alpha=1.0, beta=0.0, trans=False, lower=True) -> np.ndarray:
+        A = np.asarray(A)
+        precision = self._precision_of(A)
+        n, k = (A.shape[1], A.shape[0]) if trans else (A.shape[0], A.shape[1])
+        plan = self.plan(precision + "syrk", n=n, k=k)
+        return self._executor(plan).syrk(
+            A, C=C, alpha=alpha, beta=beta, trans=trans, lower=lower
+        )
+
+    def syr2k(self, A, B, C=None, alpha=1.0, beta=0.0, trans=False, lower=True) -> np.ndarray:
+        A = np.asarray(A)
+        B = np.asarray(B)
+        precision = self._precision_of(A, B)
+        n, k = (A.shape[1], A.shape[0]) if trans else (A.shape[0], A.shape[1])
+        plan = self.plan(precision + "syr2k", n=n, k=k)
+        return self._executor(plan).syr2k(
+            A, B, C=C, alpha=alpha, beta=beta, trans=trans, lower=lower
+        )
+
+    def trmm(self, A, B, alpha=1.0, lower=True, transa=False, unit_diag=False) -> np.ndarray:
+        A = np.asarray(A)
+        B = np.asarray(B)
+        precision = self._precision_of(A, B)
+        plan = self.plan(precision + "trmm", m=A.shape[0], n=B.shape[1])
+        return self._executor(plan).trmm(
+            A, B, alpha=alpha, lower=lower, transa=transa, unit_diag=unit_diag
+        )
+
+    def trsm(self, A, B, alpha=1.0, lower=True, transa=False, unit_diag=False) -> np.ndarray:
+        A = np.asarray(A)
+        B = np.asarray(B)
+        precision = self._precision_of(A, B)
+        plan = self.plan(precision + "trsm", m=A.shape[0], n=B.shape[1])
+        return self._executor(plan).trsm(
+            A, B, alpha=alpha, lower=lower, transa=transa, unit_diag=unit_diag
+        )

@@ -1,0 +1,78 @@
+"""Installation-time hyper-parameter tuning (paper Fig. 1a, "Hyper-Parameters Tuning").
+
+Every candidate model can be tuned with a small grid search before the model
+selection stage compares them.  Tuning is optional — the default grids in
+:mod:`repro.ml.model_zoo` are already reasonable for the ~10^3-row datasets
+the gatherer produces — and is therefore controlled by a flag on
+:func:`repro.core.install.install_adsala`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.ml.base import BaseRegressor, clone
+from repro.ml.model_selection import GridSearchCV
+from repro.ml.model_zoo import default_param_grid, make_model
+
+__all__ = ["TuningResult", "tune_model", "fit_candidate"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning one candidate model."""
+
+    model_name: str
+    best_params: Dict[str, object]
+    cv_score: float
+    model: BaseRegressor
+
+
+def tune_model(
+    model_name: str,
+    X: np.ndarray,
+    y: np.ndarray,
+    cv: int = 3,
+    param_grid: Dict[str, list] | None = None,
+) -> TuningResult:
+    """Grid-search the model's default (or supplied) hyper-parameter grid.
+
+    Models with an empty grid (LinearRegression, BayesianRidge) are simply
+    fitted once.
+    """
+    estimator = make_model(model_name)
+    grid = default_param_grid(model_name) if param_grid is None else param_grid
+    if not grid:
+        fitted = clone(estimator)
+        fitted.fit(X, y)
+        return TuningResult(
+            model_name=model_name, best_params={}, cv_score=float("nan"), model=fitted
+        )
+    search = GridSearchCV(estimator=estimator, param_grid=grid, cv=cv)
+    search.fit(X, y)
+    return TuningResult(
+        model_name=model_name,
+        best_params=search.best_params_,
+        cv_score=search.best_score_,
+        model=search.best_estimator_,
+    )
+
+
+def fit_candidate(
+    model_name: str,
+    X: np.ndarray,
+    y: np.ndarray,
+    tune: bool = False,
+    cv: int = 3,
+) -> TuningResult:
+    """Fit one candidate, tuning it first when ``tune`` is requested."""
+    if tune:
+        return tune_model(model_name, X, y, cv=cv)
+    model = make_model(model_name)
+    model.fit(X, y)
+    return TuningResult(
+        model_name=model_name, best_params={}, cv_score=float("nan"), model=model
+    )

@@ -1,0 +1,54 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each paper artefact has a dedicated driver in :mod:`repro.harness.experiments`
+(returning plain row dicts / numpy grids) plus text formatting helpers in
+:mod:`repro.harness.tables` and heatmap helpers in
+:mod:`repro.harness.figures`.  The ``benchmarks/`` directory wires each
+driver into a pytest-benchmark target, and the ``adsala bench`` CLI
+sub-command prints the same rows from the command line.
+"""
+
+from repro.harness.tables import format_table, format_markdown_table
+from repro.harness.experiments import (
+    ExperimentConfig,
+    QUICK_CONFIG,
+    PAPER_CONFIG,
+    get_bundle,
+    table1_routine_specs,
+    table2_model_catalog,
+    table3_features,
+    table4_model_selection_setonix,
+    table5_model_selection_gadi,
+    table6_model_statistics,
+    table7_speedup_statistics,
+    table8_profiling,
+)
+from repro.harness.figures import (
+    HeatmapGrid,
+    optimal_threads_heatmap,
+    gemm_optimal_threads_heatmap,
+    speedup_heatmap,
+    render_heatmap_ascii,
+)
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "ExperimentConfig",
+    "QUICK_CONFIG",
+    "PAPER_CONFIG",
+    "get_bundle",
+    "table1_routine_specs",
+    "table2_model_catalog",
+    "table3_features",
+    "table4_model_selection_setonix",
+    "table5_model_selection_gadi",
+    "table6_model_statistics",
+    "table7_speedup_statistics",
+    "table8_profiling",
+    "HeatmapGrid",
+    "optimal_threads_heatmap",
+    "gemm_optimal_threads_heatmap",
+    "speedup_heatmap",
+    "render_heatmap_ascii",
+]

@@ -1,0 +1,350 @@
+"""Drivers that regenerate each table of the paper's evaluation section.
+
+Every public ``tableN_*`` function returns a list of row dicts that can be
+printed with :func:`repro.harness.tables.format_table`.  Experiments that
+need a trained installation share bundles through :func:`get_bundle`, which
+caches one installation per (platform, configuration) pair so that the
+benchmark suite does not retrain for every table.
+
+Two presets are provided:
+
+* :data:`QUICK_CONFIG` — a scaled-down campaign (default for benchmarks and
+  CI) that reproduces the qualitative results in a couple of minutes;
+* :data:`PAPER_CONFIG` — the paper-scale campaign (~1100 training rows and
+  100+ test problems per routine); select it with
+  ``ADSALA_BENCH_PRESET=paper``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.blas.api import ROUTINE_KEYS, ROUTINE_SPECS, parse_routine
+from repro.core.evalcost import estimate_native_eval_time
+from repro.core.features import THREE_DIM_FEATURES, TWO_DIM_FEATURES
+from repro.core.gather import DataGatherer
+from repro.core.install import InstallationBundle, install_adsala
+from repro.harness.tables import summary_statistics
+from repro.machine.platforms import get_platform
+from repro.machine.profiler import profile_call
+from repro.machine.simulator import TimingSimulator
+from repro.ml.model_zoo import MODEL_CHARACTERISTICS
+
+__all__ = [
+    "ExperimentConfig",
+    "QUICK_CONFIG",
+    "PAPER_CONFIG",
+    "active_config",
+    "get_bundle",
+    "clear_bundle_cache",
+    "table1_routine_specs",
+    "table2_model_catalog",
+    "table3_features",
+    "table4_model_selection_setonix",
+    "table5_model_selection_gadi",
+    "table6_model_statistics",
+    "table7_speedup_statistics",
+    "table8_profiling",
+    "TABLE8_CASES",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs controlling the size of an experiment campaign."""
+
+    name: str
+    n_samples: int
+    threads_per_shape: int
+    n_test_shapes: int
+    candidate_models: tuple = (
+        "LinearRegression",
+        "ElasticNet",
+        "BayesianRidge",
+        "DecisionTree",
+        "RandomForest",
+        "AdaBoost",
+        "KNN",
+        "XGBoost",
+        "LightGBM",
+        "SVR",
+    )
+    tune_hyperparameters: bool = False
+    seed: int = 0
+
+
+QUICK_CONFIG = ExperimentConfig(
+    name="quick",
+    n_samples=56,
+    threads_per_shape=12,
+    n_test_shapes=40,
+    candidate_models=(
+        "LinearRegression",
+        "BayesianRidge",
+        "DecisionTree",
+        "RandomForest",
+        "KNN",
+        "XGBoost",
+    ),
+)
+
+PAPER_CONFIG = ExperimentConfig(
+    name="paper",
+    n_samples=80,
+    threads_per_shape=14,
+    n_test_shapes=110,
+)
+
+
+def active_config() -> ExperimentConfig:
+    """Preset selected by the ``ADSALA_BENCH_PRESET`` environment variable."""
+    preset = os.environ.get("ADSALA_BENCH_PRESET", "quick").lower()
+    if preset == "paper":
+        return PAPER_CONFIG
+    if preset == "quick":
+        return QUICK_CONFIG
+    raise ValueError(
+        f"Unknown ADSALA_BENCH_PRESET={preset!r}; expected 'quick' or 'paper'"
+    )
+
+
+_BUNDLE_CACHE: Dict[tuple, InstallationBundle] = {}
+
+
+def get_bundle(
+    platform_name: str,
+    routines: Sequence[str] | None = None,
+    config: ExperimentConfig | None = None,
+) -> InstallationBundle:
+    """Install (or fetch from cache) ADSALA for the requested routines."""
+    config = config or active_config()
+    routines = tuple(sorted(routines)) if routines is not None else tuple(ROUTINE_KEYS)
+    key = (platform_name, routines, config.name, config.seed)
+    if key in _BUNDLE_CACHE:
+        return _BUNDLE_CACHE[key]
+    bundle = install_adsala(
+        platform=get_platform(platform_name),
+        routines=list(routines),
+        n_samples=config.n_samples,
+        threads_per_shape=config.threads_per_shape,
+        n_test_shapes=config.n_test_shapes,
+        candidate_models=list(config.candidate_models),
+        tune_hyperparameters=config.tune_hyperparameters,
+        seed=config.seed,
+    )
+    _BUNDLE_CACHE[key] = bundle
+    return bundle
+
+
+def clear_bundle_cache() -> None:
+    _BUNDLE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Static tables (I-III)
+# ---------------------------------------------------------------------------
+def table1_routine_specs() -> List[Dict[str, object]]:
+    """Paper Table I: operand shapes and types of the six L3 routines."""
+    rows = []
+    for name, spec in ROUTINE_SPECS.items():
+        row: Dict[str, object] = {
+            "routine": name.upper(),
+            "dims": spec.n_dims,
+        }
+        for operand in spec.operands:
+            row[f"{operand.name}_shape"] = "x".join(operand.shape)
+            row[f"{operand.name}_type"] = operand.kind
+        rows.append(row)
+    return rows
+
+
+def table2_model_catalog() -> List[Dict[str, object]]:
+    """Paper Table II: candidate-model characteristics."""
+    rows = []
+    for name, traits in MODEL_CHARACTERISTICS.items():
+        rows.append(
+            {
+                "model": name,
+                "category": traits["category"],
+                "parametric": "Yes" if traits["parametric"] else "No",
+                "good_with_imbalance": "Yes" if traits["good_with_imbalance"] else "No",
+                "data_size_requirement": traits["data_size_requirement"],
+            }
+        )
+    return rows
+
+
+def table3_features() -> List[Dict[str, object]]:
+    """Paper Table III: feature lists for three- and two-dimension routines."""
+    rows = []
+    longest = max(len(THREE_DIM_FEATURES), len(TWO_DIM_FEATURES))
+    for i in range(longest):
+        rows.append(
+            {
+                "index": i + 1,
+                "three_dimensions": THREE_DIM_FEATURES[i]
+                if i < len(THREE_DIM_FEATURES)
+                else "",
+                "two_dimensions": TWO_DIM_FEATURES[i]
+                if i < len(TWO_DIM_FEATURES)
+                else "",
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Model-selection tables (IV-VI)
+# ---------------------------------------------------------------------------
+def _model_selection_rows(platform_name: str, routines, config) -> List[Dict[str, object]]:
+    bundle = get_bundle(platform_name, routines, config)
+    rows = []
+    for routine in sorted(bundle.routines):
+        installation = bundle.routines[routine]
+        best = installation.selection.best_evaluation
+        rows.append(
+            {
+                "subroutine": routine,
+                "best_model": installation.best_model_name,
+                "estimated_mean_speedup": round(best.estimated_mean_speedup, 2),
+                "estimated_aggregate_speedup": round(best.estimated_aggregate_speedup, 2),
+            }
+        )
+    return rows
+
+
+def table4_model_selection_setonix(
+    routines: Sequence[str] | None = None, config: ExperimentConfig | None = None
+) -> List[Dict[str, object]]:
+    """Paper Table IV: best model per subroutine on Setonix."""
+    return _model_selection_rows("setonix", routines, config)
+
+
+def table5_model_selection_gadi(
+    routines: Sequence[str] | None = None, config: ExperimentConfig | None = None
+) -> List[Dict[str, object]]:
+    """Paper Table V: best model per subroutine on Gadi."""
+    return _model_selection_rows("gadi", routines, config)
+
+
+#: The four routines the paper details in Table VI.
+TABLE6_ROUTINES = ("dgemm", "dsymm", "ssyrk", "strsm")
+
+
+def table6_model_statistics(
+    platform_name: str = "gadi",
+    routines: Sequence[str] = TABLE6_ROUTINES,
+    config: ExperimentConfig | None = None,
+    reuse_full_bundle: bool = True,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Paper Table VI: per-candidate statistics for selected routines on Gadi.
+
+    Returns a mapping routine -> rows (one row per candidate model with
+    normalised RMSE, ideal/estimated speedups and evaluation time).  By
+    default the full 12-routine installation bundle is reused (it is shared
+    with Tables IV/V/VII); pass ``reuse_full_bundle=False`` to install only
+    the requested routines.
+    """
+    bundle_routines = None if reuse_full_bundle else routines
+    bundle = get_bundle(platform_name, bundle_routines, config)
+    result: Dict[str, List[Dict[str, object]]] = {}
+    for routine in routines:
+        report = bundle.routines[routine].selection
+        result[routine] = report.as_rows()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table VII: speedup statistics on held-out problems
+# ---------------------------------------------------------------------------
+def table7_speedup_statistics(
+    platform_name: str,
+    routines: Sequence[str] | None = None,
+    config: ExperimentConfig | None = None,
+    include_eval_time: bool = True,
+) -> List[Dict[str, object]]:
+    """Paper Table VII: per-routine speedup statistics versus max threads.
+
+    For every held-out problem the ADSALA-chosen thread count is timed by
+    the simulator, the native model-evaluation cost is added (the paper's
+    speedups "include the model evaluation time during runtime"), and the
+    ratio against the maximum-thread baseline is summarised.
+    """
+    config = config or active_config()
+    if routines is None:
+        routines = ROUTINE_KEYS
+    bundle = get_bundle(platform_name, routines, config)
+    simulator = bundle.simulator
+    rows = []
+    for routine in sorted(bundle.routines):
+        installation = bundle.routines[routine]
+        predictor = installation.predictor
+        eval_time = (
+            estimate_native_eval_time(
+                predictor.model,
+                n_candidates=len(predictor.candidate_threads),
+                n_features=predictor.pipeline.n_features_out_,
+            )
+            if include_eval_time
+            else 0.0
+        )
+        speedups = []
+        for dims in installation.test_shapes:
+            threads = predictor.predict_threads(dims, use_cache=False)
+            chosen = simulator.time(routine, dims, threads) + eval_time
+            baseline = simulator.time_at_max_threads(routine, dims)
+            speedups.append(baseline / chosen)
+        stats = summary_statistics(speedups)
+        row: Dict[str, object] = {"subroutine": routine, "model": predictor.model_name}
+        row.update({k: round(v, 2) for k, v in stats.items()})
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table VIII: profiling breakdown
+# ---------------------------------------------------------------------------
+#: Problem sizes profiled in the paper's Table VIII (routine, dims).
+TABLE8_CASES = (
+    ("dgemm", {"m": 64, "k": 2048, "n": 64}),
+    ("sgemm", {"m": 64, "k": 2048, "n": 64}),
+    ("dsymm", {"m": 248, "n": 39944}),
+    ("ssymm", {"m": 2759, "n": 41681}),
+    ("dsyrk", {"n": 124, "k": 160163}),
+    ("ssyrk", {"n": 175, "k": 15095}),
+)
+
+
+def table8_profiling(
+    platform_name: str = "gadi",
+    repeats: int = 100,
+    config: ExperimentConfig | None = None,
+    reuse_full_bundle: bool = True,
+) -> List[Dict[str, object]]:
+    """Paper Table VIII: copy/sync/kernel breakdown with and without ML.
+
+    Each case is profiled twice: at the platform's maximum thread count
+    ("no ML") and at the thread count chosen by the trained predictor
+    ("with ML"), accumulating ``repeats`` consecutive calls as in the paper.
+    """
+    config = config or active_config()
+    routines = sorted({routine for routine, _ in TABLE8_CASES})
+    bundle_routines = None if reuse_full_bundle else routines
+    bundle = get_bundle(platform_name, bundle_routines, config)
+    simulator = bundle.simulator
+    platform = bundle.platform
+
+    rows = []
+    for routine, dims in TABLE8_CASES:
+        predictor = bundle.routines[routine].predictor
+        ml_threads = predictor.predict_threads(dims, use_cache=False)
+        for label, threads in (("no ML", platform.max_threads), ("with ML", ml_threads)):
+            record = profile_call(simulator, routine, dims, threads, repeats=repeats)
+            row = record.as_row()
+            row["case"] = f"{row['case']} {label}"
+            rows.append(row)
+    return rows

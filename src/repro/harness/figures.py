@@ -1,0 +1,218 @@
+"""Heatmap data generators for the paper's Figures 4-7.
+
+The paper's figures are 2-D heatmaps over matrix-dimension space (square-root
+scaled axes) colouring either the optimal thread count (Figs. 4-5) or the
+achieved speedup (Figs. 6-7).  These helpers produce the underlying grids as
+NumPy arrays plus an ASCII rendering so the benchmarks can regenerate the
+figures without a plotting dependency; the grids can be dumped to ``.npz``
+for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.blas.api import parse_routine
+from repro.blas.flops import memory_bytes
+from repro.core.predictor import ThreadPredictor
+from repro.machine.simulator import TimingSimulator
+
+__all__ = [
+    "HeatmapGrid",
+    "sqrt_axis",
+    "optimal_threads_heatmap",
+    "gemm_optimal_threads_heatmap",
+    "speedup_heatmap",
+    "render_heatmap_ascii",
+]
+
+
+@dataclass
+class HeatmapGrid:
+    """A 2-D grid of values over two matrix dimensions."""
+
+    routine: str
+    platform: str
+    x_name: str
+    y_name: str
+    x_values: np.ndarray
+    y_values: np.ndarray
+    values: np.ndarray  # shape (len(y_values), len(x_values)), NaN = infeasible
+    quantity: str
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flatten to row dicts (one per feasible grid cell)."""
+        rows = []
+        for i, y in enumerate(self.y_values):
+            for j, x in enumerate(self.x_values):
+                value = self.values[i, j]
+                if np.isnan(value):
+                    continue
+                rows.append(
+                    {
+                        self.x_name: int(x),
+                        self.y_name: int(y),
+                        self.quantity: float(value),
+                    }
+                )
+        return rows
+
+    def save_npz(self, path) -> None:
+        np.savez(
+            path,
+            x_values=self.x_values,
+            y_values=self.y_values,
+            values=self.values,
+            routine=self.routine,
+            platform=self.platform,
+            quantity=self.quantity,
+        )
+
+
+def sqrt_axis(min_value: int, max_value: int, n_points: int) -> np.ndarray:
+    """Grid points spaced uniformly on a square-root scale (paper's axes)."""
+    if n_points < 2:
+        raise ValueError("n_points must be at least 2")
+    if not 0 < min_value < max_value:
+        raise ValueError("require 0 < min_value < max_value")
+    roots = np.linspace(np.sqrt(min_value), np.sqrt(max_value), n_points)
+    return np.unique(np.round(roots ** 2).astype(int))
+
+
+def _grid_axes(
+    routine: str,
+    memory_cap_bytes: float,
+    min_dim: int,
+    n_points: int,
+    third_dim: int | None,
+) -> tuple[List[str], np.ndarray, np.ndarray]:
+    prefix, base, spec = parse_routine(routine)
+    itemsize = 4 if prefix == "s" else 8
+    cap_words = memory_cap_bytes / itemsize
+    if spec.n_dims == 3:
+        if third_dim is None:
+            raise ValueError("three-dimension routines need third_dim (the k value)")
+        names = ["m", "n"]
+        edge = int(np.sqrt(cap_words / 3))
+    else:
+        names = list(spec.dim_names)
+        edge = int(np.sqrt(cap_words / 3))
+    axis = sqrt_axis(min_dim, max(edge, min_dim * 4), n_points)
+    return names, axis, axis
+
+
+def _cell_dims(routine: str, names, x: int, y: int, third_dim: int | None) -> Dict[str, int]:
+    _, _, spec = parse_routine(routine)
+    if spec.n_dims == 3:
+        return {"m": int(y), "n": int(x), "k": int(third_dim)}
+    return {names[0]: int(y), names[1]: int(x)}
+
+
+def optimal_threads_heatmap(
+    routine: str,
+    simulator: TimingSimulator,
+    n_points: int = 10,
+    memory_cap_bytes: float = 500e6,
+    min_dim: int = 32,
+    third_dim: int | None = None,
+) -> HeatmapGrid:
+    """Figure 4/5 data: oracle-optimal thread count over dimension space.
+
+    Cells whose operands exceed the memory cap are NaN (infeasible), which
+    reproduces the empty upper-right corners of the paper's heatmaps.
+    """
+    names, x_axis, y_axis = _grid_axes(routine, memory_cap_bytes, min_dim, n_points, third_dim)
+    values = np.full((len(y_axis), len(x_axis)), np.nan)
+    for i, y in enumerate(y_axis):
+        for j, x in enumerate(x_axis):
+            dims = _cell_dims(routine, names, int(x), int(y), third_dim)
+            if memory_bytes(routine, dims) > memory_cap_bytes:
+                continue
+            values[i, j] = simulator.best_threads(routine, dims)
+    _, _, spec = parse_routine(routine)
+    x_name = "n" if spec.n_dims == 3 else names[1]
+    y_name = "m" if spec.n_dims == 3 else names[0]
+    return HeatmapGrid(
+        routine=routine,
+        platform=simulator.platform.name,
+        x_name=x_name,
+        y_name=y_name,
+        x_values=x_axis,
+        y_values=y_axis,
+        values=values,
+        quantity="optimal_threads",
+    )
+
+
+def gemm_optimal_threads_heatmap(
+    routine: str,
+    simulator: TimingSimulator,
+    k: int = 2048,
+    n_points: int = 10,
+    memory_cap_bytes: float = 500e6,
+) -> HeatmapGrid:
+    """Figure 5 data: GEMM optimal thread count over (m, n) at fixed k."""
+    return optimal_threads_heatmap(
+        routine,
+        simulator,
+        n_points=n_points,
+        memory_cap_bytes=memory_cap_bytes,
+        third_dim=k,
+    )
+
+
+def speedup_heatmap(
+    routine: str,
+    simulator: TimingSimulator,
+    predictor: ThreadPredictor,
+    n_points: int = 10,
+    memory_cap_bytes: float = 500e6,
+    min_dim: int = 32,
+    third_dim: int | None = None,
+    eval_time: float = 0.0,
+) -> HeatmapGrid:
+    """Figure 6/7 data: ADSALA speedup over max threads across dimension space."""
+    names, x_axis, y_axis = _grid_axes(routine, memory_cap_bytes, min_dim, n_points, third_dim)
+    values = np.full((len(y_axis), len(x_axis)), np.nan)
+    for i, y in enumerate(y_axis):
+        for j, x in enumerate(x_axis):
+            dims = _cell_dims(routine, names, int(x), int(y), third_dim)
+            if memory_bytes(routine, dims) > memory_cap_bytes:
+                continue
+            threads = predictor.predict_threads(dims, use_cache=False)
+            chosen = simulator.time(routine, dims, threads) + eval_time
+            baseline = simulator.time_at_max_threads(routine, dims)
+            values[i, j] = baseline / chosen
+    _, _, spec = parse_routine(routine)
+    x_name = "n" if spec.n_dims == 3 else names[1]
+    y_name = "m" if spec.n_dims == 3 else names[0]
+    return HeatmapGrid(
+        routine=routine,
+        platform=simulator.platform.name,
+        x_name=x_name,
+        y_name=y_name,
+        x_values=x_axis,
+        y_values=y_axis,
+        values=values,
+        quantity="speedup",
+    )
+
+
+def render_heatmap_ascii(grid: HeatmapGrid, width: int = 6) -> str:
+    """Render a heatmap grid as fixed-width ASCII (NaN cells shown as '.')."""
+    lines = [
+        f"{grid.routine} on {grid.platform}: {grid.quantity} "
+        f"({grid.y_name} down, {grid.x_name} across)"
+    ]
+    header = " " * width + "".join(f"{int(x):>{width}}" for x in grid.x_values)
+    lines.append(header)
+    for i in range(len(grid.y_values) - 1, -1, -1):
+        cells = []
+        for j in range(len(grid.x_values)):
+            value = grid.values[i, j]
+            cells.append(" " * (width - 1) + "." if np.isnan(value) else f"{value:>{width}.1f}")
+        lines.append(f"{int(grid.y_values[i]):>{width}}" + "".join(cells))
+    return "\n".join(lines)

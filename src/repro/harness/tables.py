@@ -1,0 +1,80 @@
+"""Plain-text and Markdown table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "summary_statistics"]
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _normalise_rows(
+    rows: Sequence[Dict[str, object]], columns: Sequence[str] | None
+) -> tuple[List[str], List[List[str]]]:
+    if not rows:
+        raise ValueError("rows must not be empty")
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_stringify(row.get(col, "")) for col in columns] for row in rows]
+    return list(columns), table
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Format row dicts as an aligned fixed-width text table."""
+    columns, table = _normalise_rows(rows, columns)
+    widths = [
+        max(len(col), *(len(line[i]) for line in table)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Format row dicts as a GitHub-flavoured Markdown table."""
+    columns, table = _normalise_rows(rows, columns)
+    lines = ["| " + " | ".join(columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for line in table:
+        lines.append("| " + " | ".join(line) + " |")
+    return "\n".join(lines)
+
+
+def summary_statistics(values) -> Dict[str, float]:
+    """Mean/std/min/quartiles/max summary in the paper's Table VII layout."""
+    import numpy as np
+
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ValueError("values must not be empty")
+    return {
+        "mean": float(values.mean()),
+        "std": float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        "min": float(values.min()),
+        "25%": float(np.percentile(values, 25)),
+        "50%": float(np.percentile(values, 50)),
+        "75%": float(np.percentile(values, 75)),
+        "max": float(values.max()),
+    }

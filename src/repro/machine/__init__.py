@@ -1,0 +1,48 @@
+"""Hardware substrate: machine models and the timing simulator.
+
+The paper gathers its training data by timing real MKL/BLIS executions on
+two supercomputers (Setonix: 2x 64-core AMD EPYC Milan; Gadi: 2x 24-core
+Intel Cascade Lake).  Neither machine — nor a vendor BLAS with a freely
+settable thread count — is available in this reproduction environment, so
+this subpackage provides:
+
+* :mod:`repro.machine.topology` — a declarative machine description
+  (sockets, NUMA domains, cores, SMT, caches, memory channels),
+* :mod:`repro.machine.platforms` — presets for Setonix, Gadi and a small
+  generic "laptop" machine used in tests,
+* :mod:`repro.machine.perfmodel` — an analytic cost model decomposing a
+  multi-threaded BLAS L3 call into data-copy, thread-synchronisation and
+  kernel components (the same decomposition as the paper's Table VIII),
+* :mod:`repro.machine.simulator` — :class:`TimingSimulator`, which adds
+  reproducible noise and localized "abnormal patches" and acts as the
+  timing program of the ADSALA installation workflow,
+* :mod:`repro.machine.profiler` — profile records used to regenerate
+  Table VIII.
+"""
+
+from repro.machine.topology import MachineTopology, RoutineEfficiency
+from repro.machine.platforms import (
+    get_platform,
+    list_platforms,
+    SETONIX,
+    GADI,
+    LAPTOP,
+)
+from repro.machine.perfmodel import PerformanceModel, CostBreakdown
+from repro.machine.simulator import TimingSimulator
+from repro.machine.profiler import ProfileRecord, profile_call
+
+__all__ = [
+    "MachineTopology",
+    "RoutineEfficiency",
+    "get_platform",
+    "list_platforms",
+    "SETONIX",
+    "GADI",
+    "LAPTOP",
+    "PerformanceModel",
+    "CostBreakdown",
+    "TimingSimulator",
+    "ProfileRecord",
+    "profile_call",
+]

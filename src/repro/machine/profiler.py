@@ -1,0 +1,72 @@
+"""Profiling records mirroring the paper's Table VIII measurements.
+
+The paper profiles selected GEMM/SYMM/SYRK calls with Intel VTune/Advisor,
+repeating each call 100 times, and reports the wall-clock decomposition into
+total / thread-sync / kernel / data-copy time, with and without the ML
+thread selection.  :func:`profile_call` produces the same rows from the
+timing simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.machine.simulator import TimingSimulator
+
+__all__ = ["ProfileRecord", "profile_call"]
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One row of a Table VIII-style profile."""
+
+    routine: str
+    dims: Dict[str, int]
+    threads: int
+    repeats: int
+    total_seconds: float
+    sync_seconds: float
+    kernel_seconds: float
+    copy_seconds: float
+
+    @property
+    def other_seconds(self) -> float:
+        return self.total_seconds - (
+            self.sync_seconds + self.kernel_seconds + self.copy_seconds
+        )
+
+    def as_row(self) -> Dict[str, object]:
+        """Row dict matching the Table VIII column layout."""
+        dims_label = ",".join(str(v) for v in self.dims.values())
+        return {
+            "case": f"{self.routine} {dims_label}",
+            "threads": self.threads,
+            "total_s": round(self.total_seconds, 4),
+            "thread_sync_s": round(self.sync_seconds, 4),
+            "kernel_call_s": round(self.kernel_seconds, 4),
+            "data_copy_s": round(self.copy_seconds, 4),
+        }
+
+
+def profile_call(
+    simulator: TimingSimulator,
+    routine: str,
+    dims: Dict[str, int],
+    threads: int,
+    repeats: int = 100,
+) -> ProfileRecord:
+    """Profile ``repeats`` executions of one call at a fixed thread count."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    breakdown = simulator.breakdown(routine, dims, threads).scaled(repeats)
+    return ProfileRecord(
+        routine=routine,
+        dims=dict(dims),
+        threads=threads,
+        repeats=repeats,
+        total_seconds=breakdown.total,
+        sync_seconds=breakdown.sync,
+        kernel_seconds=breakdown.kernel,
+        copy_seconds=breakdown.copy,
+    )

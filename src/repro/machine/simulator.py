@@ -1,0 +1,201 @@
+"""Timing simulator: the "timing program" of the ADSALA installation workflow.
+
+:class:`TimingSimulator` wraps the analytic :class:`~repro.machine.perfmodel.PerformanceModel`
+with two effects observed in the paper's measured data:
+
+* **multiplicative noise** — run-to-run variation of real timings, modelled
+  as log-normal noise that is *deterministic* in (platform, routine, dims,
+  threads, seed) so that experiments are reproducible;
+* **abnormal patches** — the paper's heatmaps (Figs. 4-5) show localized
+  regions where the optimal thread count differs drastically from the
+  surrounding area (cache-set conflicts, alignment pathologies, ...).  The
+  simulator reproduces them by hashing each problem shape into a small
+  number of "patch cells" that receive an extra slowdown for a band of
+  thread counts.
+
+The simulator exposes the operations the ADSALA pipeline needs:
+``time``/``breakdown`` for a single configuration, ``sweep_threads`` for the
+full thread-count profile of one problem, and ``best_threads`` /
+``best_time`` for the oracle optimum used in evaluation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.blas.api import parse_routine
+from repro.machine.perfmodel import CostBreakdown, PerformanceModel
+from repro.machine.topology import MachineTopology
+
+__all__ = ["TimingSimulator", "ThreadSweep"]
+
+
+@dataclass
+class ThreadSweep:
+    """Runtime of one problem across every candidate thread count."""
+
+    routine: str
+    dims: Dict[str, int]
+    threads: np.ndarray
+    times: np.ndarray
+
+    @property
+    def best_index(self) -> int:
+        return int(np.argmin(self.times))
+
+    @property
+    def best_threads(self) -> int:
+        return int(self.threads[self.best_index])
+
+    @property
+    def best_time(self) -> float:
+        return float(self.times[self.best_index])
+
+    def time_at(self, threads: int) -> float:
+        matches = np.flatnonzero(self.threads == threads)
+        if matches.size == 0:
+            raise KeyError(f"Thread count {threads} not in sweep")
+        return float(self.times[matches[0]])
+
+
+class TimingSimulator:
+    """Deterministic, noisy timing source for one platform.
+
+    Parameters
+    ----------
+    platform:
+        Machine description (e.g. :data:`repro.machine.platforms.GADI`).
+    seed:
+        Base seed folded into every noise draw.
+    noise_level:
+        Sigma of the log-normal run-to-run noise (0 disables noise).
+    patch_probability:
+        Fraction of problem-shape cells that behave "abnormally".
+    patch_strength:
+        Maximum extra slowdown applied inside an abnormal patch.
+    """
+
+    def __init__(
+        self,
+        platform: MachineTopology,
+        seed: int = 0,
+        noise_level: float = 0.04,
+        patch_probability: float = 0.06,
+        patch_strength: float = 0.9,
+    ):
+        if noise_level < 0:
+            raise ValueError("noise_level must be non-negative")
+        if not 0.0 <= patch_probability < 1.0:
+            raise ValueError("patch_probability must be in [0, 1)")
+        self.platform = platform
+        self.model = PerformanceModel(platform)
+        self.seed = seed
+        self.noise_level = noise_level
+        self.patch_probability = patch_probability
+        self.patch_strength = patch_strength
+        self.n_evaluations = 0
+
+    # -- deterministic pseudo-randomness ---------------------------------------
+    def _hash_fraction(self, *parts) -> float:
+        """Uniform-in-[0,1) value derived from a stable hash of ``parts``."""
+        message = "|".join(str(p) for p in (self.platform.name, self.seed) + parts)
+        digest = hashlib.blake2b(message.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "little") / 2 ** 64
+
+    def _noise_factor(self, routine: str, dims: Dict[str, int], threads: int) -> float:
+        if self.noise_level == 0:
+            return 1.0
+        u1 = self._hash_fraction("noise1", routine, sorted(dims.items()), threads)
+        u2 = self._hash_fraction("noise2", routine, sorted(dims.items()), threads)
+        # Box-Muller transform -> standard normal -> log-normal factor.
+        u1 = min(max(u1, 1e-12), 1 - 1e-12)
+        gaussian = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+        return float(np.exp(self.noise_level * gaussian))
+
+    def _patch_factor(self, routine: str, dims: Dict[str, int], threads: int) -> float:
+        """Localized slowdown reproducing the paper's "abnormal areas"."""
+        if self.patch_probability == 0:
+            return 1.0
+        # Problems are grouped into coarse log-scale cells; a hash decides
+        # whether the cell is pathological and, if so, which thread band the
+        # pathology affects.
+        cell = tuple(int(np.log2(max(v, 1)) * 2) for v in dims.values())
+        draw = self._hash_fraction("patch", routine, cell)
+        if draw >= self.patch_probability:
+            return 1.0
+        band_center_frac = self._hash_fraction("patch-center", routine, cell)
+        band_center = 1 + band_center_frac * (self.platform.max_threads - 1)
+        band_width = max(2.0, 0.12 * self.platform.max_threads)
+        distance = abs(threads - band_center) / band_width
+        if distance > 1.0:
+            return 1.0
+        return 1.0 + self.patch_strength * (1.0 - distance)
+
+    # -- timing API --------------------------------------------------------------
+    def breakdown(self, routine: str, dims: Dict[str, int], threads: int) -> CostBreakdown:
+        """Noisy per-component breakdown of one call."""
+        _, _, spec = parse_routine(routine)
+        dims = spec.dims_from_args(**dims)
+        base = self.model.breakdown(routine, dims, threads)
+        factor = self._noise_factor(routine, dims, threads) * self._patch_factor(
+            routine, dims, threads
+        )
+        self.n_evaluations += 1
+        # Noise predominantly affects the overhead components; the FLOP work
+        # itself is stable run-to-run.
+        return CostBreakdown(
+            kernel=base.kernel * (1.0 + 0.3 * (factor - 1.0)),
+            copy=base.copy * factor,
+            sync=base.sync * factor,
+            other=base.other * factor,
+        )
+
+    def time(self, routine: str, dims: Dict[str, int], threads: int) -> float:
+        """Noisy total runtime (seconds) of one call."""
+        return self.breakdown(routine, dims, threads).total
+
+    def time_at_max_threads(self, routine: str, dims: Dict[str, int]) -> float:
+        """Runtime using the platform's maximum thread count (the baseline)."""
+        return self.time(routine, dims, self.platform.max_threads)
+
+    # -- sweeps -------------------------------------------------------------------
+    def sweep_threads(
+        self,
+        routine: str,
+        dims: Dict[str, int],
+        thread_counts: Sequence[int] | None = None,
+    ) -> ThreadSweep:
+        """Time one problem at every candidate thread count."""
+        if thread_counts is None:
+            thread_counts = self.platform.candidate_thread_counts()
+        thread_counts = np.asarray(list(thread_counts), dtype=int)
+        if thread_counts.size == 0:
+            raise ValueError("thread_counts must not be empty")
+        times = np.array(
+            [self.time(routine, dims, int(t)) for t in thread_counts], dtype=float
+        )
+        return ThreadSweep(
+            routine=routine, dims=dict(dims), threads=thread_counts, times=times
+        )
+
+    def best_threads(
+        self, routine: str, dims: Dict[str, int], thread_counts: Sequence[int] | None = None
+    ) -> int:
+        """Oracle-optimal thread count for one problem."""
+        return self.sweep_threads(routine, dims, thread_counts).best_threads
+
+    def best_time(
+        self, routine: str, dims: Dict[str, int], thread_counts: Sequence[int] | None = None
+    ) -> float:
+        """Oracle-optimal runtime for one problem."""
+        return self.sweep_threads(routine, dims, thread_counts).best_time
+
+    def speedup_vs_max_threads(
+        self, routine: str, dims: Dict[str, int], threads: int
+    ) -> float:
+        """Speedup of running with ``threads`` instead of the maximum count."""
+        return self.time_at_max_threads(routine, dims) / self.time(routine, dims, threads)

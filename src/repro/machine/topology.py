@@ -1,0 +1,186 @@
+"""Declarative description of a shared-memory multi-core machine.
+
+The topology captures exactly the architectural quantities the paper's
+Section V reports for its two experimentation platforms and that the
+performance model needs: socket count, cores per socket, SMT level, NUMA
+domains, last-level-cache organisation, memory channels and clock/FLOP
+rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["MachineTopology", "RoutineEfficiency"]
+
+
+@dataclass(frozen=True)
+class RoutineEfficiency:
+    """Per-routine tuning of the analytic cost model for one platform.
+
+    These factors encode how well the *baseline* BLAS implementation (MKL on
+    Gadi, BLIS on Setonix) handles each routine, which is what creates the
+    routine- and platform-dependent optimal-thread patterns of the paper's
+    Figs. 4-5.
+
+    Attributes
+    ----------
+    kernel_efficiency:
+        Fraction of peak FLOP rate the single-threaded kernel achieves on
+        large, square problems (GEMM is the most optimised routine, so it has
+        the highest value).
+    smt_yield:
+        Marginal throughput of a second hardware thread on an already-busy
+        core, between 0 (SMT useless) and 1 (SMT doubles throughput).  The
+        paper observes optimal thread counts *above* the physical core count
+        for SYRK/TRMM/TRSM on Setonix and *below* it on Gadi — this is the
+        knob that reproduces that contrast.
+    sync_factor:
+        Multiplier on the per-barrier synchronisation cost (poorly threaded
+        routines synchronise more).
+    copy_factor:
+        Multiplier on the packing/copy traffic (symmetric/triangular packing
+        moves more data per flop than GEMM packing).
+    parallel_fraction:
+        Fraction of the kernel work that actually parallelises (Amdahl);
+        routines with triangular/symmetric structure have inherently serial
+        panel factorisation portions.
+    saturation_threads:
+        Thread count beyond which the baseline implementation stops scaling
+        (its partitioning / bandwidth use saturates).  ``inf`` means the
+        routine scales to the full machine (GEMM).  The paper's heatmaps
+        (Fig. 4) show that MKL SYMM on Gadi effectively stops benefiting
+        from extra threads very early, which is where its large ADSALA
+        speedups come from.
+    oversaturation_penalty:
+        Relative kernel slowdown per doubling of the thread count beyond
+        ``saturation_threads`` (cache thrash / bandwidth contention).
+    """
+
+    kernel_efficiency: float = 0.80
+    smt_yield: float = 0.25
+    sync_factor: float = 1.0
+    copy_factor: float = 1.0
+    parallel_fraction: float = 0.99
+    saturation_threads: float = float("inf")
+    oversaturation_penalty: float = 0.0
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """A shared-memory compute node.
+
+    Attributes mirror the paper's platform descriptions (Section V-A).
+    """
+
+    name: str
+    vendor: str
+    cpu_model: str
+    sockets: int
+    cores_per_socket: int
+    smt: int
+    numa_domains: int
+    clock_ghz: float
+    flops_per_cycle: float            # per core, FMA-vector width dependent
+    l3_cache_mb_per_group: float
+    cores_per_cache_group: int
+    memory_channels_per_socket: int
+    memory_bandwidth_gbs_per_socket: float
+    memory_gb: float
+    baseline_blas: str
+    #: single-core copy bandwidth in GB/s (packing buffers are cache-friendly)
+    copy_bandwidth_gbs_per_core: float = 12.0
+    #: base cost (seconds) of one synchronisation/barrier episode per thread
+    sync_cost_per_thread: float = 4.0e-7
+    #: one-off cost (seconds) of waking a worker thread for a parallel region
+    fork_cost_per_thread: float = 1.2e-6
+    #: additional multiplier applied to barriers that cross the socket boundary
+    cross_socket_sync_penalty: float = 1.6
+    #: per-routine efficiency profile for the baseline BLAS on this machine
+    routine_profiles: Dict[str, RoutineEfficiency] = field(default_factory=dict)
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def physical_cores(self) -> int:
+        """Total number of physical cores in the node."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def max_threads(self) -> int:
+        """Maximum hardware threads (physical cores x SMT level).
+
+        This is the paper's definition of the "maximum number of threads"
+        baseline.
+        """
+        return self.physical_cores * self.smt
+
+    @property
+    def cores_per_numa(self) -> float:
+        return self.physical_cores / self.numa_domains
+
+    @property
+    def total_memory_bandwidth_gbs(self) -> float:
+        return self.sockets * self.memory_bandwidth_gbs_per_socket
+
+    @property
+    def peak_gflops_per_core(self) -> float:
+        """Peak double-precision GFLOP/s of one core."""
+        return self.clock_ghz * self.flops_per_cycle
+
+    @property
+    def peak_gflops(self) -> float:
+        """Node peak double-precision GFLOP/s."""
+        return self.peak_gflops_per_core * self.physical_cores
+
+    def candidate_thread_counts(self) -> List[int]:
+        """Admissible thread counts the ADSALA predictor ranks at runtime.
+
+        Every integer between 1 and :attr:`max_threads` — the paper's
+        predicted optima are arbitrary integers (5, 12, 25, 43, 46, ...), so
+        the candidate set must not be restricted to "nice" divisors.
+        """
+        return list(range(1, self.max_threads + 1))
+
+    def routine_profile(self, routine: str) -> RoutineEfficiency:
+        """Efficiency profile for a BLAS routine (falls back to defaults)."""
+        key = routine.lower()
+        # Strip the precision prefix (dgemm -> gemm) if present.
+        if key and key[0] in "sd" and key[1:] in self.routine_profiles:
+            key = key[1:]
+        return self.routine_profiles.get(key, RoutineEfficiency())
+
+    def validate(self) -> None:
+        """Sanity-check the topology; raises ``ValueError`` on inconsistency."""
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("sockets and cores_per_socket must be positive")
+        if self.smt < 1:
+            raise ValueError("smt level must be at least 1")
+        if self.numa_domains < self.sockets:
+            raise ValueError("numa_domains must be at least the socket count")
+        if self.numa_domains % self.sockets != 0:
+            raise ValueError("numa_domains must divide evenly across sockets")
+        if self.physical_cores % self.numa_domains != 0:
+            raise ValueError("cores must divide evenly across NUMA domains")
+        if self.clock_ghz <= 0 or self.flops_per_cycle <= 0:
+            raise ValueError("clock and flops_per_cycle must be positive")
+        if self.memory_bandwidth_gbs_per_socket <= 0:
+            raise ValueError("memory bandwidth must be positive")
+
+    def describe(self) -> str:
+        """Human-readable summary matching the paper's platform bullet lists."""
+        lines = [
+            f"{self.name}: {self.sockets}x {self.cpu_model} "
+            f"({self.cores_per_socket} cores/socket, {self.clock_ghz} GHz)",
+            f"  physical cores: {self.physical_cores}, SMT level {self.smt} "
+            f"-> up to {self.max_threads} threads",
+            f"  NUMA domains: {self.numa_domains} "
+            f"({self.numa_domains // self.sockets} per socket)",
+            f"  L3: {self.l3_cache_mb_per_group} MB per group of "
+            f"{self.cores_per_cache_group} cores",
+            f"  memory: {self.memory_gb} GB, "
+            f"{self.memory_channels_per_socket} channels/socket, "
+            f"{self.total_memory_bandwidth_gbs:.0f} GB/s aggregate",
+            f"  baseline BLAS: {self.baseline_blas.upper()}",
+        ]
+        return "\n".join(lines)

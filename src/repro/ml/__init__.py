@@ -1,0 +1,84 @@
+"""From-scratch machine-learning substrate used by the ADSALA reproduction.
+
+The paper evaluates ten candidate regressors (its Table II); none of the
+usual libraries (scikit-learn, XGBoost, LightGBM) are available offline, so
+this subpackage implements every candidate on top of NumPy:
+
+* :class:`~repro.ml.linear.LinearRegression`
+* :class:`~repro.ml.linear.Ridge`
+* :class:`~repro.ml.linear.ElasticNet`
+* :class:`~repro.ml.bayes.BayesianRidge`
+* :class:`~repro.ml.tree.DecisionTreeRegressor`
+* :class:`~repro.ml.forest.RandomForestRegressor`
+* :class:`~repro.ml.boosting.AdaBoostRegressor`
+* :class:`~repro.ml.boosting.GradientBoostingRegressor` (XGBoost-style)
+* :class:`~repro.ml.boosting.HistGradientBoostingRegressor` (LightGBM-style)
+* :class:`~repro.ml.neighbors.KNeighborsRegressor`
+* :class:`~repro.ml.svm.SVR`
+
+plus model-selection utilities (:mod:`repro.ml.model_selection`) and
+regression metrics (:mod:`repro.ml.metrics`).
+"""
+
+from repro.ml.base import BaseRegressor, clone
+from repro.ml.linear import LinearRegression, Ridge, ElasticNet
+from repro.ml.bayes import BayesianRidge
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.boosting import (
+    AdaBoostRegressor,
+    GradientBoostingRegressor,
+    HistGradientBoostingRegressor,
+)
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.svm import SVR
+from repro.ml.metrics import (
+    mean_squared_error,
+    root_mean_squared_error,
+    mean_absolute_error,
+    r2_score,
+    normalised_rmse,
+)
+from repro.ml.model_selection import (
+    KFold,
+    train_test_split,
+    stratified_train_test_split,
+    GridSearchCV,
+    cross_val_score,
+)
+from repro.ml.model_zoo import (
+    MODEL_CHARACTERISTICS,
+    candidate_models,
+    default_param_grid,
+    make_model,
+)
+
+__all__ = [
+    "BaseRegressor",
+    "clone",
+    "LinearRegression",
+    "Ridge",
+    "ElasticNet",
+    "BayesianRidge",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "AdaBoostRegressor",
+    "GradientBoostingRegressor",
+    "HistGradientBoostingRegressor",
+    "KNeighborsRegressor",
+    "SVR",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "normalised_rmse",
+    "KFold",
+    "train_test_split",
+    "stratified_train_test_split",
+    "GridSearchCV",
+    "cross_val_score",
+    "MODEL_CHARACTERISTICS",
+    "candidate_models",
+    "default_param_grid",
+    "make_model",
+]

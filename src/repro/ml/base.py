@@ -1,0 +1,115 @@
+"""Estimator base classes and cloning utilities.
+
+The interface intentionally mirrors the small subset of the scikit-learn API
+that the ADSALA pipeline needs (``fit``/``predict``/``get_params``/
+``set_params``) so that the installation workflow can treat every candidate
+model uniformly.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["BaseRegressor", "clone", "check_X_y", "check_X"]
+
+
+def check_X(X: Any) -> np.ndarray:
+    """Validate a 2-D feature matrix and return it as ``float64``.
+
+    Raises ``ValueError`` for empty input, wrong dimensionality, or
+    non-finite entries.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if X.size == 0:
+        raise ValueError("X must not be empty")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    return X
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / target vector pair of matching length."""
+    X = check_X(X)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if y.size == 0:
+        raise ValueError("y must not be empty")
+    if not np.all(np.isfinite(y)):
+        raise ValueError("y contains NaN or infinite values")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y have incompatible lengths: {X.shape[0]} != {y.shape[0]}"
+        )
+    return X, y
+
+
+class BaseRegressor:
+    """Base class for every regressor in :mod:`repro.ml`.
+
+    Subclasses declare their hyper-parameters as keyword arguments of
+    ``__init__`` and must implement :meth:`fit` and :meth:`predict`.
+    """
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return the constructor hyper-parameters of this estimator."""
+        signature = inspect.signature(type(self).__init__)
+        params = {}
+        for name, parameter in signature.parameters.items():
+            if name == "self" or parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            params[name] = getattr(self, name)
+        return params
+
+    def set_params(self, **params: Any) -> "BaseRegressor":
+        """Set hyper-parameters; unknown names raise ``ValueError``."""
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"Invalid parameter {name!r} for estimator "
+                    f"{type(self).__name__}; valid parameters are "
+                    f"{sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    # -- interface ---------------------------------------------------------
+    def fit(self, X: Any, y: Any) -> "BaseRegressor":  # pragma: no cover
+        raise NotImplementedError
+
+    def predict(self, X: Any) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- conveniences ------------------------------------------------------
+    def score(self, X: Any, y: Any) -> float:
+        """Coefficient of determination R^2 on the given data."""
+        from repro.ml.metrics import r2_score
+
+        return r2_score(np.asarray(y, dtype=float).ravel(), self.predict(X))
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise RuntimeError(
+                f"{type(self).__name__} instance is not fitted yet; "
+                "call fit() before predict()."
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseRegressor) -> BaseRegressor:
+    """Return a new unfitted estimator with identical hyper-parameters."""
+    params = {k: copy.deepcopy(v) for k, v in estimator.get_params().items()}
+    return type(estimator)(**params)

@@ -1,0 +1,528 @@
+"""Boosted tree ensembles: AdaBoost.R2, XGBoost-style and LightGBM-style.
+
+The paper's candidate pool includes AdaBoost, XGBoost and LightGBM.  The two
+gradient-boosting variants are reproduced here with their defining
+algorithmic features:
+
+* :class:`GradientBoostingRegressor` — second-order (Newton) boosting on the
+  squared loss with L1/L2 leaf regularisation and shrinkage, i.e. the core of
+  XGBoost with exact greedy splits.
+* :class:`HistGradientBoostingRegressor` — histogram-binned split finding
+  (LightGBM's key trick), which bins each feature into at most
+  ``max_bins`` quantile buckets before growing depth-limited trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import BaseRegressor, check_X, check_X_y
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "AdaBoostRegressor",
+    "GradientBoostingRegressor",
+    "HistGradientBoostingRegressor",
+]
+
+
+# ---------------------------------------------------------------------------
+# AdaBoost.R2 (Drucker, 1997)
+# ---------------------------------------------------------------------------
+class AdaBoostRegressor(BaseRegressor):
+    """AdaBoost.R2 with decision-tree base learners.
+
+    Parameters
+    ----------
+    n_estimators:
+        Maximum number of boosting rounds (may stop earlier if a learner
+        achieves zero loss or worse-than-random loss).
+    learning_rate:
+        Shrinks the contribution of each regressor via the beta exponent.
+    max_depth:
+        Depth of each base tree (AdaBoost traditionally uses shallow trees).
+    loss:
+        "linear", "square" or "exponential" loss for the per-sample error.
+    random_state:
+        Seed for weighted bootstrap resampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 1.0,
+        max_depth: int = 3,
+        loss: str = "linear",
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.loss = loss
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "AdaBoostRegressor":
+        if self.loss not in ("linear", "square", "exponential"):
+            raise ValueError(f"Unknown loss {self.loss!r}")
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        X, y = check_X_y(X, y)
+        n_samples = X.shape[0]
+        rng = np.random.default_rng(self.random_state)
+
+        sample_weight = np.full(n_samples, 1.0 / n_samples)
+        self.estimators_: List[DecisionTreeRegressor] = []
+        self.estimator_weights_: List[float] = []
+
+        for _ in range(self.n_estimators):
+            # Weighted bootstrap: resample the training set according to the
+            # current weights, as in the original AdaBoost.R2 formulation.
+            indices = rng.choice(n_samples, size=n_samples, p=sample_weight)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                random_state=int(rng.integers(0, 2 ** 31 - 1)),
+            )
+            tree.fit(X[indices], y[indices])
+            predictions = tree.predict(X)
+
+            abs_error = np.abs(predictions - y)
+            max_error = abs_error.max()
+            if max_error <= 1e-300:
+                # Perfect learner — give it full confidence and stop.
+                self.estimators_.append(tree)
+                self.estimator_weights_.append(1.0)
+                break
+            normalised = abs_error / max_error
+            if self.loss == "square":
+                normalised = normalised ** 2
+            elif self.loss == "exponential":
+                normalised = 1.0 - np.exp(-normalised)
+
+            average_loss = float(np.dot(sample_weight, normalised))
+            if average_loss >= 0.5:
+                # Worse than random: discard and stop unless it is the first.
+                if not self.estimators_:
+                    self.estimators_.append(tree)
+                    self.estimator_weights_.append(1.0)
+                break
+
+            beta = average_loss / (1.0 - average_loss)
+            self.estimators_.append(tree)
+            self.estimator_weights_.append(
+                self.learning_rate * float(np.log(1.0 / max(beta, 1e-300)))
+            )
+            sample_weight *= beta ** (self.learning_rate * (1.0 - normalised))
+            total = sample_weight.sum()
+            if total <= 0:
+                break
+            sample_weight /= total
+
+        if not self.estimators_:
+            raise RuntimeError("AdaBoost failed to fit any estimator")
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Weighted-median prediction over the boosted ensemble."""
+        self._check_fitted("estimators_")
+        X = check_X(X)
+        all_predictions = np.column_stack(
+            [tree.predict(X) for tree in self.estimators_]
+        )
+        weights = np.asarray(self.estimator_weights_)
+
+        order = np.argsort(all_predictions, axis=1)
+        sorted_predictions = np.take_along_axis(all_predictions, order, axis=1)
+        sorted_weights = weights[order]
+        cumulative = np.cumsum(sorted_weights, axis=1)
+        threshold = 0.5 * cumulative[:, -1][:, None]
+        median_idx = np.argmax(cumulative >= threshold, axis=1)
+        return sorted_predictions[np.arange(X.shape[0]), median_idx]
+
+
+# ---------------------------------------------------------------------------
+# XGBoost-style exact gradient boosting
+# ---------------------------------------------------------------------------
+@dataclass
+class _BoostNode:
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_BoostNode"] = None
+    right: Optional["_BoostNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class _NewtonTree:
+    """Regression tree on (gradient, hessian) statistics with XGBoost gains."""
+
+    def __init__(
+        self,
+        max_depth: int,
+        min_child_weight: float,
+        reg_lambda: float,
+        gamma: float,
+        min_samples_leaf: int,
+    ):
+        self.max_depth = max_depth
+        self.min_child_weight = min_child_weight
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_samples_leaf = min_samples_leaf
+
+    def fit(self, X, grad, hess) -> "_NewtonTree":
+        self.root_ = self._build(X, grad, hess, depth=0)
+        return self
+
+    def _leaf_value(self, grad_sum: float, hess_sum: float) -> float:
+        return -grad_sum / (hess_sum + self.reg_lambda)
+
+    def _score(self, grad_sum: float, hess_sum: float) -> float:
+        return grad_sum ** 2 / (hess_sum + self.reg_lambda)
+
+    def _build(self, X, grad, hess, depth: int) -> _BoostNode:
+        grad_total = float(grad.sum())
+        hess_total = float(hess.sum())
+        node = _BoostNode(value=self._leaf_value(grad_total, hess_total))
+        n_samples = X.shape[0]
+        if depth >= self.max_depth or n_samples < 2 * self.min_samples_leaf:
+            return node
+
+        parent_score = self._score(grad_total, hess_total)
+        best_gain = 0.0
+        best = None
+
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="mergesort")
+            col = X[order, feature]
+            g = grad[order]
+            h = hess[order]
+            g_cum = np.cumsum(g)[:-1]
+            h_cum = np.cumsum(h)[:-1]
+            g_right = grad_total - g_cum
+            h_right = hess_total - h_cum
+
+            idx = np.arange(n_samples - 1)
+            valid = col[:-1] < col[1:]
+            valid &= idx + 1 >= self.min_samples_leaf
+            valid &= n_samples - (idx + 1) >= self.min_samples_leaf
+            valid &= h_cum >= self.min_child_weight
+            valid &= h_right >= self.min_child_weight
+            if not np.any(valid):
+                continue
+
+            gain = (
+                0.5
+                * (
+                    g_cum ** 2 / (h_cum + self.reg_lambda)
+                    + g_right ** 2 / (h_right + self.reg_lambda)
+                    - parent_score
+                )
+                - self.gamma
+            )
+            gain[~valid] = -np.inf
+            best_idx = int(np.argmax(gain))
+            if gain[best_idx] > best_gain + 1e-12:
+                best_gain = float(gain[best_idx])
+                best = (feature, 0.5 * (col[best_idx] + col[best_idx + 1]))
+
+        if best is None:
+            return node
+
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], grad[mask], hess[mask], depth + 1)
+        node.right = self._build(X[~mask], grad[~mask], hess[~mask], depth + 1)
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        out = np.empty(X.shape[0])
+
+        def walk(node: _BoostNode, indices: np.ndarray) -> None:
+            if node.is_leaf or indices.size == 0:
+                out[indices] = node.value
+                return
+            mask = X[indices, node.feature] <= node.threshold
+            walk(node.left, indices[mask])
+            walk(node.right, indices[~mask])
+
+        walk(self.root_, np.arange(X.shape[0]))
+        return out
+
+
+class GradientBoostingRegressor(BaseRegressor):
+    """XGBoost-style second-order gradient boosting on squared loss.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting rounds.
+    learning_rate:
+        Shrinkage applied to each tree's contribution.
+    max_depth:
+        Depth of the individual Newton trees.
+    min_child_weight:
+        Minimum hessian sum per leaf (with squared loss this equals the
+        minimum number of samples per leaf).
+    reg_lambda:
+        L2 regularisation on leaf values.
+    gamma:
+        Minimum loss reduction required for a split.
+    subsample:
+        Row subsampling fraction per round (stochastic gradient boosting).
+    random_state:
+        Seed for row subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        min_child_weight: float = 1.0,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+        subsample: float = 1.0,
+        min_samples_leaf: int = 1,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_child_weight = min_child_weight
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.subsample = subsample
+        self.min_samples_leaf = min_samples_leaf
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        X, y = check_X_y(X, y)
+        n_samples = X.shape[0]
+        rng = np.random.default_rng(self.random_state)
+
+        self.base_prediction_ = float(y.mean())
+        current = np.full(n_samples, self.base_prediction_)
+        self.estimators_: List[_NewtonTree] = []
+
+        for _ in range(self.n_estimators):
+            grad = current - y          # d/dF 0.5*(F-y)^2
+            hess = np.ones(n_samples)   # second derivative of squared loss
+            if self.subsample < 1.0:
+                n_sub = max(2, int(round(self.subsample * n_samples)))
+                subset = rng.choice(n_samples, size=n_sub, replace=False)
+            else:
+                subset = slice(None)
+            tree = _NewtonTree(
+                max_depth=self.max_depth,
+                min_child_weight=self.min_child_weight,
+                reg_lambda=self.reg_lambda,
+                gamma=self.gamma,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(X[subset], grad[subset], hess[subset])
+            update = tree.predict(X)
+            current += self.learning_rate * update
+            self.estimators_.append(tree)
+
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_X(X)
+        prediction = np.full(X.shape[0], self.base_prediction_)
+        for tree in self.estimators_:
+            prediction += self.learning_rate * tree.predict(X)
+        return prediction
+
+
+# ---------------------------------------------------------------------------
+# LightGBM-style histogram gradient boosting
+# ---------------------------------------------------------------------------
+class _HistTree:
+    """Depth-limited tree over pre-binned features using histogram gains."""
+
+    def __init__(self, max_depth, min_samples_leaf, reg_lambda, max_bins):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.max_bins = max_bins
+
+    def fit(self, binned: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "_HistTree":
+        self.root_ = self._build(binned, grad, hess, np.arange(binned.shape[0]), 0)
+        return self
+
+    def _leaf_value(self, g: float, h: float) -> float:
+        return -g / (h + self.reg_lambda)
+
+    def _build(self, binned, grad, hess, indices, depth) -> _BoostNode:
+        grad_total = float(grad[indices].sum())
+        hess_total = float(hess[indices].sum())
+        node = _BoostNode(value=self._leaf_value(grad_total, hess_total))
+        if depth >= self.max_depth or indices.size < 2 * self.min_samples_leaf:
+            return node
+
+        parent_score = grad_total ** 2 / (hess_total + self.reg_lambda)
+        best_gain = 1e-12
+        best = None
+        sub_binned = binned[indices]
+        sub_grad = grad[indices]
+        sub_hess = hess[indices]
+
+        for feature in range(binned.shape[1]):
+            bins = sub_binned[:, feature]
+            grad_hist = np.bincount(bins, weights=sub_grad, minlength=self.max_bins)
+            hess_hist = np.bincount(bins, weights=sub_hess, minlength=self.max_bins)
+            count_hist = np.bincount(bins, minlength=self.max_bins)
+
+            g_cum = np.cumsum(grad_hist)[:-1]
+            h_cum = np.cumsum(hess_hist)[:-1]
+            c_cum = np.cumsum(count_hist)[:-1]
+            g_right = grad_total - g_cum
+            h_right = hess_total - h_cum
+            c_right = indices.size - c_cum
+
+            valid = (c_cum >= self.min_samples_leaf) & (c_right >= self.min_samples_leaf)
+            if not np.any(valid):
+                continue
+            gain = 0.5 * (
+                g_cum ** 2 / (h_cum + self.reg_lambda)
+                + g_right ** 2 / (h_right + self.reg_lambda)
+                - parent_score
+            )
+            gain[~valid] = -np.inf
+            best_bin = int(np.argmax(gain))
+            if gain[best_bin] > best_gain:
+                best_gain = float(gain[best_bin])
+                best = (feature, best_bin)
+
+        if best is None:
+            return node
+
+        feature, split_bin = best
+        mask = sub_binned[:, feature] <= split_bin
+        node.feature = feature
+        node.threshold = float(split_bin)
+        node.left = self._build(binned, grad, hess, indices[mask], depth + 1)
+        node.right = self._build(binned, grad, hess, indices[~mask], depth + 1)
+        return node
+
+    def predict(self, binned: np.ndarray) -> np.ndarray:
+        out = np.empty(binned.shape[0])
+
+        def walk(node: _BoostNode, indices: np.ndarray) -> None:
+            if node.is_leaf or indices.size == 0:
+                out[indices] = node.value
+                return
+            mask = binned[indices, node.feature] <= node.threshold
+            walk(node.left, indices[mask])
+            walk(node.right, indices[~mask])
+
+        walk(self.root_, np.arange(binned.shape[0]))
+        return out
+
+
+class HistGradientBoostingRegressor(BaseRegressor):
+    """LightGBM-style gradient boosting with histogram split finding.
+
+    Features are quantile-binned into at most ``max_bins`` buckets once,
+    before boosting; every split search then scans bin histograms instead of
+    sorted raw values, which is the optimisation that makes LightGBM fast.
+
+    Parameters
+    ----------
+    n_estimators, learning_rate, max_depth, min_samples_leaf, reg_lambda:
+        Usual boosting hyper-parameters.
+    max_bins:
+        Maximum number of histogram bins per feature (2..256).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 6,
+        min_samples_leaf: int = 5,
+        reg_lambda: float = 1.0,
+        max_bins: int = 64,
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.max_bins = max_bins
+
+    # -- binning ------------------------------------------------------------
+    def _fit_bins(self, X: np.ndarray) -> None:
+        self.bin_edges_ = []
+        for feature in range(X.shape[1]):
+            quantiles = np.quantile(
+                X[:, feature], np.linspace(0, 1, self.max_bins + 1)[1:-1]
+            )
+            self.bin_edges_.append(np.unique(quantiles))
+
+    def _transform_bins(self, X: np.ndarray) -> np.ndarray:
+        binned = np.empty(X.shape, dtype=np.int64)
+        for feature, edges in enumerate(self.bin_edges_):
+            binned[:, feature] = np.searchsorted(edges, X[:, feature], side="left")
+        return binned
+
+    # -- fitting ------------------------------------------------------------
+    def fit(self, X, y) -> "HistGradientBoostingRegressor":
+        if not 2 <= self.max_bins <= 256:
+            raise ValueError("max_bins must be in [2, 256]")
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        X, y = check_X_y(X, y)
+        n_samples = X.shape[0]
+
+        self._fit_bins(X)
+        binned = self._transform_bins(X)
+
+        self.base_prediction_ = float(y.mean())
+        current = np.full(n_samples, self.base_prediction_)
+        self.estimators_: List[_HistTree] = []
+
+        for _ in range(self.n_estimators):
+            grad = current - y
+            hess = np.ones(n_samples)
+            tree = _HistTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                reg_lambda=self.reg_lambda,
+                max_bins=self.max_bins,
+            )
+            tree.fit(binned, grad, hess)
+            current += self.learning_rate * tree.predict(binned)
+            self.estimators_.append(tree)
+
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features but model was fitted with "
+                f"{self.n_features_in_}"
+            )
+        binned = self._transform_bins(X)
+        prediction = np.full(X.shape[0], self.base_prediction_)
+        for tree in self.estimators_:
+            prediction += self.learning_rate * tree.predict(binned)
+        return prediction

@@ -1,0 +1,114 @@
+"""Random-forest regressor built on :class:`repro.ml.tree.DecisionTreeRegressor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseRegressor, check_X, check_X_y
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor(BaseRegressor):
+    """Bagged ensemble of CART regression trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf:
+        Passed through to each tree.
+    max_features:
+        Feature subsampling per split; defaults to one third of the features,
+        the usual choice for regression forests.
+    bootstrap:
+        Whether to draw bootstrap samples for each tree.
+    random_state:
+        Seed controlling bootstrap draws and per-tree feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="onethird",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        X, y = check_X_y(X, y)
+        n_samples, n_features = X.shape
+        rng = np.random.default_rng(self.random_state)
+
+        if self.max_features == "onethird":
+            tree_max_features = max(1, n_features // 3)
+        else:
+            tree_max_features = self.max_features
+
+        self.estimators_ = []
+        oob_pred_sum = np.zeros(n_samples)
+        oob_pred_count = np.zeros(n_samples)
+
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=tree_max_features,
+                random_state=int(rng.integers(0, 2 ** 31 - 1)),
+            )
+            if self.bootstrap:
+                indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                indices = np.arange(n_samples)
+            tree.fit(X[indices], y[indices])
+            self.estimators_.append(tree)
+
+            if self.bootstrap:
+                oob_mask = np.ones(n_samples, dtype=bool)
+                oob_mask[np.unique(indices)] = False
+                if np.any(oob_mask):
+                    oob_pred_sum[oob_mask] += tree.predict(X[oob_mask])
+                    oob_pred_count[oob_mask] += 1
+
+        self.n_features_in_ = n_features
+        if self.bootstrap and np.any(oob_pred_count > 0):
+            covered = oob_pred_count > 0
+            oob_pred = oob_pred_sum[covered] / oob_pred_count[covered]
+            residual = y[covered] - oob_pred
+            self.oob_score_ = 1.0 - float(
+                np.sum(residual ** 2)
+                / max(np.sum((y[covered] - y[covered].mean()) ** 2), 1e-300)
+            )
+        else:
+            self.oob_score_ = None
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_X(X)
+        predictions = np.zeros(X.shape[0])
+        for tree in self.estimators_:
+            predictions += tree.predict(X)
+        return predictions / len(self.estimators_)
+
+    def feature_importances(self) -> np.ndarray:
+        """Mean impurity-decrease importance across trees."""
+        self._check_fitted("estimators_")
+        importances = np.zeros(self.n_features_in_)
+        for tree in self.estimators_:
+            importances += tree.feature_importances()
+        return importances / len(self.estimators_)

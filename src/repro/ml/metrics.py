@@ -1,0 +1,85 @@
+"""Regression metrics used by model selection and the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "normalised_rmse",
+    "mean_absolute_percentage_error",
+]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.size == 0:
+        raise ValueError("y_true must not be empty")
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred have different shapes: {y_true.shape} vs {y_pred.shape}"
+        )
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred, eps: float = 1e-12) -> float:
+    """Mean absolute percentage error with a small denominator guard."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 when ``y_true`` is constant and predictions are perfect,
+    and a large negative value when predictions are worse than the mean.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def normalised_rmse(y_true, y_pred, reference_rmse: float | None = None) -> float:
+    """RMSE normalised by a reference value.
+
+    The paper's Table VI reports the test RMSE of each model divided by the
+    *largest* RMSE among the candidates (so the worst model scores 1.0).
+    When ``reference_rmse`` is ``None`` the RMSE is normalised by the
+    standard deviation of ``y_true`` instead, which is a platform-independent
+    fallback useful for single-model reporting.
+    """
+    rmse = root_mean_squared_error(y_true, y_pred)
+    if reference_rmse is not None:
+        if reference_rmse <= 0:
+            raise ValueError("reference_rmse must be positive")
+        return rmse / reference_rmse
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    scale = float(np.std(y_true))
+    if scale == 0.0:
+        return 0.0 if rmse == 0.0 else float("inf")
+    return rmse / scale

@@ -1,0 +1,33 @@
+"""Data-preprocessing substrate for the ADSALA installation workflow.
+
+Implements the preprocessing steps of the paper's Section II-C / IV-C:
+
+* :class:`~repro.preprocessing.power.YeoJohnsonTransformer` — per-feature
+  power transform with MLE-estimated λ (maps skewed features toward a
+  Gaussian shape),
+* :class:`~repro.preprocessing.scaler.StandardScaler` — zero-mean /
+  unit-variance standardisation,
+* :class:`~repro.preprocessing.outliers.LocalOutlierFactor` — density-based
+  local-outlier removal,
+* :class:`~repro.preprocessing.correlation.CorrelationFilter` — drops one
+  feature of every pair whose |Pearson r| exceeds 0.8,
+* :class:`~repro.preprocessing.pipeline.PreprocessingPipeline` — the
+  composition of the above with a serialisable configuration, which becomes
+  the "config file" the ADSALA runtime loads (paper Fig. 1).
+"""
+
+from repro.preprocessing.power import YeoJohnsonTransformer, yeo_johnson_transform
+from repro.preprocessing.scaler import StandardScaler
+from repro.preprocessing.outliers import LocalOutlierFactor
+from repro.preprocessing.correlation import CorrelationFilter
+from repro.preprocessing.pipeline import PreprocessingPipeline, PreprocessingConfig
+
+__all__ = [
+    "YeoJohnsonTransformer",
+    "yeo_johnson_transform",
+    "StandardScaler",
+    "LocalOutlierFactor",
+    "CorrelationFilter",
+    "PreprocessingPipeline",
+    "PreprocessingConfig",
+]

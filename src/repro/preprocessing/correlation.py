@@ -1,0 +1,116 @@
+"""Correlation-based redundant-feature pruning.
+
+Paper Section IV-C: "we eliminate features that have correlation coefficients
+with other features exceeding a threshold of 80 %...  For each correlated
+feature pair, we remove the feature with the larger total correlation with
+the other features."
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["CorrelationFilter"]
+
+
+class CorrelationFilter:
+    """Drop one member of every feature pair with |Pearson r| above a threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Absolute correlation above which a pair is considered redundant
+        (the paper uses 0.8).
+    """
+
+    def __init__(self, threshold: float = 0.8):
+        self.threshold = threshold
+
+    def fit(self, X: np.ndarray, feature_names: Sequence[str] | None = None) -> "CorrelationFilter":
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        n_features = X.shape[1]
+        if feature_names is not None and len(feature_names) != n_features:
+            raise ValueError("feature_names length does not match X")
+
+        # Pearson correlation; constant columns correlate with nothing.
+        std = X.std(axis=0)
+        corr = np.zeros((n_features, n_features))
+        varying = std > 0
+        if varying.sum() >= 2:
+            sub_corr = np.corrcoef(X[:, varying], rowvar=False)
+            sub_corr = np.atleast_2d(sub_corr)
+            idx = np.flatnonzero(varying)
+            corr[np.ix_(idx, idx)] = sub_corr
+        np.fill_diagonal(corr, 1.0)
+        abs_corr = np.abs(corr)
+
+        dropped: List[int] = []
+        active = list(range(n_features))
+        while True:
+            # Highest-correlation pair among active features.
+            best_pair = None
+            best_value = self.threshold
+            for i_pos, i in enumerate(active):
+                for j in active[i_pos + 1 :]:
+                    if abs_corr[i, j] > best_value:
+                        best_value = abs_corr[i, j]
+                        best_pair = (i, j)
+            if best_pair is None:
+                break
+            i, j = best_pair
+            # Drop the member with larger total correlation to the others.
+            total_i = abs_corr[i, active].sum()
+            total_j = abs_corr[j, active].sum()
+            victim = i if total_i >= total_j else j
+            dropped.append(victim)
+            active.remove(victim)
+
+        self.correlation_matrix_ = corr
+        self.dropped_indices_ = sorted(dropped)
+        self.kept_indices_ = sorted(active)
+        self.n_features_in_ = n_features
+        if feature_names is not None:
+            self.kept_feature_names_ = [feature_names[i] for i in self.kept_indices_]
+            self.dropped_feature_names_ = [feature_names[i] for i in self.dropped_indices_]
+        else:
+            self.kept_feature_names_ = None
+            self.dropped_feature_names_ = None
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "kept_indices_"):
+            raise RuntimeError("CorrelationFilter is not fitted yet")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X must have shape (n, {self.n_features_in_}), got {X.shape}"
+            )
+        return X[:, self.kept_indices_]
+
+    def fit_transform(self, X: np.ndarray, feature_names: Sequence[str] | None = None) -> np.ndarray:
+        return self.fit(X, feature_names).transform(X)
+
+    def to_config(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "kept_indices": list(self.kept_indices_),
+            "n_features_in": self.n_features_in_,
+            "kept_feature_names": self.kept_feature_names_,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "CorrelationFilter":
+        instance = cls(threshold=config["threshold"])
+        instance.kept_indices_ = list(config["kept_indices"])
+        instance.n_features_in_ = config["n_features_in"]
+        instance.kept_feature_names_ = config.get("kept_feature_names")
+        instance.dropped_indices_ = [
+            i for i in range(instance.n_features_in_) if i not in instance.kept_indices_
+        ]
+        return instance

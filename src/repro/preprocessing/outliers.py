@@ -1,0 +1,100 @@
+"""Local Outlier Factor (Breunig et al., 2000) for density-based outlier removal.
+
+The paper removes local outliers from the gathered timing data before model
+training (Section II-C).  This implementation follows the original LOF
+definition: reachability distance → local reachability density → LOF score,
+with outliers flagged by a contamination quantile or an absolute threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LocalOutlierFactor"]
+
+
+class LocalOutlierFactor:
+    """Compute LOF scores and flag local outliers.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighbourhood size (the ``k`` of k-distance).
+    contamination:
+        Expected fraction of outliers; used to set the score threshold when
+        ``threshold`` is not given.
+    threshold:
+        Absolute LOF score above which a point is an outlier (overrides
+        ``contamination`` when provided).
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 20,
+        contamination: float = 0.05,
+        threshold: float | None = None,
+    ):
+        self.n_neighbors = n_neighbors
+        self.contamination = contamination
+        self.threshold = threshold
+
+    def fit(self, X: np.ndarray) -> "LocalOutlierFactor":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        n_samples = X.shape[0]
+        if n_samples < 3:
+            raise ValueError("LOF needs at least three samples")
+        if not 0.0 < self.contamination < 0.5:
+            raise ValueError("contamination must be in (0, 0.5)")
+        k = min(self.n_neighbors, n_samples - 1)
+
+        # Pairwise Euclidean distances.
+        sq = np.einsum("ij,ij->i", X, X)
+        distances = np.sqrt(
+            np.maximum(sq[:, None] - 2.0 * (X @ X.T) + sq[None, :], 0.0)
+        )
+        np.fill_diagonal(distances, np.inf)
+
+        # k nearest neighbours of every point.
+        neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        neighbor_dist = np.take_along_axis(distances, neighbor_idx, axis=1)
+
+        # k-distance of each point = distance to its k-th nearest neighbour.
+        k_distance = np.max(neighbor_dist, axis=1)
+
+        # Reachability distance of p w.r.t. o: max(k-distance(o), d(p, o)).
+        reach = np.maximum(k_distance[neighbor_idx], neighbor_dist)
+        lrd = 1.0 / np.maximum(reach.mean(axis=1), 1e-300)
+
+        # LOF score: average ratio of neighbour densities to own density.
+        lof = (lrd[neighbor_idx].mean(axis=1)) / lrd
+
+        self.negative_outlier_factor_ = -lof
+        self.lof_scores_ = lof
+        if self.threshold is not None:
+            cutoff = self.threshold
+        else:
+            cutoff = float(np.quantile(lof, 1.0 - self.contamination))
+            cutoff = max(cutoff, 1.0 + 1e-9)
+        self.cutoff_ = cutoff
+        self.inlier_mask_ = lof <= cutoff
+        return self
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Return +1 for inliers and -1 for outliers (scikit-learn convention)."""
+        self.fit(X)
+        return np.where(self.inlier_mask_, 1, -1)
+
+    def filter(self, X: np.ndarray, *arrays: np.ndarray):
+        """Fit on ``X`` and return ``X`` (and any aligned arrays) without outliers."""
+        self.fit(X)
+        filtered = [np.asarray(X)[self.inlier_mask_]]
+        for array in arrays:
+            array = np.asarray(array)
+            if array.shape[0] != self.inlier_mask_.shape[0]:
+                raise ValueError("Aligned array has mismatched length")
+            filtered.append(array[self.inlier_mask_])
+        if not arrays:
+            return filtered[0]
+        return tuple(filtered)

@@ -1,0 +1,159 @@
+"""Yeo-Johnson power transformation with maximum-likelihood λ estimation.
+
+The Yeo-Johnson transform (paper Section II-C) generalises Box-Cox to
+non-positive values and is fitted per feature by maximising the Gaussian
+log-likelihood of the transformed values over λ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["yeo_johnson_transform", "yeo_johnson_inverse", "YeoJohnsonTransformer"]
+
+
+def yeo_johnson_transform(x: np.ndarray, lmbda: float) -> np.ndarray:
+    """Apply the Yeo-Johnson transform with parameter ``lmbda`` elementwise."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    positive = x >= 0
+
+    if abs(lmbda) > 1e-12:
+        out[positive] = ((x[positive] + 1.0) ** lmbda - 1.0) / lmbda
+    else:
+        out[positive] = np.log1p(x[positive])
+
+    if abs(lmbda - 2.0) > 1e-12:
+        out[~positive] = -(((-x[~positive] + 1.0) ** (2.0 - lmbda)) - 1.0) / (2.0 - lmbda)
+    else:
+        out[~positive] = -np.log1p(-x[~positive])
+    return out
+
+
+def yeo_johnson_inverse(y: np.ndarray, lmbda: float) -> np.ndarray:
+    """Inverse of :func:`yeo_johnson_transform`."""
+    y = np.asarray(y, dtype=np.float64)
+    out = np.empty_like(y)
+    positive = y >= 0
+
+    if abs(lmbda) > 1e-12:
+        out[positive] = (y[positive] * lmbda + 1.0) ** (1.0 / lmbda) - 1.0
+    else:
+        out[positive] = np.expm1(y[positive])
+
+    if abs(lmbda - 2.0) > 1e-12:
+        out[~positive] = 1.0 - (1.0 - (2.0 - lmbda) * y[~positive]) ** (1.0 / (2.0 - lmbda))
+    else:
+        out[~positive] = -np.expm1(-y[~positive])
+    return out
+
+
+def _negative_log_likelihood(lmbda: float, x: np.ndarray) -> float:
+    """Negative Gaussian log-likelihood of the transformed data."""
+    transformed = yeo_johnson_transform(x, lmbda)
+    n = x.shape[0]
+    variance = transformed.var()
+    if variance <= 0:
+        return np.inf
+    loglike = -0.5 * n * np.log(variance)
+    # Jacobian term of the transform.
+    loglike += (lmbda - 1.0) * np.sum(np.sign(x) * np.log1p(np.abs(x)))
+    return -loglike
+
+
+def estimate_lambda(x: np.ndarray, bracket: tuple[float, float] = (-3.0, 5.0)) -> float:
+    """MLE estimate of λ for one feature (bounded scalar minimisation)."""
+    x = np.asarray(x, dtype=np.float64)
+    if np.allclose(x, x[0]):
+        return 1.0
+    result = optimize.minimize_scalar(
+        _negative_log_likelihood,
+        bounds=bracket,
+        args=(x,),
+        method="bounded",
+        options={"xatol": 1e-5},
+    )
+    return float(result.x)
+
+
+class YeoJohnsonTransformer:
+    """Per-feature Yeo-Johnson transform fitted by maximum likelihood.
+
+    Parameters
+    ----------
+    standardize:
+        When true (default, as in the paper), the transformed features are
+        additionally centred and scaled to unit variance.
+    """
+
+    def __init__(self, standardize: bool = True):
+        self.standardize = standardize
+
+    def fit(self, X: np.ndarray) -> "YeoJohnsonTransformer":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if X.shape[0] < 2:
+            raise ValueError("Need at least two samples to fit the transformer")
+        self.lambdas_ = np.array(
+            [estimate_lambda(X[:, j]) for j in range(X.shape[1])]
+        )
+        transformed = self._apply(X)
+        if self.standardize:
+            self.mean_ = transformed.mean(axis=0)
+            self.scale_ = transformed.std(axis=0)
+            self.scale_[self.scale_ == 0] = 1.0
+        else:
+            self.mean_ = np.zeros(X.shape[1])
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _apply(self, X: np.ndarray) -> np.ndarray:
+        transformed = np.empty_like(X, dtype=np.float64)
+        for j, lmbda in enumerate(self.lambdas_):
+            transformed[:, j] = yeo_johnson_transform(X[:, j], lmbda)
+        return transformed
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "lambdas_"):
+            raise RuntimeError("YeoJohnsonTransformer is not fitted yet")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X must have shape (n, {self.n_features_in_}), got {X.shape}"
+            )
+        return (self._apply(X) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Invert standardisation and the power transform."""
+        if not hasattr(self, "lambdas_"):
+            raise RuntimeError("YeoJohnsonTransformer is not fitted yet")
+        X = np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+        out = np.empty_like(X)
+        for j, lmbda in enumerate(self.lambdas_):
+            out[:, j] = yeo_johnson_inverse(X[:, j], lmbda)
+        return out
+
+    # -- serialisation -------------------------------------------------------
+    def to_config(self) -> dict:
+        """Serialisable fitted state (used by the runtime config file)."""
+        return {
+            "standardize": self.standardize,
+            "lambdas": self.lambdas_.tolist(),
+            "mean": self.mean_.tolist(),
+            "scale": self.scale_.tolist(),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "YeoJohnsonTransformer":
+        transformer = cls(standardize=config["standardize"])
+        transformer.lambdas_ = np.asarray(config["lambdas"], dtype=float)
+        transformer.mean_ = np.asarray(config["mean"], dtype=float)
+        transformer.scale_ = np.asarray(config["scale"], dtype=float)
+        transformer.n_features_in_ = transformer.lambdas_.shape[0]
+        return transformer

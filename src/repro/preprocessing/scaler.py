@@ -1,0 +1,69 @@
+"""Zero-mean / unit-variance feature standardisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Standardise features by removing the mean and scaling to unit variance.
+
+    Constant features (zero variance) are centred but left unscaled so the
+    transform never divides by zero.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if X.shape[0] == 0:
+            raise ValueError("X must not be empty")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted yet")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X must have shape (n, {self.n_features_in_}), got {X.shape}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted yet")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+    def to_config(self) -> dict:
+        return {
+            "with_mean": self.with_mean,
+            "with_std": self.with_std,
+            "mean": self.mean_.tolist(),
+            "scale": self.scale_.tolist(),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "StandardScaler":
+        scaler = cls(with_mean=config["with_mean"], with_std=config["with_std"])
+        scaler.mean_ = np.asarray(config["mean"], dtype=float)
+        scaler.scale_ = np.asarray(config["scale"], dtype=float)
+        scaler.n_features_in_ = scaler.mean_.shape[0]
+        return scaler

@@ -1,0 +1,115 @@
+"""Tests for the routine specification table and key parsing."""
+
+import numpy as np
+import pytest
+
+from repro.blas.api import (
+    PRECISIONS,
+    ROUTINE_KEYS,
+    ROUTINE_NAMES,
+    ROUTINE_SPECS,
+    compute,
+    parse_routine,
+    precision_bytes,
+    precision_dtype,
+    routine_dims,
+)
+
+
+class TestSpecs:
+    def test_six_routines(self):
+        assert len(ROUTINE_SPECS) == 6
+        assert set(ROUTINE_NAMES) == {"gemm", "symm", "syrk", "syr2k", "trmm", "trsm"}
+
+    def test_twelve_precision_qualified_keys(self):
+        assert len(ROUTINE_KEYS) == 12
+        assert "dgemm" in ROUTINE_KEYS and "strsm" in ROUTINE_KEYS
+
+    def test_gemm_is_three_dimensional(self):
+        assert ROUTINE_SPECS["gemm"].n_dims == 3
+        assert ROUTINE_SPECS["gemm"].dim_names == ("m", "k", "n")
+
+    @pytest.mark.parametrize("name", ["symm", "syrk", "syr2k", "trmm", "trsm"])
+    def test_others_are_two_dimensional(self, name):
+        assert ROUTINE_SPECS[name].n_dims == 2
+
+    def test_table1_operand_kinds(self):
+        assert ROUTINE_SPECS["symm"].operands[0].kind == "symmetric"
+        assert ROUTINE_SPECS["syrk"].operands[-1].kind == "symmetric"
+        assert ROUTINE_SPECS["trmm"].operands[0].kind == "triangular"
+        assert ROUTINE_SPECS["trsm"].operands[0].kind == "triangular"
+        assert all(op.kind == "regular" for op in ROUTINE_SPECS["gemm"].operands)
+
+    def test_trmm_trsm_have_no_c_operand(self):
+        assert len(ROUTINE_SPECS["trmm"].operands) == 2
+        assert len(ROUTINE_SPECS["trsm"].operands) == 2
+
+
+class TestParsing:
+    def test_precision_prefix(self):
+        prefix, base, spec = parse_routine("sgemm")
+        assert prefix == "s" and base == "gemm" and spec.n_dims == 3
+
+    def test_bare_name_defaults_to_double(self):
+        prefix, base, _ = parse_routine("trsm")
+        assert prefix == "d" and base == "trsm"
+
+    def test_case_insensitive(self):
+        assert parse_routine("DSYRK")[1] == "syrk"
+
+    def test_unknown_routine(self):
+        with pytest.raises(KeyError, match="Unknown BLAS routine"):
+            parse_routine("dgemv")
+
+    def test_precision_dtype_and_bytes(self):
+        assert precision_dtype("s") == np.float32
+        assert precision_dtype("d") == np.float64
+        assert precision_bytes("s") == 4
+        assert precision_bytes("d") == 8
+        with pytest.raises(KeyError):
+            precision_dtype("z")
+
+    def test_precisions_table(self):
+        assert set(PRECISIONS) == {"s", "d"}
+
+
+class TestDims:
+    def test_positional_dims(self):
+        assert routine_dims("dgemm", 10, 20, 30) == {"m": 10, "k": 20, "n": 30}
+
+    def test_keyword_dims(self):
+        assert routine_dims("dsyrk", n=64, k=128) == {"n": 64, "k": 128}
+
+    def test_missing_dimension(self):
+        with pytest.raises(ValueError, match="missing"):
+            routine_dims("dgemm", m=1, k=2)
+
+    def test_extra_dimension(self):
+        with pytest.raises(ValueError, match="unexpected"):
+            routine_dims("dtrsm", m=1, n=2, k=3)
+
+    def test_wrong_positional_count(self):
+        with pytest.raises(ValueError, match="expects"):
+            routine_dims("dgemm", 1, 2)
+
+    def test_nonpositive_dimension(self):
+        with pytest.raises(ValueError, match="positive"):
+            routine_dims("dgemm", m=0, k=2, n=3)
+
+    def test_mixing_positional_and_keyword(self):
+        spec = ROUTINE_SPECS["gemm"]
+        with pytest.raises(TypeError):
+            spec.dims_from_args(1, 2, 3, m=1)
+
+
+class TestComputeDispatch:
+    def test_compute_gemm(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.normal(size=(20, 30)), rng.normal(size=(30, 10))
+        np.testing.assert_allclose(compute("dgemm", threads=2, A=A, B=B), A @ B, rtol=1e-12)
+
+    def test_compute_single_precision_casts(self):
+        rng = np.random.default_rng(1)
+        A, B = rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+        result = compute("sgemm", A=A, B=B)
+        assert result.dtype == np.float32

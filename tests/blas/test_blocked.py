@@ -1,0 +1,142 @@
+"""Tests for the tiled (blocked) BLAS algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.blas import blocked, reference
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1)
+
+
+def run_tasks(tasks, shape, dtype=float):
+    """Execute tile tasks serially into a fresh output array."""
+    out = np.zeros(shape, dtype=dtype)
+    for row_slice, col_slice, thunk in tasks:
+        out[row_slice, col_slice] = thunk()
+    return out
+
+
+class TestTileRanges:
+    def test_exact_division(self):
+        assert blocked.tile_ranges(8, 4) == [(0, 4), (4, 8)]
+
+    def test_remainder_tile(self):
+        assert blocked.tile_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_tile_when_tile_larger(self):
+        assert blocked.tile_ranges(3, 100) == [(0, 3)]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            blocked.tile_ranges(0, 4)
+        with pytest.raises(ValueError):
+            blocked.tile_ranges(4, 0)
+
+
+class TestGemmTasks:
+    def test_matches_reference_with_remainders(self, rng):
+        A, B = rng.normal(size=(70, 45)), rng.normal(size=(45, 53))
+        out = run_tasks(blocked.gemm_tasks(A, B, 1.5, tile=32), (70, 53))
+        np.testing.assert_allclose(out, 1.5 * A @ B, rtol=1e-10, atol=1e-12)
+
+    def test_task_count(self, rng):
+        A, B = rng.normal(size=(64, 10)), rng.normal(size=(10, 64))
+        tasks = list(blocked.gemm_tasks(A, B, 1.0, tile=32))
+        assert len(tasks) == 4  # 2x2 grid of output tiles
+
+    def test_inner_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError, match="Inner dimensions"):
+            list(blocked.gemm_tasks(rng.normal(size=(4, 5)), rng.normal(size=(4, 5)), 1.0, 32))
+
+
+class TestSymmTasks:
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_matches_reference(self, rng, lower):
+        A = rng.normal(size=(40, 40))
+        B = rng.normal(size=(40, 25))
+        out = run_tasks(blocked.symm_tasks(A, B, 2.0, lower, tile=16), (40, 25))
+        np.testing.assert_allclose(out, reference.symm(A, B, alpha=2.0, lower=lower), rtol=1e-12)
+
+
+class TestSyrkTasks:
+    def test_lower_triangle_matches_reference(self, rng):
+        A = rng.normal(size=(50, 30))
+        out = run_tasks(blocked.syrk_tasks(A, 1.0, False, tile=16), (50, 50))
+        expected = reference.syrk(A)
+        np.testing.assert_allclose(np.tril(out), np.tril(expected), rtol=1e-12)
+
+    def test_upper_tiles_skipped(self, rng):
+        A = rng.normal(size=(48, 8))
+        tasks = list(blocked.syrk_tasks(A, 1.0, False, tile=16))
+        # 3x3 grid, lower triangle including diagonal: 6 tiles.
+        assert len(tasks) == 6
+
+    def test_transposed_variant(self, rng):
+        A = rng.normal(size=(20, 35))
+        out = run_tasks(blocked.syrk_tasks(A, 1.0, True, tile=16), (35, 35))
+        np.testing.assert_allclose(np.tril(out), np.tril(A.T @ A), rtol=1e-12)
+
+
+class TestSyr2kTasks:
+    def test_lower_triangle_matches_reference(self, rng):
+        A, B = rng.normal(size=(30, 12)), rng.normal(size=(30, 12))
+        out = run_tasks(blocked.syr2k_tasks(A, B, 1.0, False, tile=8), (30, 30))
+        expected = reference.syr2k(A, B)
+        np.testing.assert_allclose(np.tril(out), np.tril(expected), rtol=1e-12)
+
+
+class TestTrmmTasks:
+    @pytest.mark.parametrize("lower", [True, False])
+    @pytest.mark.parametrize("transa", [True, False])
+    def test_matches_reference(self, rng, lower, transa):
+        A = rng.normal(size=(45, 45))
+        B = rng.normal(size=(45, 20))
+        out = run_tasks(
+            blocked.trmm_tasks(A, B, 1.0, lower, transa, False, tile=16), (45, 20)
+        )
+        expected = reference.trmm(A, B, lower=lower, transa=transa)
+        np.testing.assert_allclose(out, expected, rtol=1e-11)
+
+    def test_unit_diagonal(self, rng):
+        A = rng.normal(size=(20, 20))
+        B = rng.normal(size=(20, 6))
+        out = run_tasks(blocked.trmm_tasks(A, B, 1.0, True, False, True, tile=8), (20, 6))
+        np.testing.assert_allclose(out, reference.trmm(A, B, unit_diag=True), rtol=1e-11)
+
+
+class TestTrsmBlocked:
+    @pytest.mark.parametrize("lower", [True, False])
+    @pytest.mark.parametrize("transa", [True, False])
+    def test_matches_reference(self, rng, lower, transa):
+        A = rng.normal(size=(37, 37)) + 37 * np.eye(37)
+        B = rng.normal(size=(37, 14))
+        ours = blocked.trsm_blocked(A, B, lower=lower, transa=transa, tile=16)
+        expected = reference.trsm(A, B, lower=lower, transa=transa)
+        np.testing.assert_allclose(ours, expected, rtol=1e-9)
+
+    def test_alpha_scaling(self, rng):
+        A = rng.normal(size=(16, 16)) + 16 * np.eye(16)
+        B = rng.normal(size=(16, 5))
+        ours = blocked.trsm_blocked(A, B, alpha=3.0, tile=8)
+        np.testing.assert_allclose(np.tril(A) @ ours, 3.0 * B, rtol=1e-9)
+
+    def test_custom_column_runner_is_used(self, rng):
+        A = rng.normal(size=(12, 12)) + 12 * np.eye(12)
+        B = rng.normal(size=(12, 20))
+        calls = []
+
+        def runner(thunks):
+            calls.append(len(thunks))
+            for thunk in thunks:
+                thunk()
+
+        result = blocked.trsm_blocked(A, B, tile=8, column_task_runner=runner)
+        assert calls == [3]  # ceil(20 / 8) column panels
+        np.testing.assert_allclose(result, reference.trsm(A, B), rtol=1e-9)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError, match="dimensions"):
+            blocked.trsm_blocked(rng.normal(size=(4, 4)), rng.normal(size=(5, 2)))

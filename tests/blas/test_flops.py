@@ -1,0 +1,84 @@
+"""Tests for FLOP and memory-footprint accounting."""
+
+import pytest
+
+from repro.blas.flops import (
+    arithmetic_intensity,
+    fits_memory_cap,
+    flop_count,
+    memory_bytes,
+    memory_words,
+)
+
+
+class TestFlops:
+    def test_gemm_flops(self):
+        assert flop_count("dgemm", {"m": 10, "k": 20, "n": 30}) == 2 * 10 * 20 * 30
+
+    def test_symm_flops(self):
+        assert flop_count("dsymm", {"m": 8, "n": 5}) == 2 * 8 * 8 * 5
+
+    def test_syrk_flops(self):
+        assert flop_count("dsyrk", {"n": 6, "k": 4}) == 6 * 7 * 4
+
+    def test_syr2k_is_twice_syrk(self):
+        dims = {"n": 12, "k": 7}
+        assert flop_count("dsyr2k", dims) == 2 * flop_count("dsyrk", dims)
+
+    def test_trmm_trsm_flops_equal(self):
+        dims = {"m": 9, "n": 4}
+        assert flop_count("dtrmm", dims) == flop_count("dtrsm", dims) == 9 * 9 * 4
+
+    def test_precision_does_not_change_flops(self):
+        dims = {"m": 16, "k": 16, "n": 16}
+        assert flop_count("sgemm", dims) == flop_count("dgemm", dims)
+
+
+class TestMemory:
+    def test_gemm_words(self):
+        assert memory_words("dgemm", {"m": 2, "k": 3, "n": 4}) == 2 * 3 + 3 * 4 + 2 * 4
+
+    def test_symm_words(self):
+        assert memory_words("dsymm", {"m": 3, "n": 4}) == 9 + 2 * 12
+
+    def test_trsm_counts_overwritten_operand_once(self):
+        # B is both input and output but occupies one buffer.
+        assert memory_words("dtrsm", {"m": 5, "n": 2}) == 25 + 10
+
+    def test_bytes_scale_with_precision(self):
+        dims = {"m": 10, "k": 10, "n": 10}
+        assert memory_bytes("dgemm", dims) == 2 * memory_bytes("sgemm", dims)
+
+    def test_explicit_precision_override(self):
+        dims = {"m": 10, "k": 10, "n": 10}
+        assert memory_bytes("dgemm", dims, precision="s") == memory_bytes("sgemm", dims)
+
+    def test_memory_cap_check(self):
+        small = {"m": 100, "k": 100, "n": 100}
+        huge = {"m": 10000, "k": 10000, "n": 10000}
+        assert fits_memory_cap("dgemm", small)
+        assert not fits_memory_cap("dgemm", huge)
+
+    def test_cap_respects_precision(self):
+        # A problem right at the double-precision cap fits in single precision.
+        dims = {"m": 4500, "k": 4500, "n": 4500}
+        assert not fits_memory_cap("dgemm", dims, cap_bytes=400e6)
+        assert fits_memory_cap("sgemm", dims, cap_bytes=400e6)
+
+
+class TestIntensity:
+    def test_gemm_intensity_grows_with_size(self):
+        small = arithmetic_intensity("dgemm", {"m": 64, "k": 64, "n": 64})
+        large = arithmetic_intensity("dgemm", {"m": 1024, "k": 1024, "n": 1024})
+        assert large > small
+
+    def test_intensity_is_flops_per_byte(self):
+        dims = {"m": 32, "k": 32, "n": 32}
+        expected = flop_count("dgemm", dims) / memory_bytes("dgemm", dims)
+        assert arithmetic_intensity("dgemm", dims) == pytest.approx(expected)
+
+    def test_single_precision_has_higher_intensity(self):
+        dims = {"m": 256, "k": 256, "n": 256}
+        assert arithmetic_intensity("sgemm", dims) == pytest.approx(
+            2 * arithmetic_intensity("dgemm", dims)
+        )

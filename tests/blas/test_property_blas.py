@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the BLAS substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.blas import reference
+from repro.blas.flops import flop_count, memory_words
+from repro.blas.threaded import ThreadedBlas
+
+matrix_elements = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+small_dim = st.integers(1, 24)
+
+
+@st.composite
+def gemm_operands(draw):
+    m, k, n = draw(small_dim), draw(small_dim), draw(small_dim)
+    A = draw(hnp.arrays(np.float64, (m, k), elements=matrix_elements))
+    B = draw(hnp.arrays(np.float64, (k, n), elements=matrix_elements))
+    return A, B
+
+
+@st.composite
+def square_and_panel(draw):
+    m, n = draw(small_dim), draw(small_dim)
+    A = draw(hnp.arrays(np.float64, (m, m), elements=matrix_elements))
+    B = draw(hnp.arrays(np.float64, (m, n), elements=matrix_elements))
+    return A, B
+
+
+class TestReferenceProperties:
+    @given(gemm_operands())
+    @settings(max_examples=40, deadline=None)
+    def test_gemm_matches_numpy(self, operands):
+        A, B = operands
+        np.testing.assert_allclose(reference.gemm(A, B), A @ B, rtol=1e-10, atol=1e-10)
+
+    @given(square_and_panel())
+    @settings(max_examples=40, deadline=None)
+    def test_symm_equals_gemm_on_symmetric_input(self, operands):
+        A, B = operands
+        full = reference.symmetrize(A, lower=True)
+        np.testing.assert_allclose(
+            reference.symm(A, B, lower=True), full @ B, rtol=1e-10, atol=1e-10
+        )
+
+    @given(hnp.arrays(np.float64, st.tuples(small_dim, small_dim), elements=matrix_elements))
+    @settings(max_examples=40, deadline=None)
+    def test_syrk_result_is_symmetric_psd_diagonal(self, A):
+        result = reference.syrk(A)
+        np.testing.assert_allclose(result, result.T, atol=1e-10)
+        assert np.all(np.diag(result) >= -1e-9)
+
+    @given(square_and_panel())
+    @settings(max_examples=30, deadline=None)
+    def test_trsm_inverts_trmm(self, operands):
+        A, B = operands
+        # Make the triangular factor well conditioned.
+        A = A + A.shape[0] * 10.0 * np.eye(A.shape[0])
+        product = reference.trmm(A, B)
+        recovered = reference.trsm(A, product)
+        np.testing.assert_allclose(recovered, B, rtol=1e-6, atol=1e-6)
+
+    @given(square_and_panel(), st.floats(0.1, 5.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_trmm_is_linear_in_alpha(self, operands, alpha):
+        A, B = operands
+        scaled = reference.trmm(A, B, alpha=alpha)
+        unscaled = reference.trmm(A, B)
+        np.testing.assert_allclose(scaled, alpha * unscaled, rtol=1e-9, atol=1e-9)
+
+
+class TestThreadedProperties:
+    @given(gemm_operands(), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_threaded_gemm_matches_reference(self, operands, n_threads):
+        A, B = operands
+        executor = ThreadedBlas(n_threads=n_threads, tile=16)
+        np.testing.assert_allclose(executor.gemm(A, B), A @ B, rtol=1e-10, atol=1e-10)
+
+    @given(hnp.arrays(np.float64, st.tuples(small_dim, small_dim), elements=matrix_elements))
+    @settings(max_examples=20, deadline=None)
+    def test_threaded_syrk_symmetric(self, A):
+        result = ThreadedBlas(n_threads=2, tile=16).syrk(A)
+        np.testing.assert_allclose(result, result.T, atol=1e-10)
+
+
+class TestAccountingProperties:
+    @given(small_dim, small_dim, small_dim)
+    @settings(max_examples=50, deadline=None)
+    def test_gemm_flops_positive_and_monotone(self, m, k, n):
+        base = flop_count("dgemm", {"m": m, "k": k, "n": n})
+        grown = flop_count("dgemm", {"m": m + 1, "k": k, "n": n})
+        assert base > 0
+        assert grown > base
+
+    @given(small_dim, small_dim)
+    @settings(max_examples=50, deadline=None)
+    def test_syr2k_memory_exceeds_syrk(self, n, k):
+        assert memory_words("dsyr2k", {"n": n, "k": k}) > memory_words(
+            "dsyrk", {"n": n, "k": k}
+        )
+
+    @given(small_dim, small_dim)
+    @settings(max_examples=50, deadline=None)
+    def test_trmm_trsm_memory_identical(self, m, n):
+        dims = {"m": m, "n": n}
+        assert memory_words("dtrmm", dims) == memory_words("dtrsm", dims)

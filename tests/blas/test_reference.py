@@ -1,0 +1,218 @@
+"""Reference-implementation tests, checked against scipy.linalg.blas."""
+
+import numpy as np
+import pytest
+from scipy.linalg import blas as scipy_blas
+
+from repro.blas import reference
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestHelpers:
+    def test_symmetrize_lower(self, rng):
+        A = rng.normal(size=(5, 5))
+        full = reference.symmetrize(A, lower=True)
+        np.testing.assert_allclose(full, full.T)
+        np.testing.assert_allclose(np.tril(full), np.tril(A))
+
+    def test_symmetrize_upper(self, rng):
+        A = rng.normal(size=(4, 4))
+        full = reference.symmetrize(A, lower=False)
+        np.testing.assert_allclose(np.triu(full), np.triu(A))
+
+    def test_symmetrize_requires_square(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            reference.symmetrize(rng.normal(size=(3, 4)))
+
+    def test_make_triangular_unit_diag(self, rng):
+        A = rng.normal(size=(4, 4))
+        tri = reference.make_triangular(A, lower=True, unit_diag=True)
+        np.testing.assert_allclose(np.diag(tri), 1.0)
+        np.testing.assert_allclose(np.tril(tri, -1), np.tril(A, -1))
+
+
+class TestGemm:
+    def test_matches_scipy(self, rng):
+        A, B = rng.normal(size=(17, 9)), rng.normal(size=(9, 23))
+        expected = scipy_blas.dgemm(1.0, A, B)
+        np.testing.assert_allclose(reference.gemm(A, B), expected, rtol=1e-12)
+
+    def test_alpha_beta_accumulation(self, rng):
+        A, B, C = rng.normal(size=(6, 4)), rng.normal(size=(4, 5)), rng.normal(size=(6, 5))
+        result = reference.gemm(A, B, C=C, alpha=2.0, beta=-0.5)
+        np.testing.assert_allclose(result, 2.0 * A @ B - 0.5 * C, rtol=1e-12)
+
+    def test_transposed_operands(self, rng):
+        A, B = rng.normal(size=(4, 6)), rng.normal(size=(5, 4))
+        result = reference.gemm(A, B, transa=True, transb=True)
+        np.testing.assert_allclose(result, A.T @ B.T, rtol=1e-12)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError, match="Inner dimensions"):
+            reference.gemm(rng.normal(size=(3, 4)), rng.normal(size=(5, 3)))
+
+    def test_beta_without_c_rejected(self, rng):
+        with pytest.raises(ValueError, match="requires C"):
+            reference.gemm(rng.normal(size=(3, 4)), rng.normal(size=(4, 3)), beta=1.0)
+
+
+class TestSymm:
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_matches_scipy_left(self, rng, lower):
+        A = rng.normal(size=(7, 7))
+        B = rng.normal(size=(7, 5))
+        expected = scipy_blas.dsymm(1.0, A, B, lower=int(lower), side=0)
+        np.testing.assert_allclose(
+            reference.symm(A, B, side="L", lower=lower), expected, rtol=1e-12
+        )
+
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_matches_scipy_right(self, rng, lower):
+        A = rng.normal(size=(5, 5))
+        B = rng.normal(size=(7, 5))
+        expected = scipy_blas.dsymm(1.0, A, B, lower=int(lower), side=1)
+        np.testing.assert_allclose(
+            reference.symm(A, B, side="R", lower=lower), expected, rtol=1e-12
+        )
+
+    def test_only_selected_triangle_is_read(self, rng):
+        A = rng.normal(size=(6, 6))
+        B = rng.normal(size=(6, 3))
+        A_garbage = A.copy()
+        A_garbage[np.triu_indices(6, 1)] = 1e9  # pollute the unread triangle
+        np.testing.assert_allclose(
+            reference.symm(A, B, lower=True), reference.symm(A_garbage, B, lower=True)
+        )
+
+    def test_beta_accumulation(self, rng):
+        A, B, C = rng.normal(size=(4, 4)), rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+        result = reference.symm(A, B, C=C, alpha=1.5, beta=2.0)
+        expected = 1.5 * reference.symmetrize(A) @ B + 2.0 * C
+        np.testing.assert_allclose(result, expected, rtol=1e-12)
+
+    def test_invalid_side(self, rng):
+        with pytest.raises(ValueError, match="side"):
+            reference.symm(rng.normal(size=(3, 3)), rng.normal(size=(3, 2)), side="X")
+
+
+class TestSyrk:
+    def test_matches_scipy(self, rng):
+        A = rng.normal(size=(6, 9))
+        expected_lower = scipy_blas.dsyrk(1.0, A, lower=1)
+        ours = reference.syrk(A)
+        np.testing.assert_allclose(np.tril(ours), np.tril(expected_lower), rtol=1e-12)
+
+    def test_transposed_variant(self, rng):
+        A = rng.normal(size=(6, 9))
+        np.testing.assert_allclose(reference.syrk(A, trans=True), A.T @ A, rtol=1e-12)
+
+    def test_result_is_symmetric(self, rng):
+        result = reference.syrk(rng.normal(size=(5, 7)))
+        np.testing.assert_allclose(result, result.T)
+
+    def test_beta_accumulates_symmetric_c(self, rng):
+        A = rng.normal(size=(4, 6))
+        C = rng.normal(size=(4, 4))
+        result = reference.syrk(A, C=C, alpha=1.0, beta=3.0)
+        expected = A @ A.T + 3.0 * reference.symmetrize(C)
+        np.testing.assert_allclose(result, expected, rtol=1e-12)
+
+    def test_wrong_c_shape(self, rng):
+        with pytest.raises(ValueError, match="expected"):
+            reference.syrk(rng.normal(size=(4, 6)), C=rng.normal(size=(3, 3)), beta=1.0)
+
+
+class TestSyr2k:
+    def test_matches_scipy(self, rng):
+        A, B = rng.normal(size=(5, 8)), rng.normal(size=(5, 8))
+        expected = scipy_blas.dsyr2k(1.0, A, B, lower=1)
+        ours = reference.syr2k(A, B)
+        np.testing.assert_allclose(np.tril(ours), np.tril(expected), rtol=1e-12)
+
+    def test_definition(self, rng):
+        A, B = rng.normal(size=(4, 6)), rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            reference.syr2k(A, B), A @ B.T + B @ A.T, rtol=1e-12
+        )
+
+    def test_symmetric_result(self, rng):
+        result = reference.syr2k(rng.normal(size=(6, 3)), rng.normal(size=(6, 3)))
+        np.testing.assert_allclose(result, result.T)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="same shape"):
+            reference.syr2k(rng.normal(size=(4, 3)), rng.normal(size=(5, 3)))
+
+
+class TestTrmm:
+    @pytest.mark.parametrize("lower", [True, False])
+    @pytest.mark.parametrize("transa", [True, False])
+    def test_matches_scipy(self, rng, lower, transa):
+        A = rng.normal(size=(6, 6))
+        B = rng.normal(size=(6, 4))
+        expected = scipy_blas.dtrmm(
+            1.0, A, B, side=0, lower=int(lower), trans_a=int(transa)
+        )
+        ours = reference.trmm(A, B, lower=lower, transa=transa)
+        np.testing.assert_allclose(ours, expected, rtol=1e-12)
+
+    def test_right_side(self, rng):
+        A = rng.normal(size=(4, 4))
+        B = rng.normal(size=(6, 4))
+        expected = B @ np.tril(A)
+        np.testing.assert_allclose(reference.trmm(A, B, side="R"), expected, rtol=1e-12)
+
+    def test_unit_diagonal(self, rng):
+        A = rng.normal(size=(5, 5))
+        B = rng.normal(size=(5, 3))
+        tri = np.tril(A, -1) + np.eye(5)
+        np.testing.assert_allclose(
+            reference.trmm(A, B, unit_diag=True), tri @ B, rtol=1e-12
+        )
+
+    def test_caller_array_not_modified(self, rng):
+        A, B = rng.normal(size=(4, 4)), rng.normal(size=(4, 2))
+        B_copy = B.copy()
+        reference.trmm(A, B)
+        np.testing.assert_allclose(B, B_copy)
+
+
+class TestTrsm:
+    @pytest.mark.parametrize("lower", [True, False])
+    @pytest.mark.parametrize("transa", [True, False])
+    def test_matches_scipy(self, rng, lower, transa):
+        A = rng.normal(size=(6, 6)) + 6.0 * np.eye(6)   # well conditioned
+        B = rng.normal(size=(6, 4))
+        expected = scipy_blas.dtrsm(
+            1.0, A, B, side=0, lower=int(lower), trans_a=int(transa)
+        )
+        ours = reference.trsm(A, B, lower=lower, transa=transa)
+        np.testing.assert_allclose(ours, expected, rtol=1e-9)
+
+    def test_solves_the_system(self, rng):
+        A = rng.normal(size=(5, 5)) + 5.0 * np.eye(5)
+        B = rng.normal(size=(5, 3))
+        X = reference.trsm(A, B, alpha=2.0)
+        np.testing.assert_allclose(np.tril(A) @ X, 2.0 * B, rtol=1e-9)
+
+    def test_right_side_solution(self, rng):
+        A = rng.normal(size=(3, 3)) + 4.0 * np.eye(3)
+        B = rng.normal(size=(5, 3))
+        X = reference.trsm(A, B, side="R")
+        np.testing.assert_allclose(X @ np.tril(A), B, rtol=1e-9)
+
+    def test_singular_matrix_raises(self, rng):
+        A = np.zeros((4, 4))
+        with pytest.raises(np.linalg.LinAlgError):
+            reference.trsm(A, rng.normal(size=(4, 2)))
+
+    def test_roundtrip_with_trmm(self, rng):
+        A = rng.normal(size=(6, 6)) + 6.0 * np.eye(6)
+        B = rng.normal(size=(6, 4))
+        product = reference.trmm(A, B)
+        recovered = reference.trsm(A, product)
+        np.testing.assert_allclose(recovered, B, rtol=1e-8)

@@ -1,0 +1,113 @@
+"""Tests for the multi-threaded blocked executor."""
+
+import numpy as np
+import pytest
+
+from repro.blas import reference
+from repro.blas.threaded import ThreadedBlas
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2)
+
+
+@pytest.fixture(params=[1, 3])
+def executor(request):
+    return ThreadedBlas(n_threads=request.param, tile=32)
+
+
+class TestCorrectness:
+    def test_gemm(self, executor, rng):
+        A, B = rng.normal(size=(90, 40)), rng.normal(size=(40, 70))
+        np.testing.assert_allclose(executor.gemm(A, B), A @ B, rtol=1e-12)
+
+    def test_gemm_with_accumulation(self, executor, rng):
+        A, B, C = rng.normal(size=(50, 20)), rng.normal(size=(20, 30)), rng.normal(size=(50, 30))
+        result = executor.gemm(A, B, C=C, alpha=2.0, beta=0.5)
+        np.testing.assert_allclose(result, 2.0 * A @ B + 0.5 * C, rtol=1e-12)
+
+    def test_symm(self, executor, rng):
+        A, B = rng.normal(size=(60, 60)), rng.normal(size=(60, 33))
+        np.testing.assert_allclose(executor.symm(A, B), reference.symm(A, B), rtol=1e-12)
+
+    def test_syrk(self, executor, rng):
+        A = rng.normal(size=(70, 25))
+        result = executor.syrk(A)
+        np.testing.assert_allclose(result, A @ A.T, rtol=1e-12)
+        np.testing.assert_allclose(result, result.T)
+
+    def test_syrk_with_beta(self, executor, rng):
+        A, C = rng.normal(size=(40, 10)), rng.normal(size=(40, 40))
+        result = executor.syrk(A, C=C, beta=2.0)
+        expected = A @ A.T + 2.0 * reference.symmetrize(C)
+        np.testing.assert_allclose(result, expected, rtol=1e-12)
+
+    def test_syr2k(self, executor, rng):
+        A, B = rng.normal(size=(45, 15)), rng.normal(size=(45, 15))
+        np.testing.assert_allclose(
+            executor.syr2k(A, B), A @ B.T + B @ A.T, rtol=1e-12
+        )
+
+    def test_trmm(self, executor, rng):
+        A, B = rng.normal(size=(55, 55)), rng.normal(size=(55, 21))
+        np.testing.assert_allclose(executor.trmm(A, B), reference.trmm(A, B), rtol=1e-11)
+
+    def test_trsm(self, executor, rng):
+        A = rng.normal(size=(48, 48)) + 48 * np.eye(48)
+        B = rng.normal(size=(48, 19))
+        np.testing.assert_allclose(executor.trsm(A, B), reference.trsm(A, B), rtol=1e-9)
+
+
+class TestThreadEquivalence:
+    @pytest.mark.parametrize("routine,make_args", [
+        ("gemm", lambda r: (r.normal(size=(65, 30)), r.normal(size=(30, 47)))),
+        ("syrk", lambda r: (r.normal(size=(65, 30)),)),
+        ("trmm", lambda r: (r.normal(size=(40, 40)), r.normal(size=(40, 40)))),
+    ])
+    def test_results_independent_of_thread_count(self, routine, make_args):
+        rng = np.random.default_rng(3)
+        args = make_args(rng)
+        single = getattr(ThreadedBlas(n_threads=1, tile=16), routine)(*args)
+        multi = getattr(ThreadedBlas(n_threads=4, tile=16), routine)(*args)
+        np.testing.assert_allclose(single, multi, rtol=1e-12)
+
+
+class TestRunDispatch:
+    def test_run_records_execution(self, rng):
+        executor = ThreadedBlas(n_threads=2, tile=32)
+        A, B = rng.normal(size=(64, 64)), rng.normal(size=(64, 64))
+        executor.run("dgemm", A=A, B=B)
+        record = executor.last_record
+        assert record is not None
+        assert record.routine == "dgemm"
+        assert record.threads == 2
+        assert record.elapsed_seconds > 0
+        assert record.n_tasks == 4
+
+    def test_run_single_precision(self, rng):
+        executor = ThreadedBlas(n_threads=1)
+        A, B = rng.normal(size=(16, 16)), rng.normal(size=(16, 16))
+        result = executor.run("sgemm", A=A, B=B)
+        assert result.dtype == np.float32
+
+    def test_run_trsm(self, rng):
+        executor = ThreadedBlas(n_threads=2, tile=16)
+        A = rng.normal(size=(32, 32)) + 32 * np.eye(32)
+        B = rng.normal(size=(32, 8))
+        result = executor.run("dtrsm", A=A, B=B)
+        np.testing.assert_allclose(np.tril(A) @ result, B, rtol=1e-9)
+
+    def test_unknown_routine(self):
+        with pytest.raises(KeyError):
+            ThreadedBlas().run("dgemv", A=np.eye(2), B=np.eye(2))
+
+
+class TestValidation:
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError, match="n_threads"):
+            ThreadedBlas(n_threads=0)
+
+    def test_invalid_tile(self):
+        with pytest.raises(ValueError, match="tile"):
+            ThreadedBlas(tile=4)

@@ -1,0 +1,105 @@
+"""Tests for the timing dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TimingDataset
+
+
+@pytest.fixture()
+def dataset():
+    data = TimingDataset(routine="dgemm", platform="laptop")
+    rng = np.random.default_rng(0)
+    for i in range(40):
+        dims = {"m": int(rng.integers(32, 512)), "k": int(rng.integers(32, 512)),
+                "n": int(rng.integers(32, 512))}
+        for threads in (1, 4, 16):
+            data.append(dims, threads, float(rng.uniform(1e-4, 1e-1)))
+    return data
+
+
+class TestConstruction:
+    def test_append_and_len(self, dataset):
+        assert len(dataset) == 120
+
+    def test_append_validates_threads(self):
+        data = TimingDataset(routine="dgemm", platform="x")
+        with pytest.raises(ValueError, match="threads"):
+            data.append({"m": 1, "k": 1, "n": 1}, 0, 0.1)
+
+    def test_append_validates_time(self):
+        data = TimingDataset(routine="dgemm", platform="x")
+        with pytest.raises(ValueError, match="time"):
+            data.append({"m": 1, "k": 1, "n": 1}, 1, 0.0)
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            TimingDataset(routine="dgemm", platform="x", dims=[{}], threads=[], times=[])
+
+    def test_extend_merges_same_routine(self, dataset):
+        other = TimingDataset(routine="dgemm", platform="laptop")
+        other.append({"m": 2, "k": 2, "n": 2}, 2, 0.5)
+        n_before = len(dataset)
+        dataset.extend(other)
+        assert len(dataset) == n_before + 1
+
+    def test_extend_rejects_different_routine(self, dataset):
+        other = TimingDataset(routine="dsyrk", platform="laptop")
+        with pytest.raises(ValueError, match="different routines"):
+            dataset.extend(other)
+
+
+class TestViews:
+    def test_feature_matrix_shape(self, dataset):
+        X = dataset.feature_matrix()
+        assert X.shape == (len(dataset), 17)
+
+    def test_target_matches_times(self, dataset):
+        np.testing.assert_allclose(dataset.target(), dataset.times)
+
+    def test_empty_dataset_feature_matrix_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TimingDataset(routine="dgemm", platform="x").feature_matrix()
+
+    def test_unique_shapes(self, dataset):
+        shapes = dataset.unique_shapes()
+        assert len(shapes) == 40
+        keys = {tuple(sorted(s.items())) for s in shapes}
+        assert len(keys) == 40
+
+    def test_describe_summary(self, dataset):
+        summary = dataset.describe()
+        assert summary["n_samples"] == 120
+        assert summary["n_shapes"] == 40
+        assert summary["min_threads"] == 1
+        assert summary["max_threads"] == 16
+        assert summary["min_time"] > 0
+
+
+class TestSplit:
+    def test_split_fractions(self, dataset):
+        X_train, X_test, y_train, y_test = dataset.train_test_split(test_size=0.15, random_state=0)
+        assert len(X_train) + len(X_test) == len(dataset)
+        assert abs(len(X_test) - 0.15 * len(dataset)) <= 0.05 * len(dataset)
+        assert len(y_train) == len(X_train)
+
+    def test_split_reproducible(self, dataset):
+        a = dataset.train_test_split(random_state=3)
+        b = dataset.train_test_split(random_state=3)
+        np.testing.assert_allclose(a[0], b[0])
+
+
+class TestSerialisation:
+    def test_roundtrip(self, dataset):
+        restored = TimingDataset.from_dict(dataset.to_dict())
+        assert restored.routine == dataset.routine
+        assert restored.platform == dataset.platform
+        assert len(restored) == len(dataset)
+        np.testing.assert_allclose(restored.target(), dataset.target())
+        assert restored.dims[0] == dataset.dims[0]
+
+    def test_to_dict_is_json_friendly(self, dataset):
+        import json
+
+        text = json.dumps(dataset.to_dict())
+        assert "dgemm" in text

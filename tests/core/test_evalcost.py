@@ -1,0 +1,94 @@
+"""Tests for the native model-evaluation cost estimates (the paper's t_eval)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evalcost import estimate_native_eval_time
+from repro.ml.bayes import BayesianRidge
+from repro.ml.boosting import GradientBoostingRegressor, HistGradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.svm import SVR
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, size=(400, 9))
+    y = X @ rng.uniform(0, 1, size=9) + rng.normal(0, 0.05, 400)
+    models = {
+        "linear": LinearRegression().fit(X, y),
+        "bayes": BayesianRidge().fit(X, y),
+        "tree": DecisionTreeRegressor(max_depth=8).fit(X, y),
+        "forest": RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y),
+        "xgboost": GradientBoostingRegressor(n_estimators=20, max_depth=4).fit(X, y),
+        "lightgbm": HistGradientBoostingRegressor(n_estimators=20, max_depth=4).fit(X, y),
+        "knn": KNeighborsRegressor(n_neighbors=5).fit(X, y),
+        "svr": SVR(max_iter=20).fit(X, y),
+    }
+    return models
+
+
+N_CANDIDATES = 96
+N_FEATURES = 9
+
+
+class TestMagnitudes:
+    """The estimates should land in the ranges of the paper's Table VI."""
+
+    def test_linear_models_are_microseconds(self, fitted_models):
+        for key in ("linear", "bayes"):
+            t = estimate_native_eval_time(fitted_models[key], N_CANDIDATES, N_FEATURES)
+            assert 1e-6 < t < 3e-5
+
+    def test_single_tree_is_cheap(self, fitted_models):
+        t = estimate_native_eval_time(fitted_models["tree"], N_CANDIDATES, N_FEATURES)
+        assert t < 1e-4
+
+    def test_knn_is_milliseconds(self, fitted_models):
+        t = estimate_native_eval_time(fitted_models["knn"], N_CANDIDATES, N_FEATURES)
+        assert 5e-4 < t < 2e-2
+
+    def test_ensembles_sit_between_linear_and_knn(self, fitted_models):
+        linear = estimate_native_eval_time(fitted_models["linear"], N_CANDIDATES, N_FEATURES)
+        knn = estimate_native_eval_time(fitted_models["knn"], N_CANDIDATES, N_FEATURES)
+        for key in ("forest", "xgboost", "lightgbm"):
+            t = estimate_native_eval_time(fitted_models[key], N_CANDIDATES, N_FEATURES)
+            assert linear < t < knn * 10
+
+    def test_ordering_matches_paper(self, fitted_models):
+        """Linear < tree < boosted ensemble < kNN, as in Table VI."""
+        times = {
+            key: estimate_native_eval_time(fitted_models[key], N_CANDIDATES, N_FEATURES)
+            for key in ("bayes", "tree", "xgboost", "knn")
+        }
+        assert times["bayes"] < times["tree"] < times["xgboost"] < times["knn"]
+
+
+class TestScaling:
+    def test_cost_grows_with_candidates(self, fitted_models):
+        small = estimate_native_eval_time(fitted_models["xgboost"], 16, N_FEATURES)
+        large = estimate_native_eval_time(fitted_models["xgboost"], 256, N_FEATURES)
+        assert large > small
+
+    def test_linear_cost_grows_with_features(self, fitted_models):
+        narrow = estimate_native_eval_time(fitted_models["linear"], N_CANDIDATES, 5)
+        wide = estimate_native_eval_time(fitted_models["linear"], N_CANDIDATES, 17)
+        assert wide > narrow
+
+    def test_svr_estimate_positive(self, fitted_models):
+        assert estimate_native_eval_time(fitted_models["svr"], N_CANDIDATES, N_FEATURES) > 0
+
+    def test_unknown_model_falls_back_to_linear_cost(self):
+        class Mystery:
+            pass
+
+        assert estimate_native_eval_time(Mystery(), 96, 9) < 1e-4
+
+    def test_invalid_arguments(self, fitted_models):
+        with pytest.raises(ValueError):
+            estimate_native_eval_time(fitted_models["linear"], 0, 9)
+        with pytest.raises(ValueError):
+            estimate_native_eval_time(fitted_models["linear"], 96, 0)

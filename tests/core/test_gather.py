@@ -1,0 +1,97 @@
+"""Tests for installation-time data gathering."""
+
+import numpy as np
+import pytest
+
+from repro.blas.flops import memory_bytes
+from repro.core.gather import DataGatherer, spread_thread_counts
+
+
+class TestSpreadThreadCounts:
+    def test_includes_endpoints(self):
+        counts = spread_thread_counts(96, 10)
+        assert counts[0] == 1
+        assert counts[-1] == 96
+
+    def test_requested_number_of_counts(self):
+        counts = spread_thread_counts(96, 12)
+        assert len(counts) == 12
+        assert counts == sorted(set(counts))
+
+    def test_clamped_to_max_threads(self):
+        counts = spread_thread_counts(4, 10)
+        assert counts == [1, 2, 3, 4]
+
+    def test_single_count_returns_max(self):
+        assert spread_thread_counts(8, 1) == [8]
+
+    def test_two_counts(self):
+        assert spread_thread_counts(8, 2) == [1, 8]
+
+    def test_jitter_with_rng_still_valid(self):
+        rng = np.random.default_rng(0)
+        counts = spread_thread_counts(256, 14, rng=rng)
+        assert counts[0] >= 1 and counts[-1] <= 256
+        assert 256 in counts and 1 in counts
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            spread_thread_counts(0, 4)
+        with pytest.raises(ValueError):
+            spread_thread_counts(8, 0)
+
+
+class TestDataGatherer:
+    def test_gather_produces_expected_row_count(self, simulator):
+        gatherer = DataGatherer(simulator, "dgemm", n_shapes=6, threads_per_shape=4, seed=0)
+        dataset = gatherer.gather()
+        # Every shape is timed at between 2 and threads_per_shape counts.
+        assert 6 * 2 <= len(dataset) <= 6 * 4
+        assert len(dataset.unique_shapes()) == 6
+
+    def test_gather_respects_memory_cap(self, simulator):
+        cap = 50e6
+        gatherer = DataGatherer(
+            simulator, "dsymm", n_shapes=10, threads_per_shape=3,
+            memory_cap_bytes=cap, seed=1,
+        )
+        dataset = gatherer.gather()
+        for dims in dataset.dims:
+            assert memory_bytes("dsymm", dims) <= cap
+
+    def test_gather_times_are_positive_and_platform_labelled(self, simulator, laptop):
+        dataset = DataGatherer(simulator, "dtrsm", n_shapes=4, threads_per_shape=3, seed=0).gather()
+        assert dataset.platform == laptop.name
+        assert min(dataset.times) > 0
+
+    def test_thread_counts_within_platform_limit(self, simulator, laptop):
+        dataset = DataGatherer(simulator, "dsyrk", n_shapes=5, threads_per_shape=6, seed=0).gather()
+        assert max(dataset.threads) <= laptop.max_threads
+        assert min(dataset.threads) >= 1
+
+    def test_gather_deterministic_for_seed(self, laptop):
+        from repro.machine.simulator import TimingSimulator
+
+        a = DataGatherer(TimingSimulator(laptop, seed=0), "dgemm", n_shapes=4,
+                         threads_per_shape=3, seed=7).gather()
+        b = DataGatherer(TimingSimulator(laptop, seed=0), "dgemm", n_shapes=4,
+                         threads_per_shape=3, seed=7).gather()
+        assert a.dims == b.dims
+        np.testing.assert_allclose(a.times, b.times)
+
+    def test_test_set_disjoint_from_training_shapes(self, simulator):
+        gatherer = DataGatherer(simulator, "dgemm", n_shapes=10, threads_per_shape=2, seed=0)
+        train = gatherer.gather()
+        test_shapes = gatherer.gather_test_set(10)
+        train_keys = {tuple(sorted(d.items())) for d in train.unique_shapes()}
+        test_keys = {tuple(sorted(d.items())) for d in test_shapes}
+        assert len(test_keys & train_keys) <= 1  # quasi-random collision is unlikely
+
+    def test_invalid_parameters(self, simulator):
+        with pytest.raises(ValueError):
+            DataGatherer(simulator, "dgemm", n_shapes=0)
+        with pytest.raises(ValueError):
+            DataGatherer(simulator, "dgemm", threads_per_shape=0)
+        gatherer = DataGatherer(simulator, "dgemm", n_shapes=2)
+        with pytest.raises(ValueError):
+            gatherer.gather_test_set(0)

@@ -1,0 +1,85 @@
+"""Tests for the installation workflow."""
+
+import pytest
+
+from repro.core.install import InstallationBundle, install_adsala
+from repro.core.predictor import ThreadPredictor
+from repro.machine.simulator import TimingSimulator
+
+
+class TestBundleContents:
+    def test_requested_routines_installed(self, small_bundle):
+        assert small_bundle.installed_routines == ["dgemm", "dsyrk"]
+
+    def test_predictor_lookup(self, small_bundle):
+        predictor = small_bundle.predictor("dgemm")
+        assert isinstance(predictor, ThreadPredictor)
+        assert predictor.routine == "dgemm"
+
+    def test_predictor_lookup_unknown_routine(self, small_bundle):
+        with pytest.raises(KeyError, match="not installed"):
+            small_bundle.predictor("dsymm")
+
+    def test_best_models_mapping(self, small_bundle):
+        best = small_bundle.best_models()
+        assert set(best) == {"dgemm", "dsyrk"}
+        assert all(name in ("LinearRegression", "DecisionTree") for name in best.values())
+
+    def test_winning_model_used_by_predictor(self, small_bundle):
+        for routine, installation in small_bundle.routines.items():
+            assert installation.predictor.model_name == installation.best_model_name
+
+    def test_dataset_sizes_match_campaign(self, small_bundle):
+        for installation in small_bundle.routines.values():
+            assert len(installation.dataset.unique_shapes()) == 18
+            assert len(installation.test_shapes) == 8
+
+    def test_candidate_threads_cover_platform(self, small_bundle, laptop):
+        predictor = small_bundle.predictor("dgemm")
+        assert predictor.candidate_threads[-1] == laptop.max_threads
+
+    def test_settings_recorded(self, small_bundle):
+        assert small_bundle.settings["n_samples"] == 18
+        assert small_bundle.settings["use_yeo_johnson"] is True
+
+    def test_candidate_names_recorded(self, small_bundle):
+        assert set(small_bundle.candidate_names) == {"LinearRegression", "DecisionTree"}
+
+
+class TestInstallOptions:
+    def test_routine_names_normalised(self, laptop):
+        bundle = install_adsala(
+            platform=laptop,
+            routines=["GEMM"],  # bare upper-case name -> double precision
+            n_samples=6,
+            threads_per_shape=3,
+            n_test_shapes=3,
+            candidate_models=["LinearRegression"],
+            seed=0,
+        )
+        assert bundle.installed_routines == ["dgemm"]
+
+    def test_empty_routines_rejected(self, laptop):
+        with pytest.raises(ValueError, match="routines"):
+            install_adsala(platform=laptop, routines=[])
+
+    def test_external_simulator_reused(self, laptop):
+        simulator = TimingSimulator(laptop, seed=3)
+        bundle = install_adsala(
+            platform=laptop,
+            routines=["dtrsm"],
+            n_samples=6,
+            threads_per_shape=3,
+            n_test_shapes=3,
+            candidate_models=["LinearRegression"],
+            simulator=simulator,
+        )
+        assert bundle.simulator is simulator
+
+    def test_mismatched_simulator_rejected(self, laptop, gadi):
+        simulator = TimingSimulator(gadi, seed=0)
+        with pytest.raises(ValueError, match="platform"):
+            install_adsala(platform=laptop, routines=["dgemm"], simulator=simulator)
+
+    def test_isinstance_of_bundle(self, small_bundle):
+        assert isinstance(small_bundle, InstallationBundle)

@@ -1,0 +1,77 @@
+"""Tests for saving and loading installation bundles."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_bundle, save_bundle
+
+
+@pytest.fixture()
+def saved_dir(small_bundle, tmp_path):
+    return save_bundle(small_bundle, tmp_path / "bundle")
+
+
+class TestSave:
+    def test_manifest_written(self, saved_dir):
+        manifest_path = saved_dir / "bundle.json"
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["platform"] == "laptop"
+        assert set(manifest["routines"]) == {"dgemm", "dsyrk"}
+
+    def test_model_files_written(self, saved_dir):
+        assert (saved_dir / "dgemm.model.pkl").exists()
+        assert (saved_dir / "dsyrk.model.pkl").exists()
+
+    def test_manifest_contains_preprocessing_config(self, saved_dir):
+        manifest = json.loads((saved_dir / "bundle.json").read_text())
+        preprocessing = manifest["routines"]["dgemm"]["preprocessing"]
+        assert "feature_names" in preprocessing
+        assert "correlation" in preprocessing
+
+    def test_selection_summary_serialised(self, saved_dir):
+        manifest = json.loads((saved_dir / "bundle.json").read_text())
+        selection = manifest["routines"]["dgemm"]["selection"]
+        assert selection["best_model_name"]
+        assert len(selection["evaluations"]) == 2
+
+
+class TestLoad:
+    def test_roundtrip_preserves_structure(self, small_bundle, saved_dir):
+        restored = load_bundle(saved_dir)
+        assert restored.platform.name == small_bundle.platform.name
+        assert restored.installed_routines == small_bundle.installed_routines
+        assert restored.best_models() == small_bundle.best_models()
+
+    def test_roundtrip_preserves_predictions(self, small_bundle, saved_dir):
+        restored = load_bundle(saved_dir)
+        dims = {"m": 300, "k": 200, "n": 100}
+        original_runtimes = small_bundle.predictor("dgemm").predict_runtimes(dims)
+        restored_runtimes = restored.predictor("dgemm").predict_runtimes(dims)
+        np.testing.assert_allclose(restored_runtimes, original_runtimes, rtol=1e-12)
+
+    def test_roundtrip_preserves_thread_choice(self, small_bundle, saved_dir):
+        restored = load_bundle(saved_dir)
+        for routine in small_bundle.installed_routines:
+            dims_list = small_bundle.routines[routine].test_shapes[:3]
+            for dims in dims_list:
+                assert restored.predictor(routine).predict_threads(
+                    dims, use_cache=False
+                ) == small_bundle.predictor(routine).predict_threads(dims, use_cache=False)
+
+    def test_roundtrip_preserves_datasets(self, small_bundle, saved_dir):
+        restored = load_bundle(saved_dir)
+        original = small_bundle.routines["dgemm"].dataset
+        loaded = restored.routines["dgemm"].dataset
+        assert len(loaded) == len(original)
+        np.testing.assert_allclose(loaded.target(), original.target())
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_bundle(tmp_path / "does-not-exist")
+
+    def test_settings_survive_roundtrip(self, small_bundle, saved_dir):
+        restored = load_bundle(saved_dir)
+        assert restored.settings["n_samples"] == small_bundle.settings["n_samples"]

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the ADSALA core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.blas.flops import flop_count, memory_bytes, memory_words
+from repro.core.features import compute_features, feature_matrix_for_threads, feature_names
+from repro.core.sampling import DomainSampler, ScrambledHaltonSequence
+from repro.machine.perfmodel import PerformanceModel
+from repro.machine.platforms import LAPTOP
+
+dims_3d = st.fixed_dictionaries(
+    {
+        "m": st.integers(1, 5000),
+        "k": st.integers(1, 5000),
+        "n": st.integers(1, 5000),
+    }
+)
+dims_2d_syrk = st.fixed_dictionaries(
+    {"n": st.integers(1, 5000), "k": st.integers(1, 5000)}
+)
+threads = st.integers(1, 16)
+
+
+class TestFeatureProperties:
+    @given(dims_3d, threads)
+    @settings(max_examples=60, deadline=None)
+    def test_gemm_features_finite_positive_and_consistent(self, dims, nt):
+        vector = compute_features("dgemm", dims, nt)
+        names = feature_names("dgemm")
+        assert vector.shape == (len(names),)
+        assert np.all(np.isfinite(vector)) and np.all(vector > 0)
+        named = dict(zip(names, vector))
+        assert named["memory_footprint"] == memory_words("dgemm", dims)
+        assert named["m*k*n"] == dims["m"] * dims["k"] * dims["n"]
+        assert np.isclose(named["m*k*n/nt"] * nt, named["m*k*n"], rtol=1e-12)
+
+    @given(dims_2d_syrk, threads)
+    @settings(max_examples=60, deadline=None)
+    def test_two_dim_features_scale_inversely_with_threads(self, dims, nt):
+        base = compute_features("dsyrk", dims, 1)
+        scaled = compute_features("dsyrk", dims, nt)
+        names = feature_names("dsyrk")
+        idx = names.index("memory_footprint/nt")
+        assert np.isclose(scaled[idx] * nt, base[idx])
+
+    @given(dims_3d)
+    @settings(max_examples=30, deadline=None)
+    def test_vectorised_matrix_matches_scalar_path(self, dims):
+        nts = np.array([1, 2, 5, 9, 16])
+        matrix = feature_matrix_for_threads("dgemm", dims, nts)
+        for row, nt in zip(matrix, nts):
+            np.testing.assert_allclose(row, compute_features("dgemm", dims, int(nt)))
+
+
+class TestAccountingProperties:
+    @given(dims_3d)
+    @settings(max_examples=60, deadline=None)
+    def test_flops_and_memory_monotone_in_every_dimension(self, dims):
+        for key in dims:
+            grown = dict(dims, **{key: dims[key] + 1})
+            assert flop_count("dgemm", grown) > flop_count("dgemm", dims)
+            assert memory_bytes("dgemm", grown) > memory_bytes("dgemm", dims)
+
+
+class TestPerfModelProperties:
+    model = PerformanceModel(LAPTOP)
+
+    @given(dims_3d.filter(lambda d: max(d.values()) <= 2048), threads)
+    @settings(max_examples=40, deadline=None)
+    def test_breakdown_components_positive_and_finite(self, dims, nt):
+        breakdown = self.model.breakdown("dgemm", dims, nt)
+        for value in (breakdown.kernel, breakdown.copy, breakdown.sync, breakdown.other):
+            assert np.isfinite(value) and value > 0
+
+    @given(dims_2d_syrk.filter(lambda d: max(d.values()) <= 2048), threads)
+    @settings(max_examples=40, deadline=None)
+    def test_runtime_scales_with_problem_volume(self, dims, nt):
+        bigger = {"n": dims["n"] * 2, "k": dims["k"] * 2}
+        assert self.model.time("dsyrk", bigger, nt) > self.model.time("dsyrk", dims, nt)
+
+
+class TestSamplingProperties:
+    @given(st.integers(0, 50), st.integers(2, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_scrambled_halton_stays_in_unit_cube(self, seed, n):
+        points = ScrambledHaltonSequence([2, 3, 4], seed=seed).take(n)
+        assert points.shape == (n, 3)
+        assert np.all((points >= 0.0) & (points < 1.0))
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_domain_sampler_always_respects_cap_and_bounds(self, seed):
+        sampler = DomainSampler("ssymm", memory_cap_bytes=200e6, min_dim=16, seed=seed)
+        for dims in sampler.sample(10):
+            assert memory_bytes("ssymm", dims, "s") <= 200e6
+            assert all(16 <= v <= sampler.max_dim for v in dims.values())

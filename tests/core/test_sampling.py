@@ -1,0 +1,177 @@
+"""Tests for Halton sequences and the domain sampler (paper Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.flops import memory_bytes
+from repro.core.sampling import (
+    DomainSampler,
+    HaltonSequence,
+    ScrambledHaltonSequence,
+    van_der_corput,
+)
+
+
+class TestVanDerCorput:
+    def test_base2_sequence(self):
+        values = [van_der_corput(i, 2) for i in range(1, 8)]
+        np.testing.assert_allclose(
+            values, [0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875]
+        )
+
+    def test_base3_first_values(self):
+        np.testing.assert_allclose(
+            [van_der_corput(i, 3) for i in (1, 2, 3)], [1 / 3, 2 / 3, 1 / 9]
+        )
+
+    def test_values_in_unit_interval(self):
+        for base in (2, 3, 4, 5):
+            values = [van_der_corput(i, base) for i in range(1, 200)]
+            assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_permutation_changes_values(self):
+        plain = van_der_corput(5, 3)
+        permuted = van_der_corput(5, 3, permutation=[0, 2, 1])
+        assert plain != permuted
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            van_der_corput(-1, 2)
+        with pytest.raises(ValueError):
+            van_der_corput(3, 1)
+
+
+class TestHaltonSequence:
+    def test_shape_of_take(self):
+        points = HaltonSequence([2, 3]).take(50)
+        assert points.shape == (50, 2)
+        assert np.all((points >= 0) & (points < 1))
+
+    def test_sequence_advances(self):
+        seq = HaltonSequence([2, 3])
+        first = seq.take(10)
+        second = seq.take(10)
+        assert not np.allclose(first, second)
+
+    def test_reset(self):
+        seq = HaltonSequence([2, 3])
+        first = seq.take(5)
+        seq.reset()
+        np.testing.assert_allclose(seq.take(5), first)
+
+    def test_low_discrepancy_coverage(self):
+        # Halton points cover [0,1)^2 far more evenly than the worst case:
+        # every quadrant receives a fair share of 200 points.
+        points = HaltonSequence([2, 3]).take(200)
+        for dim in range(2):
+            for lo in (0.0, 0.5):
+                in_bin = np.sum((points[:, dim] >= lo) & (points[:, dim] < lo + 0.5))
+                assert 80 <= in_bin <= 120
+
+    def test_invalid_bases(self):
+        with pytest.raises(ValueError):
+            HaltonSequence([])
+        with pytest.raises(ValueError):
+            HaltonSequence([2, 1])
+
+    def test_invalid_take(self):
+        with pytest.raises(ValueError):
+            HaltonSequence([2]).take(0)
+
+
+class TestScrambledHalton:
+    def test_differs_from_plain_halton(self):
+        plain = HaltonSequence([2, 3, 4]).take(30)
+        scrambled = ScrambledHaltonSequence([2, 3, 4], seed=1).take(30)
+        assert not np.allclose(plain, scrambled)
+
+    def test_seed_reproducibility(self):
+        a = ScrambledHaltonSequence([2, 3], seed=5).take(20)
+        b = ScrambledHaltonSequence([2, 3], seed=5).take(20)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ScrambledHaltonSequence([3, 4], seed=1).take(20)
+        b = ScrambledHaltonSequence([3, 4], seed=2).take(20)
+        assert not np.allclose(a, b)
+
+    def test_scrambling_reduces_high_base_correlation(self):
+        # The classic Halton artefact: bases 3 and 4 are strongly correlated
+        # in the first points; scrambling should reduce |corr|.
+        n = 60
+        plain = HaltonSequence([3, 4]).take(n)
+        scrambled = ScrambledHaltonSequence([3, 4], seed=0).take(n)
+        plain_corr = abs(np.corrcoef(plain[:, 0], plain[:, 1])[0, 1])
+        scrambled_corr = abs(np.corrcoef(scrambled[:, 0], scrambled[:, 1])[0, 1])
+        assert scrambled_corr < plain_corr
+
+    def test_values_stay_in_unit_cube(self):
+        points = ScrambledHaltonSequence([2, 3, 4], seed=3).take(500)
+        assert np.all((points >= 0) & (points < 1))
+
+
+class TestDomainSampler:
+    def test_gemm_sampler_produces_three_dims(self):
+        sampler = DomainSampler("dgemm", seed=0)
+        samples = sampler.sample(20)
+        assert len(samples) == 20
+        assert all(set(s) == {"m", "k", "n"} for s in samples)
+
+    def test_two_dim_routines_use_their_dim_names(self):
+        assert set(DomainSampler("dsyrk", seed=0).sample(5)[0]) == {"n", "k"}
+        assert set(DomainSampler("dtrsm", seed=0).sample(5)[0]) == {"m", "n"}
+
+    def test_memory_cap_respected(self):
+        cap = 100e6
+        sampler = DomainSampler("dgemm", memory_cap_bytes=cap, seed=0)
+        for dims in sampler.sample(50):
+            assert memory_bytes("dgemm", dims) <= cap
+
+    def test_min_dim_respected(self):
+        sampler = DomainSampler("dsymm", min_dim=64, seed=0)
+        for dims in sampler.sample(30):
+            assert all(v >= 64 for v in dims.values())
+
+    def test_auto_max_dim_scales_with_cap(self):
+        small_cap = DomainSampler("dgemm", memory_cap_bytes=50e6)
+        large_cap = DomainSampler("dgemm", memory_cap_bytes=500e6)
+        assert large_cap.max_dim > small_cap.max_dim
+
+    def test_single_precision_allows_larger_dims(self):
+        assert DomainSampler("sgemm").max_dim > DomainSampler("dgemm").max_dim
+
+    def test_scales_produce_different_size_distributions(self):
+        log_samples = DomainSampler("dgemm", scale="log", seed=0).sample(60)
+        sqrt_samples = DomainSampler("dgemm", scale="sqrt", seed=0).sample(60)
+        log_median = np.median([s["m"] for s in log_samples])
+        sqrt_median = np.median([s["m"] for s in sqrt_samples])
+        assert sqrt_median > log_median
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            DomainSampler("dgemm", scale="cubic")
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError, match="skew"):
+            DomainSampler("dgemm", skew=0.5)
+
+    def test_deterministic_given_seed(self):
+        a = DomainSampler("dtrmm", seed=9).sample(10)
+        b = DomainSampler("dtrmm", seed=9).sample(10)
+        assert a == b
+
+    def test_plain_halton_option(self):
+        scrambled = DomainSampler("dgemm", scrambled=True, seed=0).sample(10)
+        plain = DomainSampler("dgemm", scrambled=False, seed=0).sample(10)
+        assert scrambled != plain
+
+    def test_impossible_domain_raises(self):
+        # A 1-byte cap can never be satisfied with min_dim 32.
+        sampler = DomainSampler("dgemm", memory_cap_bytes=1.0, max_dim=64)
+        with pytest.raises(RuntimeError, match="accepted only"):
+            sampler.sample(5, max_attempts_factor=3)
+
+    def test_iteration_protocol(self):
+        iterator = iter(DomainSampler("dsyr2k", seed=0))
+        first = next(iterator)
+        assert set(first) == {"n", "k"}

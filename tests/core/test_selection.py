@@ -1,0 +1,151 @@
+"""Tests for candidate evaluation and model selection by estimated speedup."""
+
+import numpy as np
+import pytest
+
+from repro.core.gather import DataGatherer
+from repro.core.selection import (
+    CandidateEvaluation,
+    SelectionReport,
+    evaluate_candidates,
+    select_best_model,
+)
+from repro.machine.simulator import TimingSimulator
+
+
+@pytest.fixture(scope="module")
+def selection_inputs(laptop):
+    simulator = TimingSimulator(laptop, seed=0)
+    gatherer = DataGatherer(simulator, "dsyrk", n_shapes=20, threads_per_shape=6, seed=0)
+    dataset = gatherer.gather()
+    test_shapes = gatherer.gather_test_set(10)
+    return simulator, dataset, test_shapes
+
+
+CANDIDATES = ["LinearRegression", "DecisionTree", "KNN"]
+
+
+@pytest.fixture(scope="module")
+def report(selection_inputs):
+    simulator, dataset, test_shapes = selection_inputs
+    return evaluate_candidates(
+        dataset=dataset,
+        simulator=simulator,
+        test_shapes=test_shapes,
+        candidate_names=CANDIDATES,
+        seed=0,
+    )
+
+
+class TestReportStructure:
+    def test_one_evaluation_per_candidate(self, report):
+        assert {e.model_name for e in report.evaluations} == set(CANDIDATES)
+
+    def test_best_model_is_a_candidate(self, report):
+        assert report.best_model_name in CANDIDATES
+
+    def test_best_model_maximises_estimated_mean_speedup(self, report):
+        best = max(report.evaluations, key=lambda e: e.estimated_mean_speedup)
+        assert report.best_model_name == best.model_name
+        assert report.best_evaluation is best
+
+    def test_normalised_rmse_in_unit_interval(self, report):
+        values = [e.normalised_rmse for e in report.evaluations]
+        assert max(values) == pytest.approx(1.0)
+        assert all(0 < v <= 1.0 for v in values)
+
+    def test_estimated_never_exceeds_ideal(self, report):
+        for e in report.evaluations:
+            assert e.estimated_mean_speedup <= e.ideal_mean_speedup + 1e-9
+            assert e.estimated_aggregate_speedup <= e.ideal_aggregate_speedup + 1e-9
+
+    def test_eval_times_positive(self, report):
+        assert all(e.eval_time_us > 0 for e in report.evaluations)
+
+    def test_rows_have_table6_columns(self, report):
+        for row in report.as_rows():
+            assert set(row) == {
+                "model",
+                "normalised_test_rmse",
+                "ideal_mean_speedup",
+                "ideal_aggregate_speedup",
+                "eval_time_us",
+                "estimated_mean_speedup",
+                "estimated_aggregate_speedup",
+            }
+
+    def test_missing_best_evaluation_raises(self):
+        broken = SelectionReport(routine="dgemm", platform="x", evaluations=[], best_model_name="Z")
+        with pytest.raises(LookupError):
+            broken.best_evaluation
+
+    def test_fitted_models_stashed_for_reuse(self, report):
+        assert set(report._fitted_models) == set(CANDIDATES)
+        assert report._pipeline is not None
+
+
+class TestEvalTimeModes:
+    def test_measured_mode_gives_larger_eval_times(self, selection_inputs):
+        simulator, dataset, test_shapes = selection_inputs
+        native = evaluate_candidates(
+            dataset, simulator, test_shapes, candidate_names=["LinearRegression"],
+            eval_time_mode="native", seed=0,
+        )
+        measured = evaluate_candidates(
+            dataset, simulator, test_shapes, candidate_names=["LinearRegression"],
+            eval_time_mode="measured", seed=0,
+        )
+        assert (
+            measured.evaluations[0].eval_time_us > native.evaluations[0].eval_time_us
+        )
+
+    def test_invalid_mode_rejected(self, selection_inputs):
+        simulator, dataset, test_shapes = selection_inputs
+        with pytest.raises(ValueError, match="eval_time_mode"):
+            evaluate_candidates(dataset, simulator, test_shapes, eval_time_mode="guess")
+
+
+class TestValidation:
+    def test_empty_candidates(self, selection_inputs):
+        simulator, dataset, test_shapes = selection_inputs
+        with pytest.raises(ValueError, match="candidate_names"):
+            evaluate_candidates(dataset, simulator, test_shapes, candidate_names=[])
+
+    def test_empty_test_shapes(self, selection_inputs):
+        simulator, dataset, _ = selection_inputs
+        with pytest.raises(ValueError, match="test_shapes"):
+            evaluate_candidates(dataset, simulator, [], candidate_names=CANDIDATES)
+
+
+class TestSelectBestModel:
+    def _make_report(self, routine, scores):
+        return SelectionReport(
+            routine=routine,
+            platform="x",
+            evaluations=[
+                CandidateEvaluation(
+                    model_name=name,
+                    rmse=1.0,
+                    normalised_rmse=1.0,
+                    eval_time_us=10.0,
+                    ideal_mean_speedup=s,
+                    ideal_aggregate_speedup=s,
+                    estimated_mean_speedup=s,
+                    estimated_aggregate_speedup=s,
+                )
+                for name, s in scores.items()
+            ],
+            best_model_name=max(scores, key=scores.get),
+        )
+
+    def test_highest_average_across_routines_wins(self):
+        reports = [
+            self._make_report("dgemm", {"A": 1.0, "B": 1.4}),
+            self._make_report("dsymm", {"A": 2.0, "B": 1.5}),
+        ]
+        # A: mean 1.5, B: mean 1.45 -> A wins the library-wide selection.
+        assert select_best_model(reports) == "A"
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            select_best_model([])

@@ -1,0 +1,65 @@
+"""Tests for installation-time hyper-parameter tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import TuningResult, fit_candidate, tune_model
+
+
+@pytest.fixture(scope="module")
+def timing_like_data():
+    """Synthetic data shaped like a (features, runtime) regression problem."""
+    rng = np.random.default_rng(0)
+    size = rng.uniform(1e2, 1e6, size=150)
+    threads = rng.integers(1, 17, size=150).astype(float)
+    X = np.column_stack([size, threads, size / threads])
+    y = 1e-8 * size / threads + 1e-5 * threads + rng.normal(0, 1e-5, 150)
+    return X, y
+
+
+class TestTuneModel:
+    def test_parameterless_model_is_just_fitted(self, timing_like_data):
+        X, y = timing_like_data
+        result = tune_model("LinearRegression", X, y)
+        assert isinstance(result, TuningResult)
+        assert result.best_params == {}
+        assert np.isnan(result.cv_score)
+        assert hasattr(result.model, "coef_")
+
+    def test_grid_model_returns_best_params(self, timing_like_data):
+        X, y = timing_like_data
+        result = tune_model("DecisionTree", X, y, cv=3)
+        assert set(result.best_params) <= {"max_depth", "min_samples_leaf"}
+        assert result.best_params  # non-empty
+        assert np.isfinite(result.cv_score)
+
+    def test_custom_grid_overrides_default(self, timing_like_data):
+        X, y = timing_like_data
+        result = tune_model("KNN", X, y, cv=3, param_grid={"n_neighbors": [2, 4]})
+        assert result.best_params["n_neighbors"] in (2, 4)
+
+    def test_unknown_model_raises(self, timing_like_data):
+        X, y = timing_like_data
+        with pytest.raises(KeyError):
+            tune_model("CatBoost", X, y)
+
+
+class TestFitCandidate:
+    def test_without_tuning_uses_defaults(self, timing_like_data):
+        X, y = timing_like_data
+        result = fit_candidate("DecisionTree", X, y, tune=False)
+        assert result.best_params == {}
+        predictions = result.model.predict(X[:5])
+        assert predictions.shape == (5,)
+
+    def test_with_tuning_selects_params(self, timing_like_data):
+        X, y = timing_like_data
+        result = fit_candidate("ElasticNet", X, y, tune=True, cv=3)
+        assert "alpha" in result.best_params
+
+    def test_fitted_model_predicts_reasonably(self, timing_like_data):
+        from repro.ml.metrics import r2_score
+
+        X, y = timing_like_data
+        result = fit_candidate("XGBoost", X, y, tune=False)
+        assert r2_score(y, result.model.predict(X)) > 0.7

@@ -1,0 +1,136 @@
+"""Tests for the per-table experiment drivers.
+
+The heavy drivers (Tables IV-VIII) are exercised on the small laptop platform
+with a tiny configuration; the benchmark suite runs the Setonix/Gadi-scale
+versions.
+"""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.experiments import (
+    ExperimentConfig,
+    PAPER_CONFIG,
+    QUICK_CONFIG,
+    active_config,
+    clear_bundle_cache,
+    get_bundle,
+    table1_routine_specs,
+    table2_model_catalog,
+    table3_features,
+    table7_speedup_statistics,
+    table8_profiling,
+)
+
+
+TINY = ExperimentConfig(
+    name="tiny",
+    n_samples=10,
+    threads_per_shape=4,
+    n_test_shapes=6,
+    candidate_models=("LinearRegression", "DecisionTree"),
+)
+
+
+class TestStaticTables:
+    def test_table1_has_six_rows(self):
+        rows = table1_routine_specs()
+        assert len(rows) == 6
+        assert {row["routine"] for row in rows} == {"GEMM", "SYMM", "SYRK", "SYR2K", "TRMM", "TRSM"}
+
+    def test_table1_gemm_row_matches_paper(self):
+        gemm = next(r for r in table1_routine_specs() if r["routine"] == "GEMM")
+        assert gemm["dims"] == 3
+        assert gemm["A_shape"] == "mxk" and gemm["A_type"] == "regular"
+        assert gemm["C_shape"] == "mxn"
+
+    def test_table2_has_ten_models(self):
+        rows = table2_model_catalog()
+        assert len(rows) == 10
+        categories = {row["category"] for row in rows}
+        assert categories == {"Linear Models", "Tree Based Models", "Other Models"}
+
+    def test_table3_feature_columns(self):
+        rows = table3_features()
+        assert len(rows) == 17  # the longer (three-dimension) list
+        assert rows[0]["three_dimensions"] == "m"
+        assert rows[0]["two_dimensions"] == "d1"
+        assert rows[-1]["two_dimensions"] == ""  # shorter list padded
+
+
+class TestConfig:
+    def test_active_config_default_quick(self, monkeypatch):
+        monkeypatch.delenv("ADSALA_BENCH_PRESET", raising=False)
+        assert active_config() is QUICK_CONFIG
+
+    def test_active_config_paper(self, monkeypatch):
+        monkeypatch.setenv("ADSALA_BENCH_PRESET", "paper")
+        assert active_config() is PAPER_CONFIG
+
+    def test_active_config_invalid(self, monkeypatch):
+        monkeypatch.setenv("ADSALA_BENCH_PRESET", "huge")
+        with pytest.raises(ValueError):
+            active_config()
+
+    def test_paper_config_matches_paper_scale(self):
+        assert PAPER_CONFIG.n_samples * PAPER_CONFIG.threads_per_shape >= 1000
+        assert PAPER_CONFIG.n_test_shapes >= 100
+        assert len(PAPER_CONFIG.candidate_models) == 10
+
+
+class TestBundleCache:
+    def test_bundle_cached_per_platform_and_config(self):
+        clear_bundle_cache()
+        first = get_bundle("laptop", ["dgemm"], TINY)
+        second = get_bundle("laptop", ["dgemm"], TINY)
+        assert first is second
+        clear_bundle_cache()
+        third = get_bundle("laptop", ["dgemm"], TINY)
+        assert third is not first
+
+
+class TestDynamicTables:
+    @pytest.fixture(scope="class", autouse=True)
+    def _warm_bundle(self):
+        clear_bundle_cache()
+        yield
+        clear_bundle_cache()
+
+    def test_model_selection_rows(self):
+        rows = experiments._model_selection_rows("laptop", ["dgemm", "dsyrk"], TINY)
+        assert {row["subroutine"] for row in rows} == {"dgemm", "dsyrk"}
+        for row in rows:
+            assert row["best_model"] in TINY.candidate_models
+            assert row["estimated_mean_speedup"] > 0
+
+    def test_table6_rows_per_candidate(self):
+        result = experiments.table6_model_statistics(
+            platform_name="laptop", routines=("dgemm",), config=TINY,
+            reuse_full_bundle=False,
+        )
+        assert set(result) == {"dgemm"}
+        assert len(result["dgemm"]) == len(TINY.candidate_models)
+
+    def test_table7_statistics_columns(self):
+        rows = table7_speedup_statistics("laptop", ["dgemm", "dsyrk"], TINY)
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row) == {"subroutine", "model", "mean", "std", "min", "25%", "50%", "75%", "max"}
+            assert row["min"] <= row["50%"] <= row["max"]
+            assert row["mean"] > 0.5
+
+    def test_table7_without_eval_time_not_worse(self):
+        with_eval = table7_speedup_statistics("laptop", ["dgemm"], TINY, include_eval_time=True)
+        without_eval = table7_speedup_statistics("laptop", ["dgemm"], TINY, include_eval_time=False)
+        assert without_eval[0]["mean"] >= with_eval[0]["mean"] - 1e-9
+
+    def test_table8_profiling_rows(self):
+        rows = table8_profiling("laptop", repeats=10, config=TINY, reuse_full_bundle=False)
+        # Two rows (no ML / with ML) per profiled case.
+        assert len(rows) == 2 * len(experiments.TABLE8_CASES)
+        no_ml_rows = [r for r in rows if r["case"].endswith("no ML")]
+        with_ml_rows = [r for r in rows if r["case"].endswith("with ML")]
+        assert len(no_ml_rows) == len(with_ml_rows)
+        for row in rows:
+            assert row["total_s"] > 0
+            assert row["thread_sync_s"] >= 0

@@ -1,0 +1,113 @@
+"""Tests for the heatmap (figure) generators."""
+
+import numpy as np
+import pytest
+
+from repro.blas.flops import memory_bytes
+from repro.harness.figures import (
+    HeatmapGrid,
+    gemm_optimal_threads_heatmap,
+    optimal_threads_heatmap,
+    render_heatmap_ascii,
+    speedup_heatmap,
+    sqrt_axis,
+)
+from repro.machine.simulator import TimingSimulator
+
+
+@pytest.fixture(scope="module")
+def sim(laptop):
+    return TimingSimulator(laptop, seed=0)
+
+
+class TestSqrtAxis:
+    def test_endpoints(self):
+        axis = sqrt_axis(32, 4096, 8)
+        assert axis[0] == 32
+        assert axis[-1] == 4096
+
+    def test_monotone_increasing(self):
+        axis = sqrt_axis(32, 10000, 12)
+        assert np.all(np.diff(axis) > 0)
+
+    def test_sqrt_spacing_denser_at_small_values(self):
+        axis = sqrt_axis(32, 10000, 10)
+        assert (axis[1] - axis[0]) < (axis[-1] - axis[-2])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sqrt_axis(32, 4096, 1)
+        with pytest.raises(ValueError):
+            sqrt_axis(100, 50, 5)
+
+
+class TestOptimalThreadHeatmaps:
+    def test_two_dim_routine_grid(self, sim, laptop):
+        grid = optimal_threads_heatmap("dsyrk", sim, n_points=5, memory_cap_bytes=100e6)
+        assert isinstance(grid, HeatmapGrid)
+        assert grid.quantity == "optimal_threads"
+        finite = grid.values[~np.isnan(grid.values)]
+        assert finite.size > 0
+        assert np.all((finite >= 1) & (finite <= laptop.max_threads))
+
+    def test_infeasible_cells_are_nan(self, sim):
+        cap = 20e6
+        grid = optimal_threads_heatmap("dsymm", sim, n_points=5, memory_cap_bytes=cap)
+        for i, y in enumerate(grid.y_values):
+            for j, x in enumerate(grid.x_values):
+                dims = {grid.y_name: int(y), grid.x_name: int(x)}
+                if memory_bytes("dsymm", dims) > cap:
+                    assert np.isnan(grid.values[i, j])
+
+    def test_gemm_heatmap_requires_third_dim(self, sim):
+        with pytest.raises(ValueError, match="third_dim"):
+            optimal_threads_heatmap("dgemm", sim, n_points=4)
+
+    def test_gemm_heatmap_with_fixed_k(self, sim):
+        grid = gemm_optimal_threads_heatmap("dgemm", sim, k=256, n_points=4,
+                                            memory_cap_bytes=100e6)
+        assert grid.x_name == "n" and grid.y_name == "m"
+        assert not np.all(np.isnan(grid.values))
+
+    def test_to_rows_skips_nan(self, sim):
+        grid = optimal_threads_heatmap("dtrsm", sim, n_points=4, memory_cap_bytes=30e6)
+        rows = grid.to_rows()
+        feasible = (~np.isnan(grid.values)).sum()
+        assert len(rows) == feasible
+
+    def test_save_npz_roundtrip(self, sim, tmp_path):
+        grid = optimal_threads_heatmap("dsyr2k", sim, n_points=4, memory_cap_bytes=50e6)
+        path = tmp_path / "grid.npz"
+        grid.save_npz(path)
+        loaded = np.load(path, allow_pickle=True)
+        np.testing.assert_allclose(loaded["values"], grid.values)
+        assert str(loaded["routine"]) == "dsyr2k"
+
+
+class TestSpeedupHeatmaps:
+    def test_speedup_grid_uses_predictor(self, sim, small_bundle):
+        predictor = small_bundle.predictor("dsyrk")
+        grid = speedup_heatmap("dsyrk", sim, predictor, n_points=4, memory_cap_bytes=60e6)
+        finite = grid.values[~np.isnan(grid.values)]
+        assert finite.size > 0
+        assert np.all(finite > 0)
+        assert grid.quantity == "speedup"
+
+    def test_eval_time_lowers_speedup(self, sim, small_bundle):
+        predictor = small_bundle.predictor("dsyrk")
+        free = speedup_heatmap("dsyrk", sim, predictor, n_points=3, memory_cap_bytes=60e6)
+        charged = speedup_heatmap(
+            "dsyrk", sim, predictor, n_points=3, memory_cap_bytes=60e6, eval_time=1e-3
+        )
+        mask = ~np.isnan(free.values)
+        assert np.all(charged.values[mask] <= free.values[mask] + 1e-12)
+
+
+class TestAsciiRendering:
+    def test_render_contains_axis_values_and_dots(self, sim):
+        grid = optimal_threads_heatmap("dtrmm", sim, n_points=4, memory_cap_bytes=20e6)
+        text = render_heatmap_ascii(grid)
+        assert "dtrmm" in text
+        assert str(int(grid.x_values[0])) in text
+        if np.isnan(grid.values).any():
+            assert "." in text

@@ -1,0 +1,85 @@
+"""Tests for table formatting and summary statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.harness.tables import format_markdown_table, format_table, summary_statistics
+
+
+ROWS = [
+    {"routine": "dgemm", "speedup": 1.27, "threads": 46},
+    {"routine": "dsymm", "speedup": 2.2845, "threads": 9},
+]
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        text = format_table(ROWS)
+        assert "dgemm" in text and "dsymm" in text
+        assert "2.28" in text  # floats rounded to 2 decimals
+
+    def test_header_and_separator(self):
+        lines = format_table(ROWS).splitlines()
+        assert "routine" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title_rendered(self):
+        text = format_table(ROWS, title="Table VII")
+        assert text.splitlines()[0] == "Table VII"
+
+    def test_column_subset_and_order(self):
+        text = format_table(ROWS, columns=["speedup", "routine"])
+        header = text.splitlines()[0]
+        assert header.index("speedup") < header.index("routine")
+        assert "threads" not in header
+
+    def test_missing_column_rendered_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+    def test_large_and_small_floats_use_compact_format(self):
+        text = format_table([{"x": 1234567.0, "y": 0.000123}])
+        assert "1.23e+06" in text and "0.000123" in text
+
+
+class TestMarkdownTable:
+    def test_markdown_structure(self):
+        text = format_markdown_table(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| routine")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + len(ROWS)
+
+    def test_cell_values_present(self):
+        assert "46" in format_markdown_table(ROWS)
+
+
+class TestSummaryStatistics:
+    def test_layout_matches_table7(self):
+        stats = summary_statistics([1.0, 2.0, 3.0, 4.0])
+        assert list(stats) == ["mean", "std", "min", "25%", "50%", "75%", "max"]
+
+    def test_values(self):
+        stats = summary_statistics([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["50%"] == pytest.approx(2.5)
+
+    def test_single_value(self):
+        stats = summary_statistics([2.0])
+        assert stats["std"] == 0.0
+        assert stats["mean"] == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summary_statistics([])
+
+    def test_matches_numpy_percentiles(self):
+        values = np.random.default_rng(0).uniform(0.5, 12, size=200)
+        stats = summary_statistics(values)
+        assert stats["75%"] == pytest.approx(np.percentile(values, 75))

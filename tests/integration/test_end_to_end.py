@@ -1,0 +1,148 @@
+"""End-to-end integration tests: install -> predict -> execute -> evaluate.
+
+These tests exercise the whole pipeline the way the paper's evaluation does,
+on the small laptop platform so they stay fast, and assert the *qualitative*
+claims of the paper rather than exact numbers:
+
+* the installed predictor beats (or at worst matches) the maximum-thread
+  baseline on average over held-out problems,
+* the SYMM speedup exceeds the GEMM speedup,
+* the executed results remain numerically correct,
+* the whole state survives a save/load round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.install import install_adsala
+from repro.core.persistence import load_bundle, save_bundle
+from repro.core.runtime import AdsalaBlas, AdsalaRuntime
+from repro.machine.simulator import TimingSimulator
+
+
+@pytest.fixture(scope="module")
+def eval_bundle(laptop):
+    """A moderately sized installation for speedup evaluation."""
+    return install_adsala(
+        platform=laptop,
+        routines=["dgemm", "dsymm"],
+        n_samples=40,
+        threads_per_shape=8,
+        n_test_shapes=25,
+        candidate_models=["LinearRegression", "DecisionTree", "XGBoost"],
+        seed=0,
+    )
+
+
+def mean_speedup(bundle, routine):
+    simulator = bundle.simulator
+    installation = bundle.routines[routine]
+    predictor = installation.predictor
+    ratios = []
+    for dims in installation.test_shapes:
+        threads = predictor.predict_threads(dims, use_cache=False)
+        ratios.append(
+            simulator.time_at_max_threads(routine, dims)
+            / simulator.time(routine, dims, threads)
+        )
+    return float(np.mean(ratios))
+
+
+class TestHeadlineClaims:
+    def test_adsala_does_not_lose_to_max_threads_on_average(self, eval_bundle):
+        for routine in eval_bundle.installed_routines:
+            assert mean_speedup(eval_bundle, routine) > 0.97
+
+    def test_symm_speedup_exceeds_gemm_speedup(self, eval_bundle):
+        assert mean_speedup(eval_bundle, "dsymm") > mean_speedup(eval_bundle, "dgemm")
+
+    def test_selected_models_beat_blind_max_threads_for_symm(self, eval_bundle):
+        # SYMM is the routine with the most headroom; ADSALA should realise a
+        # clearly positive speedup there.
+        assert mean_speedup(eval_bundle, "dsymm") > 1.05
+
+    def test_predicted_threads_adapt_to_problem_size(self, eval_bundle, laptop):
+        predictor = eval_bundle.predictor("dsymm")
+        chosen = {
+            predictor.predict_threads(dims, use_cache=False)
+            for dims in eval_bundle.routines["dsymm"].test_shapes
+        }
+        # The predictor must not collapse to a single constant answer.
+        assert len(chosen) > 1
+        assert all(1 <= c <= laptop.max_threads for c in chosen)
+
+
+class TestExecutionPath:
+    def test_numerical_correctness_through_runtime(self, eval_bundle):
+        blas = AdsalaBlas(eval_bundle, execution_thread_cap=2, tile=64)
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(150, 100))
+        B = rng.normal(size=(100, 80))
+        np.testing.assert_allclose(blas.gemm(A, B), A @ B, rtol=1e-10)
+        S = rng.normal(size=(90, 90))
+        C = rng.normal(size=(90, 40))
+        from repro.blas import reference
+
+        np.testing.assert_allclose(blas.symm(S, C), reference.symm(S, C), rtol=1e-10)
+
+    def test_runtime_cache_avoids_reevaluation(self, eval_bundle):
+        runtime = AdsalaRuntime(eval_bundle)
+        before = runtime.cache_statistics()["model_evaluations"]
+        for _ in range(5):
+            runtime.plan("dgemm", m=321, k=123, n=213)
+        after = runtime.cache_statistics()
+        assert after["model_evaluations"] == before + 1
+        assert after["cache_hits"] >= 4
+
+
+class TestPersistenceIntegration:
+    def test_saved_bundle_reproduces_speedups(self, eval_bundle, tmp_path):
+        path = save_bundle(eval_bundle, tmp_path / "bundle")
+        restored = load_bundle(path)
+        for routine in eval_bundle.installed_routines:
+            original = eval_bundle.predictor(routine)
+            loaded = restored.predictor(routine)
+            for dims in eval_bundle.routines[routine].test_shapes[:5]:
+                assert loaded.predict_threads(dims, use_cache=False) == original.predict_threads(
+                    dims, use_cache=False
+                )
+
+
+class TestCrossPlatformContrast:
+    """Gadi and Setonix installations should differ in the paper's ways."""
+
+    @pytest.fixture(scope="class")
+    def tiny_installs(self):
+        bundles = {}
+        for platform_name in ("gadi", "setonix"):
+            from repro.machine.platforms import get_platform
+
+            platform = get_platform(platform_name)
+            bundles[platform_name] = install_adsala(
+                platform=platform,
+                routines=["dsymm"],
+                n_samples=15,
+                threads_per_shape=6,
+                n_test_shapes=10,
+                candidate_models=["DecisionTree"],
+                seed=0,
+            )
+        return bundles
+
+    def test_predicted_threads_respect_platform_limits(self, tiny_installs):
+        for name, bundle in tiny_installs.items():
+            predictor = bundle.predictor("dsymm")
+            for dims in bundle.routines["dsymm"].test_shapes[:5]:
+                assert predictor.predict_threads(dims, use_cache=False) <= bundle.platform.max_threads
+
+    def test_symm_chosen_threads_below_physical_cores_mostly(self, tiny_installs):
+        # Paper Fig. 4: SYMM's optimum sits far below the core count on both
+        # machines; the trained predictors should reflect that.
+        for name, bundle in tiny_installs.items():
+            predictor = bundle.predictor("dsymm")
+            chosen = [
+                predictor.predict_threads(dims, use_cache=False)
+                for dims in bundle.routines["dsymm"].test_shapes
+            ]
+            below = sum(c < bundle.platform.physical_cores for c in chosen)
+            assert below >= len(chosen) * 0.6

@@ -1,0 +1,145 @@
+"""Tests for the analytic copy/sync/kernel performance model."""
+
+import pytest
+
+from repro.machine.perfmodel import CostBreakdown, PerformanceModel
+from repro.machine.platforms import GADI, LAPTOP, SETONIX
+
+
+@pytest.fixture(scope="module")
+def gadi_model():
+    return PerformanceModel(GADI)
+
+
+@pytest.fixture(scope="module")
+def laptop_model():
+    return PerformanceModel(LAPTOP)
+
+
+SMALL_GEMM = {"m": 64, "k": 2048, "n": 64}
+LARGE_GEMM = {"m": 4000, "k": 4000, "n": 4000}
+
+
+class TestBreakdownBasics:
+    def test_components_positive(self, gadi_model):
+        breakdown = gadi_model.breakdown("dgemm", LARGE_GEMM, 48)
+        for value in (breakdown.kernel, breakdown.copy, breakdown.sync, breakdown.other):
+            assert value > 0
+
+    def test_total_is_sum_of_components(self, gadi_model):
+        b = gadi_model.breakdown("dgemm", SMALL_GEMM, 16)
+        assert b.total == pytest.approx(b.kernel + b.copy + b.sync + b.other)
+
+    def test_scaled_breakdown(self):
+        b = CostBreakdown(kernel=1.0, copy=2.0, sync=3.0, other=4.0)
+        scaled = b.scaled(10.0)
+        assert scaled.total == pytest.approx(100.0)
+        assert scaled.sync == pytest.approx(30.0)
+
+    def test_invalid_thread_count_rejected(self, gadi_model):
+        with pytest.raises(ValueError, match="threads"):
+            gadi_model.breakdown("dgemm", SMALL_GEMM, 0)
+        with pytest.raises(ValueError, match="exceeds"):
+            gadi_model.breakdown("dgemm", SMALL_GEMM, 97)
+
+    def test_time_equals_breakdown_total(self, gadi_model):
+        assert gadi_model.time("dsyrk", {"n": 500, "k": 500}, 10) == pytest.approx(
+            gadi_model.breakdown("dsyrk", {"n": 500, "k": 500}, 10).total
+        )
+
+
+class TestKernelBehaviour:
+    def test_kernel_decreases_with_threads_for_large_problems(self, gadi_model):
+        serial = gadi_model.kernel_time("dgemm", LARGE_GEMM, 1)
+        parallel = gadi_model.kernel_time("dgemm", LARGE_GEMM, 48)
+        assert parallel < serial / 10
+
+    def test_kernel_flat_when_no_parallelism_available(self, gadi_model):
+        # 64x64 output is a single model tile: extra threads cannot help.
+        few = gadi_model.kernel_time("dgemm", SMALL_GEMM, 2)
+        many = gadi_model.kernel_time("dgemm", SMALL_GEMM, 48)
+        assert many == pytest.approx(few, rel=0.05)
+
+    def test_single_precision_faster_than_double(self, gadi_model):
+        double = gadi_model.kernel_time("dgemm", LARGE_GEMM, 48)
+        single = gadi_model.kernel_time("sgemm", LARGE_GEMM, 48)
+        assert single < double
+
+    def test_more_flops_takes_longer(self, gadi_model):
+        small = gadi_model.kernel_time("dgemm", {"m": 500, "k": 500, "n": 500}, 8)
+        large = gadi_model.kernel_time("dgemm", {"m": 1500, "k": 1500, "n": 1500}, 8)
+        assert large > small
+
+    def test_saturation_penalises_oversubscription(self):
+        model = PerformanceModel(GADI)
+        # Gadi SYMM saturates early: more threads past saturation make the
+        # kernel slower, not faster.
+        dims = {"m": 3000, "n": 3000}
+        at_saturation = model.kernel_time("dsymm", dims, 12)
+        oversubscribed = model.kernel_time("dsymm", dims, 96)
+        assert oversubscribed > at_saturation
+
+
+class TestOverheadBehaviour:
+    def test_sync_grows_with_threads(self, gadi_model):
+        assert gadi_model.sync_time("dgemm", SMALL_GEMM, 96) > gadi_model.sync_time(
+            "dgemm", SMALL_GEMM, 8
+        )
+
+    def test_cross_socket_penalty_applies(self, gadi_model):
+        per_socket = GADI.cores_per_socket * GADI.smt
+        below = gadi_model.sync_time("dgemm", SMALL_GEMM, per_socket)
+        above = gadi_model.sync_time("dgemm", SMALL_GEMM, per_socket + 1)
+        assert above > below * 1.2
+
+    def test_copy_grows_with_threads(self, gadi_model):
+        assert gadi_model.copy_time("dgemm", SMALL_GEMM, 96) > gadi_model.copy_time(
+            "dgemm", SMALL_GEMM, 8
+        )
+
+    def test_symm_copy_exceeds_gemm_copy(self, gadi_model):
+        symm = gadi_model.copy_time("dsymm", {"m": 1000, "n": 1000}, 48)
+        gemm = gadi_model.copy_time("dgemm", {"m": 1000, "k": 1000, "n": 1000}, 48)
+        assert symm > gemm
+
+    def test_overheads_dominate_small_problems_at_max_threads(self, gadi_model):
+        b = gadi_model.breakdown("dgemm", SMALL_GEMM, 96)
+        assert b.sync + b.copy > b.kernel
+
+    def test_kernel_dominates_large_problems(self, gadi_model):
+        b = gadi_model.breakdown("dgemm", LARGE_GEMM, 96)
+        assert b.kernel > b.sync + b.copy
+
+
+class TestOptimalThreadStructure:
+    """The qualitative phenomena ADSALA exploits."""
+
+    def sweep_total(self, model, routine, dims, max_threads):
+        return {t: model.time(routine, dims, t) for t in range(1, max_threads + 1)}
+
+    def test_small_problem_optimum_below_max_threads(self, gadi_model):
+        times = self.sweep_total(gadi_model, "dgemm", SMALL_GEMM, 96)
+        best = min(times, key=times.get)
+        assert best < 96
+        assert times[96] > times[best] * 1.3
+
+    def test_large_problem_max_threads_near_optimal(self, gadi_model):
+        times = self.sweep_total(gadi_model, "dgemm", LARGE_GEMM, 96)
+        best = min(times, key=times.get)
+        assert times[96] < times[best] * 1.25
+
+    def test_symm_optimum_much_lower_than_gemm_optimum(self, gadi_model):
+        dims = {"m": 2500, "n": 2500}
+        symm_times = self.sweep_total(gadi_model, "dsymm", dims, 96)
+        gemm_times = self.sweep_total(gadi_model, "dgemm", {"m": 2500, "k": 2500, "n": 2500}, 96)
+        assert min(symm_times, key=symm_times.get) < min(gemm_times, key=gemm_times.get)
+
+    def test_setonix_syrk_optimum_can_exceed_physical_cores(self):
+        model = PerformanceModel(SETONIX)
+        dims = {"n": 3000, "k": 3000}
+        times = {t: model.time("dsyrk", dims, t) for t in range(1, 257)}
+        best = min(times, key=times.get)
+        assert best > SETONIX.physical_cores
+
+    def test_laptop_model_runs(self, laptop_model):
+        assert laptop_model.time("strsm", {"m": 400, "n": 400}, 4) > 0

@@ -1,0 +1,106 @@
+"""Tests for the Setonix / Gadi / laptop platform presets (paper Section V-A)."""
+
+import pytest
+
+from repro.blas.api import ROUTINE_NAMES
+from repro.machine.platforms import GADI, LAPTOP, SETONIX, get_platform, list_platforms
+
+
+class TestRegistry:
+    def test_list_platforms(self):
+        assert set(list_platforms()) == {"setonix", "gadi", "laptop"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_platform("Setonix") is SETONIX
+        assert get_platform("GADI") is GADI
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError, match="Unknown platform"):
+            get_platform("frontier")
+
+    def test_presets_validate(self):
+        for name in list_platforms():
+            get_platform(name).validate()
+
+
+class TestSetonixSpecs:
+    """Figures quoted in the paper for the Pawsey Setonix nodes."""
+
+    def test_sockets_and_cores(self):
+        assert SETONIX.sockets == 2
+        assert SETONIX.cores_per_socket == 64
+        assert SETONIX.physical_cores == 128
+
+    def test_smt_allows_256_threads(self):
+        assert SETONIX.max_threads == 256
+
+    def test_numa_and_memory(self):
+        assert SETONIX.numa_domains == 8
+        assert SETONIX.memory_gb == 256.0
+        assert SETONIX.memory_channels_per_socket == 8
+
+    def test_l3_organisation(self):
+        assert SETONIX.l3_cache_mb_per_group == 32.0
+        assert SETONIX.cores_per_cache_group == 8
+
+    def test_clock_and_baseline(self):
+        assert SETONIX.clock_ghz == pytest.approx(2.55)
+        assert SETONIX.baseline_blas == "blis"
+        assert SETONIX.vendor == "AMD"
+
+
+class TestGadiSpecs:
+    """Figures quoted in the paper for the NCI Gadi nodes."""
+
+    def test_sockets_and_cores(self):
+        assert GADI.sockets == 2
+        assert GADI.cores_per_socket == 24
+        assert GADI.physical_cores == 48
+
+    def test_smt_allows_96_threads(self):
+        assert GADI.max_threads == 96
+
+    def test_numa_and_memory(self):
+        assert GADI.numa_domains == 4
+        assert GADI.memory_gb == 192.0
+        assert GADI.memory_channels_per_socket == 6
+
+    def test_clock_and_baseline(self):
+        assert GADI.clock_ghz == pytest.approx(3.2)
+        assert GADI.baseline_blas == "mkl"
+        assert GADI.vendor == "Intel"
+
+
+class TestRoutineProfiles:
+    @pytest.mark.parametrize("platform", [SETONIX, GADI, LAPTOP])
+    def test_all_routines_have_profiles(self, platform):
+        for routine in ROUTINE_NAMES:
+            profile = platform.routine_profile(routine)
+            assert 0 < profile.kernel_efficiency <= 1
+            assert 0 <= profile.smt_yield <= 1
+
+    def test_gemm_is_the_best_tuned_routine(self):
+        for platform in (SETONIX, GADI):
+            gemm_eff = platform.routine_profile("gemm").kernel_efficiency
+            for routine in ("symm", "syrk", "syr2k", "trmm", "trsm"):
+                assert platform.routine_profile(routine).kernel_efficiency < gemm_eff
+
+    def test_symm_has_largest_overhead_factors(self):
+        for platform in (SETONIX, GADI):
+            symm = platform.routine_profile("symm")
+            for routine in ("gemm", "syrk", "trmm"):
+                other = platform.routine_profile(routine)
+                assert symm.sync_factor >= other.sync_factor
+                assert symm.copy_factor >= other.copy_factor
+
+    def test_setonix_smt_yield_exceeds_gadi_for_syrk_family(self):
+        # Paper Fig. 4: on Setonix SYRK/TRMM/TRSM often prefer more threads
+        # than physical cores, on Gadi they prefer fewer.
+        for routine in ("syrk", "trmm", "trsm"):
+            assert (
+                SETONIX.routine_profile(routine).smt_yield
+                > GADI.routine_profile(routine).smt_yield
+            )
+
+    def test_laptop_is_small(self):
+        assert LAPTOP.max_threads <= 16

@@ -1,0 +1,65 @@
+"""Tests for the Table VIII-style profiling records."""
+
+import pytest
+
+from repro.machine.profiler import ProfileRecord, profile_call
+from repro.machine.simulator import TimingSimulator
+from repro.machine.platforms import GADI
+
+
+@pytest.fixture(scope="module")
+def gadi_sim():
+    return TimingSimulator(GADI, seed=0)
+
+
+class TestProfileCall:
+    def test_record_fields(self, gadi_sim):
+        record = profile_call(gadi_sim, "dgemm", {"m": 64, "k": 2048, "n": 64}, 96, repeats=100)
+        assert record.routine == "dgemm"
+        assert record.threads == 96
+        assert record.repeats == 100
+        assert record.total_seconds > 0
+
+    def test_components_do_not_exceed_total(self, gadi_sim):
+        record = profile_call(gadi_sim, "dsymm", {"m": 248, "n": 39944}, 96)
+        assert record.sync_seconds + record.kernel_seconds + record.copy_seconds <= record.total_seconds
+        assert record.other_seconds >= 0
+
+    def test_repeats_scale_linearly(self, gadi_sim):
+        once = profile_call(gadi_sim, "dgemm", {"m": 128, "k": 128, "n": 128}, 48, repeats=1)
+        hundred = profile_call(gadi_sim, "dgemm", {"m": 128, "k": 128, "n": 128}, 48, repeats=100)
+        assert hundred.total_seconds == pytest.approx(100 * once.total_seconds)
+
+    def test_invalid_repeats(self, gadi_sim):
+        with pytest.raises(ValueError, match="repeats"):
+            profile_call(gadi_sim, "dgemm", {"m": 8, "k": 8, "n": 8}, 4, repeats=0)
+
+    def test_as_row_layout(self, gadi_sim):
+        record = profile_call(gadi_sim, "sgemm", {"m": 64, "k": 2048, "n": 64}, 96)
+        row = record.as_row()
+        assert row["case"].startswith("sgemm 64,2048,64")
+        assert set(row) == {"case", "threads", "total_s", "thread_sync_s", "kernel_call_s", "data_copy_s"}
+
+
+class TestPaperTableVIIIShape:
+    """The qualitative content of Table VIII: ML threads shrink every component."""
+
+    @pytest.mark.parametrize(
+        "routine,dims",
+        [
+            ("dgemm", {"m": 64, "k": 2048, "n": 64}),
+            ("dsymm", {"m": 248, "n": 39944}),
+            ("ssyrk", {"n": 175, "k": 15095}),
+        ],
+    )
+    def test_fewer_threads_reduce_total_and_sync(self, gadi_sim, routine, dims):
+        max_threads = GADI.max_threads
+        best = gadi_sim.best_threads(routine, dims)
+        no_ml = profile_call(gadi_sim, routine, dims, max_threads)
+        with_ml = profile_call(gadi_sim, routine, dims, best)
+        assert with_ml.total_seconds < no_ml.total_seconds
+        assert with_ml.sync_seconds < no_ml.sync_seconds
+
+    def test_sync_is_dominant_overhead_for_small_gemm(self, gadi_sim):
+        record = profile_call(gadi_sim, "dgemm", {"m": 64, "k": 2048, "n": 64}, 96)
+        assert record.sync_seconds > record.kernel_seconds

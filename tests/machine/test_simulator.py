@@ -1,0 +1,139 @@
+"""Tests for the timing simulator (noise, determinism, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.perfmodel import PerformanceModel
+from repro.machine.simulator import TimingSimulator
+from repro.machine.platforms import GADI, LAPTOP
+
+
+DIMS = {"m": 300, "k": 400, "n": 200}
+
+
+class TestDeterminism:
+    def test_same_inputs_same_output(self, laptop):
+        sim = TimingSimulator(laptop, seed=1)
+        assert sim.time("dgemm", DIMS, 4) == sim.time("dgemm", DIMS, 4)
+
+    def test_two_instances_agree(self, laptop):
+        a = TimingSimulator(laptop, seed=1)
+        b = TimingSimulator(laptop, seed=1)
+        assert a.time("dsyrk", {"n": 256, "k": 64}, 6) == b.time("dsyrk", {"n": 256, "k": 64}, 6)
+
+    def test_seed_changes_noise(self, laptop):
+        a = TimingSimulator(laptop, seed=1)
+        b = TimingSimulator(laptop, seed=2)
+        assert a.time("dgemm", DIMS, 4) != b.time("dgemm", DIMS, 4)
+
+    def test_zero_noise_matches_analytic_model(self, laptop):
+        sim = TimingSimulator(laptop, seed=0, noise_level=0.0, patch_probability=0.0)
+        model = PerformanceModel(laptop)
+        assert sim.time("dgemm", DIMS, 4) == pytest.approx(model.time("dgemm", DIMS, 4))
+
+
+class TestNoise:
+    def test_noise_is_bounded_multiplicative(self, laptop):
+        sim = TimingSimulator(laptop, seed=3, noise_level=0.05, patch_probability=0.0)
+        model = PerformanceModel(laptop)
+        for threads in (1, 4, 8, 16):
+            ratio = sim.time("dgemm", DIMS, threads) / model.time("dgemm", DIMS, threads)
+            assert 0.7 < ratio < 1.4
+
+    def test_invalid_noise_level(self, laptop):
+        with pytest.raises(ValueError, match="noise_level"):
+            TimingSimulator(laptop, noise_level=-0.1)
+
+    def test_invalid_patch_probability(self, laptop):
+        with pytest.raises(ValueError, match="patch_probability"):
+            TimingSimulator(laptop, patch_probability=1.5)
+
+    def test_abnormal_patches_create_localised_slowdowns(self):
+        # With patching enabled, some (shape, thread) cells are slower than
+        # the noise-free model by much more than the noise level allows.
+        sim = TimingSimulator(GADI, seed=0, noise_level=0.0, patch_probability=0.3,
+                              patch_strength=1.5)
+        model = PerformanceModel(GADI)
+        ratios = []
+        for m in range(200, 3200, 150):
+            dims = {"m": m, "k": 512, "n": 512}
+            ratios.append(sim.time("dgemm", dims, 48) / model.time("dgemm", dims, 48))
+        ratios = np.array(ratios)
+        assert ratios.max() > 1.2       # at least one patched cell
+        assert (ratios < 1.05).sum() > len(ratios) / 3   # most cells unaffected
+
+
+class TestBreakdownAndCounters:
+    def test_breakdown_components_positive(self, simulator):
+        b = simulator.breakdown("dsymm", {"m": 200, "n": 300}, 5)
+        assert min(b.kernel, b.copy, b.sync, b.other) > 0
+
+    def test_evaluation_counter_increments(self, simulator):
+        start = simulator.n_evaluations
+        simulator.time("dgemm", DIMS, 2)
+        simulator.time("dgemm", DIMS, 3)
+        assert simulator.n_evaluations == start + 2
+
+    def test_time_at_max_threads(self, laptop, simulator):
+        expected = simulator.time("dgemm", DIMS, laptop.max_threads)
+        assert simulator.time_at_max_threads("dgemm", DIMS) == pytest.approx(expected)
+
+
+class TestSweeps:
+    def test_sweep_covers_all_candidates(self, laptop, simulator):
+        sweep = simulator.sweep_threads("dgemm", DIMS)
+        assert len(sweep.threads) == laptop.max_threads
+        assert sweep.times.shape == sweep.threads.shape
+
+    def test_best_threads_minimises_time(self, simulator):
+        sweep = simulator.sweep_threads("dgemm", DIMS)
+        assert sweep.best_time == pytest.approx(sweep.times.min())
+        assert sweep.threads[np.argmin(sweep.times)] == sweep.best_threads
+
+    def test_sweep_with_custom_candidates(self, simulator):
+        sweep = simulator.sweep_threads("dgemm", DIMS, thread_counts=[1, 2, 8])
+        assert list(sweep.threads) == [1, 2, 8]
+
+    def test_time_at_unknown_thread_count_raises(self, simulator):
+        sweep = simulator.sweep_threads("dgemm", DIMS, thread_counts=[1, 2])
+        with pytest.raises(KeyError):
+            sweep.time_at(7)
+
+    def test_empty_candidates_rejected(self, simulator):
+        with pytest.raises(ValueError, match="empty"):
+            simulator.sweep_threads("dgemm", DIMS, thread_counts=[])
+
+    def test_best_time_and_threads_consistent(self, simulator):
+        best_threads = simulator.best_threads("dsyrk", {"n": 300, "k": 200})
+        best_time = simulator.best_time("dsyrk", {"n": 300, "k": 200})
+        assert simulator.time("dsyrk", {"n": 300, "k": 200}, best_threads) == pytest.approx(best_time)
+
+    def test_speedup_vs_max_threads(self, simulator):
+        best = simulator.best_threads("dsymm", {"m": 300, "n": 400})
+        speedup = simulator.speedup_vs_max_threads("dsymm", {"m": 300, "n": 400}, best)
+        assert speedup >= 1.0
+
+
+class TestPaperPhenomena:
+    """Spot checks of the qualitative patterns the paper reports."""
+
+    def test_gadi_small_gemm_prefers_fewer_threads(self):
+        sim = TimingSimulator(GADI, seed=0)
+        best = sim.best_threads("dgemm", {"m": 64, "k": 2048, "n": 64})
+        assert best < GADI.physical_cores
+
+    def test_gadi_symm_speedup_exceeds_gemm_speedup(self):
+        sim = TimingSimulator(GADI, seed=0)
+        gemm_dims = {"m": 2000, "k": 2000, "n": 2000}
+        symm_dims = {"m": 2000, "n": 2000}
+        gemm_speedup = sim.time_at_max_threads("dgemm", gemm_dims) / sim.best_time("dgemm", gemm_dims)
+        symm_speedup = sim.time_at_max_threads("dsymm", symm_dims) / sim.best_time("dsymm", symm_dims)
+        assert symm_speedup > gemm_speedup
+
+    def test_speedup_shrinks_for_large_problems(self):
+        sim = TimingSimulator(GADI, seed=0)
+        small = {"m": 400, "k": 400, "n": 400}
+        large = {"m": 4000, "k": 4000, "n": 4000}
+        small_speedup = sim.time_at_max_threads("dgemm", small) / sim.best_time("dgemm", small)
+        large_speedup = sim.time_at_max_threads("dgemm", large) / sim.best_time("dgemm", large)
+        assert small_speedup > large_speedup

@@ -1,0 +1,116 @@
+"""Tests for the machine-topology description."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.topology import MachineTopology, RoutineEfficiency
+
+
+def make_topology(**overrides):
+    base = dict(
+        name="toy",
+        vendor="Test",
+        cpu_model="Toy 4-Core",
+        sockets=2,
+        cores_per_socket=4,
+        smt=2,
+        numa_domains=4,
+        clock_ghz=2.0,
+        flops_per_cycle=8.0,
+        l3_cache_mb_per_group=8.0,
+        cores_per_cache_group=4,
+        memory_channels_per_socket=2,
+        memory_bandwidth_gbs_per_socket=50.0,
+        memory_gb=64.0,
+        baseline_blas="openblas",
+    )
+    base.update(overrides)
+    return MachineTopology(**base)
+
+
+class TestDerivedQuantities:
+    def test_physical_cores(self):
+        assert make_topology().physical_cores == 8
+
+    def test_max_threads_includes_smt(self):
+        assert make_topology().max_threads == 16
+        assert make_topology(smt=1).max_threads == 8
+
+    def test_cores_per_numa(self):
+        assert make_topology().cores_per_numa == 2.0
+
+    def test_peak_gflops(self):
+        topo = make_topology()
+        assert topo.peak_gflops_per_core == pytest.approx(16.0)
+        assert topo.peak_gflops == pytest.approx(128.0)
+
+    def test_total_memory_bandwidth(self):
+        assert make_topology().total_memory_bandwidth_gbs == pytest.approx(100.0)
+
+    def test_candidate_thread_counts_cover_full_range(self):
+        counts = make_topology().candidate_thread_counts()
+        assert counts[0] == 1
+        assert counts[-1] == 16
+        assert counts == sorted(set(counts))
+        assert len(counts) == 16
+
+
+class TestRoutineProfiles:
+    def test_known_routine_profile(self):
+        profile = RoutineEfficiency(kernel_efficiency=0.5)
+        topo = make_topology(routine_profiles={"gemm": profile})
+        assert topo.routine_profile("gemm") is profile
+
+    def test_precision_prefix_stripped(self):
+        profile = RoutineEfficiency(sync_factor=9.0)
+        topo = make_topology(routine_profiles={"syrk": profile})
+        assert topo.routine_profile("dsyrk") is profile
+        assert topo.routine_profile("ssyrk") is profile
+
+    def test_unknown_routine_gets_defaults(self):
+        topo = make_topology()
+        profile = topo.routine_profile("trmm")
+        assert profile.kernel_efficiency == pytest.approx(0.80)
+        assert profile.saturation_threads == float("inf")
+
+    def test_topology_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make_topology().sockets = 4
+
+
+class TestValidation:
+    def test_valid_topology_passes(self):
+        make_topology().validate()
+
+    def test_numa_must_cover_sockets(self):
+        with pytest.raises(ValueError, match="numa"):
+            make_topology(numa_domains=1).validate()
+
+    def test_numa_must_divide_sockets(self):
+        with pytest.raises(ValueError, match="divide"):
+            make_topology(numa_domains=3).validate()
+
+    def test_cores_must_divide_numa(self):
+        with pytest.raises(ValueError, match="NUMA"):
+            make_topology(cores_per_socket=3, numa_domains=4, sockets=2).validate()
+
+    def test_positive_clock_required(self):
+        with pytest.raises(ValueError, match="clock"):
+            make_topology(clock_ghz=0.0).validate()
+
+    def test_positive_bandwidth_required(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            make_topology(memory_bandwidth_gbs_per_socket=-1.0).validate()
+
+    def test_invalid_smt(self):
+        with pytest.raises(ValueError, match="smt"):
+            make_topology(smt=0).validate()
+
+
+class TestDescribe:
+    def test_describe_mentions_key_facts(self):
+        text = make_topology().describe()
+        assert "8" in text            # physical cores
+        assert "16 threads" in text
+        assert "OPENBLAS" in text

@@ -1,0 +1,108 @@
+"""Tests for the estimator base class, validation helpers and cloning."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseRegressor, check_X, check_X_y, clone
+from repro.ml.linear import LinearRegression, Ridge
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestCheckX:
+    def test_accepts_2d_array(self):
+        X = check_X([[1.0, 2.0], [3.0, 4.0]])
+        assert X.shape == (2, 2)
+        assert X.dtype == np.float64
+
+    def test_promotes_1d_to_column(self):
+        X = check_X([1.0, 2.0, 3.0])
+        assert X.shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_X(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_X(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_X([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_X([[1.0, np.inf]])
+
+
+class TestCheckXY:
+    def test_matching_lengths(self):
+        X, y = check_X_y([[1.0], [2.0]], [3.0, 4.0])
+        assert X.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible lengths"):
+            check_X_y([[1.0], [2.0]], [3.0])
+
+    def test_rejects_nan_target(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_X_y([[1.0], [2.0]], [np.nan, 1.0])
+
+    def test_flattens_column_target(self):
+        _, y = check_X_y([[1.0], [2.0]], [[3.0], [4.0]])
+        assert y.shape == (2,)
+
+
+class TestParams:
+    def test_get_params_returns_constructor_args(self):
+        model = Ridge(alpha=2.5, fit_intercept=False)
+        params = model.get_params()
+        assert params == {"alpha": 2.5, "fit_intercept": False}
+
+    def test_set_params_roundtrip(self):
+        model = Ridge()
+        model.set_params(alpha=0.1)
+        assert model.alpha == 0.1
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            Ridge().set_params(bogus=1)
+
+    def test_repr_contains_params(self):
+        assert "alpha=3.0" in repr(Ridge(alpha=3.0))
+
+
+class TestClone:
+    def test_clone_copies_hyperparameters(self):
+        original = DecisionTreeRegressor(max_depth=5, min_samples_leaf=3)
+        copy = clone(original)
+        assert copy is not original
+        assert copy.max_depth == 5
+        assert copy.min_samples_leaf == 3
+
+    def test_clone_is_unfitted(self, regression_data):
+        X, y = regression_data
+        model = LinearRegression().fit(X, y)
+        fresh = clone(model)
+        assert not hasattr(fresh, "coef_")
+
+    def test_clone_deep_copies_mutable_params(self):
+        original = DecisionTreeRegressor(max_features=0.5)
+        copy = clone(original)
+        assert copy.max_features == 0.5
+
+
+class TestBaseInterface:
+    def test_score_is_r2(self, linear_data):
+        X, y, _, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0, abs=1e-9)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LinearRegression().predict([[1.0, 2.0]])
+
+    def test_base_fit_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            BaseRegressor().fit([[1.0]], [1.0])

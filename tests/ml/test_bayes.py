@@ -1,0 +1,69 @@
+"""Tests for BayesianRidge regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bayes import BayesianRidge
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import r2_score
+
+
+class TestBayesianRidge:
+    def test_matches_ols_on_clean_linear_data(self, linear_data):
+        X, y, coef, intercept = linear_data
+        model = BayesianRidge().fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-3)
+        assert model.intercept_ == pytest.approx(intercept, abs=1e-3)
+
+    def test_close_to_ols_with_noise(self, regression_data):
+        X, y = regression_data
+        bayes = BayesianRidge().fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert r2_score(y, bayes.predict(X)) == pytest.approx(
+            r2_score(y, ols.predict(X)), abs=0.05
+        )
+
+    def test_hyperparameters_are_positive(self, regression_data):
+        X, y = regression_data
+        model = BayesianRidge().fit(X, y)
+        assert model.alpha_ > 0
+        assert model.lambda_ > 0
+
+    def test_noise_precision_tracks_noise_level(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 3))
+        coef = np.array([1.0, -1.0, 0.5])
+        quiet = X @ coef + rng.normal(0, 0.01, 300)
+        loud = X @ coef + rng.normal(0, 1.0, 300)
+        model_quiet = BayesianRidge().fit(X, quiet)
+        model_loud = BayesianRidge().fit(X, loud)
+        # alpha is the noise *precision*, so quiet data -> larger alpha.
+        assert model_quiet.alpha_ > model_loud.alpha_ * 10
+
+    def test_predict_with_std(self, regression_data):
+        X, y = regression_data
+        model = BayesianRidge().fit(X, y)
+        mean, std = model.predict(X[:10], return_std=True)
+        assert mean.shape == (10,)
+        assert std.shape == (10,)
+        assert np.all(std > 0)
+
+    def test_uncertainty_grows_away_from_data(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, size=(100, 2))
+        y = X @ np.array([1.0, 2.0]) + rng.normal(0, 0.5, 100)
+        model = BayesianRidge().fit(X, y)
+        _, std_near = model.predict(np.array([[0.0, 0.0]]), return_std=True)
+        _, std_far = model.predict(np.array([[20.0, -20.0]]), return_std=True)
+        assert std_far[0] > std_near[0]
+
+    def test_converges_within_budget(self, regression_data):
+        X, y = regression_data
+        model = BayesianRidge(max_iter=300).fit(X, y)
+        assert model.n_iter_ <= 300
+
+    def test_feature_mismatch_raises(self, regression_data):
+        X, y = regression_data
+        model = BayesianRidge().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :2])

@@ -1,0 +1,75 @@
+"""Tests for the random-forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestRandomForest:
+    def test_fits_nonlinear_data(self, regression_data):
+        X, y = regression_data
+        model = RandomForestRegressor(n_estimators=15, max_depth=8, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.8
+
+    def test_number_of_estimators(self, regression_data):
+        X, y = regression_data
+        model = RandomForestRegressor(n_estimators=7, random_state=0).fit(X, y)
+        assert len(model.estimators_) == 7
+        assert all(isinstance(tree, DecisionTreeRegressor) for tree in model.estimators_)
+
+    def test_prediction_is_mean_of_trees(self, regression_data):
+        X, y = regression_data
+        model = RandomForestRegressor(n_estimators=5, max_depth=4, random_state=1).fit(X, y)
+        manual = np.mean([tree.predict(X[:20]) for tree in model.estimators_], axis=0)
+        np.testing.assert_allclose(model.predict(X[:20]), manual)
+
+    def test_reproducible_with_seed(self, regression_data):
+        X, y = regression_data
+        a = RandomForestRegressor(n_estimators=5, random_state=42).fit(X, y).predict(X[:10])
+        b = RandomForestRegressor(n_estimators=5, random_state=42).fit(X, y).predict(X[:10])
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self, regression_data):
+        X, y = regression_data
+        a = RandomForestRegressor(n_estimators=5, random_state=1).fit(X, y).predict(X[:10])
+        b = RandomForestRegressor(n_estimators=5, random_state=2).fit(X, y).predict(X[:10])
+        assert not np.allclose(a, b)
+
+    def test_oob_score_populated_with_bootstrap(self, regression_data):
+        X, y = regression_data
+        model = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+        assert model.oob_score_ is not None
+        assert model.oob_score_ > 0.3
+
+    def test_no_bootstrap_mode(self, regression_data):
+        X, y = regression_data
+        model = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert model.oob_score_ is None
+        assert r2_score(y, model.predict(X)) > 0.6
+
+    def test_invalid_n_estimators(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestRegressor(n_estimators=0).fit(X, y)
+
+    def test_feature_importances_normalised(self, regression_data):
+        X, y = regression_data
+        model = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        importances = model.feature_importances()
+        assert importances.shape == (X.shape[1],)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_ensemble_smoother_than_single_tree(self, regression_data):
+        """Bagging should not be (much) worse than a single deep tree out of sample."""
+        X, y = regression_data
+        split = 180
+        tree = DecisionTreeRegressor(random_state=0).fit(X[:split], y[:split])
+        forest = RandomForestRegressor(n_estimators=20, random_state=0).fit(X[:split], y[:split])
+        tree_r2 = r2_score(y[split:], tree.predict(X[split:]))
+        forest_r2 = r2_score(y[split:], forest.predict(X[split:]))
+        assert forest_r2 > tree_r2 - 0.1

@@ -1,0 +1,107 @@
+"""Tests for LinearRegression, Ridge and ElasticNet."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import ElasticNet, LinearRegression, Ridge
+from repro.ml.metrics import r2_score
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self, linear_data):
+        X, y, coef, intercept = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-8)
+        assert model.intercept_ == pytest.approx(intercept, abs=1e-8)
+
+    def test_prediction_matches_formula(self, linear_data):
+        X, y, _, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), X @ model.coef_ + model.intercept_)
+
+    def test_without_intercept(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = 2.0 * X[:, 0]
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0)
+
+    def test_feature_count_mismatch_raises(self, linear_data):
+        X, y, _, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :2])
+
+    def test_handles_rank_deficiency(self):
+        # Duplicate column: lstsq should still return a finite solution.
+        X = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [4.0, 4.0]])
+        y = np.array([2.0, 4.0, 6.0, 8.0])
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-8)
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self, linear_data):
+        X, y, _, _ = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage_increases_with_alpha(self, linear_data):
+        X, y, _, _ = linear_data
+        small = Ridge(alpha=0.1).fit(X, y)
+        large = Ridge(alpha=1000.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_negative_alpha_rejected(self, linear_data):
+        X, y, _, _ = linear_data
+        with pytest.raises(ValueError, match="non-negative"):
+            Ridge(alpha=-1.0).fit(X, y)
+
+    def test_reasonable_fit_quality(self, regression_data):
+        X, y = regression_data
+        model = Ridge(alpha=1.0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.3
+
+
+class TestElasticNet:
+    def test_recovers_sparse_signal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 10))
+        true_coef = np.zeros(10)
+        true_coef[[0, 3]] = [2.0, -1.5]
+        y = X @ true_coef + rng.normal(0, 0.01, size=200)
+        model = ElasticNet(alpha=0.05, l1_ratio=0.9, max_iter=2000).fit(X, y)
+        # The two active coefficients dominate, the rest are (near) zero.
+        assert abs(model.coef_[0]) > 1.0
+        assert abs(model.coef_[3]) > 0.7
+        inactive = np.delete(np.abs(model.coef_), [0, 3])
+        assert np.all(inactive < 0.2)
+
+    def test_high_alpha_zeroes_everything(self, regression_data):
+        X, y = regression_data
+        model = ElasticNet(alpha=1e6, l1_ratio=1.0).fit(X, y)
+        np.testing.assert_allclose(model.coef_, 0.0, atol=1e-10)
+        assert model.intercept_ == pytest.approx(float(np.mean(y)), rel=1e-6)
+
+    def test_zero_alpha_approaches_ols(self, linear_data):
+        X, y, coef, _ = linear_data
+        model = ElasticNet(alpha=1e-8, l1_ratio=0.5, max_iter=5000, tol=1e-10).fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-3)
+
+    def test_invalid_l1_ratio(self, linear_data):
+        X, y, _, _ = linear_data
+        with pytest.raises(ValueError, match="l1_ratio"):
+            ElasticNet(l1_ratio=1.5).fit(X, y)
+
+    def test_convergence_reported(self, linear_data):
+        X, y, _, _ = linear_data
+        model = ElasticNet(alpha=0.01, max_iter=500).fit(X, y)
+        assert 1 <= model.n_iter_ <= 500
+
+    def test_constant_feature_ignored(self):
+        X = np.column_stack([np.ones(50), np.linspace(0, 1, 50)])
+        y = 3.0 * X[:, 1] + 1.0
+        model = ElasticNet(alpha=0.001, max_iter=2000).fit(X, y)
+        assert model.coef_[0] == pytest.approx(0.0, abs=1e-8)
+        assert model.coef_[1] == pytest.approx(3.0, abs=0.2)

@@ -1,0 +1,82 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    normalised_rmse,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestBasicMetrics:
+    def test_mse_perfect(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_mse_known_value(self):
+        assert mean_squared_error([0, 0], [2, 0]) == pytest.approx(2.0)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        y_true = [1.0, 2.0, 3.0]
+        y_pred = [2.0, 2.0, 5.0]
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(
+            np.sqrt(mean_squared_error(y_true, y_pred))
+        )
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([1, -1], [2, 1]) == pytest.approx(1.5)
+
+    def test_mape_guards_zero_denominator(self):
+        value = mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+        assert np.isfinite(value)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="different shapes"):
+            mean_squared_error([1, 2], [1, 2, 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_squared_error([], [])
+
+
+class TestR2:
+    def test_perfect_prediction(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_prediction_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, np.full_like(y, y.mean())) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 3.0, -2.0]) < 0
+
+    def test_constant_target_perfect(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+
+    def test_constant_target_imperfect(self):
+        assert r2_score([2.0, 2.0], [2.0, 3.0]) == 0.0
+
+
+class TestNormalisedRmse:
+    def test_reference_normalisation(self):
+        rmse = root_mean_squared_error([0, 0], [1, 1])
+        assert normalised_rmse([0, 0], [1, 1], reference_rmse=2.0) == pytest.approx(rmse / 2.0)
+
+    def test_worst_model_scores_one(self):
+        rmse = root_mean_squared_error([0, 2], [1, 1])
+        assert normalised_rmse([0, 2], [1, 1], reference_rmse=rmse) == pytest.approx(1.0)
+
+    def test_std_normalisation_fallback(self):
+        value = normalised_rmse([0.0, 2.0, 4.0], [0.5, 2.0, 3.5])
+        assert value > 0
+
+    def test_invalid_reference_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            normalised_rmse([1, 2], [1, 2], reference_rmse=0.0)
+
+    def test_constant_target_zero_error(self):
+        assert normalised_rmse([1.0, 1.0], [1.0, 1.0]) == 0.0

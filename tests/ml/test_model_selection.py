@@ -1,0 +1,150 @@
+"""Tests for K-fold CV, splitting and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import Ridge
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    cross_val_score,
+    stratified_train_test_split,
+    train_test_split,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestKFold:
+    def test_partitions_cover_everything_once(self):
+        splitter = KFold(n_splits=4, shuffle=True, random_state=0)
+        X = np.arange(22).reshape(-1, 1)
+        seen = []
+        for train_idx, test_idx in splitter.split(X):
+            assert set(train_idx).isdisjoint(test_idx)
+            assert len(train_idx) + len(test_idx) == 22
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(22))
+
+    def test_number_of_folds(self):
+        splitter = KFold(n_splits=5, shuffle=False)
+        folds = list(splitter.split(np.zeros((20, 2))))
+        assert len(folds) == 5
+
+    def test_no_shuffle_is_contiguous(self):
+        splitter = KFold(n_splits=2, shuffle=False)
+        (train1, test1), _ = splitter.split(np.zeros((10, 1)))
+        assert list(test1) == list(range(5))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="Cannot split"):
+            list(KFold(n_splits=5).split(np.zeros((3, 1))))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            KFold(n_splits=1)
+
+    def test_reproducible_shuffle(self):
+        a = [t.tolist() for _, t in KFold(3, True, 7).split(np.zeros((12, 1)))]
+        b = [t.tolist() for _, t in KFold(3, True, 7).split(np.zeros((12, 1)))]
+        assert a == b
+
+
+class TestSplits:
+    def test_train_test_split_sizes(self, regression_data):
+        X, y = regression_data
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert len(X_test) == round(0.25 * len(X))
+        assert len(X_train) + len(X_test) == len(X)
+        assert len(y_train) == len(X_train)
+
+    def test_train_test_split_disjoint(self, regression_data):
+        X, y = regression_data
+        X_train, X_test, _, _ = train_test_split(X, y, test_size=0.2, random_state=1)
+        train_rows = {tuple(row) for row in X_train}
+        test_rows = {tuple(row) for row in X_test}
+        assert not train_rows & test_rows
+
+    def test_invalid_test_size(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="test_size"):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_stratified_split_covers_target_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 3))
+        # Heavily skewed target, as in the timing datasets.
+        y = np.exp(rng.normal(0, 2, size=400))
+        _, X_test, _, y_test = stratified_train_test_split(X, y, test_size=0.15, random_state=0)
+        # The test split should include both small and large runtimes.
+        assert y_test.min() < np.quantile(y, 0.3)
+        assert y_test.max() > np.quantile(y, 0.7)
+        assert 0.05 * len(y) < len(y_test) < 0.3 * len(y)
+
+    def test_stratified_split_respects_fraction(self, regression_data):
+        X, y = regression_data
+        _, X_test, _, _ = stratified_train_test_split(X, y, test_size=0.15, random_state=0)
+        assert abs(len(X_test) - 0.15 * len(X)) <= 0.05 * len(X)
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(combos) == 6
+        assert len(grid) == 6
+        assert {"a": 1, "b": "x"} in combos
+
+    def test_empty_grid_yields_single_empty_dict(self):
+        assert list(ParameterGrid({})) == [{}]
+
+    def test_empty_value_list_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ParameterGrid({"a": []})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            ParameterGrid([("a", [1])])
+
+
+class TestCrossValidation:
+    def test_cross_val_score_length(self, regression_data):
+        X, y = regression_data
+        scores = cross_val_score(Ridge(alpha=1.0), X, y, cv=4)
+        assert scores.shape == (4,)
+        assert np.all(scores <= 0)  # neg_rmse
+
+    def test_r2_scoring(self, regression_data):
+        X, y = regression_data
+        scores = cross_val_score(Ridge(alpha=1.0), X, y, cv=3, scoring="r2")
+        assert np.all(scores <= 1.0)
+
+    def test_unknown_scoring(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="scoring"):
+            cross_val_score(Ridge(), X, y, cv=3, scoring="accuracy")
+
+
+class TestGridSearch:
+    def test_selects_better_depth(self, regression_data):
+        X, y = regression_data
+        search = GridSearchCV(
+            estimator=DecisionTreeRegressor(random_state=0),
+            param_grid={"max_depth": [1, 8]},
+            cv=3,
+        )
+        search.fit(X, y)
+        assert search.best_params_["max_depth"] == 8
+        assert len(search.results_) == 2
+
+    def test_best_estimator_is_fitted(self, regression_data):
+        X, y = regression_data
+        search = GridSearchCV(Ridge(), {"alpha": [0.1, 10.0]}, cv=3)
+        search.fit(X, y)
+        predictions = search.predict(X[:5])
+        assert predictions.shape == (5,)
+
+    def test_predict_before_fit_raises(self):
+        search = GridSearchCV(Ridge(), {"alpha": [1.0]}, cv=3)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            search.predict(np.zeros((1, 3)))

@@ -1,0 +1,105 @@
+"""Tests for the candidate-model registry (paper Table II)."""
+
+import pytest
+
+from repro.ml.base import BaseRegressor
+from repro.ml.model_zoo import (
+    CANDIDATE_MODEL_NAMES,
+    MODEL_CHARACTERISTICS,
+    candidate_models,
+    default_param_grid,
+    make_model,
+)
+
+
+class TestCatalog:
+    def test_ten_candidates_as_in_table2(self):
+        assert len(CANDIDATE_MODEL_NAMES) == 10
+
+    def test_expected_names_present(self):
+        for name in ("LinearRegression", "ElasticNet", "BayesianRidge", "DecisionTree",
+                     "XGBoost", "AdaBoost", "RandomForest", "LightGBM", "SVR", "KNN"):
+            assert name in MODEL_CHARACTERISTICS
+
+    def test_characteristics_have_table2_columns(self):
+        for traits in MODEL_CHARACTERISTICS.values():
+            assert set(traits) == {
+                "category",
+                "parametric",
+                "good_with_imbalance",
+                "data_size_requirement",
+            }
+
+    def test_linear_models_are_parametric(self):
+        for name in ("LinearRegression", "ElasticNet", "BayesianRidge"):
+            assert MODEL_CHARACTERISTICS[name]["parametric"] is True
+
+    def test_tree_models_handle_imbalance(self):
+        for name in ("DecisionTree", "XGBoost", "AdaBoost", "RandomForest", "LightGBM"):
+            assert MODEL_CHARACTERISTICS[name]["good_with_imbalance"] is True
+
+    def test_categories_match_paper_grouping(self):
+        assert MODEL_CHARACTERISTICS["SVR"]["category"] == "Other Models"
+        assert MODEL_CHARACTERISTICS["KNN"]["category"] == "Other Models"
+        assert MODEL_CHARACTERISTICS["BayesianRidge"]["category"] == "Linear Models"
+
+
+class TestFactories:
+    @pytest.mark.parametrize("name", CANDIDATE_MODEL_NAMES)
+    def test_every_candidate_instantiates(self, name):
+        model = make_model(name)
+        assert isinstance(model, BaseRegressor)
+
+    def test_instances_are_fresh(self):
+        assert make_model("XGBoost") is not make_model("XGBoost")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="Unknown model"):
+            make_model("CatBoost")
+
+    def test_candidate_models_default_pool(self):
+        pool = candidate_models()
+        assert set(pool) == set(CANDIDATE_MODEL_NAMES)
+
+    def test_candidate_models_subset(self):
+        pool = candidate_models(["KNN", "SVR"])
+        assert set(pool) == {"KNN", "SVR"}
+
+
+class TestParamGrids:
+    @pytest.mark.parametrize("name", CANDIDATE_MODEL_NAMES)
+    def test_grid_params_are_valid_for_model(self, name):
+        model = make_model(name)
+        grid = default_param_grid(name)
+        valid = model.get_params()
+        for parameter in grid:
+            assert parameter in valid
+
+    def test_parameterless_models_have_empty_grids(self):
+        assert default_param_grid("LinearRegression") == {}
+        assert default_param_grid("BayesianRidge") == {}
+
+    def test_grid_is_a_copy(self):
+        grid = default_param_grid("KNN")
+        grid["n_neighbors"].append(999)
+        assert 999 not in default_param_grid("KNN")["n_neighbors"]
+
+    def test_unknown_grid_raises(self):
+        with pytest.raises(KeyError, match="Unknown model"):
+            default_param_grid("CatBoost")
+
+
+class TestFitAllCandidates:
+    @pytest.mark.parametrize("name", CANDIDATE_MODEL_NAMES)
+    def test_every_candidate_fits_and_predicts(self, name, regression_data):
+        X, y = regression_data
+        X, y = X[:120], y[:120]
+        model = make_model(name)
+        # Shrink the heavier ensembles so the full-pool test stays fast.
+        if hasattr(model, "n_estimators"):
+            model.n_estimators = min(model.n_estimators, 10)
+        if hasattr(model, "max_iter"):
+            model.max_iter = min(model.max_iter, 100)
+        model.fit(X, y)
+        predictions = model.predict(X[:10])
+        assert predictions.shape == (10,)

@@ -1,0 +1,61 @@
+"""Tests for the k-nearest-neighbour regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import r2_score
+from repro.ml.neighbors import KNeighborsRegressor
+
+
+class TestKNN:
+    def test_one_neighbor_memorises_training_data(self, regression_data):
+        X, y = regression_data
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+
+    def test_uniform_average_of_neighbors(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0]])
+        y = np.array([0.0, 1.0, 2.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=3, weights="uniform").fit(X, y)
+        # Query at 1.0: neighbours are 0, 1, 2 -> mean 1.0.
+        assert model.predict([[1.0]])[0] == pytest.approx(1.0)
+
+    def test_distance_weighting_prefers_closer_points(self):
+        X = np.array([[0.0], [1.0], [4.0]])
+        y = np.array([0.0, 10.0, 100.0])
+        uniform = KNeighborsRegressor(n_neighbors=3, weights="uniform").fit(X, y)
+        weighted = KNeighborsRegressor(n_neighbors=3, weights="distance").fit(X, y)
+        query = [[0.9]]
+        # The distance-weighted estimate should sit closer to the y of the
+        # nearest training point (10.0) than the unweighted mean does.
+        assert abs(weighted.predict(query)[0] - 10.0) < abs(uniform.predict(query)[0] - 10.0)
+
+    def test_exact_match_with_distance_weights(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([5.0, 7.0, 9.0])
+        model = KNeighborsRegressor(n_neighbors=3, weights="distance").fit(X, y)
+        assert model.predict([[1.0]])[0] == pytest.approx(7.0)
+
+    def test_generalises_smooth_function(self, regression_data):
+        X, y = regression_data
+        split = 200
+        model = KNeighborsRegressor(n_neighbors=5, weights="distance").fit(X[:split], y[:split])
+        assert r2_score(y[split:], model.predict(X[split:])) > 0.5
+
+    def test_k_larger_than_dataset_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            KNeighborsRegressor(n_neighbors=10).fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            KNeighborsRegressor(weights="gaussian").fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNeighborsRegressor(n_neighbors=0).fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_feature_mismatch_raises(self, regression_data):
+        X, y = regression_data
+        model = KNeighborsRegressor().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :2])

@@ -1,0 +1,99 @@
+"""Tests for correlation-based feature pruning."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.correlation import CorrelationFilter
+
+
+def correlated_data(seed=0, n=300):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=n)
+    independent = rng.normal(size=n)
+    noisy_copy = base + rng.normal(0, 0.01, size=n)       # |r| ~ 1 with base
+    scaled_copy = 3.0 * base + 5.0                         # |r| = 1 with base
+    return np.column_stack([base, independent, noisy_copy, scaled_copy])
+
+
+class TestCorrelationFilter:
+    def test_drops_redundant_features(self):
+        X = correlated_data()
+        filt = CorrelationFilter(threshold=0.8).fit(X)
+        # Of the three mutually correlated columns (0, 2, 3) only one survives.
+        survivors = set(filt.kept_indices_) & {0, 2, 3}
+        assert len(survivors) == 1
+        assert 1 in filt.kept_indices_  # the independent feature stays
+
+    def test_transform_keeps_selected_columns(self):
+        X = correlated_data()
+        filt = CorrelationFilter(threshold=0.8)
+        out = filt.fit_transform(X)
+        assert out.shape == (X.shape[0], len(filt.kept_indices_))
+        np.testing.assert_allclose(out, X[:, filt.kept_indices_])
+
+    def test_uncorrelated_data_untouched(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 5))
+        filt = CorrelationFilter(threshold=0.8).fit(X)
+        assert filt.kept_indices_ == list(range(5))
+        assert filt.dropped_indices_ == []
+
+    def test_victim_has_larger_total_correlation(self):
+        # Column 0 ("hub") correlates strongly with columns 1 and 2, which
+        # correlate with each other only below the threshold.  The hub has the
+        # larger total correlation and must be the one removed, after which no
+        # redundant pair remains.
+        rng = np.random.default_rng(5)
+        base = rng.normal(size=2000)
+        hub = base
+        spoke_1 = base + rng.normal(0, 0.45, size=2000)
+        spoke_2 = base + rng.normal(0, 0.45, size=2000)
+        X = np.column_stack([hub, spoke_1, spoke_2])
+        filt = CorrelationFilter(threshold=0.85).fit(X)
+        assert filt.dropped_indices_ == [0]
+        assert filt.kept_indices_ == [1, 2]
+
+    def test_feature_names_carried_through(self):
+        X = correlated_data()
+        names = ["base", "independent", "copy1", "copy2"]
+        filt = CorrelationFilter(threshold=0.8).fit(X, feature_names=names)
+        assert "independent" in filt.kept_feature_names_
+        assert len(filt.kept_feature_names_) == len(filt.kept_indices_)
+
+    def test_constant_column_is_kept(self):
+        rng = np.random.default_rng(2)
+        X = np.column_stack([np.full(100, 3.0), rng.normal(size=100)])
+        filt = CorrelationFilter(threshold=0.8).fit(X)
+        assert 0 in filt.kept_indices_
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CorrelationFilter(threshold=0.0).fit(np.zeros((10, 2)))
+
+    def test_feature_names_length_mismatch(self):
+        with pytest.raises(ValueError, match="feature_names"):
+            CorrelationFilter().fit(correlated_data(), feature_names=["a", "b"])
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            CorrelationFilter().transform(np.zeros((3, 3)))
+
+    def test_transform_width_mismatch(self):
+        filt = CorrelationFilter().fit(correlated_data())
+        with pytest.raises(ValueError, match="shape"):
+            filt.transform(np.zeros((5, 2)))
+
+    def test_config_roundtrip(self):
+        X = correlated_data()
+        filt = CorrelationFilter(threshold=0.8).fit(X, feature_names=list("abcd"))
+        restored = CorrelationFilter.from_config(filt.to_config())
+        np.testing.assert_allclose(restored.transform(X), filt.transform(X))
+        assert restored.kept_feature_names_ == filt.kept_feature_names_
+
+    def test_stricter_threshold_drops_more(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=500)
+        X = np.column_stack([base, base + rng.normal(0, 0.8, 500), rng.normal(size=500)])
+        loose = CorrelationFilter(threshold=0.95).fit(X)
+        strict = CorrelationFilter(threshold=0.5).fit(X)
+        assert len(strict.dropped_indices_) >= len(loose.dropped_indices_)

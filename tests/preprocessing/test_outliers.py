@@ -1,0 +1,81 @@
+"""Tests for the Local Outlier Factor implementation."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.outliers import LocalOutlierFactor
+
+
+def clustered_data_with_outliers(seed=0):
+    rng = np.random.default_rng(seed)
+    cluster_a = rng.normal(0.0, 0.3, size=(80, 2))
+    cluster_b = rng.normal(5.0, 0.3, size=(80, 2))
+    outliers = np.array([[2.5, 2.5], [10.0, -5.0], [-6.0, 8.0]])
+    X = np.vstack([cluster_a, cluster_b, outliers])
+    outlier_indices = np.arange(160, 163)
+    return X, outlier_indices
+
+
+class TestLOF:
+    def test_detects_planted_outliers(self):
+        X, outlier_indices = clustered_data_with_outliers()
+        lof = LocalOutlierFactor(n_neighbors=15, contamination=0.03)
+        lof.fit(X)
+        flagged = np.flatnonzero(~lof.inlier_mask_)
+        assert set(outlier_indices).issubset(set(flagged))
+
+    def test_inliers_have_score_near_one(self):
+        X, outlier_indices = clustered_data_with_outliers()
+        lof = LocalOutlierFactor(n_neighbors=15).fit(X)
+        inlier_scores = np.delete(lof.lof_scores_, outlier_indices)
+        assert np.median(inlier_scores) == pytest.approx(1.0, abs=0.15)
+
+    def test_outliers_have_higher_scores_than_inliers(self):
+        X, outlier_indices = clustered_data_with_outliers()
+        lof = LocalOutlierFactor(n_neighbors=15).fit(X)
+        outlier_scores = lof.lof_scores_[outlier_indices]
+        inlier_scores = np.delete(lof.lof_scores_, outlier_indices)
+        assert outlier_scores.min() > np.percentile(inlier_scores, 95)
+
+    def test_fit_predict_convention(self):
+        X, _ = clustered_data_with_outliers()
+        labels = LocalOutlierFactor(n_neighbors=15).fit_predict(X)
+        assert set(np.unique(labels)).issubset({-1, 1})
+
+    def test_contamination_controls_flagged_fraction(self):
+        X, _ = clustered_data_with_outliers()
+        low = LocalOutlierFactor(n_neighbors=15, contamination=0.02).fit(X)
+        high = LocalOutlierFactor(n_neighbors=15, contamination=0.2).fit(X)
+        assert (~high.inlier_mask_).sum() >= (~low.inlier_mask_).sum()
+
+    def test_absolute_threshold_override(self):
+        X, _ = clustered_data_with_outliers()
+        lof = LocalOutlierFactor(n_neighbors=15, threshold=1e9).fit(X)
+        assert lof.inlier_mask_.all()
+
+    def test_filter_removes_rows_consistently(self):
+        X, outlier_indices = clustered_data_with_outliers()
+        y = np.arange(len(X), dtype=float)
+        lof = LocalOutlierFactor(n_neighbors=15, contamination=0.03)
+        X_clean, y_clean = lof.filter(X, y)
+        assert X_clean.shape[0] == y_clean.shape[0] == int(lof.inlier_mask_.sum())
+        assert not set(outlier_indices) & set(y_clean.astype(int))
+
+    def test_filter_length_mismatch(self):
+        X, _ = clustered_data_with_outliers()
+        with pytest.raises(ValueError, match="mismatched"):
+            LocalOutlierFactor(n_neighbors=10).filter(X, np.zeros(5))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="three samples"):
+            LocalOutlierFactor().fit(np.zeros((2, 2)))
+
+    def test_invalid_contamination(self):
+        X, _ = clustered_data_with_outliers()
+        with pytest.raises(ValueError, match="contamination"):
+            LocalOutlierFactor(contamination=0.9).fit(X)
+
+    def test_neighbors_clamped_to_dataset_size(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        lof = LocalOutlierFactor(n_neighbors=50).fit(X)
+        assert lof.lof_scores_.shape == (10,)

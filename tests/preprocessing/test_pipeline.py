@@ -1,0 +1,132 @@
+"""Tests for the composed preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.pipeline import PreprocessingConfig, PreprocessingPipeline
+
+
+def skewed_data(seed=0, n=250):
+    rng = np.random.default_rng(seed)
+    size = np.exp(rng.normal(4, 1.5, size=n))
+    threads = rng.integers(1, 17, size=n).astype(float)
+    redundant = size * 1.0001 + rng.normal(0, 1e-3, size=n)
+    footprint = size * 3.0
+    X = np.column_stack([size, threads, redundant, footprint])
+    y = size / threads + 5.0 * threads + rng.normal(0, 1.0, size=n)
+    return X, y
+
+
+class TestFitTransform:
+    def test_output_shapes_consistent(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline(feature_names=["size", "nt", "copy", "fp"])
+        Xt, yt = pipeline.fit_transform(X, y)
+        assert Xt.shape[0] == yt.shape[0]
+        assert Xt.shape[1] == pipeline.n_features_out_ <= X.shape[1]
+
+    def test_correlated_features_removed(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline(feature_names=["size", "nt", "copy", "fp"])
+        pipeline.fit_transform(X, y)
+        # size, copy and fp are nearly identical up to scaling -> one survives.
+        assert pipeline.n_features_out_ == 2
+        assert "nt" in pipeline.kept_feature_names_
+
+    def test_outliers_removed_on_fit_only(self):
+        X, y = skewed_data()
+        # Plant an extreme outlier row.
+        X[0] = [1e9, 1.0, 1e9, 3e9]
+        pipeline = PreprocessingPipeline(lof_contamination=0.05)
+        Xt, yt = pipeline.fit_transform(X, y)
+        assert Xt.shape[0] < X.shape[0]
+        assert pipeline.n_outliers_removed_ >= 1
+        # transform() never drops rows.
+        assert pipeline.transform(X).shape[0] == X.shape[0]
+
+    def test_outlier_removal_can_be_disabled(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline(remove_outliers=False)
+        Xt, yt = pipeline.fit_transform(X, y)
+        assert Xt.shape[0] == X.shape[0]
+        assert pipeline.n_outliers_removed_ == 0
+
+    def test_without_yeo_johnson_uses_plain_scaler(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline(use_yeo_johnson=False, remove_outliers=False)
+        Xt, _ = pipeline.fit_transform(X, y)
+        np.testing.assert_allclose(Xt.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_yeo_johnson_reduces_feature_skew(self):
+        from scipy.stats import skew
+
+        X, y = skewed_data()
+        with_yj = PreprocessingPipeline(use_yeo_johnson=True, remove_outliers=False)
+        without_yj = PreprocessingPipeline(use_yeo_johnson=False, remove_outliers=False)
+        Xt_yj, _ = with_yj.fit_transform(X, y)
+        Xt_raw, _ = without_yj.fit_transform(X, y)
+        # The exponential "size" feature is column 0 in both kept sets.
+        assert abs(skew(Xt_yj[:, 0])) < abs(skew(Xt_raw[:, 0]))
+
+    def test_default_feature_names_generated(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline()
+        pipeline.fit_transform(X, y)
+        assert pipeline.feature_names == ["f0", "f1", "f2", "f3"]
+
+    def test_feature_name_length_mismatch(self):
+        X, y = skewed_data()
+        with pytest.raises(ValueError, match="feature_names"):
+            PreprocessingPipeline(feature_names=["a"]).fit_transform(X, y)
+
+    def test_fit_without_target(self):
+        X, _ = skewed_data()
+        pipeline = PreprocessingPipeline(remove_outliers=False)
+        Xt = pipeline.fit_transform(X)
+        assert Xt.shape[0] == X.shape[0]
+
+    def test_mismatched_target_length(self):
+        X, y = skewed_data()
+        with pytest.raises(ValueError, match="length"):
+            PreprocessingPipeline().fit_transform(X, y[:-5])
+
+
+class TestTransform:
+    def test_single_row_transform(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline()
+        pipeline.fit_transform(X, y)
+        out = pipeline.transform(X[0])
+        assert out.shape == (1, pipeline.n_features_out_)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PreprocessingPipeline().transform(np.zeros((2, 4)))
+
+    def test_deterministic_transform(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline()
+        pipeline.fit_transform(X, y)
+        np.testing.assert_allclose(pipeline.transform(X[:10]), pipeline.transform(X[:10]))
+
+
+class TestConfigRoundtrip:
+    def test_roundtrip_preserves_transform(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline(feature_names=["size", "nt", "copy", "fp"])
+        pipeline.fit_transform(X, y)
+        config = pipeline.to_config()
+        restored = PreprocessingPipeline.from_config(config)
+        np.testing.assert_allclose(restored.transform(X[:20]), pipeline.transform(X[:20]))
+
+    def test_roundtrip_through_dict(self):
+        X, y = skewed_data()
+        pipeline = PreprocessingPipeline(use_yeo_johnson=False)
+        pipeline.fit_transform(X, y)
+        config_dict = pipeline.to_config().to_dict()
+        restored = PreprocessingPipeline.from_config(PreprocessingConfig.from_dict(config_dict))
+        np.testing.assert_allclose(restored.transform(X[:5]), pipeline.transform(X[:5]))
+
+    def test_unfitted_to_config_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PreprocessingPipeline().to_config()

@@ -1,0 +1,116 @@
+"""Tests for the Yeo-Johnson power transform."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.preprocessing.power import (
+    YeoJohnsonTransformer,
+    estimate_lambda,
+    yeo_johnson_inverse,
+    yeo_johnson_transform,
+)
+
+
+class TestTransformFunction:
+    def test_identity_at_lambda_one(self):
+        x = np.array([-3.0, -1.0, 0.0, 1.0, 5.0])
+        np.testing.assert_allclose(yeo_johnson_transform(x, 1.0), x, atol=1e-12)
+
+    def test_log_branch_at_lambda_zero(self):
+        x = np.array([0.0, 1.0, 9.0])
+        np.testing.assert_allclose(yeo_johnson_transform(x, 0.0), np.log1p(x))
+
+    def test_negative_branch_at_lambda_two(self):
+        x = np.array([-1.0, -0.5])
+        np.testing.assert_allclose(yeo_johnson_transform(x, 2.0), -np.log1p(-x))
+
+    def test_matches_scipy_positive_values(self):
+        x = np.linspace(0.1, 50.0, 40)
+        for lmbda in (-0.5, 0.0, 0.7, 1.8, 2.5):
+            np.testing.assert_allclose(
+                yeo_johnson_transform(x, lmbda), stats.yeojohnson(x, lmbda), rtol=1e-10
+            )
+
+    def test_matches_scipy_mixed_sign_values(self):
+        x = np.linspace(-5.0, 5.0, 41)
+        for lmbda in (-1.0, 0.0, 0.5, 2.0, 3.0):
+            np.testing.assert_allclose(
+                yeo_johnson_transform(x, lmbda), stats.yeojohnson(x, lmbda), rtol=1e-10
+            )
+
+    def test_monotone_in_x(self):
+        x = np.sort(np.random.default_rng(0).normal(0, 3, size=100))
+        for lmbda in (-0.5, 0.0, 1.0, 2.4):
+            transformed = yeo_johnson_transform(x, lmbda)
+            assert np.all(np.diff(transformed) >= -1e-12)
+
+    @pytest.mark.parametrize("lmbda", [-1.0, 0.0, 0.5, 1.0, 2.0, 3.0])
+    def test_inverse_roundtrip(self, lmbda):
+        x = np.linspace(-4.0, 8.0, 60)
+        transformed = yeo_johnson_transform(x, lmbda)
+        np.testing.assert_allclose(yeo_johnson_inverse(transformed, lmbda), x, atol=1e-8)
+
+
+class TestLambdaEstimation:
+    def test_close_to_scipy_mle(self):
+        rng = np.random.default_rng(0)
+        x = np.exp(rng.normal(0, 1, size=500))  # strongly right-skewed
+        ours = estimate_lambda(x)
+        theirs = stats.yeojohnson_normmax(x)
+        assert ours == pytest.approx(theirs, abs=0.05)
+
+    def test_constant_feature_returns_one(self):
+        assert estimate_lambda(np.full(20, 3.0)) == 1.0
+
+    def test_reduces_skewness(self):
+        rng = np.random.default_rng(1)
+        x = np.exp(rng.normal(0, 1.5, size=400))
+        lmbda = estimate_lambda(x)
+        transformed = yeo_johnson_transform(x, lmbda)
+        assert abs(stats.skew(transformed)) < abs(stats.skew(x)) / 2
+
+
+class TestTransformer:
+    def test_output_is_standardised(self):
+        rng = np.random.default_rng(2)
+        X = np.column_stack([np.exp(rng.normal(size=300)), rng.uniform(1, 100, 300)])
+        transformer = YeoJohnsonTransformer()
+        out = transformer.fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_without_standardisation(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 10, size=(100, 2))
+        transformer = YeoJohnsonTransformer(standardize=False)
+        out = transformer.fit_transform(X)
+        assert not np.allclose(out.mean(axis=0), 0.0, atol=1e-3)
+
+    def test_transform_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            YeoJohnsonTransformer().transform(np.zeros((2, 2)))
+
+    def test_wrong_width_raises(self):
+        X = np.random.default_rng(0).uniform(1, 5, size=(50, 3))
+        transformer = YeoJohnsonTransformer().fit(X)
+        with pytest.raises(ValueError, match="shape"):
+            transformer.transform(X[:, :2])
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(4)
+        X = np.column_stack([np.exp(rng.normal(size=200)), rng.normal(5, 2, 200)])
+        transformer = YeoJohnsonTransformer()
+        out = transformer.fit_transform(X)
+        np.testing.assert_allclose(transformer.inverse_transform(out), X, rtol=1e-6, atol=1e-6)
+
+    def test_config_roundtrip(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(0.5, 50, size=(120, 4))
+        transformer = YeoJohnsonTransformer().fit(X)
+        restored = YeoJohnsonTransformer.from_config(transformer.to_config())
+        np.testing.assert_allclose(restored.transform(X), transformer.transform(X))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match="two samples"):
+            YeoJohnsonTransformer().fit(np.ones((1, 3)))

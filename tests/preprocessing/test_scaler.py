@@ -1,0 +1,62 @@
+"""Tests for StandardScaler."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 3))
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.column_stack([np.full(50, 7.0), np.arange(50, dtype=float)])
+        out = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_transform_uses_training_statistics(self):
+        X_train = np.random.default_rng(1).normal(0, 1, size=(100, 2))
+        X_test = np.random.default_rng(2).normal(10, 5, size=(20, 2))
+        scaler = StandardScaler().fit(X_train)
+        out = scaler.transform(X_test)
+        np.testing.assert_allclose(out, (X_test - scaler.mean_) / scaler.scale_)
+
+    def test_inverse_transform_roundtrip(self):
+        X = np.random.default_rng(3).uniform(-5, 5, size=(80, 4))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_without_mean(self):
+        X = np.random.default_rng(4).normal(3, 2, size=(100, 2))
+        out = StandardScaler(with_mean=False).fit_transform(X)
+        assert abs(out.mean()) > 0.1  # mean not removed
+
+    def test_without_std(self):
+        X = np.random.default_rng(5).normal(0, 4, size=(100, 2))
+        out = StandardScaler(with_std=False).fit_transform(X)
+        assert out.std() > 2.0  # variance untouched
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_wrong_width_raises(self):
+        scaler = StandardScaler().fit(np.zeros((10, 3)))
+        with pytest.raises(ValueError, match="shape"):
+            scaler.transform(np.zeros((10, 2)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+    def test_config_roundtrip(self):
+        X = np.random.default_rng(6).normal(2, 3, size=(60, 3))
+        scaler = StandardScaler().fit(X)
+        restored = StandardScaler.from_config(scaler.to_config())
+        np.testing.assert_allclose(restored.transform(X), scaler.transform(X))

@@ -1,0 +1,92 @@
+"""Tests for the ``adsala`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_install_arguments(self):
+        args = build_parser().parse_args(
+            ["install", "--platform", "gadi", "--output", "/tmp/x", "--samples", "10"]
+        )
+        assert args.command == "install"
+        assert args.platform == "gadi"
+        assert args.samples == 10
+
+    def test_bench_table_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "table99"])
+
+
+class TestPlatformsCommand:
+    def test_lists_all_presets(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "setonix" in out and "gadi" in out and "laptop" in out
+
+
+class TestBenchCommand:
+    def test_static_tables_print(self, capsys):
+        for table in ("table1", "table2", "table3"):
+            assert main(["bench", table]) == 0
+        out = capsys.readouterr().out
+        assert "GEMM" in out
+        assert "LinearRegression" in out
+        assert "memory_footprint" in out
+
+
+class TestInstallAndPredict:
+    def test_install_then_predict_roundtrip(self, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundle"
+        exit_code = main(
+            [
+                "install",
+                "--platform", "laptop",
+                "--routines", "dgemm",
+                "--output", str(bundle_dir),
+                "--samples", "8",
+                "--threads-per-shape", "3",
+                "--test-shapes", "4",
+            ]
+        )
+        assert exit_code == 0
+        assert (bundle_dir / "bundle.json").exists()
+        out = capsys.readouterr().out
+        assert "dgemm" in out
+
+        exit_code = main(
+            [
+                "predict",
+                "--bundle", str(bundle_dir),
+                "--routine", "dgemm",
+                "--dims", "512", "256", "128",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "use" in out and "threads" in out
+
+    def test_predict_with_wrong_dimension_count(self, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundle"
+        main(
+            [
+                "install",
+                "--platform", "laptop",
+                "--routines", "dsyrk",
+                "--output", str(bundle_dir),
+                "--samples", "6",
+                "--threads-per-shape", "3",
+                "--test-shapes", "3",
+            ]
+        )
+        capsys.readouterr()
+        exit_code = main(
+            ["predict", "--bundle", str(bundle_dir), "--routine", "dsyrk", "--dims", "100"]
+        )
+        assert exit_code == 2
+        assert "expects" in capsys.readouterr().err

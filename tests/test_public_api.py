@@ -1,0 +1,58 @@
+"""Tests for the top-level public API surface."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import blas, core, harness, machine, ml, preprocessing
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_entry_points_importable(self):
+        assert callable(repro.install_adsala)
+        assert inspect.isclass(repro.AdsalaBlas)
+        assert inspect.isclass(repro.ThreadPredictor)
+        assert callable(repro.get_platform)
+
+    def test_list_platforms_exposed(self):
+        assert set(repro.list_platforms()) >= {"setonix", "gadi", "laptop"}
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize("module", [ml, preprocessing, blas, machine, core, harness])
+    def test_subpackage_all_resolves(self, module):
+        assert hasattr(module, "__all__") and module.__all__
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    @pytest.mark.parametrize("module", [ml, preprocessing, blas, machine, core, harness])
+    def test_subpackage_has_docstring(self, module):
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+class TestDocumentation:
+    def test_public_classes_have_docstrings(self):
+        from repro.core.install import InstallationBundle, install_adsala
+        from repro.core.predictor import ThreadPredictor
+        from repro.core.runtime import AdsalaBlas, AdsalaRuntime
+        from repro.machine.simulator import TimingSimulator
+
+        for obj in (InstallationBundle, install_adsala, ThreadPredictor,
+                    AdsalaBlas, AdsalaRuntime, TimingSimulator):
+            assert obj.__doc__ and len(obj.__doc__.strip()) > 20
+
+    def test_candidate_models_have_docstrings(self):
+        from repro.ml.model_zoo import CANDIDATE_MODEL_NAMES, make_model
+
+        for name in CANDIDATE_MODEL_NAMES:
+            model = make_model(name)
+            assert type(model).__doc__ and len(type(model).__doc__.strip()) > 20
