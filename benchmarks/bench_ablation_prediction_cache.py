@@ -1,13 +1,18 @@
-"""Ablation: the last-call prediction cache (paper Section III-B).
+"""Ablation: the prediction cache (paper Section III-B, generalised to LRU).
 
-The runtime remembers the previous call's dimensions and prediction so that
-back-to-back identical BLAS calls skip the model evaluation.  This benchmark
-measures the per-call planning latency with and without the cache for a
-repeated-call workload.
+The runtime remembers recently seen call dimensions and their predictions so
+that repeated BLAS calls skip the model evaluation.  Two experiments:
+
+* the paper's original repeated-identical-call workload, cached vs uncached;
+* a capacity sweep over a *cycling* workload (a handful of problem shapes
+  alternating round-robin, the pattern of blocked solvers) — the classic
+  LRU pathology: any capacity below the cycle length yields zero hits, any
+  capacity at or above it serves the steady state entirely from cache.
 """
 
 import time
 
+from repro.core.predictor import ThreadPredictor
 from repro.harness.experiments import QUICK_CONFIG, get_bundle
 from repro.harness.tables import format_table
 
@@ -15,6 +20,11 @@ from benchmarks.conftest import run_once
 
 REPEATS = 200
 DIMS = {"m": 1024, "k": 1024, "n": 1024}
+
+#: Cycling-workload trace: distinct shapes visited round-robin.
+CYCLE_SHAPES = 8
+CYCLE_ROUNDS = 40
+CAPACITIES = (1, 2, 4, 8, 16)
 
 
 def test_ablation_prediction_cache(benchmark, record):
@@ -59,3 +69,61 @@ def test_ablation_prediction_cache(benchmark, record):
     uncached_threads = predictor.plan(DIMS, use_cache=False).threads
     cached_threads = predictor.plan(DIMS, use_cache=True).threads
     assert cached_threads == uncached_threads
+
+
+def test_ablation_cache_capacity_sweep(benchmark, record):
+    bundle = get_bundle("gadi", ["dgemm"], QUICK_CONFIG)
+    base = bundle.predictor("dgemm")
+    trace = [
+        {"m": 256 * (i + 1), "k": 1024, "n": 512 + 128 * i}
+        for i in range(CYCLE_SHAPES)
+    ] * CYCLE_ROUNDS
+
+    def run():
+        rows = []
+        for capacity in CAPACITIES:
+            predictor = ThreadPredictor(
+                routine=base.routine,
+                pipeline=base.pipeline,
+                model=base.model,
+                candidate_threads=base.candidate_threads,
+                model_name=base.model_name,
+                cache_capacity=capacity,
+            )
+            start = time.perf_counter()
+            for dims in trace:
+                predictor.plan(dims)
+            elapsed = time.perf_counter() - start
+            info = predictor.cache_info()
+            rows.append(
+                {
+                    "capacity": capacity,
+                    "hit_rate": round(info["hits"] / len(trace), 3),
+                    "us_per_call": round(elapsed / len(trace) * 1e6, 2),
+                    "model_evaluations": predictor.n_model_evaluations,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record(
+        "ablation_prediction_cache_capacity",
+        format_table(
+            rows,
+            title=(
+                f"Ablation: LRU capacity on a cycling workload "
+                f"({CYCLE_SHAPES} shapes x {CYCLE_ROUNDS} rounds)"
+            ),
+        ),
+    )
+
+    by_capacity = {row["capacity"]: row for row in rows}
+    # LRU below the cycle length thrashes: every lookup misses.
+    assert by_capacity[1]["hit_rate"] == 0.0
+    assert by_capacity[4]["hit_rate"] == 0.0
+    # At or above the cycle length only the first round misses.
+    expected_steady = 1.0 - 1.0 / CYCLE_ROUNDS
+    assert by_capacity[8]["hit_rate"] >= expected_steady - 1e-9
+    assert by_capacity[16]["hit_rate"] >= expected_steady - 1e-9
+    # Serving from cache must be much cheaper than re-evaluating.
+    assert by_capacity[16]["us_per_call"] < by_capacity[1]["us_per_call"] / 3

@@ -27,6 +27,28 @@ Quickstart
 >>> plan = blas.plan("dgemm", m=256, k=2048, n=64)
 >>> plan.threads <= bundle.platform.max_threads
 True
+
+Performance knobs
+-----------------
+The hot paths run batch/vectorised by default; every knob below changes
+only wall-clock time, never results (same seeds -> same outputs):
+
+* ``install_adsala(..., n_jobs=N)`` (or the ``ADSALA_JOBS`` environment
+  variable, or ``adsala install --jobs N``) fans the per-routine campaigns
+  out over ``N`` worker processes; a single-routine install fans out per
+  candidate model instead.  ``-1`` uses every core.
+* ``TimingSimulator.time_batch`` / ``breakdown_batch`` evaluate whole
+  arrays of (shape, thread-count) configurations in one vectorised pass —
+  the data gatherer and model selection use them automatically;
+  ``install_adsala(..., use_batch_timing=False)`` restores the scalar
+  reference path.
+* ``ThreadPredictor(..., cache_capacity=K)`` bounds the LRU prediction
+  cache (``K=1`` is the paper's last-call cache); fitted tree models serve
+  predictions through flattened struct-of-arrays descent
+  (:class:`repro.ml.tree.FlatTree`), with
+  :func:`repro.ml.tree.reference_mode` forcing the recursive reference.
+* ``benchmarks/bench_install_scaling.py`` tracks the speedups of all three
+  paths (batch gathering, end-to-end install, per-call prediction).
 """
 
 from repro.core.install import install_adsala, InstallationBundle

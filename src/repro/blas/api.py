@@ -64,6 +64,12 @@ class RoutineSpec:
         Callable mapping the dimension dict to the number of matrix elements
         that must be resident (input/output operands counted once even when
         overwritten, per the paper's footnote on TRMM/TRSM).
+
+    Both callables are pure arithmetic on the dimension values, so they
+    accept scalars *or* aligned NumPy arrays (one entry per problem shape)
+    and return a float or float array accordingly — the batch timing path
+    (:meth:`repro.machine.perfmodel.PerformanceModel.breakdown_batch`)
+    relies on this.
     """
 
     name: str
@@ -113,9 +119,8 @@ ROUTINE_SPECS: Dict[str, RoutineSpec] = {
             OperandSpec("C", ("m", "n"), "regular"),
         ),
         flops=lambda d: 2.0 * d["m"] * d["k"] * d["n"],
-        memory_words=lambda d: float(
-            d["m"] * d["k"] + d["k"] * d["n"] + d["m"] * d["n"]
-        ),
+        memory_words=lambda d: 1.0
+        * (d["m"] * d["k"] + d["k"] * d["n"] + d["m"] * d["n"]),
     ),
     "symm": RoutineSpec(
         name="symm",
@@ -126,7 +131,7 @@ ROUTINE_SPECS: Dict[str, RoutineSpec] = {
             OperandSpec("C", ("m", "n"), "regular"),
         ),
         flops=lambda d: 2.0 * d["m"] * d["m"] * d["n"],
-        memory_words=lambda d: float(d["m"] * d["m"] + 2 * d["m"] * d["n"]),
+        memory_words=lambda d: 1.0 * (d["m"] * d["m"] + 2 * d["m"] * d["n"]),
     ),
     "syrk": RoutineSpec(
         name="syrk",
@@ -135,8 +140,8 @@ ROUTINE_SPECS: Dict[str, RoutineSpec] = {
             OperandSpec("A", ("n", "k"), "regular"),
             OperandSpec("C", ("n", "n"), "symmetric"),
         ),
-        flops=lambda d: float(d["n"]) * (d["n"] + 1) * d["k"],
-        memory_words=lambda d: float(d["n"] * d["k"] + d["n"] * d["n"]),
+        flops=lambda d: 1.0 * d["n"] * (d["n"] + 1) * d["k"],
+        memory_words=lambda d: 1.0 * (d["n"] * d["k"] + d["n"] * d["n"]),
     ),
     "syr2k": RoutineSpec(
         name="syr2k",
@@ -147,7 +152,7 @@ ROUTINE_SPECS: Dict[str, RoutineSpec] = {
             OperandSpec("C", ("n", "n"), "symmetric"),
         ),
         flops=lambda d: 2.0 * d["n"] * (d["n"] + 1) * d["k"],
-        memory_words=lambda d: float(2 * d["n"] * d["k"] + d["n"] * d["n"]),
+        memory_words=lambda d: 1.0 * (2 * d["n"] * d["k"] + d["n"] * d["n"]),
     ),
     "trmm": RoutineSpec(
         name="trmm",
@@ -156,8 +161,8 @@ ROUTINE_SPECS: Dict[str, RoutineSpec] = {
             OperandSpec("A", ("m", "m"), "triangular"),
             OperandSpec("B", ("m", "n"), "regular"),
         ),
-        flops=lambda d: float(d["m"]) * d["m"] * d["n"],
-        memory_words=lambda d: float(d["m"] * d["m"] + d["m"] * d["n"]),
+        flops=lambda d: 1.0 * d["m"] * d["m"] * d["n"],
+        memory_words=lambda d: 1.0 * (d["m"] * d["m"] + d["m"] * d["n"]),
     ),
     "trsm": RoutineSpec(
         name="trsm",
@@ -166,8 +171,8 @@ ROUTINE_SPECS: Dict[str, RoutineSpec] = {
             OperandSpec("A", ("m", "m"), "triangular"),
             OperandSpec("B", ("m", "n"), "regular"),
         ),
-        flops=lambda d: float(d["m"]) * d["m"] * d["n"],
-        memory_words=lambda d: float(d["m"] * d["m"] + d["m"] * d["n"]),
+        flops=lambda d: 1.0 * d["m"] * d["m"] * d["n"],
+        memory_words=lambda d: 1.0 * (d["m"] * d["m"] + d["m"] * d["n"]),
     ),
 }
 

@@ -40,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
     install.add_argument("--test-shapes", type=int, default=30)
     install.add_argument("--tune", action="store_true", help="run hyper-parameter tuning")
     install.add_argument("--seed", type=int, default=0)
+    install.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the installation fan-out "
+        "(default: $ADSALA_JOBS or 1; -1 = all cores)",
+    )
 
     predict = sub.add_parser("predict", help="predict the optimal thread count for one call")
     predict.add_argument("--bundle", required=True, help="bundle directory written by install")
@@ -71,6 +78,7 @@ def _cmd_install(args: argparse.Namespace) -> int:
         n_test_shapes=args.test_shapes,
         tune_hyperparameters=args.tune,
         seed=args.seed,
+        n_jobs=args.jobs,
     )
     path = save_bundle(bundle, args.output)
     print(f"Installed {len(bundle.routines)} routine(s) on {platform.name}; bundle at {path}")

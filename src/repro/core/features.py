@@ -22,6 +22,7 @@ __all__ = [
     "feature_names",
     "compute_features",
     "feature_matrix_for_threads",
+    "feature_matrix_grid",
     "build_feature_matrix",
 ]
 
@@ -72,7 +73,12 @@ def feature_names(routine: str) -> List[str]:
 
 
 def compute_features(routine: str, dims: Dict[str, int], threads: int) -> np.ndarray:
-    """Feature vector for one (problem shape, thread count) pair."""
+    """Feature vector for one (problem shape, thread count) pair.
+
+    Scalar reference implementation of the Table III features; the
+    vectorised :func:`feature_matrix_grid` must stay element-for-element
+    consistent with the values produced here.
+    """
     if threads < 1:
         raise ValueError("threads must be at least 1")
     _, _, spec = parse_routine(routine)
@@ -123,53 +129,84 @@ def feature_matrix_for_threads(
     """Vectorised feature matrix for one shape across many thread counts.
 
     This is the hot path of the runtime predictor (one row per candidate
-    thread count), so it avoids any per-row Python work.
+    thread count).  It is the single-shape case of
+    :func:`feature_matrix_grid`, which holds the one shared definition of
+    the Table III feature blocks.
+    """
+    return feature_matrix_grid(routine, [dims], threads)
+
+
+def feature_matrix_grid(
+    routine: str,
+    dims_list: Sequence[Dict[str, int]],
+    threads: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """Vectorised feature matrix for many shapes x many thread counts.
+
+    Returns a ``(len(dims_list) * len(threads), n_features)`` matrix laid
+    out shape-major: the first ``len(threads)`` rows belong to
+    ``dims_list[0]``, the next block to ``dims_list[1]``, and so on — i.e.
+    the vertical stack of :func:`feature_matrix_for_threads` over the
+    shapes, built without any per-shape Python work.  This is the batch
+    evaluation path of the runtime predictor and of model selection.
     """
     _, _, spec = parse_routine(routine)
-    dims = spec.dims_from_args(**dims)
+    if len(dims_list) == 0:
+        raise ValueError("dims_list must not be empty")
+    normalized = [spec.dims_from_args(**dims) for dims in dims_list]
     nt = np.asarray(threads, dtype=np.float64)
     if nt.ndim != 1 or nt.size == 0:
         raise ValueError("threads must be a non-empty 1-D sequence")
     if np.any(nt < 1):
         raise ValueError("threads must be positive")
-    footprint = memory_words(routine, dims)
-    ones = np.ones_like(nt)
+
+    n_shapes, n_threads = len(normalized), nt.size
+    dim_cols = {
+        name: np.asarray([dims[name] for dims in normalized], dtype=np.float64)[
+            :, None
+        ]
+        for name in spec.dim_names
+    }
+    footprint = spec.memory_words(dim_cols)
+    nt_row = nt[None, :]
 
     if spec.n_dims == 3:
-        m, k, n = (float(dims[d]) for d in ("m", "k", "n"))
-        columns = [
-            m * ones,
-            k * ones,
-            n * ones,
-            nt,
-            m * k * ones,
-            m * n * ones,
-            k * n * ones,
-            m * k * n * ones,
-            footprint * ones,
-            m / nt,
-            k / nt,
-            n / nt,
-            m * k / nt,
-            m * n / nt,
-            k * n / nt,
-            m * k * n / nt,
-            footprint / nt,
+        m, k, n = (dim_cols[d] for d in ("m", "k", "n"))
+        blocks = [
+            m,
+            k,
+            n,
+            nt_row,
+            m * k,
+            m * n,
+            k * n,
+            m * k * n,
+            footprint,
+            m / nt_row,
+            k / nt_row,
+            n / nt_row,
+            m * k / nt_row,
+            m * n / nt_row,
+            k * n / nt_row,
+            m * k * n / nt_row,
+            footprint / nt_row,
         ]
     else:
-        d1, d2 = (float(dims[d]) for d in spec.dim_names)
-        columns = [
-            d1 * ones,
-            d2 * ones,
-            nt,
-            d1 * d2 * ones,
-            footprint * ones,
-            d1 / nt,
-            d2 / nt,
-            d1 * d2 / nt,
-            footprint / nt,
+        d1, d2 = (dim_cols[d] for d in spec.dim_names)
+        blocks = [
+            d1,
+            d2,
+            nt_row,
+            d1 * d2,
+            footprint,
+            d1 / nt_row,
+            d2 / nt_row,
+            d1 * d2 / nt_row,
+            footprint / nt_row,
         ]
-    return np.column_stack(columns)
+    return np.column_stack(
+        [np.broadcast_to(block, (n_shapes, n_threads)).ravel() for block in blocks]
+    )
 
 
 def build_feature_matrix(

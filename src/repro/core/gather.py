@@ -13,7 +13,7 @@ configurable so that tests can run in milliseconds.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 
@@ -121,21 +121,48 @@ class DataGatherer:
             seed=seed,
         )
 
-    def gather(self) -> TimingDataset:
-        """Run the sampling + timing campaign and return the dataset."""
+    def gather(self, use_batch: bool = True) -> TimingDataset:
+        """Run the sampling + timing campaign and return the dataset.
+
+        With ``use_batch`` (the default) the whole campaign — every sampled
+        shape at every spread thread count — is timed in a single
+        :meth:`~repro.machine.simulator.TimingSimulator.time_batch` call,
+        collapsing thousands of scalar simulator evaluations into a handful
+        of array ops.  ``use_batch=False`` keeps the original per-call loop
+        as a reference path; both produce bit-identical datasets
+        (``benchmarks/bench_install_scaling.py`` tracks the speedup).
+        """
         rng = np.random.default_rng(self.seed)
         dataset = TimingDataset(
             routine=self.routine, platform=self.simulator.platform.name
         )
         shapes = self.sampler.sample(self.n_shapes)
         max_threads = self.simulator.platform.max_threads
-        for dims in shapes:
-            thread_counts = spread_thread_counts(
-                max_threads, self.threads_per_shape, rng=rng
+        per_shape_counts = [
+            spread_thread_counts(max_threads, self.threads_per_shape, rng=rng)
+            for _ in shapes
+        ]
+        if use_batch:
+            dim_names = list(shapes[0])
+            lengths = [len(counts) for counts in per_shape_counts]
+            dim_arrays = {
+                name: np.repeat([dims[name] for dims in shapes], lengths)
+                for name in dim_names
+            }
+            threads = np.concatenate(
+                [np.asarray(counts, dtype=np.int64) for counts in per_shape_counts]
             )
-            for threads in thread_counts:
-                elapsed = self.simulator.time(self.routine, dims, threads)
-                dataset.append(dims, threads, elapsed)
+            times = self.simulator.time_batch(self.routine, dim_arrays, threads)
+            row = 0
+            for dims, thread_counts in zip(shapes, per_shape_counts):
+                for threads_count in thread_counts:
+                    dataset.append(dims, int(threads_count), float(times[row]))
+                    row += 1
+        else:
+            for dims, thread_counts in zip(shapes, per_shape_counts):
+                for threads_count in thread_counts:
+                    elapsed = self.simulator.time(self.routine, dims, threads_count)
+                    dataset.append(dims, threads_count, elapsed)
         return dataset
 
     def gather_test_set(self, n_shapes: int, skip: int = 9973) -> List[Dict[str, int]]:

@@ -2,19 +2,33 @@
 
 For a given BLAS call the predictor evaluates the trained runtime model at
 every admissible thread count and returns the argmin (paper Section IV-A).
-Identical back-to-back calls skip the model evaluation entirely through the
-last-call cache (Section III-B).
+Repeated calls with recently seen dimensions skip the model evaluation
+entirely through a bounded LRU cache — a generalisation of the paper's
+last-call cache (Section III-B) that also serves cycling workloads (a
+handful of problem shapes alternating back to back, the common pattern in
+iterative solvers).  ``cache_capacity=1`` reproduces the paper's exact
+last-call behaviour.
+
+Batch prediction (:meth:`ThreadPredictor.predict_threads_batch`) evaluates
+the model once over a ``(n_shapes * n_candidates)`` feature grid instead of
+looping shape by shape, which is what keeps installation-time model
+selection cheap (see :mod:`repro.core.selection`).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.core.features import feature_matrix_for_threads, feature_names
+from repro.core.features import (
+    feature_matrix_for_threads,
+    feature_matrix_grid,
+    feature_names,
+)
 from repro.ml.base import BaseRegressor
 from repro.preprocessing.pipeline import PreprocessingPipeline
 
@@ -48,6 +62,9 @@ class ThreadPredictor:
         ``platform.candidate_thread_counts()``).
     model_name:
         Name of the winning candidate (for reporting).
+    cache_capacity:
+        Maximum number of distinct problem shapes kept in the LRU
+        prediction cache (1 = the paper's last-call cache).
     """
 
     def __init__(
@@ -57,22 +74,26 @@ class ThreadPredictor:
         model: BaseRegressor,
         candidate_threads: Sequence[int],
         model_name: str = "unknown",
+        cache_capacity: int = 16,
     ):
         candidate_threads = sorted({int(t) for t in candidate_threads})
         if not candidate_threads:
             raise ValueError("candidate_threads must not be empty")
         if candidate_threads[0] < 1:
             raise ValueError("candidate thread counts must be positive")
+        if cache_capacity < 1:
+            raise ValueError("cache_capacity must be at least 1")
         self.routine = routine
         self.pipeline = pipeline
         self.model = model
         self.candidate_threads = candidate_threads
         self.model_name = model_name
+        self.cache_capacity = int(cache_capacity)
         self.feature_names = feature_names(routine)
-        self._cache_key: tuple | None = None
-        self._cache_plan: PredictionPlan | None = None
+        self._cache: OrderedDict[tuple, PredictionPlan] = OrderedDict()
         self.n_model_evaluations = 0
         self.n_cache_hits = 0
+        self.n_cache_misses = 0
 
     # -- prediction -------------------------------------------------------------
     def predict_runtimes(self, dims: Dict[str, int]) -> np.ndarray:
@@ -84,22 +105,39 @@ class ThreadPredictor:
         self.n_model_evaluations += 1
         return np.asarray(self.model.predict(transformed), dtype=float)
 
+    def predict_runtimes_batch(
+        self, dims_list: Sequence[Dict[str, int]]
+    ) -> np.ndarray:
+        """Predicted runtimes for many shapes in one model evaluation.
+
+        Returns a ``(len(dims_list), n_candidates)`` array whose row ``i``
+        matches ``predict_runtimes(dims_list[i])``; the feature grid,
+        preprocessing and model evaluation each run exactly once.
+        """
+        X = feature_matrix_grid(
+            self.routine, dims_list, np.asarray(self.candidate_threads)
+        )
+        transformed = self.pipeline.transform(X)
+        self.n_model_evaluations += 1
+        predictions = np.asarray(self.model.predict(transformed), dtype=float)
+        return predictions.reshape(len(dims_list), len(self.candidate_threads))
+
     def plan(self, dims: Dict[str, int], use_cache: bool = True) -> PredictionPlan:
         """Choose the thread count with the smallest predicted runtime.
 
-        Consecutive calls with identical dimensions are served from the
-        last-call cache without re-evaluating the model.
+        Calls whose dimensions are among the last ``cache_capacity`` distinct
+        shapes are served from the LRU cache without re-evaluating the model;
+        the cached ``from_cache=True`` plan is precomputed at store time, so
+        a hit is a dictionary lookup and nothing more.
         """
-        key = (tuple(sorted(dims.items())),)
-        if use_cache and self._cache_key == key and self._cache_plan is not None:
-            self.n_cache_hits += 1
-            return PredictionPlan(
-                routine=self._cache_plan.routine,
-                dims=self._cache_plan.dims,
-                threads=self._cache_plan.threads,
-                predicted_time=self._cache_plan.predicted_time,
-                from_cache=True,
-            )
+        key = tuple(sorted(dims.items()))
+        if use_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.n_cache_hits += 1
+                return cached
+            self.n_cache_misses += 1
         runtimes = self.predict_runtimes(dims)
         best_idx = int(np.argmin(runtimes))
         plan = PredictionPlan(
@@ -109,17 +147,39 @@ class ThreadPredictor:
             predicted_time=float(runtimes[best_idx]),
             from_cache=False,
         )
-        self._cache_key = key
-        self._cache_plan = plan
+        self._cache[key] = replace(plan, from_cache=True)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
         return plan
 
     def predict_threads(self, dims: Dict[str, int], use_cache: bool = True) -> int:
         """Convenience wrapper returning only the chosen thread count."""
         return self.plan(dims, use_cache=use_cache).threads
 
+    def predict_threads_batch(
+        self, dims_list: Sequence[Dict[str, int]]
+    ) -> np.ndarray:
+        """Chosen thread count per shape, from one batched model evaluation.
+
+        Bypasses the cache (the batch path is used at installation time on
+        held-out shapes, where caching would only skew ``t_eval``).
+        """
+        runtimes = self.predict_runtimes_batch(dims_list)
+        best = np.argmin(runtimes, axis=1)
+        return np.asarray(self.candidate_threads, dtype=int)[best]
+
     def clear_cache(self) -> None:
-        self._cache_key = None
-        self._cache_plan = None
+        self._cache.clear()
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and current occupancy of the LRU cache."""
+        return {
+            "hits": self.n_cache_hits,
+            "misses": self.n_cache_misses,
+            "size": len(self._cache),
+            "capacity": self.cache_capacity,
+        }
 
     # -- evaluation-cost measurement ------------------------------------------------
     def measure_eval_time(

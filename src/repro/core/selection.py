@@ -18,6 +18,7 @@ beat a slightly more accurate ensemble on latency-sensitive routines
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
@@ -30,6 +31,7 @@ from repro.core.tuning import fit_candidate
 from repro.machine.simulator import TimingSimulator
 from repro.ml.metrics import root_mean_squared_error
 from repro.ml.model_zoo import CANDIDATE_MODEL_NAMES
+from repro.parallel import map_parallel, resolve_n_jobs
 from repro.preprocessing.pipeline import PreprocessingPipeline
 
 __all__ = [
@@ -90,18 +92,39 @@ def _speedup_statistics(
     simulator: TimingSimulator,
     test_shapes: Sequence[Dict[str, int]],
     eval_time_seconds: float,
+    original_times: np.ndarray | None = None,
+    use_batch: bool = True,
 ) -> tuple[float, float, float, float]:
-    """(ideal_mean, ideal_aggregate, estimated_mean, estimated_aggregate)."""
-    original_times = []
-    chosen_times = []
-    for dims in test_shapes:
-        threads = predictor.predict_threads(dims, use_cache=False)
-        chosen_times.append(simulator.time(predictor.routine, dims, threads))
-        original_times.append(
-            simulator.time_at_max_threads(predictor.routine, dims)
-        )
-    original = np.asarray(original_times)
-    chosen = np.asarray(chosen_times)
+    """(ideal_mean, ideal_aggregate, estimated_mean, estimated_aggregate).
+
+    With ``use_batch`` (the default) the predictor chooses thread counts for
+    all held-out shapes in one model evaluation and the simulator times them
+    in one vectorised pass.  ``original_times`` carries the candidate-
+    independent max-thread baselines hoisted out of the per-candidate loop
+    by :func:`evaluate_candidates`; when ``None`` they are (re)computed
+    here.  ``use_batch=False`` keeps the original per-shape loop as the
+    reference path.
+    """
+    if use_batch:
+        test_shapes = list(test_shapes)
+        threads = predictor.predict_threads_batch(test_shapes)
+        chosen = simulator.time_batch(predictor.routine, test_shapes, threads)
+        if original_times is None:
+            original_times = simulator.time_at_max_threads_batch(
+                predictor.routine, test_shapes
+            )
+        original = np.asarray(original_times)
+    else:
+        original_list = []
+        chosen_list = []
+        for dims in test_shapes:
+            threads = predictor.predict_threads(dims, use_cache=False)
+            chosen_list.append(simulator.time(predictor.routine, dims, threads))
+            original_list.append(
+                simulator.time_at_max_threads(predictor.routine, dims)
+            )
+        original = np.asarray(original_list)
+        chosen = np.asarray(chosen_list)
 
     ideal_ratios = original / chosen
     estimated_ratios = original / (chosen + eval_time_seconds)
@@ -114,6 +137,66 @@ def _speedup_statistics(
     return ideal_mean, ideal_aggregate, estimated_mean, estimated_aggregate
 
 
+def _evaluate_one_candidate(payload: dict) -> tuple[CandidateEvaluation, object, int]:
+    """Fit and score one candidate model (a :func:`map_parallel` worker).
+
+    Returns ``(evaluation, fitted_model, n_simulator_evaluations)`` so that
+    a parallel caller can fold the child simulator's evaluation counter back
+    into the parent's.
+    """
+    name = payload["name"]
+    X_train = payload["X_train"]
+    y_train = payload["y_train"]
+    X_test = payload["X_test"]
+    y_test = payload["y_test"]
+    pipeline = payload["pipeline"]
+    routine = payload["routine"]
+    candidate_threads = payload["candidate_threads"]
+    simulator = payload["simulator"]
+    test_shapes = payload["test_shapes"]
+    original_times = payload["original_times"]
+    tune_hyperparameters = payload["tune_hyperparameters"]
+    eval_time_mode = payload["eval_time_mode"]
+    use_batch_timing = payload["use_batch_timing"]
+    evaluations_before = simulator.n_evaluations
+    result = fit_candidate(name, X_train, y_train, tune=tune_hyperparameters)
+    model = result.model
+    rmse = root_mean_squared_error(y_test, model.predict(X_test))
+
+    predictor = ThreadPredictor(
+        routine=routine,
+        pipeline=pipeline,
+        model=model,
+        candidate_threads=candidate_threads,
+        model_name=name,
+    )
+    if eval_time_mode == "native":
+        eval_time = estimate_native_eval_time(
+            model, n_candidates=len(candidate_threads), n_features=X_train.shape[1]
+        )
+    else:
+        eval_time = predictor.measure_eval_time(repeats=3)
+    ideal_mean, ideal_agg, est_mean, est_agg = _speedup_statistics(
+        predictor,
+        simulator,
+        test_shapes,
+        eval_time,
+        original_times=original_times,
+        use_batch=use_batch_timing,
+    )
+    evaluation = CandidateEvaluation(
+        model_name=name,
+        rmse=rmse,
+        normalised_rmse=np.nan,  # filled in once the max is known
+        eval_time_us=eval_time * 1e6,
+        ideal_mean_speedup=ideal_mean,
+        ideal_aggregate_speedup=ideal_agg,
+        estimated_mean_speedup=est_mean,
+        estimated_aggregate_speedup=est_agg,
+    )
+    return evaluation, model, simulator.n_evaluations - evaluations_before
+
+
 def evaluate_candidates(
     dataset: TimingDataset,
     simulator: TimingSimulator,
@@ -124,6 +207,9 @@ def evaluate_candidates(
     test_size: float = 0.15,
     eval_time_mode: str = "native",
     seed: int = 0,
+    n_jobs: int | None = 1,
+    parallel_backend: str = "process",
+    use_batch_timing: bool = True,
 ) -> SelectionReport:
     """Fit, evaluate and rank every candidate model for one routine.
 
@@ -150,6 +236,15 @@ def evaluate_candidates(
         :func:`repro.core.evalcost.estimate_native_eval_time` as ``t_eval``,
         matching the paper's C++ measurements; ``"measured"`` charges the
         wall-clock cost of this package's Python predictor instead.
+    n_jobs:
+        Candidates are fitted and scored across this many workers (see
+        :func:`repro.parallel.map_parallel`); results are bit-identical to
+        the serial run for every value.
+    parallel_backend:
+        Backend for the candidate fan-out ("process", "thread" or "serial").
+    use_batch_timing:
+        Evaluate the speedup statistics through the vectorised batch
+        simulator/predictor path (default) or the original per-shape loop.
     """
     if eval_time_mode not in ("native", "measured"):
         raise ValueError("eval_time_mode must be 'native' or 'measured'")
@@ -172,43 +267,56 @@ def evaluate_candidates(
     X_test_t = pipeline.transform(X_test)
 
     candidate_threads = simulator.platform.candidate_thread_counts()
+    test_shapes = list(test_shapes)
 
-    evaluations: List[CandidateEvaluation] = []
-    fitted_models = {}
-    for name in candidate_names:
-        result = fit_candidate(name, X_train_t, y_train_f, tune=tune_hyperparameters)
-        model = result.model
-        fitted_models[name] = model
-        rmse = root_mean_squared_error(y_test, model.predict(X_test_t))
+    # The max-thread baseline of every held-out shape is candidate-
+    # independent: compute it once (one batch call) instead of once per
+    # candidate inside the scoring loop.
+    original_times = (
+        simulator.time_at_max_threads_batch(dataset.routine, test_shapes)
+        if use_batch_timing
+        else None
+    )
 
-        predictor = ThreadPredictor(
-            routine=dataset.routine,
-            pipeline=pipeline,
-            model=model,
-            candidate_threads=candidate_threads,
-            model_name=name,
+    n_workers = min(resolve_n_jobs(n_jobs), len(candidate_names))
+    pooled = n_workers > 1 and parallel_backend != "serial"
+    payloads = [
+        {
+            "name": name,
+            "X_train": X_train_t,
+            "y_train": y_train_f,
+            "X_test": X_test_t,
+            "y_test": y_test,
+            "pipeline": pipeline,
+            "routine": dataset.routine,
+            "candidate_threads": candidate_threads,
+            # Pooled workers get private simulator copies (the process
+            # backend would fork its own; the thread backend would
+            # otherwise race on the shared evaluation counter).
+            "simulator": copy.deepcopy(simulator) if pooled else simulator,
+            "test_shapes": test_shapes,
+            "original_times": original_times,
+            "tune_hyperparameters": tune_hyperparameters,
+            "eval_time_mode": eval_time_mode,
+            "use_batch_timing": use_batch_timing,
+        }
+        for name in candidate_names
+    ]
+    if pooled:
+        results = map_parallel(
+            _evaluate_one_candidate, payloads, n_jobs=n_workers, backend=parallel_backend
         )
-        if eval_time_mode == "native":
-            eval_time = estimate_native_eval_time(
-                model, n_candidates=len(candidate_threads), n_features=X_train_t.shape[1]
-            )
-        else:
-            eval_time = predictor.measure_eval_time(repeats=3)
-        ideal_mean, ideal_agg, est_mean, est_agg = _speedup_statistics(
-            predictor, simulator, test_shapes, eval_time
-        )
-        evaluations.append(
-            CandidateEvaluation(
-                model_name=name,
-                rmse=rmse,
-                normalised_rmse=np.nan,  # filled below once the max is known
-                eval_time_us=eval_time * 1e6,
-                ideal_mean_speedup=ideal_mean,
-                ideal_aggregate_speedup=ideal_agg,
-                estimated_mean_speedup=est_mean,
-                estimated_aggregate_speedup=est_agg,
-            )
-        )
+        # Worker simulators are private copies; fold their evaluation
+        # counters back so the parallel run is indistinguishable from the
+        # serial one.
+        simulator.n_evaluations += sum(delta for _, _, delta in results)
+    else:
+        results = [_evaluate_one_candidate(payload) for payload in payloads]
+
+    evaluations: List[CandidateEvaluation] = [r[0] for r in results]
+    fitted_models = {
+        name: model for name, (_, model, _) in zip(candidate_names, results)
+    }
 
     max_rmse = max(evaluation.rmse for evaluation in evaluations)
     for evaluation in evaluations:

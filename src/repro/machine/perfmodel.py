@@ -30,18 +30,37 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Mapping, Sequence, Tuple
 
-from repro.blas.api import parse_routine, precision_bytes
+import numpy as np
+
+from repro.blas.api import RoutineSpec, parse_routine, precision_bytes
 from repro.machine.topology import MachineTopology
 
-__all__ = ["CostBreakdown", "PerformanceModel", "MODEL_TILE", "MODEL_KC"]
+__all__ = [
+    "CostBreakdown",
+    "CostBreakdownBatch",
+    "PerformanceModel",
+    "normalize_batch_inputs",
+    "MODEL_TILE",
+    "MODEL_KC",
+]
 
 
 #: Output-tile edge used to estimate the available task parallelism.
 MODEL_TILE = 128
 #: k-panel depth used to estimate the number of synchronisation episodes.
 MODEL_KC = 256
+
+
+def _pow065(x):
+    """``x ** 0.65`` through the NumPy ufunc for scalars and arrays alike.
+
+    NumPy's vectorised ``power`` loop and libm's ``pow`` can disagree by one
+    ulp; routing the scalar path through the same ufunc keeps the scalar and
+    batch cost models bit-identical.
+    """
+    return np.power(np.asarray(x, dtype=np.float64), 0.65)
 
 
 @dataclass(frozen=True)
@@ -65,6 +84,98 @@ class CostBreakdown:
             sync=self.sync * factor,
             other=self.other * factor,
         )
+
+
+@dataclass(frozen=True)
+class CostBreakdownBatch:
+    """Vectorised counterpart of :class:`CostBreakdown`.
+
+    Every component is a ``(n_rows,)`` float array; row ``i`` holds the same
+    values the scalar :meth:`PerformanceModel.breakdown` /
+    :meth:`repro.machine.simulator.TimingSimulator.breakdown` call would
+    produce for the ``i``-th (dims, threads) configuration.
+    """
+
+    kernel: np.ndarray
+    copy: np.ndarray
+    sync: np.ndarray
+    other: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
+        return self.kernel + self.copy + self.sync + self.other
+
+    def __len__(self) -> int:
+        return self.kernel.shape[0]
+
+    def row(self, i: int) -> CostBreakdown:
+        """The scalar breakdown of one row."""
+        return CostBreakdown(
+            kernel=float(self.kernel[i]),
+            copy=float(self.copy[i]),
+            sync=float(self.sync[i]),
+            other=float(self.other[i]),
+        )
+
+
+def normalize_batch_inputs(
+    spec: RoutineSpec,
+    dims: Mapping[str, object] | Sequence[Dict[str, int]],
+    threads,
+    max_threads: int | None = None,
+) -> Tuple[Dict[str, np.ndarray], np.ndarray, int]:
+    """Validate and broadcast batch timing inputs to aligned int64 arrays.
+
+    ``dims`` is either a mapping ``{dim_name: array_like}`` (scalars are
+    broadcast) or a sequence of per-row dimension dicts; ``threads`` is a
+    scalar or a 1-D array.  Every array must have length 1 (broadcast) or the
+    common batch length.  Returns ``(dim_arrays, threads_array, n_rows)``.
+    """
+    if isinstance(dims, Mapping):
+        missing = [d for d in spec.dim_names if d not in dims]
+        if missing:
+            raise ValueError(f"{spec.name} missing dimensions: {missing}")
+        extra = [d for d in dims if d not in spec.dim_names]
+        if extra:
+            raise ValueError(f"{spec.name} got unexpected dimensions: {extra}")
+        arrays = {
+            name: np.atleast_1d(np.asarray(dims[name], dtype=np.int64))
+            for name in spec.dim_names
+        }
+    else:
+        rows = [spec.dims_from_args(**row) for row in dims]
+        if not rows:
+            raise ValueError("dims must not be empty")
+        arrays = {
+            name: np.asarray([row[name] for row in rows], dtype=np.int64)
+            for name in spec.dim_names
+        }
+    threads_arr = np.atleast_1d(np.asarray(threads, dtype=np.int64))
+
+    lengths = {a.shape[0] for a in arrays.values()} | {threads_arr.shape[0]}
+    lengths.discard(1)
+    if len(lengths) > 1:
+        raise ValueError(f"Mismatched batch lengths: {sorted(lengths)}")
+    n = lengths.pop() if lengths else 1
+
+    def _broadcast(a: np.ndarray) -> np.ndarray:
+        if a.ndim != 1:
+            raise ValueError("batch inputs must be scalars or 1-D arrays")
+        return np.broadcast_to(a, (n,)) if a.shape[0] == 1 and n > 1 else a
+
+    arrays = {name: _broadcast(a) for name, a in arrays.items()}
+    threads_arr = _broadcast(threads_arr)
+
+    for name, a in arrays.items():
+        if np.any(a < 1):
+            raise ValueError(f"Dimension {name} must be positive")
+    if np.any(threads_arr < 1):
+        raise ValueError("threads must be at least 1")
+    if max_threads is not None and np.any(threads_arr > max_threads):
+        raise ValueError(
+            f"threads exceed the platform maximum ({max_threads})"
+        )
+    return arrays, threads_arr, n
 
 
 class PerformanceModel:
@@ -214,7 +325,7 @@ class PerformanceModel:
         # the pathological factor-of-threads the naive model would predict —
         # real MKL/BLIS stay within a small factor of optimal even when the
         # thread count is far too high (paper Table VIII: 2-3x, not 50x).
-        team_scale = threads ** 0.65
+        team_scale = float(_pow065(threads))
         barrier_cost = self.platform.sync_cost_per_thread * team_scale * socket_penalty
 
         # Oversubscription: threads beyond the available tile parallelism
@@ -224,7 +335,7 @@ class PerformanceModel:
         oversubscription = (
             self.platform.sync_cost_per_thread
             * 3.0
-            * idle_threads ** 0.65
+            * float(_pow065(idle_threads))
             * socket_penalty
         )
 
@@ -242,6 +353,186 @@ class PerformanceModel:
         # speedup on the very smallest problems bounded (paper Table VII:
         # maxima around 3-12x rather than orders of magnitude).
         return 6e-5 + 2e-6 * math.sqrt(threads) + bytes_moved / 80e9
+
+    # -- vectorised batch path ---------------------------------------------------
+    # The *_batch methods mirror their scalar counterparts operation for
+    # operation (same association order, same libm calls) so that
+    # ``breakdown_batch(...).row(i)`` reproduces ``breakdown(...)`` exactly;
+    # the scalar methods above stay as the reference implementation and the
+    # equivalence is asserted in tests/machine/test_batch_timing.py.
+    @staticmethod
+    def _output_grid_batch(base: str, dims: Dict[str, np.ndarray]) -> np.ndarray:
+        if base in ("gemm", "symm", "trmm", "trsm"):
+            row_tiles = np.ceil(dims["m"] / MODEL_TILE)
+            col_tiles = np.ceil(dims["n"] / MODEL_TILE)
+            return row_tiles * col_tiles
+        n_tiles = np.ceil(dims["n"] / MODEL_TILE)
+        return n_tiles * (n_tiles + 1) / 2
+
+    @staticmethod
+    def _panel_depth_batch(base: str, dims: Dict[str, np.ndarray]) -> np.ndarray:
+        if base in ("gemm", "syrk", "syr2k"):
+            return dims["k"]
+        return dims["m"]
+
+    def _aggregate_bandwidth_batch(self, threads: np.ndarray) -> np.ndarray:
+        physical = np.minimum(threads, self.platform.physical_cores)
+        per_core = self.platform.copy_bandwidth_gbs_per_core * 1e9
+        cap = self.platform.total_memory_bandwidth_gbs * 1e9 * 0.85
+        return np.minimum(physical * per_core, cap)
+
+    def kernel_time_batch(
+        self, routine: str, dims: Dict[str, np.ndarray], threads: np.ndarray
+    ) -> np.ndarray:
+        prefix, base, spec = parse_routine(routine)
+        profile = self.platform.routine_profile(base)
+        flops = spec.flops(dims)
+        itemsize = precision_bytes(prefix)
+
+        peak_per_core = self.platform.peak_gflops_per_core * 1e9
+        if prefix == "s":
+            peak_per_core *= 2.0
+        rate_per_core = peak_per_core * profile.kernel_efficiency
+
+        physical = self.platform.physical_cores
+        busy_cores = np.minimum(threads, physical)
+        smt_extra = np.maximum(0, threads - physical)
+        core_capacity = busy_cores + profile.smt_yield * smt_extra
+
+        max_tasks = self._output_grid_batch(base, dims)
+        workers = np.minimum(core_capacity, max_tasks)
+
+        saturation = profile.saturation_threads
+        saturation_penalty = np.ones_like(workers)
+        if math.isfinite(saturation):
+            over = threads > saturation
+            if np.any(over):
+                capped = np.minimum(
+                    workers, saturation + 0.3 * (workers - saturation)
+                )
+                workers = np.where(over, capped, workers)
+                penalty = 1.0 + profile.oversaturation_penalty * np.log2(
+                    threads / saturation
+                )
+                saturation_penalty = np.where(over, penalty, 1.0)
+
+        concurrent = np.maximum(1, np.minimum(threads, max_tasks.astype(np.int64)))
+        waves = np.ceil(max_tasks / concurrent)
+        imbalance = np.where(max_tasks > 0, waves * concurrent / max_tasks, 1.0)
+
+        panel_words = MODEL_TILE * self._panel_depth_batch(base, dims)
+        l3_words = (
+            self.platform.l3_cache_mb_per_group
+            * 1e6
+            / itemsize
+            / max(1, self.platform.cores_per_cache_group)
+        )
+        cache_penalty = np.where(panel_words > l3_words, 1.15, 1.0)
+
+        serial_fraction = 1.0 - profile.parallel_fraction
+        serial_time = flops * serial_fraction / rate_per_core
+        parallel_time = (
+            flops
+            * profile.parallel_fraction
+            / (rate_per_core * np.maximum(workers, 1e-9))
+            * imbalance
+            * cache_penalty
+            * saturation_penalty
+        )
+
+        bytes_streamed = spec.memory_words(dims) * itemsize
+        bandwidth = self._aggregate_bandwidth_batch(threads)
+        bandwidth_time = bytes_streamed / bandwidth
+
+        return serial_time + np.maximum(parallel_time, bandwidth_time)
+
+    def copy_time_batch(
+        self, routine: str, dims: Dict[str, np.ndarray], threads: np.ndarray
+    ) -> np.ndarray:
+        prefix, base, spec = parse_routine(routine)
+        profile = self.platform.routine_profile(base)
+        itemsize = precision_bytes(prefix)
+        bytes_moved = spec.memory_words(dims) * itemsize
+
+        stream_time = bytes_moved / self._aggregate_bandwidth_batch(threads)
+
+        buffer_bytes = np.minimum(bytes_moved, 4.0e6)
+        per_core_bw = self.platform.copy_bandwidth_gbs_per_core * 1e9
+        replication = 0.15 * np.sqrt(threads) + 0.1 * np.log2(threads + 1)
+        pack_time = buffer_bytes / per_core_bw * replication
+
+        return profile.copy_factor * (stream_time + pack_time)
+
+    def sync_time_batch(
+        self, routine: str, dims: Dict[str, np.ndarray], threads: np.ndarray
+    ) -> np.ndarray:
+        _, base, _ = parse_routine(routine)
+        profile = self.platform.routine_profile(base)
+
+        n_barriers = np.minimum(
+            6.0, 1.0 + self._panel_depth_batch(base, dims) / (4.0 * MODEL_KC)
+        )
+        per_socket_threads = self.platform.cores_per_socket * self.platform.smt
+        socket_penalty = np.where(
+            threads > per_socket_threads,
+            self.platform.cross_socket_sync_penalty,
+            1.0,
+        )
+        team_scale = _pow065(threads)
+        barrier_cost = self.platform.sync_cost_per_thread * team_scale * socket_penalty
+
+        max_tasks = self._output_grid_batch(base, dims)
+        idle_threads = np.maximum(0.0, threads - max_tasks)
+        oversubscription = (
+            self.platform.sync_cost_per_thread
+            * 3.0
+            * _pow065(idle_threads)
+            * socket_penalty
+        )
+
+        fork_cost = self.platform.fork_cost_per_thread * np.sqrt(threads)
+        return profile.sync_factor * (
+            n_barriers * barrier_cost + oversubscription + fork_cost
+        )
+
+    def other_time_batch(
+        self, routine: str, dims: Dict[str, np.ndarray], threads: np.ndarray
+    ) -> np.ndarray:
+        prefix, _, spec = parse_routine(routine)
+        itemsize = precision_bytes(prefix)
+        bytes_moved = spec.memory_words(dims) * itemsize
+        return 6e-5 + 2e-6 * np.sqrt(threads) + bytes_moved / 80e9
+
+    def breakdown_batch(
+        self,
+        routine: str,
+        dims: Mapping[str, object] | Sequence[Dict[str, int]],
+        threads,
+    ) -> CostBreakdownBatch:
+        """Noise-free per-component costs of many calls in one array pass.
+
+        ``dims``/``threads`` follow :func:`normalize_batch_inputs`: aligned
+        arrays, with scalars broadcast over the batch.
+        """
+        _, _, spec = parse_routine(routine)
+        dim_arrays, threads_arr, _ = normalize_batch_inputs(
+            spec, dims, threads, max_threads=self.platform.max_threads
+        )
+        return CostBreakdownBatch(
+            kernel=self.kernel_time_batch(routine, dim_arrays, threads_arr),
+            copy=self.copy_time_batch(routine, dim_arrays, threads_arr),
+            sync=self.sync_time_batch(routine, dim_arrays, threads_arr),
+            other=self.other_time_batch(routine, dim_arrays, threads_arr),
+        )
+
+    def time_batch(
+        self,
+        routine: str,
+        dims: Mapping[str, object] | Sequence[Dict[str, int]],
+        threads,
+    ) -> np.ndarray:
+        """Noise-free total runtimes (seconds) of many calls."""
+        return self.breakdown_batch(routine, dims, threads).total
 
     # -- public API ---------------------------------------------------------------
     def breakdown(self, routine: str, dims: Dict[str, int], threads: int) -> CostBreakdown:

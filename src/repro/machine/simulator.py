@@ -14,24 +14,79 @@ with two effects observed in the paper's measured data:
   thread counts.
 
 The simulator exposes the operations the ADSALA pipeline needs:
-``time``/``breakdown`` for a single configuration, ``sweep_threads`` for the
-full thread-count profile of one problem, and ``best_threads`` /
-``best_time`` for the oracle optimum used in evaluation.
+``time``/``breakdown`` for a single configuration, ``time_batch`` /
+``breakdown_batch`` for whole arrays of configurations in one vectorised
+pass, ``sweep_threads`` for the full thread-count profile of one problem,
+and ``best_threads`` / ``best_time`` for the oracle optimum used in
+evaluation.
+
+Determinism and the integer-mix hash
+------------------------------------
+All pseudo-randomness derives from a splitmix64-style integer mix over
+``(platform, seed, tag, routine, dims..., threads)``.  The mix is evaluated
+either on Python ints (scalar path) or on ``uint64`` NumPy arrays (batch
+path) with bit-identical results, which is what lets the data-gathering
+campaign collapse thousands of scalar calls into a handful of array ops
+while staying reproducible.  The scalar ``time``/``breakdown`` path is kept
+as the reference implementation; ``time_batch`` equivalence against it is
+asserted in the test suite.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from functools import lru_cache
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
 from repro.blas.api import parse_routine
-from repro.machine.perfmodel import CostBreakdown, PerformanceModel
+from repro.machine.perfmodel import (
+    CostBreakdown,
+    CostBreakdownBatch,
+    PerformanceModel,
+    normalize_batch_inputs,
+)
 from repro.machine.topology import MachineTopology
 
 __all__ = ["TimingSimulator", "ThreadSweep"]
+
+
+# -- splitmix64 integer mixing -------------------------------------------------
+_MASK64 = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+_MUL1 = 0xBF58476D1CE4E5B9
+_MUL2 = 0x94D049BB133111EB
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 avalanche step on a Python int (mod 2**64)."""
+    z = (value + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MUL1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MUL2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _splitmix64_array(z: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 step on a uint64 array (wrapping arithmetic)."""
+    z = z + np.uint64(_GAMMA)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MUL1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MUL2)
+    return z ^ (z >> np.uint64(31))
+
+
+@lru_cache(maxsize=None)
+def _string_code(text: str) -> int:
+    """Stable 64-bit code for a string (platform names, routines, tags)."""
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+_TAG_NOISE1 = _string_code("noise1")
+_TAG_NOISE2 = _string_code("noise2")
+_TAG_PATCH = _string_code("patch")
+_TAG_PATCH_CENTER = _string_code("patch-center")
 
 
 @dataclass
@@ -98,23 +153,61 @@ class TimingSimulator:
         self.patch_probability = patch_probability
         self.patch_strength = patch_strength
         self.n_evaluations = 0
+        self._hash_base = _splitmix64(_string_code(platform.name) ^ (seed & _MASK64))
 
     # -- deterministic pseudo-randomness ---------------------------------------
-    def _hash_fraction(self, *parts) -> float:
-        """Uniform-in-[0,1) value derived from a stable hash of ``parts``."""
-        message = "|".join(str(p) for p in (self.platform.name, self.seed) + parts)
-        digest = hashlib.blake2b(message.encode(), digest_size=8).digest()
-        return int.from_bytes(digest, "little") / 2 ** 64
+    def _fraction(self, tag_code: int, routine: str, values) -> float:
+        """Uniform-in-[0,1) value from the integer mix of ``values`` (scalar)."""
+        state = _splitmix64(self._hash_base ^ tag_code)
+        state = _splitmix64(state ^ _string_code(routine))
+        for value in values:
+            state = _splitmix64(state ^ (int(value) & _MASK64))
+        return state / 2 ** 64
+
+    def _fraction_batch(
+        self, tag_code: int, routine: str, value_arrays, n: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`_fraction` over aligned int64 value arrays."""
+        seed_state = _splitmix64(self._hash_base ^ tag_code)
+        seed_state = _splitmix64(seed_state ^ _string_code(routine))
+        state = np.full(n, seed_state, dtype=np.uint64)
+        for values in value_arrays:
+            state = _splitmix64_array(
+                state ^ np.asarray(values, dtype=np.int64).astype(np.uint64)
+            )
+        return state / 2.0 ** 64
 
     def _noise_factor(self, routine: str, dims: Dict[str, int], threads: int) -> float:
         if self.noise_level == 0:
             return 1.0
-        u1 = self._hash_fraction("noise1", routine, sorted(dims.items()), threads)
-        u2 = self._hash_fraction("noise2", routine, sorted(dims.items()), threads)
+        key = (*dims.values(), threads)
+        u1 = self._fraction(_TAG_NOISE1, routine, key)
+        u2 = self._fraction(_TAG_NOISE2, routine, key)
         # Box-Muller transform -> standard normal -> log-normal factor.
         u1 = min(max(u1, 1e-12), 1 - 1e-12)
         gaussian = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
         return float(np.exp(self.noise_level * gaussian))
+
+    def _noise_factor_batch(
+        self,
+        routine: str,
+        dims: Dict[str, np.ndarray],
+        threads: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        if self.noise_level == 0:
+            return np.ones(n)
+        key = (*dims.values(), threads)
+        u1 = self._fraction_batch(_TAG_NOISE1, routine, key, n)
+        u2 = self._fraction_batch(_TAG_NOISE2, routine, key, n)
+        u1 = np.clip(u1, 1e-12, 1 - 1e-12)
+        gaussian = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+        return np.exp(self.noise_level * gaussian)
+
+    @staticmethod
+    def _patch_cell(value):
+        """Coarse log-scale cell index of one dimension (scalar or array)."""
+        return (np.log2(np.maximum(value, 1)) * 2).astype(np.int64)
 
     def _patch_factor(self, routine: str, dims: Dict[str, int], threads: int) -> float:
         """Localized slowdown reproducing the paper's "abnormal areas"."""
@@ -124,10 +217,10 @@ class TimingSimulator:
         # whether the cell is pathological and, if so, which thread band the
         # pathology affects.
         cell = tuple(int(np.log2(max(v, 1)) * 2) for v in dims.values())
-        draw = self._hash_fraction("patch", routine, cell)
+        draw = self._fraction(_TAG_PATCH, routine, cell)
         if draw >= self.patch_probability:
             return 1.0
-        band_center_frac = self._hash_fraction("patch-center", routine, cell)
+        band_center_frac = self._fraction(_TAG_PATCH_CENTER, routine, cell)
         band_center = 1 + band_center_frac * (self.platform.max_threads - 1)
         band_width = max(2.0, 0.12 * self.platform.max_threads)
         distance = abs(threads - band_center) / band_width
@@ -135,9 +228,29 @@ class TimingSimulator:
             return 1.0
         return 1.0 + self.patch_strength * (1.0 - distance)
 
+    def _patch_factor_batch(
+        self,
+        routine: str,
+        dims: Dict[str, np.ndarray],
+        threads: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        if self.patch_probability == 0:
+            return np.ones(n)
+        cell = [self._patch_cell(values) for values in dims.values()]
+        draw = self._fraction_batch(_TAG_PATCH, routine, cell, n)
+        band_center_frac = self._fraction_batch(_TAG_PATCH_CENTER, routine, cell, n)
+        band_center = 1 + band_center_frac * (self.platform.max_threads - 1)
+        band_width = max(2.0, 0.12 * self.platform.max_threads)
+        distance = np.abs(threads - band_center) / band_width
+        patched = (draw < self.patch_probability) & (distance <= 1.0)
+        return np.where(
+            patched, 1.0 + self.patch_strength * (1.0 - distance), 1.0
+        )
+
     # -- timing API --------------------------------------------------------------
     def breakdown(self, routine: str, dims: Dict[str, int], threads: int) -> CostBreakdown:
-        """Noisy per-component breakdown of one call."""
+        """Noisy per-component breakdown of one call (scalar reference path)."""
         _, _, spec = parse_routine(routine)
         dims = spec.dims_from_args(**dims)
         base = self.model.breakdown(routine, dims, threads)
@@ -162,6 +275,51 @@ class TimingSimulator:
         """Runtime using the platform's maximum thread count (the baseline)."""
         return self.time(routine, dims, self.platform.max_threads)
 
+    # -- batch timing API ---------------------------------------------------------
+    def breakdown_batch(
+        self,
+        routine: str,
+        dims: Mapping[str, object] | Sequence[Dict[str, int]],
+        threads,
+    ) -> CostBreakdownBatch:
+        """Noisy breakdowns of many calls in one vectorised pass.
+
+        ``dims`` is a mapping of dimension-name to array (scalars broadcast)
+        or a sequence of per-row dimension dicts; ``threads`` is a scalar or
+        aligned array.  Row ``i`` is bit-identical to the scalar
+        :meth:`breakdown` of the ``i``-th configuration.
+        """
+        _, _, spec = parse_routine(routine)
+        dim_arrays, threads_arr, n = normalize_batch_inputs(
+            spec, dims, threads, max_threads=self.platform.max_threads
+        )
+        base = self.model.breakdown_batch(routine, dim_arrays, threads_arr)
+        factor = self._noise_factor_batch(
+            routine, dim_arrays, threads_arr, n
+        ) * self._patch_factor_batch(routine, dim_arrays, threads_arr, n)
+        self.n_evaluations += n
+        return CostBreakdownBatch(
+            kernel=base.kernel * (1.0 + 0.3 * (factor - 1.0)),
+            copy=base.copy * factor,
+            sync=base.sync * factor,
+            other=base.other * factor,
+        )
+
+    def time_batch(
+        self,
+        routine: str,
+        dims: Mapping[str, object] | Sequence[Dict[str, int]],
+        threads,
+    ) -> np.ndarray:
+        """Noisy total runtimes (seconds) of many calls in one array pass."""
+        return self.breakdown_batch(routine, dims, threads).total
+
+    def time_at_max_threads_batch(
+        self, routine: str, dims: Mapping[str, object] | Sequence[Dict[str, int]]
+    ) -> np.ndarray:
+        """Max-thread baseline runtimes for a batch of problem shapes."""
+        return self.time_batch(routine, dims, self.platform.max_threads)
+
     # -- sweeps -------------------------------------------------------------------
     def sweep_threads(
         self,
@@ -169,15 +327,15 @@ class TimingSimulator:
         dims: Dict[str, int],
         thread_counts: Sequence[int] | None = None,
     ) -> ThreadSweep:
-        """Time one problem at every candidate thread count."""
+        """Time one problem at every candidate thread count (one batch call)."""
         if thread_counts is None:
             thread_counts = self.platform.candidate_thread_counts()
         thread_counts = np.asarray(list(thread_counts), dtype=int)
         if thread_counts.size == 0:
             raise ValueError("thread_counts must not be empty")
-        times = np.array(
-            [self.time(routine, dims, int(t)) for t in thread_counts], dtype=float
-        )
+        _, _, spec = parse_routine(routine)
+        dims = spec.dims_from_args(**dims)
+        times = self.time_batch(routine, [dims], thread_counts)
         return ThreadSweep(
             routine=routine, dims=dict(dims), threads=thread_counts, times=times
         )

@@ -20,7 +20,14 @@ from typing import List, Optional
 import numpy as np
 
 from repro.ml.base import BaseRegressor, check_X, check_X_y
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.tree import (
+    DecisionTreeRegressor,
+    FlatTree,
+    _bounds_mask,
+    _column_positions,
+    _positions,
+    active_impl,
+)
 
 __all__ = [
     "AdaBoostRegressor",
@@ -129,9 +136,11 @@ class AdaBoostRegressor(BaseRegressor):
         """Weighted-median prediction over the boosted ensemble."""
         self._check_fitted("estimators_")
         X = check_X(X)
-        all_predictions = np.column_stack(
-            [tree.predict(X) for tree in self.estimators_]
-        )
+        if active_impl() == "reference":
+            per_tree = [tree.predict(X) for tree in self.estimators_]
+        else:
+            per_tree = [tree.flat_tree_.predict(X) for tree in self.estimators_]
+        all_predictions = np.column_stack(per_tree)
         weights = np.asarray(self.estimator_weights_)
 
         order = np.argsort(all_predictions, axis=1)
@@ -177,7 +186,11 @@ class _NewtonTree:
         self.min_samples_leaf = min_samples_leaf
 
     def fit(self, X, grad, hess) -> "_NewtonTree":
-        self.root_ = self._build(X, grad, hess, depth=0)
+        # Squared loss has unit hessians, for which the hessian prefix sums
+        # are just the split positions (exact in float64).
+        self._uniform_hess = bool(np.all(hess == 1.0))
+        self.root_ = self._build(X, grad, hess, np.arange(X.shape[0]), depth=0)
+        self.flat_ = FlatTree.from_node(self.root_)
         return self
 
     def _leaf_value(self, grad_sum: float, hess_sum: float) -> float:
@@ -186,18 +199,11 @@ class _NewtonTree:
     def _score(self, grad_sum: float, hess_sum: float) -> float:
         return grad_sum ** 2 / (hess_sum + self.reg_lambda)
 
-    def _build(self, X, grad, hess, depth: int) -> _BoostNode:
-        grad_total = float(grad.sum())
-        hess_total = float(hess.sum())
-        node = _BoostNode(value=self._leaf_value(grad_total, hess_total))
+    def _best_split_reference(self, X, grad, hess, grad_total, hess_total, parent_score):
+        """Per-feature-loop split search on the node's row subset (reference)."""
         n_samples = X.shape[0]
-        if depth >= self.max_depth or n_samples < 2 * self.min_samples_leaf:
-            return node
-
-        parent_score = self._score(grad_total, hess_total)
         best_gain = 0.0
         best = None
-
         for feature in range(X.shape[1]):
             order = np.argsort(X[:, feature], kind="mergesort")
             col = X[order, feature]
@@ -231,19 +237,95 @@ class _NewtonTree:
             if gain[best_idx] > best_gain + 1e-12:
                 best_gain = float(gain[best_idx])
                 best = (feature, 0.5 * (col[best_idx] + col[best_idx + 1]))
+        return best
+
+    def _best_split(self, cols, grad, hess, grad_total, hess_total, parent_score):
+        """Vectorised split search over every feature column at once.
+
+        ``cols`` is the node's gathered ``(n_samples, n_features)`` block;
+        tie-breaking matches :meth:`_best_split_reference` exactly.
+        """
+        n_samples = cols.shape[0]
+        order = cols.argsort(axis=0, kind="mergesort")
+        column_pos = _column_positions(cols.shape[1])
+        col_sorted = cols[order, column_pos]
+        g_cum = grad[order].cumsum(axis=0)[:-1]
+        if getattr(self, "_uniform_hess", False):
+            h_cum = _positions(n_samples)[:, None]
+        else:
+            h_cum = hess[order].cumsum(axis=0)[:-1]
+        g_right = grad_total - g_cum
+        h_right = hess_total - h_cum
+
+        valid = col_sorted[:-1] < col_sorted[1:]
+        valid &= _bounds_mask(n_samples, self.min_samples_leaf)[:, None]
+        valid &= h_cum >= self.min_child_weight
+        valid &= h_right >= self.min_child_weight
+
+        gain = (
+            0.5
+            * (
+                g_cum ** 2 / (h_cum + self.reg_lambda)
+                + g_right ** 2 / (h_right + self.reg_lambda)
+                - parent_score
+            )
+            - self.gamma
+        )
+        gain[~valid] = -np.inf
+        best_rows = gain.argmax(axis=0)
+        per_feature_gain = gain[best_rows, column_pos]
+
+        best_gain = 0.0
+        best = None
+        for feature in range(cols.shape[1]):
+            candidate = per_feature_gain[feature]
+            if candidate > best_gain + 1e-12:
+                row = best_rows[feature]
+                best_gain = float(candidate)
+                best = (
+                    feature,
+                    0.5 * (col_sorted[row, feature] + col_sorted[row + 1, feature]),
+                )
+        return best
+
+    def _build(self, X, grad, hess, indices, depth: int) -> _BoostNode:
+        g_node = grad[indices]
+        h_node = hess[indices]
+        grad_total = float(g_node.sum())
+        hess_total = float(h_node.sum())
+        node = _BoostNode(value=self._leaf_value(grad_total, hess_total))
+        n_samples = indices.size
+        if depth >= self.max_depth or n_samples < 2 * self.min_samples_leaf:
+            return node
+
+        parent_score = self._score(grad_total, hess_total)
+        if active_impl() == "reference":
+            best = self._best_split_reference(
+                X[indices], g_node, h_node, grad_total, hess_total, parent_score
+            )
+        else:
+            best = self._best_split(
+                X[indices], g_node, h_node, grad_total, hess_total, parent_score
+            )
 
         if best is None:
             return node
 
         feature, threshold = best
-        mask = X[:, feature] <= threshold
+        mask = X[indices, feature] <= threshold
         node.feature = feature
         node.threshold = threshold
-        node.left = self._build(X[mask], grad[mask], hess[mask], depth + 1)
-        node.right = self._build(X[~mask], grad[~mask], hess[~mask], depth + 1)
+        node.left = self._build(X, grad, hess, indices[mask], depth + 1)
+        node.right = self._build(X, grad, hess, indices[~mask], depth + 1)
         return node
 
     def predict(self, X) -> np.ndarray:
+        if active_impl() == "reference":
+            return self.predict_reference(X)
+        return self.flat_.predict(X)
+
+    def predict_reference(self, X) -> np.ndarray:
+        """Recursive node-walk prediction (the pre-flattening reference)."""
         out = np.empty(X.shape[0])
 
         def walk(node: _BoostNode, indices: np.ndarray) -> None:
@@ -363,6 +445,7 @@ class _HistTree:
 
     def fit(self, binned: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "_HistTree":
         self.root_ = self._build(binned, grad, hess, np.arange(binned.shape[0]), 0)
+        self.flat_ = FlatTree.from_node(self.root_)
         return self
 
     def _leaf_value(self, g: float, h: float) -> float:
@@ -421,6 +504,12 @@ class _HistTree:
         return node
 
     def predict(self, binned: np.ndarray) -> np.ndarray:
+        if active_impl() == "reference":
+            return self.predict_reference(binned)
+        return self.flat_.predict(binned)
+
+    def predict_reference(self, binned: np.ndarray) -> np.ndarray:
+        """Recursive node-walk prediction (the pre-flattening reference)."""
         out = np.empty(binned.shape[0])
 
         def walk(node: _BoostNode, indices: np.ndarray) -> None:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseRegressor, check_X, check_X_y
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.tree import DecisionTreeRegressor, active_impl
 
 __all__ = ["RandomForestRegressor"]
 
@@ -100,10 +100,16 @@ class RandomForestRegressor(BaseRegressor):
     def predict(self, X) -> np.ndarray:
         self._check_fitted("estimators_")
         X = check_X(X)
-        predictions = np.zeros(X.shape[0])
-        for tree in self.estimators_:
-            predictions += tree.predict(X)
-        return predictions / len(self.estimators_)
+        # Each tree descends its flattened array form (X is validated once
+        # up front, not per tree); the ensemble mean is one reduction over
+        # the stacked (n_trees, n_samples) block.
+        if active_impl() == "reference":
+            stacked = np.stack([tree.predict(X) for tree in self.estimators_])
+        else:
+            stacked = np.stack(
+                [tree.flat_tree_.predict(X) for tree in self.estimators_]
+            )
+        return stacked.mean(axis=0)
 
     def feature_importances(self) -> np.ndarray:
         """Mean impurity-decrease importance across trees."""

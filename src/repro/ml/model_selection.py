@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.ml.base import BaseRegressor, check_X_y, clone
 from repro.ml.metrics import root_mean_squared_error
+from repro.parallel import map_parallel
 
 __all__ = [
     "KFold",
@@ -150,36 +151,65 @@ class ParameterGrid:
         return length
 
 
+def _fit_and_score_fold(payload) -> float:
+    """Fit a clone on one fold and score it (a :func:`map_parallel` worker)."""
+    estimator, X, y, train_idx, test_idx, scoring = payload
+    model = clone(estimator)
+    model.fit(X[train_idx], y[train_idx])
+    prediction = model.predict(X[test_idx])
+    if scoring == "neg_rmse":
+        return -root_mean_squared_error(y[test_idx], prediction)
+    if scoring == "r2":
+        from repro.ml.metrics import r2_score
+
+        return r2_score(y[test_idx], prediction)
+    raise ValueError(f"Unknown scoring {scoring!r}")
+
+
 def cross_val_score(
     estimator: BaseRegressor,
     X,
     y,
     cv: KFold | int = 5,
     scoring: str = "neg_rmse",
+    n_jobs: int | None = 1,
+    backend: str = "process",
 ) -> np.ndarray:
-    """Cross-validated scores (higher is better)."""
+    """Cross-validated scores (higher is better).
+
+    ``n_jobs`` fans the folds out over a worker pool; fold membership and
+    every seed are fixed before dispatch, so the scores are identical to the
+    serial run for every worker count.
+    """
     X, y = check_X_y(X, y)
     if isinstance(cv, int):
         cv = KFold(n_splits=cv, shuffle=True, random_state=0)
-    scores = []
-    for train_idx, test_idx in cv.split(X):
-        model = clone(estimator)
-        model.fit(X[train_idx], y[train_idx])
-        prediction = model.predict(X[test_idx])
-        if scoring == "neg_rmse":
-            scores.append(-root_mean_squared_error(y[test_idx], prediction))
-        elif scoring == "r2":
-            from repro.ml.metrics import r2_score
-
-            scores.append(r2_score(y[test_idx], prediction))
-        else:
-            raise ValueError(f"Unknown scoring {scoring!r}")
+    payloads = [
+        (estimator, X, y, train_idx, test_idx, scoring)
+        for train_idx, test_idx in cv.split(X)
+    ]
+    scores = map_parallel(_fit_and_score_fold, payloads, n_jobs=n_jobs, backend=backend)
     return np.asarray(scores)
+
+
+def _score_param_combo(payload) -> float:
+    """Mean CV score of one parameter combination (a worker function)."""
+    estimator, params, X, y, splits, scoring = payload
+    candidate = clone(estimator).set_params(**params)
+    scores = [
+        _fit_and_score_fold((candidate, X, y, train_idx, test_idx, scoring))
+        for train_idx, test_idx in splits
+    ]
+    return float(np.mean(scores))
 
 
 @dataclass
 class GridSearchCV:
     """Exhaustive hyper-parameter search with K-fold cross-validation.
+
+    ``n_jobs`` fans the parameter combinations out over a worker pool; the
+    fold splits are materialised once before dispatch, so the search result
+    is identical to the serial run for every worker count.
 
     Attributes populated by :meth:`fit`:
 
@@ -193,18 +223,26 @@ class GridSearchCV:
     param_grid: Dict[str, Sequence[Any]]
     cv: int = 3
     scoring: str = "neg_rmse"
+    n_jobs: int | None = 1
+    backend: str = "process"
     results_: List[tuple[Dict[str, Any], float]] = field(default_factory=list, init=False)
 
     def fit(self, X, y) -> "GridSearchCV":
         X, y = check_X_y(X, y)
         splitter = KFold(n_splits=self.cv, shuffle=True, random_state=0)
+        splits = list(splitter.split(X))
+        combos = list(ParameterGrid(self.param_grid))
+        payloads = [
+            (self.estimator, params, X, y, splits, self.scoring)
+            for params in combos
+        ]
+        mean_scores = map_parallel(
+            _score_param_combo, payloads, n_jobs=self.n_jobs, backend=self.backend
+        )
         best_score = -np.inf
         best_params: Dict[str, Any] = {}
         self.results_ = []
-        for params in ParameterGrid(self.param_grid):
-            candidate = clone(self.estimator).set_params(**params)
-            scores = cross_val_score(candidate, X, y, cv=splitter, scoring=self.scoring)
-            mean_score = float(np.mean(scores))
+        for params, mean_score in zip(combos, mean_scores):
             self.results_.append((params, mean_score))
             if mean_score > best_score:
                 best_score = mean_score

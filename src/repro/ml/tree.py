@@ -1,14 +1,28 @@
 """CART regression tree with variance-reduction splits.
 
 The tree is the building block for the Random Forest, AdaBoost and both
-gradient-boosting candidates.  Split search is vectorised: for every feature
-the candidate thresholds are evaluated in a single pass over the sorted
-column using prefix sums of the targets, which keeps pure-Python overhead to
-one loop over features per node.
+gradient-boosting candidates.  Two hot paths are vectorised:
+
+* **split search** — candidate thresholds for *all* examined features are
+  evaluated in one 2-D pass (a single column-wise ``argsort`` plus prefix
+  sums of the targets), and nodes partition an index array instead of
+  copying ``X`` row-subsets down the recursion;
+* **prediction** — after ``fit`` the node tree is compiled into a
+  struct-of-arrays :class:`FlatTree` (``feature[]``, ``threshold[]``,
+  ``left[]``, ``right[]``, ``value[]``) and ``predict`` descends it
+  iteratively for the whole query batch at once, with no per-node Python
+  recursion.
+
+The pre-vectorisation implementations are kept as reference paths
+(:func:`_best_split_reference`, :meth:`DecisionTreeRegressor.predict_reference`)
+and the equivalence is asserted in ``tests/ml/test_flat_tree.py``; wrap code
+in :func:`reference_mode` to force them (used by
+``benchmarks/bench_install_scaling.py`` to measure the speedup).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
@@ -16,7 +30,34 @@ import numpy as np
 
 from repro.ml.base import BaseRegressor, check_X, check_X_y
 
-__all__ = ["DecisionTreeRegressor"]
+__all__ = ["DecisionTreeRegressor", "FlatTree", "reference_mode"]
+
+
+#: Active implementation: "vectorized" (default) or "reference".
+_IMPL = "vectorized"
+
+
+@contextmanager
+def reference_mode():
+    """Force the pre-vectorisation split search and recursive prediction.
+
+    Affects every tree-based model in :mod:`repro.ml` (decision tree, random
+    forest, AdaBoost and both gradient-boosting variants) for the duration
+    of the ``with`` block.  Fitted models are identical either way — the
+    reference mode exists for equivalence tests and benchmark baselines.
+    """
+    global _IMPL
+    previous = _IMPL
+    _IMPL = "reference"
+    try:
+        yield
+    finally:
+        _IMPL = previous
+
+
+def active_impl() -> str:
+    """The currently active implementation ("vectorized" or "reference")."""
+    return _IMPL
 
 
 @dataclass
@@ -36,17 +77,130 @@ class _Node:
         return self.left is None
 
 
-def _best_split(
+class FlatTree:
+    """Struct-of-arrays compilation of a fitted binary regression tree.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; interior nodes route a
+    row left when ``X[row, feature[i]] <= threshold[i]``.  :meth:`predict`
+    descends all query rows simultaneously (one fancy-indexing step per tree
+    level), replacing the per-node recursion over Python ``_Node`` objects.
+    The same compiled form serves every tree ensemble in :mod:`repro.ml`.
+    """
+
+    __slots__ = (
+        "feature",
+        "threshold",
+        "left",
+        "right",
+        "value",
+        "depth",
+        "_descent_feature",
+        "_descent_threshold",
+        "_children",
+    )
+
+    def __init__(self, feature, threshold, left, right, value, depth):
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.value = value
+        self.depth = depth
+        # Descent tables with self-looping leaves: a row that reaches a leaf
+        # keeps routing to the same node (feature 0 vs +inf always goes
+        # "left" onto itself), so predict can run exactly `depth` fixed
+        # iterations with no per-level active-row bookkeeping.
+        node_ids = np.arange(feature.shape[0], dtype=np.intp)
+        is_leaf = feature < 0
+        self._descent_feature = np.where(is_leaf, 0, feature)
+        self._descent_threshold = np.where(is_leaf, np.inf, threshold)
+        # Column 0 = right child, column 1 = left child, so the boolean
+        # "goes left" (X[..] <= threshold, false for NaN — same routing as
+        # the recursive reference) indexes the children table directly.
+        self._children = np.column_stack(
+            (
+                np.where(is_leaf, node_ids, right),
+                np.where(is_leaf, node_ids, left),
+            )
+        )
+
+    def __getstate__(self):
+        return (self.feature, self.threshold, self.left, self.right, self.value, self.depth)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+    @classmethod
+    def from_node(cls, root) -> "FlatTree":
+        """Compile a linked node tree (any object with ``is_leaf``/``feature``/
+        ``threshold``/``left``/``right``/``value``) into flat arrays."""
+        order = []
+        depths = []
+        stack = [(root, 0)]
+        max_depth = 0
+        while stack:
+            node, node_depth = stack.pop()
+            order.append(node)
+            depths.append(node_depth)
+            if node_depth > max_depth:
+                max_depth = node_depth
+            if not node.is_leaf:
+                stack.append((node.right, node_depth + 1))
+                stack.append((node.left, node_depth + 1))
+        index = {id(node): i for i, node in enumerate(order)}
+        n = len(order)
+        feature = np.full(n, -1, dtype=np.intp)
+        threshold = np.zeros(n)
+        left = np.full(n, -1, dtype=np.intp)
+        right = np.full(n, -1, dtype=np.intp)
+        value = np.empty(n)
+        for i, node in enumerate(order):
+            value[i] = node.value
+            if not node.is_leaf:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                left[i] = index[id(node.left)]
+                right[i] = index[id(node.right)]
+        return cls(feature, threshold, left, right, value, max_depth)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.feature.shape[0]
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(self.feature < 0))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised iterative descent of all rows of ``X``.
+
+        One fancy-indexing step per tree level over the whole query batch;
+        rows that reach a leaf early self-loop there until the fixed
+        ``depth`` iterations finish.
+        """
+        descent_feature = self._descent_feature
+        descent_threshold = self._descent_threshold
+        children = self._children
+        rows = np.arange(X.shape[0])
+        node = np.zeros(X.shape[0], dtype=np.intp)
+        for _ in range(self.depth):
+            go_left = X[rows, descent_feature[node]] <= descent_threshold[node]
+            node = children[node, go_left.view(np.int8)]
+        return self.value[node]
+
+
+def _best_split_reference(
     X: np.ndarray,
     y: np.ndarray,
     sample_weight: np.ndarray,
     feature_indices: np.ndarray,
     min_samples_leaf: int,
 ):
-    """Return ``(feature, threshold, gain)`` of the best weighted-SSE split.
+    """Per-feature-loop split search (the pre-vectorisation reference).
 
-    Returns ``(None, None, 0.0)`` when no admissible split improves the
-    weighted sum of squared errors.
+    Operates on the node's row subset directly.  Returns
+    ``(feature, threshold, gain)`` of the best weighted-SSE split, or
+    ``(None, None, 0.0)`` when no admissible split improves it.
     """
     n_samples = X.shape[0]
     total_weight = sample_weight.sum()
@@ -99,6 +253,134 @@ def _best_split(
                 0.5 * (col_sorted[best_idx] + col_sorted[best_idx + 1])
             )
 
+    return best_feature, best_threshold, best_gain
+
+
+#: Caches for the split-position bookkeeping arrays, keyed on the node size
+#: (and leaf minimum).  Nodes of the same size recur constantly while a
+#: forest grows, and rebuilding these tiny arrays dominates small-node cost.
+_POSITION_CACHE: dict = {}
+_BOUNDS_CACHE: dict = {}
+_COLUMN_CACHE: dict = {}
+
+
+def _positions(n_samples: int) -> np.ndarray:
+    """``arange(1, n_samples)`` as float (== cumsum of unit weights)."""
+    cached = _POSITION_CACHE.get(n_samples)
+    if cached is None:
+        cached = np.arange(1, n_samples, dtype=np.float64)
+        _POSITION_CACHE[n_samples] = cached
+    return cached
+
+
+def _bounds_mask(n_samples: int, min_samples_leaf: int) -> np.ndarray:
+    """Split positions admissible under the per-leaf sample minimum."""
+    key = (n_samples, min_samples_leaf)
+    cached = _BOUNDS_CACHE.get(key)
+    if cached is None:
+        positions = np.arange(1, n_samples)
+        cached = (positions >= min_samples_leaf) & (
+            n_samples - positions >= min_samples_leaf
+        )
+        _BOUNDS_CACHE[key] = cached
+    return cached
+
+
+def _column_positions(n_features: int) -> np.ndarray:
+    """``arange(n_features)`` row vector for sorted-column gathers."""
+    cached = _COLUMN_CACHE.get(n_features)
+    if cached is None:
+        cached = np.arange(n_features)
+        _COLUMN_CACHE[n_features] = cached
+    return cached
+
+
+def _best_split(
+    X: np.ndarray,
+    indices: np.ndarray,
+    y_sub: np.ndarray,
+    w_sub: np.ndarray,
+    total_weight: float,
+    total_wy: float,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+    uniform_weight: bool = False,
+):
+    """Vectorised split search over all examined features at once.
+
+    Takes the full ``X`` plus the node's row ``indices`` (no per-node ``X``
+    copies) and the node's already-gathered targets/weights and their
+    totals (computed once per node by ``_build``): one column-wise
+    mergesort and one prefix-sum batch replace the per-feature Python loop.
+    Ties are broken exactly as in :func:`_best_split_reference` (earlier
+    feature in ``feature_indices`` wins unless a later one improves the
+    gain by more than 1e-12).
+
+    ``uniform_weight`` marks an all-ones ``sample_weight``; the weight
+    prefix sums are then the split positions themselves (exact small
+    integers in float64, bit-identical to ``cumsum`` of ones), which skips a
+    gather, a multiply and a cumsum per node.
+    """
+    n_samples = indices.size
+    if n_samples < 2:
+        return None, None, 0.0
+    cols = X[indices[:, None], feature_indices]
+
+    total_wyy = float(np.dot(w_sub, y_sub * y_sub))
+    parent_sse = total_wyy - total_wy ** 2 / total_weight
+
+    order = cols.argsort(axis=0, kind="mergesort")
+    column_pos = _column_positions(len(feature_indices))
+    col_sorted = cols[order, column_pos]
+    y_sorted = y_sub[order]
+
+    if uniform_weight:
+        # cumsum(1.0, 1.0, ...) is exactly the position count.
+        left_w = _positions(n_samples)[:, None]
+        wy = y_sorted
+    else:
+        w_sorted = w_sub[order]
+        left_w = w_sorted.cumsum(axis=0)[:-1]
+        wy = w_sorted * y_sorted
+    wy_cum = wy.cumsum(axis=0)
+    wyy_cum = (wy * y_sorted).cumsum(axis=0)
+
+    valid = col_sorted[:-1] < col_sorted[1:]
+    valid &= _bounds_mask(n_samples, min_samples_leaf)[:, None]
+
+    left_wy = wy_cum[:-1]
+    left_wyy = wyy_cum[:-1]
+    right_w = total_weight - left_w
+    right_wy = total_wy - left_wy
+    right_wyy = total_wyy - left_wyy
+
+    if uniform_weight:
+        # Unit weights leave every prefix weight >= 1: no 0/0 to silence.
+        left_sse = left_wyy - left_wy ** 2 / left_w
+        right_sse = right_wyy - right_wy ** 2 / right_w
+    else:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            left_sse = left_wyy - left_wy ** 2 / left_w
+            right_sse = right_wyy - right_wy ** 2 / right_w
+    gain = parent_sse - (left_sse + right_sse)
+    np.logical_not(valid, out=valid)
+    gain[valid] = -np.inf
+
+    best_rows = gain.argmax(axis=0)
+    per_feature_gain = gain[best_rows, column_pos]
+
+    best_gain = 0.0
+    best_feature = None
+    best_threshold = None
+    for j, feature in enumerate(feature_indices):
+        candidate = per_feature_gain[j]
+        if candidate > best_gain + 1e-12:
+            row = best_rows[j]
+            best_gain = float(candidate)
+            best_feature = int(feature)
+            best_threshold = float(
+                0.5 * (col_sorted[row, j] + col_sorted[row + 1, j])
+            )
     return best_feature, best_threshold, best_gain
 
 
@@ -173,24 +455,31 @@ class DecisionTreeRegressor(BaseRegressor):
         self.n_features_in_ = n_features
         self._rng = np.random.default_rng(self.random_state)
         self._n_split_features = self._resolve_max_features(n_features)
-        self.tree_ = self._build(X, y, sample_weight, depth=0)
+        self._uniform_weight = bool(np.all(sample_weight == 1.0))
+        self.tree_ = self._build(
+            X, y, sample_weight, np.arange(n_samples), depth=0
+        )
+        self.flat_tree_ = FlatTree.from_node(self.tree_)
         self.n_leaves_ = self._count_leaves(self.tree_)
         self.depth_ = self._measure_depth(self.tree_)
         del self._rng
         return self
 
-    def _build(self, X, y, sample_weight, depth: int) -> _Node:
-        total_weight = sample_weight.sum()
-        node_value = float(np.dot(sample_weight, y) / total_weight)
+    def _build(self, X, y, sample_weight, indices, depth: int) -> _Node:
+        w_node = sample_weight[indices]
+        y_node = y[indices]
+        total_weight = w_node.sum()
+        total_wy = float(np.dot(w_node, y_node))
+        node_value = float(total_wy / total_weight)
         impurity = float(
-            np.dot(sample_weight, (y - node_value) ** 2) / total_weight
+            np.dot(w_node, (y_node - node_value) ** 2) / total_weight
         )
         node = _Node(
-            value=node_value, n_samples=X.shape[0], impurity=impurity
+            value=node_value, n_samples=indices.size, impurity=impurity
         )
 
         if (
-            X.shape[0] < self.min_samples_split
+            indices.size < self.min_samples_split
             or (self.max_depth is not None and depth >= self.max_depth)
             or impurity <= 1e-15
         ):
@@ -202,19 +491,32 @@ class DecisionTreeRegressor(BaseRegressor):
                 n_features, size=self._n_split_features, replace=False
             )
         else:
-            feature_indices = np.arange(n_features)
+            feature_indices = _column_positions(n_features)
 
-        feature, threshold, gain = _best_split(
-            X, y, sample_weight, feature_indices, self.min_samples_leaf
-        )
+        if _IMPL == "reference":
+            feature, threshold, gain = _best_split_reference(
+                X[indices], y_node, w_node, feature_indices, self.min_samples_leaf
+            )
+        else:
+            feature, threshold, gain = _best_split(
+                X,
+                indices,
+                y_node,
+                w_node,
+                total_weight,
+                total_wy,
+                feature_indices,
+                self.min_samples_leaf,
+                uniform_weight=self._uniform_weight,
+            )
         if feature is None or gain <= 0.0:
             return node
 
-        mask = X[:, feature] <= threshold
+        mask = X[indices, feature] <= threshold
         node.feature = feature
         node.threshold = threshold
-        node.left = self._build(X[mask], y[mask], sample_weight[mask], depth + 1)
-        node.right = self._build(X[~mask], y[~mask], sample_weight[~mask], depth + 1)
+        node.left = self._build(X, y, sample_weight, indices[mask], depth + 1)
+        node.right = self._build(X, y, sample_weight, indices[~mask], depth + 1)
         return node
 
     # -- prediction --------------------------------------------------------
@@ -226,6 +528,16 @@ class DecisionTreeRegressor(BaseRegressor):
                 f"X has {X.shape[1]} features but model was fitted with "
                 f"{self.n_features_in_}"
             )
+        if _IMPL == "reference":
+            out = np.empty(X.shape[0])
+            self._predict_into(self.tree_, X, np.arange(X.shape[0]), out)
+            return out
+        return self.flat_tree_.predict(X)
+
+    def predict_reference(self, X) -> np.ndarray:
+        """Recursive node-walk prediction (the pre-flattening reference)."""
+        self._check_fitted("tree_")
+        X = check_X(X)
         out = np.empty(X.shape[0])
         self._predict_into(self.tree_, X, np.arange(X.shape[0]), out)
         return out

@@ -1,0 +1,159 @@
+"""Determinism tests for the parallel installation pipeline.
+
+``map_parallel`` fans work out over processes/threads; every seed flows
+through the payloads explicitly, so serial and parallel runs must produce
+bit-identical results at every level (folds, grid search, candidate
+evaluation, whole bundles).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.gather import DataGatherer
+from repro.core.install import install_adsala
+from repro.core.selection import evaluate_candidates
+from repro.machine.simulator import TimingSimulator
+from repro.ml.linear import Ridge
+from repro.ml.model_selection import GridSearchCV, cross_val_score
+from repro.ml.tree import DecisionTreeRegressor
+from repro.parallel import ADSALA_JOBS_ENV, map_parallel, resolve_n_jobs
+
+
+def _square(x):
+    return x * x
+
+
+class TestMapParallel:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backends_agree_and_preserve_order(self, backend):
+        items = list(range(12))
+        assert map_parallel(_square, items, n_jobs=3, backend=backend) == [
+            x * x for x in items
+        ]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            map_parallel(_square, [1], backend="gpu")
+
+    def test_empty_items(self):
+        assert map_parallel(_square, [], n_jobs=4) == []
+
+    def test_resolve_defaults_and_env(self, monkeypatch):
+        monkeypatch.delenv(ADSALA_JOBS_ENV, raising=False)
+        assert resolve_n_jobs(None) == 1
+        monkeypatch.setenv(ADSALA_JOBS_ENV, "3")
+        assert resolve_n_jobs(None) == 3
+        assert resolve_n_jobs(5) == 5
+        assert resolve_n_jobs(-1) == max(1, os.cpu_count() or 1)
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+
+
+class TestModelSelectionParallel:
+    def test_cross_val_score_parallel_matches_serial(self, regression_data):
+        X, y = regression_data
+        estimator = DecisionTreeRegressor(max_depth=4, random_state=0)
+        serial = cross_val_score(estimator, X, y, cv=4, n_jobs=1)
+        parallel = cross_val_score(estimator, X, y, cv=4, n_jobs=2)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_grid_search_parallel_matches_serial(self, regression_data):
+        X, y = regression_data
+        grid = {"alpha": [0.01, 0.1, 1.0, 10.0]}
+        serial = GridSearchCV(Ridge(), grid, cv=3, n_jobs=1).fit(X, y)
+        parallel = GridSearchCV(Ridge(), grid, cv=3, n_jobs=2).fit(X, y)
+        assert serial.best_params_ == parallel.best_params_
+        assert serial.best_score_ == parallel.best_score_
+        assert serial.results_ == parallel.results_
+
+
+class TestInstallationParallel:
+    CANDIDATES = ["LinearRegression", "DecisionTree"]
+
+    def _install(self, laptop, routines, n_jobs, backend="process"):
+        return install_adsala(
+            platform=laptop,
+            routines=routines,
+            n_samples=14,
+            threads_per_shape=5,
+            n_test_shapes=6,
+            candidate_models=self.CANDIDATES,
+            seed=0,
+            n_jobs=n_jobs,
+            parallel_backend=backend,
+        )
+
+    def _assert_bundles_identical(self, a, b, routines):
+        assert a.best_models() == b.best_models()
+        assert a.simulator.n_evaluations == b.simulator.n_evaluations
+        for routine in routines:
+            left = a.routines[routine]
+            right = b.routines[routine]
+            assert left.dataset.times == right.dataset.times
+            assert left.test_shapes == right.test_shapes
+            rows_left = [e.__dict__ for e in left.selection.evaluations]
+            rows_right = [e.__dict__ for e in right.selection.evaluations]
+            assert rows_left == rows_right
+            for dims in left.test_shapes:
+                assert left.predictor.predict_threads(
+                    dims, use_cache=False
+                ) == right.predictor.predict_threads(dims, use_cache=False)
+
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_multi_routine_parallel_bundle_matches_serial(self, laptop, backend):
+        routines = ["dgemm", "dsyrk"]
+        serial = self._install(laptop, routines, n_jobs=1)
+        parallel = self._install(laptop, routines, n_jobs=2, backend=backend)
+        self._assert_bundles_identical(serial, parallel, routines)
+
+    def test_single_routine_candidate_fanout_matches_serial(self, laptop):
+        routines = ["dsymm"]
+        serial = self._install(laptop, routines, n_jobs=1)
+        parallel = self._install(laptop, routines, n_jobs=2)
+        self._assert_bundles_identical(serial, parallel, routines)
+
+    def test_evaluate_candidates_parallel_matches_serial(self, laptop):
+        simulator = TimingSimulator(laptop, seed=0)
+        gatherer = DataGatherer(
+            simulator, "dgemm", n_shapes=14, threads_per_shape=5, seed=0
+        )
+        dataset = gatherer.gather()
+        test_shapes = gatherer.gather_test_set(6)
+        reports = [
+            evaluate_candidates(
+                dataset=dataset,
+                simulator=TimingSimulator(laptop, seed=0),
+                test_shapes=test_shapes,
+                candidate_names=self.CANDIDATES,
+                seed=0,
+                n_jobs=n_jobs,
+            )
+            for n_jobs in (1, 2)
+        ]
+        assert reports[0].best_model_name == reports[1].best_model_name
+        assert [e.__dict__ for e in reports[0].evaluations] == [
+            e.__dict__ for e in reports[1].evaluations
+        ]
+
+    def test_baseline_times_hoisted_out_of_candidate_loop(self, laptop):
+        # The max-thread baseline of each held-out shape is candidate-
+        # independent: the simulator must be consulted (1 + n_candidates)
+        # times per shape, not 2 * n_candidates times as before.
+        simulator = TimingSimulator(laptop, seed=0)
+        gatherer = DataGatherer(
+            simulator, "dgemm", n_shapes=14, threads_per_shape=5, seed=0
+        )
+        dataset = gatherer.gather()
+        test_shapes = gatherer.gather_test_set(6)
+        before = simulator.n_evaluations
+        evaluate_candidates(
+            dataset=dataset,
+            simulator=simulator,
+            test_shapes=test_shapes,
+            candidate_names=self.CANDIDATES,
+            seed=0,
+        )
+        consumed = simulator.n_evaluations - before
+        assert consumed == len(test_shapes) * (len(self.CANDIDATES) + 1)

@@ -26,7 +26,7 @@ def eval_bundle(laptop):
     return install_adsala(
         platform=laptop,
         routines=["dgemm", "dsymm"],
-        n_samples=40,
+        n_samples=48,
         threads_per_shape=8,
         n_test_shapes=25,
         candidate_models=["LinearRegression", "DecisionTree", "XGBoost"],

@@ -55,9 +55,13 @@ class TestNoise:
                               patch_strength=1.5)
         model = PerformanceModel(GADI)
         ratios = []
-        for m in range(200, 3200, 150):
-            dims = {"m": m, "k": 512, "n": 512}
-            ratios.append(sim.time("dgemm", dims, 48) / model.time("dgemm", dims, 48))
+        for threads in (12, 24, 36, 48):
+            for m in range(200, 3200, 150):
+                dims = {"m": m, "k": 512, "n": 512}
+                ratios.append(
+                    sim.time("dgemm", dims, threads)
+                    / model.time("dgemm", dims, threads)
+                )
         ratios = np.array(ratios)
         assert ratios.max() > 1.2       # at least one patched cell
         assert (ratios < 1.05).sum() > len(ratios) / 3   # most cells unaffected

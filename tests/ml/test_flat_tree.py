@@ -1,0 +1,139 @@
+"""Equivalence tests: flattened tree inference vs the recursive reference.
+
+Every tree-based model compiles its fitted node tree into a
+struct-of-arrays :class:`~repro.ml.tree.FlatTree`; predictions through the
+iterative vectorised descent must match the recursive node walk exactly,
+and fitting through the vectorised 2-D split search must produce exactly
+the same trees as the per-feature reference loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import (
+    AdaBoostRegressor,
+    GradientBoostingRegressor,
+    HistGradientBoostingRegressor,
+)
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor, FlatTree, active_impl, reference_mode
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(123)
+    X = rng.normal(size=(400, 9))
+    y = (
+        X @ rng.normal(size=9)
+        + 0.5 * np.sin(3 * X[:, 0])
+        + rng.normal(0, 0.05, size=400)
+    )
+    X_query = rng.normal(size=(250, 9))
+    return X, y, X_query
+
+
+MODELS = [
+    (DecisionTreeRegressor, dict(max_depth=10, random_state=0)),
+    (DecisionTreeRegressor, dict(min_samples_leaf=5, max_features="sqrt", random_state=1)),
+    (RandomForestRegressor, dict(n_estimators=8, max_depth=8, random_state=0)),
+    (AdaBoostRegressor, dict(n_estimators=8, max_depth=3, random_state=0)),
+    (GradientBoostingRegressor, dict(n_estimators=12, max_depth=4, random_state=0)),
+    (GradientBoostingRegressor, dict(n_estimators=6, subsample=0.7, random_state=0)),
+    (HistGradientBoostingRegressor, dict(n_estimators=12, max_depth=5)),
+]
+
+
+class TestFitEquivalence:
+    @pytest.mark.parametrize("cls,kwargs", MODELS)
+    def test_vectorised_fit_equals_reference_fit(self, data, cls, kwargs):
+        X, y, X_query = data
+        vectorised = cls(**kwargs).fit(X, y)
+        with reference_mode():
+            assert active_impl() == "reference"
+            reference = cls(**kwargs).fit(X, y)
+            reference_pred = reference.predict(X_query)
+        np.testing.assert_array_equal(vectorised.predict(X_query), reference_pred)
+        assert active_impl() == "vectorized"
+
+    def test_weighted_fit_equals_reference_fit(self, data):
+        X, y, X_query = data
+        weights = np.random.default_rng(5).uniform(0.0, 2.0, size=X.shape[0])
+        vectorised = DecisionTreeRegressor(max_depth=8, random_state=0).fit(
+            X, y, sample_weight=weights
+        )
+        with reference_mode():
+            reference = DecisionTreeRegressor(max_depth=8, random_state=0).fit(
+                X, y, sample_weight=weights
+            )
+            reference_pred = reference.predict(X_query)
+        np.testing.assert_array_equal(vectorised.predict(X_query), reference_pred)
+
+
+class TestPredictEquivalence:
+    def test_flat_predict_equals_recursive_reference(self, data):
+        X, y, X_query = data
+        model = DecisionTreeRegressor(max_depth=12, random_state=0).fit(X, y)
+        np.testing.assert_array_equal(
+            model.predict(X_query), model.predict_reference(X_query)
+        )
+
+    def test_single_row_and_empty_batches(self, data):
+        X, y, _ = data
+        model = DecisionTreeRegressor(max_depth=6, random_state=0).fit(X, y)
+        np.testing.assert_array_equal(
+            model.predict(X[:1]), model.predict_reference(X[:1])
+        )
+        assert model.flat_tree_.predict(np.empty((0, X.shape[1]))).shape == (0,)
+
+    def test_stump_tree(self):
+        X = np.zeros((5, 3))
+        y = np.full(5, 2.5)
+        model = DecisionTreeRegressor().fit(X, y)
+        assert model.flat_tree_.depth == 0
+        np.testing.assert_array_equal(model.predict(X), np.full(5, 2.5))
+
+    def test_ensemble_predicts_match_recursive(self, data):
+        X, y, X_query = data
+        for cls, kwargs in MODELS[2:]:
+            model = cls(**kwargs).fit(X, y)
+            flat = model.predict(X_query)
+            with reference_mode():
+                recursive = model.predict(X_query)
+            np.testing.assert_array_equal(flat, recursive)
+
+
+class TestFlatTreeStructure:
+    def test_flat_arrays_describe_the_fitted_tree(self, data):
+        X, y, _ = data
+        model = DecisionTreeRegressor(max_depth=7, random_state=0).fit(X, y)
+        flat = model.flat_tree_
+        assert isinstance(flat, FlatTree)
+        assert flat.n_leaves == model.n_leaves_
+        assert flat.depth == model.depth_
+        assert flat.n_nodes == 2 * model.n_leaves_ - 1
+        interior = flat.feature >= 0
+        assert np.all(flat.left[interior] >= 0)
+        assert np.all(flat.right[interior] >= 0)
+        assert np.all(flat.left[~interior] == -1)
+
+    def test_flat_tree_survives_pickle(self, data):
+        import pickle
+
+        X, y, X_query = data
+        model = RandomForestRegressor(n_estimators=4, max_depth=6, random_state=0).fit(X, y)
+        clone = pickle.loads(pickle.dumps(model))
+        np.testing.assert_array_equal(clone.predict(X_query), model.predict(X_query))
+
+    def test_nan_features_route_like_the_recursive_walk(self, data):
+        # The public predict() rejects NaN (check_X), but the compiled
+        # FlatTree is also used on raw arrays (e.g. binned boosting data):
+        # its descent must route NaN exactly like the recursive walk
+        # (NaN <= threshold is false -> right child).
+        X, y, _ = data
+        model = DecisionTreeRegressor(max_depth=8, random_state=0).fit(X, y)
+        X_query = np.array(X[:20])
+        X_query[::3, 0] = np.nan
+        X_query[::4, 5] = np.nan
+        out = np.empty(X_query.shape[0])
+        model._predict_into(model.tree_, X_query, np.arange(X_query.shape[0]), out)
+        np.testing.assert_array_equal(model.flat_tree_.predict(X_query), out)
