@@ -9,7 +9,6 @@ set against the same model trained on the truncated set.
 
 import numpy as np
 
-from repro.core.features import THREE_DIM_FEATURES
 from repro.core.gather import DataGatherer
 from repro.core.predictor import ThreadPredictor
 from repro.harness.tables import format_table

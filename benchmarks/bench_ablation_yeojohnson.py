@@ -11,8 +11,6 @@ metric — the achieved speedup — which this ablation shows is essentially
 insensitive to the transform for the model that actually gets selected.
 """
 
-import numpy as np
-
 from repro.core.gather import DataGatherer
 from repro.core.selection import evaluate_candidates
 from repro.harness.tables import format_table

@@ -23,8 +23,6 @@ import gc
 import os
 import time
 
-import numpy as np
-
 from repro.core.gather import DataGatherer
 from repro.core.install import install_adsala
 from repro.core.predictor import ThreadPredictor
@@ -70,13 +68,14 @@ def test_install_scaling(benchmark, record):
         gather_scalar_s = 0.0
         gather_batch_s = 0.0
         for routine in ROUTINES:
-            make = lambda: DataGatherer(
-                TimingSimulator(platform, seed=config.seed),
-                routine,
-                n_shapes=config.n_samples,
-                threads_per_shape=config.threads_per_shape,
-                seed=config.seed,
-            )
+            def make(routine=routine):
+                return DataGatherer(
+                    TimingSimulator(platform, seed=config.seed),
+                    routine,
+                    n_shapes=config.n_samples,
+                    threads_per_shape=config.threads_per_shape,
+                    seed=config.seed,
+                )
             scalar_ds, elapsed = _timed(lambda: make().gather(use_batch=False))
             gather_scalar_s += elapsed
             batch_ds, elapsed = _timed(lambda: make().gather(use_batch=True))

@@ -12,7 +12,6 @@ and the model-evaluation time.  Expected shape (paper):
   evaluation time is charged.
 """
 
-import pytest
 
 from repro.harness.experiments import TABLE6_ROUTINES, table6_model_statistics
 from repro.harness.tables import format_table

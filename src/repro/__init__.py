@@ -14,6 +14,9 @@ BLAS Level 3 on Modern Multi-Core Systems" (Xia & Barca, 2024).  It contains
 * :mod:`repro.core` — the ADSALA contribution: domain sampling, feature
   engineering, data gathering, model selection by estimated speedup, and the
   runtime thread-count predictor,
+* :mod:`repro.serving` — the production serving layer: a versioned model
+  registry (lazy loading, hot reload), a micro-batching plan engine with a
+  composable fallback-policy chain, and online drift telemetry,
 * :mod:`repro.harness` — drivers that regenerate every table and figure of
   the paper's evaluation section.
 
@@ -55,8 +58,9 @@ from repro.core.install import install_adsala, InstallationBundle
 from repro.core.runtime import AdsalaBlas, AdsalaRuntime
 from repro.core.predictor import ThreadPredictor
 from repro.machine import get_platform, list_platforms
+from repro.serving import ModelRegistry, ServingEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "install_adsala",
@@ -64,6 +68,8 @@ __all__ = [
     "AdsalaBlas",
     "AdsalaRuntime",
     "ThreadPredictor",
+    "ModelRegistry",
+    "ServingEngine",
     "get_platform",
     "list_platforms",
     "__version__",

@@ -1,11 +1,16 @@
-"""Command-line interface: ``adsala install | predict | bench | platforms``.
+"""Command-line interface: ``adsala install | predict | serve | bundle | bench | platforms``.
 
-The CLI mirrors how the paper's library is used:
+The CLI mirrors how the paper's library is used, plus the serving layer:
 
 * ``adsala install`` runs the installation workflow for a platform and
   writes the bundle (config + trained models) to a directory;
 * ``adsala predict`` loads a bundle and prints the predicted-optimal thread
   count (and estimated speedup) for one BLAS call;
+* ``adsala serve`` replays a request stream (a JSONL workload file or a
+  generated mix) through the micro-batching serving engine and prints
+  throughput plus per-routine telemetry;
+* ``adsala bundle`` inspects, checksum-verifies or schema-migrates a bundle
+  directory's manifest;
 * ``adsala bench`` regenerates a paper table from the command line;
 * ``adsala platforms`` lists the built-in machine presets.
 """
@@ -47,12 +52,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the installation fan-out "
         "(default: $ADSALA_JOBS or 1; -1 = all cores)",
     )
+    install.add_argument(
+        "--bundle-version",
+        type=int,
+        default=1,
+        help="version tag stamped into the bundle manifest (the serving "
+        "registry serves the highest version per platform)",
+    )
 
     predict = sub.add_parser("predict", help="predict the optimal thread count for one call")
     predict.add_argument("--bundle", required=True, help="bundle directory written by install")
     predict.add_argument("--routine", required=True, help="routine key, e.g. dgemm")
     predict.add_argument("--dims", nargs="+", type=int, required=True,
                          help="matrix dimensions in the routine's natural order")
+
+    serve = sub.add_parser(
+        "serve", help="replay a request stream through the micro-batching engine"
+    )
+    serve.add_argument("--bundle", required=True, help="bundle directory written by install")
+    serve.add_argument(
+        "--workload", default=None,
+        help="JSONL workload file (one {'routine':..., 'dims':{...}} per line); "
+        "generated when omitted",
+    )
+    serve.add_argument("--requests", type=int, default=256,
+                       help="generated workload length (ignored with --workload)")
+    serve.add_argument("--mix", choices=["uniform", "cycling", "skewed"],
+                       default="uniform", help="generated workload distribution")
+    serve.add_argument("--routines", nargs="+", default=None,
+                       help="routines for the generated workload (default: installed)")
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="micro-batch size limit")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--no-cache", action="store_true",
+                       help="bypass the per-routine LRU prediction caches")
+    serve.add_argument("--observe", action="store_true",
+                       help="simulate observed runtimes (independent noise) and "
+                       "report drift / re-install candidates")
+    serve.add_argument("--drift-threshold", type=float, default=0.25,
+                       help="rolling mean |observed-predicted|/observed that flags "
+                       "a routine for re-installation")
+
+    bundle_cmd = sub.add_parser(
+        "bundle", help="inspect / verify / migrate a bundle manifest"
+    )
+    bundle_cmd.add_argument("action", choices=["inspect", "verify", "migrate"])
+    bundle_cmd.add_argument("--bundle", required=True, help="bundle directory")
 
     bench = sub.add_parser("bench", help="regenerate a paper table")
     bench.add_argument(
@@ -80,7 +125,7 @@ def _cmd_install(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_jobs=args.jobs,
     )
-    path = save_bundle(bundle, args.output)
+    path = save_bundle(bundle, args.output, bundle_version=args.bundle_version)
     print(f"Installed {len(bundle.routines)} routine(s) on {platform.name}; bundle at {path}")
     for routine, model in bundle.best_models().items():
         print(f"  {routine}: {model}")
@@ -109,6 +154,156 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         f"max-thread baseline {plan.baseline_time * 1e3:.2f} ms, "
         f"estimated speedup {plan.estimated_speedup:.2f}x)"
     )
+    if plan.fallback_from is not None:
+        print(
+            f"  note: {plan.fallback_from} has no installed model; served by "
+            f"the {plan.routine} model ({plan.policy} fallback)"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.persistence import BundleFormatError
+    from repro.harness.tables import format_table
+    from repro.machine.simulator import TimingSimulator
+    from repro.serving.engine import ServingEngine
+    from repro.serving.registry import ModelRegistry
+    from repro.serving.telemetry import EngineTelemetry
+    from repro.serving.workload import generate_workload, load_workload
+
+    registry = ModelRegistry()
+    try:
+        handle = registry.register(args.bundle)
+        engine = ServingEngine(
+            handle,
+            max_batch_size=args.batch_size,
+            use_cache=not args.no_cache,
+            telemetry=EngineTelemetry(drift_threshold=args.drift_threshold),
+        )
+        if args.workload:
+            requests = load_workload(args.workload)
+            source = args.workload
+        else:
+            routines = args.routines or handle.installed_routines
+            requests = generate_workload(
+                routines, args.requests, distribution=args.mix, seed=args.seed
+            )
+            source = f"generated ({args.mix} mix)"
+        if not requests:
+            print("error: workload is empty", file=sys.stderr)
+            return 2
+
+        start = time.perf_counter()
+        plans = engine.plan_many(request.as_tuple() for request in requests)
+        elapsed = time.perf_counter() - start
+
+        if args.observe:
+            # An independently seeded simulator stands in for real measured
+            # runtimes: same platform model, different noise draw.
+            settings = handle.settings
+            observer = TimingSimulator(
+                handle.platform,
+                seed=int(settings.get("seed", 0)) + 1,
+                noise_level=float(settings.get("noise_level", 0.04)),
+            )
+            for plan in plans:
+                engine.record_observation(
+                    plan, observer.time(plan.routine, plan.dims, plan.threads)
+                )
+
+        stats = engine.stats()
+        print(
+            f"Served {len(plans)} plans from {source} on {handle.platform.name} "
+            f"(bundle v{handle.bundle_version}, schema v{handle.schema_version})"
+        )
+        print(
+            f"  {len(plans) / elapsed:.0f} plans/sec | {stats['batches']} batches, "
+            f"mean size {stats['mean_batch_size']:.1f} (limit {args.batch_size}) | "
+            f"fallback chain: {stats['fallback_chain']}"
+        )
+        cache = stats["cache"]
+        print(
+            f"  cache: {cache['cache_hits']} hits / {cache['cache_misses']} misses, "
+            f"{cache['model_evaluations']} model evaluations"
+        )
+        rows = []
+        for routine, snap in stats["routines"].items():
+            row = {
+                "routine": routine,
+                "plans": snap["plans"],
+                "cache_hits": snap["cache_hits"],
+                "fallback": snap["fallback_plans"],
+                "heuristic": snap["heuristic_plans"],
+            }
+            if args.observe:
+                row["mean_err"] = round(snap["mean_abs_rel_error"], 3)
+                row["drifting"] = routine in stats["reinstall_candidates"]
+            rows.append(row)
+        print(format_table(rows, title="Per-routine serving statistics"))
+        if args.observe:
+            candidates = stats["reinstall_candidates"]
+            if candidates:
+                print(f"Re-install candidates (drift > {args.drift_threshold}): "
+                      f"{', '.join(candidates)}")
+            else:
+                print(f"No routine drifted past {args.drift_threshold}")
+        return 0
+    except (FileNotFoundError, BundleFormatError, KeyError, ValueError) as exc:
+        # KeyError/ValueError cover bad workload content: unknown routine
+        # names, invalid dimensions, --requests 0, malformed JSONL lines.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    from repro.core.persistence import (
+        SCHEMA_VERSION,
+        BundleFormatError,
+        manifest_schema_version,
+        migrate_manifest,
+        read_manifest,
+        verify_bundle,
+    )
+
+    try:
+        if args.action == "inspect":
+            manifest = read_manifest(args.bundle)
+            print(f"Bundle {args.bundle}")
+            print(f"  schema version: {manifest_schema_version(manifest)} "
+                  f"(library supports {SCHEMA_VERSION})")
+            print(f"  bundle version: {manifest.get('bundle_version', 1)}")
+            print(f"  platform:       {manifest['platform']}")
+            for routine, meta in sorted(manifest["routines"].items()):
+                checksum = meta.get("checksum", "-")
+                if isinstance(checksum, str) and ":" in checksum:
+                    checksum = checksum.split(":", 1)[1][:12] + "..."
+                print(f"  {routine}: model={meta.get('model_name', '?')} "
+                      f"file={meta.get('model_file', '?')} checksum={checksum}")
+        elif args.action == "verify":
+            report = verify_bundle(args.bundle)
+            for routine, status in sorted(report["routines"].items()):
+                print(f"  {routine}: {status}")
+            if not report["ok"]:
+                print(f"Bundle {args.bundle}: FAILED verification", file=sys.stderr)
+                return 1
+            print(f"Bundle {args.bundle}: ok "
+                  f"(schema v{report['schema_version']}, "
+                  f"bundle v{report['bundle_version']}, {report['platform']})")
+        else:  # migrate
+            before = manifest_schema_version(read_manifest(args.bundle))
+            manifest = migrate_manifest(args.bundle)
+            after = manifest_schema_version(manifest)
+            if before == after:
+                print(f"Bundle {args.bundle} already at schema v{after}")
+            else:
+                print(f"Migrated {args.bundle}: schema v{before} -> v{after} "
+                      f"({len(manifest['routines'])} checksums written)")
+    except (FileNotFoundError, BundleFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -160,6 +355,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "install": _cmd_install,
         "predict": _cmd_predict,
+        "serve": _cmd_serve,
+        "bundle": _cmd_bundle,
         "bench": _cmd_bench,
         "platforms": _cmd_platforms,
     }

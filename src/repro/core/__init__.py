@@ -27,7 +27,15 @@ from repro.core.selection import (
 from repro.core.predictor import ThreadPredictor, PredictionPlan
 from repro.core.runtime import AdsalaRuntime, AdsalaBlas
 from repro.core.install import install_adsala, InstallationBundle, RoutineInstallation
-from repro.core.persistence import save_bundle, load_bundle
+from repro.core.persistence import (
+    SCHEMA_VERSION,
+    BundleFormatError,
+    load_bundle,
+    migrate_manifest,
+    read_manifest,
+    save_bundle,
+    verify_bundle,
+)
 
 __all__ = [
     "HaltonSequence",
@@ -54,4 +62,9 @@ __all__ = [
     "RoutineInstallation",
     "save_bundle",
     "load_bundle",
+    "SCHEMA_VERSION",
+    "BundleFormatError",
+    "read_manifest",
+    "verify_bundle",
+    "migrate_manifest",
 ]

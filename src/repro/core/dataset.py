@@ -9,7 +9,7 @@ pair and how to perform the paper's stratified 85/15 train/test split.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -169,6 +169,78 @@ class ThreadPredictor:
         best = np.argmin(runtimes, axis=1)
         return np.asarray(self.candidate_threads, dtype=int)[best]
 
+    def plan_batch(
+        self, dims_list: Sequence[Dict[str, int]], use_cache: bool = True
+    ) -> list:
+        """Plan many shapes with one model evaluation, LRU cache included.
+
+        The serving-engine counterpart of :meth:`plan`: plan ``i`` is
+        identical to ``plan(dims_list[i], use_cache=use_cache)`` issued in
+        sequence — same thread choices, same predicted times, same
+        ``from_cache`` flags, same hit/miss counters and the same final
+        cache contents (a simulated cache timeline reproduces sequential
+        eviction exactly, even when the batch holds more unique shapes
+        than ``cache_capacity``).  The only difference is cost: all misses
+        share a single :meth:`predict_runtimes_batch` evaluation (duplicate
+        shapes evaluated once), so ``n_model_evaluations`` grows by at most
+        one instead of once per miss.
+        """
+        key_of = [tuple(sorted(dims.items())) for dims in dims_list]
+        hit = [False] * len(dims_list)
+        pending: "OrderedDict[tuple, Dict[str, int]]" = OrderedDict()
+        if use_cache:
+            # Pass 1 — replay the sequential hit/miss timeline against a
+            # key-only simulation of the cache, so duplicates separated by
+            # an eviction count as misses exactly like a plan() loop.
+            simulated: "OrderedDict[tuple, None]" = OrderedDict.fromkeys(self._cache)
+            for i, key in enumerate(key_of):
+                if key in simulated:
+                    self.n_cache_hits += 1
+                    hit[i] = True
+                else:
+                    self.n_cache_misses += 1
+                    pending.setdefault(key, dims_list[i])
+                    simulated[key] = None
+                    while len(simulated) > self.cache_capacity:
+                        simulated.popitem(last=False)
+                simulated.move_to_end(key)
+        else:
+            for i, key in enumerate(key_of):
+                pending.setdefault(key, dims_list[i])
+
+        # Pass 2 — one batched evaluation covers every distinct miss.
+        fresh: Dict[tuple, PredictionPlan] = {}
+        if pending:
+            pending_dims = list(pending.values())
+            runtimes = self.predict_runtimes_batch(pending_dims)
+            best = np.argmin(runtimes, axis=1)
+            for slot, (key, dims) in enumerate(pending.items()):
+                idx = int(best[slot])
+                fresh[key] = PredictionPlan(
+                    routine=self.routine,
+                    dims=dict(dims),
+                    threads=self.candidate_threads[idx],
+                    predicted_time=float(runtimes[slot, idx]),
+                    from_cache=False,
+                )
+
+        # Pass 3 — assemble the plans and apply the store/touch/evict
+        # operations to the real cache in sequential order (plan() stores
+        # every computed result, cached or not requested via use_cache).
+        plans: list = []
+        for i, key in enumerate(key_of):
+            if hit[i]:
+                plan = self._cache[key]
+                self._cache.move_to_end(key)
+            else:
+                plan = fresh[key]
+                self._cache[key] = replace(plan, from_cache=True)
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_capacity:
+                    self._cache.popitem(last=False)
+            plans.append(plan)
+        return plans
+
     def clear_cache(self) -> None:
         self._cache.clear()
 

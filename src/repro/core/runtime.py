@@ -1,36 +1,64 @@
-"""The ADSALA runtime library (paper Fig. 1b).
+"""The ADSALA runtime library (paper Fig. 1b) — facade over the serving engine.
 
-Two entry points:
+Two stable entry points:
 
-* :class:`AdsalaRuntime` — thin planner: given a routine and its matrix
-  dimensions it returns the predicted-optimal thread count (using the
-  per-routine :class:`~repro.core.predictor.ThreadPredictor` with its
-  last-call cache) and the simulator's estimate of the time saved.
+* :class:`AdsalaRuntime` — the planner: given a routine and its matrix
+  dimensions it returns the predicted-optimal thread count and the
+  simulator's estimate of the time saved.
 * :class:`AdsalaBlas` — a drop-in BLAS front-end: ``gemm``/``symm``/...
   methods accept NumPy operands, plan the thread count from the operand
   shapes and execute the call with the blocked multi-threaded substrate,
   capping the worker count at the locally available cores.
+
+Design: facade over engine
+--------------------------
+Since the serving refactor both classes are *thin facades* over a private
+:class:`~repro.serving.engine.ServingEngine`.  A single ``plan()`` call is a
+micro-batch of one: it flows through the same fallback-policy chain, batch
+predictor evaluation and telemetry as high-throughput traffic, so per-call
+and batched planning cannot drift apart.  The facade pins the
+:func:`~repro.serving.fallback.default_runtime_chain` (installed precision →
+cross precision) to preserve the historical contract that a routine with no
+model at all raises ``KeyError``; pass a custom ``fallback`` chain (e.g.
+:func:`~repro.serving.fallback.default_serving_chain`) to change that.
+Batch entry points (:meth:`AdsalaRuntime.plan_many`) and engine telemetry
+(:meth:`AdsalaRuntime.serving_stats`) are exposed directly.
+
+Cross-precision substitutions are no longer silent: the returned
+:class:`ExecutionPlan` records the originally requested routine in
+``fallback_from`` and the resolving policy name in ``policy``.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.blas.api import parse_routine
 from repro.blas.threaded import ThreadedBlas
 from repro.core.install import InstallationBundle
-from repro.core.predictor import PredictionPlan
 
 __all__ = ["ExecutionPlan", "AdsalaRuntime", "AdsalaBlas"]
 
 
 @dataclass(frozen=True)
 class ExecutionPlan:
-    """A planned BLAS call: chosen thread count plus simulator estimates."""
+    """A planned BLAS call: chosen thread count plus simulator estimates.
+
+    Attributes
+    ----------
+    routine:
+        The routine key whose model produced the plan (the *served* key).
+    fallback_from:
+        The originally requested key when a fallback policy substituted a
+        different model (e.g. ``"sgemm"`` served by the ``dgemm`` model),
+        ``None`` when the request was served as-is.
+    policy:
+        Name of the fallback policy that resolved the request
+        (``"installed"``, ``"cross-precision"``, ``"max-threads"``).
+    """
 
     routine: str
     dims: Dict[str, int]
@@ -38,52 +66,77 @@ class ExecutionPlan:
     predicted_time: float
     baseline_time: float
     from_cache: bool
+    fallback_from: Optional[str] = None
+    policy: str = "installed"
+
+    #: Sentinel returned by :attr:`estimated_speedup` when the predicted
+    #: time is non-positive and no meaningful ratio exists.
+    SPEEDUP_UNDEFINED = 0.0
 
     @property
     def estimated_speedup(self) -> float:
+        """``baseline_time / predicted_time``, or :data:`SPEEDUP_UNDEFINED`.
+
+        A non-positive predicted time carries no speedup information (it
+        would previously overflow to ``inf``); the finite sentinel ``0.0``
+        keeps downstream aggregation (means, tables) well defined.
+        """
         if self.predicted_time <= 0:
-            return float("inf")
+            return self.SPEEDUP_UNDEFINED
         return self.baseline_time / self.predicted_time
 
 
 class AdsalaRuntime:
-    """Plan thread counts for BLAS calls using an installation bundle."""
+    """Plan thread counts for BLAS calls using an installation bundle.
 
-    def __init__(self, bundle: InstallationBundle):
+    A thin facade over :class:`~repro.serving.engine.ServingEngine`: the
+    public contract of the original one-shot planner is preserved (same
+    ``plan()`` signature, ``KeyError`` for unknown routines, per-routine
+    LRU caches), while every call runs through the engine's micro-batch
+    pipeline.
+
+    Parameters
+    ----------
+    bundle:
+        The installation bundle (or a registry
+        :class:`~repro.serving.registry.BundleHandle`) for the platform.
+    fallback:
+        Optional :class:`~repro.serving.fallback.FallbackChain` overriding
+        the default installed-precision → cross-precision chain.
+    """
+
+    def __init__(self, bundle: InstallationBundle, fallback=None):
+        # Imported here: repro.serving sits above repro.core in the layer
+        # diagram, and the facade is the one place the layers meet.
+        from repro.serving.engine import ServingEngine
+        from repro.serving.fallback import default_runtime_chain
+
         self.bundle = bundle
         self.platform = bundle.platform
         self.simulator = bundle.simulator
-        self.calls_planned = 0
+        self.engine = ServingEngine(
+            bundle, fallback=fallback if fallback is not None else default_runtime_chain()
+        )
 
     def plan(self, routine: str, use_cache: bool = True, **dims: int) -> ExecutionPlan:
         """Plan one call: predicted-optimal threads + estimated speedup.
 
-        If the requested precision of a routine was not installed but the
-        other precision was (e.g. ``sgemm`` requested, only ``dgemm``
-        trained), the available predictor is used as a fallback — the
-        runtime-vs-threads structure of the two precisions is close enough
-        for a sensible plan, and refusing the call would be worse.
+        Precision fallbacks (``sgemm`` served by the ``dgemm`` model when
+        only the latter was installed) are applied by the engine's fallback
+        chain and recorded on the plan's ``fallback_from`` field.
         """
-        prefix, base, spec = parse_routine(routine)
-        key = prefix + base
-        dims = spec.dims_from_args(**dims)
-        if key not in self.bundle.routines:
-            fallback = ("d" if prefix == "s" else "s") + base
-            if fallback in self.bundle.routines:
-                key = fallback
-        predictor = self.bundle.predictor(key)
-        plan: PredictionPlan = predictor.plan(dims, use_cache=use_cache)
-        predicted_time = self.simulator.time(key, dims, plan.threads)
-        baseline_time = self.simulator.time_at_max_threads(key, dims)
-        self.calls_planned += 1
-        return ExecutionPlan(
-            routine=key,
-            dims=dims,
-            threads=plan.threads,
-            predicted_time=predicted_time,
-            baseline_time=baseline_time,
-            from_cache=plan.from_cache,
-        )
+        return self.engine.plan(routine, use_cache=use_cache, **dims)
+
+    def plan_many(
+        self, requests: Iterable[Tuple[str, Dict[str, int]]]
+    ) -> List[ExecutionPlan]:
+        """Plan many ``(routine, dims)`` calls in micro-batches (one pass)."""
+        return self.engine.plan_many(requests)
+
+    @property
+    def calls_planned(self) -> int:
+        """Total requests answered (kept from the pre-engine counter API)."""
+        return self.engine.telemetry.n_requests
 
     def cache_statistics(self) -> Dict[str, int]:
         """Aggregate model-evaluation / cache-hit counters across routines."""
@@ -94,9 +147,16 @@ class AdsalaRuntime:
             hits += installation.predictor.n_cache_hits
         return {"model_evaluations": evaluations, "cache_hits": hits}
 
+    def serving_stats(self) -> Dict[str, object]:
+        """The engine's telemetry snapshot (batches, drift, per-routine)."""
+        return self.engine.stats()
+
 
 class AdsalaBlas:
     """BLAS Level 3 front-end with ML-selected thread counts.
+
+    A facade pairing the planning engine (via :class:`AdsalaRuntime`) with
+    the blocked multi-threaded execution substrate.
 
     Parameters
     ----------

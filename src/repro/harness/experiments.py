@@ -18,20 +18,16 @@ Two presets are provided:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-import numpy as np
-
-from repro.blas.api import ROUTINE_KEYS, ROUTINE_SPECS, parse_routine
+from repro.blas.api import ROUTINE_KEYS, ROUTINE_SPECS
 from repro.core.evalcost import estimate_native_eval_time
 from repro.core.features import THREE_DIM_FEATURES, TWO_DIM_FEATURES
-from repro.core.gather import DataGatherer
 from repro.core.install import InstallationBundle, install_adsala
 from repro.harness.tables import summary_statistics
 from repro.machine.platforms import get_platform
 from repro.machine.profiler import profile_call
-from repro.machine.simulator import TimingSimulator
 from repro.ml.model_zoo import MODEL_CHARACTERISTICS
 
 __all__ = [

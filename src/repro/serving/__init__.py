@@ -1,0 +1,70 @@
+"""Production serving layer on top of the ADSALA core.
+
+The paper splits ADSALA into an offline installer (Fig. 1a) and a runtime
+predictor (Fig. 1b).  This subpackage turns the runtime half into a serving
+engine fit for heavy traffic:
+
+* :mod:`repro.serving.registry` — a versioned model registry over on-disk
+  bundles: lazy per-routine loading, several platforms/bundle versions side
+  by side, and hot-reload of a re-installed bundle directory.
+* :mod:`repro.serving.engine` — a micro-batching plan server: requests are
+  queued, coalesced per routine and answered through one
+  ``predict_threads_batch`` / ``time_batch`` pass instead of N scalar
+  ``plan()`` calls.
+* :mod:`repro.serving.fallback` — the composable fallback-policy chain
+  (installed precision → cross precision → max-threads heuristic) that
+  decides which installed model serves a request.
+* :mod:`repro.serving.telemetry` — online observed-vs-predicted error
+  tracking, rolling drift statistics and re-install flagging.
+* :mod:`repro.serving.workload` — synthetic request streams (uniform /
+  cycling / skewed) and JSONL workload files for ``adsala serve`` and the
+  throughput benchmark.
+
+:class:`~repro.core.runtime.AdsalaRuntime` and
+:class:`~repro.core.runtime.AdsalaBlas` remain the stable public facade;
+they delegate to a private :class:`~repro.serving.engine.ServingEngine`.
+"""
+
+from repro.serving.fallback import (
+    CrossPrecisionPolicy,
+    FallbackChain,
+    FallbackPolicy,
+    InstalledPrecisionPolicy,
+    MaxThreadsPolicy,
+    RoutineResolution,
+    UnservableRoutineError,
+    default_runtime_chain,
+    default_serving_chain,
+)
+from repro.serving.telemetry import EngineTelemetry, RollingStats, RoutineTelemetry
+from repro.serving.registry import BundleHandle, ModelRegistry
+from repro.serving.engine import PlanRequest, ServingEngine
+from repro.serving.workload import (
+    WorkloadRequest,
+    generate_workload,
+    load_workload,
+    save_workload,
+)
+
+__all__ = [
+    "FallbackPolicy",
+    "FallbackChain",
+    "InstalledPrecisionPolicy",
+    "CrossPrecisionPolicy",
+    "MaxThreadsPolicy",
+    "RoutineResolution",
+    "UnservableRoutineError",
+    "default_runtime_chain",
+    "default_serving_chain",
+    "RollingStats",
+    "RoutineTelemetry",
+    "EngineTelemetry",
+    "BundleHandle",
+    "ModelRegistry",
+    "PlanRequest",
+    "ServingEngine",
+    "WorkloadRequest",
+    "generate_workload",
+    "load_workload",
+    "save_workload",
+]

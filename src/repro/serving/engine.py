@@ -1,0 +1,241 @@
+"""Micro-batching plan server over an installation bundle.
+
+``AdsalaRuntime.plan()`` answers one request at a time: one model
+evaluation, two scalar simulator calls.  Under serving traffic that is the
+wrong shape — PR 1 built batch primitives
+(:meth:`~repro.core.predictor.ThreadPredictor.predict_runtimes_batch`,
+:meth:`~repro.machine.simulator.TimingSimulator.time_batch`) that amortise
+the per-call overhead across whole arrays of problem shapes, and this
+engine is the serving loop that feeds them:
+
+1. requests enter a queue (:meth:`ServingEngine.submit`),
+2. :meth:`ServingEngine.flush` drains the queue in micro-batches of at most
+   ``max_batch_size`` requests,
+3. each batch is routed through the :class:`~repro.serving.fallback.FallbackChain`
+   and grouped by resolved routine,
+4. each group is answered in **one** batched predictor evaluation plus one
+   batched timing pass — bit-identical to the scalar path, so a micro-batch
+   returns exactly the plans a ``plan()`` loop would have produced,
+5. plans and (optionally) observed runtimes feed the
+   :class:`~repro.serving.telemetry.EngineTelemetry` drift tracker.
+
+The engine accepts either an in-memory
+:class:`~repro.core.install.InstallationBundle` or a lazy registry
+:class:`~repro.serving.registry.BundleHandle` — anything exposing
+``routines`` / ``predictor()`` / ``platform`` / ``simulator``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blas.api import parse_routine
+from repro.core.runtime import ExecutionPlan
+from repro.serving.fallback import FallbackChain, default_serving_chain
+from repro.serving.telemetry import EngineTelemetry
+
+__all__ = ["PlanRequest", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One queued plan request (dimensions already normalized)."""
+
+    request_id: int
+    routine: str
+    dims: Dict[str, int]
+
+
+class ServingEngine:
+    """Queue + micro-batch + fallback + telemetry around a bundle.
+
+    Parameters
+    ----------
+    source:
+        An :class:`~repro.core.install.InstallationBundle` or a
+        :class:`~repro.serving.registry.BundleHandle`.
+    fallback:
+        The :class:`~repro.serving.fallback.FallbackChain` routing requests
+        to installed models (default: :func:`default_serving_chain`, which
+        never rejects a valid routine).
+    max_batch_size:
+        Upper bound on requests answered in one batched pass.
+    telemetry:
+        An :class:`~repro.serving.telemetry.EngineTelemetry`; a fresh one is
+        created when omitted.
+    use_cache:
+        Whether plans may be served from / stored into each predictor's LRU
+        cache (mirrors the ``use_cache`` flag of ``plan()``).
+    """
+
+    def __init__(
+        self,
+        source,
+        fallback: Optional[FallbackChain] = None,
+        max_batch_size: int = 64,
+        telemetry: Optional[EngineTelemetry] = None,
+        use_cache: bool = True,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        self.source = source
+        self.fallback = fallback if fallback is not None else default_serving_chain()
+        self.max_batch_size = int(max_batch_size)
+        self.telemetry = telemetry if telemetry is not None else EngineTelemetry()
+        self.use_cache = use_cache
+        self._queue: List[PlanRequest] = []
+        self._next_request_id = 0
+        self._touched_routines: set[str] = set()
+
+    # -- properties ----------------------------------------------------------------
+    @property
+    def platform(self):
+        return self.source.platform
+
+    @property
+    def simulator(self):
+        return self.source.simulator
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._queue)
+
+    # -- request intake -------------------------------------------------------------
+    def _make_request(self, routine: str, dims: Dict[str, int]) -> PlanRequest:
+        """Validate and normalize one request (shared by submit and plan)."""
+        prefix, base, spec = parse_routine(routine)
+        request = PlanRequest(
+            request_id=self._next_request_id,
+            routine=prefix + base,
+            dims=spec.dims_from_args(**dims),
+        )
+        self._next_request_id += 1
+        return request
+
+    def submit(self, routine: str, **dims: int) -> int:
+        """Queue one plan request; returns its request id.
+
+        Dimensions are validated and normalized immediately (bad requests
+        fail at submission, not mid-batch).
+        """
+        request = self._make_request(routine, dims)
+        self._queue.append(request)
+        return request.request_id
+
+    def flush(self) -> List[ExecutionPlan]:
+        """Answer every queued request; plans come back in submission order."""
+        plans: List[ExecutionPlan] = []
+        while self._queue:
+            batch = self._queue[: self.max_batch_size]
+            del self._queue[: len(batch)]
+            plans.extend(self._process_batch(batch))
+        return plans
+
+    def plan(self, routine: str, use_cache: Optional[bool] = None, **dims: int) -> ExecutionPlan:
+        """Plan a single call through the batch path (micro-batch of one).
+
+        Independent of the :meth:`submit` queue: pending requests stay
+        queued for the next :meth:`flush` and are unaffected by a
+        ``use_cache`` override, which applies to this call only.
+        """
+        request = self._make_request(routine, dims)
+        return self._process_batch([request], use_cache=use_cache)[0]
+
+    def plan_many(
+        self, requests: Iterable[Tuple[str, Dict[str, int]]]
+    ) -> List[ExecutionPlan]:
+        """Submit ``(routine, dims)`` pairs and flush; a convenience wrapper."""
+        for routine, dims in requests:
+            self.submit(routine, **dims)
+        return self.flush()
+
+    # -- batch processing ------------------------------------------------------------
+    def _process_batch(
+        self, batch: Sequence[PlanRequest], use_cache: Optional[bool] = None
+    ) -> List[ExecutionPlan]:
+        use_cache = self.use_cache if use_cache is None else use_cache
+        self.telemetry.record_batch(len(batch))
+        resolutions = [
+            self.fallback.resolve(request.routine, self.source) for request in batch
+        ]
+        groups: "OrderedDict[Tuple[str, bool], List[int]]" = OrderedDict()
+        for index, resolution in enumerate(resolutions):
+            groups.setdefault((resolution.key, resolution.heuristic), []).append(index)
+
+        simulator = self.source.simulator
+        plans: List[Optional[ExecutionPlan]] = [None] * len(batch)
+        for (key, heuristic), indices in groups.items():
+            dims_list = [batch[i].dims for i in indices]
+            baselines = np.asarray(
+                simulator.time_at_max_threads_batch(key, dims_list), dtype=float
+            )
+            if heuristic:
+                threads = [self.source.platform.max_threads] * len(indices)
+                predicted = baselines
+                from_cache = [False] * len(indices)
+            else:
+                self._touched_routines.add(key)
+                prediction_plans = self.source.predictor(key).plan_batch(
+                    dims_list, use_cache=use_cache
+                )
+                threads = [p.threads for p in prediction_plans]
+                from_cache = [p.from_cache for p in prediction_plans]
+                predicted = np.asarray(
+                    simulator.time_batch(key, dims_list, threads), dtype=float
+                )
+            for slot, index in enumerate(indices):
+                resolution = resolutions[index]
+                plan = ExecutionPlan(
+                    routine=key,
+                    dims=batch[index].dims,
+                    threads=int(threads[slot]),
+                    predicted_time=float(predicted[slot]),
+                    baseline_time=float(baselines[slot]),
+                    from_cache=bool(from_cache[slot]),
+                    fallback_from=resolution.fallback_from,
+                    policy=resolution.policy,
+                )
+                plans[index] = plan
+                self.telemetry.record_plan(
+                    routine=key,
+                    from_cache=plan.from_cache,
+                    fallback=plan.fallback_from is not None,
+                    heuristic=resolution.heuristic,
+                )
+        return [plan for plan in plans if plan is not None]
+
+    # -- online feedback -------------------------------------------------------------
+    def record_observation(self, plan: ExecutionPlan, observed_time: float) -> None:
+        """Feed one executed call's measured runtime back into telemetry."""
+        self.telemetry.record_observation(
+            plan.routine, plan.predicted_time, observed_time
+        )
+
+    def reinstall_candidates(self) -> List[str]:
+        """Routines whose observed-vs-predicted error drifted past threshold."""
+        return self.telemetry.reinstall_candidates()
+
+    # -- statistics -------------------------------------------------------------------
+    def cache_statistics(self) -> Dict[str, int]:
+        """Aggregate LRU cache counters over every routine this engine touched."""
+        hits = misses = evaluations = 0
+        for key in sorted(self._touched_routines):
+            predictor = self.source.predictor(key)
+            info = predictor.cache_info()
+            hits += info["hits"]
+            misses += info["misses"]
+            evaluations += predictor.n_model_evaluations
+        return {"cache_hits": hits, "cache_misses": misses, "model_evaluations": evaluations}
+
+    def stats(self) -> Dict[str, object]:
+        """Telemetry snapshot plus queue/cache counters (JSON-serialisable)."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["pending"] = self.n_pending
+        snapshot["batch_size_limit"] = self.max_batch_size
+        snapshot["fallback_chain"] = self.fallback.describe()
+        snapshot["cache"] = self.cache_statistics()
+        return snapshot

@@ -1,0 +1,293 @@
+"""Versioned model registry over on-disk installation bundles.
+
+A production deployment keeps many bundles around: one per platform, and
+several *bundle versions* per platform as models are periodically
+re-installed.  The registry is the serving layer's view of that store:
+
+* :class:`BundleHandle` wraps one bundle directory.  Only the manifest
+  (``bundle.json``) is read eagerly; each routine's model pickle is loaded
+  lazily on first use, so a registry over dozens of bundles starts
+  instantly.  The handle exposes the same protocol the engine needs from an
+  in-memory :class:`~repro.core.install.InstallationBundle` (``routines``
+  mapping, ``predictor()``, ``platform``, ``simulator``).
+* :class:`ModelRegistry` maps names/platforms/versions to handles, picks
+  the highest ``bundle_version`` by default, and hot-reloads: when a bundle
+  directory is re-written on disk (the manifest fingerprint changes),
+  :meth:`ModelRegistry.refresh` drops the stale lazy state without a
+  restart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.core.install import RoutineInstallation
+from repro.core.persistence import (
+    BundleFormatError,
+    load_routine,
+    manifest_fingerprint,
+    manifest_schema_version,
+    read_manifest,
+    simulator_from_settings,
+    verify_bundle,
+)
+from repro.core.predictor import ThreadPredictor
+from repro.machine.platforms import get_platform
+
+__all__ = ["BundleHandle", "ModelRegistry"]
+
+
+class _LazyRoutines(Mapping):
+    """Mapping view over a handle's routines that loads models on access.
+
+    Membership tests and iteration use only the manifest; ``[]`` triggers
+    the (cached) per-routine model load.
+    """
+
+    def __init__(self, handle: "BundleHandle"):
+        self._handle = handle
+
+    def __contains__(self, routine: object) -> bool:
+        # O(1) dict probe: the fallback chain runs this per request on the
+        # serving hot path.
+        return routine in self._handle.manifest["routines"]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._handle.installed_routines)
+
+    def __len__(self) -> int:
+        return len(self._handle.manifest["routines"])
+
+    def __getitem__(self, routine: str) -> RoutineInstallation:
+        return self._handle.installation(routine)
+
+
+class BundleHandle:
+    """One on-disk bundle, manifest eagerly parsed, models lazily loaded."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        name: Optional[str] = None,
+        verify_checksums: bool = True,
+    ):
+        self.directory = Path(directory)
+        self.name = name or self.directory.name
+        self.verify_checksums = verify_checksums
+        self._loaded: Dict[str, RoutineInstallation] = {}
+        self._read_manifest()
+
+    def _read_manifest(self) -> None:
+        # Parse everything into locals first: if any step raises (e.g. a
+        # manifest caught mid-rewrite), the handle keeps its previous,
+        # consistent state and a later reload can retry.
+        manifest = read_manifest(self.directory)
+        fingerprint = manifest_fingerprint(self.directory)
+        platform = get_platform(manifest["platform"])
+        settings = manifest.get("settings", {}) or {}
+        simulator = simulator_from_settings(platform, settings)
+        self.manifest = manifest
+        self.fingerprint = fingerprint
+        self.platform = platform
+        self.settings = settings
+        self.simulator = simulator
+
+    # -- manifest-level metadata (no model loads) ---------------------------------
+    @property
+    def schema_version(self) -> int:
+        return manifest_schema_version(self.manifest)
+
+    @property
+    def bundle_version(self) -> int:
+        return int(self.manifest.get("bundle_version", 1))
+
+    @property
+    def installed_routines(self) -> List[str]:
+        return sorted(self.manifest["routines"])
+
+    @property
+    def loaded_routines(self) -> List[str]:
+        """Routines whose models are materialised in memory right now."""
+        return sorted(self._loaded)
+
+    @property
+    def routines(self) -> _LazyRoutines:
+        return _LazyRoutines(self)
+
+    # -- lazy loading ------------------------------------------------------------
+    def installation(self, routine: str) -> RoutineInstallation:
+        key = routine.lower()
+        cached = self._loaded.get(key)
+        if cached is not None:
+            return cached
+        meta = self.manifest["routines"].get(key)
+        if meta is None:
+            raise KeyError(
+                f"Routine {routine!r} was not installed; available: "
+                f"{self.installed_routines}"
+            )
+        installation = load_routine(
+            self.directory,
+            key,
+            meta,
+            self.platform,
+            verify_checksum=self.verify_checksums,
+        )
+        self._loaded[key] = installation
+        return installation
+
+    def predictor(self, routine: str) -> ThreadPredictor:
+        return self.installation(routine).predictor
+
+    # -- hot reload ---------------------------------------------------------------
+    def is_stale(self) -> bool:
+        """True when the on-disk manifest no longer matches what was read."""
+        try:
+            return manifest_fingerprint(self.directory) != self.fingerprint
+        except FileNotFoundError:
+            return True
+
+    def reload(self, force: bool = False) -> bool:
+        """Re-read the manifest and drop lazily loaded models if changed.
+
+        Raises :class:`~repro.core.persistence.BundleFormatError` if the
+        on-disk manifest is unreadable; the handle then keeps serving its
+        previous state and the reload can be retried.
+        """
+        if not force and not self.is_stale():
+            return False
+        self._read_manifest()
+        self._loaded.clear()
+        return True
+
+    # -- maintenance --------------------------------------------------------------
+    def verify(self) -> dict:
+        """Checksum-verify the on-disk bundle (see :func:`verify_bundle`)."""
+        return verify_bundle(self.directory)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "directory": str(self.directory),
+            "platform": self.platform.name,
+            "schema_version": self.schema_version,
+            "bundle_version": self.bundle_version,
+            "routines": self.installed_routines,
+            "loaded": self.loaded_routines,
+        }
+
+
+class ModelRegistry:
+    """Registry of bundle handles keyed by name, platform and version."""
+
+    def __init__(self, root: str | Path | None = None):
+        self._handles: Dict[str, BundleHandle] = {}
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.scan()
+
+    # -- registration -------------------------------------------------------------
+    def register(
+        self, directory: str | Path, name: Optional[str] = None
+    ) -> BundleHandle:
+        """Register (or re-register) one bundle directory and return its handle."""
+        handle = BundleHandle(directory, name=name)
+        self._handles[handle.name] = handle
+        return handle
+
+    def scan(self, root: str | Path | None = None) -> List[str]:
+        """Register every bundle directory under ``root`` (non-recursive).
+
+        A directory counts as a bundle when it contains ``bundle.json``;
+        ``root`` itself may be a bundle.  Returns the newly registered names.
+        """
+        root = Path(root) if root is not None else self.root
+        if root is None:
+            raise ValueError("No root directory configured for this registry")
+        added: List[str] = []
+        candidates = [root] + sorted(p for p in root.iterdir() if p.is_dir())
+        for candidate in candidates:
+            if not (candidate / "bundle.json").exists():
+                continue
+            if candidate.name in self._handles:
+                continue
+            self.register(candidate)
+            added.append(candidate.name)
+        return added
+
+    # -- lookup -------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._handles)
+
+    def get(
+        self,
+        name: Optional[str] = None,
+        platform: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> BundleHandle:
+        """Look up a handle by name, or by platform (+ optional version).
+
+        Without ``version`` the highest ``bundle_version`` for the platform
+        wins; without ``platform`` either, the registry must hold exactly
+        one bundle.
+        """
+        if name is not None:
+            try:
+                return self._handles[name]
+            except KeyError:
+                raise KeyError(
+                    f"No bundle named {name!r}; registered: {self.names()}"
+                ) from None
+        handles = list(self._handles.values())
+        if platform is not None:
+            handles = [h for h in handles if h.platform.name == platform]
+        if version is not None:
+            handles = [h for h in handles if h.bundle_version == version]
+        if not handles:
+            raise KeyError(
+                f"No bundle matches platform={platform!r} version={version!r}; "
+                f"registered: {self.names()}"
+            )
+        if version is None:
+            handles.sort(key=lambda h: (h.bundle_version, h.name))
+            if platform is None and len({h.platform.name for h in handles}) > 1:
+                raise KeyError(
+                    "Several platforms registered; pass name= or platform= "
+                    f"to disambiguate: {self.names()}"
+                )
+            return handles[-1]
+        if len(handles) > 1:
+            raise KeyError(
+                f"Several bundles match platform={platform!r} "
+                f"version={version!r}: {[h.name for h in handles]}"
+            )
+        return handles[0]
+
+    # -- hot reload ---------------------------------------------------------------
+    def refresh(self) -> Dict[str, str]:
+        """Hot-reload: pick up changed, new and deleted bundles.
+
+        Returns a ``{name: "reloaded" | "added" | "removed" | "error"}``
+        report for every handle whose state changed.  ``"error"`` marks a
+        bundle whose manifest was unreadable (e.g. caught mid-rewrite);
+        the handle keeps its previous state and the next refresh retries.
+        """
+        report: Dict[str, str] = {}
+        for bundle_name, handle in list(self._handles.items()):
+            if not (handle.directory / "bundle.json").exists():
+                del self._handles[bundle_name]
+                report[bundle_name] = "removed"
+                continue
+            try:
+                if handle.reload():
+                    report[bundle_name] = "reloaded"
+            except BundleFormatError:
+                report[bundle_name] = "error"
+        if self.root is not None:
+            for bundle_name in self.scan():
+                report[bundle_name] = "added"
+        return report
+
+    def describe(self) -> List[Dict[str, object]]:
+        return [self._handles[bundle_name].describe() for bundle_name in self.names()]

@@ -1,0 +1,214 @@
+"""Online serving telemetry: error tracking, drift detection, counters.
+
+The installer fits each routine's model once, offline; under real traffic
+the hardware, library versions or workload mix can move away from the
+training distribution.  The serving engine therefore records, per routine,
+the *observed* runtime of executed calls against the *predicted* runtime of
+the plan that scheduled them.  A rolling window of absolute relative errors
+yields a drift statistic, and routines whose rolling error exceeds a
+threshold are flagged as re-install candidates — the online counterpart of
+the paper's offline model-selection criterion.
+
+Everything here is plain bookkeeping (no locks): the engine drives it from
+its own single-threaded batch loop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["RollingStats", "RoutineTelemetry", "EngineTelemetry"]
+
+
+class RollingStats:
+    """Streaming mean/extrema over a bounded window of float samples."""
+
+    def __init__(self, window: int = 256):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = int(window)
+        self._values: Deque[float] = deque(maxlen=self.window)
+        self._sum = 0.0
+        self.n_total = 0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if len(self._values) == self.window:
+            self._sum -= self._values[0]
+        self._values.append(value)
+        self._sum += value
+        self.n_total += 1
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return self._sum / len(self._values)
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def last(self) -> float:
+        return self._values[-1] if self._values else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": len(self._values),
+            "total": self.n_total,
+            "mean": self.mean,
+            "max": self.max,
+            "last": self.last,
+        }
+
+
+class RoutineTelemetry:
+    """Per-routine serving statistics.
+
+    Tracks how many plans were produced (and by which fallback path) and the
+    rolling observed-vs-predicted error: each observation contributes
+    ``|observed - predicted| / observed`` to a bounded window.
+    """
+
+    def __init__(self, routine: str, window: int = 256):
+        self.routine = routine
+        self.n_plans = 0
+        self.n_cache_hits = 0
+        self.n_fallback_plans = 0
+        self.n_heuristic_plans = 0
+        self.n_observations = 0
+        self.n_invalid_observations = 0
+        self.errors = RollingStats(window)
+
+    def record_plan(self, from_cache: bool, fallback: bool, heuristic: bool) -> None:
+        self.n_plans += 1
+        if from_cache:
+            self.n_cache_hits += 1
+        if fallback:
+            self.n_fallback_plans += 1
+        if heuristic:
+            self.n_heuristic_plans += 1
+
+    def record_observation(self, predicted: float, observed: float) -> None:
+        """Fold one executed call's measured runtime into the drift window."""
+        if observed <= 0 or predicted < 0:
+            self.n_invalid_observations += 1
+            return
+        self.n_observations += 1
+        self.errors.add(abs(observed - predicted) / observed)
+
+    @property
+    def mean_abs_rel_error(self) -> float:
+        return self.errors.mean
+
+    def drifting(self, threshold: float, min_observations: int) -> bool:
+        """True when the rolling error is trustworthy and above threshold."""
+        return (
+            len(self.errors) >= min_observations
+            and self.errors.mean > threshold
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "routine": self.routine,
+            "plans": self.n_plans,
+            "cache_hits": self.n_cache_hits,
+            "fallback_plans": self.n_fallback_plans,
+            "heuristic_plans": self.n_heuristic_plans,
+            "observations": self.n_observations,
+            "invalid_observations": self.n_invalid_observations,
+            "mean_abs_rel_error": self.mean_abs_rel_error,
+            "max_abs_rel_error": self.errors.max,
+        }
+
+
+class EngineTelemetry:
+    """Aggregate serving statistics for one :class:`ServingEngine`.
+
+    Parameters
+    ----------
+    drift_threshold:
+        Rolling mean absolute relative error above which a routine is
+        flagged as a re-install candidate.
+    min_observations:
+        Observations required in the window before the drift flag can fire
+        (guards against flagging on a handful of noisy calls).
+    window:
+        Rolling window length for per-routine errors and batch sizes.
+    """
+
+    def __init__(
+        self,
+        drift_threshold: float = 0.25,
+        min_observations: int = 20,
+        window: int = 256,
+    ):
+        if drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        if min_observations < 1:
+            raise ValueError("min_observations must be at least 1")
+        self.drift_threshold = float(drift_threshold)
+        self.min_observations = int(min_observations)
+        self.window = int(window)
+        self.n_requests = 0
+        self.n_batches = 0
+        self.batch_sizes = RollingStats(window)
+        self.routines: "OrderedDict[str, RoutineTelemetry]" = OrderedDict()
+
+    def _routine(self, routine: str) -> RoutineTelemetry:
+        telemetry = self.routines.get(routine)
+        if telemetry is None:
+            telemetry = RoutineTelemetry(routine, window=self.window)
+            self.routines[routine] = telemetry
+        return telemetry
+
+    def record_batch(self, size: int) -> None:
+        self.n_batches += 1
+        self.n_requests += size
+        self.batch_sizes.add(size)
+
+    def record_plan(
+        self,
+        routine: str,
+        from_cache: bool,
+        fallback: bool,
+        heuristic: bool,
+    ) -> None:
+        self._routine(routine).record_plan(from_cache, fallback, heuristic)
+
+    def record_observation(
+        self, routine: str, predicted: float, observed: float
+    ) -> None:
+        self._routine(routine).record_observation(predicted, observed)
+
+    def reinstall_candidates(self) -> List[str]:
+        """Routines whose rolling prediction error drifted past threshold."""
+        return [
+            routine
+            for routine, telemetry in self.routines.items()
+            if telemetry.drifting(self.drift_threshold, self.min_observations)
+        ]
+
+    def drift_report(self, routine: str) -> Optional[Dict[str, object]]:
+        telemetry = self.routines.get(routine)
+        return None if telemetry is None else telemetry.snapshot()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serialisable summary of everything tracked."""
+        return {
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "mean_batch_size": self.batch_sizes.mean,
+            "max_batch_size": self.batch_sizes.max,
+            "drift_threshold": self.drift_threshold,
+            "reinstall_candidates": self.reinstall_candidates(),
+            "routines": {
+                routine: telemetry.snapshot()
+                for routine, telemetry in self.routines.items()
+            },
+        }

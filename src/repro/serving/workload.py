@@ -1,0 +1,150 @@
+"""Synthetic request streams and workload files for the serving engine.
+
+``adsala serve`` and the throughput benchmark need realistic mixes of plan
+requests.  Three generators cover the serving regimes the engine's design
+targets:
+
+* ``uniform`` — every request draws a fresh routine and fresh dimensions:
+  the cache-hostile regime where micro-batching does all the work.
+* ``cycling`` — a small pool of shapes repeats back to back, the iterative
+  solver pattern the predictor's LRU cache was built for.
+* ``skewed`` — a Zipf-like mix over a medium pool with one hot routine:
+  the realistic middle ground (a few hot shapes, a long tail).
+
+Workloads serialize to JSON-lines files (one ``{"routine": ..., "dims":
+{...}}`` object per line) so request streams can be captured, replayed and
+checked into benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.blas.api import parse_routine
+
+__all__ = [
+    "WorkloadRequest",
+    "DISTRIBUTIONS",
+    "generate_workload",
+    "save_workload",
+    "load_workload",
+]
+
+DISTRIBUTIONS = ("uniform", "cycling", "skewed")
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One replayable plan request."""
+
+    routine: str
+    dims: Dict[str, int]
+
+    def as_tuple(self) -> Tuple[str, Dict[str, int]]:
+        return self.routine, self.dims
+
+    def to_json(self) -> str:
+        return json.dumps({"routine": self.routine, "dims": self.dims})
+
+    @classmethod
+    def from_json(cls, line: str) -> "WorkloadRequest":
+        data = json.loads(line)
+        return cls(routine=data["routine"], dims={k: int(v) for k, v in data["dims"].items()})
+
+
+def _random_dims(
+    rng: np.random.Generator, dim_names: Sequence[str], min_dim: int, max_dim: int
+) -> Dict[str, int]:
+    return {name: int(rng.integers(min_dim, max_dim + 1)) for name in dim_names}
+
+
+def generate_workload(
+    routines: Sequence[str],
+    n_requests: int,
+    distribution: str = "uniform",
+    seed: int = 0,
+    min_dim: int = 64,
+    max_dim: int = 1024,
+    pool_size: int = 8,
+) -> List[WorkloadRequest]:
+    """Generate a mixed-routine request stream.
+
+    Parameters
+    ----------
+    routines:
+        Routine keys to draw from (e.g. the bundle's installed routines).
+    n_requests:
+        Length of the stream.
+    distribution:
+        ``"uniform"``, ``"cycling"`` or ``"skewed"`` (see module docstring).
+    pool_size:
+        Number of distinct (routine, shape) combinations for the cycling
+        pool; the skewed pool uses ``4 * pool_size``.
+    """
+    if not routines:
+        raise ValueError("routines must not be empty")
+    if n_requests < 1:
+        raise ValueError("n_requests must be at least 1")
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(
+            f"Unknown distribution {distribution!r}; pick one of {DISTRIBUTIONS}"
+        )
+    rng = np.random.default_rng(seed)
+    specs = {}
+    for routine in routines:
+        prefix, base, spec = parse_routine(routine)
+        specs[prefix + base] = spec
+    keys = sorted(specs)
+
+    def fresh_request() -> WorkloadRequest:
+        key = keys[int(rng.integers(len(keys)))]
+        return WorkloadRequest(
+            key, _random_dims(rng, specs[key].dim_names, min_dim, max_dim)
+        )
+
+    if distribution == "uniform":
+        return [fresh_request() for _ in range(n_requests)]
+
+    if distribution == "cycling":
+        pool = [fresh_request() for _ in range(min(pool_size, n_requests))]
+        return [pool[i % len(pool)] for i in range(n_requests)]
+
+    # skewed: Zipf-like weights over a larger pool, hottest entries first.
+    pool = [fresh_request() for _ in range(4 * pool_size)]
+    ranks = np.arange(1, len(pool) + 1, dtype=float)
+    weights = 1.0 / ranks
+    weights /= weights.sum()
+    choices = rng.choice(len(pool), size=n_requests, p=weights)
+    return [pool[int(c)] for c in choices]
+
+
+def save_workload(path: str | Path, requests: Sequence[WorkloadRequest]) -> Path:
+    """Write a request stream as JSON lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        for request in requests:
+            handle.write(request.to_json() + "\n")
+    return path
+
+
+def load_workload(path: str | Path) -> List[WorkloadRequest]:
+    """Read a JSON-lines request stream written by :func:`save_workload`."""
+    requests: List[WorkloadRequest] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                requests.append(WorkloadRequest.from_json(line))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not a valid workload line: {exc}"
+                ) from exc
+    return requests

@@ -5,7 +5,32 @@ import json
 import numpy as np
 import pytest
 
-from repro.core.persistence import load_bundle, save_bundle
+from repro.core.persistence import (
+    SCHEMA_VERSION,
+    BundleFormatError,
+    load_bundle,
+    migrate_manifest,
+    read_manifest,
+    save_bundle,
+    verify_bundle,
+)
+
+
+def _downgrade_to_v1(directory, strip_optional=False):
+    """Rewrite a saved bundle's manifest in the original seed (v1) format."""
+    manifest_path = directory / "bundle.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest.pop("schema_version", None)
+    manifest.pop("bundle_version", None)
+    manifest["format_version"] = 1
+    for meta in manifest["routines"].values():
+        meta.pop("checksum", None)
+        if strip_optional:
+            meta.pop("selection", None)
+            meta.pop("dataset", None)
+            meta.pop("test_shapes", None)
+    manifest_path.write_text(json.dumps(manifest))
+    return manifest_path
 
 
 @pytest.fixture()
@@ -75,3 +100,134 @@ class TestLoad:
     def test_settings_survive_roundtrip(self, small_bundle, saved_dir):
         restored = load_bundle(saved_dir)
         assert restored.settings["n_samples"] == small_bundle.settings["n_samples"]
+
+
+class TestSchemaVersioning:
+    def test_manifest_carries_schema_and_checksums(self, saved_dir):
+        manifest = json.loads((saved_dir / "bundle.json").read_text())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["bundle_version"] == 1
+        for meta in manifest["routines"].values():
+            assert meta["checksum"].startswith("sha256:")
+
+    def test_bundle_version_parameter(self, small_bundle, tmp_path):
+        directory = save_bundle(small_bundle, tmp_path / "v5", bundle_version=5)
+        assert read_manifest(directory)["bundle_version"] == 5
+
+    def test_newer_schema_rejected_with_clear_error(self, saved_dir):
+        manifest_path = saved_dir / "bundle.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleFormatError, match="schema version"):
+            load_bundle(saved_dir)
+
+    def test_invalid_json_rejected(self, saved_dir):
+        (saved_dir / "bundle.json").write_text("{ not json")
+        with pytest.raises(BundleFormatError, match="not valid JSON"):
+            load_bundle(saved_dir)
+
+    def test_missing_required_keys_rejected(self, saved_dir):
+        (saved_dir / "bundle.json").write_text(json.dumps({"schema_version": 2}))
+        with pytest.raises(BundleFormatError, match="required keys"):
+            load_bundle(saved_dir)
+
+
+class TestChecksums:
+    def test_corrupt_model_raises_clear_error(self, saved_dir):
+        (saved_dir / "dgemm.model.pkl").write_bytes(b"corrupted bytes")
+        with pytest.raises(BundleFormatError, match="Checksum mismatch"):
+            load_bundle(saved_dir)
+
+    def test_checksum_check_can_be_disabled(self, saved_dir):
+        # Flipping verify_checksums off tolerates a stale checksum as long
+        # as the pickle itself still parses.
+        manifest_path = saved_dir / "bundle.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["routines"]["dgemm"]["checksum"] = "sha256:" + "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleFormatError):
+            load_bundle(saved_dir)
+        assert load_bundle(saved_dir, verify_checksums=False)
+
+    def test_missing_model_file_raises(self, saved_dir):
+        (saved_dir / "dsyrk.model.pkl").unlink()
+        with pytest.raises(BundleFormatError, match="does not exist"):
+            load_bundle(saved_dir)
+
+    def test_unpicklable_model_without_checksum_raises(self, saved_dir):
+        _downgrade_to_v1(saved_dir)
+        (saved_dir / "dgemm.model.pkl").write_bytes(b"corrupted bytes")
+        with pytest.raises(BundleFormatError, match="unpickle"):
+            load_bundle(saved_dir)
+
+    def test_verify_bundle_reports_per_routine(self, saved_dir):
+        assert verify_bundle(saved_dir)["ok"]
+        (saved_dir / "dgemm.model.pkl").write_bytes(b"corrupted bytes")
+        (saved_dir / "dsyrk.model.pkl").unlink()
+        report = verify_bundle(saved_dir)
+        assert not report["ok"]
+        assert report["routines"]["dgemm"] == "checksum mismatch"
+        assert report["routines"]["dsyrk"] == "missing file"
+
+
+class TestOldSchemaCompatibility:
+    def test_v1_manifest_loads(self, small_bundle, saved_dir):
+        _downgrade_to_v1(saved_dir)
+        restored = load_bundle(saved_dir)
+        assert restored.installed_routines == small_bundle.installed_routines
+
+    def test_v1_with_missing_optional_keys_loads(self, small_bundle, saved_dir):
+        _downgrade_to_v1(saved_dir, strip_optional=True)
+        restored = load_bundle(saved_dir)
+        installation = restored.routines["dgemm"]
+        assert installation.test_shapes == []
+        assert len(installation.dataset) == 0
+        assert installation.selection.best_model_name == installation.predictor.model_name
+        dims = {"m": 200, "k": 150, "n": 100}
+        np.testing.assert_allclose(
+            restored.predictor("dgemm").predict_runtimes(dims),
+            small_bundle.predictor("dgemm").predict_runtimes(dims),
+            rtol=1e-12,
+        )
+
+    def test_verify_flags_missing_checksums(self, saved_dir):
+        _downgrade_to_v1(saved_dir)
+        report = verify_bundle(saved_dir)
+        assert not report["ok"]
+        assert set(report["routines"].values()) == {"no checksum"}
+
+
+class TestMigration:
+    def test_migrate_v1_to_current(self, saved_dir):
+        _downgrade_to_v1(saved_dir)
+        manifest = migrate_manifest(saved_dir)
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert "format_version" not in manifest
+        assert verify_bundle(saved_dir)["ok"]
+        assert load_bundle(saved_dir)
+
+    def test_migrate_is_idempotent(self, saved_dir):
+        before = (saved_dir / "bundle.json").read_text()
+        migrate_manifest(saved_dir)
+        assert (saved_dir / "bundle.json").read_text() == before
+
+    def test_migrate_with_missing_model_fails(self, saved_dir):
+        _downgrade_to_v1(saved_dir)
+        (saved_dir / "dgemm.model.pkl").unlink()
+        with pytest.raises(BundleFormatError, match="missing"):
+            migrate_manifest(saved_dir)
+
+
+class TestChecksumAlgorithms:
+    def test_unsupported_algo_fails_verify_and_load(self, saved_dir):
+        manifest_path = saved_dir / "bundle.json"
+        manifest = json.loads(manifest_path.read_text())
+        digest = manifest["routines"]["dgemm"]["checksum"].split(":", 1)[1]
+        manifest["routines"]["dgemm"]["checksum"] = f"sha999:{digest}"
+        manifest_path.write_text(json.dumps(manifest))
+        report = verify_bundle(saved_dir)
+        assert not report["ok"]
+        assert report["routines"]["dgemm"] == "unsupported checksum"
+        with pytest.raises(BundleFormatError, match="checksum format"):
+            load_bundle(saved_dir)

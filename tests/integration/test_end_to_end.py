@@ -17,7 +17,6 @@ import pytest
 from repro.core.install import install_adsala
 from repro.core.persistence import load_bundle, save_bundle
 from repro.core.runtime import AdsalaBlas, AdsalaRuntime
-from repro.machine.simulator import TimingSimulator
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,7 @@ every routine, platform and input form.
 import numpy as np
 import pytest
 
-from repro.blas.api import ROUTINE_KEYS, parse_routine
+from repro.blas.api import parse_routine
 from repro.machine.perfmodel import PerformanceModel, normalize_batch_inputs
 from repro.machine.platforms import get_platform, list_platforms
 from repro.machine.simulator import TimingSimulator

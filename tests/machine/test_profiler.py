@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine.profiler import ProfileRecord, profile_call
+from repro.machine.profiler import profile_call
 from repro.machine.simulator import TimingSimulator
 from repro.machine.platforms import GADI
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.machine.perfmodel import PerformanceModel
 from repro.machine.simulator import TimingSimulator
-from repro.machine.platforms import GADI, LAPTOP
+from repro.machine.platforms import GADI
 
 
 DIMS = {"m": 300, "k": 400, "n": 200}

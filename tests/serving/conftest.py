@@ -1,0 +1,43 @@
+"""Fixtures for the serving-layer tests.
+
+The serving tests get their own trained bundle (instead of the suite-wide
+``small_bundle``) so cache-state assertions are not perturbed by other test
+files planning against the shared fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.install import install_adsala
+from repro.core.persistence import save_bundle
+
+
+@pytest.fixture(scope="session")
+def serving_bundle(laptop):
+    """A two-routine installation reserved for the serving tests."""
+    return install_adsala(
+        platform=laptop,
+        routines=["dgemm", "dsyrk"],
+        n_samples=14,
+        threads_per_shape=4,
+        n_test_shapes=6,
+        candidate_models=["LinearRegression", "DecisionTree"],
+        seed=7,
+    )
+
+
+@pytest.fixture()
+def clear_caches(serving_bundle):
+    """Start and end the test with empty per-routine prediction caches."""
+    for installation in serving_bundle.routines.values():
+        installation.predictor.clear_cache()
+    yield serving_bundle
+    for installation in serving_bundle.routines.values():
+        installation.predictor.clear_cache()
+
+
+@pytest.fixture()
+def saved_bundle_dir(serving_bundle, tmp_path):
+    """The serving bundle saved to disk at the current schema."""
+    return save_bundle(serving_bundle, tmp_path / "bundle", bundle_version=1)

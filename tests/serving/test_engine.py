@@ -1,0 +1,270 @@
+"""Tests for the micro-batching serving engine.
+
+The headline guarantee: a micro-batch produces *exactly* the plans a
+sequential ``AdsalaRuntime.plan()`` loop would have produced on the same
+bundle — same thread choices, same predicted/baseline times.
+"""
+
+import pytest
+
+from repro.core.runtime import AdsalaRuntime
+from repro.serving.engine import ServingEngine
+from repro.serving.fallback import default_runtime_chain
+from repro.serving.telemetry import EngineTelemetry
+from repro.serving.workload import generate_workload
+
+
+def _scalar_reference(bundle, workload, use_cache):
+    runtime = AdsalaRuntime(bundle)
+    return [
+        runtime.plan(request.routine, use_cache=use_cache, **request.dims)
+        for request in workload
+    ]
+
+
+class TestEquivalenceWithScalarPlan:
+    @pytest.mark.parametrize("distribution", ["uniform", "cycling", "skewed"])
+    def test_thread_choices_and_times_match_uncached(
+        self, clear_caches, distribution
+    ):
+        bundle = clear_caches
+        workload = generate_workload(
+            ["dgemm", "dsyrk"], 48, distribution=distribution, seed=11
+        )
+        scalar = _scalar_reference(bundle, workload, use_cache=False)
+        engine = ServingEngine(bundle, max_batch_size=16, use_cache=False)
+        batched = engine.plan_many(request.as_tuple() for request in workload)
+        assert len(batched) == len(scalar)
+        for scalar_plan, batched_plan in zip(scalar, batched):
+            assert batched_plan.routine == scalar_plan.routine
+            assert batched_plan.dims == scalar_plan.dims
+            assert batched_plan.threads == scalar_plan.threads
+            assert batched_plan.predicted_time == scalar_plan.predicted_time
+            assert batched_plan.baseline_time == scalar_plan.baseline_time
+
+    def test_cache_flags_match_on_cycling_workload(self, clear_caches):
+        # Distinct shapes stay below the LRU capacity, so the scalar loop
+        # and the batched path must agree on every from_cache flag too.
+        bundle = clear_caches
+        workload = generate_workload(
+            ["dgemm", "dsyrk"], 40, distribution="cycling", seed=5, pool_size=6
+        )
+        scalar = _scalar_reference(bundle, workload, use_cache=True)
+        for installation in bundle.routines.values():
+            installation.predictor.clear_cache()
+        engine = ServingEngine(bundle, max_batch_size=8, use_cache=True)
+        batched = engine.plan_many(request.as_tuple() for request in workload)
+        assert [p.from_cache for p in batched] == [p.from_cache for p in scalar]
+        assert [p.threads for p in batched] == [p.threads for p in scalar]
+
+    def test_single_plan_micro_batch_of_one(self, clear_caches):
+        bundle = clear_caches
+        engine = ServingEngine(bundle)
+        first = engine.plan("dgemm", m=256, k=128, n=64)
+        second = engine.plan("dgemm", m=256, k=128, n=64)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.threads == first.threads
+
+
+class TestBatching:
+    def test_submission_order_preserved(self, clear_caches):
+        engine = ServingEngine(clear_caches, max_batch_size=4)
+        workload = generate_workload(["dgemm", "dsyrk"], 10, seed=2)
+        for request in workload:
+            engine.submit(request.routine, **request.dims)
+        assert engine.n_pending == 10
+        plans = engine.flush()
+        assert engine.n_pending == 0
+        for request, plan in zip(workload, plans):
+            assert plan.dims == request.dims
+
+    def test_max_batch_size_splits_queue(self, clear_caches):
+        engine = ServingEngine(clear_caches, max_batch_size=4)
+        for request in generate_workload(["dgemm"], 10, seed=3):
+            engine.submit(request.routine, **request.dims)
+        engine.flush()
+        assert engine.telemetry.n_batches == 3
+        assert engine.telemetry.batch_sizes.max == 4
+
+    def test_invalid_requests_fail_at_submit(self, clear_caches):
+        engine = ServingEngine(clear_caches)
+        with pytest.raises(ValueError):
+            engine.submit("dgemm", m=0, k=10, n=10)
+        with pytest.raises(ValueError):
+            engine.submit("dgemm", m=10)  # missing dims
+        assert engine.n_pending == 0
+
+    def test_invalid_batch_size(self, clear_caches):
+        with pytest.raises(ValueError):
+            ServingEngine(clear_caches, max_batch_size=0)
+
+
+class TestFallbackIntegration:
+    def test_cross_precision_recorded_on_plan(self, clear_caches):
+        engine = ServingEngine(clear_caches)
+        plan = engine.plan("sgemm", m=64, k=64, n=64)
+        assert plan.routine == "dgemm"
+        assert plan.fallback_from == "sgemm"
+        assert plan.policy == "cross-precision"
+
+    def test_heuristic_last_resort(self, clear_caches, laptop):
+        engine = ServingEngine(clear_caches)
+        plan = engine.plan("dtrsm", m=100, n=50)
+        assert plan.policy == "max-threads"
+        assert plan.threads == laptop.max_threads
+        assert plan.predicted_time == plan.baseline_time
+        assert plan.estimated_speedup == pytest.approx(1.0)
+
+    def test_runtime_chain_rejects_unknown(self, clear_caches):
+        engine = ServingEngine(clear_caches, fallback=default_runtime_chain())
+        engine.submit("dsymm", m=10, n=10)
+        with pytest.raises(KeyError):
+            engine.flush()
+
+    def test_mixed_batch_with_fallbacks(self, clear_caches):
+        engine = ServingEngine(clear_caches, max_batch_size=8)
+        engine.submit("dgemm", m=64, k=64, n=64)
+        engine.submit("sgemm", m=64, k=64, n=64)
+        engine.submit("strmm", m=32, n=32)
+        plans = engine.flush()
+        assert [p.policy for p in plans] == [
+            "installed", "cross-precision", "max-threads",
+        ]
+
+
+class TestTelemetryIntegration:
+    def test_drift_flags_reinstall_candidate(self, clear_caches):
+        engine = ServingEngine(
+            clear_caches,
+            telemetry=EngineTelemetry(drift_threshold=0.25, min_observations=5),
+        )
+        plans = engine.plan_many(
+            request.as_tuple()
+            for request in generate_workload(["dgemm"], 8, seed=4)
+        )
+        for plan in plans:
+            engine.record_observation(plan, plan.predicted_time * 2.0)
+        assert engine.reinstall_candidates() == ["dgemm"]
+
+    def test_accurate_observations_do_not_flag(self, clear_caches):
+        engine = ServingEngine(
+            clear_caches,
+            telemetry=EngineTelemetry(drift_threshold=0.25, min_observations=5),
+        )
+        plans = engine.plan_many(
+            request.as_tuple()
+            for request in generate_workload(["dgemm"], 8, seed=4)
+        )
+        for plan in plans:
+            engine.record_observation(plan, plan.predicted_time * 1.01)
+        assert engine.reinstall_candidates() == []
+
+    def test_stats_shape(self, clear_caches):
+        engine = ServingEngine(clear_caches, max_batch_size=8)
+        engine.plan_many(
+            request.as_tuple()
+            for request in generate_workload(["dgemm", "dsyrk"], 12, seed=9)
+        )
+        stats = engine.stats()
+        assert stats["requests"] == 12
+        assert stats["batches"] == 2
+        assert stats["batch_size_limit"] == 8
+        assert set(stats["routines"]) <= {"dgemm", "dsyrk"}
+        assert stats["cache"]["model_evaluations"] >= 1
+        assert stats["fallback_chain"].startswith("installed")
+
+
+class TestEngineOverRegistryHandle:
+    def test_plans_match_in_memory_bundle(self, clear_caches, saved_bundle_dir):
+        from repro.serving.registry import BundleHandle
+
+        bundle = clear_caches
+        workload = generate_workload(["dgemm", "dsyrk"], 24, seed=13)
+        memory_engine = ServingEngine(bundle, use_cache=False)
+        memory_plans = memory_engine.plan_many(r.as_tuple() for r in workload)
+        handle_engine = ServingEngine(BundleHandle(saved_bundle_dir), use_cache=False)
+        handle_plans = handle_engine.plan_many(r.as_tuple() for r in workload)
+        for memory_plan, handle_plan in zip(memory_plans, handle_plans):
+            assert handle_plan.threads == memory_plan.threads
+            assert handle_plan.predicted_time == memory_plan.predicted_time
+
+
+def _clone_predictor(predictor, cache_capacity):
+    from repro.core.predictor import ThreadPredictor
+
+    return ThreadPredictor(
+        routine=predictor.routine,
+        pipeline=predictor.pipeline,
+        model=predictor.model,
+        candidate_threads=predictor.candidate_threads,
+        model_name=predictor.model_name,
+        cache_capacity=cache_capacity,
+    )
+
+
+class TestPlanBatchExactEquivalence:
+    """plan_batch must replay plan()'s cache timeline exactly — flags,
+    counters and final cache contents — even under eviction pressure."""
+
+    def test_eviction_pressure_matches_sequential(self, serving_bundle):
+        base = serving_bundle.routines["dgemm"].predictor
+        # 6 unique shapes cycling through a capacity-4 cache: repeats are
+        # separated by enough distinct shapes that they land as misses.
+        shapes = [{"m": 32 * (i + 1), "k": 64, "n": 48} for i in range(6)]
+        workload = (shapes * 5)[:24]
+
+        sequential = _clone_predictor(base, cache_capacity=4)
+        expected = [sequential.plan(dims) for dims in workload]
+
+        batched = _clone_predictor(base, cache_capacity=4)
+        actual = batched.plan_batch(workload)
+
+        assert [p.threads for p in actual] == [p.threads for p in expected]
+        assert [p.from_cache for p in actual] == [p.from_cache for p in expected]
+        assert any(not p.from_cache for p in actual[6:])  # evictions did occur
+        assert batched.cache_info()["hits"] == sequential.cache_info()["hits"]
+        assert batched.cache_info()["misses"] == sequential.cache_info()["misses"]
+        assert list(batched._cache) == list(sequential._cache)
+
+    def test_uncached_duplicates_not_marked_cached(self, serving_bundle):
+        base = serving_bundle.routines["dgemm"].predictor
+        predictor = _clone_predictor(base, cache_capacity=8)
+        dims = {"m": 100, "k": 100, "n": 100}
+        plans = predictor.plan_batch([dims, dims, dims], use_cache=False)
+        assert [p.from_cache for p in plans] == [False, False, False]
+        assert predictor.n_model_evaluations == 1  # still deduplicated
+
+    def test_uncached_final_cache_matches_sequential(self, serving_bundle):
+        base = serving_bundle.routines["dgemm"].predictor
+        shapes = [{"m": 16 * (i + 1), "k": 32, "n": 32} for i in range(5)]
+        workload = shapes + shapes[:2]
+
+        sequential = _clone_predictor(base, cache_capacity=3)
+        for dims in workload:
+            sequential.plan(dims, use_cache=False)
+        batched = _clone_predictor(base, cache_capacity=3)
+        batched.plan_batch(workload, use_cache=False)
+        assert list(batched._cache) == list(sequential._cache)
+
+
+class TestPlanQueueIndependence:
+    def test_plan_does_not_consume_pending_queue(self, clear_caches):
+        engine = ServingEngine(clear_caches)
+        engine.submit("dsyrk", n=96, k=48)
+        plan = engine.plan("dgemm", m=64, k=64, n=64)
+        assert plan.routine == "dgemm"
+        assert engine.n_pending == 1
+        queued = engine.flush()
+        assert len(queued) == 1
+        assert queued[0].routine == "dsyrk"
+        assert queued[0].dims == {"n": 96, "k": 48}
+
+    def test_use_cache_override_is_call_local(self, clear_caches):
+        engine = ServingEngine(clear_caches, use_cache=True)
+        engine.plan("dgemm", m=64, k=64, n=64)
+        uncached = engine.plan("dgemm", use_cache=False, m=64, k=64, n=64)
+        assert not uncached.from_cache  # override honoured for this call
+        assert engine.use_cache is True  # engine default untouched
+        cached = engine.plan("dgemm", m=64, k=64, n=64)
+        assert cached.from_cache

@@ -1,0 +1,83 @@
+"""Tests for the composable fallback-policy chain."""
+
+import pytest
+
+from repro.serving.fallback import (
+    CrossPrecisionPolicy,
+    FallbackChain,
+    InstalledPrecisionPolicy,
+    MaxThreadsPolicy,
+    UnservableRoutineError,
+    default_runtime_chain,
+    default_serving_chain,
+)
+
+
+class TestPolicies:
+    def test_installed_precision_hit(self, serving_bundle):
+        resolution = InstalledPrecisionPolicy().resolve("dgemm", serving_bundle)
+        assert resolution.key == "dgemm"
+        assert resolution.fallback_from is None
+        assert not resolution.heuristic
+
+    def test_installed_precision_miss(self, serving_bundle):
+        assert InstalledPrecisionPolicy().resolve("sgemm", serving_bundle) is None
+
+    def test_cross_precision_substitutes(self, serving_bundle):
+        resolution = CrossPrecisionPolicy().resolve("sgemm", serving_bundle)
+        assert resolution.key == "dgemm"
+        assert resolution.fallback_from == "sgemm"
+        assert resolution.policy == "cross-precision"
+
+    def test_cross_precision_miss(self, serving_bundle):
+        assert CrossPrecisionPolicy().resolve("ssymm", serving_bundle) is None
+
+    def test_max_threads_always_resolves(self, serving_bundle):
+        resolution = MaxThreadsPolicy().resolve("strsm", serving_bundle)
+        assert resolution.heuristic
+        assert resolution.key == "strsm"
+        assert resolution.fallback_from is None
+
+
+class TestChain:
+    def test_first_resolution_wins(self, serving_bundle):
+        chain = default_serving_chain()
+        assert chain.resolve("dgemm", serving_bundle).policy == "installed"
+        assert chain.resolve("sgemm", serving_bundle).policy == "cross-precision"
+        assert chain.resolve("dtrmm", serving_bundle).policy == "max-threads"
+
+    def test_runtime_chain_raises_for_unknown(self, serving_bundle):
+        chain = default_runtime_chain()
+        with pytest.raises(UnservableRoutineError):
+            chain.resolve("dsymm", serving_bundle)
+
+    def test_error_is_a_key_error(self, serving_bundle):
+        with pytest.raises(KeyError):
+            default_runtime_chain().resolve("dsymm", serving_bundle)
+
+    def test_error_names_policies_and_available(self, serving_bundle):
+        with pytest.raises(UnservableRoutineError) as excinfo:
+            default_runtime_chain().resolve("dsymm", serving_bundle)
+        message = str(excinfo.value)
+        assert "installed" in message and "cross-precision" in message
+        assert "dgemm" in message
+
+    def test_normalizes_bare_routine_names(self, serving_bundle):
+        resolution = default_runtime_chain().resolve("gemm", serving_bundle)
+        assert resolution.key == "dgemm"
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FallbackChain([])
+
+    def test_describe_lists_order(self):
+        assert default_serving_chain().describe() == (
+            "installed -> cross-precision -> max-threads"
+        )
+
+    def test_custom_composition(self, serving_bundle):
+        # A chain without cross-precision must not substitute precisions.
+        chain = FallbackChain([InstalledPrecisionPolicy(), MaxThreadsPolicy()])
+        resolution = chain.resolve("sgemm", serving_bundle)
+        assert resolution.policy == "max-threads"
+        assert resolution.key == "sgemm"

@@ -1,0 +1,192 @@
+"""Tests for the versioned model registry: lazy loading and hot reload."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import save_bundle
+from repro.serving.registry import BundleHandle, ModelRegistry
+
+
+class TestBundleHandleLazyLoading:
+    def test_manifest_only_at_construction(self, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        assert handle.loaded_routines == []
+        assert handle.installed_routines == ["dgemm", "dsyrk"]
+
+    def test_membership_does_not_load(self, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        assert "dgemm" in handle.routines
+        assert "dsymm" not in handle.routines
+        assert len(handle.routines) == 2
+        assert handle.loaded_routines == []
+
+    def test_predictor_loads_one_routine_only(self, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        predictor = handle.predictor("dgemm")
+        assert handle.loaded_routines == ["dgemm"]
+        assert predictor.routine == "dgemm"
+        # Second access reuses the cached installation.
+        assert handle.predictor("dgemm") is predictor
+
+    def test_unknown_routine_raises_key_error(self, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        with pytest.raises(KeyError, match="not installed"):
+            handle.predictor("dsymm")
+
+    def test_routines_mapping_yields_installations(self, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        installation = handle.routines["dsyrk"]
+        assert installation.routine == "dsyrk"
+        assert handle.loaded_routines == ["dsyrk"]
+
+    def test_versions_exposed(self, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        assert handle.schema_version == 2
+        assert handle.bundle_version == 1
+
+    def test_verify_passthrough(self, saved_bundle_dir):
+        assert BundleHandle(saved_bundle_dir).verify()["ok"]
+
+    def test_describe(self, saved_bundle_dir):
+        description = BundleHandle(saved_bundle_dir, name="prod").describe()
+        assert description["name"] == "prod"
+        assert description["platform"] == "laptop"
+        assert description["routines"] == ["dgemm", "dsyrk"]
+
+
+class TestHotReload:
+    def test_fresh_handle_not_stale(self, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        assert not handle.is_stale()
+        assert handle.reload() is False
+
+    def test_rewrite_makes_handle_stale(self, serving_bundle, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        handle.predictor("dgemm")
+        save_bundle(serving_bundle, saved_bundle_dir, bundle_version=2)
+        assert handle.is_stale()
+        assert handle.reload() is True
+        assert handle.bundle_version == 2
+        assert handle.loaded_routines == []  # lazy state dropped
+        assert not handle.is_stale()
+
+    def test_reload_serves_new_manifest(self, serving_bundle, saved_bundle_dir):
+        handle = BundleHandle(saved_bundle_dir)
+        manifest_path = saved_bundle_dir / "bundle.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["bundle_version"] = 9
+        manifest_path.write_text(json.dumps(manifest))
+        handle.reload()
+        assert handle.bundle_version == 9
+
+
+class TestModelRegistry:
+    @pytest.fixture()
+    def two_versions(self, serving_bundle, tmp_path):
+        old = save_bundle(serving_bundle, tmp_path / "laptop-v1", bundle_version=1)
+        new = save_bundle(serving_bundle, tmp_path / "laptop-v3", bundle_version=3)
+        return old, new
+
+    def test_register_and_get_by_name(self, saved_bundle_dir):
+        registry = ModelRegistry()
+        registry.register(saved_bundle_dir, name="prod")
+        assert registry.names() == ["prod"]
+        assert registry.get(name="prod").directory == saved_bundle_dir
+
+    def test_unknown_name_raises(self, saved_bundle_dir):
+        registry = ModelRegistry()
+        registry.register(saved_bundle_dir)
+        with pytest.raises(KeyError, match="No bundle named"):
+            registry.get(name="nope")
+
+    def test_highest_version_wins_per_platform(self, two_versions):
+        registry = ModelRegistry()
+        for directory in two_versions:
+            registry.register(directory)
+        assert registry.get(platform="laptop").bundle_version == 3
+
+    def test_explicit_version_pin(self, two_versions):
+        registry = ModelRegistry()
+        for directory in two_versions:
+            registry.register(directory)
+        assert registry.get(platform="laptop", version=1).bundle_version == 1
+
+    def test_missing_platform_raises(self, saved_bundle_dir):
+        registry = ModelRegistry()
+        registry.register(saved_bundle_dir)
+        with pytest.raises(KeyError):
+            registry.get(platform="gadi")
+
+    def test_scan_root_discovers_bundles(self, serving_bundle, tmp_path):
+        save_bundle(serving_bundle, tmp_path / "a", bundle_version=1)
+        save_bundle(serving_bundle, tmp_path / "b", bundle_version=2)
+        (tmp_path / "not-a-bundle").mkdir()
+        registry = ModelRegistry(tmp_path)
+        assert registry.names() == ["a", "b"]
+
+    def test_refresh_reports_reloaded_added_removed(
+        self, serving_bundle, tmp_path
+    ):
+        first = save_bundle(serving_bundle, tmp_path / "first", bundle_version=1)
+        registry = ModelRegistry(tmp_path)
+        assert registry.names() == ["first"]
+
+        # Change the existing bundle, add a second, remove nothing yet.
+        save_bundle(serving_bundle, first, bundle_version=2)
+        save_bundle(serving_bundle, tmp_path / "second", bundle_version=1)
+        report = registry.refresh()
+        assert report == {"first": "reloaded", "second": "added"}
+        assert registry.get(name="first").bundle_version == 2
+
+        # Delete one manifest: the handle is dropped on the next refresh.
+        (first / "bundle.json").unlink()
+        report = registry.refresh()
+        assert report["first"] == "removed"
+        assert registry.names() == ["second"]
+
+    def test_refresh_without_changes_is_empty(self, saved_bundle_dir):
+        registry = ModelRegistry()
+        registry.register(saved_bundle_dir)
+        assert registry.refresh() == {}
+
+    def test_describe_lists_all(self, two_versions):
+        registry = ModelRegistry()
+        for directory in two_versions:
+            registry.register(directory)
+        rows = registry.describe()
+        assert [row["bundle_version"] for row in rows] == [1, 3]
+
+
+class TestReloadCrashSafety:
+    def test_unreadable_manifest_keeps_previous_state(
+        self, serving_bundle, tmp_path
+    ):
+        directory = save_bundle(serving_bundle, tmp_path / "bundle", bundle_version=1)
+        registry = ModelRegistry()
+        handle = registry.register(directory, name="prod")
+        handle.predictor("dgemm")
+
+        # Simulate a manifest caught mid-rewrite: refresh reports the error,
+        # the handle keeps serving its previous state, loaded models intact.
+        manifest_path = directory / "bundle.json"
+        good_manifest = manifest_path.read_text()
+        manifest_path.write_text("{ truncated")
+        assert registry.refresh() == {"prod": "error"}
+        assert handle.bundle_version == 1
+        assert handle.loaded_routines == ["dgemm"]
+        assert handle.predictor("dgemm").routine == "dgemm"
+
+        # Once the write completes, the next refresh picks it up normally.
+        import json as json_mod
+
+        manifest = json_mod.loads(good_manifest)
+        manifest["bundle_version"] = 2
+        manifest_path.write_text(json_mod.dumps(manifest))
+        assert registry.refresh() == {"prod": "reloaded"}
+        assert handle.bundle_version == 2
+
+    def test_save_bundle_leaves_no_temp_manifest(self, serving_bundle, tmp_path):
+        directory = save_bundle(serving_bundle, tmp_path / "bundle")
+        leftovers = [p.name for p in directory.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

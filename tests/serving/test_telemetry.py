@@ -1,0 +1,113 @@
+"""Tests for serving telemetry: rolling stats, drift detection, counters."""
+
+import pytest
+
+from repro.serving.telemetry import EngineTelemetry, RollingStats, RoutineTelemetry
+
+
+class TestRollingStats:
+    def test_empty_defaults(self):
+        stats = RollingStats(window=4)
+        assert stats.mean == 0.0 and stats.max == 0.0 and len(stats) == 0
+
+    def test_mean_and_max(self):
+        stats = RollingStats(window=8)
+        for value in (1.0, 2.0, 3.0):
+            stats.add(value)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.max == 3.0
+        assert stats.last == 3.0
+
+    def test_window_evicts_oldest(self):
+        stats = RollingStats(window=2)
+        for value in (10.0, 1.0, 3.0):
+            stats.add(value)
+        assert len(stats) == 2
+        assert stats.mean == pytest.approx(2.0)  # (1 + 3) / 2, the 10 left
+        assert stats.n_total == 3
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RollingStats(window=0)
+
+    def test_snapshot_keys(self):
+        stats = RollingStats()
+        stats.add(0.5)
+        snap = stats.snapshot()
+        assert snap["count"] == 1 and snap["total"] == 1
+        assert snap["mean"] == pytest.approx(0.5)
+
+
+class TestRoutineTelemetry:
+    def test_relative_error_definition(self):
+        telemetry = RoutineTelemetry("dgemm")
+        telemetry.record_observation(predicted=1.0, observed=2.0)
+        assert telemetry.mean_abs_rel_error == pytest.approx(0.5)
+
+    def test_invalid_observations_skipped(self):
+        telemetry = RoutineTelemetry("dgemm")
+        telemetry.record_observation(predicted=1.0, observed=0.0)
+        telemetry.record_observation(predicted=-1.0, observed=1.0)
+        assert telemetry.n_observations == 0
+        assert telemetry.n_invalid_observations == 2
+
+    def test_drift_requires_min_observations(self):
+        telemetry = RoutineTelemetry("dgemm")
+        for _ in range(4):
+            telemetry.record_observation(predicted=1.0, observed=2.0)
+        assert not telemetry.drifting(threshold=0.25, min_observations=5)
+        telemetry.record_observation(predicted=1.0, observed=2.0)
+        assert telemetry.drifting(threshold=0.25, min_observations=5)
+
+    def test_accurate_routine_never_drifts(self):
+        telemetry = RoutineTelemetry("dsyrk")
+        for _ in range(50):
+            telemetry.record_observation(predicted=1.0, observed=1.01)
+        assert not telemetry.drifting(threshold=0.25, min_observations=5)
+
+    def test_plan_counters(self):
+        telemetry = RoutineTelemetry("dgemm")
+        telemetry.record_plan(from_cache=True, fallback=False, heuristic=False)
+        telemetry.record_plan(from_cache=False, fallback=True, heuristic=True)
+        snap = telemetry.snapshot()
+        assert snap["plans"] == 2
+        assert snap["cache_hits"] == 1
+        assert snap["fallback_plans"] == 1
+        assert snap["heuristic_plans"] == 1
+
+
+class TestEngineTelemetry:
+    def test_batch_counters(self):
+        telemetry = EngineTelemetry()
+        telemetry.record_batch(8)
+        telemetry.record_batch(2)
+        assert telemetry.n_batches == 2
+        assert telemetry.n_requests == 10
+        assert telemetry.batch_sizes.mean == pytest.approx(5.0)
+
+    def test_reinstall_candidates(self):
+        telemetry = EngineTelemetry(drift_threshold=0.25, min_observations=3)
+        for _ in range(3):
+            telemetry.record_observation("dgemm", predicted=1.0, observed=2.0)
+            telemetry.record_observation("dsyrk", predicted=1.0, observed=1.02)
+        assert telemetry.reinstall_candidates() == ["dgemm"]
+
+    def test_snapshot_serialisable(self):
+        import json
+
+        telemetry = EngineTelemetry()
+        telemetry.record_batch(4)
+        telemetry.record_plan("dgemm", from_cache=False, fallback=False, heuristic=False)
+        telemetry.record_observation("dgemm", predicted=1.0, observed=1.1)
+        snap = telemetry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["routines"]["dgemm"]["plans"] == 1
+
+    def test_drift_report_for_unknown_routine(self):
+        assert EngineTelemetry().drift_report("dgemm") is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EngineTelemetry(drift_threshold=0.0)
+        with pytest.raises(ValueError):
+            EngineTelemetry(min_observations=0)

@@ -1,0 +1,77 @@
+"""Tests for workload generation and JSONL round-tripping."""
+
+from collections import Counter
+
+import pytest
+
+from repro.blas.api import parse_routine
+from repro.serving.workload import (
+    WorkloadRequest,
+    generate_workload,
+    load_workload,
+    save_workload,
+)
+
+
+class TestGeneration:
+    def test_uniform_properties(self):
+        workload = generate_workload(
+            ["dgemm", "dsyrk"], 64, "uniform", seed=0, min_dim=32, max_dim=128
+        )
+        assert len(workload) == 64
+        assert {request.routine for request in workload} == {"dgemm", "dsyrk"}
+        for request in workload:
+            _, _, spec = parse_routine(request.routine)
+            assert set(request.dims) == set(spec.dim_names)
+            assert all(32 <= value <= 128 for value in request.dims.values())
+
+    def test_cycling_repeats_pool(self):
+        workload = generate_workload(["dgemm"], 20, "cycling", seed=1, pool_size=4)
+        distinct = {tuple(sorted(request.dims.items())) for request in workload}
+        assert len(distinct) == 4
+        assert workload[0] == workload[4] == workload[8]
+
+    def test_skewed_concentrates_mass(self):
+        workload = generate_workload(["dgemm", "dsyrk"], 400, "skewed", seed=2)
+        counts = Counter(
+            (request.routine, tuple(sorted(request.dims.items())))
+            for request in workload
+        )
+        top_share = counts.most_common(1)[0][1] / len(workload)
+        assert top_share > 0.10  # Zipf head far above the uniform share
+
+    def test_deterministic_per_seed(self):
+        first = generate_workload(["dgemm"], 16, "uniform", seed=9)
+        second = generate_workload(["dgemm"], 16, "uniform", seed=9)
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="distribution"):
+            generate_workload(["dgemm"], 4, "bursty")
+        with pytest.raises(ValueError):
+            generate_workload([], 4)
+        with pytest.raises(ValueError):
+            generate_workload(["dgemm"], 0)
+
+    def test_routine_names_normalized(self):
+        workload = generate_workload(["GEMM"], 4, seed=0)
+        assert all(request.routine == "dgemm" for request in workload)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        workload = generate_workload(["dgemm", "dsyrk"], 12, "skewed", seed=3)
+        path = save_workload(tmp_path / "requests.jsonl", workload)
+        assert load_workload(path) == workload
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        request = WorkloadRequest("dgemm", {"m": 1, "k": 2, "n": 3})
+        path.write_text(request.to_json() + "\n\n" + request.to_json() + "\n")
+        assert load_workload(path) == [request, request]
+
+    def test_invalid_line_reports_position(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"routine": "dgemm", "dims": {"m": 1}}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_workload(path)

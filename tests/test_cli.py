@@ -1,8 +1,30 @@
 """Tests for the ``adsala`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def installed_dir(tmp_path_factory):
+    """A tiny bundle installed once through the CLI and shared read-only."""
+    directory = tmp_path_factory.mktemp("cli") / "bundle"
+    exit_code = main(
+        [
+            "install",
+            "--platform", "laptop",
+            "--routines", "dgemm", "dsyrk",
+            "--output", str(directory),
+            "--samples", "8",
+            "--threads-per-shape", "3",
+            "--test-shapes", "4",
+            "--bundle-version", "2",
+        ]
+    )
+    assert exit_code == 0
+    return directory
 
 
 class TestParser:
@@ -90,3 +112,146 @@ class TestInstallAndPredict:
         )
         assert exit_code == 2
         assert "expects" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_generated_workload(self, installed_dir, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--bundle", str(installed_dir),
+                "--requests", "48",
+                "--mix", "cycling",
+                "--batch-size", "16",
+                "--seed", "3",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "plans/sec" in out
+        assert "bundle v2, schema v2" in out
+        assert "dgemm" in out and "dsyrk" in out
+
+    def test_serve_workload_file(self, installed_dir, tmp_path, capsys):
+        from repro.serving.workload import generate_workload, save_workload
+
+        workload_path = tmp_path / "requests.jsonl"
+        save_workload(
+            workload_path,
+            generate_workload(["dgemm", "dsyrk"], 20, "uniform", seed=1),
+        )
+        exit_code = main(
+            ["serve", "--bundle", str(installed_dir), "--workload", str(workload_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Served 20 plans" in out
+
+    def test_serve_observe_reports_drift_section(self, installed_dir, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--bundle", str(installed_dir),
+                "--requests", "32",
+                "--observe",
+                "--seed", "5",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "mean_err" in out
+        assert "drift" in out.lower()
+
+    def test_serve_empty_workload_fails(self, installed_dir, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        exit_code = main(
+            ["serve", "--bundle", str(installed_dir), "--workload", str(empty)]
+        )
+        assert exit_code == 2
+        assert "empty" in capsys.readouterr().err
+
+
+class TestBundleCommand:
+    def test_inspect(self, installed_dir, capsys):
+        assert main(["bundle", "inspect", "--bundle", str(installed_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "schema version: 2" in out
+        assert "sha256" not in out  # checksums shown truncated, without prefix
+        assert "dgemm" in out
+
+    def test_verify_ok(self, installed_dir, capsys):
+        assert main(["bundle", "verify", "--bundle", str(installed_dir)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, installed_dir, tmp_path, capsys):
+        import shutil
+
+        corrupt = tmp_path / "corrupt"
+        shutil.copytree(installed_dir, corrupt)
+        (corrupt / "dgemm.model.pkl").write_bytes(b"junk")
+        assert main(["bundle", "verify", "--bundle", str(corrupt)]) == 1
+        captured = capsys.readouterr()
+        assert "checksum mismatch" in captured.out
+        assert "FAILED" in captured.err
+
+    def test_migrate_upgrades_v1_manifest(self, installed_dir, tmp_path, capsys):
+        import shutil
+
+        legacy = tmp_path / "legacy"
+        shutil.copytree(installed_dir, legacy)
+        manifest_path = legacy / "bundle.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest.pop("schema_version")
+        manifest.pop("bundle_version")
+        manifest["format_version"] = 1
+        for meta in manifest["routines"].values():
+            meta.pop("checksum")
+        manifest_path.write_text(json.dumps(manifest))
+
+        assert main(["bundle", "verify", "--bundle", str(legacy)]) == 1
+        capsys.readouterr()
+        assert main(["bundle", "migrate", "--bundle", str(legacy)]) == 0
+        assert "v1 -> v2" in capsys.readouterr().out
+        assert main(["bundle", "verify", "--bundle", str(legacy)]) == 0
+
+    def test_missing_bundle_reports_error(self, tmp_path, capsys):
+        assert main(["bundle", "inspect", "--bundle", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRegistryRoundTripViaCli:
+    def test_cli_bundle_serves_through_registry(self, installed_dir):
+        from repro.serving.engine import ServingEngine
+        from repro.serving.registry import ModelRegistry
+
+        registry = ModelRegistry()
+        handle = registry.register(installed_dir, name="cli")
+        assert handle.bundle_version == 2
+        engine = ServingEngine(handle)
+        plan = engine.plan("dgemm", m=128, k=128, n=64)
+        assert plan.threads >= 1
+        assert handle.loaded_routines == ["dgemm"]
+
+
+class TestServeErrorPaths:
+    def test_unknown_routine_reports_clean_error(self, installed_dir, capsys):
+        exit_code = main(
+            ["serve", "--bundle", str(installed_dir), "--routines", "bogus"]
+        )
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_zero_requests_reports_clean_error(self, installed_dir, capsys):
+        exit_code = main(
+            ["serve", "--bundle", str(installed_dir), "--requests", "0"]
+        )
+        assert exit_code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_missing_bundle_reports_clean_error(self, tmp_path, capsys):
+        exit_code = main(["serve", "--bundle", str(tmp_path / "nope")])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
