@@ -10,8 +10,9 @@ process-parallel execution:
   recursive tree prediction — forced via ``repro.ml.tree.reference_mode``)
   vs the optimised serial pipeline vs the process-parallel pipeline on
   2+ jobs;
-* **runtime prediction** — flattened struct-of-arrays tree descent vs the
-  recursive reference, in µs per ``plan`` call.
+* **runtime prediction** — the compiled fused feature→preprocess→ensemble
+  kernel (PR 3) vs the recursive reference, in µs per ``plan`` call
+  (``benchmarks/bench_plan_latency.py`` tracks this path in detail).
 
 Results land in ``benchmarks/results/install_scaling.txt`` so the numbers
 are tracked from this PR onward.  Note the parallel row only beats the
@@ -47,7 +48,7 @@ def _timed(func):
     return result, time.perf_counter() - start
 
 
-def test_install_scaling(benchmark, record):
+def test_install_scaling(benchmark, record, record_json):
     platform = get_platform("gadi")
     config = QUICK_CONFIG
     install_kwargs = dict(
@@ -193,7 +194,7 @@ def test_install_scaling(benchmark, record):
             "reference_s": round(result["predict_reference_us"], 1),
             "optimized_s": round(result["predict_flat_us"], 1),
             "speedup": round(predict_speedup, 2),
-            "notes": "recursive node walk vs flattened descent",
+            "notes": "recursive node walk vs compiled fused kernel",
         },
     ]
     record(
@@ -206,6 +207,35 @@ def test_install_scaling(benchmark, record):
                 f"cpu_count={os.cpu_count()})"
             ),
         ),
+    )
+    record_json(
+        "install_scaling",
+        [
+            {
+                "stage": "data gathering (6 routines)",
+                "reference_s": result["gather_scalar_s"],
+                "optimized_s": result["gather_batch_s"],
+                "speedup": gather_speedup,
+            },
+            {
+                "stage": "install end-to-end (serial)",
+                "reference_s": result["install_reference_s"],
+                "optimized_s": result["install_serial_s"],
+                "speedup": result["install_reference_s"] / result["install_serial_s"],
+            },
+            {
+                "stage": f"install end-to-end ({result['n_jobs']} jobs)",
+                "reference_s": result["install_reference_s"],
+                "optimized_s": result["install_parallel_s"],
+                "speedup": result["install_reference_s"] / result["install_parallel_s"],
+            },
+            {
+                "stage": "predictor plan()",
+                "reference_s": result["predict_reference_us"] / 1e6,
+                "optimized_s": result["predict_flat_us"] / 1e6,
+                "speedup": predict_speedup,
+            },
+        ],
     )
 
     # The batch simulator path must collapse the gathering campaign.

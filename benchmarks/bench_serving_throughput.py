@@ -51,7 +51,7 @@ def _throughput(bundle, workload, max_batch_size, use_cache=True):
     return len(plans) / elapsed, plans
 
 
-def test_serving_throughput(benchmark, record):
+def test_serving_throughput(benchmark, record, record_json):
     platform = get_platform("gadi")
     bundle = install_adsala(
         platform=platform,
@@ -102,6 +102,20 @@ def test_serving_throughput(benchmark, record):
     print()
     print(text)
     record("serving_throughput", text)
+    record_json(
+        "serving_throughput",
+        [
+            {
+                "stage": f"serving {row['workload']} mix ({N_REQUESTS} requests)",
+                "reference_s": N_REQUESTS / row["scalar_plans_per_s"],
+                "optimized_s": N_REQUESTS / row["batched_plans_per_s"],
+                "speedup": row["speedup"],
+                "scalar_plans_per_s": row["scalar_plans_per_s"],
+                "batched_plans_per_s": row["batched_plans_per_s"],
+            }
+            for row in rows
+        ],
+    )
     assert speedups["uniform"] >= MIN_UNIFORM_SPEEDUP, (
         f"micro-batching speedup {speedups['uniform']:.2f}x on the uniform "
         f"mixed-shape workload is below the {MIN_UNIFORM_SPEEDUP}x target"

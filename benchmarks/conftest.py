@@ -12,6 +12,7 @@ the default ``quick`` preset reproduces the qualitative results in minutes.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -35,6 +36,30 @@ def record(results_dir):
         return path
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def record_json(results_dir):
+    """Write machine-readable rows to ``benchmarks/results/<name>.json``.
+
+    Every perf benchmark emits its stages in one shared schema — a list of
+    ``{"stage", "reference_s", "optimized_s", "speedup"}`` objects — so the
+    performance trajectory stays diffable and scriptable across PRs.
+    """
+
+    def _record_json(name: str, rows: list[dict]) -> Path:
+        required = {"stage", "reference_s", "optimized_s", "speedup"}
+        for row in rows:
+            missing = required - row.keys()
+            if missing:
+                raise ValueError(
+                    f"benchmark row for {name!r} is missing keys {sorted(missing)}"
+                )
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(rows, indent=2) + "\n")
+        return path
+
+    return _record_json
 
 
 def run_once(benchmark, func):

@@ -46,21 +46,28 @@ only wall-clock time, never results (same seeds -> same outputs):
   ``install_adsala(..., use_batch_timing=False)`` restores the scalar
   reference path.
 * ``ThreadPredictor(..., cache_capacity=K)`` bounds the LRU prediction
-  cache (``K=1`` is the paper's last-call cache); fitted tree models serve
-  predictions through flattened struct-of-arrays descent
-  (:class:`repro.ml.tree.FlatTree`), with
-  :func:`repro.ml.tree.reference_mode` forcing the recursive reference.
-* ``benchmarks/bench_install_scaling.py`` tracks the speedups of all three
-  paths (batch gathering, end-to-end install, per-call prediction).
+  cache (``K=1`` is the paper's last-call cache); cache misses run through
+  the compiled fused feature→preprocess→ensemble kernel
+  (:class:`repro.core.compiled.CompiledPredictor`, built once per routine
+  at bundle load) whose ensembles descend as one struct-of-arrays stack
+  (:class:`repro.ml.tree.StackedTrees`, optionally via a small C kernel
+  compiled on the fly — ``ADSALA_NATIVE=0`` forces pure NumPy).
+  :func:`repro.core.compiled.reference_mode` restores the object-graph
+  path and :func:`repro.ml.tree.reference_mode` the recursive trees; all
+  three tiers are bit-identical.
+* ``benchmarks/bench_install_scaling.py`` and
+  ``benchmarks/bench_plan_latency.py`` track the speedups of these paths
+  (batch gathering, end-to-end install, per-call prediction).
 """
 
+from repro.core.compiled import CompiledPredictor
 from repro.core.install import install_adsala, InstallationBundle
 from repro.core.runtime import AdsalaBlas, AdsalaRuntime
 from repro.core.predictor import ThreadPredictor
 from repro.machine import get_platform, list_platforms
 from repro.serving import ModelRegistry, ServingEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "install_adsala",
@@ -68,6 +75,7 @@ __all__ = [
     "AdsalaBlas",
     "AdsalaRuntime",
     "ThreadPredictor",
+    "CompiledPredictor",
     "ModelRegistry",
     "ServingEngine",
     "get_platform",

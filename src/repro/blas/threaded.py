@@ -45,6 +45,14 @@ class ExecutionRecord:
 class ThreadedBlas:
     """Run blocked BLAS Level 3 routines on a fixed-size thread pool.
 
+    One worker pool is created lazily on the first multi-threaded call and
+    reused for every subsequent call — constructing a fresh
+    ``ThreadPoolExecutor`` (and its OS threads) per call costs more than
+    many of the tile tasks it runs.  :attr:`last_record` timings only cover
+    the call itself, so the one-off pool spin-up never pollutes
+    measurement-mode numbers after the first call; :meth:`close` (or using
+    the executor as a context manager) releases the workers.
+
     Parameters
     ----------
     n_threads:
@@ -61,6 +69,34 @@ class ThreadedBlas:
         self.n_threads = n_threads
         self.tile = tile
         self.last_record: ExecutionRecord | None = None
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+
+    # -- worker pool ---------------------------------------------------------
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.n_threads,
+                thread_name_prefix="adsala-blas",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the reusable worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadedBlas":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- task execution ------------------------------------------------------
     def _run_tile_tasks(self, tasks: Iterable[blocked.TileTask], out: np.ndarray) -> int:
@@ -83,11 +119,11 @@ class ThreadedBlas:
                 result = thunk()
                 out[row_slice, col_slice] = result
 
+        pool = self._ensure_pool()
         n_workers = min(self.n_threads, len(tasks))
-        with concurrent.futures.ThreadPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(worker) for _ in range(n_workers)]
-            for future in futures:
-                future.result()
+        futures = [pool.submit(worker) for _ in range(n_workers)]
+        for future in futures:
+            future.result()
         return len(tasks)
 
     def _run_thunks(self, thunks: List[Callable[[], None]]) -> None:
@@ -95,11 +131,10 @@ class ThreadedBlas:
             for thunk in thunks:
                 thunk()
             return
-        n_workers = min(self.n_threads, len(thunks))
-        with concurrent.futures.ThreadPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(thunk) for thunk in thunks]
-            for future in futures:
-                future.result()
+        pool = self._ensure_pool()
+        futures = [pool.submit(thunk) for thunk in thunks]
+        for future in futures:
+            future.result()
 
     # -- routines --------------------------------------------------------------
     def gemm(self, A, B, C=None, alpha=1.0, beta=0.0) -> np.ndarray:

@@ -1,0 +1,202 @@
+"""Compiled prediction hot path: one fused feature→preprocess→ensemble kernel.
+
+The object-graph prediction path (``feature_matrix_grid`` →
+``PreprocessingPipeline.transform`` → ``model.predict``) re-does structural
+work on every ``plan()`` call: it stacks seventeen feature blocks into a
+fresh matrix, loops the Yeo-Johnson transform column by column, slices the
+correlation survivors, and walks the ensemble tree by tree.  None of that
+structure changes after installation — only the dimension values do.
+
+:class:`CompiledPredictor` therefore follows a **build-once / evaluate-many
+contract**: everything shape-independent is resolved exactly once when the
+predictor is built (at bundle load, or lazily on the first prediction), and
+each subsequent evaluation is a short straight-line sequence of vectorised
+array expressions over preallocated buffers:
+
+* **build time** — parse the routine spec; bind the candidate thread
+  counts; read the correlation filter's kept-column indices and restrict
+  the Yeo-Johnson lambdas and the standardisation affine to them
+  (:meth:`~repro.preprocessing.pipeline.PreprocessingPipeline.compile`);
+  construct a :class:`~repro.core.features.FeatureGridWriter` that
+  materialises *only the kept feature columns*; stack the model's trees
+  into one struct-of-arrays (:class:`~repro.ml.tree.StackedTrees`) or bind
+  a linear model's ``(coef, intercept)`` pair.
+* **evaluate time** — fill the reusable feature grid from the dims arrays,
+  apply the two fused preprocessing expressions (whole-matrix Yeo-Johnson,
+  then one affine), and run the single stacked ensemble descent.  No Python
+  feature dicts, no per-column loop, no per-tree loop.
+
+Outputs are bit-identical to the object path (asserted in
+``tests/core/test_compiled.py``): the kernel performs the exact same scalar
+operations per element, just batched differently.  Wrap code in
+:func:`reference_mode` to force :class:`~repro.core.predictor.ThreadPredictor`
+back onto the object path — that is the pre-compilation baseline used by
+the equivalence tests and ``benchmarks/bench_plan_latency.py``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.features import FeatureGridWriter
+from repro.ml.base import BaseRegressor
+from repro.ml.boosting import (
+    AdaBoostRegressor,
+    GradientBoostingRegressor,
+    HistGradientBoostingRegressor,
+)
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor, StackedTrees
+from repro.ml.tree import unstacked_mode as tree_unstacked_mode
+from repro.preprocessing.pipeline import PreprocessingPipeline
+
+__all__ = ["CompiledPredictor", "compile_model_evaluator", "reference_mode", "active_impl"]
+
+
+#: Active implementation: "compiled" (default) or "reference".
+_IMPL = "compiled"
+
+
+@contextmanager
+def reference_mode():
+    """Force the pre-compilation prediction path for the duration of the block.
+
+    Affects every :class:`~repro.core.predictor.ThreadPredictor` (and, by
+    extension, the serving engine): ``plan`` / ``plan_batch`` /
+    ``predict_runtimes*`` fall back to ``feature_matrix_grid`` +
+    ``PreprocessingPipeline.transform`` + ``model.predict``, with tree
+    ensembles pinned to their per-tree flat-descent loop
+    (:func:`repro.ml.tree.unstacked_mode`) — i.e. exactly the hot path as
+    it existed before this compilation layer.  Results are bit-identical
+    either way — the reference mode exists for equivalence tests and
+    benchmark baselines, like :func:`repro.ml.tree.reference_mode` one
+    layer down.
+    """
+    global _IMPL
+    previous = _IMPL
+    _IMPL = "reference"
+    try:
+        with tree_unstacked_mode():
+            yield
+    finally:
+        _IMPL = previous
+
+
+def active_impl() -> str:
+    """The currently active implementation ("compiled" or "reference")."""
+    return _IMPL
+
+
+#: Ensemble types whose prediction compiles to one stacked descent.
+_STACKED_ENSEMBLES = (
+    RandomForestRegressor,
+    AdaBoostRegressor,
+    GradientBoostingRegressor,
+    HistGradientBoostingRegressor,
+)
+
+
+def compile_model_evaluator(model: BaseRegressor) -> Callable[[np.ndarray], np.ndarray]:
+    """Bind a fitted model to its fastest bit-identical evaluation kernel.
+
+    * tree ensembles → the whole-ensemble stacked descent (built eagerly
+      here so the first ``plan()`` does not pay the stacking cost);
+    * a single decision tree → its flattened array form;
+    * linear-family models (``coef_`` + ``intercept_``) → one mat-vec;
+    * anything else (SVR, KNN, ...) → the model's own ``predict``.
+
+    The returned callable takes the *preprocessed* feature matrix and skips
+    input re-validation — the compiled predictor constructs that matrix
+    itself, so it is correct by construction.
+    """
+    if isinstance(model, DecisionTreeRegressor):
+        # A one-tree "stack" still wins: it rides the packed-node native
+        # descent kernel instead of the level-synchronous NumPy gathers.
+        stack = StackedTrees([model.flat_tree_])
+
+        def tree_evaluate(X: np.ndarray) -> np.ndarray:
+            return stack._descend(X)[0].copy()
+
+        return tree_evaluate
+    if isinstance(model, _STACKED_ENSEMBLES):
+        model.stacked()  # build and cache the stack at compile time
+        return model._predict_stacked
+    coef = getattr(model, "coef_", None)
+    intercept = getattr(model, "intercept_", None)
+    if coef is not None and intercept is not None:
+        coef = np.asarray(coef, dtype=np.float64)
+
+        def linear_evaluate(X: np.ndarray) -> np.ndarray:
+            return X @ coef + intercept
+
+        return linear_evaluate
+    return model.predict
+
+
+class CompiledPredictor:
+    """Build-once / evaluate-many kernel for one routine's runtime model.
+
+    Parameters
+    ----------
+    routine:
+        Routine key, e.g. ``"dsyrk"``.
+    pipeline:
+        Fitted preprocessing pipeline; collapsed to flat arrays at build
+        time via :meth:`~repro.preprocessing.pipeline.PreprocessingPipeline.compile`.
+    model:
+        Fitted runtime-regression model; compiled via
+        :func:`compile_model_evaluator`.
+    candidate_threads:
+        Thread counts evaluated per shape (one grid row each).
+
+    The instance owns reusable buffers and is **not** thread-safe; each
+    :class:`~repro.core.predictor.ThreadPredictor` builds its own.
+    """
+
+    def __init__(
+        self,
+        routine: str,
+        pipeline: PreprocessingPipeline,
+        model: BaseRegressor,
+        candidate_threads: Sequence[int],
+    ):
+        self.routine = routine
+        self.candidate_threads = np.asarray(candidate_threads, dtype=np.float64)
+        self._fused = pipeline.compile()
+        self._writer = FeatureGridWriter(
+            routine, self.candidate_threads, columns=self._fused.kept_indices
+        )
+        self._evaluate_model = compile_model_evaluator(model)
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.candidate_threads.size)
+
+    def predict_runtimes(self, dims: Dict[str, int]) -> np.ndarray:
+        """Predicted runtime per candidate thread count for one shape.
+
+        Bit-identical to the object path's
+        ``ThreadPredictor.predict_runtimes`` output.
+        """
+        return self.predict_runtimes_batch([dims])[0]
+
+    def predict_runtimes_batch(
+        self, dims_list: Sequence[Dict[str, int]]
+    ) -> np.ndarray:
+        """Predicted runtimes for many shapes in one fused pass.
+
+        Returns a ``(len(dims_list), n_candidates)`` array matching the
+        object path's ``predict_runtimes_batch`` bit for bit: the kept
+        feature columns are written into the reusable grid, preprocessed by
+        the two fused expressions, and evaluated by the compiled model
+        kernel — one straight-line array program per batch.
+        """
+        grid = self._writer.write_dicts(dims_list)
+        transformed = self._fused.transform_kept(grid)
+        predictions = np.asarray(
+            self._evaluate_model(transformed), dtype=float
+        )
+        return predictions.reshape(len(dims_list), self.n_candidates)

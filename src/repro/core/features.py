@@ -24,6 +24,7 @@ __all__ = [
     "feature_matrix_for_threads",
     "feature_matrix_grid",
     "build_feature_matrix",
+    "FeatureGridWriter",
 ]
 
 
@@ -207,6 +208,163 @@ def feature_matrix_grid(
     return np.column_stack(
         [np.broadcast_to(block, (n_shapes, n_threads)).ravel() for block in blocks]
     )
+
+
+#: Table III features expressed as operations over precomputed *base* columns.
+#: ``("base", i)`` copies base ``i``, ``("pt", i)`` divides base ``i`` by the
+#: thread count, ``("nt", None)`` is the thread count itself.  The base order
+#: is ``(m, k, n, m*k, m*n, k*n, m*k*n, footprint)`` for three-dimension
+#: routines and ``(d1, d2, d1*d2, footprint)`` for two-dimension routines;
+#: the tables below reproduce :data:`THREE_DIM_FEATURES` /
+#: :data:`TWO_DIM_FEATURES` exactly, feature for feature.
+_THREE_DIM_OPS = [
+    ("base", 0), ("base", 1), ("base", 2), ("nt", None),
+    ("base", 3), ("base", 4), ("base", 5), ("base", 6), ("base", 7),
+    ("pt", 0), ("pt", 1), ("pt", 2), ("pt", 3), ("pt", 4), ("pt", 5),
+    ("pt", 6), ("pt", 7),
+]
+_TWO_DIM_OPS = [
+    ("base", 0), ("base", 1), ("nt", None), ("base", 2), ("base", 3),
+    ("pt", 0), ("pt", 1), ("pt", 2), ("pt", 3),
+]
+
+
+class FeatureGridWriter:
+    """Preallocated, reusable writer for the Table III feature grid.
+
+    Built once per (routine, candidate thread counts) pair, the writer owns
+    a ``(capacity_shapes, n_threads, n_columns)`` float64 buffer and fills
+    it directly from dimension arrays — no per-call feature dicts, lists or
+    column stacking.  Successive calls reuse (and geometrically grow) the
+    same buffer, so a steady-state ``plan()`` allocates nothing beyond the
+    handful of base-column temporaries.
+
+    ``columns`` restricts the writer to a subset of the feature set (the
+    compiled predictor passes the correlation filter's kept indices, so
+    dropped features are never even computed).  Every written value is
+    bit-identical to the corresponding entry of :func:`feature_matrix_grid`.
+    """
+
+    def __init__(
+        self,
+        routine: str,
+        threads: Sequence[int] | np.ndarray,
+        columns: Sequence[int] | np.ndarray | None = None,
+    ):
+        _, _, spec = parse_routine(routine)
+        nt = np.asarray(threads, dtype=np.float64)
+        if nt.ndim != 1 or nt.size == 0:
+            raise ValueError("threads must be a non-empty 1-D sequence")
+        if np.any(nt < 1):
+            raise ValueError("threads must be positive")
+        self.routine = routine
+        self.spec = spec
+        self.nt = nt
+        ops = _THREE_DIM_OPS if spec.n_dims == 3 else _TWO_DIM_OPS
+        if columns is None:
+            columns = np.arange(len(ops), dtype=np.intp)
+        else:
+            columns = np.asarray(columns, dtype=np.intp)
+            if columns.size and (
+                columns.min() < 0 or columns.max() >= len(ops)
+            ):
+                raise ValueError(
+                    f"columns out of range for the {len(ops)}-feature set"
+                )
+        self.columns = columns
+        self._ops = [ops[c] for c in columns]
+        self._capacity = 0
+        self._buffer = None
+        self._dims_scratch = None
+        self._reserve(1)
+
+    @property
+    def n_threads(self) -> int:
+        return int(self.nt.size)
+
+    @property
+    def n_columns(self) -> int:
+        return int(self.columns.size)
+
+    def _reserve(self, n_shapes: int) -> None:
+        if n_shapes <= self._capacity:
+            return
+        capacity = max(n_shapes, 2 * self._capacity, 1)
+        self._buffer = np.empty(
+            (capacity, self.nt.size, self.columns.size), dtype=np.float64
+        )
+        self._dims_scratch = np.empty(
+            (capacity, self.spec.n_dims), dtype=np.float64
+        )
+        self._capacity = capacity
+
+    def _bases(self, dim_values: np.ndarray) -> tuple:
+        spec = self.spec
+        if spec.n_dims == 3:
+            m, k, n = dim_values[:, 0], dim_values[:, 1], dim_values[:, 2]
+            mk = m * k
+            footprint = spec.memory_words({"m": m, "k": k, "n": n})
+            return (m, k, n, mk, m * n, k * n, mk * n, footprint)
+        d1, d2 = dim_values[:, 0], dim_values[:, 1]
+        footprint = spec.memory_words(dict(zip(spec.dim_names, (d1, d2))))
+        return (d1, d2, d1 * d2, footprint)
+
+    def write(self, dim_values: np.ndarray) -> np.ndarray:
+        """Fill the grid from a ``(n_shapes, n_dims)`` dimension array.
+
+        Returns a ``(n_shapes * n_threads, n_columns)`` view of the internal
+        buffer, laid out shape-major exactly like
+        :func:`feature_matrix_grid`.  The view is only valid until the next
+        ``write`` call.
+        """
+        dim_values = np.asarray(dim_values, dtype=np.float64)
+        n_shapes = dim_values.shape[0]
+        if n_shapes == 0:
+            raise ValueError("dim_values must hold at least one shape")
+        self._reserve(n_shapes)
+        grid = self._buffer[:n_shapes]
+        bases = self._bases(dim_values)
+        nt = self.nt
+        for j, (kind, index) in enumerate(self._ops):
+            if kind == "nt":
+                grid[:, :, j] = nt
+            elif kind == "base":
+                grid[:, :, j] = bases[index][:, None]
+            else:  # "pt": the per-thread variant of base ``index``
+                grid[:, :, j] = bases[index][:, None] / nt
+        return grid.reshape(n_shapes * nt.size, self.columns.size)
+
+    def write_dicts(self, dims_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        """Validate dimension dicts and fill the grid from them.
+
+        Dimension validation matches :func:`feature_matrix_grid`
+        (``spec.dims_from_args``), so invalid shapes raise the same errors.
+        """
+        n_shapes = len(dims_list)
+        if n_shapes == 0:
+            raise ValueError("dims_list must not be empty")
+        self._reserve(n_shapes)
+        values = self._dims_scratch
+        dim_names = self.spec.dim_names
+        n_dims = len(dim_names)
+        for i, dims in enumerate(dims_list):
+            # Fast path for already-normalized dicts (exact keys, positive
+            # ints) — the serving engine always sends these.  Anything else
+            # takes the full dims_from_args validation for its exact errors.
+            if len(dims) == n_dims:
+                ok = True
+                for j, name in enumerate(dim_names):
+                    value = dims.get(name)
+                    if type(value) is not int or value < 1:
+                        ok = False
+                        break
+                    values[i, j] = value
+                if ok:
+                    continue
+            normalized = self.spec.dims_from_args(**dims)
+            for j, name in enumerate(dim_names):
+                values[i, j] = normalized[name]
+        return self.write(values[:n_shapes])
 
 
 def build_feature_matrix(

@@ -13,6 +13,14 @@ Batch prediction (:meth:`ThreadPredictor.predict_threads_batch`) evaluates
 the model once over a ``(n_shapes * n_candidates)`` feature grid instead of
 looping shape by shape, which is what keeps installation-time model
 selection cheap (see :mod:`repro.core.selection`).
+
+Cache misses ride the **compiled kernel** by default: the first evaluation
+builds a :class:`~repro.core.compiled.CompiledPredictor` (call
+:meth:`ThreadPredictor.compile` to pay that cost eagerly, e.g. at bundle
+load) and every subsequent miss is a single fused
+feature→preprocess→ensemble array pass, bit-identical to the object path.
+``repro.core.compiled.reference_mode()`` forces the object path back on
+for equivalence testing and benchmarking.
 """
 
 from __future__ import annotations
@@ -24,11 +32,14 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.core import compiled as compiled_mod
+from repro.core.compiled import CompiledPredictor
 from repro.core.features import (
     feature_matrix_for_threads,
     feature_matrix_grid,
     feature_names,
 )
+from repro.ml import tree as tree_mod
 from repro.ml.base import BaseRegressor
 from repro.preprocessing.pipeline import PreprocessingPipeline
 
@@ -91,13 +102,57 @@ class ThreadPredictor:
         self.cache_capacity = int(cache_capacity)
         self.feature_names = feature_names(routine)
         self._cache: OrderedDict[tuple, PredictionPlan] = OrderedDict()
+        self._compiled: CompiledPredictor | None = None
         self.n_model_evaluations = 0
         self.n_cache_hits = 0
         self.n_cache_misses = 0
 
+    # -- compilation ------------------------------------------------------------
+    def compile(self) -> CompiledPredictor:
+        """Build (or return) the fused feature→preprocess→model kernel.
+
+        Idempotent; the serving layer calls this at bundle load so the
+        first request does not pay the one-off build cost.  Predictions
+        through the compiled kernel are bit-identical to the object path.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledPredictor(
+                self.routine, self.pipeline, self.model, self.candidate_threads
+            )
+        return self._compiled
+
+    @staticmethod
+    def cache_key(dims: Dict[str, int]) -> tuple:
+        """Canonical LRU key for a dims dict (order-insensitive).
+
+        Permuted dict literals (``{"m": 1, "n": 2}`` vs ``{"n": 2, "m": 1}``)
+        map to the same entry; every cache probe in this class goes through
+        this one helper.
+        """
+        return tuple(sorted(dims.items()))
+
+    @staticmethod
+    def _use_compiled() -> bool:
+        """Whether evaluations should ride the fused kernel right now.
+
+        Every lower-layer reference toggle opts out: the predictor-level
+        ``repro.core.compiled.reference_mode``, the tree-level
+        ``repro.ml.tree.reference_mode`` and ``unstacked_mode`` (the
+        compiled kernel binds the stacked descent directly and would
+        otherwise ignore them).
+        """
+        return (
+            compiled_mod.active_impl() == "compiled"
+            and tree_mod.stacking_active()
+        )
+
     # -- prediction -------------------------------------------------------------
     def predict_runtimes(self, dims: Dict[str, int]) -> np.ndarray:
         """Predicted runtime for every candidate thread count (no caching)."""
+        if self._use_compiled():
+            runtimes = self.compile().predict_runtimes(dims)
+            self.n_model_evaluations += 1
+            return runtimes
         X = feature_matrix_for_threads(
             self.routine, dims, np.asarray(self.candidate_threads)
         )
@@ -114,6 +169,10 @@ class ThreadPredictor:
         matches ``predict_runtimes(dims_list[i])``; the feature grid,
         preprocessing and model evaluation each run exactly once.
         """
+        if self._use_compiled():
+            runtimes = self.compile().predict_runtimes_batch(dims_list)
+            self.n_model_evaluations += 1
+            return runtimes
         X = feature_matrix_grid(
             self.routine, dims_list, np.asarray(self.candidate_threads)
         )
@@ -130,7 +189,7 @@ class ThreadPredictor:
         the cached ``from_cache=True`` plan is precomputed at store time, so
         a hit is a dictionary lookup and nothing more.
         """
-        key = tuple(sorted(dims.items()))
+        key = self.cache_key(dims)
         if use_cache:
             cached = self._cache.get(key)
             if cached is not None:
@@ -185,7 +244,7 @@ class ThreadPredictor:
         shapes evaluated once), so ``n_model_evaluations`` grows by at most
         one instead of once per miss.
         """
-        key_of = [tuple(sorted(dims.items())) for dims in dims_list]
+        key_of = [self.cache_key(dims) for dims in dims_list]
         hit = [False] * len(dims_list)
         pending: "OrderedDict[tuple, Dict[str, int]]" = OrderedDict()
         if use_cache:
@@ -214,12 +273,14 @@ class ThreadPredictor:
             pending_dims = list(pending.values())
             runtimes = self.predict_runtimes_batch(pending_dims)
             best = np.argmin(runtimes, axis=1)
+            routine = self.routine
+            candidates = self.candidate_threads
             for slot, (key, dims) in enumerate(pending.items()):
                 idx = int(best[slot])
                 fresh[key] = PredictionPlan(
-                    routine=self.routine,
+                    routine=routine,
                     dims=dict(dims),
-                    threads=self.candidate_threads[idx],
+                    threads=candidates[idx],
                     predicted_time=float(runtimes[slot, idx]),
                     from_cache=False,
                 )
@@ -228,16 +289,23 @@ class ThreadPredictor:
         # operations to the real cache in sequential order (plan() stores
         # every computed result, cached or not requested via use_cache).
         plans: list = []
+        cache = self._cache
         for i, key in enumerate(key_of):
             if hit[i]:
-                plan = self._cache[key]
-                self._cache.move_to_end(key)
+                plan = cache[key]
+                cache.move_to_end(key)
             else:
                 plan = fresh[key]
-                self._cache[key] = replace(plan, from_cache=True)
-                self._cache.move_to_end(key)
-                while len(self._cache) > self.cache_capacity:
-                    self._cache.popitem(last=False)
+                cache[key] = PredictionPlan(
+                    routine=plan.routine,
+                    dims=plan.dims,
+                    threads=plan.threads,
+                    predicted_time=plan.predicted_time,
+                    from_cache=True,
+                )
+                cache.move_to_end(key)
+                while len(cache) > self.cache_capacity:
+                    cache.popitem(last=False)
             plans.append(plan)
         return plans
 

@@ -1,0 +1,256 @@
+"""Optional native (C) kernel for the stacked-ensemble descent.
+
+The level-synchronous NumPy descent in :class:`repro.ml.tree.StackedTrees`
+pays four array gathers per tree level; at the µs latency scale of a single
+``plan()`` call that overhead dominates.  This module compiles — once per
+interpreter, with the system C compiler — a small branch-free descent
+kernel and loads it through :mod:`ctypes`.
+
+Kernel design (why it is fast *and* bit-identical):
+
+* nodes are packed into 32-byte structs (threshold, feature, both child
+  indices, leaf value), so one visit touches one cache line instead of the
+  four separate struct-of-arrays gathers;
+* leaves self-loop (feature 0 against a ``+inf`` threshold — the exact
+  convention of :class:`repro.ml.tree.FlatTree`), so each tree runs a fixed
+  ``depth`` iteration count with a branch-free child select;
+* eight rows descend in lock-step per tree, giving the out-of-order core
+  eight independent load chains to overlap;
+* the kernel performs only float64 *comparisons* plus (in accumulate mode)
+  the same ``p += scale * v`` element updates NumPy performs — compiled
+  with ``-ffp-contract=off`` so no FMA contraction can change a ULP.
+
+The native path is best-effort by design: no C compiler, a failed build,
+or ``ADSALA_NATIVE=0`` → :func:`load_kernel` returns ``None`` and callers
+silently use the NumPy descent.  The shared object is cached under the
+system temp directory keyed by a hash of the C source, so rebuilds only
+happen when the kernel changes.  Nothing is ever installed.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load_kernel", "native_enabled", "NODE_DTYPE"]
+
+
+#: Packed node layout shared with the C kernel (32 bytes, no padding).
+NODE_DTYPE = np.dtype(
+    [
+        ("thr", "<f8"),
+        ("feat", "<i8"),
+        ("right", "<i4"),
+        ("left", "<i4"),
+        ("value", "<f8"),
+    ]
+)
+
+
+_SOURCE = r"""
+#include <stdint.h>
+
+typedef struct {
+    double thr;
+    int64_t feat;
+    int32_t right;
+    int32_t left;
+    double value;
+} node_t;
+
+#define LANES 8
+
+/* Descend every (tree, row) pair of a stacked ensemble.
+ *
+ * x      : row-major (n_samples, n_features) feature matrix
+ * roots  : per-tree root index into the packed node array
+ * depths : per-tree descent iteration count (leaves self-loop)
+ * nodes  : packed 32-byte node structs, children pre-offset per tree
+ * mode 0 : out is row-major (n_trees, n_samples); out[t][r] = leaf value
+ * mode 1 : out has n_samples entries, pre-filled by the caller;
+ *          out[r] += scale * leaf_value, folded tree by tree in order —
+ *          the exact update sequence of the boosted-ensemble NumPy loop.
+ */
+void stacked_descent(const double *x,
+                     int64_t n_samples,
+                     int64_t n_features,
+                     const int64_t *roots,
+                     const int64_t *depths,
+                     int64_t n_trees,
+                     const node_t *nodes,
+                     int64_t mode,
+                     double scale,
+                     double *out)
+{
+    for (int64_t t = 0; t < n_trees; ++t) {
+        const int64_t root = roots[t];
+        const int64_t depth = depths[t];
+        double *out_row = (mode == 0) ? out + t * n_samples : out;
+        for (int64_t r0 = 0; r0 < n_samples; r0 += LANES) {
+            const double *xr[LANES];
+            int64_t n[LANES];
+            for (int l = 0; l < LANES; ++l) {
+                /* Tail blocks replicate the last row; the extra lanes are
+                 * computed and discarded (descent is a total function). */
+                int64_t r = r0 + l < n_samples ? r0 + l : n_samples - 1;
+                xr[l] = x + r * n_features;
+                n[l] = root;
+            }
+            for (int64_t d = 0; d < depth; ++d) {
+                for (int l = 0; l < LANES; ++l) {
+                    const node_t *nd = &nodes[n[l]];
+                    n[l] = xr[l][nd->feat] <= nd->thr ? nd->left : nd->right;
+                }
+            }
+            const int64_t live =
+                n_samples - r0 < LANES ? n_samples - r0 : LANES;
+            if (mode == 0) {
+                for (int l = 0; l < live; ++l)
+                    out_row[r0 + l] = nodes[n[l]].value;
+            } else {
+                for (int l = 0; l < live; ++l)
+                    out_row[r0 + l] += scale * nodes[n[l]].value;
+            }
+        }
+    }
+}
+"""
+
+_DOUBLE_P = ctypes.POINTER(ctypes.c_double)
+_INT64_P = ctypes.POINTER(ctypes.c_int64)
+
+#: Resolved kernel callable (or None); "unset" until first load attempt.
+_KERNEL: object = "unset"
+
+
+def native_enabled() -> bool:
+    """Whether the native kernel is allowed (``ADSALA_NATIVE`` != "0")."""
+    return os.environ.get("ADSALA_NATIVE", "1") != "0"
+
+
+def _owned_by_current_user(path: Path) -> bool:
+    """Whether ``path`` belongs to us (POSIX; trivially true elsewhere)."""
+    getuid = getattr(os, "getuid", None)
+    if getuid is None:  # pragma: no cover - non-POSIX
+        return True
+    try:
+        return path.stat().st_uid == getuid()
+    except OSError:
+        return False
+
+
+def _build_library() -> Path | None:
+    """Compile (or reuse) the cached shared object; None when impossible."""
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    # Per-user, 0700 cache directory: the temp dir is world-writable and the
+    # library name is predictable, so never dlopen anything another user
+    # could have planted there.
+    uid = getattr(os, "getuid", lambda: "u")()
+    cache_dir = Path(tempfile.gettempdir()) / f"adsala-native-{uid}"
+    library = cache_dir / f"descent_{digest}.so"
+    if library.exists():
+        if _owned_by_current_user(cache_dir) and _owned_by_current_user(library):
+            return library
+        return None
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True, mode=0o700)
+        if not _owned_by_current_user(cache_dir):
+            return None
+        os.chmod(cache_dir, 0o700)
+        with tempfile.TemporaryDirectory(dir=cache_dir) as workdir:
+            source = Path(workdir) / "descent.c"
+            source.write_text(_SOURCE)
+            built = Path(workdir) / "descent.so"
+            subprocess.run(
+                [
+                    compiler,
+                    "-O2",
+                    "-ffp-contract=off",
+                    "-shared",
+                    "-fPIC",
+                    "-o",
+                    str(built),
+                    str(source),
+                ],
+                check=True,
+                capture_output=True,
+                timeout=60,
+            )
+            os.replace(built, library)  # atomic: concurrent builders race safely
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return library
+
+
+def load_kernel():
+    """The native descent callable, or ``None`` when unavailable.
+
+    Memoised.  Signature:
+    ``kernel(x, roots, depths, nodes, mode, scale, out)`` — see the C
+    source above for the contract; ``nodes`` must use :data:`NODE_DTYPE`
+    and all arrays must be C-contiguous.
+    """
+    global _KERNEL
+    if _KERNEL != "unset":
+        return _KERNEL
+    _KERNEL = None
+    if native_enabled():
+        library = _build_library()
+        if library is not None:
+            try:
+                lib = ctypes.CDLL(str(library))
+                fn = lib.stacked_descent
+                fn.restype = None
+                fn.argtypes = [
+                    _DOUBLE_P,
+                    ctypes.c_int64,
+                    ctypes.c_int64,
+                    _INT64_P,
+                    _INT64_P,
+                    ctypes.c_int64,
+                    ctypes.c_void_p,
+                    ctypes.c_int64,
+                    ctypes.c_double,
+                    _DOUBLE_P,
+                ]
+                _KERNEL = _make_wrapper(fn)
+            except OSError:
+                _KERNEL = None
+    return _KERNEL
+
+
+def _make_wrapper(fn):
+    def kernel(
+        x: np.ndarray,
+        roots: np.ndarray,
+        depths: np.ndarray,
+        nodes: np.ndarray,
+        mode: int,
+        scale: float,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        fn(
+            x.ctypes.data_as(_DOUBLE_P),
+            x.shape[0],
+            x.shape[1],
+            roots.ctypes.data_as(_INT64_P),
+            depths.ctypes.data_as(_INT64_P),
+            roots.shape[0],
+            nodes.ctypes.data,
+            mode,
+            scale,
+            out.ctypes.data_as(_DOUBLE_P),
+        )
+        return out
+
+    return kernel

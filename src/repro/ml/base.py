@@ -104,6 +104,15 @@ class BaseRegressor:
                 "call fit() before predict()."
             )
 
+    def __getstate__(self) -> Dict[str, Any]:
+        # The stacked-ensemble compilation (`_stacked_cache`, see
+        # repro.ml.tree.StackedTrees) is derived state rebuilt on demand;
+        # keeping it out of pickles stops bundles from storing every tree
+        # twice.
+        state = self.__dict__.copy()
+        state.pop("_stacked_cache", None)
+        return state
+
     def __repr__(self) -> str:
         params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
         return f"{type(self).__name__}({params})"

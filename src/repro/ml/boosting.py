@@ -23,10 +23,12 @@ from repro.ml.base import BaseRegressor, check_X, check_X_y
 from repro.ml.tree import (
     DecisionTreeRegressor,
     FlatTree,
+    StackedTrees,
     _bounds_mask,
     _column_positions,
     _positions,
     active_impl,
+    stacking_active,
 )
 
 __all__ = [
@@ -132,15 +134,21 @@ class AdaBoostRegressor(BaseRegressor):
         self.n_features_in_ = X.shape[1]
         return self
 
-    def predict(self, X) -> np.ndarray:
-        """Weighted-median prediction over the boosted ensemble."""
+    def stacked(self) -> StackedTrees:
+        """All base trees concatenated into one :class:`StackedTrees` (cached)."""
         self._check_fitted("estimators_")
-        X = check_X(X)
-        if active_impl() == "reference":
-            per_tree = [tree.predict(X) for tree in self.estimators_]
-        else:
-            per_tree = [tree.flat_tree_.predict(X) for tree in self.estimators_]
-        all_predictions = np.column_stack(per_tree)
+        stacked = getattr(self, "_stacked_cache", None)
+        if stacked is None:
+            stacked = StackedTrees(tree.flat_tree_ for tree in self.estimators_)
+            self._stacked_cache = stacked
+        return stacked
+
+    def _predict_stacked(self, X: np.ndarray) -> np.ndarray:
+        """Weighted-median aggregation over one stacked descent (no checks)."""
+        return self._weighted_median(self.stacked()._descend(X).T)
+
+    def _weighted_median(self, all_predictions: np.ndarray) -> np.ndarray:
+        """AdaBoost.R2 weighted median over an ``(n_samples, n_trees)`` block."""
         weights = np.asarray(self.estimator_weights_)
 
         order = np.argsort(all_predictions, axis=1)
@@ -149,7 +157,21 @@ class AdaBoostRegressor(BaseRegressor):
         cumulative = np.cumsum(sorted_weights, axis=1)
         threshold = 0.5 * cumulative[:, -1][:, None]
         median_idx = np.argmax(cumulative >= threshold, axis=1)
-        return sorted_predictions[np.arange(X.shape[0]), median_idx]
+        return sorted_predictions[
+            np.arange(all_predictions.shape[0]), median_idx
+        ]
+
+    def predict(self, X) -> np.ndarray:
+        """Weighted-median prediction over the boosted ensemble."""
+        self._check_fitted("estimators_")
+        X = check_X(X)
+        if active_impl() == "reference":
+            per_tree = [tree.predict(X) for tree in self.estimators_]
+        elif stacking_active():
+            return self._predict_stacked(X)
+        else:
+            per_tree = [tree.flat_tree_.predict(X) for tree in self.estimators_]
+        return self._weighted_median(np.column_stack(per_tree))
 
 
 # ---------------------------------------------------------------------------
@@ -422,9 +444,31 @@ class GradientBoostingRegressor(BaseRegressor):
         self.n_features_in_ = X.shape[1]
         return self
 
+    def stacked(self) -> StackedTrees:
+        """All Newton trees concatenated into one :class:`StackedTrees` (cached)."""
+        self._check_fitted("estimators_")
+        stacked = getattr(self, "_stacked_cache", None)
+        if stacked is None:
+            stacked = StackedTrees(tree.flat_ for tree in self.estimators_)
+            self._stacked_cache = stacked
+        return stacked
+
+    def _predict_stacked(self, X: np.ndarray) -> np.ndarray:
+        """Boosted sum over one stacked descent (no checks).
+
+        The per-tree contributions fold in boosting order with the exact
+        accumulation the sequential loop performs (see
+        :meth:`~repro.ml.tree.StackedTrees.fold`), so the result stays
+        bit-identical to it — a single vectorised sum would reassociate
+        the floating-point adds.
+        """
+        return self.stacked().fold(X, self.base_prediction_, self.learning_rate)
+
     def predict(self, X) -> np.ndarray:
         self._check_fitted("estimators_")
         X = check_X(X)
+        if stacking_active() and active_impl() != "reference":
+            return self._predict_stacked(X)
         prediction = np.full(X.shape[0], self.base_prediction_)
         for tree in self.estimators_:
             prediction += self.learning_rate * tree.predict(X)
@@ -434,6 +478,24 @@ class GradientBoostingRegressor(BaseRegressor):
 # ---------------------------------------------------------------------------
 # LightGBM-style histogram gradient boosting
 # ---------------------------------------------------------------------------
+def _unbinned_flat_tree(flat: FlatTree, bin_edges) -> FlatTree:
+    """Rewrite a histogram tree's bin-index thresholds into raw-value space.
+
+    A histogram split "``bin <= s``" with ``bin = searchsorted(edges, x,
+    side="left")`` holds exactly when ``x <= edges[s]`` (edges are strictly
+    increasing, so ``#{edges < x} <= s ⟺ not edges[s] < x``).  Replacing
+    each interior threshold ``s`` by ``edges[feature][s]`` therefore routes
+    raw feature rows identically to the binned descent — which lets the
+    stacked predictor skip the per-feature ``searchsorted`` pass entirely.
+    """
+    threshold = flat.threshold.copy()
+    for i in np.flatnonzero(flat.feature >= 0):
+        threshold[i] = bin_edges[flat.feature[i]][int(flat.threshold[i])]
+    return FlatTree(
+        flat.feature, threshold, flat.left, flat.right, flat.value, flat.depth
+    )
+
+
 class _HistTree:
     """Depth-limited tree over pre-binned features using histogram gains."""
 
@@ -602,6 +664,32 @@ class HistGradientBoostingRegressor(BaseRegressor):
         self.n_features_in_ = X.shape[1]
         return self
 
+    def stacked(self) -> StackedTrees:
+        """All histogram trees stacked, with thresholds remapped to raw space.
+
+        The stack descends the *unbinned* feature matrix directly (see
+        :func:`_unbinned_flat_tree`), so a prediction is one iterative
+        descent with no per-feature binning pass.  Built lazily and cached.
+        """
+        self._check_fitted("estimators_")
+        stacked = getattr(self, "_stacked_cache", None)
+        if stacked is None:
+            stacked = StackedTrees(
+                _unbinned_flat_tree(tree.flat_, self.bin_edges_)
+                for tree in self.estimators_
+            )
+            self._stacked_cache = stacked
+        return stacked
+
+    def _predict_stacked(self, X: np.ndarray) -> np.ndarray:
+        """Boosted sum over one raw-space stacked descent (no checks).
+
+        Contributions fold in boosting order (see
+        :meth:`~repro.ml.tree.StackedTrees.fold`) so the accumulation is
+        bit-identical to the sequential per-tree loop over binned features.
+        """
+        return self.stacked().fold(X, self.base_prediction_, self.learning_rate)
+
     def predict(self, X) -> np.ndarray:
         self._check_fitted("estimators_")
         X = check_X(X)
@@ -610,6 +698,8 @@ class HistGradientBoostingRegressor(BaseRegressor):
                 f"X has {X.shape[1]} features but model was fitted with "
                 f"{self.n_features_in_}"
             )
+        if stacking_active() and active_impl() != "reference":
+            return self._predict_stacked(X)
         binned = self._transform_bins(X)
         prediction = np.full(X.shape[0], self.base_prediction_)
         for tree in self.estimators_:

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseRegressor, check_X, check_X_y
-from repro.ml.tree import DecisionTreeRegressor, active_impl
+from repro.ml.tree import (
+    DecisionTreeRegressor,
+    StackedTrees,
+    active_impl,
+    stacking_active,
+)
 
 __all__ = ["RandomForestRegressor"]
 
@@ -97,19 +102,39 @@ class RandomForestRegressor(BaseRegressor):
             self.oob_score_ = None
         return self
 
+    def stacked(self) -> StackedTrees:
+        """All fitted trees concatenated into one :class:`StackedTrees`.
+
+        Built lazily on first use and cached (the cache is dropped from
+        pickles); row ``t`` of its ``predict_per_tree`` equals
+        ``estimators_[t].flat_tree_.predict``.
+        """
+        self._check_fitted("estimators_")
+        stacked = getattr(self, "_stacked_cache", None)
+        if stacked is None:
+            stacked = StackedTrees(tree.flat_tree_ for tree in self.estimators_)
+            self._stacked_cache = stacked
+        return stacked
+
+    def _predict_stacked(self, X: np.ndarray) -> np.ndarray:
+        """Ensemble mean over one whole-forest stacked descent (no checks)."""
+        return self.stacked()._descend(X).mean(axis=0)
+
     def predict(self, X) -> np.ndarray:
         self._check_fitted("estimators_")
         X = check_X(X)
-        # Each tree descends its flattened array form (X is validated once
-        # up front, not per tree); the ensemble mean is one reduction over
-        # the stacked (n_trees, n_samples) block.
+        # The whole forest descends as one struct-of-arrays: a single
+        # iterative pass moves an (n_trees, n_samples) frontier level by
+        # level, and the ensemble mean is one reduction over that block.
         if active_impl() == "reference":
-            stacked = np.stack([tree.predict(X) for tree in self.estimators_])
-        else:
-            stacked = np.stack(
-                [tree.flat_tree_.predict(X) for tree in self.estimators_]
-            )
-        return stacked.mean(axis=0)
+            return np.stack(
+                [tree.predict(X) for tree in self.estimators_]
+            ).mean(axis=0)
+        if stacking_active():
+            return self._predict_stacked(X)
+        return np.stack(
+            [tree.flat_tree_.predict(X) for tree in self.estimators_]
+        ).mean(axis=0)
 
     def feature_importances(self) -> np.ndarray:
         """Mean impurity-decrease importance across trees."""

@@ -28,9 +28,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.ml import _native
 from repro.ml.base import BaseRegressor, check_X, check_X_y
 
-__all__ = ["DecisionTreeRegressor", "FlatTree", "reference_mode"]
+__all__ = ["DecisionTreeRegressor", "FlatTree", "StackedTrees", "reference_mode"]
 
 
 #: Active implementation: "vectorized" (default) or "reference".
@@ -58,6 +59,34 @@ def reference_mode():
 def active_impl() -> str:
     """The currently active implementation ("vectorized" or "reference")."""
     return _IMPL
+
+
+#: Whether ensembles may predict through their StackedTrees compilation.
+_STACKING = True
+
+
+@contextmanager
+def unstacked_mode():
+    """Force the per-tree flat-descent loop in every tree ensemble.
+
+    This is the middle rung of the implementation ladder — newer than the
+    recursive :func:`reference_mode`, older than the whole-ensemble
+    :class:`StackedTrees` descent — kept so benchmarks can measure the
+    stacking speedup in isolation.  Predictions are bit-identical in all
+    three modes.
+    """
+    global _STACKING
+    previous = _STACKING
+    _STACKING = False
+    try:
+        yield
+    finally:
+        _STACKING = previous
+
+
+def stacking_active() -> bool:
+    """True when ensembles should predict through their stacked form."""
+    return _STACKING and _IMPL == "vectorized"
 
 
 @dataclass
@@ -187,6 +216,198 @@ class FlatTree:
             go_left = X[rows, descent_feature[node]] <= descent_threshold[node]
             node = children[node, go_left.view(np.int8)]
         return self.value[node]
+
+
+class StackedTrees:
+    """Every :class:`FlatTree` of an ensemble concatenated into one
+    struct-of-arrays.
+
+    The per-tree flat arrays (descent feature/threshold tables, children,
+    leaf values) are concatenated back to back and each tree's child indices
+    are shifted by its *root offset*, so the whole ensemble lives in one set
+    of arrays.  :meth:`predict_per_tree` then descends **all trees over all
+    query rows simultaneously**: one fancy-indexing step per level moves an
+    ``(n_trees, n_samples)`` frontier of node ids, replacing the per-tree
+    Python loop that dominated small-batch ensemble prediction.
+
+    Routing is identical to the per-tree :meth:`FlatTree.predict` (leaves
+    self-loop, so shallower trees simply idle until the deepest tree
+    finishes), which makes the stacked prediction bit-identical to the
+    stacked per-tree loop it replaces.  The descent runs over a flat
+    ``(n_trees * n_samples,)`` frontier with preallocated scratch buffers
+    and ``np.take`` gathers — broadcast fancy indexing on 2-D frontiers
+    costs several times more per level at the µs scale this serves.
+    """
+
+    __slots__ = (
+        "feature",
+        "threshold",
+        "children_flat",
+        "value",
+        "roots",
+        "depths",
+        "depth",
+        "nodes_packed",
+        "_scratch_size",
+        "_scratch",
+        "_out",
+        "_native",
+    )
+
+    def __init__(self, flat_trees):
+        flat_trees = list(flat_trees)
+        if not flat_trees:
+            raise ValueError("StackedTrees needs at least one FlatTree")
+        sizes = np.asarray([tree.n_nodes for tree in flat_trees], dtype=np.intp)
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        self.roots = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.depths = np.ascontiguousarray(
+            [tree.depth for tree in flat_trees], dtype=np.int64
+        )
+        self.feature = np.concatenate(
+            [tree._descent_feature for tree in flat_trees]
+        )
+        self.threshold = np.concatenate(
+            [tree._descent_threshold for tree in flat_trees]
+        )
+        # Children interleaved per node as (right, left): the flat index
+        # ``2 * node + go_left`` selects the next node in one gather.
+        children = np.concatenate(
+            [tree._children + offset for tree, offset in zip(flat_trees, offsets)]
+        )
+        self.children_flat = np.ascontiguousarray(children.reshape(-1))
+        self.value = np.concatenate([tree.value for tree in flat_trees])
+        self.depth = max(tree.depth for tree in flat_trees)
+        # Packed 32-byte array-of-structs mirror for the native kernel: one
+        # cache line per node visit instead of four scattered gathers.
+        packed = np.empty(self.feature.shape[0], dtype=_native.NODE_DTYPE)
+        packed["thr"] = self.threshold
+        packed["feat"] = self.feature
+        packed["right"] = children[:, 0]
+        packed["left"] = children[:, 1]
+        packed["value"] = self.value
+        self.nodes_packed = packed
+        self._scratch_size = -1
+        self._scratch = None
+        self._out = None
+        self._native = _native.load_kernel()
+
+    @property
+    def n_trees(self) -> int:
+        return self.roots.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.feature.shape[0]
+
+    def _out_buffer(self, n_samples: int) -> np.ndarray:
+        """Reusable ``(n_trees, n_samples)`` output buffer."""
+        out = self._out
+        if out is None or out.shape[1] != n_samples:
+            out = np.empty((self.roots.shape[0], n_samples), dtype=np.float64)
+            self._out = out
+        return out
+
+    def _buffers(self, n_samples: int, n_features: int):
+        """Reusable NumPy-descent scratch for a given frontier geometry.
+
+        Only the fallback path needs these seven arrays; the native kernel
+        keeps its whole state in registers and writes straight into the
+        output buffer.
+        """
+        if self._scratch_size != (n_samples, n_features):
+            n_trees = self.roots.shape[0]
+            size = n_trees * n_samples
+            self._scratch = {
+                "node": np.empty(size, dtype=np.intp),
+                "fn": np.empty(size, dtype=np.intp),
+                "xv": np.empty(size, dtype=np.float64),
+                "tv": np.empty(size, dtype=np.float64),
+                "go_left": np.empty(size, dtype=bool),
+                # Flat offset of each frontier slot's X row, so the feature
+                # gather is one integer add plus one take.
+                "row_base": np.tile(
+                    np.arange(n_samples, dtype=np.intp) * n_features, n_trees
+                ),
+                "node_init": np.repeat(self.roots, n_samples),
+            }
+            self._scratch_size = (n_samples, n_features)
+        return self._scratch
+
+    def _descend(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions as a **view of the internal output buffer**.
+
+        The view is only valid until the next ``_descend``/``fold`` call;
+        in-package aggregations consume it immediately.  External callers
+        use :meth:`predict_per_tree`, which returns an owned copy.
+        """
+        n_samples, n_features = X.shape
+        out = self._out_buffer(n_samples)
+        if self._native is not None:
+            return self._native(
+                np.ascontiguousarray(X),
+                self.roots,
+                self.depths,
+                self.nodes_packed,
+                0,
+                0.0,
+                out,
+            )
+        scratch = self._buffers(n_samples, n_features)
+        node = scratch["node"]
+        fn = scratch["fn"]
+        xv = scratch["xv"]
+        tv = scratch["tv"]
+        go_left = scratch["go_left"]
+        row_base = scratch["row_base"]
+        X_flat = np.ascontiguousarray(X).reshape(-1)
+
+        node[:] = scratch["node_init"]
+        for _ in range(self.depth):
+            np.take(self.feature, node, out=fn)
+            np.add(fn, row_base, out=fn)
+            np.take(X_flat, fn, out=xv)
+            np.take(self.threshold, node, out=tv)
+            np.less_equal(xv, tv, out=go_left)
+            np.multiply(node, 2, out=node)
+            np.add(node, go_left, out=node, casting="unsafe")
+            np.take(self.children_flat, node, out=node)
+        np.take(self.value, node, out=out.reshape(-1))
+        return out
+
+    def predict_per_tree(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions for all rows, shape ``(n_trees, n_samples)``.
+
+        Row ``t`` equals ``flat_trees[t].predict(X)`` bit for bit; the
+        ensemble-specific aggregation (mean, boosted sum, weighted median)
+        is left to the caller.  The returned array is freshly owned.
+        """
+        return self._descend(X).copy()
+
+    def fold(self, X: np.ndarray, base: float, scale: float) -> np.ndarray:
+        """Boosted-ensemble sum: ``base + Σ_t scale * tree_t(X)`` per row.
+
+        The per-tree contributions fold in tree order with the exact
+        ``prediction += scale * update`` element updates of the sequential
+        loop (the native kernel is compiled with FP contraction off), so
+        the result is bit-identical to folding :meth:`predict_per_tree`
+        rows in Python — just without the per-tree loop overhead.
+        """
+        n_samples = X.shape[0]
+        prediction = np.full(n_samples, base)
+        if self._native is not None:
+            return self._native(
+                np.ascontiguousarray(X),
+                self.roots,
+                self.depths,
+                self.nodes_packed,
+                1,
+                scale,
+                prediction,
+            )
+        for update in self._descend(X):
+            prediction += scale * update
+        return prediction
 
 
 def _best_split_reference(

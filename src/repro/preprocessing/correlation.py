@@ -91,10 +91,32 @@ class CorrelationFilter:
             raise ValueError(
                 f"X must have shape (n, {self.n_features_in_}), got {X.shape}"
             )
-        return X[:, self.kept_indices_]
+        # Fancy indexing on axis 1 yields an F-ordered result; normalise to
+        # C order so downstream BLAS calls (X @ coef, kernel matrices) take
+        # the same code path as matrices built column-subset-first — keeps
+        # the compiled prediction kernel bit-identical to this object path.
+        return np.ascontiguousarray(X[:, self.kept_indices_])
 
     def fit_transform(self, X: np.ndarray, feature_names: Sequence[str] | None = None) -> np.ndarray:
         return self.fit(X, feature_names).transform(X)
+
+    def keep_indices(self) -> np.ndarray:
+        """Surviving feature columns as a sorted index array.
+
+        The compiled prediction path uses this mask to build (and transform)
+        only the kept columns in the first place, instead of materialising
+        all features and slicing afterwards.
+        """
+        if not hasattr(self, "kept_indices_"):
+            raise RuntimeError("CorrelationFilter is not fitted yet")
+        return np.asarray(self.kept_indices_, dtype=np.intp)
+
+    def keep_mask(self) -> np.ndarray:
+        """Boolean mask over the input features (True = column survives)."""
+        kept = self.keep_indices()
+        mask = np.zeros(self.n_features_in_, dtype=bool)
+        mask[kept] = True
+        return mask
 
     def to_config(self) -> dict:
         return {

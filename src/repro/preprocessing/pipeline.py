@@ -16,10 +16,53 @@ import numpy as np
 
 from repro.preprocessing.correlation import CorrelationFilter
 from repro.preprocessing.outliers import LocalOutlierFactor
-from repro.preprocessing.power import YeoJohnsonTransformer
+from repro.preprocessing.power import YeoJohnsonTransformer, yeo_johnson_transform_matrix
 from repro.preprocessing.scaler import StandardScaler
 
-__all__ = ["PreprocessingPipeline", "PreprocessingConfig"]
+__all__ = ["PreprocessingPipeline", "PreprocessingConfig", "FusedTransform"]
+
+
+@dataclass(frozen=True)
+class FusedTransform:
+    """A fitted pipeline collapsed into flat arrays over the *kept* columns.
+
+    The object pipeline transforms every feature column in a Python loop and
+    slices the survivors afterwards.  Both steps commute column-wise, so the
+    fused form (a) restricts all state to the correlation filter's kept
+    columns and (b) evaluates the whole transform as two vectorised
+    expressions:
+
+    1. ``T = yeo_johnson_transform_matrix(X_kept, lambdas)`` (skipped for
+       plain-scaler pipelines),
+    2. ``(T - shift) / scale``.
+
+    Outputs are bit-identical to ``PreprocessingPipeline.transform`` on the
+    same input.  ``kept_indices`` maps back into the full feature set;
+    :meth:`transform_kept` is the hot-path entry for callers (the compiled
+    predictor) that materialise only the kept feature columns up front.
+    """
+
+    kept_indices: np.ndarray
+    lambdas: np.ndarray | None
+    shift: np.ndarray
+    scale: np.ndarray
+
+    @property
+    def n_features_out(self) -> int:
+        return int(self.kept_indices.shape[0])
+
+    def transform_kept(self, X_kept: np.ndarray) -> np.ndarray:
+        """Transform a matrix that already holds only the kept columns."""
+        if self.lambdas is not None:
+            X_kept = yeo_johnson_transform_matrix(X_kept, self.lambdas)
+        return (X_kept - self.shift) / self.scale
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Transform a full-width feature matrix (selects kept columns first)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return self.transform_kept(X[:, self.kept_indices])
 
 
 @dataclass
@@ -155,6 +198,30 @@ class PreprocessingPipeline:
         else:
             transformed = self._scaler.transform(X)
         return self._correlation.transform(transformed)
+
+    # -- compilation -----------------------------------------------------------
+    def compile(self) -> FusedTransform:
+        """Collapse the fitted pipeline into a :class:`FusedTransform`.
+
+        The flat form holds per-kept-column Yeo-Johnson lambdas (or none for
+        the plain-scaler configuration), the fused standardisation affine and
+        the correlation keep-indices; its ``transform`` is bit-identical to
+        the object path here.
+        """
+        if not hasattr(self, "_correlation"):
+            raise RuntimeError("PreprocessingPipeline is not fitted yet")
+        kept = self._correlation.keep_indices()
+        if self._power is not None:
+            lambdas, shift, scale = self._power.flat_state()
+        else:
+            lambdas = None
+            shift, scale = self._scaler.flat_state()
+        return FusedTransform(
+            kept_indices=kept,
+            lambdas=None if lambdas is None else lambdas[kept],
+            shift=shift[kept],
+            scale=scale[kept],
+        )
 
     # -- serialisation ---------------------------------------------------------
     def to_config(self) -> PreprocessingConfig:

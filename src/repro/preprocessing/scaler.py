@@ -52,6 +52,16 @@ class StandardScaler:
             raise RuntimeError("StandardScaler is not fitted yet")
         return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
 
+    def flat_state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Fitted state as a fused affine ``(shift, scale)``.
+
+        ``transform(X) == (X - shift) / scale`` elementwise; used by the
+        compiled prediction path in place of the object transform.
+        """
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted yet")
+        return self.mean_, self.scale_
+
     def to_config(self) -> dict:
         return {
             "with_mean": self.with_mean,

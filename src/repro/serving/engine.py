@@ -43,11 +43,16 @@ __all__ = ["PlanRequest", "ServingEngine"]
 
 @dataclass(frozen=True)
 class PlanRequest:
-    """One queued plan request (dimensions already normalized)."""
+    """One queued plan request (dimensions already normalized).
+
+    ``dims_key`` is the canonical hashable form of ``dims`` (sorted items),
+    computed once at submission and reused by every cache probe downstream.
+    """
 
     request_id: int
     routine: str
     dims: Dict[str, int]
+    dims_key: tuple = ()
 
 
 class ServingEngine:
@@ -70,6 +75,12 @@ class ServingEngine:
     use_cache:
         Whether plans may be served from / stored into each predictor's LRU
         cache (mirrors the ``use_cache`` flag of ``plan()``).
+    timing_cache_capacity:
+        Bound on the engine's timing memo (distinct ``(routine, dims,
+        threads)`` rows).  The timing simulator is deterministic, so
+        re-simulating a shape the engine has already timed only burns
+        latency; under cycling/skewed traffic this memo removes the
+        simulator from the hot path entirely.  ``0`` disables it.
     """
 
     def __init__(
@@ -79,17 +90,32 @@ class ServingEngine:
         max_batch_size: int = 64,
         telemetry: Optional[EngineTelemetry] = None,
         use_cache: bool = True,
+        timing_cache_capacity: int = 4096,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
+        if timing_cache_capacity < 0:
+            raise ValueError("timing_cache_capacity must be non-negative")
         self.source = source
         self.fallback = fallback if fallback is not None else default_serving_chain()
         self.max_batch_size = int(max_batch_size)
         self.telemetry = telemetry if telemetry is not None else EngineTelemetry()
         self.use_cache = use_cache
+        self.timing_cache_capacity = int(timing_cache_capacity)
+        self._timing_cache: "OrderedDict[tuple, float]" = OrderedDict()
+        self.n_timing_hits = 0
+        self.n_timing_misses = 0
         self._queue: List[PlanRequest] = []
         self._next_request_id = 0
         self._touched_routines: set[str] = set()
+        # In-memory bundles hold every predictor already; compile their
+        # fused kernels up front so no request pays the one-off build cost.
+        # Lazy registry handles compile per routine at model-load time
+        # instead (see BundleHandle.installation).
+        routines = getattr(source, "routines", None)
+        if isinstance(routines, dict):
+            for installation in routines.values():
+                installation.predictor.compile()
 
     # -- properties ----------------------------------------------------------------
     @property
@@ -108,10 +134,12 @@ class ServingEngine:
     def _make_request(self, routine: str, dims: Dict[str, int]) -> PlanRequest:
         """Validate and normalize one request (shared by submit and plan)."""
         prefix, base, spec = parse_routine(routine)
+        normalized = spec.dims_from_args(**dims)
         request = PlanRequest(
             request_id=self._next_request_id,
             routine=prefix + base,
-            dims=spec.dims_from_args(**dims),
+            dims=normalized,
+            dims_key=tuple(sorted(normalized.items())),
         )
         self._next_request_id += 1
         return request
@@ -154,6 +182,70 @@ class ServingEngine:
         return self.flush()
 
     # -- batch processing ------------------------------------------------------------
+    def _timed_rows(
+        self, key: str, rows: List[Tuple[Dict[str, int], tuple, int]]
+    ) -> List[float]:
+        """Runtimes for ``(dims, dims_key, threads)`` rows, memoised.
+
+        Rows the engine already timed come straight from the LRU memo (the
+        simulator is deterministic, so the values are identical); the
+        remaining distinct rows are answered in **one** vectorised
+        ``time_batch`` pass over column arrays — no per-row dict
+        re-validation, no second baseline pass.
+        """
+        cache = self._timing_cache
+        capacity = self.timing_cache_capacity
+        times: List[Optional[float]] = [None] * len(rows)
+        pending: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for slot, (dims, dims_key, threads) in enumerate(rows):
+            memo_key = (key, dims_key, threads)
+            if capacity:
+                cached = cache.get(memo_key)
+                if cached is not None:
+                    cache.move_to_end(memo_key)
+                    self.n_timing_hits += 1
+                    times[slot] = cached
+                    continue
+            slots = pending.get(memo_key)
+            if slots is None:
+                # One miss per distinct simulated row; within-batch
+                # duplicates (e.g. prediction == baseline threads) share
+                # the row and count neither as hit nor miss.
+                if capacity:
+                    self.n_timing_misses += 1
+                pending[memo_key] = [slot]
+            else:
+                slots.append(slot)
+
+        if pending:
+            _, _, spec = parse_routine(key)
+            first_slots = [slots[0] for slots in pending.values()]
+            columns = {
+                name: np.fromiter(
+                    (rows[slot][0][name] for slot in first_slots),
+                    dtype=np.int64,
+                    count=len(first_slots),
+                )
+                for name in spec.dim_names
+            }
+            threads_column = np.fromiter(
+                (rows[slot][2] for slot in first_slots),
+                dtype=np.int64,
+                count=len(first_slots),
+            )
+            fresh = self.source.simulator.time_batch(key, columns, threads_column)
+            for memo_key, value in zip(pending, fresh):
+                value = float(value)
+                for slot in pending[memo_key]:
+                    times[slot] = value
+                if capacity:
+                    cache[memo_key] = value
+                    cache.move_to_end(memo_key)
+            if capacity:
+                while len(cache) > capacity:
+                    cache.popitem(last=False)
+        return times  # type: ignore[return-value]
+
     def _process_batch(
         self, batch: Sequence[PlanRequest], use_cache: Optional[bool] = None
     ) -> List[ExecutionPlan]:
@@ -166,35 +258,39 @@ class ServingEngine:
         for index, resolution in enumerate(resolutions):
             groups.setdefault((resolution.key, resolution.heuristic), []).append(index)
 
-        simulator = self.source.simulator
+        max_threads = self.source.platform.max_threads
         plans: List[Optional[ExecutionPlan]] = [None] * len(batch)
         for (key, heuristic), indices in groups.items():
-            dims_list = [batch[i].dims for i in indices]
-            baselines = np.asarray(
-                simulator.time_at_max_threads_batch(key, dims_list), dtype=float
-            )
             if heuristic:
-                threads = [self.source.platform.max_threads] * len(indices)
-                predicted = baselines
+                threads = [max_threads] * len(indices)
                 from_cache = [False] * len(indices)
             else:
                 self._touched_routines.add(key)
+                dims_list = [batch[i].dims for i in indices]
                 prediction_plans = self.source.predictor(key).plan_batch(
                     dims_list, use_cache=use_cache
                 )
                 threads = [p.threads for p in prediction_plans]
                 from_cache = [p.from_cache for p in prediction_plans]
-                predicted = np.asarray(
-                    simulator.time_batch(key, dims_list, threads), dtype=float
-                )
+
+            # One memoised timing pass answers both the chosen-thread
+            # prediction and the max-thread baseline; for heuristic groups
+            # (and predictions that chose max threads) the rows coincide.
+            timing_rows: List[Tuple[Dict[str, int], tuple, int]] = []
+            for slot, index in enumerate(indices):
+                request = batch[index]
+                timing_rows.append((request.dims, request.dims_key, int(threads[slot])))
+                timing_rows.append((request.dims, request.dims_key, max_threads))
+            timed = self._timed_rows(key, timing_rows)
+
             for slot, index in enumerate(indices):
                 resolution = resolutions[index]
                 plan = ExecutionPlan(
                     routine=key,
                     dims=batch[index].dims,
                     threads=int(threads[slot]),
-                    predicted_time=float(predicted[slot]),
-                    baseline_time=float(baselines[slot]),
+                    predicted_time=timed[2 * slot],
+                    baseline_time=timed[2 * slot + 1],
                     from_cache=bool(from_cache[slot]),
                     fallback_from=resolution.fallback_from,
                     policy=resolution.policy,
@@ -220,16 +316,39 @@ class ServingEngine:
         return self.telemetry.reinstall_candidates()
 
     # -- statistics -------------------------------------------------------------------
-    def cache_statistics(self) -> Dict[str, int]:
-        """Aggregate LRU cache counters over every routine this engine touched."""
+    def cache_statistics(self) -> Dict[str, object]:
+        """LRU cache counters, aggregate and per routine this engine touched.
+
+        Each per-routine entry reports the predictor's hit/miss counters and
+        the resulting ``hit_rate`` (hits over probes), so operators can see
+        which routines actually benefit from the LRU plan cache.
+        """
         hits = misses = evaluations = 0
+        per_routine: Dict[str, Dict[str, object]] = {}
         for key in sorted(self._touched_routines):
             predictor = self.source.predictor(key)
             info = predictor.cache_info()
+            probes = info["hits"] + info["misses"]
+            per_routine[key] = {
+                "hits": info["hits"],
+                "misses": info["misses"],
+                "hit_rate": info["hits"] / probes if probes else 0.0,
+            }
             hits += info["hits"]
             misses += info["misses"]
             evaluations += predictor.n_model_evaluations
-        return {"cache_hits": hits, "cache_misses": misses, "model_evaluations": evaluations}
+        return {
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "model_evaluations": evaluations,
+            "routines": per_routine,
+            "timing": {
+                "hits": self.n_timing_hits,
+                "misses": self.n_timing_misses,
+                "size": len(self._timing_cache),
+                "capacity": self.timing_cache_capacity,
+            },
+        }
 
     def stats(self) -> Dict[str, object]:
         """Telemetry snapshot plus queue/cache counters (JSON-serialisable)."""

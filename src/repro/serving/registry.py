@@ -134,6 +134,10 @@ class BundleHandle:
             self.platform,
             verify_checksum=self.verify_checksums,
         )
+        # Build the fused prediction kernel while we are already paying the
+        # load cost, so the routine's first request is served at steady-state
+        # latency instead of triggering the compile.
+        installation.predictor.compile()
         self._loaded[key] = installation
         return installation
 

@@ -106,6 +106,13 @@ class RoutineTelemetry:
     def mean_abs_rel_error(self) -> float:
         return self.errors.mean
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this routine's plans answered from the LRU cache."""
+        if self.n_plans == 0:
+            return 0.0
+        return self.n_cache_hits / self.n_plans
+
     def drifting(self, threshold: float, min_observations: int) -> bool:
         """True when the rolling error is trustworthy and above threshold."""
         return (
@@ -118,6 +125,7 @@ class RoutineTelemetry:
             "routine": self.routine,
             "plans": self.n_plans,
             "cache_hits": self.n_cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
             "fallback_plans": self.n_fallback_plans,
             "heuristic_plans": self.n_heuristic_plans,
             "observations": self.n_observations,

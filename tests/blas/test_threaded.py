@@ -111,3 +111,52 @@ class TestValidation:
     def test_invalid_tile(self):
         with pytest.raises(ValueError, match="tile"):
             ThreadedBlas(tile=4)
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_calls(self, rng):
+        executor = ThreadedBlas(n_threads=3, tile=16)
+        assert executor._pool is None  # created lazily
+        A, B = rng.normal(size=(64, 32)), rng.normal(size=(32, 48))
+        executor.gemm(A, B)
+        pool = executor._pool
+        assert pool is not None
+        executor.gemm(A, B)
+        executor.syrk(A)
+        assert executor._pool is pool  # one pool serves every call
+
+    def test_serial_executor_never_builds_pool(self, rng):
+        executor = ThreadedBlas(n_threads=1, tile=16)
+        A, B = rng.normal(size=(48, 24)), rng.normal(size=(24, 32))
+        executor.gemm(A, B)
+        assert executor._pool is None
+
+    def test_close_is_idempotent_and_pool_rebuilds(self, rng):
+        executor = ThreadedBlas(n_threads=2, tile=16)
+        A, B = rng.normal(size=(64, 32)), rng.normal(size=(32, 48))
+        first = executor.gemm(A, B)
+        executor.close()
+        executor.close()
+        assert executor._pool is None
+        np.testing.assert_allclose(executor.gemm(A, B), first)
+        assert executor._pool is not None
+        executor.close()
+
+    def test_context_manager_closes_pool(self, rng):
+        A, B = rng.normal(size=(48, 24)), rng.normal(size=(24, 32))
+        with ThreadedBlas(n_threads=2, tile=16) as executor:
+            np.testing.assert_allclose(executor.gemm(A, B), A @ B, rtol=1e-12)
+            assert executor._pool is not None
+        assert executor._pool is None
+
+    def test_records_survive_pool_reuse(self, rng):
+        executor = ThreadedBlas(n_threads=2, tile=16)
+        A, B = rng.normal(size=(64, 64)), rng.normal(size=(64, 64))
+        executor.run("dgemm", A=A, B=B)
+        first = executor.last_record
+        executor.run("dgemm", A=A, B=B)
+        second = executor.last_record
+        assert first is not second
+        assert first.n_tasks == second.n_tasks
+        assert second.elapsed_seconds > 0
+        executor.close()

@@ -105,3 +105,64 @@ class TestMatrices:
             feature_matrix_for_threads("dgemm", {"m": 1, "k": 1, "n": 1}, [])
         with pytest.raises(ValueError):
             feature_matrix_for_threads("dgemm", {"m": 1, "k": 1, "n": 1}, [0, 1])
+
+
+class TestFeatureGridWriter:
+    def _grid_writer(self, routine, threads, columns=None):
+        from repro.core.features import FeatureGridWriter
+
+        return FeatureGridWriter(routine, threads, columns=columns)
+
+    @pytest.mark.parametrize("routine", ["dgemm", "ssymm", "dsyrk", "strsm"])
+    def test_matches_feature_matrix_grid(self, routine):
+        from repro.core.features import feature_matrix_grid
+        from repro.blas.api import parse_routine
+
+        _, _, spec = parse_routine(routine)
+        rng = np.random.default_rng(4)
+        dims_list = [
+            {name: int(rng.integers(16, 5000)) for name in spec.dim_names}
+            for _ in range(7)
+        ]
+        threads = np.array([1, 2, 5, 13, 48])
+        writer = self._grid_writer(routine, threads)
+        grid = writer.write_dicts(dims_list)
+        assert np.array_equal(grid, feature_matrix_grid(routine, dims_list, threads))
+
+    def test_column_subset(self):
+        from repro.core.features import feature_matrix_grid
+
+        dims_list = [{"m": 100, "k": 200, "n": 300}, {"m": 7, "k": 9, "n": 11}]
+        threads = [1, 4, 16]
+        columns = [0, 3, 8, 16]
+        writer = self._grid_writer("dgemm", threads, columns=columns)
+        full = feature_matrix_grid("dgemm", dims_list, np.asarray(threads, float))
+        assert np.array_equal(writer.write_dicts(dims_list), full[:, columns])
+
+    def test_buffer_reused_and_grows(self):
+        writer = self._grid_writer("dgemm", [1, 2])
+        first = writer.write_dicts([{"m": 10, "k": 20, "n": 30}])
+        buffer_id = id(writer._buffer)
+        second = writer.write_dicts([{"m": 11, "k": 21, "n": 31}])
+        assert id(writer._buffer) == buffer_id  # same storage reused
+        assert first.base is second.base or first is second  # view into it
+        big = writer.write_dicts(
+            [{"m": i + 1, "k": 2, "n": 3} for i in range(10)]
+        )
+        assert big.shape == (20, 17)
+        assert id(writer._buffer) != buffer_id  # grown geometrically
+
+    def test_validation_matches_grid_errors(self):
+        writer = self._grid_writer("dgemm", [1, 2])
+        with pytest.raises(ValueError):
+            writer.write_dicts([])
+        with pytest.raises(ValueError):
+            writer.write_dicts([{"m": 1, "k": 1}])
+        with pytest.raises(ValueError):
+            writer.write_dicts([{"m": 1, "k": 1, "n": 0}])
+        with pytest.raises(ValueError):
+            self._grid_writer("dgemm", [])
+        with pytest.raises(ValueError):
+            self._grid_writer("dgemm", [0, 1])
+        with pytest.raises(ValueError):
+            self._grid_writer("dgemm", [1, 2], columns=[17])

@@ -1,0 +1,119 @@
+"""Tests for the flat-array / fused preprocessing exports."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.correlation import CorrelationFilter
+from repro.preprocessing.pipeline import PreprocessingPipeline
+from repro.preprocessing.power import (
+    YeoJohnsonTransformer,
+    yeo_johnson_transform,
+    yeo_johnson_transform_matrix,
+)
+from repro.preprocessing.scaler import StandardScaler
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestYeoJohnsonMatrix:
+    def test_matches_column_loop_mixed_signs(self, rng):
+        X = rng.normal(scale=3.0, size=(120, 6))
+        lambdas = np.array([0.0, 0.7, 2.0, -1.3, 1.0, 3.2])
+        expected = np.column_stack(
+            [yeo_johnson_transform(X[:, j], lam) for j, lam in enumerate(lambdas)]
+        )
+        assert np.array_equal(
+            yeo_johnson_transform_matrix(X, lambdas), expected
+        )
+
+    def test_matches_column_loop_all_positive(self, rng):
+        X = rng.uniform(0.0, 50.0, size=(80, 4))
+        lambdas = np.array([0.0, 0.5, 1.5, -0.4])
+        expected = np.column_stack(
+            [yeo_johnson_transform(X[:, j], lam) for j, lam in enumerate(lambdas)]
+        )
+        assert np.array_equal(
+            yeo_johnson_transform_matrix(X, lambdas), expected
+        )
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            yeo_johnson_transform_matrix(rng.normal(size=(10, 3)), np.ones(4))
+
+    def test_transformer_flat_state_reproduces_transform(self, rng):
+        X = rng.uniform(1.0, 1e6, size=(150, 5))
+        transformer = YeoJohnsonTransformer().fit(X)
+        lambdas, shift, scale = transformer.flat_state()
+        fused = (yeo_johnson_transform_matrix(X, lambdas) - shift) / scale
+        assert np.array_equal(fused, transformer.transform(X))
+
+    def test_flat_state_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            YeoJohnsonTransformer().flat_state()
+
+
+class TestScalerFlatState:
+    def test_affine_reproduces_transform(self, rng):
+        X = rng.normal(size=(60, 4))
+        scaler = StandardScaler().fit(X)
+        shift, scale = scaler.flat_state()
+        assert np.array_equal((X - shift) / scale, scaler.transform(X))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().flat_state()
+
+
+class TestCorrelationMask:
+    def test_keep_indices_and_mask_agree(self, rng):
+        base = rng.normal(size=(100, 1))
+        X = np.hstack([base, base * 2.0 + 1e-9, rng.normal(size=(100, 2))])
+        filt = CorrelationFilter(threshold=0.8).fit(X)
+        kept = filt.keep_indices()
+        mask = filt.keep_mask()
+        assert np.array_equal(np.flatnonzero(mask), kept)
+        assert np.array_equal(sorted(filt.kept_indices_), kept)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CorrelationFilter().keep_indices()
+
+
+class TestFusedPipeline:
+    @pytest.mark.parametrize("use_yeo_johnson", [True, False])
+    def test_compile_matches_object_transform(self, rng, use_yeo_johnson):
+        base = rng.uniform(1.0, 1e5, size=(200, 1))
+        X = np.hstack(
+            [
+                base,
+                base * 3.0,  # redundant: dropped by the correlation filter
+                rng.uniform(1.0, 1e4, size=(200, 3)),
+            ]
+        )
+        pipeline = PreprocessingPipeline(use_yeo_johnson=use_yeo_johnson)
+        pipeline.fit_transform(X)
+        fused = pipeline.compile()
+        assert fused.n_features_out == pipeline.n_features_out_
+
+        query = rng.uniform(1.0, 1e5, size=(37, 5))
+        expected = pipeline.transform(query)
+        assert np.array_equal(fused.transform(query), expected)
+        assert np.array_equal(
+            fused.transform_kept(query[:, fused.kept_indices]), expected
+        )
+
+    def test_roundtripped_config_compiles_identically(self, rng):
+        X = rng.uniform(1.0, 1e4, size=(150, 4))
+        pipeline = PreprocessingPipeline()
+        pipeline.fit_transform(X)
+        reloaded = PreprocessingPipeline.from_config(
+            pipeline.to_config().to_dict()
+        )
+        query = rng.uniform(1.0, 1e4, size=(20, 4))
+        assert np.array_equal(
+            reloaded.compile().transform(query),
+            pipeline.compile().transform(query),
+        )

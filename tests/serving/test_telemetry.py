@@ -111,3 +111,23 @@ class TestEngineTelemetry:
             EngineTelemetry(drift_threshold=0.0)
         with pytest.raises(ValueError):
             EngineTelemetry(min_observations=0)
+
+
+class TestCacheHitRate:
+    def test_hit_rate_zero_without_plans(self):
+        from repro.serving.telemetry import RoutineTelemetry
+
+        telemetry = RoutineTelemetry("dgemm")
+        assert telemetry.cache_hit_rate == 0.0
+        assert telemetry.snapshot()["cache_hit_rate"] == 0.0
+
+    def test_hit_rate_tracks_cached_plans(self):
+        from repro.serving.telemetry import RoutineTelemetry
+
+        telemetry = RoutineTelemetry("dgemm")
+        for from_cache in (True, False, True, True):
+            telemetry.record_plan(
+                from_cache=from_cache, fallback=False, heuristic=False
+            )
+        assert telemetry.cache_hit_rate == 0.75
+        assert telemetry.snapshot()["cache_hit_rate"] == 0.75
