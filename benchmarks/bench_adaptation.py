@@ -1,0 +1,194 @@
+"""Benchmark: drift injection -> closed-loop adaptation -> recovery.
+
+The adaptive layer's bet is twofold:
+
+* **recovery** — after the machine drifts (here: clock down 45 %, sync
+  cost x2.5), one :meth:`~repro.adaptive.controller.AdaptationController.step`
+  brings the rolling observed-vs-predicted error back under the drift
+  threshold, without restarting the serving engine;
+* **budget** — the traffic-seeded incremental re-gather (a tenth of an
+  install-scale campaign, seeded from the shapes the workload actually
+  asked for) is much cheaper end to end than re-running the full installer
+  for the drifting routines, which is what a drift flag would otherwise
+  trigger.
+
+Both are measured here: prediction error before/after adaptation and the
+end-to-end adaptation wall time against a full re-install of the same
+routines.  Results land in ``benchmarks/results/adaptation.txt`` and
+``benchmarks/results/adaptation.json`` (shared stage/reference/optimized
+schema; for the error row the two "seconds" columns carry the rolling
+mean absolute relative error before and after, and ``speedup`` is the
+error-reduction factor).
+"""
+
+import time
+
+from repro.adaptive import (
+    AdaptationConfig,
+    AdaptationController,
+    DriftInjector,
+    make_calibration,
+)
+from repro.core.install import install_adsala
+from repro.core.persistence import save_bundle
+from repro.harness.tables import format_table
+from repro.machine.platforms import get_platform
+from repro.serving.engine import ServingEngine
+from repro.serving.registry import ModelRegistry
+from repro.serving.telemetry import EngineTelemetry
+from repro.serving.workload import generate_workload
+
+from benchmarks.conftest import run_once
+
+ROUTINES = ["dgemm", "dsyrk"]
+N_REQUESTS = 400
+DRIFT_THRESHOLD = 0.25
+INSTALL_SAMPLES = 24
+INSTALL_THREADS_PER_SHAPE = 6
+REGATHER_SHAPES = 12
+CANDIDATES = ("LinearRegression", "DecisionTree")
+
+CALIBRATION = make_calibration(clock=0.55, sync=2.5)
+
+
+def _drive(engine, observer, seed):
+    workload = generate_workload(
+        ROUTINES, N_REQUESTS, distribution="skewed", seed=seed
+    )
+    plans = engine.plan_many(request.as_tuple() for request in workload)
+    for plan in plans:
+        engine.record_observation(
+            plan, observer.time(plan.routine, plan.dims, plan.threads)
+        )
+
+
+def _rolling_errors(engine):
+    return {
+        routine: telemetry.mean_abs_rel_error
+        for routine, telemetry in engine.telemetry.routines.items()
+    }
+
+
+def test_adaptation_recovery(benchmark, record, record_json, tmp_path):
+    platform = get_platform("laptop")
+    bundle = install_adsala(
+        platform=platform,
+        routines=ROUTINES,
+        n_samples=INSTALL_SAMPLES,
+        threads_per_shape=INSTALL_THREADS_PER_SHAPE,
+        n_test_shapes=8,
+        candidate_models=list(CANDIDATES),
+        seed=0,
+    )
+    bundle_dir = save_bundle(bundle, tmp_path / "bundle", bundle_version=1)
+
+    def run():
+        registry = ModelRegistry()
+        handle = registry.register(bundle_dir)
+        engine = ServingEngine(
+            handle,
+            telemetry=EngineTelemetry(drift_threshold=DRIFT_THRESHOLD),
+        )
+        injector = DriftInjector(platform, CALIBRATION)
+        observer = injector.simulator(seed=1)
+
+        # -- drift: serve traffic measured on the perturbed machine ----------
+        _drive(engine, observer, seed=3)
+        errors_before = _rolling_errors(engine)
+        drifting = engine.reinstall_candidates()
+        assert drifting, "drift injection failed to trip the detector"
+
+        # -- adapt: one controller step, wall-clocked -------------------------
+        controller = AdaptationController(
+            engine,
+            AdaptationConfig(
+                seed=11,
+                regather_shapes=REGATHER_SHAPES,
+                regather_threads_per_shape=4,
+                regather_test_shapes=6,
+                candidate_models=CANDIDATES,
+                max_latency_regression=2.0,
+            ),
+            measurement_simulator=injector.simulator(seed=2),
+            calibration=CALIBRATION,
+        )
+        start = time.perf_counter()
+        report = controller.step()
+        adapt_wall = time.perf_counter() - start
+        assert report.promoted, "no routine cleared shadow evaluation"
+
+        # -- recovery: fresh drifted traffic against the promoted bundle -----
+        _drive(engine, observer, seed=4)
+        errors_after = _rolling_errors(engine)
+        for routine in report.promoted:
+            assert errors_after[routine] < DRIFT_THRESHOLD, (
+                f"{routine} rolling error {errors_after[routine]:.3f} did not "
+                f"recover below {DRIFT_THRESHOLD}"
+            )
+
+        # -- reference cost: a full re-install of the same routines ----------
+        start = time.perf_counter()
+        install_adsala(
+            platform=platform,
+            routines=report.promoted or ROUTINES,
+            n_samples=80,
+            threads_per_shape=14,
+            n_test_shapes=30,
+            candidate_models=list(CANDIDATES),
+            seed=11,
+        )
+        reinstall_wall = time.perf_counter() - start
+        return report, errors_before, errors_after, adapt_wall, reinstall_wall
+
+    report, before, after, adapt_wall, reinstall_wall = run_once(benchmark, run)
+
+    mean_before = sum(before[r] for r in report.promoted) / len(report.promoted)
+    mean_after = sum(after[r] for r in report.promoted) / len(report.promoted)
+    rows = [
+        {
+            "stage": "rolling mean |err| (promoted routines)",
+            "before": round(mean_before, 4),
+            "after": round(mean_after, 4),
+            "factor": round(mean_before / mean_after, 2),
+        },
+        {
+            "stage": "wall time: full reinstall vs adaptation (s)",
+            "before": round(reinstall_wall, 3),
+            "after": round(adapt_wall, 3),
+            "factor": round(reinstall_wall / adapt_wall, 2),
+        },
+    ]
+    text = format_table(
+        rows,
+        title=(
+            f"Drift adaptation on laptop ({', '.join(report.promoted)} promoted "
+            f"to v{report.new_version}; drift: clock x0.55, sync x2.5; "
+            f"threshold {DRIFT_THRESHOLD})"
+        ),
+    )
+    print()
+    print(text)
+    record("adaptation", text)
+    record_json(
+        "adaptation",
+        [
+            {
+                "stage": "drift recovery (rolling mean abs rel error)",
+                "reference_s": mean_before,
+                "optimized_s": mean_after,
+                "speedup": mean_before / mean_after,
+                "metric": "mean_abs_rel_error",
+                "drift_threshold": DRIFT_THRESHOLD,
+                "promoted": list(report.promoted),
+                "bundle_version": report.new_version,
+            },
+            {
+                "stage": "adaptation wall time vs full reinstall",
+                "reference_s": reinstall_wall,
+                "optimized_s": adapt_wall,
+                "speedup": reinstall_wall / adapt_wall,
+                "regather_shapes": REGATHER_SHAPES,
+                "install_samples": 80,
+            },
+        ],
+    )

@@ -1,0 +1,128 @@
+"""Adaptation quickstart: drift in, retrained model out, no restart.
+
+The full closed loop on the small "laptop" preset:
+
+1. install a two-routine bundle and serve it through the micro-batching
+   engine;
+2. inject hardware drift — the "machine" under the engine loses 45 % of
+   its clock and its synchronisation cost x2.5 — and watch the rolling
+   observed-vs-predicted error trip the drift detector;
+3. run one :class:`~repro.adaptive.controller.AdaptationController` step:
+   budgeted re-gather seeded from the observed traffic shapes, retrain
+   with the installer's model-selection criterion, shadow-compare against
+   the live model on the recorded traffic, promote the winner as bundle
+   v2 and hot-reload the engine;
+4. verify the error recovered, inspect the audit trail, then roll the
+   bundle back to v1 byte-for-byte.
+
+Run with::
+
+    python examples/adaptation_quickstart.py
+"""
+
+import tempfile
+
+from repro import install_adsala
+from repro.adaptive import (
+    AdaptationConfig,
+    AdaptationController,
+    DriftInjector,
+    make_calibration,
+)
+from repro.core.persistence import save_bundle
+from repro.machine import get_platform
+from repro.serving import EngineTelemetry, ModelRegistry, ServingEngine, generate_workload
+
+DRIFT_THRESHOLD = 0.25
+
+
+def serve_and_observe(engine, observer, seed):
+    """One traffic round: plan a skewed workload, feed back observed times."""
+    workload = generate_workload(
+        ["dgemm", "dsyrk"], 300, distribution="skewed", seed=seed
+    )
+    plans = engine.plan_many(request.as_tuple() for request in workload)
+    for plan in plans:
+        engine.record_observation(
+            plan, observer.time(plan.routine, plan.dims, plan.threads)
+        )
+
+
+def rolling_errors(engine):
+    return {
+        routine: round(telemetry.mean_abs_rel_error, 4)
+        for routine, telemetry in engine.telemetry.routines.items()
+    }
+
+
+def main() -> None:
+    platform = get_platform("laptop")
+    bundle = install_adsala(
+        platform=platform,
+        routines=["dgemm", "dsyrk"],
+        n_samples=20,
+        threads_per_shape=5,
+        n_test_shapes=8,
+        candidate_models=["LinearRegression", "DecisionTree"],
+        seed=0,
+    )
+
+    with tempfile.TemporaryDirectory() as root:
+        directory = save_bundle(bundle, f"{root}/laptop-v1", bundle_version=1)
+        registry = ModelRegistry(root)
+        handle = registry.get(platform="laptop")
+        engine = ServingEngine(
+            handle, telemetry=EngineTelemetry(drift_threshold=DRIFT_THRESHOLD)
+        )
+
+        # -- the machine drifts under the serving engine ----------------------
+        calibration = make_calibration(clock=0.55, sync=2.5)
+        injector = DriftInjector(platform, calibration)
+        observer = injector.simulator(seed=1)
+        print(f"Injecting drift: {injector.calibration}")
+        serve_and_observe(engine, observer, seed=3)
+        print(f"Rolling error after drift:   {rolling_errors(engine)}")
+        print(f"Drift flags (> {DRIFT_THRESHOLD}): {engine.reinstall_candidates()}")
+
+        # -- one adaptation step closes the loop ------------------------------
+        controller = AdaptationController(
+            engine,
+            AdaptationConfig(
+                seed=11,
+                regather_shapes=12,
+                regather_threads_per_shape=4,
+                regather_test_shapes=6,
+                candidate_models=("LinearRegression", "DecisionTree"),
+                max_latency_regression=2.0,
+            ),
+            measurement_simulator=injector.simulator(seed=2),
+            calibration=calibration,
+        )
+        report = controller.step()
+        print(f"Adaptation step: {report.summary()}")
+        for routine, verdict in report.shadow.items():
+            print(f"  shadow {routine}: live {verdict.live_error:.3f} "
+                  f"({verdict.live_model}) vs candidate "
+                  f"{verdict.candidate_error:.3f} ({verdict.candidate_model})"
+                  f" -> {'accept' if verdict.accepted else 'reject'}")
+        print(f"Engine now serves bundle v{handle.bundle_version} "
+              f"(hot-reloaded: {report.reloaded})")
+
+        # -- fresh drifted traffic: the error recovered -----------------------
+        serve_and_observe(engine, observer, seed=4)
+        print(f"Rolling error after adapt:   {rolling_errors(engine)}")
+        follow_up = controller.step()
+        print(f"Lifecycle states: {controller.states()} "
+              f"(recovered: {follow_up.recovered})")
+
+        # -- audit trail and one-command rollback -----------------------------
+        events = controller.promoter.log.events()
+        print(f"Audit trail ({len(events)} events): "
+              + " -> ".join(sorted({event['event'] for event in events})))
+        restored = controller.rollback()
+        print(f"Rolled back to bundle v{restored}; engine serves "
+              f"v{handle.bundle_version} from {directory}")
+
+
+if __name__ == "__main__":
+    main()

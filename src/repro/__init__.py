@@ -17,6 +17,10 @@ BLAS Level 3 on Modern Multi-Core Systems" (Xia & Barca, 2024).  It contains
 * :mod:`repro.serving` — the production serving layer: a versioned model
   registry (lazy loading, hot reload), a micro-batching plan engine with a
   composable fallback-policy chain, and online drift telemetry,
+* :mod:`repro.adaptive` — the closed adaptation loop on top of serving:
+  drift-triggered, traffic-seeded re-gather and retraining, shadow
+  evaluation against live traffic, canary promotion with an audit trail
+  and byte-for-byte rollback,
 * :mod:`repro.harness` — drivers that regenerate every table and figure of
   the paper's evaluation section.
 
@@ -60,6 +64,7 @@ only wall-clock time, never results (same seeds -> same outputs):
   (batch gathering, end-to-end install, per-call prediction).
 """
 
+from repro.adaptive import AdaptationConfig, AdaptationController
 from repro.core.compiled import CompiledPredictor
 from repro.core.install import install_adsala, InstallationBundle
 from repro.core.runtime import AdsalaBlas, AdsalaRuntime
@@ -67,7 +72,7 @@ from repro.core.predictor import ThreadPredictor
 from repro.machine import get_platform, list_platforms
 from repro.serving import ModelRegistry, ServingEngine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "install_adsala",
@@ -78,6 +83,8 @@ __all__ = [
     "CompiledPredictor",
     "ModelRegistry",
     "ServingEngine",
+    "AdaptationConfig",
+    "AdaptationController",
     "get_platform",
     "list_platforms",
     "__version__",

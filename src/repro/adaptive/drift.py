@@ -1,0 +1,130 @@
+"""Synthetic hardware drift for exercising the adaptation loop.
+
+A fitted runtime model drifts when the machine underneath it changes: a
+BIOS update caps the clock, a DIMM is replaced and the memory bandwidth
+moves, a new kernel changes the scheduler's wake-up latency.  On real
+hardware this happens *to* you; in the reproduction environment the
+:class:`DriftInjector` does it on purpose, by rescaling the continuous
+fields of a :class:`~repro.machine.topology.MachineTopology` (through
+:func:`~repro.machine.topology.apply_calibration`) and handing out timing
+simulators that measure the *drifted* machine.
+
+The same calibration mapping plays both roles of the loop:
+
+* the **measurement** side — observed runtimes and re-gathered training
+  data come from a drifted simulator, and
+* the **bookkeeping** side — on promotion the calibration is stamped into
+  the bundle manifest's settings, so a reloaded bundle rebuilds its own
+  simulator on the drifted machine and the engine's predicted times match
+  the new reality (that is what lets the rolling drift error recover).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.machine.simulator import TimingSimulator
+from repro.machine.topology import MachineTopology, apply_calibration
+
+__all__ = ["make_calibration", "uniform_time_calibration", "DriftInjector"]
+
+#: Friendly knob name -> topology field scaled by it.
+_KNOB_FIELDS = {
+    "clock": "clock_ghz",
+    "flops": "flops_per_cycle",
+    "bandwidth": "memory_bandwidth_gbs_per_socket",
+    "copy_bandwidth": "copy_bandwidth_gbs_per_core",
+    "sync": "sync_cost_per_thread",
+    "fork": "fork_cost_per_thread",
+    "cache": "l3_cache_mb_per_group",
+}
+
+
+def make_calibration(**scales: float) -> Dict[str, float]:
+    """Build a calibration mapping from friendly knob names.
+
+    ``make_calibration(clock=0.7, sync=3.0)`` describes a machine whose
+    clock dropped 30 % and whose synchronisation cost tripled.  Knobs left
+    at 1.0 are omitted from the mapping (an empty mapping means "no
+    drift").  Knob names: ``clock``, ``flops``, ``bandwidth``,
+    ``copy_bandwidth``, ``sync``, ``fork``, ``cache``.
+    """
+    calibration: Dict[str, float] = {}
+    for knob, scale in scales.items():
+        if knob not in _KNOB_FIELDS:
+            raise ValueError(
+                f"Unknown drift knob {knob!r}; available: {sorted(_KNOB_FIELDS)}"
+            )
+        scale = float(scale)
+        if not scale > 0:
+            raise ValueError(f"Drift scale for {knob!r} must be positive")
+        if scale != 1.0:
+            calibration[_KNOB_FIELDS[knob]] = scale
+    return calibration
+
+
+def uniform_time_calibration(scale: float) -> Dict[str, float]:
+    """A calibration that rescales *every* cost component by ``scale``.
+
+    The analytic performance model is linear in the calibratable rate/cost
+    fields (kernel time ∝ 1/clock, copy time ∝ 1/bandwidth, sync/fork time
+    ∝ their per-thread costs), so scaling them jointly multiplies every
+    simulated runtime by ``scale``.  This is the first-order correction the
+    adaptation controller estimates from telemetry when no explicit
+    calibration is known: if observed runtimes run ``r`` times the
+    predicted ones, ``uniform_time_calibration(r)`` re-aligns the bundle's
+    simulator with the machine as measured.
+    """
+    scale = float(scale)
+    if not scale > 0:
+        raise ValueError("scale must be positive")
+    if scale == 1.0:
+        return {}
+    return {
+        "clock_ghz": 1.0 / scale,
+        "memory_bandwidth_gbs_per_socket": 1.0 / scale,
+        "copy_bandwidth_gbs_per_core": 1.0 / scale,
+        "sync_cost_per_thread": scale,
+        "fork_cost_per_thread": scale,
+    }
+
+
+class DriftInjector:
+    """A perturbed view of one platform plus the calibration describing it.
+
+    Parameters
+    ----------
+    platform:
+        The machine as the bundle knows it (uncalibrated).
+    calibration:
+        Field-name -> scale mapping (see
+        :func:`~repro.machine.topology.apply_calibration`), typically built
+        with :func:`make_calibration`.
+    """
+
+    def __init__(
+        self, platform: MachineTopology, calibration: Optional[Dict[str, float]] = None
+    ):
+        self.base_platform = platform
+        self.calibration = dict(calibration or {})
+        self.platform = apply_calibration(platform, self.calibration)
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.calibration)
+
+    def simulator(self, seed: int = 0, noise_level: float = 0.04) -> TimingSimulator:
+        """A timing source measuring the drifted machine.
+
+        Use distinct seeds for distinct roles (the serving observer vs the
+        re-gather campaign) so "measured" runtimes carry independent noise,
+        exactly as repeated real executions would.
+        """
+        return TimingSimulator(self.platform, seed=seed, noise_level=noise_level)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "platform": self.base_platform.name,
+            "drifted": self.drifted,
+            "calibration": dict(self.calibration),
+        }

@@ -1,0 +1,299 @@
+"""Bundle promotion, audit trail and rollback for the adaptation loop.
+
+Promotion turns an accepted shadow candidate into the *live* model without
+restarting the serving engine.  The write protocol is designed around the
+registry's hot-reload semantics (a reload may happen at any instant):
+
+1. the current bundle (manifest + every referenced model file) is archived
+   byte-for-byte under ``history/v<version>/`` inside the bundle directory,
+2. retrained models are staged under **version-suffixed filenames**
+   (``dgemm.model.v3.pkl``) the live manifest does not reference, then
+3. the manifest — now pointing at the staged files, with ``bundle_version``
+   bumped and optionally a new machine ``calibration`` in its settings — is
+   swapped in atomically (temp file + ``os.replace``).
+
+A reader therefore sees either the old bundle or the new one, never a
+half-promoted state.  Every transition is appended to
+``adaptation_log.jsonl`` (read back with the same tolerant JSONL reader the
+workload layer uses), and :meth:`BundlePromoter.rollback` restores any
+archived version byte-for-byte — the one-command escape hatch when a
+promotion turns out to be wrong in production.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.install import RoutineInstallation
+from repro.core.persistence import (
+    BundleFormatError,
+    read_manifest,
+    write_manifest,
+    write_routine_model,
+)
+from repro.serving.workload import append_jsonl, read_jsonl
+
+__all__ = ["ADAPTATION_LOG_FILE", "HISTORY_DIR", "AdaptationLog", "BundlePromoter"]
+
+ADAPTATION_LOG_FILE = "adaptation_log.jsonl"
+HISTORY_DIR = "history"
+
+
+class AdaptationLog:
+    """Append-only JSONL audit trail of adaptation events for one bundle.
+
+    Events carry ``event`` (``drift_detected``, ``regathered``, ``shadow``,
+    ``promoted``, ``rejected``, ``rolled_back``), usually a ``routine``, the
+    lifecycle ``state`` the routine entered, and free-form ``details``.  The
+    reader is tolerant: a line corrupted by a crash mid-append is skipped
+    with a warning instead of taking the whole trail down.
+    """
+
+    def __init__(self, path: str | Path, clock: Callable[[], float] = time.time):
+        self.path = Path(path)
+        self.clock = clock
+
+    def append(
+        self,
+        event: str,
+        routine: Optional[str] = None,
+        state: Optional[str] = None,
+        **details: object,
+    ) -> Dict[str, object]:
+        row: Dict[str, object] = {"event": event, "ts": round(self.clock(), 6)}
+        if routine is not None:
+            row["routine"] = routine
+        if state is not None:
+            row["state"] = state
+        if details:
+            row["details"] = details
+        append_jsonl(self.path, row)
+        return row
+
+    def events(self) -> List[Dict[str, object]]:
+        if not self.path.exists():
+            return []
+        return [row for _, row in read_jsonl(self.path)]
+
+    def last_event(
+        self, routine: Optional[str] = None, event: Optional[str] = None
+    ) -> Optional[Dict[str, object]]:
+        """Most recent event, optionally filtered by routine and/or type."""
+        for row in reversed(self.events()):
+            if routine is not None and row.get("routine") != routine:
+                continue
+            if event is not None and row.get("event") != event:
+                continue
+            return row
+        return None
+
+    def per_routine_state(self) -> Dict[str, Dict[str, object]]:
+        """Latest event per routine (what ``adsala serve --observe`` shows)."""
+        states: Dict[str, Dict[str, object]] = {}
+        for row in self.events():
+            routine = row.get("routine")
+            if isinstance(routine, str):
+                states[routine] = row
+        return states
+
+
+class BundlePromoter:
+    """Versioned promotion and rollback over one on-disk bundle directory."""
+
+    def __init__(
+        self, directory: str | Path, clock: Callable[[], float] = time.time
+    ):
+        self.directory = Path(directory)
+        self.log = AdaptationLog(self.directory / ADAPTATION_LOG_FILE, clock=clock)
+
+    # -- introspection -----------------------------------------------------------
+    def manifest(self) -> dict:
+        return read_manifest(self.directory)
+
+    def current_version(self) -> int:
+        return int(self.manifest().get("bundle_version", 1))
+
+    def archived_versions(self) -> List[int]:
+        """Bundle versions available for rollback, oldest first."""
+        history = self.directory / HISTORY_DIR
+        if not history.is_dir():
+            return []
+        versions = []
+        for child in history.iterdir():
+            if child.is_dir() and child.name.startswith("v"):
+                try:
+                    versions.append(int(child.name[1:]))
+                except ValueError:
+                    continue
+        return sorted(versions)
+
+    # -- archival ----------------------------------------------------------------
+    def _archive_dir(self, version: int) -> Path:
+        return self.directory / HISTORY_DIR / f"v{int(version)}"
+
+    def snapshot_current(self) -> Path:
+        """Archive the live manifest + referenced model files byte-for-byte.
+
+        Idempotent per version: an existing archive of the current version is
+        the authoritative copy of those bytes and is left untouched.
+        """
+        manifest = self.manifest()
+        version = int(manifest.get("bundle_version", 1))
+        target = self._archive_dir(version)
+        if target.exists():
+            return target
+        staging = target.with_name(target.name + ".tmp")
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        shutil.copy2(self.directory / "bundle.json", staging / "bundle.json")
+        for routine, meta in manifest["routines"].items():
+            model_file = meta.get("model_file", f"{routine}.model.pkl")
+            source = self.directory / model_file
+            if not source.exists():
+                shutil.rmtree(staging)
+                raise BundleFormatError(
+                    f"Cannot archive bundle v{version}: model file "
+                    f"{model_file!r} for routine {routine!r} is missing"
+                )
+            shutil.copy2(source, staging / model_file)
+        staging.rename(target)
+        return target
+
+    # -- promotion ---------------------------------------------------------------
+    def promote(
+        self,
+        installations: Mapping[str, RoutineInstallation],
+        settings_update: Optional[Mapping[str, object]] = None,
+        details: Optional[Mapping[str, Mapping[str, object]]] = None,
+        reason: str = "drift adaptation",
+    ) -> int:
+        """Write retrained routines as the next ``bundle_version`` and log it.
+
+        ``installations`` maps routine keys to their retrained
+        :class:`~repro.core.install.RoutineInstallation`; unlisted routines
+        keep their current model files untouched.  ``settings_update`` is
+        merged into the manifest settings (the adaptation controller stamps
+        the machine ``calibration`` here so the reloaded bundle's simulator
+        predicts on the drifted machine).  Returns the new version.
+        """
+        if not installations:
+            raise ValueError("installations must not be empty")
+        manifest = self.manifest()
+        installed = manifest["routines"]
+        unknown = sorted(set(installations) - set(installed))
+        if unknown:
+            raise KeyError(
+                f"Cannot promote routines not in the bundle: {unknown}; "
+                f"installed: {sorted(installed)}"
+            )
+        from_version = int(manifest.get("bundle_version", 1))
+        # Never reuse a version number: after a rollback the current version
+        # is lower than the newest archive, and reusing e.g. "v2" for new
+        # content would collide with the archived v2 bytes (breaking the
+        # byte-for-byte rollback guarantee for whichever v2 loses).
+        new_version = max([from_version, *self.archived_versions()]) + 1
+        self.snapshot_current()
+        for routine, installation in sorted(installations.items()):
+            meta = write_routine_model(
+                self.directory,
+                installation,
+                filename=f"{routine}.model.v{new_version}.pkl",
+            )
+            installed[routine] = meta
+        manifest["bundle_version"] = new_version
+        if settings_update:
+            settings = dict(manifest.get("settings") or {})
+            settings.update(settings_update)
+            manifest["settings"] = settings
+        write_manifest(self.directory, manifest)
+        self._prune_staged_models(manifest, keep_versions={new_version, from_version})
+        for routine in sorted(installations):
+            routine_details: Dict[str, object] = {
+                "from_version": from_version,
+                "to_version": new_version,
+                "model": installations[routine].best_model_name,
+                "reason": reason,
+            }
+            if details and routine in details:
+                routine_details.update(details[routine])
+            self.log.append(
+                "promoted", routine=routine, state="promoted", **routine_details
+            )
+        return new_version
+
+    _STAGED_MODEL_RE = re.compile(r"\.model\.v(\d+)\.pkl$")
+
+    def _prune_staged_models(self, manifest: dict, keep_versions: set) -> None:
+        """Drop live-dir staged model files superseded at least two swaps ago.
+
+        Every staged file was referenced by the manifest current at its
+        creation and archived (byte-for-byte) before that manifest was
+        replaced, so deleting it loses nothing — rollback restores from
+        ``history/``.  Files from the *immediately previous* version are
+        kept: a reader that loaded the pre-swap manifest may still lazily
+        open them until its next refresh.  Without this, a long-running
+        watch loop would accumulate one model file per routine per
+        promotion in the live directory forever.
+        """
+        referenced = {
+            meta.get("model_file") for meta in manifest["routines"].values()
+        }
+        for path in self.directory.glob("*.model.v*.pkl"):
+            match = self._STAGED_MODEL_RE.search(path.name)
+            if match is None or path.name in referenced:
+                continue
+            if int(match.group(1)) not in keep_versions:
+                path.unlink(missing_ok=True)
+
+    # -- rollback ----------------------------------------------------------------
+    def rollback(self, to_version: Optional[int] = None) -> int:
+        """Restore an archived bundle version byte-for-byte and log it.
+
+        Defaults to the most recent archived version below the current one.
+        The current version is archived first, so a rollback can itself be
+        rolled forward.  The restored manifest is swapped in atomically
+        *after* its model files are back in place, preserving the
+        reload-at-any-instant guarantee.
+        """
+        current = self.current_version()
+        available = [v for v in self.archived_versions() if v != current]
+        if to_version is None:
+            candidates = [v for v in available if v < current]
+            if not candidates:
+                raise ValueError(
+                    f"No archived version below the current v{current}; "
+                    f"archived: {self.archived_versions()}"
+                )
+            to_version = max(candidates)
+        to_version = int(to_version)
+        if to_version == current:
+            raise ValueError(f"Bundle is already at version v{to_version}")
+        source = self._archive_dir(to_version)
+        if not source.is_dir():
+            raise ValueError(
+                f"Bundle version v{to_version} is not archived; "
+                f"archived: {self.archived_versions()}"
+            )
+        self.snapshot_current()
+        archived_manifest = read_manifest(source)
+        for routine, meta in archived_manifest["routines"].items():
+            model_file = meta.get("model_file", f"{routine}.model.pkl")
+            shutil.copy2(source / model_file, self.directory / model_file)
+        # Byte-for-byte: copy the archived manifest via a temp file + rename
+        # rather than re-serialising it.
+        tmp = self.directory / "bundle.json.tmp"
+        shutil.copy2(source / "bundle.json", tmp)
+        tmp.replace(self.directory / "bundle.json")
+        self.log.append(
+            "rolled_back",
+            state="rolled_back",
+            from_version=current,
+            to_version=to_version,
+            routines=sorted(archived_manifest["routines"]),
+        )
+        return to_version

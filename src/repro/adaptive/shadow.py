@@ -1,0 +1,214 @@
+"""Shadow evaluation: score a retrained model on real traffic before promoting it.
+
+A candidate model must *prove* itself against the live one before it may
+serve.  Executing every request twice (once per model) would double the
+machine load, so the evaluator is counterfactual-free: it replays the
+telemetry traffic log — the ``(dims, executed threads, observed runtime)``
+triples of calls that already ran — through both predictors and compares
+each model's *runtime prediction at the executed thread count* against the
+measured runtime.  Nothing is executed; both models are scored on exactly
+the same ground truth.
+
+Promotion requires two things of the candidate:
+
+* **accuracy** — its mean absolute relative replay error must undercut the
+  live model's by at least ``min_error_improvement`` (a candidate that is
+  merely different does not get promoted), and
+* **latency** — its estimated per-plan evaluation cost (the same analytic
+  ``t_eval`` the installer's selection criterion charges, so the check is
+  deterministic) must not exceed the live model's by more than
+  ``max_latency_regression``.  The measured wall-clock latency of both
+  models' *compiled* batch path over the replayed shapes is reported
+  alongside for operators, but deliberately kept out of the promotion
+  decision so shadow verdicts are reproducible on loaded CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.adaptive.config import AdaptationConfig
+from repro.core.evalcost import estimate_native_eval_time
+from repro.core.predictor import ThreadPredictor
+from repro.serving.telemetry import TrafficRecord
+
+__all__ = ["ShadowReport", "ShadowEvaluator"]
+
+
+@dataclass
+class ShadowReport:
+    """Verdict of one live-vs-candidate shadow comparison."""
+
+    routine: str
+    n_records: int
+    live_error: float
+    candidate_error: float
+    live_eval_us: float
+    candidate_eval_us: float
+    live_plan_wall_us: float
+    candidate_plan_wall_us: float
+    accepted: bool
+    reasons: List[str] = field(default_factory=list)
+    live_model: str = ""
+    candidate_model: str = ""
+
+    @property
+    def error_improvement(self) -> float:
+        """Fractional error reduction of the candidate (negative = worse)."""
+        if self.live_error <= 0:
+            return 0.0
+        return (self.live_error - self.candidate_error) / self.live_error
+
+    @property
+    def latency_regression(self) -> float:
+        """Fractional estimated-eval-time increase (negative = faster)."""
+        if self.live_eval_us <= 0:
+            return 0.0
+        return (self.candidate_eval_us - self.live_eval_us) / self.live_eval_us
+
+    def to_details(self) -> Dict[str, object]:
+        """JSON-serialisable summary for the adaptation audit log."""
+        return {
+            "records": self.n_records,
+            "live_model": self.live_model,
+            "candidate_model": self.candidate_model,
+            "live_error": round(self.live_error, 6),
+            "candidate_error": round(self.candidate_error, 6),
+            "error_improvement": round(self.error_improvement, 6),
+            "live_eval_us": round(self.live_eval_us, 3),
+            "candidate_eval_us": round(self.candidate_eval_us, 3),
+            "latency_regression": round(self.latency_regression, 6),
+            "accepted": self.accepted,
+            "reasons": list(self.reasons),
+        }
+
+
+def _replay_error(
+    predictor: ThreadPredictor, records: Sequence[TrafficRecord]
+) -> float:
+    """Mean |predicted - observed| / observed over the traffic log.
+
+    One batched model evaluation covers every record; each record is scored
+    at the thread count that actually executed.
+    """
+    dims_list = [record.dims for record in records]
+    runtimes = predictor.predict_runtimes_batch(dims_list)
+    index_of = {threads: i for i, threads in enumerate(predictor.candidate_threads)}
+    errors = np.empty(len(records))
+    for row, record in enumerate(records):
+        predicted = runtimes[row, index_of[record.threads]]
+        errors[row] = abs(predicted - record.observed) / record.observed
+    return float(errors.mean())
+
+
+def _estimated_eval_us(predictor: ThreadPredictor) -> float:
+    """Analytic per-plan evaluation cost (microseconds) of one predictor."""
+    return (
+        estimate_native_eval_time(
+            predictor.model,
+            n_candidates=len(predictor.candidate_threads),
+            n_features=int(predictor.pipeline.n_features_out_),
+        )
+        * 1e6
+    )
+
+
+def _compiled_plan_wall_us(
+    predictor: ThreadPredictor, dims_list: Sequence[Dict[str, int]], repeats: int = 3
+) -> float:
+    """Measured wall-clock of one compiled batched plan pass (per shape, µs)."""
+    predictor.compile()
+    predictor.predict_runtimes_batch(dims_list)  # warm-up outside the clock
+    start = time.perf_counter()
+    for _ in range(repeats):
+        predictor.predict_runtimes_batch(dims_list)
+    elapsed = (time.perf_counter() - start) / repeats
+    return elapsed / max(1, len(dims_list)) * 1e6
+
+
+class ShadowEvaluator:
+    """Replay recent traffic through live and candidate models and decide."""
+
+    def __init__(self, config: Optional[AdaptationConfig] = None):
+        self.config = config if config is not None else AdaptationConfig()
+
+    def usable_records(
+        self, candidate: ThreadPredictor, traffic: Sequence[TrafficRecord]
+    ) -> List[TrafficRecord]:
+        """Records scoreable by the candidate (executed threads it can rank)."""
+        admissible = set(candidate.candidate_threads)
+        return [
+            record
+            for record in traffic
+            if record.threads in admissible and record.observed > 0
+        ]
+
+    def evaluate(
+        self,
+        routine: str,
+        live: ThreadPredictor,
+        candidate: ThreadPredictor,
+        traffic: Sequence[TrafficRecord],
+    ) -> ShadowReport:
+        """Compare the two models on the traffic log and render a verdict."""
+        config = self.config
+        records = self.usable_records(candidate, traffic)
+        records = [r for r in records if r.threads in set(live.candidate_threads)]
+        if len(records) < config.shadow_min_records:
+            return ShadowReport(
+                routine=routine,
+                n_records=len(records),
+                live_error=0.0,
+                candidate_error=0.0,
+                live_eval_us=0.0,
+                candidate_eval_us=0.0,
+                live_plan_wall_us=0.0,
+                candidate_plan_wall_us=0.0,
+                accepted=False,
+                reasons=[
+                    f"insufficient traffic: {len(records)} usable records "
+                    f"< {config.shadow_min_records} required"
+                ],
+                live_model=live.model_name,
+                candidate_model=candidate.model_name,
+            )
+
+        live_error = _replay_error(live, records)
+        candidate_error = _replay_error(candidate, records)
+        live_eval_us = _estimated_eval_us(live)
+        candidate_eval_us = _estimated_eval_us(candidate)
+        dims_list = [record.dims for record in records]
+        live_wall = _compiled_plan_wall_us(live, dims_list)
+        candidate_wall = _compiled_plan_wall_us(candidate, dims_list)
+
+        reasons: List[str] = []
+        required_error = live_error * (1.0 - config.min_error_improvement)
+        if not candidate_error <= required_error:
+            reasons.append(
+                f"error not improved: candidate {candidate_error:.4f} > "
+                f"required {required_error:.4f} (live {live_error:.4f})"
+            )
+        allowed_eval = live_eval_us * (1.0 + config.max_latency_regression)
+        if candidate_eval_us > allowed_eval:
+            reasons.append(
+                f"plan latency regressed: candidate {candidate_eval_us:.1f}us > "
+                f"allowed {allowed_eval:.1f}us (live {live_eval_us:.1f}us)"
+            )
+        return ShadowReport(
+            routine=routine,
+            n_records=len(records),
+            live_error=live_error,
+            candidate_error=candidate_error,
+            live_eval_us=live_eval_us,
+            candidate_eval_us=candidate_eval_us,
+            live_plan_wall_us=live_wall,
+            candidate_plan_wall_us=candidate_wall,
+            accepted=not reasons,
+            reasons=reasons,
+            live_model=live.model_name,
+            candidate_model=candidate.model_name,
+        )

@@ -1,4 +1,4 @@
-"""Command-line interface: ``adsala install | predict | serve | bundle | bench | platforms``.
+"""Command-line interface: ``adsala install | predict | serve | adapt | bundle | bench | platforms``.
 
 The CLI mirrors how the paper's library is used, plus the serving layer:
 
@@ -8,9 +8,14 @@ The CLI mirrors how the paper's library is used, plus the serving layer:
   count (and estimated speedup) for one BLAS call;
 * ``adsala serve`` replays a request stream (a JSONL workload file or a
   generated mix) through the micro-batching serving engine and prints
-  throughput plus per-routine telemetry;
-* ``adsala bundle`` inspects, checksum-verifies or schema-migrates a bundle
-  directory's manifest;
+  throughput plus per-routine telemetry (with ``--observe``, drift flags
+  and the adaptation lifecycle from the bundle's audit trail);
+* ``adsala adapt`` closes the loop: serve traffic with observed runtimes
+  (optionally on a synthetically drifted machine), then let the
+  :class:`~repro.adaptive.controller.AdaptationController` re-gather,
+  shadow-evaluate and promote retrained models — one-shot or ``--watch``;
+* ``adsala bundle`` inspects, checksum-verifies, schema-migrates or rolls
+  back a bundle directory;
 * ``adsala bench`` regenerates a paper table from the command line;
 * ``adsala platforms`` lists the built-in machine presets.
 """
@@ -93,11 +98,70 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rolling mean |observed-predicted|/observed that flags "
                        "a routine for re-installation")
 
-    bundle_cmd = sub.add_parser(
-        "bundle", help="inspect / verify / migrate a bundle manifest"
+    adapt = sub.add_parser(
+        "adapt",
+        help="drift-triggered re-gather, shadow retraining and canary promotion",
     )
-    bundle_cmd.add_argument("action", choices=["inspect", "verify", "migrate"])
+    adapt.add_argument("--bundle", required=True, help="bundle directory written by install")
+    adapt.add_argument("--routines", nargs="+", default=None,
+                       help="routines for the generated traffic (default: installed)")
+    adapt.add_argument("--requests", type=int, default=256,
+                       help="observed traffic per round")
+    adapt.add_argument("--mix", choices=["uniform", "cycling", "skewed"],
+                       default="skewed", help="traffic distribution")
+    adapt.add_argument("--seed", type=int, default=0,
+                       help="seed for traffic, re-gather and retraining "
+                       "(same seed -> bit-identical promoted bundle)")
+    adapt.add_argument("--drift-threshold", type=float, default=0.25)
+    adapt.add_argument("--min-observations", type=int, default=20,
+                       help="window fill required before the drift flag can fire")
+    adapt.add_argument("--drift-clock", type=float, default=1.0,
+                       help="clock-speed scale of the (synthetically) drifted "
+                       "machine observed runtimes come from")
+    adapt.add_argument("--drift-bandwidth", type=float, default=1.0,
+                       help="memory-bandwidth scale of the drifted machine")
+    adapt.add_argument("--drift-sync", type=float, default=1.0,
+                       help="synchronisation-cost scale of the drifted machine")
+    adapt.add_argument("--regather-shapes", type=int, default=24,
+                       help="problem-shape budget of the incremental re-gather")
+    adapt.add_argument("--threads-per-shape", type=int, default=6)
+    adapt.add_argument("--test-shapes", type=int, default=10)
+    adapt.add_argument("--traffic-fraction", type=float, default=0.5,
+                       help="fraction of the re-gather budget seeded from the "
+                       "observed-traffic shape histogram")
+    adapt.add_argument("--min-improvement", type=float, default=0.05,
+                       help="shadow bar: fractional error reduction required "
+                       "of the candidate model")
+    adapt.add_argument("--max-latency-regression", type=float, default=0.5,
+                       help="shadow bar: allowed fractional increase of the "
+                       "candidate's estimated plan latency")
+    adapt.add_argument("--candidates", nargs="+", default=None,
+                       help="candidate model pool for retraining "
+                       "(default: the full catalogue)")
+    adapt.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the re-gather fan-out")
+    adapt.add_argument("--watch", action="store_true",
+                       help="keep serving+adapting for --rounds rounds instead "
+                       "of one shot")
+    adapt.add_argument("--rounds", type=int, default=3,
+                       help="serve/adapt rounds in --watch mode")
+    adapt.add_argument("--require-promotion", action="store_true",
+                       help="exit non-zero unless at least one routine is "
+                       "promoted and its rolling error recovers below the "
+                       "drift threshold")
+
+    bundle_cmd = sub.add_parser(
+        "bundle", help="inspect / verify / migrate / roll back a bundle"
+    )
+    bundle_cmd.add_argument(
+        "action", choices=["inspect", "verify", "migrate", "rollback"]
+    )
     bundle_cmd.add_argument("--bundle", required=True, help="bundle directory")
+    bundle_cmd.add_argument(
+        "--to-version", type=int, default=None,
+        help="archived bundle_version to restore (rollback only; default: "
+        "the most recent version below the current one)",
+    )
 
     bench = sub.add_parser("bench", help="regenerate a paper table")
     bench.add_argument(
@@ -201,10 +265,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         if args.observe:
             # An independently seeded simulator stands in for real measured
-            # runtimes: same platform model, different noise draw.
+            # runtimes: same machine model (including any calibration a
+            # promotion stamped into the settings), different noise draw.
             settings = handle.settings
             observer = TimingSimulator(
-                handle.platform,
+                handle.simulator.platform,
                 seed=int(settings.get("seed", 0)) + 1,
                 noise_level=float(settings.get("noise_level", 0.04)),
             )
@@ -249,10 +314,175 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       f"{', '.join(candidates)}")
             else:
                 print(f"No routine drifted past {args.drift_threshold}")
+            _print_adaptation_state(args.bundle)
         return 0
     except (FileNotFoundError, BundleFormatError, KeyError, ValueError) as exc:
         # KeyError/ValueError cover bad workload content: unknown routine
         # names, invalid dimensions, --requests 0, malformed JSONL lines.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+
+
+def _print_adaptation_state(bundle_dir: str) -> None:
+    """Report the adaptive layer's lifecycle per routine from the audit trail."""
+    from pathlib import Path
+
+    from repro.adaptive.promote import ADAPTATION_LOG_FILE, AdaptationLog
+
+    log = AdaptationLog(Path(bundle_dir) / ADAPTATION_LOG_FILE)
+    states = log.per_routine_state()
+    if not states:
+        return
+    print("Adaptation state (from adaptation_log.jsonl):")
+    for routine, event in sorted(states.items()):
+        details = event.get("details") or {}
+        extra = ""
+        if event.get("event") == "promoted":
+            extra = (f" (v{details.get('from_version')} -> "
+                     f"v{details.get('to_version')}, "
+                     f"model {details.get('model')})")
+        elif event.get("event") == "rejected":
+            reasons = details.get("reasons") or []
+            if reasons:
+                extra = f" ({reasons[0]})"
+        print(f"  {routine}: {event.get('state', '?')}"
+              f" [last event: {event.get('event', '?')}]{extra}")
+    rollback = log.last_event(event="rolled_back")
+    if rollback is not None:
+        details = rollback.get("details") or {}
+        print(f"  last rollback: v{details.get('from_version')} -> "
+              f"v{details.get('to_version')}")
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.adaptive import (
+        AdaptationConfig,
+        AdaptationController,
+        DriftInjector,
+        make_calibration,
+    )
+    from repro.core.persistence import BundleFormatError
+    from repro.serving.engine import ServingEngine
+    from repro.serving.registry import ModelRegistry
+    from repro.serving.telemetry import EngineTelemetry
+    from repro.serving.workload import generate_workload
+
+    try:
+        registry = ModelRegistry()
+        handle = registry.register(args.bundle)
+        engine = ServingEngine(
+            handle,
+            telemetry=EngineTelemetry(
+                drift_threshold=args.drift_threshold,
+                min_observations=args.min_observations,
+            ),
+        )
+        routines = args.routines or handle.installed_routines
+        settings = handle.settings
+        calibration = make_calibration(
+            clock=args.drift_clock,
+            bandwidth=args.drift_bandwidth,
+            sync=args.drift_sync,
+        )
+        injector = DriftInjector(handle.platform, calibration)
+        noise = float(settings.get("noise_level", 0.04))
+        base_seed = int(settings.get("seed", 0))
+        # The observer stands in for real measured runtimes on the (possibly
+        # drifted) machine: independent noise via a shifted seed.
+        observer = injector.simulator(seed=base_seed + 1, noise_level=noise)
+        config = AdaptationConfig(
+            seed=args.seed,
+            regather_shapes=args.regather_shapes,
+            regather_threads_per_shape=args.threads_per_shape,
+            regather_test_shapes=args.test_shapes,
+            traffic_fraction=args.traffic_fraction,
+            candidate_models=tuple(args.candidates) if args.candidates else None,
+            min_error_improvement=args.min_improvement,
+            max_latency_regression=args.max_latency_regression,
+            n_jobs=args.jobs,
+        )
+        controller = AdaptationController(
+            engine,
+            config,
+            # The re-gather times the drifted machine with its own noise draw.
+            measurement_simulator=injector.simulator(
+                seed=base_seed + 2, noise_level=noise
+            ),
+            calibration=calibration,
+        )
+        if injector.drifted:
+            print(f"Injected drift: {injector.calibration}")
+
+        def serve_round(round_index: int) -> None:
+            requests = generate_workload(
+                routines, args.requests, distribution=args.mix,
+                seed=args.seed + round_index,
+            )
+            plans = engine.plan_many(request.as_tuple() for request in requests)
+            for plan in plans:
+                engine.record_observation(
+                    plan, observer.time(plan.routine, plan.dims, plan.threads)
+                )
+
+        def rolling_errors() -> dict:
+            return {
+                routine: telemetry.mean_abs_rel_error
+                for routine, telemetry in engine.telemetry.routines.items()
+            }
+
+        n_rounds = args.rounds if args.watch else 1
+        promoted_any = False
+        start = time.perf_counter()
+        for round_index in range(n_rounds):
+            serve_round(round_index)
+            before = rolling_errors()
+            report = controller.step()
+            print(f"[round {round_index + 1}/{n_rounds}] {report.summary()} "
+                  f"({report.wall_time_s:.2f}s)")
+            for routine, verdict in report.shadow.items():
+                print(f"  shadow {routine}: live err {verdict.live_error:.4f} "
+                      f"({verdict.live_model}) vs candidate "
+                      f"{verdict.candidate_error:.4f} ({verdict.candidate_model}) "
+                      f"-> {'accept' if verdict.accepted else 'reject'}")
+                for reason in verdict.reasons:
+                    print(f"    - {reason}")
+            if report.promoted:
+                promoted_any = True
+                serve_round(n_rounds + round_index)  # fresh post-promotion traffic
+                after = rolling_errors()
+                for routine in report.promoted:
+                    print(f"  {routine}: rolling error {before.get(routine, 0.0):.4f} "
+                          f"-> {after.get(routine, 0.0):.4f} "
+                          f"(threshold {args.drift_threshold})")
+            if args.watch and not report.acted and promoted_any:
+                break
+        elapsed = time.perf_counter() - start
+
+        states = controller.states()
+        print(f"Final states after {elapsed:.2f}s: "
+              + ", ".join(f"{r}={s}" for r, s in sorted(states.items())))
+        print(f"Bundle at version v{handle.bundle_version}")
+
+        if args.require_promotion:
+            errors = rolling_errors()
+            recovered = [
+                routine
+                for routine, state in states.items()
+                if state in ("promoted", "healthy")
+                and errors.get(routine, float("inf")) < args.drift_threshold
+            ]
+            if not promoted_any or not recovered:
+                print(
+                    "error: adaptation did not promote a recovered model "
+                    f"(promoted={promoted_any}, errors={errors})",
+                    file=sys.stderr,
+                )
+                return 1
+        return 0
+    except (FileNotFoundError, BundleFormatError, KeyError, ValueError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 1
@@ -282,6 +512,18 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
                     checksum = checksum.split(":", 1)[1][:12] + "..."
                 print(f"  {routine}: model={meta.get('model_name', '?')} "
                       f"file={meta.get('model_file', '?')} checksum={checksum}")
+        elif args.action == "rollback":
+            from repro.adaptive.promote import BundlePromoter
+
+            promoter = BundlePromoter(args.bundle)
+            before = promoter.current_version()
+            try:
+                restored = promoter.rollback(args.to_version)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(f"Rolled back {args.bundle}: bundle v{before} -> v{restored} "
+                  f"(archived versions: {promoter.archived_versions()})")
         elif args.action == "verify":
             report = verify_bundle(args.bundle)
             for routine, status in sorted(report["routines"].items()):
@@ -356,6 +598,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "install": _cmd_install,
         "predict": _cmd_predict,
         "serve": _cmd_serve,
+        "adapt": _cmd_adapt,
         "bundle": _cmd_bundle,
         "bench": _cmd_bench,
         "platforms": _cmd_platforms,

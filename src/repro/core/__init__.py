@@ -26,7 +26,12 @@ from repro.core.selection import (
 )
 from repro.core.predictor import ThreadPredictor, PredictionPlan
 from repro.core.runtime import AdsalaRuntime, AdsalaBlas
-from repro.core.install import install_adsala, InstallationBundle, RoutineInstallation
+from repro.core.install import (
+    install_adsala,
+    fit_routine_installation,
+    InstallationBundle,
+    RoutineInstallation,
+)
 from repro.core.persistence import (
     SCHEMA_VERSION,
     BundleFormatError,
@@ -35,6 +40,8 @@ from repro.core.persistence import (
     read_manifest,
     save_bundle,
     verify_bundle,
+    write_manifest,
+    write_routine_model,
 )
 
 __all__ = [
@@ -58,6 +65,7 @@ __all__ = [
     "AdsalaRuntime",
     "AdsalaBlas",
     "install_adsala",
+    "fit_routine_installation",
     "InstallationBundle",
     "RoutineInstallation",
     "save_bundle",
@@ -65,6 +73,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "BundleFormatError",
     "read_manifest",
+    "write_manifest",
+    "write_routine_model",
     "verify_bundle",
     "migrate_manifest",
 ]

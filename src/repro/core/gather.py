@@ -121,7 +121,11 @@ class DataGatherer:
             seed=seed,
         )
 
-    def gather(self, use_batch: bool = True) -> TimingDataset:
+    def gather(
+        self,
+        use_batch: bool = True,
+        shapes: List[Dict[str, int]] | None = None,
+    ) -> TimingDataset:
         """Run the sampling + timing campaign and return the dataset.
 
         With ``use_batch`` (the default) the whole campaign — every sampled
@@ -131,12 +135,22 @@ class DataGatherer:
         of array ops.  ``use_batch=False`` keeps the original per-call loop
         as a reference path; both produce bit-identical datasets
         (``benchmarks/bench_install_scaling.py`` tracks the speedup).
+
+        ``shapes`` overrides the Halton-sampled problem shapes with an
+        explicit list (the adaptive re-gather seeds the campaign from the
+        observed-traffic shape distribution instead of the static training
+        grid); timing and thread-count spreading are identical either way.
         """
         rng = np.random.default_rng(self.seed)
         dataset = TimingDataset(
             routine=self.routine, platform=self.simulator.platform.name
         )
-        shapes = self.sampler.sample(self.n_shapes)
+        if shapes is None:
+            shapes = self.sampler.sample(self.n_shapes)
+        elif not shapes:
+            raise ValueError("shapes must not be empty when provided")
+        else:
+            shapes = [dict(dims) for dims in shapes]
         max_threads = self.simulator.platform.max_threads
         per_shape_counts = [
             spread_thread_counts(max_threads, self.threads_per_shape, rng=rng)

@@ -30,7 +30,12 @@ from repro.machine.simulator import TimingSimulator
 from repro.machine.topology import MachineTopology
 from repro.parallel import map_parallel, resolve_n_jobs
 
-__all__ = ["RoutineInstallation", "InstallationBundle", "install_adsala"]
+__all__ = [
+    "RoutineInstallation",
+    "InstallationBundle",
+    "fit_routine_installation",
+    "install_adsala",
+]
 
 
 @dataclass
@@ -79,6 +84,59 @@ class InstallationBundle:
         return sorted(self.routines)
 
 
+def fit_routine_installation(
+    routine: str,
+    dataset: TimingDataset,
+    test_shapes: List[Dict[str, int]],
+    simulator: TimingSimulator,
+    candidate_models: Sequence[str] | None = None,
+    tune_hyperparameters: bool = False,
+    use_yeo_johnson: bool = True,
+    eval_time_mode: str = "native",
+    seed: int = 0,
+    n_jobs: int | None = 1,
+    parallel_backend: str = "process",
+    use_batch_timing: bool = True,
+) -> RoutineInstallation:
+    """Model-select and fit one routine from an already-gathered dataset.
+
+    The second half of an installation campaign (candidate evaluation,
+    selection by estimated speedup, predictor construction), shared by
+    :func:`install_adsala` and the adaptive layer's drift-triggered
+    retraining, which gathers its dataset from observed traffic instead of
+    the static training grid.
+    """
+    report = evaluate_candidates(
+        dataset=dataset,
+        simulator=simulator,
+        test_shapes=test_shapes,
+        candidate_names=candidate_models,
+        tune_hyperparameters=tune_hyperparameters,
+        use_yeo_johnson=use_yeo_johnson,
+        eval_time_mode=eval_time_mode,
+        seed=seed,
+        n_jobs=n_jobs,
+        parallel_backend=parallel_backend,
+        use_batch_timing=use_batch_timing,
+    )
+    best_model = report._fitted_models[report.best_model_name]  # type: ignore[attr-defined]
+    pipeline = report._pipeline  # type: ignore[attr-defined]
+    predictor = ThreadPredictor(
+        routine=routine,
+        pipeline=pipeline,
+        model=best_model,
+        candidate_threads=simulator.platform.candidate_thread_counts(),
+        model_name=report.best_model_name,
+    )
+    return RoutineInstallation(
+        routine=routine,
+        predictor=predictor,
+        selection=report,
+        dataset=dataset,
+        test_shapes=test_shapes,
+    )
+
+
 def _install_one_routine(payload: dict) -> tuple[RoutineInstallation, int]:
     """Run the full campaign for one routine (a :func:`map_parallel` worker).
 
@@ -106,11 +164,12 @@ def _install_one_routine(payload: dict) -> tuple[RoutineInstallation, int]:
     dataset = gatherer.gather(use_batch=use_batch_timing)
     test_shapes = gatherer.gather_test_set(payload["n_test_shapes"])
 
-    report = evaluate_candidates(
+    installation = fit_routine_installation(
+        routine=routine,
         dataset=dataset,
-        simulator=simulator,
         test_shapes=test_shapes,
-        candidate_names=payload["candidate_models"],
+        simulator=simulator,
+        candidate_models=payload["candidate_models"],
         tune_hyperparameters=payload["tune_hyperparameters"],
         use_yeo_johnson=payload["use_yeo_johnson"],
         eval_time_mode=payload["eval_time_mode"],
@@ -118,23 +177,6 @@ def _install_one_routine(payload: dict) -> tuple[RoutineInstallation, int]:
         n_jobs=payload["candidate_n_jobs"],
         parallel_backend=payload["parallel_backend"],
         use_batch_timing=use_batch_timing,
-    )
-
-    best_model = report._fitted_models[report.best_model_name]  # type: ignore[attr-defined]
-    pipeline = report._pipeline  # type: ignore[attr-defined]
-    predictor = ThreadPredictor(
-        routine=routine,
-        pipeline=pipeline,
-        model=best_model,
-        candidate_threads=simulator.platform.candidate_thread_counts(),
-        model_name=report.best_model_name,
-    )
-    installation = RoutineInstallation(
-        routine=routine,
-        predictor=predictor,
-        selection=report,
-        dataset=dataset,
-        test_shapes=test_shapes,
     )
     return installation, simulator.n_evaluations - evaluations_before
 

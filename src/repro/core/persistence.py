@@ -47,7 +47,7 @@ from repro.core.predictor import ThreadPredictor
 from repro.core.selection import CandidateEvaluation, SelectionReport
 from repro.machine.platforms import get_platform
 from repro.machine.simulator import TimingSimulator
-from repro.machine.topology import MachineTopology
+from repro.machine.topology import MachineTopology, apply_calibration
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -55,6 +55,8 @@ __all__ = [
     "save_bundle",
     "load_bundle",
     "read_manifest",
+    "write_manifest",
+    "write_routine_model",
     "load_routine",
     "verify_bundle",
     "migrate_manifest",
@@ -72,18 +74,26 @@ class BundleFormatError(RuntimeError):
     """A bundle directory is structurally invalid (schema, checksum, pickle)."""
 
 
-def _write_manifest(directory: Path, manifest: dict) -> None:
+def write_manifest(directory: str | Path, manifest: dict) -> None:
     """Write ``bundle.json`` atomically (temp file + rename).
 
     A registry may hot-reload the directory at any moment; the rename
     guarantees readers see either the old or the new manifest, never a
-    truncated intermediate.
+    truncated intermediate.  The manifest file is the *switch point* of
+    every bundle mutation: writers (installer, :class:`~repro.adaptive.promote.BundlePromoter`)
+    stage new model files under fresh names first and only then swap the
+    manifest, so a concurrent reload observes a fully consistent bundle on
+    either side of the rename.
     """
+    directory = Path(directory)
     target = directory / _BUNDLE_FILE
     tmp = target.with_suffix(".json.tmp")
     with open(tmp, "w") as handle:
         json.dump(manifest, handle, indent=2)
     os.replace(tmp, target)
+
+
+_write_manifest = write_manifest  # internal alias kept for older call sites
 
 
 def _sha256_file(path: Path) -> str:
@@ -124,6 +134,40 @@ def _selection_from_dict(data: dict) -> SelectionReport:
     )
 
 
+def write_routine_model(
+    directory: str | Path,
+    installation: RoutineInstallation,
+    filename: str | None = None,
+) -> dict:
+    """Pickle one routine's model into ``directory`` and return its manifest meta.
+
+    The model file is written atomically (temp file + rename) under
+    ``filename`` (default ``<routine>.model.pkl``); the returned meta dict is
+    exactly the per-routine entry :func:`save_bundle` stores in the manifest.
+    Promotion writes retrained models under *version-suffixed* filenames so
+    the live manifest keeps pointing at untouched files until the manifest
+    itself is atomically swapped.
+    """
+    directory = Path(directory)
+    predictor = installation.predictor
+    routine = installation.routine
+    model_path = directory / (filename or f"{routine}.model.pkl")
+    tmp = model_path.with_suffix(model_path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(predictor.model, handle)
+    os.replace(tmp, model_path)
+    return {
+        "model_file": model_path.name,
+        "checksum": f"sha256:{_sha256_file(model_path)}",
+        "model_name": predictor.model_name,
+        "candidate_threads": list(predictor.candidate_threads),
+        "preprocessing": predictor.pipeline.to_config().to_dict(),
+        "selection": _selection_to_dict(installation.selection),
+        "dataset": installation.dataset.to_dict(),
+        "test_shapes": [dict(s) for s in installation.test_shapes],
+    }
+
+
 def save_bundle(
     bundle: InstallationBundle,
     directory: str | Path,
@@ -138,22 +182,10 @@ def save_bundle(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
-    routines_meta: Dict[str, dict] = {}
-    for routine, installation in bundle.routines.items():
-        predictor = installation.predictor
-        model_path = directory / f"{routine}.model.pkl"
-        with open(model_path, "wb") as handle:
-            pickle.dump(predictor.model, handle)
-        routines_meta[routine] = {
-            "model_file": model_path.name,
-            "checksum": f"sha256:{_sha256_file(model_path)}",
-            "model_name": predictor.model_name,
-            "candidate_threads": list(predictor.candidate_threads),
-            "preprocessing": predictor.pipeline.to_config().to_dict(),
-            "selection": _selection_to_dict(installation.selection),
-            "dataset": installation.dataset.to_dict(),
-            "test_shapes": [dict(s) for s in installation.test_shapes],
-        }
+    routines_meta: Dict[str, dict] = {
+        routine: write_routine_model(directory, installation)
+        for routine, installation in bundle.routines.items()
+    }
 
     manifest = {
         "schema_version": SCHEMA_VERSION,
@@ -223,9 +255,17 @@ def simulator_from_settings(
 
     Shared by :func:`load_bundle` and the serving registry so the two ways
     of opening a bundle agree on the seed/noise defaults.
+
+    When the settings carry a ``calibration`` mapping (stamped by the
+    adaptive layer's :class:`~repro.adaptive.promote.BundlePromoter` after a
+    drift-triggered promotion), the named platform is rescaled through
+    :func:`repro.machine.topology.apply_calibration` before the simulator is
+    built — the bundle then predicts with the machine as it measures *now*,
+    not as it measured at install time.
     """
+    calibrated = apply_calibration(platform, settings.get("calibration") or {})
     return TimingSimulator(
-        platform,
+        calibrated,
         seed=int(settings.get("seed", 0)),
         noise_level=float(settings.get("noise_level", 0.04)),
     )

@@ -9,10 +9,61 @@ rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping
 
-__all__ = ["MachineTopology", "RoutineEfficiency"]
+__all__ = [
+    "MachineTopology",
+    "RoutineEfficiency",
+    "CALIBRATABLE_FIELDS",
+    "apply_calibration",
+]
+
+#: Topology fields a runtime calibration may rescale.  These are the
+#: continuous machine parameters that plausibly move between an install and
+#: later serving (thermal/frequency policy, BIOS or firmware updates, memory
+#: configuration, OS scheduler changes) — as opposed to structural facts
+#: (socket/core counts, SMT level) whose change would make the old bundle
+#: meaningless rather than merely mis-calibrated.
+CALIBRATABLE_FIELDS = (
+    "clock_ghz",
+    "flops_per_cycle",
+    "l3_cache_mb_per_group",
+    "memory_bandwidth_gbs_per_socket",
+    "copy_bandwidth_gbs_per_core",
+    "sync_cost_per_thread",
+    "fork_cost_per_thread",
+    "cross_socket_sync_penalty",
+)
+
+
+def apply_calibration(
+    platform: "MachineTopology", calibration: Mapping[str, float]
+) -> "MachineTopology":
+    """Rescale a platform's continuous parameters by per-field factors.
+
+    ``calibration`` maps field names from :data:`CALIBRATABLE_FIELDS` to
+    positive multiplicative scales (``{"clock_ghz": 0.8}`` models a machine
+    running 20 % slower than when the bundle was installed).  The platform
+    *name* is preserved, so seeded noise draws of a
+    :class:`~repro.machine.simulator.TimingSimulator` stay aligned between
+    the calibrated and uncalibrated machine — only the analytic cost model
+    shifts.  An empty calibration returns the platform unchanged.
+    """
+    if not calibration:
+        return platform
+    updates: Dict[str, float] = {}
+    for name, scale in calibration.items():
+        if name not in CALIBRATABLE_FIELDS:
+            raise ValueError(
+                f"Unknown calibration field {name!r}; calibratable fields: "
+                f"{CALIBRATABLE_FIELDS}"
+            )
+        scale = float(scale)
+        if not scale > 0:
+            raise ValueError(f"Calibration scale for {name!r} must be positive")
+        updates[name] = getattr(platform, name) * scale
+    return replace(platform, **updates)
 
 
 @dataclass(frozen=True)

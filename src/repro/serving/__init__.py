@@ -36,13 +36,21 @@ from repro.serving.fallback import (
     default_runtime_chain,
     default_serving_chain,
 )
-from repro.serving.telemetry import EngineTelemetry, RollingStats, RoutineTelemetry
+from repro.serving.telemetry import (
+    EngineTelemetry,
+    RollingStats,
+    RoutineTelemetry,
+    ShapeHistogram,
+    TrafficRecord,
+)
 from repro.serving.registry import BundleHandle, ModelRegistry
 from repro.serving.engine import PlanRequest, ServingEngine
 from repro.serving.workload import (
     WorkloadRequest,
+    append_jsonl,
     generate_workload,
     load_workload,
+    read_jsonl,
     save_workload,
 )
 
@@ -57,6 +65,8 @@ __all__ = [
     "default_runtime_chain",
     "default_serving_chain",
     "RollingStats",
+    "ShapeHistogram",
+    "TrafficRecord",
     "RoutineTelemetry",
     "EngineTelemetry",
     "BundleHandle",
@@ -67,4 +77,6 @@ __all__ = [
     "generate_workload",
     "load_workload",
     "save_workload",
+    "read_jsonl",
+    "append_jsonl",
 ]

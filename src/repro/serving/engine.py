@@ -301,6 +301,7 @@ class ServingEngine:
                     from_cache=plan.from_cache,
                     fallback=plan.fallback_from is not None,
                     heuristic=resolution.heuristic,
+                    dims_key=batch[index].dims_key,
                 )
         return [plan for plan in plans if plan is not None]
 
@@ -308,12 +309,42 @@ class ServingEngine:
     def record_observation(self, plan: ExecutionPlan, observed_time: float) -> None:
         """Feed one executed call's measured runtime back into telemetry."""
         self.telemetry.record_observation(
-            plan.routine, plan.predicted_time, observed_time
+            plan.routine,
+            plan.predicted_time,
+            observed_time,
+            dims=plan.dims,
+            threads=plan.threads,
         )
 
     def reinstall_candidates(self) -> List[str]:
         """Routines whose observed-vs-predicted error drifted past threshold."""
         return self.telemetry.reinstall_candidates()
+
+    # -- hot reload --------------------------------------------------------------------
+    def clear_timing_cache(self) -> None:
+        """Drop the timing memo (hit/miss counters survive).
+
+        Must be called whenever the source's simulator may have changed —
+        e.g. after a bundle promotion stamps a new machine calibration —
+        because memoised rows would otherwise keep answering with the old
+        machine's times.
+        """
+        self._timing_cache.clear()
+
+    def reload_source(self, force: bool = False) -> bool:
+        """Hot-reload a registry-backed source and invalidate stale caches.
+
+        Returns whether the source actually changed.  In-memory
+        :class:`~repro.core.install.InstallationBundle` sources have no
+        on-disk state to reload and always return ``False``.
+        """
+        reload = getattr(self.source, "reload", None)
+        if reload is None:
+            return False
+        changed = bool(reload(force=force))
+        if changed:
+            self.clear_timing_cache()
+        return changed
 
     # -- statistics -------------------------------------------------------------------
     def cache_statistics(self) -> Dict[str, object]:

@@ -16,9 +16,18 @@ its own single-threaded batch loop.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
 
-__all__ = ["RollingStats", "RoutineTelemetry", "EngineTelemetry"]
+import numpy as np
+
+__all__ = [
+    "RollingStats",
+    "ShapeHistogram",
+    "TrafficRecord",
+    "RoutineTelemetry",
+    "EngineTelemetry",
+]
 
 
 class RollingStats:
@@ -67,16 +76,107 @@ class RollingStats:
         }
 
 
+class ShapeHistogram:
+    """Bounded frequency histogram of observed problem shapes for one routine.
+
+    The adaptive re-gather seeds its timing campaign from the shapes real
+    traffic actually asked for, instead of the static Halton training grid —
+    so the retrained model is most accurate exactly where the workload
+    lives.  Keys are canonical ``dims_key`` tuples (sorted ``(name, value)``
+    pairs, the same form :class:`~repro.serving.engine.PlanRequest` carries);
+    the map is LRU-bounded so an adversarial stream of unique shapes cannot
+    grow it without limit (the evicted tail is the least recently *seen*
+    shape, which under skewed real traffic is also the coldest).
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._counts: "OrderedDict[tuple, int]" = OrderedDict()
+        self.n_recorded = 0
+        self.n_evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def record(self, dims_key: tuple) -> None:
+        count = self._counts.get(dims_key)
+        if count is None:
+            if len(self._counts) >= self.capacity:
+                self._counts.popitem(last=False)
+                self.n_evicted += 1
+            self._counts[dims_key] = 1
+        else:
+            self._counts[dims_key] = count + 1
+            self._counts.move_to_end(dims_key)
+        self.n_recorded += 1
+
+    def shapes(self) -> List[Dict[str, int]]:
+        """Every tracked shape as a dims dict (insertion/recency order)."""
+        return [dict(key) for key in self._counts]
+
+    def top(self, n: int) -> List[Tuple[Dict[str, int], int]]:
+        """The ``n`` most frequent shapes with their counts, hottest first."""
+        ranked = sorted(self._counts.items(), key=lambda item: (-item[1], item[0]))
+        return [(dict(key), count) for key, count in ranked[:n]]
+
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> List[Dict[str, int]]:
+        """Draw ``n`` shapes (with replacement) weighted by observed frequency."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        if not self._counts:
+            raise ValueError("cannot sample from an empty histogram")
+        keys = list(self._counts)
+        weights = np.fromiter(
+            (self._counts[k] for k in keys), dtype=float, count=len(keys)
+        )
+        weights /= weights.sum()
+        picks = rng.choice(len(keys), size=n, p=weights)
+        return [dict(keys[int(i)]) for i in picks]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "distinct": len(self._counts),
+            "recorded": self.n_recorded,
+            "evicted": self.n_evicted,
+            "top": [
+                {"dims": dims, "count": count} for dims, count in self.top(5)
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One executed call: the plan that scheduled it and its measured runtime.
+
+    The bounded per-routine traffic log is what the shadow evaluator replays
+    through a candidate model: the candidate's runtime prediction *at the
+    executed thread count* is compared against the observed runtime, so no
+    call is ever executed twice.
+    """
+
+    dims: Dict[str, int]
+    threads: int
+    predicted: float
+    observed: float
+
+
 class RoutineTelemetry:
     """Per-routine serving statistics.
 
-    Tracks how many plans were produced (and by which fallback path) and the
-    rolling observed-vs-predicted error: each observation contributes
-    ``|observed - predicted| / observed`` to a bounded window.
+    Tracks how many plans were produced (and by which fallback path), the
+    rolling observed-vs-predicted error (each observation contributes
+    ``|observed - predicted| / observed`` to a bounded window), the observed
+    shape distribution (:class:`ShapeHistogram`) and a bounded traffic log
+    of executed calls for shadow evaluation.
     """
 
-    def __init__(self, routine: str, window: int = 256):
+    def __init__(self, routine: str, window: int = 256, shape_capacity: int = 512):
         self.routine = routine
+        self.window = int(window)
         self.n_plans = 0
         self.n_cache_hits = 0
         self.n_fallback_plans = 0
@@ -84,8 +184,16 @@ class RoutineTelemetry:
         self.n_observations = 0
         self.n_invalid_observations = 0
         self.errors = RollingStats(window)
+        self.shapes = ShapeHistogram(shape_capacity)
+        self.traffic: Deque[TrafficRecord] = deque(maxlen=self.window)
 
-    def record_plan(self, from_cache: bool, fallback: bool, heuristic: bool) -> None:
+    def record_plan(
+        self,
+        from_cache: bool,
+        fallback: bool,
+        heuristic: bool,
+        dims_key: tuple | None = None,
+    ) -> None:
         self.n_plans += 1
         if from_cache:
             self.n_cache_hits += 1
@@ -93,14 +201,43 @@ class RoutineTelemetry:
             self.n_fallback_plans += 1
         if heuristic:
             self.n_heuristic_plans += 1
+        if dims_key is not None:
+            self.shapes.record(dims_key)
 
-    def record_observation(self, predicted: float, observed: float) -> None:
+    def record_observation(
+        self,
+        predicted: float,
+        observed: float,
+        dims: Optional[Dict[str, int]] = None,
+        threads: Optional[int] = None,
+    ) -> None:
         """Fold one executed call's measured runtime into the drift window."""
         if observed <= 0 or predicted < 0:
             self.n_invalid_observations += 1
             return
         self.n_observations += 1
         self.errors.add(abs(observed - predicted) / observed)
+        if dims is not None and threads is not None:
+            self.traffic.append(
+                TrafficRecord(
+                    dims=dict(dims),
+                    threads=int(threads),
+                    predicted=float(predicted),
+                    observed=float(observed),
+                )
+            )
+
+    def reset_window(self) -> None:
+        """Forget the rolling error window and traffic log (not the counters).
+
+        Called after a model promotion: errors measured against the replaced
+        model would otherwise keep the drift flag lit (and poison the next
+        shadow evaluation) long after the new model took over.  The shape
+        histogram survives — the workload distribution is a property of the
+        traffic, not of the model serving it.
+        """
+        self.errors = RollingStats(self.window)
+        self.traffic.clear()
 
     @property
     def mean_abs_rel_error(self) -> float:
@@ -132,6 +269,8 @@ class RoutineTelemetry:
             "invalid_observations": self.n_invalid_observations,
             "mean_abs_rel_error": self.mean_abs_rel_error,
             "max_abs_rel_error": self.errors.max,
+            "shapes": self.shapes.snapshot(),
+            "traffic_records": len(self.traffic),
         }
 
 
@@ -147,7 +286,11 @@ class EngineTelemetry:
         Observations required in the window before the drift flag can fire
         (guards against flagging on a handful of noisy calls).
     window:
-        Rolling window length for per-routine errors and batch sizes.
+        Rolling window length for per-routine errors, traffic logs and
+        batch sizes.
+    shape_capacity:
+        Bound on distinct shapes tracked per routine's
+        :class:`ShapeHistogram`.
     """
 
     def __init__(
@@ -155,6 +298,7 @@ class EngineTelemetry:
         drift_threshold: float = 0.25,
         min_observations: int = 20,
         window: int = 256,
+        shape_capacity: int = 512,
     ):
         if drift_threshold <= 0:
             raise ValueError("drift_threshold must be positive")
@@ -163,6 +307,7 @@ class EngineTelemetry:
         self.drift_threshold = float(drift_threshold)
         self.min_observations = int(min_observations)
         self.window = int(window)
+        self.shape_capacity = int(shape_capacity)
         self.n_requests = 0
         self.n_batches = 0
         self.batch_sizes = RollingStats(window)
@@ -171,7 +316,9 @@ class EngineTelemetry:
     def _routine(self, routine: str) -> RoutineTelemetry:
         telemetry = self.routines.get(routine)
         if telemetry is None:
-            telemetry = RoutineTelemetry(routine, window=self.window)
+            telemetry = RoutineTelemetry(
+                routine, window=self.window, shape_capacity=self.shape_capacity
+            )
             self.routines[routine] = telemetry
         return telemetry
 
@@ -186,13 +333,31 @@ class EngineTelemetry:
         from_cache: bool,
         fallback: bool,
         heuristic: bool,
+        dims_key: tuple | None = None,
     ) -> None:
-        self._routine(routine).record_plan(from_cache, fallback, heuristic)
+        self._routine(routine).record_plan(
+            from_cache, fallback, heuristic, dims_key=dims_key
+        )
 
     def record_observation(
-        self, routine: str, predicted: float, observed: float
+        self,
+        routine: str,
+        predicted: float,
+        observed: float,
+        dims: Optional[Dict[str, int]] = None,
+        threads: Optional[int] = None,
     ) -> None:
-        self._routine(routine).record_observation(predicted, observed)
+        self._routine(routine).record_observation(
+            predicted, observed, dims=dims, threads=threads
+        )
+
+    def reset_routine(self, routine: str) -> bool:
+        """Reset one routine's drift window after its model was replaced."""
+        telemetry = self.routines.get(routine)
+        if telemetry is None:
+            return False
+        telemetry.reset_window()
+        return True
 
     def reinstall_candidates(self) -> List[str]:
         """Routines whose rolling prediction error drifted past threshold."""

@@ -19,9 +19,10 @@ checked into benchmarks.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +34,8 @@ __all__ = [
     "generate_workload",
     "save_workload",
     "load_workload",
+    "read_jsonl",
+    "append_jsonl",
 ]
 
 DISTRIBUTIONS = ("uniform", "cycling", "skewed")
@@ -52,9 +55,23 @@ class WorkloadRequest:
         return json.dumps({"routine": self.routine, "dims": self.dims})
 
     @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadRequest":
+        """Build a request from a parsed JSONL row.
+
+        Unknown fields are ignored (a captured stream may carry extra
+        metadata — timestamps, request ids — that replay does not need).
+        """
+        dims = data["dims"]
+        if not isinstance(dims, dict):
+            raise KeyError("dims")
+        return cls(
+            routine=str(data["routine"]),
+            dims={k: int(v) for k, v in dims.items()},
+        )
+
+    @classmethod
     def from_json(cls, line: str) -> "WorkloadRequest":
-        data = json.loads(line)
-        return cls(routine=data["routine"], dims={k: int(v) for k, v in data["dims"].items()})
+        return cls.from_dict(json.loads(line))
 
 
 def _random_dims(
@@ -133,18 +150,81 @@ def save_workload(path: str | Path, requests: Sequence[WorkloadRequest]) -> Path
     return path
 
 
-def load_workload(path: str | Path) -> List[WorkloadRequest]:
-    """Read a JSON-lines request stream written by :func:`save_workload`."""
-    requests: List[WorkloadRequest] = []
+def read_jsonl(path: str | Path, strict: bool = False) -> Iterator[Tuple[int, dict]]:
+    """Yield ``(line_number, row)`` for every JSON-object line of a file.
+
+    Blank lines are skipped.  Lines that are not valid JSON objects are a
+    ``ValueError`` (with the offending position) under ``strict``; otherwise
+    they are skipped with a :class:`RuntimeWarning`, so one corrupt line —
+    say, a crash mid-append to an audit log — does not make the rest of the
+    file unreadable.  Shared by workload replay and the adaptation log.
+    """
+    path = Path(path)
     with open(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                requests.append(WorkloadRequest.from_json(line))
-            except (json.JSONDecodeError, KeyError) as exc:
+                row = json.loads(line)
+                if not isinstance(row, dict):
+                    raise ValueError("line is not a JSON object")
+            except ValueError as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: not a valid JSONL line: {exc}"
+                    ) from exc
+                warnings.warn(
+                    f"{path}:{line_number}: skipping malformed JSONL line ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            yield line_number, row
+
+
+def append_jsonl(path: str | Path, row: Dict[str, object]) -> Path:
+    """Append one JSON object as a line (creating parent directories).
+
+    If a previous writer crashed mid-append the file may end in a partial
+    line without a newline; gluing onto it would corrupt *this* record too,
+    so a missing trailing newline is repaired first (the partial line stays
+    malformed on its own and is skipped by :func:`read_jsonl`).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    needs_newline = False
+    if path.exists() and path.stat().st_size > 0:
+        with open(path, "rb") as handle:
+            handle.seek(-1, 2)
+            needs_newline = handle.read(1) != b"\n"
+    with open(path, "a") as handle:
+        if needs_newline:
+            handle.write("\n")
+        handle.write(json.dumps(row) + "\n")
+    return path
+
+
+def load_workload(path: str | Path, strict: bool = False) -> List[WorkloadRequest]:
+    """Read a JSON-lines request stream written by :func:`save_workload`.
+
+    Malformed lines and rows missing ``routine``/``dims`` are skipped with a
+    :class:`RuntimeWarning` by default (unknown extra fields are always
+    ignored); ``strict=True`` turns them into a ``ValueError`` that reports
+    the offending line number.
+    """
+    requests: List[WorkloadRequest] = []
+    for line_number, row in read_jsonl(path, strict=strict):
+        try:
+            requests.append(WorkloadRequest.from_dict(row))
+        except (KeyError, TypeError, ValueError) as exc:
+            if strict:
                 raise ValueError(
                     f"{path}:{line_number}: not a valid workload line: {exc}"
                 ) from exc
+            warnings.warn(
+                f"{path}:{line_number}: skipping invalid workload line ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return requests

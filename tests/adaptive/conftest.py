@@ -1,0 +1,112 @@
+"""Fixtures for the adaptive-layer tests.
+
+The adaptation tests drive a full serve -> drift -> retrain -> promote loop,
+so they get their own session-scoped trained installation (saved per-test to
+a fresh directory, since promotion mutates the bundle on disk).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import AdaptationConfig, DriftInjector, make_calibration
+from repro.core.install import install_adsala
+from repro.core.persistence import save_bundle
+from repro.serving.engine import ServingEngine
+from repro.serving.registry import ModelRegistry
+from repro.serving.telemetry import EngineTelemetry
+from repro.serving.workload import generate_workload
+
+#: Drift every adaptation test injects: a machine whose clock dropped 45 %
+#: and whose synchronisation cost more than doubled.
+CALIBRATION = make_calibration(clock=0.55, sync=2.5)
+
+
+@pytest.fixture(scope="session")
+def adaptive_bundle(laptop):
+    """A two-routine installation reserved for the adaptation tests."""
+    return install_adsala(
+        platform=laptop,
+        routines=["dgemm", "dsyrk"],
+        n_samples=14,
+        threads_per_shape=4,
+        n_test_shapes=6,
+        candidate_models=["LinearRegression", "DecisionTree"],
+        seed=7,
+    )
+
+
+@pytest.fixture()
+def bundle_dir(adaptive_bundle, tmp_path):
+    """The adaptive bundle saved fresh to disk (promotion mutates it)."""
+    return save_bundle(adaptive_bundle, tmp_path / "bundle", bundle_version=1)
+
+
+@pytest.fixture()
+def quick_config():
+    """A small, fully deterministic adaptation policy."""
+    return AdaptationConfig(
+        seed=11,
+        regather_shapes=10,
+        regather_threads_per_shape=4,
+        regather_test_shapes=6,
+        candidate_models=("LinearRegression", "DecisionTree"),
+        min_error_improvement=0.05,
+        max_latency_regression=2.0,
+        shadow_min_records=8,
+    )
+
+
+@pytest.fixture()
+def calibration():
+    """The drift every adaptation test injects."""
+    return dict(CALIBRATION)
+
+
+@pytest.fixture()
+def make_engine():
+    """Factory: serving engine over a freshly registered handle of a bundle dir."""
+
+    def _make_engine(bundle_dir, drift_threshold=0.25, min_observations=20):
+        registry = ModelRegistry()
+        handle = registry.register(bundle_dir)
+        engine = ServingEngine(
+            handle,
+            telemetry=EngineTelemetry(
+                drift_threshold=drift_threshold, min_observations=min_observations
+            ),
+        )
+        return registry, handle, engine
+
+    return _make_engine
+
+
+@pytest.fixture()
+def drive_traffic():
+    """Serve a skewed workload and feed observed runtimes back to telemetry."""
+
+    def _drive_traffic(engine, observer, n_requests=200, seed=3, routines=None):
+        routines = routines or ["dgemm", "dsyrk"]
+        requests = generate_workload(
+            routines, n_requests, distribution="skewed", seed=seed
+        )
+        plans = engine.plan_many(request.as_tuple() for request in requests)
+        for plan in plans:
+            engine.record_observation(
+                plan, observer.time(plan.routine, plan.dims, plan.threads)
+            )
+        return plans
+
+    return _drive_traffic
+
+
+@pytest.fixture()
+def drifted_observer(laptop):
+    """Observed runtimes from the drifted machine (independent noise)."""
+    return DriftInjector(laptop, CALIBRATION).simulator(seed=1)
+
+
+@pytest.fixture()
+def measurement_simulator(laptop):
+    """Re-gather timing source on the drifted machine (its own noise draw)."""
+    return DriftInjector(laptop, CALIBRATION).simulator(seed=2)

@@ -1,0 +1,113 @@
+"""Tests for platform calibration and synthetic drift injection."""
+
+import pytest
+
+from repro.adaptive.drift import DriftInjector, make_calibration
+from repro.machine.topology import CALIBRATABLE_FIELDS, apply_calibration
+
+
+class TestApplyCalibration:
+    def test_scales_named_fields(self, laptop):
+        drifted = apply_calibration(
+            laptop, {"clock_ghz": 0.5, "sync_cost_per_thread": 2.0}
+        )
+        assert drifted.clock_ghz == pytest.approx(laptop.clock_ghz * 0.5)
+        assert drifted.sync_cost_per_thread == pytest.approx(
+            laptop.sync_cost_per_thread * 2.0
+        )
+        # Untouched fields carry over.
+        assert drifted.flops_per_cycle == laptop.flops_per_cycle
+        assert drifted.sockets == laptop.sockets
+
+    def test_name_preserved_for_seeded_noise_alignment(self, laptop):
+        drifted = apply_calibration(laptop, {"clock_ghz": 0.5})
+        assert drifted.name == laptop.name
+
+    def test_empty_calibration_is_identity(self, laptop):
+        assert apply_calibration(laptop, {}) is laptop
+
+    def test_unknown_field_rejected(self, laptop):
+        with pytest.raises(ValueError, match="Unknown calibration field"):
+            apply_calibration(laptop, {"sockets": 2.0})
+
+    def test_non_positive_scale_rejected(self, laptop):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="must be positive"):
+                apply_calibration(laptop, {"clock_ghz": bad})
+
+    def test_every_calibratable_field_is_scalable(self, laptop):
+        for field in CALIBRATABLE_FIELDS:
+            drifted = apply_calibration(laptop, {field: 1.5})
+            assert getattr(drifted, field) == pytest.approx(
+                getattr(laptop, field) * 1.5
+            )
+
+
+class TestMakeCalibration:
+    def test_maps_knobs_to_topology_fields(self):
+        calibration = make_calibration(clock=0.7, sync=3.0)
+        assert calibration == {
+            "clock_ghz": 0.7,
+            "sync_cost_per_thread": 3.0,
+        }
+
+    def test_identity_knobs_omitted(self):
+        assert make_calibration(clock=1.0, bandwidth=1.0) == {}
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="Unknown drift knob"):
+            make_calibration(turbo=2.0)
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            make_calibration(clock=0.0)
+
+
+class TestUniformTimeCalibration:
+    def test_scales_simulated_times_uniformly(self, laptop):
+        from repro.adaptive.drift import uniform_time_calibration
+        from repro.machine.simulator import TimingSimulator
+        from repro.machine.topology import apply_calibration
+
+        ratio = 1.7
+        base = TimingSimulator(laptop, seed=0)
+        scaled = TimingSimulator(
+            apply_calibration(laptop, uniform_time_calibration(ratio)), seed=0
+        )
+        dims = {"m": 512, "k": 256, "n": 1024}
+        for threads in (1, 4, laptop.max_threads):
+            observed_ratio = scaled.time("dgemm", dims, threads) / base.time(
+                "dgemm", dims, threads
+            )
+            # First-order: a fixed per-call overhead component is not
+            # calibratable, so allow a few percent of slack.
+            assert observed_ratio == pytest.approx(ratio, rel=0.06)
+
+    def test_identity_and_validation(self):
+        from repro.adaptive.drift import uniform_time_calibration
+
+        assert uniform_time_calibration(1.0) == {}
+        with pytest.raises(ValueError, match="positive"):
+            uniform_time_calibration(0.0)
+
+
+class TestDriftInjector:
+    def test_undrifted_injector(self, laptop):
+        injector = DriftInjector(laptop)
+        assert not injector.drifted
+        assert injector.platform is laptop
+
+    def test_slower_clock_means_slower_times(self, laptop, simulator):
+        injector = DriftInjector(laptop, make_calibration(clock=0.5))
+        assert injector.drifted
+        drifted_sim = injector.simulator(seed=simulator.seed)
+        dims = {"m": 512, "k": 512, "n": 512}
+        slow = drifted_sim.time("dgemm", dims, 4)
+        fast = simulator.time("dgemm", dims, 4)
+        assert slow > fast
+
+    def test_describe_is_json_friendly(self, laptop):
+        description = DriftInjector(laptop, make_calibration(sync=2.0)).describe()
+        assert description["platform"] == laptop.name
+        assert description["drifted"] is True
+        assert description["calibration"] == {"sync_cost_per_thread": 2.0}

@@ -1,0 +1,283 @@
+"""Tests for versioned bundle promotion, the audit trail and rollback."""
+
+import json
+
+import pytest
+
+from repro.adaptive.promote import (
+    ADAPTATION_LOG_FILE,
+    AdaptationLog,
+    BundlePromoter,
+)
+from repro.adaptive.regather import retrain_drifting_routines
+from repro.core.persistence import (
+    load_bundle,
+    read_manifest,
+    simulator_from_settings,
+    verify_bundle,
+)
+from repro.serving.registry import ModelRegistry
+
+
+@pytest.fixture()
+def retrained(bundle_dir, measurement_simulator, quick_config):
+    """One retrained dgemm installation to promote."""
+    results = retrain_drifting_routines(
+        measurement_simulator, ["dgemm"], {}, quick_config
+    )
+    return results["dgemm"].installation
+
+
+def bundle_bytes(directory):
+    """Manifest + model bytes of the version the manifest references."""
+    manifest = read_manifest(directory)
+    state = {"bundle.json": (directory / "bundle.json").read_bytes()}
+    for routine, meta in manifest["routines"].items():
+        model_file = meta["model_file"]
+        state[model_file] = (directory / model_file).read_bytes()
+    return state
+
+
+class TestPromotion:
+    def test_promote_bumps_version_and_stages_new_files(
+        self, bundle_dir, retrained
+    ):
+        promoter = BundlePromoter(bundle_dir, clock=lambda: 1.0)
+        old_model_bytes = (bundle_dir / "dgemm.model.pkl").read_bytes()
+        new_version = promoter.promote({"dgemm": retrained})
+        assert new_version == 2
+        manifest = read_manifest(bundle_dir)
+        assert manifest["bundle_version"] == 2
+        meta = manifest["routines"]["dgemm"]
+        assert meta["model_file"] == "dgemm.model.v2.pkl"
+        # The old model file is untouched (still referenced by history).
+        assert (bundle_dir / "dgemm.model.pkl").read_bytes() == old_model_bytes
+        # Untouched routines keep their entries.
+        assert manifest["routines"]["dsyrk"]["model_file"] == "dsyrk.model.pkl"
+        assert verify_bundle(bundle_dir)["ok"]
+
+    def test_promote_archives_current_version_first(self, bundle_dir, retrained):
+        before = bundle_bytes(bundle_dir)
+        promoter = BundlePromoter(bundle_dir, clock=lambda: 1.0)
+        promoter.promote({"dgemm": retrained})
+        archive = bundle_dir / "history" / "v1"
+        assert archive.is_dir()
+        for name, payload in before.items():
+            assert (archive / name).read_bytes() == payload
+        assert promoter.archived_versions() == [1]
+
+    def test_promote_stamps_calibration_into_settings(
+        self, bundle_dir, retrained, calibration, laptop
+    ):
+        promoter = BundlePromoter(bundle_dir, clock=lambda: 1.0)
+        promoter.promote(
+            {"dgemm": retrained}, settings_update={"calibration": calibration}
+        )
+        settings = read_manifest(bundle_dir)["settings"]
+        assert settings["calibration"] == calibration
+        simulator = simulator_from_settings(laptop, settings)
+        assert simulator.platform.clock_ghz == pytest.approx(
+            laptop.clock_ghz * calibration["clock_ghz"]
+        )
+        # load_bundle goes through the same path.
+        assert load_bundle(bundle_dir).simulator.platform.clock_ghz == pytest.approx(
+            simulator.platform.clock_ghz
+        )
+
+    def test_promote_unknown_routine_rejected(self, bundle_dir, retrained):
+        promoter = BundlePromoter(bundle_dir)
+        with pytest.raises(KeyError, match="not in the bundle"):
+            promoter.promote({"sgemm": retrained})
+        with pytest.raises(ValueError, match="must not be empty"):
+            promoter.promote({})
+
+    def test_registry_hot_reloads_promoted_bundle(self, bundle_dir, retrained):
+        registry = ModelRegistry()
+        handle = registry.register(bundle_dir)
+        assert handle.bundle_version == 1
+        handle.predictor("dgemm")  # materialise the lazy model
+        BundlePromoter(bundle_dir, clock=lambda: 1.0).promote({"dgemm": retrained})
+        report = registry.refresh()
+        assert report == {handle.name: "reloaded"}
+        assert handle.bundle_version == 2
+        assert handle.loaded_routines == []  # stale lazy state dropped
+
+
+class TestInterleavedReload:
+    def test_reload_mid_promotion_sees_only_complete_states(
+        self, bundle_dir, retrained, monkeypatch
+    ):
+        """A hot reload at the worst instant (between model staging and the
+        manifest swap) must observe the *old* bundle, fully consistent."""
+        import repro.core.persistence as persistence
+
+        registry = ModelRegistry()
+        handle = registry.register(bundle_dir)
+        handle.predictor("dgemm")
+        real_replace = persistence.os.replace
+        observations = []
+
+        def interleaving_replace(src, dst):
+            if str(dst).endswith("bundle.json"):
+                # The retrained model file is already on disk; the manifest
+                # is not swapped yet.  A reload now must keep serving v1.
+                registry.refresh()
+                observations.append(
+                    (handle.bundle_version, verify_bundle(bundle_dir)["ok"])
+                )
+                plan = handle.predictor("dgemm").plan({"m": 64, "k": 64, "n": 64})
+                observations.append(plan.threads >= 1)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(persistence.os, "replace", interleaving_replace)
+        BundlePromoter(bundle_dir, clock=lambda: 1.0).promote({"dgemm": retrained})
+        monkeypatch.undo()
+
+        assert observations[0] == (1, True)
+        assert observations[1] is True
+        # After the swap the very next refresh serves v2, also consistent.
+        assert registry.refresh() == {handle.name: "reloaded"}
+        assert handle.bundle_version == 2
+        assert verify_bundle(bundle_dir)["ok"]
+
+    def test_partially_written_tmp_manifest_is_invisible(self, bundle_dir):
+        (bundle_dir / "bundle.json.tmp").write_text('{"truncated": ')
+        manifest = read_manifest(bundle_dir)
+        assert manifest["bundle_version"] == 1
+        registry = ModelRegistry()
+        handle = registry.register(bundle_dir)
+        assert not handle.is_stale()
+
+
+class TestRollback:
+    def test_rollback_restores_prior_version_byte_for_byte(
+        self, bundle_dir, retrained
+    ):
+        before = bundle_bytes(bundle_dir)
+        promoter = BundlePromoter(bundle_dir, clock=lambda: 1.0)
+        promoter.promote({"dgemm": retrained})
+        assert bundle_bytes(bundle_dir) != before
+        restored = promoter.rollback()
+        assert restored == 1
+        assert bundle_bytes(bundle_dir) == before
+        assert verify_bundle(bundle_dir)["ok"]
+
+    def test_rollback_archives_current_for_roll_forward(
+        self, bundle_dir, retrained
+    ):
+        promoter = BundlePromoter(bundle_dir, clock=lambda: 1.0)
+        promoter.promote({"dgemm": retrained})
+        promoted = bundle_bytes(bundle_dir)
+        promoter.rollback()
+        assert promoter.archived_versions() == [1, 2]
+        promoter.rollback(to_version=2)
+        assert bundle_bytes(bundle_dir) == promoted
+
+    def test_superseded_staged_files_pruned_from_live_dir(
+        self, bundle_dir, measurement_simulator, quick_config
+    ):
+        """A watch loop promoting repeatedly must not accumulate one staged
+        model file per promotion; only the last two versions stay live."""
+        from dataclasses import replace
+
+        from repro.adaptive.regather import retrain_drifting_routines
+
+        promoter = BundlePromoter(bundle_dir, clock=lambda: 1.0)
+        for seed in (21, 22, 23):
+            installation = retrain_drifting_routines(
+                measurement_simulator,
+                ["dgemm"],
+                {},
+                replace(quick_config, seed=seed),
+            )["dgemm"].installation
+            promoter.promote({"dgemm": installation})
+        staged = sorted(p.name for p in bundle_dir.glob("dgemm.model.v*.pkl"))
+        assert staged == ["dgemm.model.v3.pkl", "dgemm.model.v4.pkl"]
+        # Every pruned version is still archived and restorable.
+        assert promoter.archived_versions() == [1, 2, 3]
+        promoter.rollback(to_version=2)
+        assert read_manifest(bundle_dir)["routines"]["dgemm"]["model_file"] == (
+            "dgemm.model.v2.pkl"
+        )
+        assert verify_bundle(bundle_dir)["ok"]
+
+    def test_promotion_after_rollback_never_reuses_a_version(
+        self, bundle_dir, retrained, measurement_simulator, quick_config
+    ):
+        """promote -> rollback -> promote must mint v3, keeping the archived
+        v2 bytes (the advertised byte-for-byte guarantee) intact."""
+        from dataclasses import replace
+
+        from repro.adaptive.regather import retrain_drifting_routines
+
+        promoter = BundlePromoter(bundle_dir, clock=lambda: 1.0)
+        promoter.promote({"dgemm": retrained})
+        v2_bytes = bundle_bytes(bundle_dir)
+        promoter.rollback()
+        # A different retrain (different seed) after the rollback.
+        other = retrain_drifting_routines(
+            measurement_simulator, ["dgemm"], {}, replace(quick_config, seed=99)
+        )["dgemm"].installation
+        new_version = promoter.promote({"dgemm": other})
+        assert new_version == 3
+        assert sorted(promoter.archived_versions()) == [1, 2]
+        # Rolling back to v2 restores exactly what served as v2.
+        promoter.rollback(to_version=2)
+        assert bundle_bytes(bundle_dir) == v2_bytes
+
+    def test_rollback_validation(self, bundle_dir, retrained):
+        promoter = BundlePromoter(bundle_dir, clock=lambda: 1.0)
+        with pytest.raises(ValueError, match="No archived version"):
+            promoter.rollback()
+        promoter.promote({"dgemm": retrained})
+        with pytest.raises(ValueError, match="not archived"):
+            promoter.rollback(to_version=7)
+        with pytest.raises(ValueError, match="already at version"):
+            promoter.rollback(to_version=2)
+
+
+class TestAdaptationLog:
+    def test_events_round_trip(self, tmp_path):
+        log = AdaptationLog(tmp_path / ADAPTATION_LOG_FILE, clock=lambda: 42.0)
+        log.append("drift_detected", routine="dgemm", state="drifting", error=0.3)
+        log.append("promoted", routine="dgemm", state="promoted", to_version=2)
+        events = log.events()
+        assert [event["event"] for event in events] == [
+            "drift_detected",
+            "promoted",
+        ]
+        assert events[0]["ts"] == 42.0
+        assert events[0]["details"] == {"error": 0.3}
+        assert log.last_event(routine="dgemm")["event"] == "promoted"
+        assert log.last_event(event="drift_detected")["details"]["error"] == 0.3
+        assert log.per_routine_state()["dgemm"]["state"] == "promoted"
+
+    def test_missing_log_is_empty(self, tmp_path):
+        log = AdaptationLog(tmp_path / "absent.jsonl")
+        assert log.events() == []
+        assert log.last_event() is None
+        assert log.per_routine_state() == {}
+
+    def test_corrupt_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / ADAPTATION_LOG_FILE
+        log = AdaptationLog(path, clock=lambda: 1.0)
+        log.append("promoted", routine="dgemm", state="promoted")
+        with open(path, "a") as handle:
+            handle.write('{"event": "rolled_ba')  # crash mid-append
+        log.append("rolled_back", state="rolled_back")
+        with pytest.warns(RuntimeWarning, match="malformed JSONL"):
+            events = log.events()
+        assert [event["event"] for event in events] == ["promoted", "rolled_back"]
+
+    def test_events_tolerate_unknown_fields(self, tmp_path):
+        path = tmp_path / ADAPTATION_LOG_FILE
+        with open(path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {"event": "promoted", "routine": "dgemm", "operator": "oncall"}
+                )
+                + "\n"
+            )
+        assert AdaptationLog(path).per_routine_state()["dgemm"]["operator"] == (
+            "oncall"
+        )

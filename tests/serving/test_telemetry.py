@@ -131,3 +131,139 @@ class TestCacheHitRate:
             )
         assert telemetry.cache_hit_rate == 0.75
         assert telemetry.snapshot()["cache_hit_rate"] == 0.75
+
+
+class TestShapeHistogram:
+    def key(self, **dims):
+        return tuple(sorted(dims.items()))
+
+    def test_records_and_counts(self):
+        from repro.serving.telemetry import ShapeHistogram
+
+        histogram = ShapeHistogram()
+        for _ in range(3):
+            histogram.record(self.key(m=64, n=64))
+        histogram.record(self.key(m=128, n=128))
+        assert len(histogram) == 2
+        assert histogram.n_recorded == 4
+        assert histogram.top(1) == [({"m": 64, "n": 64}, 3)]
+        assert {"m": 128, "n": 128} in histogram.shapes()
+
+    def test_capacity_evicts_least_recently_seen(self):
+        from repro.serving.telemetry import ShapeHistogram
+
+        histogram = ShapeHistogram(capacity=2)
+        histogram.record(self.key(m=1))
+        histogram.record(self.key(m=2))
+        histogram.record(self.key(m=1))  # refresh m=1 -> m=2 is the LRU
+        histogram.record(self.key(m=3))
+        assert histogram.n_evicted == 1
+        assert {"m": 2} not in histogram.shapes()
+        assert {"m": 1} in histogram.shapes()
+
+    def test_sample_is_frequency_weighted(self):
+        import numpy as np
+
+        from repro.serving.telemetry import ShapeHistogram
+
+        histogram = ShapeHistogram()
+        for _ in range(99):
+            histogram.record(self.key(m=64))
+        histogram.record(self.key(m=1024))
+        rng = np.random.default_rng(0)
+        samples = histogram.sample(200, rng)
+        hot = sum(1 for dims in samples if dims == {"m": 64})
+        assert hot > 150  # ~99 % of the mass
+
+    def test_sample_validation(self):
+        import numpy as np
+
+        from repro.serving.telemetry import ShapeHistogram
+
+        histogram = ShapeHistogram()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="empty histogram"):
+            histogram.sample(1, rng)
+        histogram.record(self.key(m=1))
+        with pytest.raises(ValueError, match="must be positive"):
+            histogram.sample(0, rng)
+
+    def test_snapshot_serialisable(self):
+        import json
+
+        from repro.serving.telemetry import ShapeHistogram
+
+        histogram = ShapeHistogram()
+        histogram.record(self.key(m=64, n=32))
+        snap = histogram.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["distinct"] == 1
+        assert snap["top"][0]["dims"] == {"m": 64, "n": 32}
+
+    def test_capacity_validation(self):
+        from repro.serving.telemetry import ShapeHistogram
+
+        with pytest.raises(ValueError):
+            ShapeHistogram(capacity=0)
+
+
+class TestTrafficLog:
+    def test_observations_with_context_fill_the_log(self):
+        telemetry = RoutineTelemetry("dgemm", window=4)
+        dims = {"m": 64, "k": 64, "n": 64}
+        for i in range(6):
+            telemetry.record_observation(
+                predicted=1.0, observed=1.1 + i * 0.01, dims=dims, threads=4
+            )
+        assert len(telemetry.traffic) == 4  # bounded by the window
+        record = telemetry.traffic[-1]
+        assert record.dims == dims and record.threads == 4
+        assert record.observed == pytest.approx(1.15)
+
+    def test_context_free_observations_skip_the_log(self):
+        telemetry = RoutineTelemetry("dgemm")
+        telemetry.record_observation(predicted=1.0, observed=1.1)
+        assert telemetry.n_observations == 1
+        assert len(telemetry.traffic) == 0
+
+    def test_invalid_observations_skip_the_log(self):
+        telemetry = RoutineTelemetry("dgemm")
+        telemetry.record_observation(
+            predicted=1.0, observed=0.0, dims={"m": 1}, threads=2
+        )
+        assert len(telemetry.traffic) == 0
+
+    def test_plan_with_dims_key_feeds_the_histogram(self):
+        telemetry = RoutineTelemetry("dgemm")
+        telemetry.record_plan(
+            from_cache=False, fallback=False, heuristic=False,
+            dims_key=(("m", 64), ("n", 32)),
+        )
+        assert telemetry.shapes.n_recorded == 1
+        assert telemetry.snapshot()["shapes"]["distinct"] == 1
+
+    def test_reset_window_clears_errors_and_traffic_only(self):
+        telemetry = RoutineTelemetry("dgemm", window=8)
+        telemetry.record_plan(
+            from_cache=False, fallback=False, heuristic=False,
+            dims_key=(("m", 64),),
+        )
+        for _ in range(5):
+            telemetry.record_observation(
+                predicted=1.0, observed=2.0, dims={"m": 64}, threads=2
+            )
+        telemetry.reset_window()
+        assert len(telemetry.errors) == 0
+        assert len(telemetry.traffic) == 0
+        assert telemetry.n_observations == 5       # lifetime counters survive
+        assert telemetry.shapes.n_recorded == 1    # workload shape info survives
+        assert not telemetry.drifting(threshold=0.25, min_observations=1)
+
+    def test_engine_reset_routine(self):
+        telemetry = EngineTelemetry(min_observations=2)
+        for _ in range(3):
+            telemetry.record_observation("dgemm", predicted=1.0, observed=2.0)
+        assert telemetry.reinstall_candidates() == ["dgemm"]
+        assert telemetry.reset_routine("dgemm") is True
+        assert telemetry.reinstall_candidates() == []
+        assert telemetry.reset_routine("unknown") is False

@@ -70,8 +70,71 @@ class TestRoundTrip:
         path.write_text(request.to_json() + "\n\n" + request.to_json() + "\n")
         assert load_workload(path) == [request, request]
 
-    def test_invalid_line_reports_position(self, tmp_path):
+    def test_invalid_line_reports_position_in_strict_mode(self, tmp_path):
         path = tmp_path / "requests.jsonl"
         path.write_text('{"routine": "dgemm", "dims": {"m": 1}}\nnot json\n')
         with pytest.raises(ValueError, match=":2:"):
-            load_workload(path)
+            load_workload(path, strict=True)
+
+    def test_malformed_line_skipped_with_warning_by_default(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        good = WorkloadRequest("dgemm", {"m": 1, "k": 2, "n": 3})
+        path.write_text(good.to_json() + "\nnot json\n" + good.to_json() + "\n")
+        with pytest.warns(RuntimeWarning, match=":2:.*malformed"):
+            requests = load_workload(path)
+        assert requests == [good, good]
+
+    def test_missing_fields_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        good = WorkloadRequest("dgemm", {"m": 1, "k": 2, "n": 3})
+        path.write_text(
+            '{"routine": "dgemm"}\n'           # no dims
+            + good.to_json() + "\n"
+            + '{"dims": {"m": 1}}\n'           # no routine
+            + '{"routine": "dgemm", "dims": [1, 2]}\n'  # dims not an object
+        )
+        with pytest.warns(RuntimeWarning):
+            requests = load_workload(path)
+        assert requests == [good]
+        with pytest.raises(ValueError, match=":1:"):
+            load_workload(path, strict=True)
+
+    def test_non_object_line_skipped(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        good = WorkloadRequest("dgemm", {"m": 1, "k": 2, "n": 3})
+        path.write_text('[1, 2, 3]\n' + good.to_json() + "\n")
+        with pytest.warns(RuntimeWarning, match="not a JSON object"):
+            assert load_workload(path) == [good]
+
+    def test_unknown_fields_ignored(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            '{"routine": "dgemm", "dims": {"m": 1, "k": 2, "n": 3},'
+            ' "request_id": 17, "ts": 1e9}\n'
+        )
+        assert load_workload(path) == [
+            WorkloadRequest("dgemm", {"m": 1, "k": 2, "n": 3})
+        ]
+
+
+class TestJsonlHelpers:
+    def test_append_and_read_round_trip(self, tmp_path):
+        from repro.serving.workload import append_jsonl, read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        append_jsonl(path, {"event": "a"})
+        append_jsonl(path, {"event": "b", "n": 2})
+        rows = list(read_jsonl(path))
+        assert rows == [(1, {"event": "a"}), (2, {"event": "b", "n": 2})]
+
+    def test_append_repairs_missing_trailing_newline(self, tmp_path):
+        from repro.serving.workload import append_jsonl, read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        append_jsonl(path, {"event": "a"})
+        with open(path, "a") as handle:
+            handle.write('{"event": "tru')  # crash mid-append
+        append_jsonl(path, {"event": "b"})
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            rows = [row for _, row in read_jsonl(path)]
+        assert rows == [{"event": "a"}, {"event": "b"}]

@@ -255,3 +255,143 @@ class TestServeErrorPaths:
         exit_code = main(["serve", "--bundle", str(tmp_path / "nope")])
         assert exit_code == 1
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def adaptable_dir(installed_dir, tmp_path):
+    """A private copy of the installed bundle (adaptation mutates it)."""
+    import shutil
+
+    target = tmp_path / "adaptable"
+    shutil.copytree(installed_dir, target)
+    return target
+
+
+ADAPT_ARGS = [
+    "--requests", "200",
+    "--drift-clock", "0.55",
+    "--drift-sync", "2.5",
+    "--regather-shapes", "10",
+    "--threads-per-shape", "4",
+    "--test-shapes", "6",
+    "--candidates", "LinearRegression", "DecisionTree",
+    "--max-latency-regression", "2.0",
+]
+
+
+class TestAdaptCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["adapt", "--bundle", "/tmp/x"])
+        assert args.command == "adapt"
+        assert args.mix == "skewed"
+        assert args.drift_clock == 1.0
+        assert not args.watch
+
+    def test_no_drift_means_no_promotion(self, adaptable_dir, capsys):
+        exit_code = main(["adapt", "--bundle", str(adaptable_dir), "--requests", "64"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "nothing to do" in out
+        assert "Bundle at version v2" in out  # installed at --bundle-version 2
+
+    def test_injected_drift_promotes_and_recovers(self, adaptable_dir, capsys):
+        exit_code = main(
+            ["adapt", "--bundle", str(adaptable_dir), "--require-promotion"]
+            + ADAPT_ARGS
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Injected drift" in out
+        assert "promoted" in out
+        assert "Bundle at version v3" in out
+        assert (adaptable_dir / "adaptation_log.jsonl").exists()
+        assert (adaptable_dir / "history" / "v2").is_dir()
+
+    def test_require_promotion_fails_without_drift(self, adaptable_dir, capsys):
+        exit_code = main(
+            [
+                "adapt", "--bundle", str(adaptable_dir),
+                "--requests", "64", "--require-promotion",
+            ]
+        )
+        assert exit_code == 1
+        assert "did not promote" in capsys.readouterr().err
+
+    def test_missing_bundle_reports_clean_error(self, tmp_path, capsys):
+        exit_code = main(["adapt", "--bundle", str(tmp_path / "nope")])
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestRollbackCommand:
+    def test_rollback_after_adapt_restores_bytes(self, adaptable_dir, capsys):
+        before = {
+            name: (adaptable_dir / name).read_bytes()
+            for name in ("bundle.json", "dgemm.model.pkl", "dsyrk.model.pkl")
+        }
+        assert (
+            main(["adapt", "--bundle", str(adaptable_dir)] + ADAPT_ARGS) == 0
+        )
+        capsys.readouterr()
+        assert main(["bundle", "rollback", "--bundle", str(adaptable_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "v3 -> v2" in out
+        after = {
+            name: (adaptable_dir / name).read_bytes()
+            for name in ("bundle.json", "dgemm.model.pkl", "dsyrk.model.pkl")
+        }
+        assert after == before
+
+    def test_rollback_without_history_fails_cleanly(self, adaptable_dir, capsys):
+        exit_code = main(["bundle", "rollback", "--bundle", str(adaptable_dir)])
+        assert exit_code == 1
+        assert "No archived version" in capsys.readouterr().err
+
+    def test_rollback_to_explicit_version(self, adaptable_dir, capsys):
+        assert (
+            main(["adapt", "--bundle", str(adaptable_dir)] + ADAPT_ARGS) == 0
+        )
+        assert main(["bundle", "rollback", "--bundle", str(adaptable_dir)]) == 0
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "bundle", "rollback", "--bundle", str(adaptable_dir),
+                "--to-version", "3",
+            ]
+        )
+        assert exit_code == 0
+        assert "v2 -> v3" in capsys.readouterr().out
+
+
+class TestServeShowsAdaptationState:
+    def test_observe_reports_lifecycle_from_audit_trail(
+        self, adaptable_dir, capsys
+    ):
+        assert (
+            main(["adapt", "--bundle", str(adaptable_dir)] + ADAPT_ARGS) == 0
+        )
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "serve", "--bundle", str(adaptable_dir),
+                "--requests", "64", "--observe",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Adaptation state" in out
+        assert "promoted" in out
+        # The promoted, calibrated bundle serves without drift flags.
+        assert "No routine drifted" in out
+
+    def test_observe_without_audit_trail_stays_quiet(self, installed_dir, capsys):
+        exit_code = main(
+            [
+                "serve", "--bundle", str(installed_dir),
+                "--requests", "32", "--observe",
+            ]
+        )
+        assert exit_code == 0
+        assert "Adaptation state" not in capsys.readouterr().out
