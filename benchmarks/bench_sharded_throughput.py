@@ -1,0 +1,225 @@
+"""Benchmark: sharded multi-client frontend vs the single-engine baseline.
+
+The sharded frontend's bet is that partitioning traffic across N
+thread-safe engines lets M concurrent clients scale plan throughput past
+what one engine (PR 3's numbers) can serve — while keeping the plans
+**bit-identical** to a sequential single-engine replay of the same stream
+(asserted below, per request id, along with zero shed and zero lost
+requests).
+
+Scaling needs real cores: the per-plan work is a mix of GIL-holding Python
+bookkeeping and GIL-releasing NumPy/BLAS/ctypes kernel time, so on one CPU
+the sharded run mostly measures its coordination overhead.  The committed
+results record ``cpu_count`` alongside the rates; set
+``ADSALA_SHARDED_SPEEDUP_MIN`` (e.g. to 1.5 on a >= 2 core machine) to turn
+the speedup target into a hard assertion.  Correctness assertions (plan
+equivalence, no losses, no sheds) always run.
+
+Results land in ``benchmarks/results/sharded_throughput.{txt,json}``.
+"""
+
+import os
+import threading
+import time
+
+from repro.core.install import install_adsala
+from repro.harness.tables import format_table
+from repro.machine.platforms import get_platform
+from repro.serving.engine import ServingEngine
+from repro.serving.frontend import ShardedFrontend
+from repro.serving.workload import generate_workload
+
+from benchmarks.conftest import run_once
+
+ROUTINES = ["dgemm", "dsymm", "dsyrk"]
+N_REQUESTS = 600
+N_SHARDS = 2
+N_CLIENTS = 4
+BATCH_SIZE = 64
+
+
+def _plan_key(plan):
+    """Deterministic plan fields (everything but the shard-local from_cache)."""
+    return (
+        plan.routine,
+        tuple(sorted(plan.dims.items())),
+        plan.threads,
+        plan.predicted_time,
+        plan.baseline_time,
+        plan.policy,
+    )
+
+
+def _clear_caches(bundle):
+    for installation in bundle.routines.values():
+        installation.predictor.clear_cache()
+
+
+def _single_engine_baseline(bundle, workload):
+    """One engine, one client, full micro-batching: the PR 3 serving path."""
+    _clear_caches(bundle)
+    engine = ServingEngine(bundle, max_batch_size=BATCH_SIZE)
+    start = time.perf_counter()
+    plans = engine.plan_many(request.as_tuple() for request in workload)
+    elapsed = time.perf_counter() - start
+    return len(plans) / elapsed, plans
+
+
+def _sharded_bulk_clients(bundle, workload):
+    """M clients each pushing a bulk slice through ``plan_many``.
+
+    The batched-RPC client model: per-request future overhead disappears,
+    shards drain concurrently on the callers' thread pools, and the engine
+    locks serialise per shard — the mode that scales with cores.
+    """
+    _clear_caches(bundle)
+    frontend = ShardedFrontend.from_bundle(
+        bundle, n_shards=N_SHARDS, max_batch_size=BATCH_SIZE
+    )
+    results = [None] * len(workload)
+
+    def client(client_index):
+        slots = list(range(client_index, len(workload), N_CLIENTS))
+        plans = frontend.plan_many(workload[slot].as_tuple() for slot in slots)
+        for slot, plan in zip(slots, plans):
+            results[slot] = plan
+
+    clients = [
+        threading.Thread(target=client, args=(index,)) for index in range(N_CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return len(workload) / elapsed, results, frontend.stats()
+
+
+def _sharded_multi_client(bundle, workload):
+    """N shards drained by workers, M clients submitting futures."""
+    _clear_caches(bundle)
+    frontend = ShardedFrontend.from_bundle(
+        bundle, n_shards=N_SHARDS, max_batch_size=BATCH_SIZE, max_pending=4096
+    )
+    results = [None] * len(workload)
+
+    def client(client_index):
+        # Submit the whole slice first (pipelined), then resolve: keeps
+        # every shard's inbox full so workers drain real micro-batches.
+        pending = []
+        for slot in range(client_index, len(workload), N_CLIENTS):
+            request = workload[slot]
+            pending.append((slot, frontend.submit(request.routine, **request.dims)))
+        for slot, future in pending:
+            results[slot] = future.result()
+
+    clients = [
+        threading.Thread(target=client, args=(index,)) for index in range(N_CLIENTS)
+    ]
+    start = time.perf_counter()
+    with frontend:
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+    elapsed = time.perf_counter() - start
+    stats = frontend.stats()
+    return len(workload) / elapsed, results, stats
+
+
+def test_sharded_throughput(benchmark, record, record_json):
+    platform = get_platform("gadi")
+    bundle = install_adsala(
+        platform=platform,
+        routines=ROUTINES,
+        n_samples=24,
+        threads_per_shape=6,
+        n_test_shapes=8,
+        candidate_models=["LinearRegression", "DecisionTree"],
+        seed=0,
+    )
+
+    def run():
+        rows = []
+        speedups = {}
+        for mix in ("uniform", "skewed"):
+            workload = generate_workload(
+                ROUTINES, N_REQUESTS, distribution=mix, seed=17, pool_size=8
+            )
+            baseline_rate, baseline_plans = _single_engine_baseline(bundle, workload)
+            for mode, drive in (
+                ("futures", _sharded_multi_client),
+                ("bulk", _sharded_bulk_clients),
+            ):
+                sharded_rate, sharded_plans, stats = drive(bundle, workload)
+
+                # Zero lost, zero duplicated, zero shed — and every plan
+                # bit-identical to the sequential single-engine replay.
+                assert None not in sharded_plans, f"lost plans on {mix}/{mode}"
+                assert stats["requests"] == N_REQUESTS
+                assert stats["admission"]["shed"] == 0
+                assert stats["admission"]["in_flight"] == 0
+                mismatches = [
+                    slot
+                    for slot, (sharded, reference) in enumerate(
+                        zip(sharded_plans, baseline_plans)
+                    )
+                    if _plan_key(sharded) != _plan_key(reference)
+                ]
+                assert not mismatches, (
+                    f"plans diverged on {mix}/{mode}: {mismatches[:5]}"
+                )
+
+                speedups[mix, mode] = sharded_rate / baseline_rate
+                rows.append(
+                    {
+                        "workload": mix,
+                        "clients": mode,
+                        "requests": N_REQUESTS,
+                        "single_engine_plans_per_s": round(baseline_rate),
+                        "sharded_plans_per_s": round(sharded_rate),
+                        "speedup": round(sharded_rate / baseline_rate, 2),
+                    }
+                )
+        return rows, speedups
+
+    rows, speedups = run_once(benchmark, run)
+    cpu_count = os.cpu_count() or 1
+    text = format_table(
+        rows,
+        title=(
+            f"Sharded serving throughput: {N_SHARDS} shards x {N_CLIENTS} "
+            f"client threads vs one engine, one client "
+            f"({len(ROUTINES)} routines, gadi, {cpu_count} cpu)"
+        ),
+    )
+    print()
+    print(text)
+    record("sharded_throughput", text)
+    record_json(
+        "sharded_throughput",
+        [
+            {
+                "stage": (
+                    f"sharded {row['workload']} mix, {row['clients']} clients "
+                    f"({N_REQUESTS} requests, {N_SHARDS} shards x "
+                    f"{N_CLIENTS} clients, {cpu_count} cpu)"
+                ),
+                "reference_s": N_REQUESTS / row["single_engine_plans_per_s"],
+                "optimized_s": N_REQUESTS / row["sharded_plans_per_s"],
+                "speedup": row["speedup"],
+                "single_engine_plans_per_s": row["single_engine_plans_per_s"],
+                "sharded_plans_per_s": row["sharded_plans_per_s"],
+            }
+            for row in rows
+        ],
+    )
+    minimum = float(os.environ.get("ADSALA_SHARDED_SPEEDUP_MIN", "0"))
+    if minimum > 0:
+        best = max(speedups.values())
+        assert best >= minimum, (
+            f"sharded multi-client speedup {best:.2f}x is below the "
+            f"{minimum}x target (cpu_count={cpu_count}; the sharded path "
+            "needs >= 2 cores to beat the fully batched single engine)"
+        )

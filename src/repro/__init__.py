@@ -70,9 +70,9 @@ from repro.core.install import install_adsala, InstallationBundle
 from repro.core.runtime import AdsalaBlas, AdsalaRuntime
 from repro.core.predictor import ThreadPredictor
 from repro.machine import get_platform, list_platforms
-from repro.serving import ModelRegistry, ServingEngine
+from repro.serving import ModelRegistry, ServingEngine, ShardedFrontend
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "install_adsala",
@@ -83,6 +83,7 @@ __all__ = [
     "CompiledPredictor",
     "ModelRegistry",
     "ServingEngine",
+    "ShardedFrontend",
     "AdaptationConfig",
     "AdaptationController",
     "get_platform",

@@ -88,6 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="routines for the generated workload (default: installed)")
     serve.add_argument("--batch-size", type=int, default=64,
                        help="micro-batch size limit")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="engine shards behind the concurrent frontend "
+                       "(1 = the single-engine path)")
+    serve.add_argument("--clients", type=int, default=1,
+                       help="concurrent client threads driving the frontend")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="global in-flight request bound (admission control)")
+    serve.add_argument("--backpressure", choices=["block", "reject"],
+                       default="block",
+                       help="what submit() does when --max-pending requests "
+                       "are in flight: wait for a slot or shed the request")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--no-cache", action="store_true",
                        help="bypass the per-routine LRU prediction caches")
@@ -227,25 +238,24 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
     import time
 
     from repro.core.persistence import BundleFormatError
     from repro.harness.tables import format_table
     from repro.machine.simulator import TimingSimulator
     from repro.serving.engine import ServingEngine
-    from repro.serving.registry import ModelRegistry
+    from repro.serving.frontend import QueueFullError, ShardedFrontend
+    from repro.serving.registry import BundleHandle, ModelRegistry
     from repro.serving.telemetry import EngineTelemetry
     from repro.serving.workload import generate_workload, load_workload
 
+    if args.shards < 1 or args.clients < 1:
+        print("error: --shards and --clients must be at least 1", file=sys.stderr)
+        return 2
     registry = ModelRegistry()
     try:
         handle = registry.register(args.bundle)
-        engine = ServingEngine(
-            handle,
-            max_batch_size=args.batch_size,
-            use_cache=not args.no_cache,
-            telemetry=EngineTelemetry(drift_threshold=args.drift_threshold),
-        )
         if args.workload:
             requests = load_workload(args.workload)
             source = args.workload
@@ -259,9 +269,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("error: workload is empty", file=sys.stderr)
             return 2
 
-        start = time.perf_counter()
-        plans = engine.plan_many(request.as_tuple() for request in requests)
-        elapsed = time.perf_counter() - start
+        sharded = args.shards > 1 or args.clients > 1
+        if sharded:
+            # One independent lazy handle per shard (separate model/LRU
+            # state); custom telemetry rides in on pre-built engines.
+            engines = [
+                ServingEngine(
+                    BundleHandle(args.bundle),
+                    max_batch_size=args.batch_size,
+                    use_cache=not args.no_cache,
+                    telemetry=EngineTelemetry(drift_threshold=args.drift_threshold),
+                )
+                for _ in range(args.shards)
+            ]
+            frontend = ShardedFrontend(
+                engines,
+                max_pending=args.max_pending,
+                backpressure=args.backpressure,
+            )
+            recorder = frontend
+            results: list = [None] * len(requests)
+            client_errors: list = []
+
+            def client(client_index: int) -> None:
+                # Round-robin slice, submitted in stream order; each
+                # future resolves to exactly one plan (or a shed marker).
+                try:
+                    for slot in range(client_index, len(requests), args.clients):
+                        request = requests[slot]
+                        try:
+                            future = frontend.submit(
+                                request.routine, **request.dims
+                            )
+                        except QueueFullError:
+                            continue  # counted in the frontend's shed stats
+                        results[slot] = future.result()
+                except Exception as exc:  # surfaced as exit code 1 below
+                    client_errors.append(exc)
+
+            workers = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(args.clients)
+            ]
+            start = time.perf_counter()
+            with frontend:
+                for worker in workers:
+                    worker.start()
+                for worker in workers:
+                    worker.join()
+            elapsed = time.perf_counter() - start
+            plans = [plan for plan in results if plan is not None]
+            if client_errors:
+                print(f"error: client thread failed: {client_errors[0]}",
+                      file=sys.stderr)
+                return 1
+            lost = len(requests) - len(plans) - frontend.n_shed
+            if lost:
+                print(f"error: {lost} request(s) neither served nor shed",
+                      file=sys.stderr)
+                return 1
+        else:
+            engine = ServingEngine(
+                handle,
+                max_batch_size=args.batch_size,
+                use_cache=not args.no_cache,
+                telemetry=EngineTelemetry(drift_threshold=args.drift_threshold),
+            )
+            recorder = engine
+            start = time.perf_counter()
+            plans = engine.plan_many(request.as_tuple() for request in requests)
+            elapsed = time.perf_counter() - start
 
         if args.observe:
             # An independently seeded simulator stands in for real measured
@@ -274,11 +351,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 noise_level=float(settings.get("noise_level", 0.04)),
             )
             for plan in plans:
-                engine.record_observation(
+                recorder.record_observation(
                     plan, observer.time(plan.routine, plan.dims, plan.threads)
                 )
 
-        stats = engine.stats()
+        stats = recorder.stats()
         print(
             f"Served {len(plans)} plans from {source} on {handle.platform.name} "
             f"(bundle v{handle.bundle_version}, schema v{handle.schema_version})"
@@ -288,6 +365,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"mean size {stats['mean_batch_size']:.1f} (limit {args.batch_size}) | "
             f"fallback chain: {stats['fallback_chain']}"
         )
+        if sharded:
+            admission = stats["admission"]
+            print(
+                f"  {stats['shards']} shards x {args.clients} clients | "
+                f"admission: {admission['submitted']} submitted, "
+                f"{admission['shed']} shed ({admission['mode']} mode, "
+                f"capacity {admission['capacity']})"
+            )
         cache = stats["cache"]
         print(
             f"  cache: {cache['cache_hits']} hits / {cache['cache_misses']} misses, "

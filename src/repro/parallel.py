@@ -50,7 +50,16 @@ def resolve_n_jobs(n_jobs: int | None = None) -> int:
     """
     if n_jobs is None:
         raw = os.environ.get(ADSALA_JOBS_ENV, "").strip()
-        n_jobs = int(raw) if raw else 1
+        if raw:
+            try:
+                n_jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"${ADSALA_JOBS_ENV} must be an integer worker count "
+                    f"(e.g. 4 or -1 for all cores), got {raw!r}"
+                ) from None
+        else:
+            n_jobs = 1
     n_jobs = int(n_jobs)
     if n_jobs < 0:
         return max(1, os.cpu_count() or 1)

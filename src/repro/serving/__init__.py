@@ -10,7 +10,12 @@ engine fit for heavy traffic:
 * :mod:`repro.serving.engine` — a micro-batching plan server: requests are
   queued, coalesced per routine and answered through one
   ``predict_threads_batch`` / ``time_batch`` pass instead of N scalar
-  ``plan()`` calls.
+  ``plan()`` calls.  Thread-safe behind one coarse engine lock.
+* :mod:`repro.serving.frontend` / :mod:`repro.serving.shard` — the
+  concurrent sharded frontend: traffic partitioned across N engine shards
+  by a deterministic ``(routine, dims_key)`` hash, waitable ``submit()``
+  futures, bounded admission control (block or reject backpressure) and
+  merged cross-shard statistics.
 * :mod:`repro.serving.fallback` — the composable fallback-policy chain
   (installed precision → cross precision → max-threads heuristic) that
   decides which installed model serves a request.
@@ -44,7 +49,14 @@ from repro.serving.telemetry import (
     TrafficRecord,
 )
 from repro.serving.registry import BundleHandle, ModelRegistry
-from repro.serving.engine import PlanRequest, ServingEngine
+from repro.serving.engine import PlanRequest, ServingEngine, normalize_request
+from repro.serving.frontend import (
+    PlanFuture,
+    QueueFullError,
+    ShardedFrontend,
+    shard_index,
+)
+from repro.serving.shard import EngineShard
 from repro.serving.workload import (
     WorkloadRequest,
     append_jsonl,
@@ -73,6 +85,12 @@ __all__ = [
     "ModelRegistry",
     "PlanRequest",
     "ServingEngine",
+    "normalize_request",
+    "EngineShard",
+    "ShardedFrontend",
+    "PlanFuture",
+    "QueueFullError",
+    "shard_index",
     "WorkloadRequest",
     "generate_workload",
     "load_workload",

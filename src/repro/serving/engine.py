@@ -23,10 +23,24 @@ The engine accepts either an in-memory
 :class:`~repro.core.install.InstallationBundle` or a lazy registry
 :class:`~repro.serving.registry.BundleHandle` — anything exposing
 ``routines`` / ``predictor()`` / ``platform`` / ``simulator``.
+
+Concurrency
+-----------
+The engine is safe to drive from multiple threads: every mutating entry
+point (``submit`` / ``flush`` / ``plan`` / ``plan_many`` / ``execute`` /
+``record_observation`` / ``reload_source``) and every stats reader
+serialises on one coarse engine lock, so batches, telemetry, the timing
+memo and the per-routine predictor LRU caches never interleave.  Request
+ids are allocated lock-free (an atomic counter), so ``submit`` callers
+contend only for the queue append itself.  One engine still processes one
+batch at a time — for CPU parallelism across requests, shard traffic over
+several engines with :class:`~repro.serving.frontend.ShardedFrontend`.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -34,11 +48,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.blas.api import parse_routine
+from repro.core.persistence import BundleFormatError
 from repro.core.runtime import ExecutionPlan
 from repro.serving.fallback import FallbackChain, default_serving_chain
 from repro.serving.telemetry import EngineTelemetry
 
-__all__ = ["PlanRequest", "ServingEngine"]
+__all__ = ["PlanRequest", "ServingEngine", "normalize_request"]
 
 
 @dataclass(frozen=True)
@@ -55,8 +70,29 @@ class PlanRequest:
     dims_key: tuple = ()
 
 
+def normalize_request(routine: str, dims: Dict[str, int], request_id: int) -> PlanRequest:
+    """Validate and normalize one request into a :class:`PlanRequest`.
+
+    Shared by :meth:`ServingEngine.submit` (engine-local ids) and the
+    sharded frontend (globally allocated ids): bad routines or dimensions
+    raise here, at intake, never mid-batch.
+    """
+    prefix, base, spec = parse_routine(routine)
+    normalized = spec.dims_from_args(**dims)
+    return PlanRequest(
+        request_id=request_id,
+        routine=prefix + base,
+        dims=normalized,
+        dims_key=tuple(sorted(normalized.items())),
+    )
+
+
 class ServingEngine:
     """Queue + micro-batch + fallback + telemetry around a bundle.
+
+    Safe for concurrent use: all mutating methods and stats readers hold a
+    coarse per-engine :class:`threading.RLock`; request ids come from an
+    atomic counter and never contend on the lock (see the module docstring).
 
     Parameters
     ----------
@@ -106,8 +142,11 @@ class ServingEngine:
         self.n_timing_hits = 0
         self.n_timing_misses = 0
         self._queue: List[PlanRequest] = []
-        self._next_request_id = 0
+        # CPython guarantees next() on one iterator is atomic, so request-id
+        # allocation never touches the engine lock.
+        self._request_ids = itertools.count()
         self._touched_routines: set[str] = set()
+        self._lock = threading.RLock()
         # In-memory bundles hold every predictor already; compile their
         # fused kernels up front so no request pays the one-off build cost.
         # Lazy registry handles compile per routine at model-load time
@@ -133,16 +172,7 @@ class ServingEngine:
     # -- request intake -------------------------------------------------------------
     def _make_request(self, routine: str, dims: Dict[str, int]) -> PlanRequest:
         """Validate and normalize one request (shared by submit and plan)."""
-        prefix, base, spec = parse_routine(routine)
-        normalized = spec.dims_from_args(**dims)
-        request = PlanRequest(
-            request_id=self._next_request_id,
-            routine=prefix + base,
-            dims=normalized,
-            dims_key=tuple(sorted(normalized.items())),
-        )
-        self._next_request_id += 1
-        return request
+        return normalize_request(routine, dims, next(self._request_ids))
 
     def submit(self, routine: str, **dims: int) -> int:
         """Queue one plan request; returns its request id.
@@ -151,16 +181,26 @@ class ServingEngine:
         fail at submission, not mid-batch).
         """
         request = self._make_request(routine, dims)
-        self._queue.append(request)
+        with self._lock:
+            self._queue.append(request)
         return request.request_id
 
     def flush(self) -> List[ExecutionPlan]:
-        """Answer every queued request; plans come back in submission order."""
+        """Answer every queued request; plans come back in submission order.
+
+        The lock is taken per micro-batch, so concurrent ``submit`` calls
+        interleave with a long drain instead of stalling behind it; each
+        dequeued request is answered exactly once whichever flusher drains
+        it.
+        """
         plans: List[ExecutionPlan] = []
-        while self._queue:
-            batch = self._queue[: self.max_batch_size]
-            del self._queue[: len(batch)]
-            plans.extend(self._process_batch(batch))
+        while True:
+            with self._lock:
+                if not self._queue:
+                    break
+                batch = self._queue[: self.max_batch_size]
+                del self._queue[: len(batch)]
+                plans.extend(self._process_batch(batch))
         return plans
 
     def plan(self, routine: str, use_cache: Optional[bool] = None, **dims: int) -> ExecutionPlan:
@@ -171,7 +211,24 @@ class ServingEngine:
         ``use_cache`` override, which applies to this call only.
         """
         request = self._make_request(routine, dims)
-        return self._process_batch([request], use_cache=use_cache)[0]
+        with self._lock:
+            return self._process_batch([request], use_cache=use_cache)[0]
+
+    def execute(self, requests: Sequence[PlanRequest]) -> List[ExecutionPlan]:
+        """Answer pre-validated requests, bypassing the queue.
+
+        Splits into micro-batches of at most ``max_batch_size`` and returns
+        plans in request order (one per request, loudly enforced).  This is
+        the sharded frontend's entry point: requests carry globally
+        allocated ids, so they must not pass through :meth:`submit`.
+        """
+        plans: List[ExecutionPlan] = []
+        for start in range(0, len(requests), self.max_batch_size):
+            with self._lock:
+                plans.extend(
+                    self._process_batch(requests[start : start + self.max_batch_size])
+                )
+        return plans
 
     def plan_many(
         self, requests: Iterable[Tuple[str, Dict[str, int]]]
@@ -303,22 +360,38 @@ class ServingEngine:
                     heuristic=resolution.heuristic,
                     dims_key=batch[index].dims_key,
                 )
-        return [plan for plan in plans if plan is not None]
+        # Every request resolves to exactly one group slot, so every slot
+        # must hold a plan; a silent filter here would turn a resolution
+        # bug into lost requests.
+        unanswered = [
+            batch[index].request_id
+            for index, plan in enumerate(plans)
+            if plan is None
+        ]
+        if unanswered:
+            raise RuntimeError(
+                f"Batch processing dropped {len(unanswered)} of {len(batch)} "
+                f"requests (ids {unanswered}); grouping/resolution invariant "
+                "violated"
+            )
+        return plans  # type: ignore[return-value]
 
     # -- online feedback -------------------------------------------------------------
     def record_observation(self, plan: ExecutionPlan, observed_time: float) -> None:
         """Feed one executed call's measured runtime back into telemetry."""
-        self.telemetry.record_observation(
-            plan.routine,
-            plan.predicted_time,
-            observed_time,
-            dims=plan.dims,
-            threads=plan.threads,
-        )
+        with self._lock:
+            self.telemetry.record_observation(
+                plan.routine,
+                plan.predicted_time,
+                observed_time,
+                dims=plan.dims,
+                threads=plan.threads,
+            )
 
     def reinstall_candidates(self) -> List[str]:
         """Routines whose observed-vs-predicted error drifted past threshold."""
-        return self.telemetry.reinstall_candidates()
+        with self._lock:
+            return self.telemetry.reinstall_candidates()
 
     # -- hot reload --------------------------------------------------------------------
     def clear_timing_cache(self) -> None:
@@ -329,7 +402,8 @@ class ServingEngine:
         because memoised rows would otherwise keep answering with the old
         machine's times.
         """
-        self._timing_cache.clear()
+        with self._lock:
+            self._timing_cache.clear()
 
     def reload_source(self, force: bool = False) -> bool:
         """Hot-reload a registry-backed source and invalidate stale caches.
@@ -341,9 +415,17 @@ class ServingEngine:
         reload = getattr(self.source, "reload", None)
         if reload is None:
             return False
-        changed = bool(reload(force=force))
-        if changed:
-            self.clear_timing_cache()
+        with self._lock:
+            changed = bool(reload(force=force))
+            if changed:
+                self.clear_timing_cache()
+                # A reloaded bundle may no longer install every routine this
+                # engine served; stale keys would make cache_statistics()
+                # raise KeyError on source.predictor(key).
+                routines = self.source.routines
+                self._touched_routines = {
+                    key for key in self._touched_routines if key in routines
+                }
         return changed
 
     # -- statistics -------------------------------------------------------------------
@@ -353,39 +435,53 @@ class ServingEngine:
         Each per-routine entry reports the predictor's hit/miss counters and
         the resulting ``hit_rate`` (hits over probes), so operators can see
         which routines actually benefit from the LRU plan cache.
+
+        A routine this engine served that the (possibly hot-reloaded)
+        source can no longer load is reported as ``{"unloadable": True}``
+        instead of aborting the whole snapshot — e.g. a routine dropped
+        from the bundle by a reload that raced this call, or a model file
+        that fails checksum verification.
         """
         hits = misses = evaluations = 0
         per_routine: Dict[str, Dict[str, object]] = {}
-        for key in sorted(self._touched_routines):
-            predictor = self.source.predictor(key)
-            info = predictor.cache_info()
-            probes = info["hits"] + info["misses"]
-            per_routine[key] = {
-                "hits": info["hits"],
-                "misses": info["misses"],
-                "hit_rate": info["hits"] / probes if probes else 0.0,
+        with self._lock:
+            for key in sorted(self._touched_routines):
+                try:
+                    predictor = self.source.predictor(key)
+                except (KeyError, OSError, BundleFormatError):
+                    # Dropped from a reloaded manifest, model file missing,
+                    # or checksum/format verification failed at lazy load.
+                    per_routine[key] = {"unloadable": True}
+                    continue
+                info = predictor.cache_info()
+                probes = info["hits"] + info["misses"]
+                per_routine[key] = {
+                    "hits": info["hits"],
+                    "misses": info["misses"],
+                    "hit_rate": info["hits"] / probes if probes else 0.0,
+                }
+                hits += info["hits"]
+                misses += info["misses"]
+                evaluations += predictor.n_model_evaluations
+            return {
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "model_evaluations": evaluations,
+                "routines": per_routine,
+                "timing": {
+                    "hits": self.n_timing_hits,
+                    "misses": self.n_timing_misses,
+                    "size": len(self._timing_cache),
+                    "capacity": self.timing_cache_capacity,
+                },
             }
-            hits += info["hits"]
-            misses += info["misses"]
-            evaluations += predictor.n_model_evaluations
-        return {
-            "cache_hits": hits,
-            "cache_misses": misses,
-            "model_evaluations": evaluations,
-            "routines": per_routine,
-            "timing": {
-                "hits": self.n_timing_hits,
-                "misses": self.n_timing_misses,
-                "size": len(self._timing_cache),
-                "capacity": self.timing_cache_capacity,
-            },
-        }
 
     def stats(self) -> Dict[str, object]:
         """Telemetry snapshot plus queue/cache counters (JSON-serialisable)."""
-        snapshot = self.telemetry.snapshot()
-        snapshot["pending"] = self.n_pending
-        snapshot["batch_size_limit"] = self.max_batch_size
-        snapshot["fallback_chain"] = self.fallback.describe()
-        snapshot["cache"] = self.cache_statistics()
-        return snapshot
+        with self._lock:
+            snapshot = self.telemetry.snapshot()
+            snapshot["pending"] = self.n_pending
+            snapshot["batch_size_limit"] = self.max_batch_size
+            snapshot["fallback_chain"] = self.fallback.describe()
+            snapshot["cache"] = self.cache_statistics()
+            return snapshot

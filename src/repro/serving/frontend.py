@@ -1,0 +1,451 @@
+"""Concurrent sharded serving frontend over N engine shards.
+
+One :class:`~repro.serving.engine.ServingEngine` answers one micro-batch at
+a time behind its coarse lock; heavy multi-client traffic therefore wants
+several engines side by side.  :class:`ShardedFrontend` is that layer:
+
+* **Deterministic routing** — each request goes to the shard picked by a
+  stable hash of ``(routine, dims_key)`` (CRC-32, not Python's salted
+  ``hash``), so a given problem shape always lands on the same engine and
+  that engine's per-routine prediction LRU and timing memo stay hot for
+  it.  The same stream routes identically in every process and run.
+* **Waitable submission** — :meth:`submit` validates the request, admits it
+  against a bounded global in-flight budget and returns a
+  :class:`PlanFuture` (a :class:`concurrent.futures.Future` carrying the
+  request id); :meth:`plan` is the blocking convenience.  Each shard's
+  worker thread coalesces queued submissions into micro-batches.
+* **Admission control** — at most ``max_pending`` requests may be in
+  flight at once.  ``backpressure="block"`` makes :meth:`submit` wait for
+  a slot (bounded memory, lossless); ``backpressure="reject"`` raises
+  :class:`QueueFullError` immediately and counts the shed request in the
+  merged stats, for callers that prefer to degrade.
+* **Merged observability** — :meth:`stats`, :meth:`cache_statistics` and
+  :meth:`reinstall_candidates` aggregate every shard into one snapshot.
+
+Determinism: predictor models and the timing simulator are pure functions
+of the request, so the *plans* a sharded run produces are identical —
+routine, dims, threads, predicted/baseline times, fallback policy — to a
+sequential single-engine replay of the same stream (the stress tests
+assert exactly this, keyed by request id).  Only the ``from_cache`` flags
+may differ, because each shard warms its own LRU.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import threading
+import zlib
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.runtime import ExecutionPlan
+from repro.parallel import map_parallel
+from repro.serving.engine import PlanRequest, ServingEngine, normalize_request
+from repro.serving.shard import EngineShard
+
+__all__ = [
+    "BACKPRESSURE_MODES",
+    "QueueFullError",
+    "PlanFuture",
+    "ShardedFrontend",
+    "shard_index",
+]
+
+BACKPRESSURE_MODES = ("block", "reject")
+
+
+class QueueFullError(RuntimeError):
+    """The frontend's bounded in-flight budget is exhausted (reject mode)."""
+
+
+def shard_index(routine: str, dims_key: tuple, n_shards: int) -> int:
+    """Deterministic shard for one request.
+
+    CRC-32 over the canonical ``(routine, dims_key)`` repr: stable across
+    processes, runs and Python hash randomisation, so replaying a stream
+    always produces the same shard assignment (and the same per-shard
+    cache behaviour).
+    """
+    digest = zlib.crc32(repr((routine, dims_key)).encode("utf-8"))
+    return digest % n_shards
+
+
+class PlanFuture(Future):
+    """A waitable plan: ``result()`` blocks until the shard answers.
+
+    Carries the globally allocated ``request_id`` so callers can match
+    answers back to submissions without extra bookkeeping.
+    """
+
+    def __init__(self, request_id: int):
+        super().__init__()
+        self.request_id = int(request_id)
+
+
+class ShardedFrontend:
+    """Partition plan traffic across N thread-safe engine shards.
+
+    Parameters
+    ----------
+    sources:
+        One engine source **per shard** — each an
+        :class:`~repro.core.install.InstallationBundle`,
+        :class:`~repro.serving.registry.BundleHandle`, or a ready-made
+        :class:`~repro.serving.engine.ServingEngine`.  Sources must be
+        distinct objects: two shards sharing one source would race on its
+        predictor caches behind the engines' separate locks (use
+        :meth:`from_bundle` / :meth:`from_directory` to build independent
+        copies).
+    max_pending:
+        Global bound on in-flight :meth:`submit` requests (admission
+        control).
+    backpressure:
+        ``"block"`` (default) or ``"reject"`` — what :meth:`submit` does
+        when ``max_pending`` requests are already in flight.
+    max_batch_size / use_cache / timing_cache_capacity:
+        Forwarded to each shard's :class:`ServingEngine` (ignored for
+        pre-built engines).
+    """
+
+    def __init__(
+        self,
+        sources: Sequence,
+        max_pending: int = 1024,
+        backpressure: str = "block",
+        max_batch_size: int = 64,
+        use_cache: bool = True,
+        timing_cache_capacity: int = 4096,
+    ):
+        if not sources:
+            raise ValueError("ShardedFrontend needs at least one source")
+        if backpressure not in BACKPRESSURE_MODES:
+            raise ValueError(
+                f"Unknown backpressure mode {backpressure!r}; "
+                f"expected one of {BACKPRESSURE_MODES}"
+            )
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if len({id(source) for source in sources}) != len(sources):
+            raise ValueError(
+                "Each shard needs its own source object; sharing one source "
+                "across shards would race on its predictor caches "
+                "(use from_bundle()/from_directory())"
+            )
+        engines = [
+            source
+            if isinstance(source, ServingEngine)
+            else ServingEngine(
+                source,
+                max_batch_size=max_batch_size,
+                use_cache=use_cache,
+                timing_cache_capacity=timing_cache_capacity,
+            )
+            for source in sources
+        ]
+        self.shards = [
+            EngineShard(index, engine) for index, engine in enumerate(engines)
+        ]
+        self.max_pending = int(max_pending)
+        self.backpressure = backpressure
+        self._slots = threading.Semaphore(self.max_pending)
+        self._request_ids = itertools.count()
+        self._counters_lock = threading.Lock()
+        # Makes the closed-check + enqueue atomic against close(): without
+        # it a submit racing close() could land in a drained inbox and its
+        # future would never resolve.
+        self._lifecycle_lock = threading.Lock()
+        self.n_submitted = 0
+        self.n_completed = 0
+        self.n_shed = 0
+        self._closed = False
+
+    # -- construction helpers -------------------------------------------------------
+    @classmethod
+    def from_bundle(cls, bundle, n_shards: int, **kwargs) -> "ShardedFrontend":
+        """Shard an in-memory bundle: shard 0 serves ``bundle`` itself, the
+        rest serve deep copies (independent models, caches and simulators)."""
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        sources = [bundle] + [copy.deepcopy(bundle) for _ in range(n_shards - 1)]
+        return cls(sources, **kwargs)
+
+    @classmethod
+    def from_directory(
+        cls, directory: str | Path, n_shards: int, **kwargs
+    ) -> "ShardedFrontend":
+        """Shard an on-disk bundle: one independent lazy
+        :class:`~repro.serving.registry.BundleHandle` per shard."""
+        from repro.serving.registry import BundleHandle
+
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        sources = [BundleHandle(directory) for _ in range(n_shards)]
+        return cls(sources, **kwargs)
+
+    # -- properties -----------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted by :meth:`submit` and not yet answered."""
+        with self._counters_lock:
+            return self.n_submitted - self.n_completed
+
+    # -- lifecycle ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every shard worker (idempotent; submit() does this lazily)."""
+        for shard in self.shards:
+            shard.start()
+
+    def close(self) -> None:
+        """Answer everything in flight, then stop the shard workers.
+
+        Setting the closed flag under the lifecycle lock fences out any
+        in-progress :meth:`submit`: once the flag is visible, every request
+        that passed the check has already been enqueued, so the shard
+        drains answer it before the workers exit.
+        """
+        with self._lifecycle_lock:
+            self._closed = True
+        for shard in self.shards:
+            shard.stop()
+
+    def __enter__(self) -> "ShardedFrontend":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request path ----------------------------------------------------------------
+    def _route(self, request: PlanRequest) -> EngineShard:
+        return self.shards[
+            shard_index(request.routine, request.dims_key, len(self.shards))
+        ]
+
+    def _admit(self) -> None:
+        if self.backpressure == "block":
+            self._slots.acquire()
+            return
+        if not self._slots.acquire(blocking=False):
+            with self._counters_lock:
+                self.n_shed += 1
+            raise QueueFullError(
+                f"{self.max_pending} requests already in flight and "
+                "backpressure mode is 'reject'"
+            )
+
+    def _on_done(self, future: Future) -> None:
+        self._slots.release()
+        with self._counters_lock:
+            self.n_completed += 1
+
+    def submit(self, routine: str, **dims: int) -> PlanFuture:
+        """Route one request to its shard; returns a waitable future.
+
+        Validation happens first (bad requests raise ``ValueError`` without
+        consuming an admission slot), then admission control, then the
+        enqueue.  The slot is released when the future resolves — whether
+        with a plan or an error.
+        """
+        request = normalize_request(routine, dims, next(self._request_ids))
+        self._admit()
+        with self._lifecycle_lock:
+            if self._closed:
+                self._slots.release()  # the admission slot, no future to free it
+                raise RuntimeError("ShardedFrontend is closed")
+            with self._counters_lock:
+                self.n_submitted += 1
+            future = PlanFuture(request.request_id)
+            future.add_done_callback(self._on_done)
+            shard = self._route(request)
+            shard.start()
+            shard.enqueue(request, future)
+        return future
+
+    def plan(self, routine: str, **dims: int) -> ExecutionPlan:
+        """Blocking convenience: submit and wait for the plan."""
+        return self.submit(routine, **dims).result()
+
+    def plan_many(
+        self, requests: Iterable[Tuple[str, Dict[str, int]]]
+    ) -> List[ExecutionPlan]:
+        """Answer a whole stream synchronously; plans in request order.
+
+        The bulk path: requests are routed into per-shard batches up front
+        and the shards drain **in parallel** on a thread pool
+        (:func:`repro.parallel.map_parallel`, thread backend — one worker
+        per non-empty shard).  Bypasses the admission queue (the batch
+        itself bounds memory) and is safe to run alongside concurrent
+        :meth:`submit` traffic: the engines' locks serialise per shard.
+        """
+        made = [
+            normalize_request(routine, dims, next(self._request_ids))
+            for routine, dims in requests
+        ]
+        per_shard: List[List[Tuple[int, PlanRequest]]] = [
+            [] for _ in self.shards
+        ]
+        for slot, request in enumerate(made):
+            per_shard[
+                shard_index(request.routine, request.dims_key, len(self.shards))
+            ].append((slot, request))
+        work = [
+            (shard, assigned)
+            for shard, assigned in zip(self.shards, per_shard)
+            if assigned
+        ]
+
+        def drain(item: Tuple[EngineShard, List[Tuple[int, PlanRequest]]]):
+            shard, assigned = item
+            plans = shard.execute([request for _, request in assigned])
+            return [(slot, plan) for (slot, _), plan in zip(assigned, plans)]
+
+        chunks = map_parallel(
+            drain, work, n_jobs=max(1, len(work)), backend="thread"
+        )
+        plans: List[Optional[ExecutionPlan]] = [None] * len(made)
+        for chunk in chunks:
+            for slot, plan in chunk:
+                plans[slot] = plan
+        return plans  # type: ignore[return-value]
+
+    def record_observation(self, plan: ExecutionPlan, observed_time: float) -> None:
+        """Feed one executed call's runtime to the shard that planned it.
+
+        Routed by the *requested* key (``fallback_from`` when a fallback
+        policy substituted a model, else the plan's routine) — the same key
+        :meth:`submit` routed the request by — so each shard's drift window
+        sees exactly the traffic it planned.
+        """
+        requested = plan.fallback_from or plan.routine
+        dims_key = tuple(sorted(plan.dims.items()))
+        shard = self.shards[shard_index(requested, dims_key, len(self.shards))]
+        shard.engine.record_observation(plan, observed_time)
+
+    # -- merged statistics ------------------------------------------------------------
+    def reinstall_candidates(self) -> List[str]:
+        """Union of every shard's drift flags (sorted)."""
+        flagged = set()
+        for shard in self.shards:
+            flagged.update(shard.engine.reinstall_candidates())
+        return sorted(flagged)
+
+    @staticmethod
+    def _merge_cache(cache_snapshots: Sequence[Dict]) -> Dict[str, object]:
+        """Merge per-shard cache snapshots into one single-engine shape."""
+        merged: Dict[str, object] = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "model_evaluations": 0,
+            "routines": {},
+            "timing": {"hits": 0, "misses": 0, "size": 0, "capacity": 0},
+        }
+        routines: Dict[str, Dict[str, object]] = merged["routines"]
+        for stats in cache_snapshots:
+            for counter in ("cache_hits", "cache_misses", "model_evaluations"):
+                merged[counter] += stats[counter]
+            for counter in ("hits", "misses", "size", "capacity"):
+                merged["timing"][counter] += stats["timing"][counter]
+            for routine, entry in stats["routines"].items():
+                slot = routines.setdefault(routine, {"hits": 0, "misses": 0})
+                if entry.get("unloadable"):
+                    slot["unloadable"] = True
+                    continue
+                slot["hits"] += entry["hits"]
+                slot["misses"] += entry["misses"]
+        for entry in routines.values():
+            probes = entry.get("hits", 0) + entry.get("misses", 0)
+            entry["hit_rate"] = entry.get("hits", 0) / probes if probes else 0.0
+        return merged
+
+    def cache_statistics(self) -> Dict[str, object]:
+        """Shard cache counters merged into one single-engine-shaped snapshot."""
+        return self._merge_cache(
+            [shard.engine.cache_statistics() for shard in self.shards]
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """One merged, JSON-serialisable snapshot across every shard.
+
+        Counters sum; ``mean_batch_size`` and per-routine error means are
+        weighted by each shard's contribution; drift flags union.  The raw
+        per-shard snapshots ride along under ``"per_shard"``.  Every merged
+        value — including the cache block and drift flags — derives from
+        **one** ``engine.stats()`` call per shard, so the snapshot is
+        internally consistent (no second lock round-trip racing live
+        traffic).
+        """
+        shard_snapshots = [shard.engine.stats() for shard in self.shards]
+        requests = sum(snapshot["requests"] for snapshot in shard_snapshots)
+        batches = sum(snapshot["batches"] for snapshot in shard_snapshots)
+        routines: Dict[str, Dict[str, object]] = {}
+        for snapshot in shard_snapshots:
+            for routine, entry in snapshot["routines"].items():
+                slot = routines.setdefault(
+                    routine,
+                    {
+                        "routine": routine,
+                        "plans": 0,
+                        "cache_hits": 0,
+                        "fallback_plans": 0,
+                        "heuristic_plans": 0,
+                        "observations": 0,
+                        "invalid_observations": 0,
+                        "mean_abs_rel_error": 0.0,
+                        "max_abs_rel_error": 0.0,
+                    },
+                )
+                for counter in (
+                    "plans",
+                    "cache_hits",
+                    "fallback_plans",
+                    "heuristic_plans",
+                    "observations",
+                    "invalid_observations",
+                ):
+                    slot[counter] += entry[counter]
+                # Weighted by observation count so shards that saw more
+                # traffic dominate the merged error, like one engine would.
+                slot["mean_abs_rel_error"] += (
+                    entry["mean_abs_rel_error"] * entry["observations"]
+                )
+                slot["max_abs_rel_error"] = max(
+                    slot["max_abs_rel_error"], entry["max_abs_rel_error"]
+                )
+        for entry in routines.values():
+            if entry["observations"]:
+                entry["mean_abs_rel_error"] /= entry["observations"]
+            entry["cache_hit_rate"] = (
+                entry["cache_hits"] / entry["plans"] if entry["plans"] else 0.0
+            )
+        with self._counters_lock:
+            admission = {
+                "capacity": self.max_pending,
+                "mode": self.backpressure,
+                "submitted": self.n_submitted,
+                "completed": self.n_completed,
+                "in_flight": self.n_submitted - self.n_completed,
+                "shed": self.n_shed,
+            }
+        flagged = set()
+        for snapshot in shard_snapshots:
+            flagged.update(snapshot["reinstall_candidates"])
+        return {
+            "shards": len(self.shards),
+            "requests": requests,
+            "batches": batches,
+            "mean_batch_size": requests / batches if batches else 0.0,
+            "fallback_chain": self.shards[0].engine.fallback.describe(),
+            "reinstall_candidates": sorted(flagged),
+            "routines": routines,
+            "admission": admission,
+            "cache": self._merge_cache(
+                [snapshot["cache"] for snapshot in shard_snapshots]
+            ),
+            "per_shard": [shard.describe() for shard in self.shards],
+        }

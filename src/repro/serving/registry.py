@@ -205,18 +205,28 @@ class ModelRegistry:
 
         A directory counts as a bundle when it contains ``bundle.json``;
         ``root`` itself may be a bundle.  Returns the newly registered names.
+
+        A directory already registered — under *any* name, including a
+        custom ``register(name=...)`` alias — is never registered a second
+        time: the guard compares resolved directories, not handle names, so
+        a ``refresh()`` cannot create a duplicate handle (with its own lazy
+        model cache) for a bundle that is already being served.
         """
         root = Path(root) if root is not None else self.root
         if root is None:
             raise ValueError("No root directory configured for this registry")
         added: List[str] = []
+        registered_dirs = {
+            handle.directory.resolve() for handle in self._handles.values()
+        }
         candidates = [root] + sorted(p for p in root.iterdir() if p.is_dir())
         for candidate in candidates:
             if not (candidate / "bundle.json").exists():
                 continue
-            if candidate.name in self._handles:
+            if candidate.resolve() in registered_dirs:
                 continue
-            self.register(candidate)
+            handle = self.register(candidate)
+            registered_dirs.add(handle.directory.resolve())
             added.append(candidate.name)
         return added
 

@@ -1,0 +1,144 @@
+"""One serving shard: a thread-safe engine plus its drain worker.
+
+A shard owns one :class:`~repro.serving.engine.ServingEngine` and an inbox
+of ``(request, future)`` pairs.  Its worker thread blocks on the inbox,
+opportunistically coalesces whatever else is already queued into one
+micro-batch (up to the engine's ``max_batch_size``) and answers the batch
+through :meth:`ServingEngine.execute` — so a burst of concurrent
+submissions is amortised exactly like the single-engine queue drain, while
+a lone request is answered immediately instead of waiting for peers.
+
+The :class:`~repro.serving.frontend.ShardedFrontend` routes each request to
+a fixed shard by a deterministic hash of ``(routine, dims_key)``, so a
+given problem shape always lands on the same engine and that engine's
+per-routine prediction LRU and timing memo stay hot for it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.runtime import ExecutionPlan
+from repro.serving.engine import PlanRequest, ServingEngine
+
+__all__ = ["EngineShard"]
+
+#: Inbox sentinel that tells the worker to drain leftovers and exit.
+_STOP = object()
+
+
+class EngineShard:
+    """One engine plus the worker thread that drains its inbox.
+
+    The worker is started lazily by :meth:`start` (the frontend does this
+    on first use) and stopped by :meth:`stop`, which processes every
+    request already enqueued before joining — no accepted request is ever
+    dropped by a shutdown.
+    """
+
+    def __init__(self, index: int, engine: ServingEngine):
+        self.index = int(index)
+        self.engine = engine
+        self._inbox: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._worker: Optional[threading.Thread] = None
+        # Serialises start/stop: two lazy starters racing would otherwise
+        # both spawn a worker on the same inbox, and the orphan could eat
+        # the stop sentinel meant for the tracked one.
+        self._lifecycle_lock = threading.Lock()
+        # Touched only by the worker thread; read by stats snapshots.
+        self.n_batches_drained = 0
+        self.n_requests_drained = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._worker is not None
+
+    def start(self) -> None:
+        with self._lifecycle_lock:
+            if self._worker is None:
+                worker = threading.Thread(
+                    target=self._drain_loop,
+                    name=f"adsala-shard-{self.index}",
+                    daemon=True,
+                )
+                self._worker = worker
+                worker.start()
+
+    def stop(self) -> None:
+        """Answer everything already enqueued, then join the worker."""
+        with self._lifecycle_lock:
+            worker = self._worker
+            if worker is None:
+                return
+            self._inbox.put(_STOP)
+            worker.join()
+            self._worker = None
+
+    # -- intake --------------------------------------------------------------------
+    def enqueue(self, request: PlanRequest, future) -> None:
+        """Hand one routed request (and the future to resolve) to the worker."""
+        self._inbox.put((request, future))
+
+    def execute(self, requests: Sequence[PlanRequest]) -> List[ExecutionPlan]:
+        """Synchronous bulk path: answer ``requests`` on the caller's thread.
+
+        Bypasses the inbox entirely; safe to run concurrently with the
+        worker because the engine serialises on its own lock.
+        """
+        return self.engine.execute(requests)
+
+    # -- worker --------------------------------------------------------------------
+    def _drain_loop(self) -> None:
+        while True:
+            item = self._inbox.get()
+            stopping = item is _STOP
+            batch: List[Tuple[PlanRequest, object]] = [] if stopping else [item]
+            while len(batch) < self.engine.max_batch_size:
+                try:
+                    extra = self._inbox.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    stopping = True
+                    break
+                batch.append(extra)
+            if batch:
+                self._answer(batch)
+            if stopping:
+                leftovers: List[Tuple[PlanRequest, object]] = []
+                while True:
+                    try:
+                        extra = self._inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is not _STOP:
+                        leftovers.append(extra)
+                if leftovers:
+                    self._answer(leftovers)
+                return
+
+    def _answer(self, batch: List[Tuple[PlanRequest, object]]) -> None:
+        requests = [request for request, _ in batch]
+        try:
+            plans = self.engine.execute(requests)
+        except BaseException as exc:  # resolve futures even on engine bugs
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), plan in zip(batch, plans):
+            future.set_result(plan)
+        self.n_batches_drained += 1
+        self.n_requests_drained += len(batch)
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "running": self.running,
+            "batches_drained": self.n_batches_drained,
+            "requests_drained": self.n_requests_drained,
+            "pending": self.engine.n_pending,
+        }

@@ -9,12 +9,15 @@ yields a drift statistic, and routines whose rolling error exceeds a
 threshold are flagged as re-install candidates — the online counterpart of
 the paper's offline model-selection criterion.
 
-Everything here is plain bookkeeping (no locks): the engine drives it from
-its own single-threaded batch loop.
+Everything here is plain bookkeeping with no locks of its own: the engine
+drives it while holding its coarse engine lock, which serialises every
+batch/plan/observation update (see :class:`~repro.serving.engine.ServingEngine`).
+Do not mutate these objects from outside the owning engine's lock.
 """
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
@@ -31,7 +34,16 @@ __all__ = [
 
 
 class RollingStats:
-    """Streaming mean/extrema over a bounded window of float samples."""
+    """Streaming mean/extrema over a bounded window of float samples.
+
+    The windowed sum is maintained incrementally (subtract the evicted
+    sample, add the new one), which is O(1) but accumulates floating-point
+    rounding error without bound over a long stream.  Every ``window``
+    evictions the sum is therefore recomputed exactly from the live window
+    with compensated summation (:func:`math.fsum`) — amortised O(1) per
+    sample — so ``mean`` stays within a few ULPs of the true window mean
+    over arbitrarily many observations.
+    """
 
     def __init__(self, window: int = 256):
         if window < 1:
@@ -39,15 +51,20 @@ class RollingStats:
         self.window = int(window)
         self._values: Deque[float] = deque(maxlen=self.window)
         self._sum = 0.0
+        self._evictions_since_resync = 0
         self.n_total = 0
 
     def add(self, value: float) -> None:
         value = float(value)
         if len(self._values) == self.window:
             self._sum -= self._values[0]
+            self._evictions_since_resync += 1
         self._values.append(value)
         self._sum += value
         self.n_total += 1
+        if self._evictions_since_resync >= self.window:
+            self._sum = math.fsum(self._values)
+            self._evictions_since_resync = 0
 
     def __len__(self) -> int:
         return len(self._values)

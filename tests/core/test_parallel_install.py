@@ -50,6 +50,16 @@ class TestMapParallel:
         with pytest.raises(ValueError):
             resolve_n_jobs(0)
 
+    def test_env_garbage_raises_clear_error(self, monkeypatch):
+        # Regression: a bare int() used to raise "invalid literal for
+        # int()" with no hint that $ADSALA_JOBS was the culprit.
+        monkeypatch.setenv(ADSALA_JOBS_ENV, "lots")
+        with pytest.raises(ValueError, match=r"ADSALA_JOBS.*'lots'"):
+            resolve_n_jobs(None)
+        monkeypatch.setenv(ADSALA_JOBS_ENV, "4.5")
+        with pytest.raises(ValueError, match="ADSALA_JOBS"):
+            resolve_n_jobs(None)
+
 
 class TestModelSelectionParallel:
     def test_cross_val_score_parallel_matches_serial(self, regression_data):

@@ -5,6 +5,8 @@ sequential ``AdsalaRuntime.plan()`` loop would have produced on the same
 bundle — same thread choices, same predicted/baseline times.
 """
 
+import threading
+
 import pytest
 
 from repro.core.runtime import AdsalaRuntime
@@ -76,6 +78,7 @@ class TestBatching:
         assert engine.n_pending == 10
         plans = engine.flush()
         assert engine.n_pending == 0
+        assert len(plans) == len(workload)  # one plan per request, none dropped
         for request, plan in zip(workload, plans):
             assert plan.dims == request.dims
 
@@ -128,6 +131,7 @@ class TestFallbackIntegration:
         engine.submit("sgemm", m=64, k=64, n=64)
         engine.submit("strmm", m=32, n=32)
         plans = engine.flush()
+        assert len(plans) == 3  # every submitted request answered
         assert [p.policy for p in plans] == [
             "installed", "cross-precision", "max-threads",
         ]
@@ -308,3 +312,141 @@ class TestPerRoutineCacheStats:
         cache_stats = snapshot["cache"]["routines"]["dgemm"]
         probes = cache_stats["hits"] + cache_stats["misses"]
         assert cache_stats["hit_rate"] == pytest.approx(cache_stats["hits"] / probes)
+
+
+class TestConcurrency:
+    """One engine driven by several threads: the coarse lock must keep every
+    plan, counter and cache update exact — no lost or duplicated requests."""
+
+    def test_concurrent_plan_calls_match_sequential(self, clear_caches):
+        bundle = clear_caches
+        workload = generate_workload(
+            ["dgemm", "dsyrk"], 400, distribution="cycling", seed=23, pool_size=10
+        )
+        reference = _scalar_reference(bundle, workload, use_cache=False)
+        for installation in bundle.routines.values():
+            installation.predictor.clear_cache()
+
+        engine = ServingEngine(bundle)
+        results = [None] * len(workload)
+        n_threads = 4
+
+        def worker(offset):
+            for slot in range(offset, len(workload), n_threads):
+                request = workload[slot]
+                results[slot] = engine.plan(request.routine, **request.dims)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert None not in results  # no plan lost
+        assert engine.telemetry.n_requests == len(workload)  # none duplicated
+        for slot, (plan, expected) in enumerate(zip(results, reference)):
+            assert plan.routine == expected.routine, slot
+            assert plan.dims == expected.dims, slot
+            assert plan.threads == expected.threads, slot
+            assert plan.predicted_time == expected.predicted_time, slot
+            assert plan.baseline_time == expected.baseline_time, slot
+
+    def test_concurrent_submit_and_flush_answer_every_request_once(
+        self, clear_caches
+    ):
+        engine = ServingEngine(clear_caches, max_batch_size=8)
+        workload = generate_workload(
+            ["dgemm", "dsyrk"], 300, distribution="cycling", seed=27, pool_size=8
+        )
+        collected = []
+        collected_lock = threading.Lock()
+        done_submitting = threading.Event()
+
+        def submitter(offset):
+            for slot in range(offset, len(workload), 2):
+                request = workload[slot]
+                engine.submit(request.routine, **request.dims)
+
+        def flusher():
+            while not done_submitting.is_set() or engine.n_pending:
+                plans = engine.flush()
+                if plans:
+                    with collected_lock:
+                        collected.extend(plans)
+
+        submitters = [
+            threading.Thread(target=submitter, args=(index,)) for index in range(2)
+        ]
+        flushers = [threading.Thread(target=flusher) for _ in range(2)]
+        for thread in flushers + submitters:
+            thread.start()
+        for thread in submitters:
+            thread.join()
+        done_submitting.set()
+        for thread in flushers:
+            thread.join()
+
+        assert engine.n_pending == 0
+        assert len(collected) == len(workload)  # exactly one plan per request
+        expected = sorted(tuple(sorted(r.dims.items())) for r in workload)
+        answered = sorted(tuple(sorted(p.dims.items())) for p in collected)
+        assert answered == expected
+
+
+class TestCacheStatisticsAfterHotReload:
+    """Regression: a routine removed by a hot reload must not crash stats."""
+
+    def _reduced_bundle(self, serving_bundle, keep):
+        from repro.core.install import InstallationBundle
+
+        return InstallationBundle(
+            platform=serving_bundle.platform,
+            simulator=serving_bundle.simulator,
+            routines={key: serving_bundle.routines[key] for key in keep},
+            candidate_names=list(serving_bundle.candidate_names),
+            settings=dict(serving_bundle.settings),
+        )
+
+    def test_reload_prunes_touched_routines(
+        self, serving_bundle, saved_bundle_dir
+    ):
+        from repro.core.persistence import save_bundle
+        from repro.serving.registry import BundleHandle
+
+        engine = ServingEngine(BundleHandle(saved_bundle_dir))
+        engine.plan("dgemm", m=64, k=64, n=64)
+        engine.plan("dsyrk", n=64, k=32)
+        save_bundle(
+            self._reduced_bundle(serving_bundle, ["dgemm"]),
+            saved_bundle_dir,
+            bundle_version=2,
+        )
+        assert engine.reload_source()
+        stats = engine.cache_statistics()  # crashed with KeyError pre-fix
+        assert "dsyrk" not in stats["routines"]
+        assert engine.stats()["cache"]["cache_hits"] >= 0
+
+    def test_reload_behind_engines_back_marks_unloadable(
+        self, serving_bundle, saved_bundle_dir
+    ):
+        # A ModelRegistry.refresh() reloads the handle directly, without
+        # engine.reload_source(), so the engine's touched set goes stale:
+        # the stats loop must skip-with-marker instead of raising.
+        from repro.core.persistence import save_bundle
+        from repro.serving.registry import BundleHandle
+
+        handle = BundleHandle(saved_bundle_dir)
+        engine = ServingEngine(handle)
+        engine.plan("dsyrk", n=64, k=32)
+        save_bundle(
+            self._reduced_bundle(serving_bundle, ["dgemm"]),
+            saved_bundle_dir,
+            bundle_version=2,
+        )
+        assert handle.reload()
+        stats = engine.cache_statistics()
+        assert stats["routines"]["dsyrk"] == {"unloadable": True}
+        assert stats["cache_hits"] == 0

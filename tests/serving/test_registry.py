@@ -150,6 +150,33 @@ class TestModelRegistry:
         registry.register(saved_bundle_dir)
         assert registry.refresh() == {}
 
+    def test_refresh_does_not_duplicate_custom_named_bundle(
+        self, serving_bundle, tmp_path
+    ):
+        # Regression: scan() guarded on handle *names*, so a bundle
+        # registered under a custom name was re-registered under its
+        # directory name by the next refresh()/scan() — two handles (and
+        # two lazy model caches) for one bundle.
+        directory = save_bundle(
+            serving_bundle, tmp_path / "prod-bundle", bundle_version=1
+        )
+        registry = ModelRegistry()
+        registry.register(directory, name="custom")
+        registry.root = tmp_path
+        assert registry.refresh() == {}
+        assert registry.names() == ["custom"]
+
+    def test_scan_skips_directories_registered_under_custom_name(
+        self, serving_bundle, tmp_path
+    ):
+        directory = save_bundle(
+            serving_bundle, tmp_path / "prod-bundle", bundle_version=1
+        )
+        registry = ModelRegistry()
+        registry.register(directory, name="custom")
+        assert registry.scan(tmp_path) == []
+        assert registry.names() == ["custom"]
+
     def test_describe_lists_all(self, two_versions):
         registry = ModelRegistry()
         for directory in two_versions:

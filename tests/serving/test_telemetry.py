@@ -1,5 +1,6 @@
 """Tests for serving telemetry: rolling stats, drift detection, counters."""
 
+import numpy as np
 import pytest
 
 from repro.serving.telemetry import EngineTelemetry, RollingStats, RoutineTelemetry
@@ -36,6 +37,29 @@ class TestRollingStats:
         snap = stats.snapshot()
         assert snap["count"] == 1 and snap["total"] == 1
         assert snap["mean"] == pytest.approx(0.5)
+
+    def test_long_stream_mean_matches_numpy_window_mean(self):
+        # Regression: the subtract-on-evict running sum accumulated
+        # rounding error without bound.  Occasional huge samples (exactly
+        # what |observed-predicted|/observed produces when observed is
+        # tiny) leave residuals in the sum long after they leave the
+        # window; pre-fix this drifted to ~1e-8 absolute error.
+        rng = np.random.default_rng(123)
+        stats = RollingStats(window=64)
+        for index in range(100_000):
+            stats.add(1e8 if index % 1000 == 0 else rng.random())
+        window = np.asarray(stats._values, dtype=float)
+        assert abs(stats.mean - np.mean(window)) < 1e-12
+        assert stats.n_total == 100_000
+
+    def test_resync_preserves_window_semantics(self):
+        # The periodic exact resync must not change what the window holds.
+        stats = RollingStats(window=3)
+        for value in range(20):
+            stats.add(float(value))
+        assert len(stats) == 3
+        assert stats.mean == pytest.approx((17 + 18 + 19) / 3)
+        assert stats.max == 19.0 and stats.last == 19.0
 
 
 class TestRoutineTelemetry:

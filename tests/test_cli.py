@@ -171,6 +171,32 @@ class TestServeCommand:
         assert exit_code == 2
         assert "empty" in capsys.readouterr().err
 
+    def test_serve_sharded_multi_client(self, installed_dir, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--bundle", str(installed_dir),
+                "--requests", "64",
+                "--mix", "skewed",
+                "--shards", "2",
+                "--clients", "4",
+                "--seed", "7",
+                "--observe",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Served 64 plans" in out  # nothing lost across clients
+        assert "2 shards x 4 clients" in out
+        assert "0 shed (block mode" in out
+
+    def test_serve_invalid_shard_count_fails(self, installed_dir, capsys):
+        exit_code = main(
+            ["serve", "--bundle", str(installed_dir), "--shards", "0"]
+        )
+        assert exit_code == 2
+        assert "--shards" in capsys.readouterr().err
+
 
 class TestBundleCommand:
     def test_inspect(self, installed_dir, capsys):
