@@ -1,19 +1,29 @@
-"""Benchmark: sharded multi-client frontend vs the single-engine baseline.
+"""Benchmark: sharded frontend (thread & process backends) vs one engine.
 
-The sharded frontend's bet is that partitioning traffic across N
-thread-safe engines lets M concurrent clients scale plan throughput past
-what one engine (PR 3's numbers) can serve — while keeping the plans
-**bit-identical** to a sequential single-engine replay of the same stream
-(asserted below, per request id, along with zero shed and zero lost
-requests).
+The sharded frontend's bet is that partitioning traffic across N engines
+lets M concurrent clients scale plan throughput past what one engine
+(PR 3's numbers) can serve — while keeping the plans **bit-identical** to
+a sequential single-engine replay of the same stream (asserted below, per
+request id, along with zero shed and zero lost requests).
 
-Scaling needs real cores: the per-plan work is a mix of GIL-holding Python
-bookkeeping and GIL-releasing NumPy/BLAS/ctypes kernel time, so on one CPU
-the sharded run mostly measures its coordination overhead.  The committed
-results record ``cpu_count`` alongside the rates; set
-``ADSALA_SHARDED_SPEEDUP_MIN`` (e.g. to 1.5 on a >= 2 core machine) to turn
-the speedup target into a hard assertion.  Correctness assertions (plan
-equivalence, no losses, no sheds) always run.
+Two shard backends are swept:
+
+* ``thread`` — N engines in this process.  Scaling rides on the fraction
+  of per-plan work that releases the GIL (the native descent kernel and
+  NumPy inside the fused transform); Python-side bookkeeping serialises.
+* ``process`` — one worker process per shard, compiled model state mapped
+  from shared memory, pickle-free framed batches over a pipe.  Each shard
+  plans on its own GIL, so the Python bookkeeping parallelises too — at
+  the cost of a per-batch pipe round-trip.
+
+Worker startup (spawn + import) happens on a warm-up stream *before* the
+clock starts, so the rates compare steady-state serving, not process
+boot.  Scaling still needs real cores: on one CPU both backends mostly
+measure their coordination overhead.  The committed results record
+``cpu_count`` alongside the rates; set ``ADSALA_SHARDED_SPEEDUP_MIN``
+(e.g. 1.5) to turn the best-backend speedup into a hard assertion — the
+gate is armed only when ``os.cpu_count() >= 2``.  Correctness assertions
+(plan equivalence, no losses, no sheds) always run, on every backend.
 
 Results land in ``benchmarks/results/sharded_throughput.{txt,json}``.
 """
@@ -32,7 +42,9 @@ from repro.serving.workload import generate_workload
 from benchmarks.conftest import run_once
 
 ROUTINES = ["dgemm", "dsymm", "dsyrk"]
+BACKENDS = ("thread", "process")
 N_REQUESTS = 600
+N_WARMUP = 32
 N_SHARDS = 2
 N_CLIENTS = 4
 BATCH_SIZE = 64
@@ -65,66 +77,85 @@ def _single_engine_baseline(bundle, workload):
     return len(plans) / elapsed, plans
 
 
-def _sharded_bulk_clients(bundle, workload):
+def _make_frontend(bundle, backend):
+    return ShardedFrontend.from_bundle(
+        bundle,
+        n_shards=N_SHARDS,
+        backend=backend,
+        max_batch_size=BATCH_SIZE,
+        max_pending=4096,
+    )
+
+
+def _warm_up(frontend, warmup_workload):
+    """Launch every shard's worker off the clock (spawn + import + compile)."""
+    frontend.plan_many(request.as_tuple() for request in warmup_workload)
+
+
+def _sharded_bulk_clients(bundle, backend, workload, warmup):
     """M clients each pushing a bulk slice through ``plan_many``.
 
     The batched-RPC client model: per-request future overhead disappears,
-    shards drain concurrently on the callers' thread pools, and the engine
-    locks serialise per shard — the mode that scales with cores.
+    shards drain concurrently on the callers' thread pools, and each
+    backend serialises per shard (engine lock / pipe lock).
     """
     _clear_caches(bundle)
-    frontend = ShardedFrontend.from_bundle(
-        bundle, n_shards=N_SHARDS, max_batch_size=BATCH_SIZE
-    )
     results = [None] * len(workload)
+    with _make_frontend(bundle, backend) as frontend:
+        _warm_up(frontend, warmup)
 
-    def client(client_index):
-        slots = list(range(client_index, len(workload), N_CLIENTS))
-        plans = frontend.plan_many(workload[slot].as_tuple() for slot in slots)
-        for slot, plan in zip(slots, plans):
-            results[slot] = plan
+        def client(client_index):
+            slots = list(range(client_index, len(workload), N_CLIENTS))
+            plans = frontend.plan_many(
+                workload[slot].as_tuple() for slot in slots
+            )
+            for slot, plan in zip(slots, plans):
+                results[slot] = plan
 
-    clients = [
-        threading.Thread(target=client, args=(index,)) for index in range(N_CLIENTS)
-    ]
-    start = time.perf_counter()
-    for thread in clients:
-        thread.start()
-    for thread in clients:
-        thread.join()
-    elapsed = time.perf_counter() - start
-    return len(workload) / elapsed, results, frontend.stats()
-
-
-def _sharded_multi_client(bundle, workload):
-    """N shards drained by workers, M clients submitting futures."""
-    _clear_caches(bundle)
-    frontend = ShardedFrontend.from_bundle(
-        bundle, n_shards=N_SHARDS, max_batch_size=BATCH_SIZE, max_pending=4096
-    )
-    results = [None] * len(workload)
-
-    def client(client_index):
-        # Submit the whole slice first (pipelined), then resolve: keeps
-        # every shard's inbox full so workers drain real micro-batches.
-        pending = []
-        for slot in range(client_index, len(workload), N_CLIENTS):
-            request = workload[slot]
-            pending.append((slot, frontend.submit(request.routine, **request.dims)))
-        for slot, future in pending:
-            results[slot] = future.result()
-
-    clients = [
-        threading.Thread(target=client, args=(index,)) for index in range(N_CLIENTS)
-    ]
-    start = time.perf_counter()
-    with frontend:
+        clients = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(N_CLIENTS)
+        ]
+        start = time.perf_counter()
         for thread in clients:
             thread.start()
         for thread in clients:
             thread.join()
-    elapsed = time.perf_counter() - start
-    stats = frontend.stats()
+        elapsed = time.perf_counter() - start
+        stats = frontend.stats()
+    return len(workload) / elapsed, results, stats
+
+
+def _sharded_multi_client(bundle, backend, workload, warmup):
+    """N shards drained by workers, M clients submitting futures."""
+    _clear_caches(bundle)
+    results = [None] * len(workload)
+    with _make_frontend(bundle, backend) as frontend:
+        _warm_up(frontend, warmup)
+
+        def client(client_index):
+            # Submit the whole slice first (pipelined), then resolve: keeps
+            # every shard's inbox full so workers drain real micro-batches.
+            pending = []
+            for slot in range(client_index, len(workload), N_CLIENTS):
+                request = workload[slot]
+                pending.append(
+                    (slot, frontend.submit(request.routine, **request.dims))
+                )
+            for slot, future in pending:
+                results[slot] = future.result()
+
+        clients = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(N_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stats = frontend.stats()
     return len(workload) / elapsed, results, stats
 
 
@@ -139,6 +170,9 @@ def test_sharded_throughput(benchmark, record, record_json):
         candidate_models=["LinearRegression", "DecisionTree"],
         seed=0,
     )
+    warmup = generate_workload(
+        ROUTINES, N_WARMUP, distribution="cycling", seed=23, pool_size=8
+    )
 
     def run():
         rows = []
@@ -147,41 +181,50 @@ def test_sharded_throughput(benchmark, record, record_json):
             workload = generate_workload(
                 ROUTINES, N_REQUESTS, distribution=mix, seed=17, pool_size=8
             )
-            baseline_rate, baseline_plans = _single_engine_baseline(bundle, workload)
-            for mode, drive in (
-                ("futures", _sharded_multi_client),
-                ("bulk", _sharded_bulk_clients),
-            ):
-                sharded_rate, sharded_plans, stats = drive(bundle, workload)
-
-                # Zero lost, zero duplicated, zero shed — and every plan
-                # bit-identical to the sequential single-engine replay.
-                assert None not in sharded_plans, f"lost plans on {mix}/{mode}"
-                assert stats["requests"] == N_REQUESTS
-                assert stats["admission"]["shed"] == 0
-                assert stats["admission"]["in_flight"] == 0
-                mismatches = [
-                    slot
-                    for slot, (sharded, reference) in enumerate(
-                        zip(sharded_plans, baseline_plans)
+            baseline_rate, baseline_plans = _single_engine_baseline(
+                bundle, workload
+            )
+            for backend in BACKENDS:
+                for mode, drive in (
+                    ("futures", _sharded_multi_client),
+                    ("bulk", _sharded_bulk_clients),
+                ):
+                    sharded_rate, sharded_plans, stats = drive(
+                        bundle, backend, workload, warmup
                     )
-                    if _plan_key(sharded) != _plan_key(reference)
-                ]
-                assert not mismatches, (
-                    f"plans diverged on {mix}/{mode}: {mismatches[:5]}"
-                )
 
-                speedups[mix, mode] = sharded_rate / baseline_rate
-                rows.append(
-                    {
-                        "workload": mix,
-                        "clients": mode,
-                        "requests": N_REQUESTS,
-                        "single_engine_plans_per_s": round(baseline_rate),
-                        "sharded_plans_per_s": round(sharded_rate),
-                        "speedup": round(sharded_rate / baseline_rate, 2),
-                    }
-                )
+                    # Zero lost, zero duplicated, zero shed — and every plan
+                    # bit-identical to the sequential single-engine replay.
+                    label = f"{mix}/{backend}/{mode}"
+                    assert None not in sharded_plans, f"lost plans on {label}"
+                    assert stats["backend"] == backend
+                    assert stats["requests"] == N_REQUESTS + N_WARMUP
+                    assert stats["admission"]["shed"] == 0
+                    assert stats["admission"]["in_flight"] == 0
+                    mismatches = [
+                        slot
+                        for slot, (sharded, reference) in enumerate(
+                            zip(sharded_plans, baseline_plans)
+                        )
+                        if _plan_key(sharded) != _plan_key(reference)
+                    ]
+                    assert not mismatches, (
+                        f"plans diverged on {label}: {mismatches[:5]}"
+                    )
+
+                    speedup = sharded_rate / baseline_rate
+                    speedups[mix, backend, mode] = speedup
+                    rows.append(
+                        {
+                            "workload": mix,
+                            "backend": backend,
+                            "clients": mode,
+                            "requests": N_REQUESTS,
+                            "single_engine_plans_per_s": round(baseline_rate),
+                            "sharded_plans_per_s": round(sharded_rate),
+                            "speedup": round(speedup, 2),
+                        }
+                    )
         return rows, speedups
 
     rows, speedups = run_once(benchmark, run)
@@ -190,7 +233,7 @@ def test_sharded_throughput(benchmark, record, record_json):
         rows,
         title=(
             f"Sharded serving throughput: {N_SHARDS} shards x {N_CLIENTS} "
-            f"client threads vs one engine, one client "
+            f"client threads vs one engine, one client, per backend "
             f"({len(ROUTINES)} routines, gadi, {cpu_count} cpu)"
         ),
     )
@@ -202,10 +245,14 @@ def test_sharded_throughput(benchmark, record, record_json):
         [
             {
                 "stage": (
-                    f"sharded {row['workload']} mix, {row['clients']} clients "
-                    f"({N_REQUESTS} requests, {N_SHARDS} shards x "
-                    f"{N_CLIENTS} clients, {cpu_count} cpu)"
+                    f"sharded {row['workload']} mix, {row['backend']} backend, "
+                    f"{row['clients']} clients ({N_REQUESTS} requests, "
+                    f"{N_SHARDS} shards x {N_CLIENTS} clients, {cpu_count} cpu)"
                 ),
+                "backend": row["backend"],
+                "shards": N_SHARDS,
+                "plans_per_sec": row["sharded_plans_per_s"],
+                "speedup_vs_single": row["speedup"],
                 "reference_s": N_REQUESTS / row["single_engine_plans_per_s"],
                 "optimized_s": N_REQUESTS / row["sharded_plans_per_s"],
                 "speedup": row["speedup"],
@@ -216,10 +263,15 @@ def test_sharded_throughput(benchmark, record, record_json):
         ],
     )
     minimum = float(os.environ.get("ADSALA_SHARDED_SPEEDUP_MIN", "0"))
-    if minimum > 0:
+    if minimum > 0 and cpu_count >= 2:
         best = max(speedups.values())
         assert best >= minimum, (
-            f"sharded multi-client speedup {best:.2f}x is below the "
-            f"{minimum}x target (cpu_count={cpu_count}; the sharded path "
-            "needs >= 2 cores to beat the fully batched single engine)"
+            f"best sharded speedup {best:.2f}x is below the {minimum}x "
+            f"target (cpu_count={cpu_count}; per config: "
+            f"{ {'/'.join(key): round(value, 2) for key, value in speedups.items()} })"
+        )
+    elif minimum > 0:
+        print(
+            f"note: {minimum}x speedup gate skipped — "
+            f"cpu_count={cpu_count} < 2 (coordination overhead only)"
         )

@@ -91,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=1,
                        help="engine shards behind the concurrent frontend "
                        "(1 = the single-engine path)")
+    serve.add_argument("--backend", choices=["thread", "process"],
+                       default="thread",
+                       help="shard execution backend: engines in this process "
+                       "(thread) or one worker process per shard mapping the "
+                       "model state from shared memory (process)")
     serve.add_argument("--clients", type=int, default=1,
                        help="concurrent client threads driving the frontend")
     serve.add_argument("--max-pending", type=int, default=1024,
@@ -269,25 +274,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("error: workload is empty", file=sys.stderr)
             return 2
 
-        sharded = args.shards > 1 or args.clients > 1
+        def observe_plans(recorder, served_plans) -> None:
+            # An independently seeded simulator stands in for real measured
+            # runtimes: same machine model (including any calibration a
+            # promotion stamped into the settings), different noise draw.
+            settings = handle.settings
+            observer = TimingSimulator(
+                handle.simulator.platform,
+                seed=int(settings.get("seed", 0)) + 1,
+                noise_level=float(settings.get("noise_level", 0.04)),
+            )
+            for plan in served_plans:
+                recorder.record_observation(
+                    plan, observer.time(plan.routine, plan.dims, plan.threads)
+                )
+
+        sharded = args.shards > 1 or args.clients > 1 or args.backend == "process"
         if sharded:
-            # One independent lazy handle per shard (separate model/LRU
-            # state); custom telemetry rides in on pre-built engines.
-            engines = [
-                ServingEngine(
-                    BundleHandle(args.bundle),
+            if args.backend == "process":
+                # One shared export: every worker maps the same model pages.
+                frontend = ShardedFrontend(
+                    [handle] * args.shards,
+                    max_pending=args.max_pending,
+                    backpressure=args.backpressure,
                     max_batch_size=args.batch_size,
                     use_cache=not args.no_cache,
-                    telemetry=EngineTelemetry(drift_threshold=args.drift_threshold),
+                    backend="process",
+                    drift_threshold=args.drift_threshold,
                 )
-                for _ in range(args.shards)
-            ]
-            frontend = ShardedFrontend(
-                engines,
-                max_pending=args.max_pending,
-                backpressure=args.backpressure,
-            )
-            recorder = frontend
+            else:
+                # One independent lazy handle per shard (separate model/LRU
+                # state); custom telemetry rides in on pre-built engines.
+                engines = [
+                    ServingEngine(
+                        BundleHandle(args.bundle),
+                        max_batch_size=args.batch_size,
+                        use_cache=not args.no_cache,
+                        telemetry=EngineTelemetry(
+                            drift_threshold=args.drift_threshold
+                        ),
+                    )
+                    for _ in range(args.shards)
+                ]
+                frontend = ShardedFrontend(
+                    engines,
+                    max_pending=args.max_pending,
+                    backpressure=args.backpressure,
+                )
             results: list = [None] * len(requests)
             client_errors: list = []
 
@@ -312,22 +345,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 for index in range(args.clients)
             ]
             start = time.perf_counter()
+            # Observations and the stats snapshot happen inside the with
+            # block: process-backend workers (and their telemetry) are gone
+            # once the frontend closes.
             with frontend:
                 for worker in workers:
                     worker.start()
                 for worker in workers:
                     worker.join()
-            elapsed = time.perf_counter() - start
-            plans = [plan for plan in results if plan is not None]
-            if client_errors:
-                print(f"error: client thread failed: {client_errors[0]}",
-                      file=sys.stderr)
-                return 1
-            lost = len(requests) - len(plans) - frontend.n_shed
-            if lost:
-                print(f"error: {lost} request(s) neither served nor shed",
-                      file=sys.stderr)
-                return 1
+                elapsed = time.perf_counter() - start
+                plans = [plan for plan in results if plan is not None]
+                if client_errors:
+                    print(f"error: client thread failed: {client_errors[0]}",
+                          file=sys.stderr)
+                    return 1
+                lost = len(requests) - len(plans) - frontend.n_shed
+                if lost:
+                    print(f"error: {lost} request(s) neither served nor shed",
+                          file=sys.stderr)
+                    return 1
+                if args.observe:
+                    observe_plans(frontend, plans)
+                stats = frontend.stats()
         else:
             engine = ServingEngine(
                 handle,
@@ -335,27 +374,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 use_cache=not args.no_cache,
                 telemetry=EngineTelemetry(drift_threshold=args.drift_threshold),
             )
-            recorder = engine
             start = time.perf_counter()
             plans = engine.plan_many(request.as_tuple() for request in requests)
             elapsed = time.perf_counter() - start
+            if args.observe:
+                observe_plans(engine, plans)
+            stats = engine.stats()
 
-        if args.observe:
-            # An independently seeded simulator stands in for real measured
-            # runtimes: same machine model (including any calibration a
-            # promotion stamped into the settings), different noise draw.
-            settings = handle.settings
-            observer = TimingSimulator(
-                handle.simulator.platform,
-                seed=int(settings.get("seed", 0)) + 1,
-                noise_level=float(settings.get("noise_level", 0.04)),
-            )
-            for plan in plans:
-                recorder.record_observation(
-                    plan, observer.time(plan.routine, plan.dims, plan.threads)
-                )
-
-        stats = recorder.stats()
         print(
             f"Served {len(plans)} plans from {source} on {handle.platform.name} "
             f"(bundle v{handle.bundle_version}, schema v{handle.schema_version})"
@@ -368,7 +393,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if sharded:
             admission = stats["admission"]
             print(
-                f"  {stats['shards']} shards x {args.clients} clients | "
+                f"  {stats['shards']} {stats['backend']} shards x "
+                f"{args.clients} clients | "
                 f"admission: {admission['submitted']} submitted, "
                 f"{admission['shed']} shed ({admission['mode']} mode, "
                 f"capacity {admission['capacity']})"

@@ -47,13 +47,21 @@ from repro.ml.boosting import (
     AdaBoostRegressor,
     GradientBoostingRegressor,
     HistGradientBoostingRegressor,
+    weighted_median,
 )
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.tree import DecisionTreeRegressor, StackedTrees
 from repro.ml.tree import unstacked_mode as tree_unstacked_mode
-from repro.preprocessing.pipeline import PreprocessingPipeline
+from repro.preprocessing.pipeline import FusedTransform, PreprocessingPipeline
 
-__all__ = ["CompiledPredictor", "compile_model_evaluator", "reference_mode", "active_impl"]
+__all__ = [
+    "CompiledPredictor",
+    "compile_model_evaluator",
+    "export_model_evaluator",
+    "evaluator_from_state",
+    "reference_mode",
+    "active_impl",
+]
 
 
 #: Active implementation: "compiled" (default) or "reference".
@@ -136,6 +144,102 @@ def compile_model_evaluator(model: BaseRegressor) -> Callable[[np.ndarray], np.n
     return model.predict
 
 
+def export_model_evaluator(model: BaseRegressor, registry) -> dict:
+    """Flatten a fitted model's evaluation kernel into a shared-memory state.
+
+    The returned dict is picklable (a few scalars plus
+    :class:`~repro.shm.SharedArrayRef` entries); :func:`evaluator_from_state`
+    rebuilds a kernel over the mapped segments in another process that is
+    bit-identical to :func:`compile_model_evaluator` on the same model.
+    Models without a flat form (SVR, KNN) ride the pickle whole — their
+    state is small and they have no array hot path worth sharing.
+    """
+    if isinstance(model, DecisionTreeRegressor):
+        stack = StackedTrees([model.flat_tree_])
+        return {"kind": "tree", "stack": stack.to_shared(registry)}
+    if isinstance(model, RandomForestRegressor):
+        return {"kind": "forest-mean", "stack": model.stacked().to_shared(registry)}
+    if isinstance(model, AdaBoostRegressor):
+        weights = np.asarray(model.estimator_weights_, dtype=np.float64)
+        return {
+            "kind": "weighted-median",
+            "stack": model.stacked().to_shared(registry),
+            "weights": registry.export_array(weights),
+        }
+    if isinstance(model, (GradientBoostingRegressor, HistGradientBoostingRegressor)):
+        return {
+            "kind": "fold",
+            "stack": model.stacked().to_shared(registry),
+            "base": float(model.base_prediction_),
+            "scale": float(model.learning_rate),
+        }
+    coef = getattr(model, "coef_", None)
+    intercept = getattr(model, "intercept_", None)
+    if coef is not None and intercept is not None:
+        return {
+            "kind": "linear",
+            "coef": registry.export_array(np.asarray(coef, dtype=np.float64)),
+            "intercept": intercept,
+        }
+    return {"kind": "pickled", "model": model}
+
+
+def evaluator_from_state(
+    state: dict, registry
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Rebuild an evaluation kernel from :func:`export_model_evaluator` state.
+
+    Tree stacks map their arrays from shared segments (zero-copy); the
+    aggregations reuse the exact code paths of the in-process kernels
+    (:meth:`StackedTrees._descend`, :meth:`StackedTrees.fold`,
+    :func:`~repro.ml.boosting.weighted_median`), so predictions stay
+    bit-identical across backends.
+    """
+    kind = state["kind"]
+    if kind == "tree":
+        stack = StackedTrees.from_shared(state["stack"], registry)
+
+        def tree_evaluate(X: np.ndarray) -> np.ndarray:
+            return stack._descend(X)[0].copy()
+
+        return tree_evaluate
+    if kind == "forest-mean":
+        stack = StackedTrees.from_shared(state["stack"], registry)
+
+        def forest_evaluate(X: np.ndarray) -> np.ndarray:
+            return stack._descend(X).mean(axis=0)
+
+        return forest_evaluate
+    if kind == "weighted-median":
+        stack = StackedTrees.from_shared(state["stack"], registry)
+        weights = registry.map_array(state["weights"])
+
+        def median_evaluate(X: np.ndarray) -> np.ndarray:
+            return weighted_median(stack._descend(X).T, weights)
+
+        return median_evaluate
+    if kind == "fold":
+        stack = StackedTrees.from_shared(state["stack"], registry)
+        base = state["base"]
+        scale = state["scale"]
+
+        def fold_evaluate(X: np.ndarray) -> np.ndarray:
+            return stack.fold(X, base, scale)
+
+        return fold_evaluate
+    if kind == "linear":
+        coef = registry.map_array(state["coef"])
+        intercept = state["intercept"]
+
+        def linear_evaluate(X: np.ndarray) -> np.ndarray:
+            return X @ coef + intercept
+
+        return linear_evaluate
+    if kind == "pickled":
+        return state["model"].predict
+    raise ValueError(f"Unknown evaluator state kind {kind!r}")
+
+
 class CompiledPredictor:
     """Build-once / evaluate-many kernel for one routine's runtime model.
 
@@ -170,6 +274,31 @@ class CompiledPredictor:
             routine, self.candidate_threads, columns=self._fused.kept_indices
         )
         self._evaluate_model = compile_model_evaluator(model)
+
+    @classmethod
+    def from_state(
+        cls,
+        routine: str,
+        candidate_threads: Sequence[int],
+        fused: FusedTransform,
+        evaluate_model: Callable[[np.ndarray], np.ndarray],
+    ) -> "CompiledPredictor":
+        """Assemble a predictor from already-flattened state.
+
+        The process-shard worker builds predictors this way: ``fused`` views
+        shared-memory segments (:meth:`FusedTransform.from_shared`) and
+        ``evaluate_model`` comes from :func:`evaluator_from_state`, so no
+        pipeline or model object ever crosses the process boundary.
+        """
+        predictor = cls.__new__(cls)
+        predictor.routine = routine
+        predictor.candidate_threads = np.asarray(candidate_threads, dtype=np.float64)
+        predictor._fused = fused
+        predictor._writer = FeatureGridWriter(
+            routine, predictor.candidate_threads, columns=fused.kept_indices
+        )
+        predictor._evaluate_model = evaluate_model
+        return predictor
 
     @property
     def n_candidates(self) -> int:

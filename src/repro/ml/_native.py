@@ -253,4 +253,8 @@ def _make_wrapper(fn):
         )
         return out
 
+    # Introspection hook: the raw ctypes foreign function, so callers (and
+    # the concurrency tests) can verify the GIL-releasing load path — a
+    # ``CDLL`` export with explicit argtypes/restype, never ``PyDLL``.
+    kernel.ctypes_fn = fn
     return kernel

@@ -35,7 +35,24 @@ __all__ = [
     "AdaBoostRegressor",
     "GradientBoostingRegressor",
     "HistGradientBoostingRegressor",
+    "weighted_median",
 ]
+
+
+def weighted_median(all_predictions: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """AdaBoost.R2 weighted median over an ``(n_samples, n_trees)`` block.
+
+    Module-level so the process-shard worker can aggregate a shared-memory
+    stacked descent with the exact arithmetic of the fitted model (see
+    :meth:`AdaBoostRegressor._weighted_median`).
+    """
+    order = np.argsort(all_predictions, axis=1)
+    sorted_predictions = np.take_along_axis(all_predictions, order, axis=1)
+    sorted_weights = weights[order]
+    cumulative = np.cumsum(sorted_weights, axis=1)
+    threshold = 0.5 * cumulative[:, -1][:, None]
+    median_idx = np.argmax(cumulative >= threshold, axis=1)
+    return sorted_predictions[np.arange(all_predictions.shape[0]), median_idx]
 
 
 # ---------------------------------------------------------------------------
@@ -149,17 +166,9 @@ class AdaBoostRegressor(BaseRegressor):
 
     def _weighted_median(self, all_predictions: np.ndarray) -> np.ndarray:
         """AdaBoost.R2 weighted median over an ``(n_samples, n_trees)`` block."""
-        weights = np.asarray(self.estimator_weights_)
-
-        order = np.argsort(all_predictions, axis=1)
-        sorted_predictions = np.take_along_axis(all_predictions, order, axis=1)
-        sorted_weights = weights[order]
-        cumulative = np.cumsum(sorted_weights, axis=1)
-        threshold = 0.5 * cumulative[:, -1][:, None]
-        median_idx = np.argmax(cumulative >= threshold, axis=1)
-        return sorted_predictions[
-            np.arange(all_predictions.shape[0]), median_idx
-        ]
+        return weighted_median(
+            all_predictions, np.asarray(self.estimator_weights_)
+        )
 
     def predict(self, X) -> np.ndarray:
         """Weighted-median prediction over the boosted ensemble."""

@@ -159,6 +159,47 @@ class FlatTree:
     def __setstate__(self, state):
         self.__init__(*state)
 
+    # -- shared-memory export -----------------------------------------------
+    #: Array slots exported by to_shared (the descent tables included, so a
+    #: mapping process never recomputes them from the shared pages).
+    _SHARED_ARRAYS = (
+        "feature",
+        "threshold",
+        "left",
+        "right",
+        "value",
+        "_descent_feature",
+        "_descent_threshold",
+        "_children",
+    )
+
+    def to_shared(self, registry) -> dict:
+        """Export every array slot into ``registry`` segments.
+
+        Returns a picklable state dict for :meth:`from_shared`.  The depth
+        scalar rides inline; all arrays become
+        :class:`~repro.shm.SharedArrayRef` entries.
+        """
+        state = {
+            name: registry.export_array(getattr(self, name))
+            for name in self._SHARED_ARRAYS
+        }
+        state["depth"] = int(self.depth)
+        return state
+
+    @classmethod
+    def from_shared(cls, state: dict, registry) -> "FlatTree":
+        """Rebuild a tree over mapped segments, bypassing ``__init__``.
+
+        The descent tables come straight from the shared pages — nothing is
+        recomputed or copied, so N mapping processes share one set of pages.
+        """
+        tree = cls.__new__(cls)
+        for name in cls._SHARED_ARRAYS:
+            setattr(tree, name, registry.map_array(state[name]))
+        tree.depth = state["depth"]
+        return tree
+
     @classmethod
     def from_node(cls, root) -> "FlatTree":
         """Compile a linked node tree (any object with ``is_leaf``/``feature``/
@@ -299,6 +340,47 @@ class StackedTrees:
     @property
     def n_nodes(self) -> int:
         return self.feature.shape[0]
+
+    # -- shared-memory export -----------------------------------------------
+    #: Array slots exported by to_shared.  ``nodes_packed`` is the 32-byte
+    #: array-of-structs the native kernel walks — sharing it is what makes
+    #: the worker-side hot path zero-copy.
+    _SHARED_ARRAYS = (
+        "feature",
+        "threshold",
+        "children_flat",
+        "value",
+        "roots",
+        "depths",
+        "nodes_packed",
+    )
+
+    def to_shared(self, registry) -> dict:
+        """Export the stacked arrays into ``registry`` segments."""
+        state = {
+            name: registry.export_array(getattr(self, name))
+            for name in self._SHARED_ARRAYS
+        }
+        state["depth"] = int(self.depth)
+        return state
+
+    @classmethod
+    def from_shared(cls, state: dict, registry) -> "StackedTrees":
+        """Rebuild a stack over mapped segments, bypassing ``__init__``.
+
+        Scratch/output buffers start empty (they are per-process working
+        memory, lazily allocated on first descent) and the native kernel is
+        re-resolved locally — only the model arrays live in shared pages.
+        """
+        stack = cls.__new__(cls)
+        for name in cls._SHARED_ARRAYS:
+            setattr(stack, name, registry.map_array(state[name]))
+        stack.depth = state["depth"]
+        stack._scratch_size = -1
+        stack._scratch = None
+        stack._out = None
+        stack._native = _native.load_kernel()
+        return stack
 
     def _out_buffer(self, n_samples: int) -> np.ndarray:
         """Reusable ``(n_trees, n_samples)`` output buffer."""

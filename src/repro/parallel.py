@@ -27,11 +27,18 @@ the GIL; ``"serial"`` forces in-process execution regardless of ``n_jobs``.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, TypeVar
 
-__all__ = ["ADSALA_JOBS_ENV", "resolve_n_jobs", "map_parallel"]
+__all__ = [
+    "ADSALA_JOBS_ENV",
+    "ADSALA_MP_START_ENV",
+    "resolve_n_jobs",
+    "map_parallel",
+    "worker_context",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,7 +46,33 @@ R = TypeVar("R")
 #: Environment variable consulted when ``n_jobs`` is ``None``.
 ADSALA_JOBS_ENV = "ADSALA_JOBS"
 
+#: Environment variable overriding the worker-process start method.
+ADSALA_MP_START_ENV = "ADSALA_MP_START"
+
 _BACKENDS = ("process", "thread", "serial")
+
+
+def worker_context(start_method: str | None = None) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context for long-lived serving workers.
+
+    Defaults to ``spawn``: the serving frontend launches shard workers
+    lazily, *after* its drain threads exist, and forking a multi-threaded
+    parent is undefined behaviour waiting to happen (locks held by threads
+    that do not exist in the child).  Spawn also keeps the process backend
+    honest — nothing reaches a worker except what is pickled explicitly or
+    mapped from shared memory.  Override with ``start_method=`` or the
+    ``$ADSALA_MP_START`` environment variable (e.g. ``fork`` to trade
+    safety for startup latency on platforms where that is acceptable).
+    """
+    if start_method is None:
+        start_method = os.environ.get(ADSALA_MP_START_ENV, "").strip() or "spawn"
+    try:
+        return multiprocessing.get_context(start_method)
+    except ValueError:
+        raise ValueError(
+            f"Unknown multiprocessing start method {start_method!r}; "
+            f"available: {multiprocessing.get_all_start_methods()}"
+        ) from None
 
 
 def resolve_n_jobs(n_jobs: int | None = None) -> int:

@@ -43,10 +43,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.runtime import ExecutionPlan
 from repro.parallel import map_parallel
 from repro.serving.engine import PlanRequest, ServingEngine, normalize_request
-from repro.serving.shard import EngineShard
+from repro.serving.procshard import ProcessShard, export_source_spec
+from repro.serving.shard import EngineShard, ShardBase
+from repro.serving.telemetry import EngineTelemetry
 
 __all__ = [
     "BACKPRESSURE_MODES",
+    "SHARD_BACKENDS",
     "QueueFullError",
     "PlanFuture",
     "ShardedFrontend",
@@ -54,6 +57,9 @@ __all__ = [
 ]
 
 BACKPRESSURE_MODES = ("block", "reject")
+
+#: Shard execution backends: engines in-process vs. in worker processes.
+SHARD_BACKENDS = ("thread", "process")
 
 
 class QueueFullError(RuntimeError):
@@ -92,12 +98,15 @@ class ShardedFrontend:
     sources:
         One engine source **per shard** — each an
         :class:`~repro.core.install.InstallationBundle`,
-        :class:`~repro.serving.registry.BundleHandle`, or a ready-made
-        :class:`~repro.serving.engine.ServingEngine`.  Sources must be
-        distinct objects: two shards sharing one source would race on its
-        predictor caches behind the engines' separate locks (use
-        :meth:`from_bundle` / :meth:`from_directory` to build independent
-        copies).
+        :class:`~repro.serving.registry.BundleHandle`, or (thread backend
+        only) a ready-made :class:`~repro.serving.engine.ServingEngine`.
+        Under the thread backend sources must be distinct objects: two
+        shards sharing one source would race on its predictor caches
+        behind the engines' separate locks (use :meth:`from_bundle` /
+        :meth:`from_directory` to build independent copies).  Under the
+        process backend the *first* source is exported once into shared
+        memory and every worker maps the same model state, so passing the
+        same object N times is the expected shape.
     max_pending:
         Global bound on in-flight :meth:`submit` requests (admission
         control).
@@ -107,6 +116,19 @@ class ShardedFrontend:
     max_batch_size / use_cache / timing_cache_capacity:
         Forwarded to each shard's :class:`ServingEngine` (ignored for
         pre-built engines).
+    backend:
+        ``"thread"`` (default) runs every engine in this process;
+        ``"process"`` runs each engine in its own worker process with the
+        compiled model state mapped from shared memory
+        (:mod:`repro.serving.procshard`) — plan batches then execute on
+        independent GILs.
+    start_method:
+        Process-backend worker start method (default ``spawn``; see
+        :func:`repro.parallel.worker_context`).  Ignored for threads.
+    drift_threshold:
+        Optional telemetry drift threshold for engines this frontend
+        builds (both backends; ``None`` keeps the telemetry default).
+        Ignored for pre-built engines, which carry their own telemetry.
     """
 
     def __init__(
@@ -117,6 +139,9 @@ class ShardedFrontend:
         max_batch_size: int = 64,
         use_cache: bool = True,
         timing_cache_capacity: int = 4096,
+        backend: str = "thread",
+        start_method: Optional[str] = None,
+        drift_threshold: Optional[float] = None,
     ):
         if not sources:
             raise ValueError("ShardedFrontend needs at least one source")
@@ -125,28 +150,58 @@ class ShardedFrontend:
                 f"Unknown backpressure mode {backpressure!r}; "
                 f"expected one of {BACKPRESSURE_MODES}"
             )
+        if backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"Unknown shard backend {backend!r}; "
+                f"expected one of {SHARD_BACKENDS}"
+            )
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
-        if len({id(source) for source in sources}) != len(sources):
-            raise ValueError(
-                "Each shard needs its own source object; sharing one source "
-                "across shards would race on its predictor caches "
-                "(use from_bundle()/from_directory())"
-            )
-        engines = [
-            source
-            if isinstance(source, ServingEngine)
-            else ServingEngine(
-                source,
+        self.backend = backend
+        if backend == "process":
+            if any(isinstance(source, ServingEngine) for source in sources):
+                raise ValueError(
+                    "The process backend builds its engines inside worker "
+                    "processes; pass bundles or handles, not ServingEngine "
+                    "instances"
+                )
+            export = export_source_spec(
+                sources[0],
                 max_batch_size=max_batch_size,
                 use_cache=use_cache,
                 timing_cache_capacity=timing_cache_capacity,
+                drift_threshold=drift_threshold,
             )
-            for source in sources
-        ]
-        self.shards = [
-            EngineShard(index, engine) for index, engine in enumerate(engines)
-        ]
+            self.shards: List[ShardBase] = [
+                ProcessShard(index, export, start_method=start_method)
+                for index in range(len(sources))
+            ]
+        else:
+            if len({id(source) for source in sources}) != len(sources):
+                raise ValueError(
+                    "Each shard needs its own source object; sharing one "
+                    "source across shards would race on its predictor caches "
+                    "(use from_bundle()/from_directory())"
+                )
+            engines = [
+                source
+                if isinstance(source, ServingEngine)
+                else ServingEngine(
+                    source,
+                    max_batch_size=max_batch_size,
+                    use_cache=use_cache,
+                    timing_cache_capacity=timing_cache_capacity,
+                    telemetry=(
+                        EngineTelemetry(drift_threshold=drift_threshold)
+                        if drift_threshold is not None
+                        else None
+                    ),
+                )
+                for source in sources
+            ]
+            self.shards = [
+                EngineShard(index, engine) for index, engine in enumerate(engines)
+            ]
         self.max_pending = int(max_pending)
         self.backpressure = backpressure
         self._slots = threading.Semaphore(self.max_pending)
@@ -164,24 +219,41 @@ class ShardedFrontend:
     # -- construction helpers -------------------------------------------------------
     @classmethod
     def from_bundle(cls, bundle, n_shards: int, **kwargs) -> "ShardedFrontend":
-        """Shard an in-memory bundle: shard 0 serves ``bundle`` itself, the
-        rest serve deep copies (independent models, caches and simulators)."""
+        """Shard an in-memory bundle.
+
+        Thread backend: shard 0 serves ``bundle`` itself, the rest serve
+        deep copies (independent models, caches and simulators).  Process
+        backend: no copies — the bundle is exported once into shared
+        memory and every worker maps it.
+        """
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
-        sources = [bundle] + [copy.deepcopy(bundle) for _ in range(n_shards - 1)]
+        if kwargs.get("backend", "thread") == "process":
+            sources = [bundle] * n_shards
+        else:
+            sources = [bundle] + [
+                copy.deepcopy(bundle) for _ in range(n_shards - 1)
+            ]
         return cls(sources, **kwargs)
 
     @classmethod
     def from_directory(
         cls, directory: str | Path, n_shards: int, **kwargs
     ) -> "ShardedFrontend":
-        """Shard an on-disk bundle: one independent lazy
-        :class:`~repro.serving.registry.BundleHandle` per shard."""
+        """Shard an on-disk bundle.
+
+        Thread backend: one independent lazy
+        :class:`~repro.serving.registry.BundleHandle` per shard.  Process
+        backend: one handle, loaded once and exported into shared memory.
+        """
         from repro.serving.registry import BundleHandle
 
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
-        sources = [BundleHandle(directory) for _ in range(n_shards)]
+        if kwargs.get("backend", "thread") == "process":
+            sources = [BundleHandle(directory)] * n_shards
+        else:
+            sources = [BundleHandle(directory) for _ in range(n_shards)]
         return cls(sources, **kwargs)
 
     # -- properties -----------------------------------------------------------------
@@ -222,7 +294,7 @@ class ShardedFrontend:
         self.close()
 
     # -- request path ----------------------------------------------------------------
-    def _route(self, request: PlanRequest) -> EngineShard:
+    def _route(self, request: PlanRequest) -> ShardBase:
         return self.shards[
             shard_index(request.routine, request.dims_key, len(self.shards))
         ]
@@ -300,7 +372,7 @@ class ShardedFrontend:
             if assigned
         ]
 
-        def drain(item: Tuple[EngineShard, List[Tuple[int, PlanRequest]]]):
+        def drain(item: Tuple[ShardBase, List[Tuple[int, PlanRequest]]]):
             shard, assigned = item
             plans = shard.execute([request for _, request in assigned])
             return [(slot, plan) for (slot, _), plan in zip(assigned, plans)]
@@ -325,14 +397,14 @@ class ShardedFrontend:
         requested = plan.fallback_from or plan.routine
         dims_key = tuple(sorted(plan.dims.items()))
         shard = self.shards[shard_index(requested, dims_key, len(self.shards))]
-        shard.engine.record_observation(plan, observed_time)
+        shard.record_observation(plan, observed_time)
 
     # -- merged statistics ------------------------------------------------------------
     def reinstall_candidates(self) -> List[str]:
         """Union of every shard's drift flags (sorted)."""
         flagged = set()
         for shard in self.shards:
-            flagged.update(shard.engine.reinstall_candidates())
+            flagged.update(shard.reinstall_candidates())
         return sorted(flagged)
 
     @staticmethod
@@ -366,7 +438,7 @@ class ShardedFrontend:
     def cache_statistics(self) -> Dict[str, object]:
         """Shard cache counters merged into one single-engine-shaped snapshot."""
         return self._merge_cache(
-            [shard.engine.cache_statistics() for shard in self.shards]
+            [shard.cache_statistics() for shard in self.shards]
         )
 
     def stats(self) -> Dict[str, object]:
@@ -380,7 +452,7 @@ class ShardedFrontend:
         internally consistent (no second lock round-trip racing live
         traffic).
         """
-        shard_snapshots = [shard.engine.stats() for shard in self.shards]
+        shard_snapshots = [shard.stats() for shard in self.shards]
         requests = sum(snapshot["requests"] for snapshot in shard_snapshots)
         batches = sum(snapshot["batches"] for snapshot in shard_snapshots)
         routines: Dict[str, Dict[str, object]] = {}
@@ -436,11 +508,12 @@ class ShardedFrontend:
         for snapshot in shard_snapshots:
             flagged.update(snapshot["reinstall_candidates"])
         return {
+            "backend": self.backend,
             "shards": len(self.shards),
             "requests": requests,
             "batches": batches,
             "mean_batch_size": requests / batches if batches else 0.0,
-            "fallback_chain": self.shards[0].engine.fallback.describe(),
+            "fallback_chain": self.shards[0].fallback_describe(),
             "reinstall_candidates": sorted(flagged),
             "routines": routines,
             "admission": admission,

@@ -1,0 +1,724 @@
+"""Process-backed serving shard: a ServingEngine behind a pipe, GIL-free.
+
+The thread backend (:class:`~repro.serving.shard.EngineShard`) keeps every
+engine in one interpreter, so CPU-bound plan batches serialise on the GIL
+and N shards can run *slower* than one engine.  This backend moves each
+shard's engine into a worker **process**:
+
+* **Shared model state** — the compiled per-routine state
+  (:class:`~repro.ml.tree.StackedTrees` struct-of-arrays,
+  :class:`~repro.preprocessing.pipeline.FusedTransform` flat arrays,
+  AdaBoost weights, linear coefficients) is exported once into
+  ``multiprocessing.shared_memory`` segments by
+  :func:`export_source_spec` and mapped zero-copy in every worker — N
+  shards share one copy of the model pages instead of N pickled clones.
+  Segment lifetime is refcounted by the
+  :class:`~repro.shm.SharedSegmentRegistry`; the last shard's ``stop()``
+  unlinks everything.
+* **Pickle-free framing** — requests and plans cross the pipe as compact
+  little-endian array frames (request ids / routine indices / flat dims one
+  way; ids / threads / times / policy table the other), batched per
+  micro-batch.  No pickling on the hot path, and the parent rebuilds each
+  :class:`~repro.core.runtime.ExecutionPlan` against the dims dict it
+  already holds.
+* **Same semantics** — the worker runs a stock
+  :class:`~repro.serving.engine.ServingEngine` over the mapped state, so
+  plans are bit-identical (routine/dims/threads/times/policy) to the
+  thread backend and to a sequential single-engine replay; only
+  ``from_cache`` flags may differ because each worker warms its own LRU.
+
+Workers are started with the ``spawn`` method by default (see
+:func:`repro.parallel.worker_context`): the frontend launches them lazily
+from a process that already runs drain threads, where ``fork`` is unsafe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.blas.api import ROUTINE_KEYS, parse_routine
+from repro.core.compiled import (
+    CompiledPredictor,
+    evaluator_from_state,
+    export_model_evaluator,
+)
+from repro.core.features import feature_names
+from repro.core.predictor import ThreadPredictor
+from repro.core.runtime import ExecutionPlan
+from repro.machine.simulator import TimingSimulator
+from repro.parallel import worker_context
+from repro.preprocessing.pipeline import FusedTransform
+from repro.serving.engine import PlanRequest, ServingEngine
+from repro.serving.fallback import default_serving_chain
+from repro.serving.shard import ShardBase
+from repro.serving.telemetry import EngineTelemetry
+from repro.shm import SharedSegmentRegistry
+
+__all__ = ["ProcessShard", "SharedSourceExport", "export_source_spec"]
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol: 16-byte header (kind, count as little-endian i64) + payload.
+# ---------------------------------------------------------------------------
+KIND_REQUESTS = 1
+KIND_PLANS = 2
+KIND_ERROR = 3
+KIND_STATS = 4
+KIND_JSON = 5
+KIND_OBSERVE = 6
+KIND_STOP = 7
+
+#: Stats opcodes (payload of a KIND_STATS frame).
+STATS_SNAPSHOT = 0
+STATS_CACHE = 1
+STATS_REINSTALL = 2
+STATS_FALLBACK = 3
+
+#: Stable routine <-> wire-index mapping shared by both pipe ends.
+_CATALOG = tuple(ROUTINE_KEYS)
+_CATALOG_INDEX = {key: index for index, key in enumerate(_CATALOG)}
+
+_I8 = np.dtype("<i8")
+_F8 = np.dtype("<f8")
+
+_SPEC_CACHE: Dict[str, tuple] = {}
+
+
+def _dim_names(routine: str) -> tuple:
+    names = _SPEC_CACHE.get(routine)
+    if names is None:
+        _, _, spec = parse_routine(routine)
+        names = tuple(spec.dim_names)
+        _SPEC_CACHE[routine] = names
+    return names
+
+
+def _frame(kind: int, count: int, payload: bytes = b"") -> bytes:
+    return np.array([kind, count], dtype=_I8).tobytes() + payload
+
+
+def _parse_frame(data: bytes):
+    header = np.frombuffer(data, dtype=_I8, count=2)
+    return int(header[0]), int(header[1]), data[16:]
+
+
+def encode_requests(requests: Sequence[PlanRequest]) -> bytes:
+    """REQUESTS frame: ids · routine indices · flat dims (spec order)."""
+    n = len(requests)
+    ids = np.fromiter((r.request_id for r in requests), dtype=_I8, count=n)
+    routine_idx = np.fromiter(
+        (_CATALOG_INDEX[r.routine] for r in requests), dtype=_I8, count=n
+    )
+    dims_flat: List[int] = []
+    for request in requests:
+        dims = request.dims
+        dims_flat.extend(dims[name] for name in _dim_names(request.routine))
+    dims_arr = np.asarray(dims_flat, dtype=_I8)
+    return _frame(
+        KIND_REQUESTS, n, ids.tobytes() + routine_idx.tobytes() + dims_arr.tobytes()
+    )
+
+
+def decode_requests(count: int, payload: bytes) -> List[PlanRequest]:
+    ids = np.frombuffer(payload, dtype=_I8, count=count)
+    routine_idx = np.frombuffer(payload, dtype=_I8, count=count, offset=8 * count)
+    dims_flat = np.frombuffer(payload, dtype=_I8, offset=16 * count)
+    requests: List[PlanRequest] = []
+    position = 0
+    for i in range(count):
+        routine = _CATALOG[routine_idx[i]]
+        names = _dim_names(routine)
+        values = dims_flat[position : position + len(names)]
+        position += len(names)
+        dims = {name: int(value) for name, value in zip(names, values)}
+        requests.append(
+            PlanRequest(
+                request_id=int(ids[i]),
+                routine=routine,
+                dims=dims,
+                dims_key=tuple(sorted(dims.items())),
+            )
+        )
+    return requests
+
+
+def encode_plans(plans: Sequence[ExecutionPlan]) -> bytes:
+    """PLANS frame: per-plan arrays plus a deduplicated policy-name table.
+
+    Dims are *not* echoed — the parent rebuilds each plan against the
+    request dims it retained (the engine answers with ``plan.dims ==
+    request.dims`` always).
+    """
+    n = len(plans)
+    policies: List[str] = []
+    policy_index: Dict[str, int] = {}
+    policy_idx = np.empty(n, dtype=_I8)
+    for i, plan in enumerate(plans):
+        slot = policy_index.get(plan.policy)
+        if slot is None:
+            slot = len(policies)
+            policy_index[plan.policy] = slot
+            policies.append(plan.policy)
+        policy_idx[i] = slot
+    # ExecutionPlan carries no request id; plans ride in request order (the
+    # engine answers one plan per request in order; decode re-checks counts).
+    threads = np.fromiter((p.threads for p in plans), dtype=_I8, count=n)
+    routine_idx = np.fromiter(
+        (_CATALOG_INDEX[p.routine] for p in plans), dtype=_I8, count=n
+    )
+    fallback_idx = np.fromiter(
+        (
+            -1 if p.fallback_from is None else _CATALOG_INDEX[p.fallback_from]
+            for p in plans
+        ),
+        dtype=_I8,
+        count=n,
+    )
+    predicted = np.fromiter((p.predicted_time for p in plans), dtype=_F8, count=n)
+    baseline = np.fromiter((p.baseline_time for p in plans), dtype=_F8, count=n)
+    from_cache = np.fromiter((p.from_cache for p in plans), dtype=np.uint8, count=n)
+    table = "\n".join(policies).encode("utf-8")
+    payload = (
+        threads.tobytes()
+        + routine_idx.tobytes()
+        + fallback_idx.tobytes()
+        + policy_idx.tobytes()
+        + predicted.tobytes()
+        + baseline.tobytes()
+        + from_cache.tobytes()
+        + np.array([len(table)], dtype=_I8).tobytes()
+        + table
+    )
+    return _frame(KIND_PLANS, n, payload)
+
+
+def decode_plans(
+    count: int, payload: bytes, requests: Sequence[PlanRequest]
+) -> List[ExecutionPlan]:
+    if count != len(requests):
+        raise RuntimeError(
+            f"worker answered {count} plans for {len(requests)} requests"
+        )
+    threads = np.frombuffer(payload, dtype=_I8, count=count)
+    routine_idx = np.frombuffer(payload, dtype=_I8, count=count, offset=8 * count)
+    fallback_idx = np.frombuffer(payload, dtype=_I8, count=count, offset=16 * count)
+    policy_idx = np.frombuffer(payload, dtype=_I8, count=count, offset=24 * count)
+    predicted = np.frombuffer(payload, dtype=_F8, count=count, offset=32 * count)
+    baseline = np.frombuffer(payload, dtype=_F8, count=count, offset=40 * count)
+    from_cache = np.frombuffer(
+        payload, dtype=np.uint8, count=count, offset=48 * count
+    )
+    offset = 49 * count
+    (table_length,) = np.frombuffer(payload, dtype=_I8, count=1, offset=offset)
+    table = payload[offset + 8 : offset + 8 + int(table_length)]
+    policies = table.decode("utf-8").split("\n") if table else []
+    plans: List[ExecutionPlan] = []
+    for i, request in enumerate(requests):
+        fb = int(fallback_idx[i])
+        plans.append(
+            ExecutionPlan(
+                routine=_CATALOG[routine_idx[i]],
+                dims=request.dims,
+                threads=int(threads[i]),
+                predicted_time=float(predicted[i]),
+                baseline_time=float(baseline[i]),
+                from_cache=bool(from_cache[i]),
+                fallback_from=None if fb < 0 else _CATALOG[fb],
+                policy=policies[int(policy_idx[i])],
+            )
+        )
+    return plans
+
+
+def encode_observation(plan: ExecutionPlan, observed_time: float) -> bytes:
+    """OBSERVE frame (no reply): routine · threads · dims · predicted/observed."""
+    names = _dim_names(plan.routine)
+    head = np.array(
+        [_CATALOG_INDEX[plan.routine], plan.threads, len(names)], dtype=_I8
+    )
+    dims = np.asarray([plan.dims[name] for name in names], dtype=_I8)
+    tail = np.array([plan.predicted_time, observed_time], dtype=_F8)
+    return _frame(KIND_OBSERVE, 1, head.tobytes() + dims.tobytes() + tail.tobytes())
+
+
+def _apply_observation(engine: ServingEngine, payload: bytes) -> None:
+    head = np.frombuffer(payload, dtype=_I8, count=3)
+    routine = _CATALOG[head[0]]
+    n_dims = int(head[2])
+    values = np.frombuffer(payload, dtype=_I8, count=n_dims, offset=24)
+    tail = np.frombuffer(payload, dtype=_F8, count=2, offset=24 + 8 * n_dims)
+    dims = {
+        name: int(value) for name, value in zip(_dim_names(routine), values)
+    }
+    plan = ExecutionPlan(
+        routine=routine,
+        dims=dims,
+        threads=int(head[1]),
+        predicted_time=float(tail[0]),
+        baseline_time=float(tail[0]),
+        from_cache=False,
+    )
+    engine.record_observation(plan, float(tail[1]))
+
+
+# ---------------------------------------------------------------------------
+# Model-state export (parent side) and rebuild (worker side)
+# ---------------------------------------------------------------------------
+class SharedSourceExport:
+    """One source's flattened model state plus its segment registry.
+
+    Built once per frontend by :func:`export_source_spec` and shared by all
+    process shards: each shard ``acquire()``s the registry at construction
+    and ``release()``s it exactly once at stop, so the last shard's
+    teardown unlinks the segments.
+    """
+
+    def __init__(self, registry: SharedSegmentRegistry, spec: dict):
+        self.registry = registry
+        self.spec = spec
+
+    @property
+    def max_batch_size(self) -> int:
+        return int(self.spec["engine"]["max_batch_size"])
+
+    def acquire(self) -> "SharedSourceExport":
+        self.registry.acquire()
+        return self
+
+    def release(self) -> None:
+        self.registry.release()
+
+
+def export_source_spec(
+    source,
+    max_batch_size: int = 64,
+    use_cache: bool = True,
+    timing_cache_capacity: int = 4096,
+    drift_threshold: Optional[float] = None,
+) -> SharedSourceExport:
+    """Flatten a bundle/handle into a picklable worker spec + shared segments.
+
+    Every routine's compiled state (fused preprocessing, model evaluator
+    arrays) goes through the registry — large arrays become shared-memory
+    refs, so the spec the spawn pickles is tiny and workers map the same
+    model pages.  The platform and simulator parameters ride the pickle
+    (they are ~1 KB of topology metadata, not model state).
+    """
+    registry = SharedSegmentRegistry()
+    simulator = source.simulator
+    routines: Dict[str, dict] = {}
+    for key in sorted(source.routines):
+        predictor = source.predictor(key)
+        compiled = predictor.compile()
+        routines[key] = {
+            "candidate_threads": [int(t) for t in predictor.candidate_threads],
+            "model_name": predictor.model_name,
+            "cache_capacity": int(predictor.cache_capacity),
+            "fused": compiled._fused.to_shared(registry),
+            "evaluator": export_model_evaluator(predictor.model, registry),
+        }
+    spec = {
+        "platform": source.platform,
+        "simulator": {
+            "platform": simulator.platform,
+            "seed": simulator.seed,
+            "noise_level": simulator.noise_level,
+            "patch_probability": simulator.patch_probability,
+            "patch_strength": simulator.patch_strength,
+        },
+        "engine": {
+            "max_batch_size": int(max_batch_size),
+            "use_cache": bool(use_cache),
+            "timing_cache_capacity": int(timing_cache_capacity),
+            "drift_threshold": drift_threshold,
+        },
+        "routines": routines,
+    }
+    return SharedSourceExport(registry, spec)
+
+
+class _WorkerInstallation:
+    """Minimal ``RoutineInstallation`` stand-in (just the predictor slot)."""
+
+    __slots__ = ("predictor",)
+
+    def __init__(self, predictor: ThreadPredictor):
+        self.predictor = predictor
+
+
+class _WorkerSource:
+    """Bundle-protocol view over predictors rebuilt from a spawn spec."""
+
+    def __init__(self, platform, simulator, installations: Dict[str, _WorkerInstallation]):
+        self.platform = platform
+        self.simulator = simulator
+        self.routines = installations
+
+    def predictor(self, routine: str) -> ThreadPredictor:
+        key = routine.lower()
+        installation = self.routines.get(key)
+        if installation is None:
+            raise KeyError(
+                f"Routine {routine!r} was not installed; available: "
+                f"{sorted(self.routines)}"
+            )
+        return installation.predictor
+
+
+def _predictor_from_spec(key: str, rspec: dict, registry) -> ThreadPredictor:
+    """Rebuild one routine's predictor over mapped shared-memory state.
+
+    Bypasses ``ThreadPredictor.__init__`` — there is no pipeline or model
+    object on this side, only the compiled kernel, so the skeleton carries
+    the metadata the serving path reads (candidate threads, cache bounds,
+    counters) and a pre-built :class:`CompiledPredictor`.
+    """
+    fused = FusedTransform.from_shared(rspec["fused"], registry)
+    evaluate = evaluator_from_state(rspec["evaluator"], registry)
+    candidate_threads = [int(t) for t in rspec["candidate_threads"]]
+    compiled = CompiledPredictor.from_state(key, candidate_threads, fused, evaluate)
+    predictor = ThreadPredictor.__new__(ThreadPredictor)
+    predictor.routine = key
+    predictor.pipeline = None
+    predictor.model = None
+    predictor.candidate_threads = candidate_threads
+    predictor.model_name = rspec["model_name"]
+    predictor.cache_capacity = int(rspec["cache_capacity"])
+    predictor.feature_names = feature_names(key)
+    predictor._cache = OrderedDict()
+    predictor._compiled = compiled
+    predictor.n_model_evaluations = 0
+    predictor.n_cache_hits = 0
+    predictor.n_cache_misses = 0
+    return predictor
+
+
+def _engine_from_spec(spec: dict, registry) -> ServingEngine:
+    simulator_spec = spec["simulator"]
+    simulator = TimingSimulator(
+        simulator_spec["platform"],
+        seed=simulator_spec["seed"],
+        noise_level=simulator_spec["noise_level"],
+        patch_probability=simulator_spec["patch_probability"],
+        patch_strength=simulator_spec["patch_strength"],
+    )
+    installations = {
+        key: _WorkerInstallation(_predictor_from_spec(key, rspec, registry))
+        for key, rspec in spec["routines"].items()
+    }
+    source = _WorkerSource(spec["platform"], simulator, installations)
+    engine_spec = spec["engine"]
+    drift_threshold = engine_spec["drift_threshold"]
+    telemetry = (
+        EngineTelemetry(drift_threshold=drift_threshold)
+        if drift_threshold is not None
+        else EngineTelemetry()
+    )
+    return ServingEngine(
+        source,
+        max_batch_size=engine_spec["max_batch_size"],
+        use_cache=engine_spec["use_cache"],
+        timing_cache_capacity=engine_spec["timing_cache_capacity"],
+        telemetry=telemetry,
+    )
+
+
+def _worker_main(conn, spec: dict) -> None:
+    """Worker-process entry: map shared state, serve frames until STOP."""
+    registry = SharedSegmentRegistry()
+    engine: Optional[ServingEngine] = None
+    init_error: Optional[str] = None
+    try:
+        try:
+            engine = _engine_from_spec(spec, registry)
+        except BaseException as exc:
+            init_error = f"worker initialisation failed: {exc!r}"
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            kind, count, payload = _parse_frame(data)
+            if kind == KIND_STOP:
+                break
+            if kind == KIND_OBSERVE:
+                if engine is not None:
+                    try:
+                        _apply_observation(engine, payload)
+                    except BaseException:
+                        pass  # fire-and-forget; never desync the pipe
+                continue
+            try:
+                if init_error is not None:
+                    conn.send_bytes(_frame(KIND_ERROR, 0, init_error.encode("utf-8")))
+                    continue
+                if kind == KIND_REQUESTS:
+                    requests = decode_requests(count, payload)
+                    plans = engine.execute(requests)
+                    conn.send_bytes(encode_plans(plans))
+                elif kind == KIND_STATS:
+                    (opcode,) = np.frombuffer(payload, dtype=_I8, count=1)
+                    if opcode == STATS_SNAPSHOT:
+                        result = engine.stats()
+                    elif opcode == STATS_CACHE:
+                        result = engine.cache_statistics()
+                    elif opcode == STATS_REINSTALL:
+                        result = engine.reinstall_candidates()
+                    elif opcode == STATS_FALLBACK:
+                        result = engine.fallback.describe()
+                    else:
+                        raise ValueError(f"unknown stats opcode {int(opcode)}")
+                    conn.send_bytes(
+                        _frame(KIND_JSON, 0, json.dumps(result).encode("utf-8"))
+                    )
+                else:
+                    raise ValueError(f"unknown frame kind {kind}")
+            except BaseException as exc:
+                conn.send_bytes(_frame(KIND_ERROR, 0, repr(exc).encode("utf-8")))
+    finally:
+        registry.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent-side shard
+# ---------------------------------------------------------------------------
+class ProcessShard(ShardBase):
+    """One engine in a worker process, spoken to over framed pipe messages.
+
+    The worker is launched lazily on first use (spawn start method by
+    default).  ``stop()`` captures the worker's final statistics snapshots
+    *before* sending the STOP frame — so :meth:`stats` keeps answering
+    after close, matching the thread backend where engines outlive their
+    shards — then joins the worker and releases the shard's reference on
+    the shared model export.  A worker that dies mid-batch surfaces a
+    ``RuntimeError`` naming the pid and exit code on the affected futures;
+    it never hangs them, and ``stop()`` afterwards stays idempotent.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        index: int,
+        export: SharedSourceExport,
+        start_method: Optional[str] = None,
+    ):
+        super().__init__(index)
+        self._export = export.acquire()
+        self._ctx = worker_context(start_method)
+        self._proc = None
+        self._conn = None
+        # Serialises pipe round-trips: the drain worker, bulk execute()
+        # callers and stats readers share one duplex pipe.
+        self._pipe_lock = threading.Lock()
+        self._dead = False
+        self._released = False
+        self._final: Optional[dict] = None
+
+    # -- backend contract ----------------------------------------------------------
+    @property
+    def max_batch_size(self) -> int:
+        return self._export.max_batch_size
+
+    def _execute_batch(self, requests: Sequence[PlanRequest]) -> List[ExecutionPlan]:
+        with self._pipe_lock:
+            self._ensure_worker()
+            _, count, payload = self._roundtrip(encode_requests(requests), "mid-batch")
+        return decode_plans(count, payload, requests)
+
+    # -- worker lifecycle ----------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        """Launch the worker process if needed (caller holds the pipe lock)."""
+        if self._released:
+            raise RuntimeError(f"process shard {self.index} is closed")
+        if self._proc is None:
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._export.spec),
+                name=f"adsala-procshard-{self.index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._proc = process
+            self._conn = parent_conn
+
+    def _roundtrip(self, data: bytes, doing: str):
+        """One send/recv over the pipe (caller holds the pipe lock)."""
+        try:
+            self._conn.send_bytes(data)
+            reply = self._conn.recv_bytes()
+        except (BrokenPipeError, ConnectionResetError, EOFError, OSError) as exc:
+            self._raise_dead(doing, exc)
+        kind, count, payload = _parse_frame(reply)
+        if kind == KIND_ERROR:
+            raise RuntimeError(
+                f"process shard {self.index} worker error {doing}: "
+                + payload.decode("utf-8", "replace")
+            )
+        return kind, count, payload
+
+    def _raise_dead(self, doing: str, exc: BaseException) -> None:
+        process = self._proc
+        pid = process.pid if process is not None else None
+        exitcode = None
+        if process is not None:
+            process.join(timeout=1.0)
+            exitcode = process.exitcode
+        self._dead = True
+        raise RuntimeError(
+            f"process shard {self.index} worker (pid {pid}) died {doing} "
+            f"(exit code {exitcode})"
+        ) from exc
+
+    def _on_stop(self) -> None:
+        """Capture final stats, stop the worker, release the shared export.
+
+        Runs under the lifecycle lock; idempotent — repeated ``stop()``
+        calls (including after a dead worker) release the shared-memory
+        reference exactly once and never raise.
+        """
+        if self._released:
+            return
+        process = self._proc
+        if process is not None:
+            if not self._dead:
+                self._final = self._capture_final()
+                with self._pipe_lock:
+                    try:
+                        self._conn.send_bytes(_frame(KIND_STOP, 0))
+                    except OSError:
+                        pass
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - stuck-worker backstop
+                process.terminate()
+                process.join(timeout=5)
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._proc = None
+            self._conn = None
+        self._released = True
+        self._export.release()
+
+    def _capture_final(self) -> dict:
+        """Best-effort final statistics snapshot before the worker exits."""
+        final: dict = {}
+        queries = (
+            ("stats", STATS_SNAPSHOT),
+            ("cache", STATS_CACHE),
+            ("reinstall", STATS_REINSTALL),
+            ("fallback", STATS_FALLBACK),
+        )
+        try:
+            with self._pipe_lock:
+                for name, opcode in queries:
+                    _, _, payload = self._roundtrip(
+                        _frame(KIND_STATS, 1, np.array([opcode], dtype=_I8).tobytes()),
+                        "capturing final statistics",
+                    )
+                    final[name] = json.loads(payload.decode("utf-8"))
+        except RuntimeError:
+            return self._empty_final()
+        return final
+
+    # -- statistics interface ------------------------------------------------------
+    def _empty_engine_stats(self) -> dict:
+        return {
+            "requests": 0,
+            "batches": 0,
+            "mean_batch_size": 0.0,
+            "max_batch_size": 0.0,
+            "drift_threshold": self._export.spec["engine"]["drift_threshold"]
+            or EngineTelemetry().drift_threshold,
+            "reinstall_candidates": [],
+            "routines": {},
+            "pending": 0,
+            "batch_size_limit": self.max_batch_size,
+            "fallback_chain": default_serving_chain().describe(),
+            "cache": self._empty_cache_stats(),
+        }
+
+    def _empty_cache_stats(self) -> dict:
+        return {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "model_evaluations": 0,
+            "routines": {},
+            "timing": {
+                "hits": 0,
+                "misses": 0,
+                "size": 0,
+                "capacity": self._export.spec["engine"]["timing_cache_capacity"],
+            },
+        }
+
+    def _empty_final(self) -> dict:
+        return {
+            "stats": self._empty_engine_stats(),
+            "cache": self._empty_cache_stats(),
+            "reinstall": [],
+            "fallback": default_serving_chain().describe(),
+        }
+
+    def _query(self, name: str, opcode: int):
+        """Live stats query, or the cached/empty snapshot when no worker."""
+        if self._final is not None:
+            return self._final[name]
+        with self._pipe_lock:
+            if self._final is not None:  # stop() raced us
+                return self._final[name]
+            if self._proc is None or self._dead:
+                return self._empty_final()[name]
+            _, _, payload = self._roundtrip(
+                _frame(KIND_STATS, 1, np.array([opcode], dtype=_I8).tobytes()),
+                "answering a statistics query",
+            )
+            return json.loads(payload.decode("utf-8"))
+
+    def stats(self) -> Dict[str, object]:
+        return self._query("stats", STATS_SNAPSHOT)
+
+    def cache_statistics(self) -> Dict[str, object]:
+        return self._query("cache", STATS_CACHE)
+
+    def reinstall_candidates(self) -> List[str]:
+        return self._query("reinstall", STATS_REINSTALL)
+
+    def fallback_describe(self) -> str:
+        return self._query("fallback", STATS_FALLBACK)
+
+    def record_observation(self, plan: ExecutionPlan, observed_time: float) -> None:
+        with self._pipe_lock:
+            if self._released or self._dead:
+                return  # worker gone; nothing to feed
+            self._ensure_worker()
+            try:
+                self._conn.send_bytes(encode_observation(plan, observed_time))
+            except (BrokenPipeError, OSError) as exc:
+                self._raise_dead("recording an observation", exc)
+
+    @property
+    def n_pending(self) -> int:
+        return 0  # the worker executes synchronously; nothing queues in it
+
+    @property
+    def worker_pid(self) -> Optional[int]:
+        process = self._proc
+        return process.pid if process is not None else None
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["worker"] = f"adsala-procshard-{self.index}"
+        return info

@@ -1,46 +1,60 @@
-"""One serving shard: a thread-safe engine plus its drain worker.
+"""One serving shard: an inbox drain worker in front of an engine runtime.
 
-A shard owns one :class:`~repro.serving.engine.ServingEngine` and an inbox
-of ``(request, future)`` pairs.  Its worker thread blocks on the inbox,
-opportunistically coalesces whatever else is already queued into one
-micro-batch (up to the engine's ``max_batch_size``) and answers the batch
-through :meth:`ServingEngine.execute` — so a burst of concurrent
-submissions is amortised exactly like the single-engine queue drain, while
-a lone request is answered immediately instead of waiting for peers.
+A shard owns an inbox of ``(request, future)`` pairs and a worker thread
+that blocks on it, opportunistically coalesces whatever else is already
+queued into one micro-batch (up to the shard's ``max_batch_size``) and
+answers the batch through the shard's execution backend — so a burst of
+concurrent submissions is amortised exactly like the single-engine queue
+drain, while a lone request is answered immediately instead of waiting for
+peers.
 
-The :class:`~repro.serving.frontend.ShardedFrontend` routes each request to
-a fixed shard by a deterministic hash of ``(routine, dims_key)``, so a
-given problem shape always lands on the same engine and that engine's
-per-routine prediction LRU and timing memo stay hot for it.
+Two backends implement the interface:
+
+* :class:`EngineShard` (here) runs a
+  :class:`~repro.serving.engine.ServingEngine` in-process; batches execute
+  on the drain thread under the engine's own lock.
+* :class:`~repro.serving.procshard.ProcessShard` runs the engine in a
+  worker *process*; batches cross a pipe as compact framed arrays and the
+  compiled model state is mapped from shared memory.
+
+The :class:`~repro.serving.frontend.ShardedFrontend` talks only to the
+:class:`ShardBase` interface — routing, admission control and statistics
+merging are identical for both backends.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.runtime import ExecutionPlan
 from repro.serving.engine import PlanRequest, ServingEngine
 
-__all__ = ["EngineShard"]
+__all__ = ["EngineShard", "ShardBase"]
 
 #: Inbox sentinel that tells the worker to drain leftovers and exit.
 _STOP = object()
 
 
-class EngineShard:
-    """One engine plus the worker thread that drains its inbox.
+class ShardBase:
+    """Inbox, drain worker and lifecycle shared by every shard backend.
 
-    The worker is started lazily by :meth:`start` (the frontend does this
-    on first use) and stopped by :meth:`stop`, which processes every
-    request already enqueued before joining — no accepted request is ever
-    dropped by a shutdown.
+    Subclasses provide :meth:`_execute_batch` (answer a list of requests
+    with a list of plans), the :attr:`max_batch_size` coalescing bound, the
+    statistics accessors, and optionally :meth:`_on_start` /
+    :meth:`_on_stop` lifecycle hooks.  The worker is started lazily by
+    :meth:`start` (the frontend does this on first use) and stopped by
+    :meth:`stop`, which processes every request already enqueued before
+    joining — no accepted request is ever dropped by a shutdown.
     """
 
-    def __init__(self, index: int, engine: ServingEngine):
+    #: Short backend tag reported by describe()/stats().
+    backend = "abstract"
+
+    def __init__(self, index: int):
         self.index = int(index)
-        self.engine = engine
         self._inbox: "queue.SimpleQueue" = queue.SimpleQueue()
         self._worker: Optional[threading.Thread] = None
         # Serialises start/stop: two lazy starters racing would otherwise
@@ -51,6 +65,21 @@ class EngineShard:
         self.n_batches_drained = 0
         self.n_requests_drained = 0
 
+    # -- backend contract ----------------------------------------------------------
+    @property
+    def max_batch_size(self) -> int:
+        raise NotImplementedError
+
+    def _execute_batch(self, requests: Sequence[PlanRequest]) -> List[ExecutionPlan]:
+        """Answer one micro-batch (at most ``max_batch_size`` requests)."""
+        raise NotImplementedError
+
+    def _on_start(self) -> None:
+        """Hook run under the lifecycle lock before the drain worker spawns."""
+
+    def _on_stop(self) -> None:
+        """Hook run under the lifecycle lock after the drain worker joined."""
+
     # -- lifecycle -----------------------------------------------------------------
     @property
     def running(self) -> bool:
@@ -59,6 +88,7 @@ class EngineShard:
     def start(self) -> None:
         with self._lifecycle_lock:
             if self._worker is None:
+                self._on_start()
                 worker = threading.Thread(
                     target=self._drain_loop,
                     name=f"adsala-shard-{self.index}",
@@ -71,11 +101,11 @@ class EngineShard:
         """Answer everything already enqueued, then join the worker."""
         with self._lifecycle_lock:
             worker = self._worker
-            if worker is None:
-                return
-            self._inbox.put(_STOP)
-            worker.join()
-            self._worker = None
+            if worker is not None:
+                self._inbox.put(_STOP)
+                worker.join()
+                self._worker = None
+            self._on_stop()
 
     # -- intake --------------------------------------------------------------------
     def enqueue(self, request: PlanRequest, future) -> None:
@@ -86,9 +116,14 @@ class EngineShard:
         """Synchronous bulk path: answer ``requests`` on the caller's thread.
 
         Bypasses the inbox entirely; safe to run concurrently with the
-        worker because the engine serialises on its own lock.
+        worker because the backend serialises batches itself (the engine
+        lock in-process, the pipe lock for a worker process).
         """
-        return self.engine.execute(requests)
+        plans: List[ExecutionPlan] = []
+        limit = self.max_batch_size
+        for start in range(0, len(requests), limit):
+            plans.extend(self._execute_batch(requests[start : start + limit]))
+        return plans
 
     # -- worker --------------------------------------------------------------------
     def _drain_loop(self) -> None:
@@ -96,7 +131,7 @@ class EngineShard:
             item = self._inbox.get()
             stopping = item is _STOP
             batch: List[Tuple[PlanRequest, object]] = [] if stopping else [item]
-            while len(batch) < self.engine.max_batch_size:
+            while len(batch) < self.max_batch_size:
                 try:
                     extra = self._inbox.get_nowait()
                 except queue.Empty:
@@ -123,8 +158,8 @@ class EngineShard:
     def _answer(self, batch: List[Tuple[PlanRequest, object]]) -> None:
         requests = [request for request, _ in batch]
         try:
-            plans = self.engine.execute(requests)
-        except BaseException as exc:  # resolve futures even on engine bugs
+            plans = self._execute_batch(requests)
+        except BaseException as exc:  # resolve futures even on backend bugs
             for _, future in batch:
                 if not future.done():
                     future.set_exception(exc)
@@ -134,11 +169,87 @@ class EngineShard:
         self.n_batches_drained += 1
         self.n_requests_drained += len(batch)
 
+    # -- statistics interface ------------------------------------------------------
+    # The frontend merges these without ever touching a backend's engine
+    # object (a process shard has none in the parent).
+    def stats(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def cache_statistics(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def reinstall_candidates(self) -> List[str]:
+        raise NotImplementedError
+
+    def record_observation(self, plan: ExecutionPlan, observed_time: float) -> None:
+        raise NotImplementedError
+
+    def fallback_describe(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def n_pending(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def worker_pid(self) -> int:
+        """PID of the process executing this shard's batches."""
+        raise NotImplementedError
+
     def describe(self) -> dict:
         return {
             "index": self.index,
+            "backend": self.backend,
+            "worker": f"adsala-shard-{self.index}",
+            "pid": self.worker_pid,
             "running": self.running,
             "batches_drained": self.n_batches_drained,
             "requests_drained": self.n_requests_drained,
-            "pending": self.engine.n_pending,
+            "pending": self.n_pending,
         }
+
+
+class EngineShard(ShardBase):
+    """Thread-backed shard: the engine executes in the serving process.
+
+    Batches run on the drain thread (or the caller's thread for the bulk
+    path) under the engine's own lock; the ``engine`` attribute stays
+    public for in-process telemetry and cache inspection.
+    """
+
+    backend = "thread"
+
+    def __init__(self, index: int, engine: ServingEngine):
+        super().__init__(index)
+        self.engine = engine
+
+    @property
+    def max_batch_size(self) -> int:
+        return self.engine.max_batch_size
+
+    def _execute_batch(self, requests: Sequence[PlanRequest]) -> List[ExecutionPlan]:
+        return self.engine.execute(requests)
+
+    # -- statistics interface ------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return self.engine.stats()
+
+    def cache_statistics(self) -> Dict[str, object]:
+        return self.engine.cache_statistics()
+
+    def reinstall_candidates(self) -> List[str]:
+        return self.engine.reinstall_candidates()
+
+    def record_observation(self, plan: ExecutionPlan, observed_time: float) -> None:
+        self.engine.record_observation(plan, observed_time)
+
+    def fallback_describe(self) -> str:
+        return self.engine.fallback.describe()
+
+    @property
+    def n_pending(self) -> int:
+        return self.engine.n_pending
+
+    @property
+    def worker_pid(self) -> int:
+        return os.getpid()

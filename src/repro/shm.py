@@ -1,0 +1,259 @@
+"""Shared-memory segment registry for cross-process model state.
+
+The process shard backend (:mod:`repro.serving.procshard`) runs one
+:class:`~repro.serving.engine.ServingEngine` per worker process.  Pickling
+every shard's compiled model state into every worker would copy the arrays
+N times; instead the parent exports each array **once** into a
+:mod:`multiprocessing.shared_memory` segment and every worker maps the same
+pages zero-copy.  This module is the bookkeeping around that:
+
+* :meth:`SharedSegmentRegistry.export_array` copies one ndarray into a
+  fresh segment and returns a tiny picklable :class:`SharedArrayRef`
+  (segment name + dtype descr + shape) that rides the worker spawn args;
+* :meth:`SharedSegmentRegistry.map_array` resolves a ref back into an
+  ndarray view over the mapped segment — in the creating process it reuses
+  the original mapping, in a worker it attaches by name;
+* segment names are deterministic (``adsala-<pid>-<registry>-<seq>``), so
+  operators can attribute ``/dev/shm`` entries to a serving process and
+  tests can probe for leaks by name;
+* cleanup is refcounted and idempotent: every consumer ``acquire()``s the
+  registry and the last ``release()`` closes it; the creating registry
+  unlinks its segments exactly once, attach-side registries only unmap.
+  An :func:`atexit` hook closes anything still open so no segment outlives
+  the process even on an unclean shutdown.
+
+Python 3.11 registers **every** ``SharedMemory`` open — attaches included —
+with the ``resource_tracker``.  Our workers are *spawned children* and
+share the parent's tracker process, so the attach-side registration is a
+set no-op (the creator already registered the name) and cleanup stays
+where it belongs: the creator's ``unlink()`` unregisters exactly once, and
+the shared tracker doubles as a crash-safety net that unlinks anything a
+dying serving process leaves behind.  Do **not** unregister on attach —
+with a shared tracker that would strip the creator's registration and
+forfeit the leak protection (3.13's ``track=False`` is the clean fix).
+
+Graceful degradation: when shared memory is unavailable (no ``/dev/shm``,
+``PermissionError`` inside a restricted container), ``export_array`` falls
+back to an *inline* ref that carries the array itself — workers then get a
+private per-process copy through the ordinary spawn pickle.  One
+``RuntimeWarning`` is emitted per registry; construction never fails.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import warnings
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing.shared_memory import SharedMemory
+from typing import Dict, List, Optional
+
+import numpy as np
+from numpy.lib.format import descr_to_dtype, dtype_to_descr
+
+__all__ = ["SharedArrayRef", "SharedSegmentRegistry"]
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Picklable pointer to one exported array.
+
+    ``segment`` names the shared-memory block holding the data; ``dtype``
+    is the ``numpy.lib.format`` descr (round-trips structured dtypes like
+    the packed node layout) and ``shape`` the array geometry.  When shared
+    memory was unavailable at export time ``segment`` is ``None`` and
+    ``array`` carries the data inline — consumers then hold a private copy.
+    """
+
+    segment: Optional[str]
+    dtype: object
+    shape: tuple
+    array: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def inline(self) -> bool:
+        return self.segment is None
+
+
+#: Registries not yet closed, for the atexit safety net.
+_LIVE_REGISTRIES: "weakref.WeakSet[SharedSegmentRegistry]" = weakref.WeakSet()
+
+#: Per-process counter giving each registry a deterministic namespace.
+_REGISTRY_IDS = iter(range(1, 1 << 30))
+
+
+def _close_live_registries() -> None:
+    for registry in list(_LIVE_REGISTRIES):
+        registry.close()
+
+
+atexit.register(_close_live_registries)
+
+
+class SharedSegmentRegistry:
+    """Owns a family of shared-memory segments with refcounted teardown.
+
+    One registry backs one model export (all routines of one frontend).
+    The process that calls :meth:`export_array` is the *creator* and
+    unlinks the segments at close; processes that only :meth:`map_array`
+    merely detach.  ``close()`` is idempotent — ``n_closes`` counts how
+    many calls actually released anything, so tests can assert
+    exactly-once semantics.
+    """
+
+    def __init__(self) -> None:
+        self._id = next(_REGISTRY_IDS)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._owned: "Dict[str, SharedMemory]" = {}
+        self._attached: "Dict[str, SharedMemory]" = {}
+        self._exported: "Dict[int, SharedArrayRef]" = {}
+        # The exported arrays themselves: dedup keys are id()s, which are
+        # only stable while the object is alive.
+        self._keepalive: list = []
+        self._refcount = 0
+        self._closed = False
+        self.n_closes = 0
+        self.shared_available = True
+        _LIVE_REGISTRIES.add(self)
+
+    # -- naming --------------------------------------------------------------------
+    def _next_name(self) -> str:
+        self._seq += 1
+        return f"adsala-{os.getpid()}-{self._id}-{self._seq}"
+
+    def segment_names(self) -> List[str]:
+        """Names of every segment this registry created (creator side)."""
+        with self._lock:
+            return sorted(self._owned)
+
+    # -- refcounting ---------------------------------------------------------------
+    def acquire(self) -> "SharedSegmentRegistry":
+        with self._lock:
+            self._refcount += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one consumer; the last release closes the registry."""
+        with self._lock:
+            self._refcount = max(0, self._refcount - 1)
+            last = self._refcount == 0
+        if last:
+            self.close()
+
+    # -- export (creator side) -------------------------------------------------------
+    def export_array(self, array: np.ndarray) -> SharedArrayRef:
+        """Copy ``array`` into a fresh segment and return its ref.
+
+        Exporting the same array object twice returns the same ref (the
+        dedup is what lets N shards share one model export).  Falls back to
+        an inline per-process-copy ref — with a :class:`RuntimeWarning`,
+        once per registry — when shared memory cannot be created.
+        """
+        array = np.ascontiguousarray(array)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedSegmentRegistry is closed")
+            cached = self._exported.get(id(array))
+            if cached is not None:
+                return cached
+            ref = self._export_locked(array)
+            self._exported[id(array)] = ref
+            self._keepalive.append(array)
+            return ref
+
+    def _export_locked(self, array: np.ndarray) -> SharedArrayRef:
+        descr = dtype_to_descr(array.dtype)
+        if self.shared_available:
+            for _ in range(8):  # skip names leaked by a crashed predecessor
+                name = self._next_name()
+                try:
+                    segment = SharedMemory(
+                        name=name, create=True, size=max(1, array.nbytes)
+                    )
+                except FileExistsError:
+                    continue
+                except OSError as exc:  # PermissionError, ENOSPC, no /dev/shm
+                    self.shared_available = False
+                    warnings.warn(
+                        "shared memory is unavailable "
+                        f"({exc!r}); falling back to per-process model "
+                        "copies — workers will not share pages",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    break
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf
+                )
+                view[...] = array
+                self._owned[segment.name.lstrip("/")] = segment
+                return SharedArrayRef(
+                    segment=segment.name.lstrip("/"),
+                    dtype=descr,
+                    shape=tuple(array.shape),
+                )
+        return SharedArrayRef(
+            segment=None, dtype=descr, shape=tuple(array.shape), array=array
+        )
+
+    # -- mapping (any side) -----------------------------------------------------------
+    def map_array(self, ref: SharedArrayRef) -> np.ndarray:
+        """Resolve a ref into an ndarray over the shared pages.
+
+        Inline refs return their per-process copy directly.  Mapped views
+        stay valid until this registry closes (it keeps the ``SharedMemory``
+        objects alive); callers must not outlive it.
+        """
+        if ref.inline:
+            return ref.array
+        dtype = descr_to_dtype(ref.dtype)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedSegmentRegistry is closed")
+            segment = self._owned.get(ref.segment) or self._attached.get(ref.segment)
+            if segment is None:
+                segment = SharedMemory(name=ref.segment)
+                self._attached[ref.segment] = segment
+            return np.ndarray(ref.shape, dtype=dtype, buffer=segment.buf)
+
+    # -- teardown ----------------------------------------------------------------------
+    def close(self) -> bool:
+        """Unmap everything; the creator also unlinks.  Idempotent.
+
+        Returns whether this call actually released anything (the first
+        call does; later calls are no-ops).
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            self._closed = True
+            owned = list(self._owned.values())
+            attached = list(self._attached.values())
+            self._owned.clear()
+            self._attached.clear()
+            self._exported.clear()
+            self._keepalive.clear()
+            self.n_closes += 1
+        for segment in attached:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        for segment in owned:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover
+                pass
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        _LIVE_REGISTRIES.discard(self)
+        return True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

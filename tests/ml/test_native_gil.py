@@ -1,0 +1,134 @@
+"""The native descent kernel must run without the GIL (satellite check).
+
+The process shard backend is the headline GIL escape, but the in-process
+thread backend also leans on the native kernel dropping the GIL during
+descent: ``ctypes.CDLL`` foreign calls release it, ``PyDLL`` calls do not.
+These tests pin the load path (CDLL with a full explicit signature) and
+prove the release dynamically — on any core count, including one — by
+showing Python threads make progress *while* a long kernel call is in
+flight.  With the GIL held for the call's duration neither test can pass:
+the counter thread would be frozen and the second caller could not even
+record its start timestamp until the first call returned.
+"""
+
+import ctypes
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ml import _native
+
+kernel = _native.load_kernel()
+
+pytestmark = pytest.mark.skipif(
+    kernel is None, reason="native descent kernel unavailable (no C compiler?)"
+)
+
+
+def _long_call_args(depth: int, n_samples: int = 1024):
+    """A synthetic self-looping one-node tree: ``depth`` iterations/row.
+
+    Node 0 is a leaf by the FlatTree convention (feature 0 against +inf,
+    children self-referential), so the kernel spins ``depth * n_samples``
+    branch-free visits — a tunable-duration call with trivially correct
+    output (every row lands on the leaf value).
+    """
+    nodes = np.zeros(1, dtype=_native.NODE_DTYPE)
+    nodes["thr"] = np.inf
+    nodes["value"] = 7.25
+    x = np.zeros((n_samples, 1), dtype=np.float64)
+    roots = np.zeros(1, dtype=np.int64)
+    depths = np.full(1, depth, dtype=np.int64)
+    out = np.empty((1, n_samples), dtype=np.float64)
+    return x, roots, depths, nodes, out
+
+
+def _calibrated_depth(target_seconds: float = 0.25) -> int:
+    """A depth that makes one kernel call take roughly ``target_seconds``."""
+    probe = 200_000
+    x, roots, depths, nodes, out = _long_call_args(probe)
+    start = time.perf_counter()
+    kernel(x, roots, depths, nodes, 0, 0.0, out)
+    elapsed = max(time.perf_counter() - start, 1e-4)
+    return max(probe, int(probe * target_seconds / elapsed))
+
+
+class TestLoadPath:
+    def test_loaded_via_cdll_not_pydll(self):
+        """PyDLL calls hold the GIL; the kernel must not be loaded that way."""
+        fn = kernel.ctypes_fn
+        assert isinstance(fn, ctypes._CFuncPtr)
+        assert not (type(fn)._flags_ & ctypes._FUNCFLAG_PYTHONAPI)
+
+    def test_explicit_signature_on_every_export(self):
+        """The sole exported symbol declares every argtype and its restype."""
+        fn = kernel.ctypes_fn
+        assert fn.restype is None
+        assert fn.argtypes is not None and len(fn.argtypes) == 10
+        assert all(argtype is not None for argtype in fn.argtypes)
+
+    def test_kernel_still_correct_on_synthetic_tree(self):
+        x, roots, depths, nodes, out = _long_call_args(depth=64, n_samples=13)
+        kernel(x, roots, depths, nodes, 0, 0.0, out)
+        np.testing.assert_array_equal(out, np.full((1, 13), 7.25))
+
+
+class TestGilRelease:
+    def test_counter_thread_progresses_during_native_call(self):
+        """A Python counter keeps running while the kernel call is in flight."""
+        depth = _calibrated_depth()
+        x, roots, depths, nodes, out = _long_call_args(depth)
+        progress = {"count": 0}
+        stop = threading.Event()
+
+        def counter():
+            while not stop.is_set():
+                progress["count"] += 1
+
+        thread = threading.Thread(target=counter, daemon=True)
+        thread.start()
+        try:
+            time.sleep(0.05)  # let the counter reach steady state
+            before = progress["count"]
+            kernel(x, roots, depths, nodes, 0, 0.0, out)
+            after = progress["count"]
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        # Held-GIL ctypes would freeze the counter for the whole call;
+        # a released GIL timeshares it through thousands of iterations.
+        assert after - before > 1000
+
+    def test_two_native_calls_overlap_in_wall_clock(self):
+        """Two threads' kernel-call intervals overlap (impossible GIL-held).
+
+        Each thread records its own (start, end) around one long call.  If
+        the foreign call held the GIL, the second thread could not execute
+        the bytecode that records its start until the first call returned,
+        so the intervals would be disjoint — on any number of cores.
+        """
+        depth = _calibrated_depth()
+        barrier = threading.Barrier(2, timeout=30)
+        intervals = [None, None]
+
+        def caller(slot: int):
+            x, roots, depths, nodes, out = _long_call_args(depth)
+            barrier.wait()
+            start = time.perf_counter()
+            kernel(x, roots, depths, nodes, 0, 0.0, out)
+            intervals[slot] = (start, time.perf_counter())
+
+        threads = [
+            threading.Thread(target=caller, args=(slot,)) for slot in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert all(interval is not None for interval in intervals)
+        (a_start, a_end), (b_start, b_end) = intervals
+        overlap = min(a_end, b_end) - max(a_start, b_start)
+        shortest = min(a_end - a_start, b_end - b_start)
+        assert overlap > 0.25 * shortest

@@ -347,6 +347,24 @@ class TestMergedStatistics:
             planning_shard.engine.telemetry.routines["dgemm"].n_observations == 1
         )
 
+    def test_stats_report_backend_and_worker_identity(self, clear_caches):
+        """Thread-backend stats name the backend, worker thread and pid."""
+        import os
+
+        frontend = ShardedFrontend.from_bundle(clear_caches, n_shards=2)
+        with frontend:
+            frontend.plan("dgemm", m=128, k=64, n=32)
+            stats = frontend.stats()
+        assert stats["backend"] == "thread"
+        per_shard = stats["per_shard"]
+        assert [entry["backend"] for entry in per_shard] == ["thread", "thread"]
+        assert [entry["worker"] for entry in per_shard] == [
+            "adsala-shard-0",
+            "adsala-shard-1",
+        ]
+        # Thread shards execute in this very process.
+        assert [entry["pid"] for entry in per_shard] == [os.getpid()] * 2
+
     def test_reinstall_candidates_union(self, clear_caches):
         bundle = clear_caches
         frontend = ShardedFrontend.from_bundle(bundle, n_shards=2)

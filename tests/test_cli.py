@@ -187,7 +187,27 @@ class TestServeCommand:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "Served 64 plans" in out  # nothing lost across clients
-        assert "2 shards x 4 clients" in out
+        assert "2 thread shards x 4 clients" in out
+        assert "0 shed (block mode" in out
+
+    def test_serve_process_backend(self, installed_dir, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--bundle", str(installed_dir),
+                "--requests", "48",
+                "--mix", "cycling",
+                "--shards", "2",
+                "--backend", "process",
+                "--clients", "2",
+                "--seed", "11",
+                "--observe",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Served 48 plans" in out  # zero lost, zero shed
+        assert "2 process shards x 2 clients" in out
         assert "0 shed (block mode" in out
 
     def test_serve_invalid_shard_count_fails(self, installed_dir, capsys):

@@ -1,0 +1,178 @@
+"""Tests for the shared-memory segment registry (:mod:`repro.shm`).
+
+Covers the tentpole's shared-state guarantees directly, without any worker
+processes: write-through visibility across independent mappings of one
+segment, deterministic /dev/shm-probeable names, refcounted exactly-once
+teardown, and the graceful inline fallback when shared memory is
+unavailable.
+"""
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.shm as shm_mod
+from repro.ml._native import NODE_DTYPE
+from repro.shm import SharedArrayRef, SharedSegmentRegistry
+
+
+def _shm_path(name: str) -> Path:
+    return Path("/dev/shm") / name
+
+
+def _probe_dev_shm() -> bool:
+    return Path("/dev/shm").is_dir()
+
+
+class TestExportAndMap:
+    def test_roundtrip_values_and_geometry(self):
+        registry = SharedSegmentRegistry()
+        try:
+            array = np.arange(24, dtype=np.float64).reshape(4, 6) * 1.5
+            ref = registry.export_array(array)
+            assert not ref.inline
+            mapped = registry.map_array(ref)
+            assert mapped.shape == array.shape
+            assert mapped.dtype == array.dtype
+            np.testing.assert_array_equal(mapped, array)
+        finally:
+            registry.close()
+
+    def test_write_through_across_independent_mappings(self):
+        """Two registries mapping one segment see each other's writes."""
+        creator = SharedSegmentRegistry()
+        consumer = SharedSegmentRegistry()
+        try:
+            ref = creator.export_array(np.zeros(16, dtype=np.float64))
+            if ref.inline:
+                pytest.skip("shared memory unavailable in this environment")
+            theirs = consumer.map_array(ref)
+            mine = creator.map_array(ref)
+            theirs[3] = 42.5
+            assert mine[3] == 42.5  # same pages, not a copy
+            mine[7] = -1.0
+            assert theirs[7] == -1.0
+        finally:
+            consumer.close()
+            creator.close()
+
+    def test_structured_dtype_roundtrips(self):
+        """The packed node layout survives the descr round-trip."""
+        registry = SharedSegmentRegistry()
+        try:
+            nodes = np.zeros(5, dtype=NODE_DTYPE)
+            nodes["thr"] = np.inf
+            nodes["value"] = np.arange(5, dtype=np.float64)
+            ref = registry.export_array(nodes)
+            mapped = registry.map_array(ref)
+            assert mapped.dtype == NODE_DTYPE
+            np.testing.assert_array_equal(mapped["value"], nodes["value"])
+        finally:
+            registry.close()
+
+    def test_same_array_object_exports_once(self):
+        registry = SharedSegmentRegistry()
+        try:
+            array = np.ones(8)
+            first = registry.export_array(array)
+            second = registry.export_array(array)
+            assert first is second
+            assert len(registry.segment_names()) == 1
+        finally:
+            registry.close()
+
+    def test_closed_registry_rejects_export_and_map(self):
+        registry = SharedSegmentRegistry()
+        ref = registry.export_array(np.ones(4))
+        registry.close()
+        with pytest.raises(RuntimeError):
+            registry.export_array(np.ones(4))
+        if not ref.inline:
+            with pytest.raises(RuntimeError):
+                registry.map_array(ref)
+
+
+@pytest.mark.skipif(not _probe_dev_shm(), reason="no /dev/shm to probe")
+class TestSegmentLifecycle:
+    def test_deterministic_names_visible_in_dev_shm(self):
+        registry = SharedSegmentRegistry()
+        try:
+            ref = registry.export_array(np.ones(32))
+            if ref.inline:
+                pytest.skip("shared memory unavailable in this environment")
+            assert ref.segment.startswith("adsala-")
+            assert ref.segment in registry.segment_names()
+            assert _shm_path(ref.segment).exists()
+        finally:
+            registry.close()
+        assert not _shm_path(ref.segment).exists()
+
+    def test_refcounted_close_releases_exactly_once(self):
+        registry = SharedSegmentRegistry()
+        ref = registry.export_array(np.ones(8))
+        if ref.inline:
+            registry.close()
+            pytest.skip("shared memory unavailable in this environment")
+        registry.acquire()
+        registry.acquire()
+        registry.release()
+        assert not registry.closed
+        assert _shm_path(ref.segment).exists()
+        registry.release()  # last consumer
+        assert registry.closed
+        assert registry.n_closes == 1
+        assert not _shm_path(ref.segment).exists()
+        # Further closes are no-ops, not double-unlinks.
+        assert registry.close() is False
+        assert registry.n_closes == 1
+
+
+class TestGracefulDegradation:
+    def test_inline_fallback_when_shared_memory_unavailable(self, monkeypatch):
+        """No /dev/shm → per-process copies and one RuntimeWarning, no crash."""
+
+        def denied(*args, **kwargs):
+            raise PermissionError("shared memory denied by test")
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", denied)
+        registry = SharedSegmentRegistry()
+        try:
+            first = np.arange(6, dtype=np.float64)
+            second = np.arange(4, dtype=np.float64)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                ref_a = registry.export_array(first)
+                ref_b = registry.export_array(second)
+            runtime_warnings = [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+            ]
+            assert len(runtime_warnings) == 1  # warned once, not per array
+            assert "per-process" in str(runtime_warnings[0].message)
+            assert ref_a.inline and ref_b.inline
+            assert not registry.shared_available
+            np.testing.assert_array_equal(registry.map_array(ref_a), first)
+            np.testing.assert_array_equal(registry.map_array(ref_b), second)
+            assert registry.segment_names() == []
+        finally:
+            registry.close()
+
+    def test_inline_refs_pickle_with_their_data(self, monkeypatch):
+        import pickle
+
+        monkeypatch.setattr(
+            shm_mod,
+            "SharedMemory",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("nope")),
+        )
+        registry = SharedSegmentRegistry()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                ref = registry.export_array(np.arange(5, dtype=np.int64))
+            clone: SharedArrayRef = pickle.loads(pickle.dumps(ref))
+            assert clone.inline
+            np.testing.assert_array_equal(clone.array, np.arange(5))
+        finally:
+            registry.close()
