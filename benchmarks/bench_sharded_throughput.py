@@ -9,8 +9,10 @@ request id, along with zero shed and zero lost requests).
 Two shard backends are swept:
 
 * ``thread`` — N engines in this process.  Scaling rides on the fraction
-  of per-plan work that releases the GIL (the native descent kernel and
-  NumPy inside the fused transform); Python-side bookkeeping serialises.
+  of per-plan work that releases the GIL — with the full evaluate span
+  (feature fill → Yeo-Johnson + affine → stacked descent) fused into one
+  native call this is nearly the whole prediction; only the per-batch
+  Python bookkeeping still serialises.
 * ``process`` — one worker process per shard, compiled model state mapped
   from shared memory, pickle-free framed batches over a pipe.  Each shard
   plans on its own GIL, so the Python bookkeeping parallelises too — at
@@ -21,9 +23,12 @@ clock starts, so the rates compare steady-state serving, not process
 boot.  Scaling still needs real cores: on one CPU both backends mostly
 measure their coordination overhead.  The committed results record
 ``cpu_count`` alongside the rates; set ``ADSALA_SHARDED_SPEEDUP_MIN``
-(e.g. 1.5) to turn the best-backend speedup into a hard assertion — the
-gate is armed only when ``os.cpu_count() >= 2``.  Correctness assertions
-(plan equivalence, no losses, no sheds) always run, on every backend.
+(e.g. 1.5) to turn each backend's best speedup into a hard assertion —
+**both** backends must clear the floor (per-backend overrides:
+``ADSALA_SHARDED_SPEEDUP_MIN_THREAD`` / ``_PROCESS``; "0" disarms one
+side).  Gates arm only when ``os.cpu_count() >= 2``.  Correctness
+assertions (plan equivalence, no losses, no sheds) always run, on every
+backend.
 
 Results land in ``benchmarks/results/sharded_throughput.{txt,json}``.
 """
@@ -262,16 +267,39 @@ def test_sharded_throughput(benchmark, record, record_json):
             for row in rows
         ],
     )
-    minimum = float(os.environ.get("ADSALA_SHARDED_SPEEDUP_MIN", "0"))
-    if minimum > 0 and cpu_count >= 2:
-        best = max(speedups.values())
-        assert best >= minimum, (
-            f"best sharded speedup {best:.2f}x is below the {minimum}x "
-            f"target (cpu_count={cpu_count}; per config: "
-            f"{ {'/'.join(key): round(value, 2) for key, value in speedups.items()} })"
+    # Per-backend speedup gates.  With the whole evaluate span running as
+    # one GIL-free native call, the thread backend is expected to scale
+    # too, so each backend must clear its own floor —
+    # ``ADSALA_SHARDED_SPEEDUP_MIN_THREAD`` / ``_PROCESS`` override the
+    # shared ``ADSALA_SHARDED_SPEEDUP_MIN`` default per backend ("0"
+    # disarms one backend's gate without touching the other's).
+    default_minimum = os.environ.get("ADSALA_SHARDED_SPEEDUP_MIN", "0")
+    minimums = {
+        backend: float(
+            os.environ.get(
+                f"ADSALA_SHARDED_SPEEDUP_MIN_{backend.upper()}",
+                default_minimum,
+            )
         )
-    elif minimum > 0:
+        for backend in BACKENDS
+    }
+    if cpu_count >= 2:
+        for backend, minimum in minimums.items():
+            if minimum <= 0:
+                continue
+            best = max(
+                value
+                for key, value in speedups.items()
+                if key[1] == backend
+            )
+            assert best >= minimum, (
+                f"best {backend}-backend sharded speedup {best:.2f}x is "
+                f"below the {minimum}x target (cpu_count={cpu_count}; "
+                f"per config: "
+                f"{ {'/'.join(key): round(value, 2) for key, value in speedups.items()} })"
+            )
+    elif any(minimum > 0 for minimum in minimums.values()):
         print(
-            f"note: {minimum}x speedup gate skipped — "
+            f"note: speedup gates skipped — "
             f"cpu_count={cpu_count} < 2 (coordination overhead only)"
         )

@@ -36,12 +36,16 @@ the equivalence tests and ``benchmarks/bench_plan_latency.py``.
 
 from __future__ import annotations
 
+import os
+import warnings
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Dict, Sequence
 
 import numpy as np
 
 from repro.core.features import FeatureGridWriter
+from repro.ml import _native
 from repro.ml.base import BaseRegressor
 from repro.ml.boosting import (
     AdaBoostRegressor,
@@ -56,8 +60,11 @@ from repro.preprocessing.pipeline import FusedTransform, PreprocessingPipeline
 
 __all__ = [
     "CompiledPredictor",
+    "ModelKernel",
+    "compile_model_kernel",
     "compile_model_evaluator",
     "export_model_evaluator",
+    "model_kernel_from_state",
     "evaluator_from_state",
     "reference_mode",
     "active_impl",
@@ -107,7 +114,34 @@ _STACKED_ENSEMBLES = (
 )
 
 
-def compile_model_evaluator(model: BaseRegressor) -> Callable[[np.ndarray], np.ndarray]:
+@dataclass
+class ModelKernel:
+    """A compiled model evaluator plus the flat state the native path needs.
+
+    ``evaluate`` is the bit-identical Python-side kernel (what
+    :func:`compile_model_evaluator` used to return).  The extra fields let
+    the native ``fused_evaluate`` call run the same model without any
+    Python in the loop:
+
+    * ``kind`` selects the descent mode and aggregation — ``"tree"`` /
+      ``"forest-mean"`` / ``"weighted-median"`` run the per-tree descent
+      (mode 0) and aggregate the leaf matrix, ``"fold"`` runs the boosted
+      fold (mode 1) with ``base``/``scale``, and ``"linear"`` /
+      ``"opaque"`` stop the native call after the transform (mode 2) and
+      finish in Python on the natively transformed grid;
+    * ``stack`` / ``weights`` carry the stacked trees and the AdaBoost
+      estimator weights for the mode-0 aggregations.
+    """
+
+    kind: str
+    evaluate: Callable[[np.ndarray], np.ndarray]
+    stack: StackedTrees | None = None
+    weights: np.ndarray | None = None
+    base: float = 0.0
+    scale: float = 0.0
+
+
+def compile_model_kernel(model: BaseRegressor) -> ModelKernel:
     """Bind a fitted model to its fastest bit-identical evaluation kernel.
 
     * tree ensembles → the whole-ensemble stacked descent (built eagerly
@@ -116,9 +150,9 @@ def compile_model_evaluator(model: BaseRegressor) -> Callable[[np.ndarray], np.n
     * linear-family models (``coef_`` + ``intercept_``) → one mat-vec;
     * anything else (SVR, KNN, ...) → the model's own ``predict``.
 
-    The returned callable takes the *preprocessed* feature matrix and skips
-    input re-validation — the compiled predictor constructs that matrix
-    itself, so it is correct by construction.
+    ``evaluate`` takes the *preprocessed* feature matrix and skips input
+    re-validation — the compiled predictor constructs that matrix itself,
+    so it is correct by construction.
     """
     if isinstance(model, DecisionTreeRegressor):
         # A one-tree "stack" still wins: it rides the packed-node native
@@ -128,10 +162,29 @@ def compile_model_evaluator(model: BaseRegressor) -> Callable[[np.ndarray], np.n
         def tree_evaluate(X: np.ndarray) -> np.ndarray:
             return stack._descend(X)[0].copy()
 
-        return tree_evaluate
+        return ModelKernel(kind="tree", evaluate=tree_evaluate, stack=stack)
     if isinstance(model, _STACKED_ENSEMBLES):
-        model.stacked()  # build and cache the stack at compile time
-        return model._predict_stacked
+        stack = model.stacked()  # build and cache the stack at compile time
+        if isinstance(model, RandomForestRegressor):
+            return ModelKernel(
+                kind="forest-mean",
+                evaluate=model._predict_stacked,
+                stack=stack,
+            )
+        if isinstance(model, AdaBoostRegressor):
+            return ModelKernel(
+                kind="weighted-median",
+                evaluate=model._predict_stacked,
+                stack=stack,
+                weights=np.asarray(model.estimator_weights_),
+            )
+        return ModelKernel(
+            kind="fold",
+            evaluate=model._predict_stacked,
+            stack=stack,
+            base=float(model.base_prediction_),
+            scale=float(model.learning_rate),
+        )
     coef = getattr(model, "coef_", None)
     intercept = getattr(model, "intercept_", None)
     if coef is not None and intercept is not None:
@@ -140,8 +193,13 @@ def compile_model_evaluator(model: BaseRegressor) -> Callable[[np.ndarray], np.n
         def linear_evaluate(X: np.ndarray) -> np.ndarray:
             return X @ coef + intercept
 
-        return linear_evaluate
-    return model.predict
+        return ModelKernel(kind="linear", evaluate=linear_evaluate)
+    return ModelKernel(kind="opaque", evaluate=model.predict)
+
+
+def compile_model_evaluator(model: BaseRegressor) -> Callable[[np.ndarray], np.ndarray]:
+    """The bare evaluation callable of :func:`compile_model_kernel`."""
+    return compile_model_kernel(model).evaluate
 
 
 def export_model_evaluator(model: BaseRegressor, registry) -> dict:
@@ -184,16 +242,16 @@ def export_model_evaluator(model: BaseRegressor, registry) -> dict:
     return {"kind": "pickled", "model": model}
 
 
-def evaluator_from_state(
-    state: dict, registry
-) -> Callable[[np.ndarray], np.ndarray]:
-    """Rebuild an evaluation kernel from :func:`export_model_evaluator` state.
+def model_kernel_from_state(state: dict, registry) -> ModelKernel:
+    """Rebuild a :class:`ModelKernel` from :func:`export_model_evaluator` state.
 
     Tree stacks map their arrays from shared segments (zero-copy); the
     aggregations reuse the exact code paths of the in-process kernels
     (:meth:`StackedTrees._descend`, :meth:`StackedTrees.fold`,
     :func:`~repro.ml.boosting.weighted_median`), so predictions stay
-    bit-identical across backends.
+    bit-identical across backends — and the stack/weights/base/scale
+    fields let the worker's predictor run the native fused evaluate just
+    like the parent's.
     """
     kind = state["kind"]
     if kind == "tree":
@@ -202,14 +260,16 @@ def evaluator_from_state(
         def tree_evaluate(X: np.ndarray) -> np.ndarray:
             return stack._descend(X)[0].copy()
 
-        return tree_evaluate
+        return ModelKernel(kind="tree", evaluate=tree_evaluate, stack=stack)
     if kind == "forest-mean":
         stack = StackedTrees.from_shared(state["stack"], registry)
 
         def forest_evaluate(X: np.ndarray) -> np.ndarray:
             return stack._descend(X).mean(axis=0)
 
-        return forest_evaluate
+        return ModelKernel(
+            kind="forest-mean", evaluate=forest_evaluate, stack=stack
+        )
     if kind == "weighted-median":
         stack = StackedTrees.from_shared(state["stack"], registry)
         weights = registry.map_array(state["weights"])
@@ -217,7 +277,12 @@ def evaluator_from_state(
         def median_evaluate(X: np.ndarray) -> np.ndarray:
             return weighted_median(stack._descend(X).T, weights)
 
-        return median_evaluate
+        return ModelKernel(
+            kind="weighted-median",
+            evaluate=median_evaluate,
+            stack=stack,
+            weights=weights,
+        )
     if kind == "fold":
         stack = StackedTrees.from_shared(state["stack"], registry)
         base = state["base"]
@@ -226,7 +291,13 @@ def evaluator_from_state(
         def fold_evaluate(X: np.ndarray) -> np.ndarray:
             return stack.fold(X, base, scale)
 
-        return fold_evaluate
+        return ModelKernel(
+            kind="fold",
+            evaluate=fold_evaluate,
+            stack=stack,
+            base=float(base),
+            scale=float(scale),
+        )
     if kind == "linear":
         coef = registry.map_array(state["coef"])
         intercept = state["intercept"]
@@ -234,10 +305,17 @@ def evaluator_from_state(
         def linear_evaluate(X: np.ndarray) -> np.ndarray:
             return X @ coef + intercept
 
-        return linear_evaluate
+        return ModelKernel(kind="linear", evaluate=linear_evaluate)
     if kind == "pickled":
-        return state["model"].predict
+        return ModelKernel(kind="opaque", evaluate=state["model"].predict)
     raise ValueError(f"Unknown evaluator state kind {kind!r}")
+
+
+def evaluator_from_state(
+    state: dict, registry
+) -> Callable[[np.ndarray], np.ndarray]:
+    """The bare evaluation callable of :func:`model_kernel_from_state`."""
+    return model_kernel_from_state(state, registry).evaluate
 
 
 class CompiledPredictor:
@@ -273,7 +351,9 @@ class CompiledPredictor:
         self._writer = FeatureGridWriter(
             routine, self.candidate_threads, columns=self._fused.kept_indices
         )
-        self._evaluate_model = compile_model_evaluator(model)
+        self._model_kernel = compile_model_kernel(model)
+        self._evaluate_model = self._model_kernel.evaluate
+        self._configure_native()
 
     @classmethod
     def from_state(
@@ -281,14 +361,16 @@ class CompiledPredictor:
         routine: str,
         candidate_threads: Sequence[int],
         fused: FusedTransform,
-        evaluate_model: Callable[[np.ndarray], np.ndarray],
+        evaluate_model: "ModelKernel | Callable[[np.ndarray], np.ndarray]",
     ) -> "CompiledPredictor":
         """Assemble a predictor from already-flattened state.
 
         The process-shard worker builds predictors this way: ``fused`` views
         shared-memory segments (:meth:`FusedTransform.from_shared`) and
-        ``evaluate_model`` comes from :func:`evaluator_from_state`, so no
-        pipeline or model object ever crosses the process boundary.
+        ``evaluate_model`` comes from :func:`model_kernel_from_state`, so no
+        pipeline or model object ever crosses the process boundary.  A bare
+        callable is also accepted (wrapped as an opaque kernel, which still
+        rides the native fill + transform stages, just not the descent).
         """
         predictor = cls.__new__(cls)
         predictor.routine = routine
@@ -297,8 +379,81 @@ class CompiledPredictor:
         predictor._writer = FeatureGridWriter(
             routine, predictor.candidate_threads, columns=fused.kept_indices
         )
-        predictor._evaluate_model = evaluate_model
+        if isinstance(evaluate_model, ModelKernel):
+            predictor._model_kernel = evaluate_model
+        else:
+            predictor._model_kernel = ModelKernel(
+                kind="opaque", evaluate=evaluate_model
+            )
+        predictor._evaluate_model = predictor._model_kernel.evaluate
+        predictor._configure_native()
         return predictor
+
+    #: Native descent mode per model kind (see ``fused_evaluate`` in
+    #: :mod:`repro.ml._native`): 0 = per-tree leaf matrix, 1 = boosted
+    #: fold, 2 = stop after the transform and finish in Python.
+    _NATIVE_MODES = {
+        "tree": 0,
+        "forest-mean": 0,
+        "weighted-median": 0,
+        "fold": 1,
+        "linear": 2,
+        "opaque": 2,
+    }
+
+    def _configure_native(self) -> None:
+        """Bind whatever native stages are available for this predictor.
+
+        Establishes three independent accelerations, each falling back to
+        the NumPy expression when missing (no compiler, kill switch, no
+        column program, unverified transform):
+
+        * ``_native_fill``  — C feature fill from the column program;
+        * ``_native_transform`` — C fused Yeo-Johnson + affine;
+        * ``_fused_call`` — the single GIL-free C call chaining
+          fill → transform → descent (needs all stages plus a stacked or
+          mode-2 model).  Guarded further by a first-call self-check
+          against the NumPy path (``ADSALA_NATIVE_SELFCHECK=0`` skips).
+        """
+        self._program = None
+        self._native_fill = None
+        self._native_transform = None
+        self._fused_call = None
+        self._native_mode = None
+        self._stack_arrays = None
+        self._flat_state = None
+        self._selfcheck_pending = False
+        kernels = _native.load_kernels()
+        if kernels is None:
+            return
+        program = self._writer.column_program()
+        self._flat_state = self._fused.flat_arrays()
+        if kernels.feature_fill is not None and program is not None:
+            self._program = program
+            self._native_fill = kernels.feature_fill
+        if kernels.fused_transform is not None:
+            self._native_transform = kernels.fused_transform
+        kernel = self._model_kernel
+        mode = self._NATIVE_MODES.get(kernel.kind)
+        if (
+            kernels.fused_evaluate is None
+            or program is None
+            or mode is None
+            or (mode != 2 and kernel.stack is None)
+        ):
+            return
+        self._program = program
+        self._native_mode = mode
+        self._fused_call = kernels.fused_evaluate
+        if kernel.stack is not None:
+            self._stack_arrays = (
+                np.ascontiguousarray(kernel.stack.roots),
+                np.ascontiguousarray(kernel.stack.depths),
+                np.ascontiguousarray(kernel.stack.nodes_packed),
+            )
+        self._selfcheck_pending = (
+            os.environ.get("ADSALA_NATIVE_SELFCHECK", "1") != "0"
+        )
 
     @property
     def n_candidates(self) -> int:
@@ -318,14 +473,100 @@ class CompiledPredictor:
         """Predicted runtimes for many shapes in one fused pass.
 
         Returns a ``(len(dims_list), n_candidates)`` array matching the
-        object path's ``predict_runtimes_batch`` bit for bit: the kept
-        feature columns are written into the reusable grid, preprocessed by
-        the two fused expressions, and evaluated by the compiled model
-        kernel — one straight-line array program per batch.
+        object path's ``predict_runtimes_batch`` bit for bit.  With the
+        full native bundle loaded this is **one C call** (fill → transform
+        → descent) that releases the GIL end to end; otherwise each stage
+        independently uses its native kernel or its NumPy expression.
         """
-        grid = self._writer.write_dicts(dims_list)
-        transformed = self._fused.transform_kept(grid)
+        if self._fused_call is not None:
+            predictions = self._predict_fused(dims_list)
+            if self._selfcheck_pending:
+                predictions = self._run_selfcheck(dims_list, predictions)
+            return predictions.reshape(len(dims_list), self.n_candidates)
+
+        # Staged path: per-stage native kernels where available, NumPy
+        # expressions elsewhere — always bit-identical.
+        if self._native_fill is not None:
+            dims = self._writer.load_dims(dims_list)
+            grid = self._writer.grid_view(dims.shape[0])
+            self._native_fill(self._program, dims, self._writer.nt, grid)
+        else:
+            grid = self._writer.write_dicts(dims_list)
+        if self._native_transform is not None:
+            lambdas, shift, scale = self._flat_state
+            transformed = self._native_transform(grid, lambdas, shift, scale)
+        else:
+            transformed = self._fused.transform_kept(grid)
         predictions = np.asarray(
             self._evaluate_model(transformed), dtype=float
         )
         return predictions.reshape(len(dims_list), self.n_candidates)
+
+    def _predict_fused(self, dims_list) -> np.ndarray:
+        """One native call over the whole evaluate span."""
+        writer = self._writer
+        dims = writer.load_dims(dims_list)
+        n_shapes = dims.shape[0]
+        grid = writer.grid_view(n_shapes)
+        rows = grid.shape[0]
+        lambdas, shift, scale = self._flat_state
+        kernel = self._model_kernel
+        mode = self._native_mode
+        if mode == 2:
+            self._fused_call(
+                self._program, dims, writer.nt, grid,
+                lambdas, shift, scale,
+                2, None, None, None, 0.0, 0.0, None,
+            )
+            return np.asarray(kernel.evaluate(grid), dtype=float)
+        roots, depths, nodes = self._stack_arrays
+        if mode == 1:
+            out = np.empty(rows, dtype=np.float64)
+            self._fused_call(
+                self._program, dims, writer.nt, grid,
+                lambdas, shift, scale,
+                1, roots, depths, nodes, kernel.base, kernel.scale, out,
+            )
+            return out
+        out = np.empty((roots.shape[0], rows), dtype=np.float64)
+        self._fused_call(
+            self._program, dims, writer.nt, grid,
+            lambdas, shift, scale,
+            0, roots, depths, nodes, 0.0, 0.0, out,
+        )
+        if kernel.kind == "tree":
+            return out[0]
+        if kernel.kind == "forest-mean":
+            return out.mean(axis=0)
+        return weighted_median(out.T, kernel.weights)
+
+    def _run_selfcheck(
+        self, dims_list, predictions: np.ndarray
+    ) -> np.ndarray:
+        """First-call guard: fused C result must equal the NumPy path bitwise.
+
+        On mismatch the fused call and the per-stage fill/transform
+        kernels are disabled for this predictor (the long-trusted descent
+        kernel inside :class:`StackedTrees` stays), a warning is emitted
+        once, and the NumPy result is returned.
+        """
+        self._selfcheck_pending = False
+        grid = self._writer.write_dicts(dims_list)
+        transformed = self._fused.transform_kept(grid)
+        reference = np.asarray(self._evaluate_model(transformed), dtype=float)
+        if np.array_equal(
+            np.asarray(predictions, dtype=float).reshape(reference.shape),
+            reference,
+        ):
+            return predictions
+        warnings.warn(
+            f"native fused evaluate diverged from the NumPy path for "
+            f"routine {self.routine!r}; disabling the native fill/transform "
+            f"stages for this predictor",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._fused_call = None
+        self._native_fill = None
+        self._native_transform = None
+        return reference

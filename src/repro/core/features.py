@@ -9,6 +9,7 @@ of each size term.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -24,6 +25,7 @@ __all__ = [
     "feature_matrix_for_threads",
     "feature_matrix_grid",
     "build_feature_matrix",
+    "ColumnProgram",
     "FeatureGridWriter",
 ]
 
@@ -229,6 +231,52 @@ _TWO_DIM_OPS = [
 ]
 
 
+@dataclass(frozen=True)
+class ColumnProgram:
+    """Compact i64/f64 encoding of a writer's column recipe for the C kernel.
+
+    Base ``b`` is the left-to-right sum of terms ``base_offsets[b] ..
+    base_offsets[b+1]``; each term multiplies ``term_coef[t]`` by the dim
+    values indexed by ``term_fac[t]`` (left to right, ``-1`` padded).
+    Column ``c`` is the thread count (``col_kind == 0``), base
+    ``col_base[c]`` (``1``), or that base divided by the thread count
+    (``2``).  The native ``feature_fill`` kernel replays exactly these
+    operations in this order, so the grid it fills is bit-identical to
+    :meth:`FeatureGridWriter.write` — which
+    :meth:`FeatureGridWriter.column_program` verifies numerically before
+    ever handing a program out.
+    """
+
+    base_offsets: np.ndarray  # int64, (n_bases + 1,)
+    term_coef: np.ndarray  # float64, (n_terms,)
+    term_fac: np.ndarray  # int64, (n_terms, 3), -1 padded
+    col_kind: np.ndarray  # int64, (n_columns,)
+    col_base: np.ndarray  # int64, (n_columns,)
+
+    @property
+    def n_bases(self) -> int:
+        return int(self.base_offsets.shape[0] - 1)
+
+    @property
+    def n_columns(self) -> int:
+        return int(self.col_kind.shape[0])
+
+
+#: ``memory_words`` of each routine as (coefficient, dim-index factors)
+#: terms, summed left to right — the exact operation order of the lambdas
+#: in :mod:`repro.blas.api` (their leading ``1.0 *`` is an exact no-op).
+#: Dim indices follow ``spec.dim_names``: (m, k, n) for GEMM, (m, n) or
+#: (n, k) for the two-dimension routines.
+_FOOTPRINT_TERMS = {
+    "gemm": ((1.0, (0, 1)), (1.0, (1, 2)), (1.0, (0, 2))),
+    "symm": ((1.0, (0, 0)), (2.0, (0, 1))),
+    "syrk": ((1.0, (0, 1)), (1.0, (0, 0))),
+    "syr2k": ((2.0, (0, 1)), (1.0, (0, 0))),
+    "trmm": ((1.0, (0, 0)), (1.0, (0, 1))),
+    "trsm": ((1.0, (0, 0)), (1.0, (0, 1))),
+}
+
+
 class FeatureGridWriter:
     """Preallocated, reusable writer for the Table III feature grid.
 
@@ -276,6 +324,7 @@ class FeatureGridWriter:
         self._capacity = 0
         self._buffer = None
         self._dims_scratch = None
+        self._program_cache: object = "unset"
         self._reserve(1)
 
     @property
@@ -334,11 +383,13 @@ class FeatureGridWriter:
                 grid[:, :, j] = bases[index][:, None] / nt
         return grid.reshape(n_shapes * nt.size, self.columns.size)
 
-    def write_dicts(self, dims_list: Sequence[Dict[str, int]]) -> np.ndarray:
-        """Validate dimension dicts and fill the grid from them.
+    def load_dims(self, dims_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        """Validate dimension dicts into the scratch array and return it.
 
         Dimension validation matches :func:`feature_matrix_grid`
         (``spec.dims_from_args``), so invalid shapes raise the same errors.
+        The returned ``(n_shapes, n_dims)`` float64 view (valid until the
+        next call) feeds either :meth:`write` or the native fused kernel.
         """
         n_shapes = len(dims_list)
         if n_shapes == 0:
@@ -364,7 +415,140 @@ class FeatureGridWriter:
             normalized = self.spec.dims_from_args(**dims)
             for j, name in enumerate(dim_names):
                 values[i, j] = normalized[name]
-        return self.write(values[:n_shapes])
+        return values[:n_shapes]
+
+    def write_dicts(self, dims_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        """Validate dimension dicts and fill the grid from them."""
+        return self.write(self.load_dims(dims_list))
+
+    def grid_view(self, n_shapes: int) -> np.ndarray:
+        """Flat ``(n_shapes * n_threads, n_columns)`` view of the buffer.
+
+        For the native fused path, which fills the grid in C:
+        :meth:`load_dims` (which reserves capacity) must have been called
+        with at least ``n_shapes`` shapes first.  Same lifetime rules as
+        the view returned by :meth:`write`.
+        """
+        if n_shapes > self._capacity:
+            raise ValueError(
+                f"grid_view({n_shapes}) exceeds reserved capacity "
+                f"{self._capacity}; call load_dims first"
+            )
+        return self._buffer[:n_shapes].reshape(
+            n_shapes * self.nt.size, self.columns.size
+        )
+
+    def column_program(self) -> ColumnProgram | None:
+        """The writer's recipe as a :class:`ColumnProgram`, or ``None``.
+
+        ``None`` means the native fill must not be used: either the
+        routine's footprint has no term encoding, or the probe below found
+        the encoded program not bit-identical to :meth:`write`'s NumPy
+        expressions (e.g. a future ``memory_words`` whose operation order
+        the table no longer mirrors).  Memoised per writer.
+        """
+        if self._program_cache == "unset":
+            self._program_cache = self._build_program()
+        return self._program_cache
+
+    def _build_program(self) -> ColumnProgram | None:
+        footprint_terms = _FOOTPRINT_TERMS.get(self.spec.name)
+        if footprint_terms is None:
+            return None
+        if self.spec.n_dims == 3:
+            base_terms = [
+                ((1.0, (0,)),),
+                ((1.0, (1,)),),
+                ((1.0, (2,)),),
+                ((1.0, (0, 1)),),
+                ((1.0, (0, 2)),),
+                ((1.0, (1, 2)),),
+                ((1.0, (0, 1, 2)),),
+                footprint_terms,
+            ]
+        else:
+            base_terms = [
+                ((1.0, (0,)),),
+                ((1.0, (1,)),),
+                ((1.0, (0, 1)),),
+                footprint_terms,
+            ]
+        offsets = [0]
+        coefs: list[float] = []
+        facs: list[tuple[int, int, int]] = []
+        for terms in base_terms:
+            for coef, factors in terms:
+                coefs.append(coef)
+                padded = tuple(factors) + (-1,) * (3 - len(factors))
+                facs.append(padded)
+            offsets.append(len(coefs))
+        col_kind = []
+        col_base = []
+        for kind, index in self._ops:
+            if kind == "nt":
+                col_kind.append(0)
+                col_base.append(0)
+            elif kind == "base":
+                col_kind.append(1)
+                col_base.append(index)
+            else:
+                col_kind.append(2)
+                col_base.append(index)
+        program = ColumnProgram(
+            base_offsets=np.ascontiguousarray(offsets, dtype=np.int64),
+            term_coef=np.ascontiguousarray(coefs, dtype=np.float64),
+            term_fac=np.ascontiguousarray(facs, dtype=np.int64).reshape(
+                len(facs), 3
+            ),
+            col_kind=np.ascontiguousarray(col_kind, dtype=np.int64),
+            col_base=np.ascontiguousarray(col_base, dtype=np.int64),
+        )
+        if not self._program_matches(program):
+            return None
+        return program
+
+    def _program_matches(self, program: ColumnProgram) -> bool:
+        """Bitwise-verify the program against :meth:`_bases`.
+
+        Replays the term program scalar-by-scalar in the C kernel's exact
+        evaluation order on awkward float dims (where any reassociation
+        would change the rounding) and compares against the vectorised
+        NumPy bases.
+        """
+        probe = np.array(
+            [
+                [1.0, 1.0, 1.0],
+                [3.0, 5.0, 7.0],
+                [12.7, 901.3, 64.1],
+                [8192.0, 1.0, 40000.0],
+                [1e-3, 1e6, 3.1415],
+                [641.0, 1283.0, 757.0],
+            ],
+            dtype=np.float64,
+        )[:, : self.spec.n_dims]
+        expected = self._bases(probe)
+        if len(expected) != program.n_bases:
+            return False
+        for s in range(probe.shape[0]):
+            d = probe[s]
+            for b in range(program.n_bases):
+                acc = 0.0
+                start = int(program.base_offsets[b])
+                stop = int(program.base_offsets[b + 1])
+                for t in range(start, stop):
+                    v = float(program.term_coef[t])
+                    for q in range(3):
+                        fac = int(program.term_fac[t, q])
+                        if fac < 0:
+                            break
+                        v = v * float(d[fac])
+                    acc = v if t == start else acc + v
+                reference = float(expected[b][s])
+                if acc != reference and not (
+                    np.isnan(acc) and np.isnan(reference)
+                ):
+                    return False
+        return True
 
 
 def build_feature_matrix(

@@ -1,30 +1,70 @@
-"""Optional native (C) kernel for the stacked-ensemble descent.
+"""Optional native (C) kernels for the compiled prediction hot path.
 
-The level-synchronous NumPy descent in :class:`repro.ml.tree.StackedTrees`
-pays four array gathers per tree level; at the µs latency scale of a single
-``plan()`` call that overhead dominates.  This module compiles — once per
-interpreter, with the system C compiler — a small branch-free descent
-kernel and loads it through :mod:`ctypes`.
+PR 3 compiled the stacked-ensemble *descent* into a small branch-free C
+kernel; everything around it — the feature-grid fill and the fused
+Yeo-Johnson + affine transform — stayed NumPy, which holds the GIL and is
+why the ``thread`` shard backend could not scale.  This module now builds
+**one shared object with four kernels** covering the whole
+``CompiledPredictor.evaluate`` span:
 
-Kernel design (why it is fast *and* bit-identical):
+``feature_fill``
+    Computes the kept feature columns straight from the dims/threads
+    arrays into the preallocated grid, driven by a compact i64/f64
+    *column program* exported by
+    :meth:`repro.core.features.FeatureGridWriter.column_program`.  Every
+    arithmetic step replays the Python recipe's exact operation order
+    (left-associated sums of products, exact ``1.0 *`` / ``2 *``
+    coefficients), so the filled grid is bit-identical.
 
-* nodes are packed into 32-byte structs (threshold, feature, both child
-  indices, leaf value), so one visit touches one cache line instead of the
-  four separate struct-of-arrays gathers;
-* leaves self-loop (feature 0 against a ``+inf`` threshold — the exact
-  convention of :class:`repro.ml.tree.FlatTree`), so each tree runs a fixed
-  ``depth`` iteration count with a branch-free child select;
-* eight rows descend in lock-step per tree, giving the out-of-order core
-  eight independent load chains to overlap;
-* the kernel performs only float64 *comparisons* plus (in accumulate mode)
-  the same ``p += scale * v`` element updates NumPy performs — compiled
-  with ``-ffp-contract=off`` so no FMA contraction can change a ULP.
+``fused_transform``
+    Reproduces ``FusedTransform.transform_kept`` bit-identically: the
+    per-column Yeo-Johnson transform followed by the affine
+    ``(y - shift) / scale``.  Per-column λ dispatch mirrors NumPy's
+    scalar fast paths exactly (λ or 2-λ in {-1, 0.5, 1, 2} become
+    reciprocal / sqrt / copy / square — exact operations), the |λ|≤1e-12
+    and |λ-2|≤1e-12 branches become log1p, and everything else calls
+    ``pow``.  On AVX512 hosts where NumPy itself dispatches ``**`` and
+    ``log1p`` to Intel SVML, the kernel calls **NumPy's own**
+    ``__svml_pow8_ha`` / ``__svml_log1p8_ha`` symbols through function
+    pointers (:func:`set_svml_pointers`), so the transcendentals are the
+    same code NumPy runs; elsewhere it uses libm, which is what NumPy
+    uses there too.  A bit-exactness probe at load time
+    (:func:`_verify_transform`) compares the kernel against the NumPy
+    reference and disables the stage on any mismatch.
+
+``stacked_descent``
+    The existing PR 3 kernel, byte-for-byte.
+
+``fused_evaluate``
+    Chains fill → transform → descent in **one C call** so the GIL is
+    dropped across the whole span and intermediate buffers never surface
+    to Python.  This is what lets ``thread`` shards scale.
+
+Kill switches (each falls back to the NumPy expressions, bit-identical):
+
+* ``ADSALA_NATIVE=0`` — master switch, disables everything;
+* ``ADSALA_NATIVE_FILL=0`` / ``ADSALA_NATIVE_TRANSFORM=0`` /
+  ``ADSALA_NATIVE_DESCENT=0`` — per-stage opt-out (any disabled stage
+  also disables the fused call, which needs all three);
+* ``ADSALA_NATIVE_SELFCHECK=0`` — skip the per-predictor first-call
+  fused-vs-staged comparison in :mod:`repro.core.compiled`.
+
+Build controls:
+
+* ``ADSALA_NATIVE_CACHE=<dir>`` — where the compiled ``.so`` is cached
+  (default: a per-user 0700 directory under the system temp dir, keyed
+  by a hash of the C source).  CI points this at a restored cache.
+* ``ADSALA_NATIVE_REQUIRE=1`` — fail **loudly** (RuntimeError) when the
+  kernel cannot be built or loaded, instead of silently falling back.
+  Used by the CI native-build smoke.
+
+:func:`adopt_library` lets ``procshard`` workers reuse the parent's
+already-built shared object instead of racing the compiler N ways on a
+cold cache (the parent exports :func:`library_path` in the worker spec).
 
 The native path is best-effort by design: no C compiler, a failed build,
-or ``ADSALA_NATIVE=0`` → :func:`load_kernel` returns ``None`` and callers
-silently use the NumPy descent.  The shared object is cached under the
-system temp directory keyed by a hash of the C source, so rebuilds only
-happen when the kernel changes.  Nothing is ever installed.
+or ``ADSALA_NATIVE=0`` → :func:`load_kernels` returns ``None`` and
+callers silently use NumPy.  Nothing is ever installed.
 """
 
 from __future__ import annotations
@@ -39,7 +79,16 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["load_kernel", "native_enabled", "NODE_DTYPE"]
+__all__ = [
+    "NODE_DTYPE",
+    "NativeKernels",
+    "adopt_library",
+    "library_path",
+    "load_kernel",
+    "load_kernels",
+    "native_enabled",
+    "stage_enabled",
+]
 
 
 #: Packed node layout shared with the C kernel (32 bytes, no padding).
@@ -56,6 +105,7 @@ NODE_DTYPE = np.dtype(
 
 _SOURCE = r"""
 #include <stdint.h>
+#include <math.h>
 
 typedef struct {
     double thr;
@@ -121,18 +171,353 @@ void stacked_descent(const double *x,
         }
     }
 }
+
+/* ---- SVML bridge -------------------------------------------------------
+ *
+ * On AVX512-SKX hosts NumPy dispatches float64 ``**`` and ``log1p`` to
+ * Intel SVML (__svml_pow8_ha / __svml_log1p8_ha), whose results differ
+ * from libm by a ULP on some inputs.  Bit-identity therefore requires
+ * calling the *same* SVML code NumPy calls: the loader resolves those
+ * symbols from NumPy's own extension module and hands them to
+ * set_svml_pointers().  The bridges below are compiled for avx512f via a
+ * target attribute, so the .so still loads and runs (libm path) on CPUs
+ * without AVX512.  SVML is lane-independent, so calling it with a full
+ * 8-lane block — padding dead lanes with 1.0 — reproduces NumPy's
+ * results regardless of how NumPy grouped the same elements.
+ */
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HAVE_SVML_BRIDGE 1
+#include <immintrin.h>
+typedef __m512d (*svml_pow8_t)(__m512d, __m512d);
+typedef __m512d (*svml_log1p8_t)(__m512d);
+static svml_pow8_t g_svml_pow8;
+static svml_log1p8_t g_svml_log1p8;
+
+__attribute__((target("avx512f")))
+static void bridge_pow8(const double *t, const double *e, double *r)
+{
+    _mm512_storeu_pd(
+        r, g_svml_pow8(_mm512_loadu_pd(t), _mm512_loadu_pd(e)));
+}
+
+__attribute__((target("avx512f")))
+static void bridge_log1p8(const double *t, double *r)
+{
+    _mm512_storeu_pd(r, g_svml_log1p8(_mm512_loadu_pd(t)));
+}
+#endif
+
+void set_svml_pointers(void *pow8, void *log1p8)
+{
+#ifdef HAVE_SVML_BRIDGE
+    g_svml_pow8 = (svml_pow8_t)pow8;
+    g_svml_log1p8 = (svml_log1p8_t)log1p8;
+#else
+    (void)pow8;
+    (void)log1p8;
+#endif
+}
+
+static void vec_pow8(const double *t, const double *e, double *r)
+{
+#ifdef HAVE_SVML_BRIDGE
+    if (g_svml_pow8) {
+        bridge_pow8(t, e, r);
+        return;
+    }
+#endif
+    for (int l = 0; l < LANES; ++l)
+        r[l] = pow(t[l], e[l]);
+}
+
+static void vec_log1p8(const double *t, double *r)
+{
+#ifdef HAVE_SVML_BRIDGE
+    if (g_svml_log1p8) {
+        bridge_log1p8(t, r);
+        return;
+    }
+#endif
+    for (int l = 0; l < LANES; ++l)
+        r[l] = log1p(t[l]);
+}
+
+/* ---- Fused Yeo-Johnson + affine transform ------------------------------
+ *
+ * Mirror of yeo_johnson_transform_matrix followed by (y - shift) / scale.
+ * NumPy's ``x ** s`` takes exact fast paths for scalar exponents in
+ * {-1, 0.5, 1, 2} (reciprocal / sqrt / copy / square) — and the matrix
+ * transform recomputes exactly the λ ∈ {-1, 0, 0.5, 1, 1.5, 2, 3}
+ * columns through that scalar path — so the dispatch below reproduces
+ * the per-column operation NumPy actually performed:
+ *
+ *   branch exponent (λ, or 2-λ on the negative branch):
+ *     == 2.0  -> t * t          == 0.5 -> sqrt(t)
+ *     == 1.0  -> t              == -1.0 -> 1.0 / t
+ *     otherwise pow(t, e)       (SVML bridge when wired)
+ *   |λ| <= 1e-12 (positive) / |λ-2| <= 1e-12 (negative) -> log1p.
+ *
+ * All remaining arithmetic (±1.0, negation, the divides, the affine) is
+ * correctly-rounded IEEE754, identical in C and NumPy; -ffp-contract=off
+ * forbids FMA contraction from changing a ULP.
+ */
+enum { OP_POW, OP_SQUARE, OP_SQRT, OP_IDENT, OP_RECIP };
+
+static int op_for_exponent(double e)
+{
+    if (e == 2.0)
+        return OP_SQUARE;
+    if (e == 0.5)
+        return OP_SQRT;
+    if (e == 1.0)
+        return OP_IDENT;
+    if (e == -1.0)
+        return OP_RECIP;
+    return OP_POW;
+}
+
+static void transform_column(double *x,
+                             int64_t n_rows,
+                             int64_t stride,
+                             int64_t has_lam,
+                             double lam,
+                             double shift,
+                             double scale)
+{
+    if (!has_lam) {
+        for (int64_t r = 0; r < n_rows; ++r) {
+            double *cell = x + r * stride;
+            *cell = (*cell - shift) / scale;
+        }
+        return;
+    }
+    int pos_log = fabs(lam) <= 1e-12;
+    int neg_log = fabs(lam - 2.0) <= 1e-12;
+    const double pos_e = lam;
+    const double neg_e = 2.0 - lam;
+    const int pos_op = pos_log ? OP_POW : op_for_exponent(pos_e);
+    const int neg_op = neg_log ? OP_POW : op_for_exponent(neg_e);
+
+    for (int64_t r0 = 0; r0 < n_rows; r0 += LANES) {
+        const int64_t live = n_rows - r0 < LANES ? n_rows - r0 : LANES;
+        double v[LANES], t[LANES], p[LANES], y[LANES];
+        double tin[LANES], ein[LANES], lin[LANES];
+        double powres[LANES], logres[LANES];
+        int pos[LANES], use_log[LANES], op[LANES];
+        int need_pow = 0, need_log = 0;
+        for (int l = 0; l < LANES; ++l) {
+            /* Dead tail lanes compute x=0 (positive branch, t=1) and are
+             * never stored. */
+            const double xv = l < live ? x[(r0 + l) * stride] : 0.0;
+            v[l] = xv;
+            pos[l] = xv >= 0.0;
+            t[l] = pos[l] ? xv + 1.0 : -xv + 1.0;
+            use_log[l] = pos[l] ? pos_log : neg_log;
+            op[l] = pos[l] ? pos_op : neg_op;
+            tin[l] = 1.0;
+            ein[l] = 1.0;
+            lin[l] = 0.0;
+            if (use_log[l]) {
+                need_log = 1;
+                lin[l] = pos[l] ? xv : -xv;
+            } else {
+                switch (op[l]) {
+                case OP_SQUARE:
+                    p[l] = t[l] * t[l];
+                    break;
+                case OP_SQRT:
+                    p[l] = sqrt(t[l]);
+                    break;
+                case OP_IDENT:
+                    p[l] = t[l];
+                    break;
+                case OP_RECIP:
+                    p[l] = 1.0 / t[l];
+                    break;
+                default:
+                    need_pow = 1;
+                    tin[l] = t[l];
+                    ein[l] = pos[l] ? pos_e : neg_e;
+                    break;
+                }
+            }
+        }
+        if (need_pow) {
+            vec_pow8(tin, ein, powres);
+            for (int l = 0; l < LANES; ++l)
+                if (!use_log[l] && op[l] == OP_POW)
+                    p[l] = powres[l];
+        }
+        if (need_log)
+            vec_log1p8(lin, logres);
+        for (int l = 0; l < live; ++l) {
+            if (use_log[l])
+                y[l] = pos[l] ? logres[l] : -logres[l];
+            else if (pos[l])
+                y[l] = (p[l] - 1.0) / pos_e;
+            else
+                y[l] = -((p[l] - 1.0) / neg_e);
+            x[(r0 + l) * stride] = (y[l] - shift) / scale;
+        }
+    }
+}
+
+/* In-place fused transform of a row-major (n_rows, n_cols) matrix:
+ * per-column Yeo-Johnson (when has_lambdas) then (y - shift) / scale. */
+void fused_transform(double *x,
+                     int64_t n_rows,
+                     int64_t n_cols,
+                     int64_t has_lambdas,
+                     const double *lambdas,
+                     const double *shift,
+                     const double *scale)
+{
+    for (int64_t j = 0; j < n_cols; ++j)
+        transform_column(x + j, n_rows, n_cols, has_lambdas,
+                         has_lambdas ? lambdas[j] : 0.0,
+                         shift[j], scale[j]);
+}
+
+/* ---- Feature-grid fill -------------------------------------------------
+ *
+ * Replays FeatureGridWriter's column recipe from a compact program:
+ *
+ *   bases: n_bases accumulators, base b summing terms
+ *          [base_off[b], base_off[b+1]) left-to-right; each term is
+ *          term_coef[t] * d[f0] * d[f1] * ... over term_fac[t*3 + q]
+ *          factor indices (-1 padded), multiplied left-to-right.
+ *   columns: col_kind 0 -> nt, 1 -> bases[col_base], 2 -> bases / nt.
+ *
+ * The grid is row-major (n_shapes * n_threads, n_cols), threads varying
+ * fastest — exactly the writer's layout.
+ */
+void feature_fill(const double *dims,
+                  int64_t n_shapes,
+                  int64_t n_dims,
+                  const double *nt,
+                  int64_t n_threads,
+                  const int64_t *base_off,
+                  int64_t n_bases,
+                  const double *term_coef,
+                  const int64_t *term_fac,
+                  const int64_t *col_kind,
+                  const int64_t *col_base,
+                  int64_t n_cols,
+                  double *grid)
+{
+    double bases[16];
+    for (int64_t s = 0; s < n_shapes; ++s) {
+        const double *d = dims + s * n_dims;
+        for (int64_t b = 0; b < n_bases; ++b) {
+            double acc = 0.0;
+            for (int64_t ti = base_off[b]; ti < base_off[b + 1]; ++ti) {
+                double v = term_coef[ti];
+                const int64_t *fac = term_fac + ti * 3;
+                for (int q = 0; q < 3 && fac[q] >= 0; ++q)
+                    v = v * d[fac[q]];
+                acc = ti == base_off[b] ? v : acc + v;
+            }
+            bases[b] = acc;
+        }
+        double *row = grid + s * n_threads * n_cols;
+        for (int64_t th = 0; th < n_threads; ++th) {
+            const double ntv = nt[th];
+            double *cell = row + th * n_cols;
+            for (int64_t c = 0; c < n_cols; ++c) {
+                const int64_t kind = col_kind[c];
+                if (kind == 0)
+                    cell[c] = ntv;
+                else if (kind == 1)
+                    cell[c] = bases[col_base[c]];
+                else
+                    cell[c] = bases[col_base[c]] / ntv;
+            }
+        }
+    }
+}
+
+/* ---- Fused evaluate ----------------------------------------------------
+ *
+ * feature_fill -> fused_transform -> stacked_descent in one call, so the
+ * caller drops the GIL across the whole span.  model_mode selects the
+ * tail: 0 = per-tree leaf matrix, 1 = fold (out pre-set to fold_base
+ * here, then += fold_scale * leaf per tree), 2 = stop after the
+ * transform (linear / opaque models finish in Python on the same grid).
+ */
+void fused_evaluate(const double *dims,
+                    int64_t n_shapes,
+                    int64_t n_dims,
+                    const double *nt,
+                    int64_t n_threads,
+                    const int64_t *base_off,
+                    int64_t n_bases,
+                    const double *term_coef,
+                    const int64_t *term_fac,
+                    const int64_t *col_kind,
+                    const int64_t *col_base,
+                    int64_t n_cols,
+                    double *grid,
+                    int64_t has_lambdas,
+                    const double *lambdas,
+                    const double *shift,
+                    const double *scale,
+                    int64_t model_mode,
+                    const int64_t *roots,
+                    const int64_t *depths,
+                    int64_t n_trees,
+                    const node_t *nodes,
+                    double fold_base,
+                    double fold_scale,
+                    double *out)
+{
+    feature_fill(dims, n_shapes, n_dims, nt, n_threads, base_off, n_bases,
+                 term_coef, term_fac, col_kind, col_base, n_cols, grid);
+    const int64_t rows = n_shapes * n_threads;
+    fused_transform(grid, rows, n_cols, has_lambdas, lambdas, shift, scale);
+    if (model_mode == 2)
+        return;
+    if (model_mode == 1)
+        for (int64_t r = 0; r < rows; ++r)
+            out[r] = fold_base;
+    stacked_descent(grid, rows, n_cols, roots, depths, n_trees, nodes,
+                    model_mode, fold_scale, out);
+}
 """
 
 _DOUBLE_P = ctypes.POINTER(ctypes.c_double)
 _INT64_P = ctypes.POINTER(ctypes.c_int64)
 
-#: Resolved kernel callable (or None); "unset" until first load attempt.
-_KERNEL: object = "unset"
+#: Resolved kernel bundle (or None); "unset" until first load attempt.
+_KERNELS: object = "unset"
+
+#: Library adopted from a parent process (procshard workers).
+_PREBUILT: Path | None = None
+
+_STAGE_ENV = {
+    "fill": "ADSALA_NATIVE_FILL",
+    "transform": "ADSALA_NATIVE_TRANSFORM",
+    "descent": "ADSALA_NATIVE_DESCENT",
+}
 
 
 def native_enabled() -> bool:
-    """Whether the native kernel is allowed (``ADSALA_NATIVE`` != "0")."""
+    """Whether the native kernels are allowed (``ADSALA_NATIVE`` != "0")."""
     return os.environ.get("ADSALA_NATIVE", "1") != "0"
+
+
+def stage_enabled(stage: str) -> bool:
+    """Whether one stage ("fill" / "transform" / "descent") is allowed.
+
+    Each stage has its own opt-out (``ADSALA_NATIVE_FILL=0`` etc.) under
+    the master ``ADSALA_NATIVE`` switch; a disabled stage falls back to
+    its NumPy expression and also disables the fused end-to-end call.
+    """
+    return native_enabled() and os.environ.get(_STAGE_ENV[stage], "1") != "0"
+
+
+def _require_native() -> bool:
+    """Loud-failure mode: build problems raise instead of falling back."""
+    return os.environ.get("ADSALA_NATIVE_REQUIRE", "0") == "1"
 
 
 def _owned_by_current_user(path: Path) -> bool:
@@ -146,18 +531,29 @@ def _owned_by_current_user(path: Path) -> bool:
         return False
 
 
+def _source_digest() -> str:
+    return hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+
+
+def _cache_dir() -> Path:
+    """The library cache directory (``ADSALA_NATIVE_CACHE`` or temp)."""
+    override = os.environ.get("ADSALA_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    # Per-user, 0700 cache directory: the temp dir is world-writable and
+    # the library name is predictable, so never dlopen anything another
+    # user could have planted there.
+    uid = getattr(os, "getuid", lambda: "u")()
+    return Path(tempfile.gettempdir()) / f"adsala-native-{uid}"
+
+
 def _build_library() -> Path | None:
     """Compile (or reuse) the cached shared object; None when impossible."""
     compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
     if compiler is None:
         return None
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    # Per-user, 0700 cache directory: the temp dir is world-writable and the
-    # library name is predictable, so never dlopen anything another user
-    # could have planted there.
-    uid = getattr(os, "getuid", lambda: "u")()
-    cache_dir = Path(tempfile.gettempdir()) / f"adsala-native-{uid}"
-    library = cache_dir / f"descent_{digest}.so"
+    cache_dir = _cache_dir()
+    library = cache_dir / f"kernels_{_source_digest()}.so"
     if library.exists():
         if _owned_by_current_user(cache_dir) and _owned_by_current_user(library):
             return library
@@ -166,11 +562,10 @@ def _build_library() -> Path | None:
         cache_dir.mkdir(parents=True, exist_ok=True, mode=0o700)
         if not _owned_by_current_user(cache_dir):
             return None
-        os.chmod(cache_dir, 0o700)
         with tempfile.TemporaryDirectory(dir=cache_dir) as workdir:
-            source = Path(workdir) / "descent.c"
+            source = Path(workdir) / "kernels.c"
             source.write_text(_SOURCE)
-            built = Path(workdir) / "descent.so"
+            built = Path(workdir) / "kernels.so"
             subprocess.run(
                 [
                     compiler,
@@ -181,6 +576,7 @@ def _build_library() -> Path | None:
                     "-o",
                     str(built),
                     str(source),
+                    "-lm",
                 ],
                 check=True,
                 capture_output=True,
@@ -192,44 +588,287 @@ def _build_library() -> Path | None:
     return library
 
 
+def library_path() -> str | None:
+    """Build (or reuse) the shared object and return its path, or None.
+
+    Called by the ``procshard`` parent *before* spawning workers, so the
+    compile happens exactly once; workers adopt the path via
+    :func:`adopt_library` instead of racing the compiler.
+    """
+    if not native_enabled():
+        return None
+    library = _PREBUILT if _PREBUILT is not None else _build_library()
+    return str(library) if library is not None else None
+
+
+def adopt_library(path: str | None) -> None:
+    """Adopt a parent-built shared object (worker side of the handoff).
+
+    Ignores missing / foreign-owned paths and libraries whose filename
+    does not match this module's source digest (a version-skewed parent):
+    in those cases the worker just builds or reuses its own cache.
+    """
+    global _KERNELS, _PREBUILT
+    if not path:
+        return
+    candidate = Path(path)
+    if not candidate.exists() or not _owned_by_current_user(candidate):
+        return
+    if candidate.name != f"kernels_{_source_digest()}.so":
+        return
+    _PREBUILT = candidate
+    _KERNELS = "unset"
+
+
+def _reset_kernel_cache() -> None:
+    """Forget the memoised load (tests and env-switch round-trips)."""
+    global _KERNELS, _PREBUILT
+    _KERNELS = "unset"
+    _PREBUILT = None
+
+
+class NativeKernels:
+    """The loaded kernel bundle: per-stage callables plus load metadata.
+
+    Attributes are ``None`` when the stage is unavailable (env opt-out,
+    or the transform failed its bit-exactness probe).  ``fused_evaluate``
+    requires all three stages.
+    """
+
+    def __init__(self, library: str):
+        self.library = library
+        self.descent = None
+        self.feature_fill = None
+        self.fused_transform = None
+        self.fused_evaluate = None
+        self.svml_bridged = False
+        self.transform_verified = False
+        self._lib = None  # strong ref: keeps the dlopen handle alive
+        self._numpy_cdll = None  # strong ref: SVML symbols' home
+
+
 def load_kernel():
     """The native descent callable, or ``None`` when unavailable.
 
-    Memoised.  Signature:
+    Backwards-compatible accessor (PR 3 API).  Memoised.  Signature:
     ``kernel(x, roots, depths, nodes, mode, scale, out)`` — see the C
     source above for the contract; ``nodes`` must use :data:`NODE_DTYPE`
     and all arrays must be C-contiguous.
     """
-    global _KERNEL
-    if _KERNEL != "unset":
-        return _KERNEL
-    _KERNEL = None
-    if native_enabled():
-        library = _build_library()
-        if library is not None:
-            try:
-                lib = ctypes.CDLL(str(library))
-                fn = lib.stacked_descent
-                fn.restype = None
-                fn.argtypes = [
-                    _DOUBLE_P,
-                    ctypes.c_int64,
-                    ctypes.c_int64,
-                    _INT64_P,
-                    _INT64_P,
-                    ctypes.c_int64,
-                    ctypes.c_void_p,
-                    ctypes.c_int64,
-                    ctypes.c_double,
-                    _DOUBLE_P,
-                ]
-                _KERNEL = _make_wrapper(fn)
-            except OSError:
-                _KERNEL = None
-    return _KERNEL
+    kernels = load_kernels()
+    return kernels.descent if kernels is not None else None
 
 
-def _make_wrapper(fn):
+def load_kernels() -> NativeKernels | None:
+    """The full native kernel bundle, or ``None`` when unavailable.
+
+    Memoised.  Builds (or reuses) the shared object, wires the SVML
+    bridge when NumPy exports the symbols on an AVX512-SKX host, runs
+    the transform bit-exactness probe, and applies the per-stage env
+    opt-outs.  With ``ADSALA_NATIVE_REQUIRE=1`` a build/load failure
+    raises ``RuntimeError`` instead of returning ``None``.
+    """
+    global _KERNELS
+    if _KERNELS != "unset":
+        return _KERNELS
+    _KERNELS = _load_kernels_impl()
+    return _KERNELS
+
+
+def _load_kernels_impl() -> NativeKernels | None:
+    if not native_enabled():
+        return None
+    library = _PREBUILT if _PREBUILT is not None else _build_library()
+    if library is None:
+        if _require_native():
+            raise RuntimeError(
+                "ADSALA_NATIVE_REQUIRE=1 but the native kernel library "
+                "could not be built (no compiler, or the build failed)"
+            )
+        return None
+    try:
+        lib = ctypes.CDLL(str(library))
+        _declare_signatures(lib)
+    except (OSError, AttributeError) as exc:
+        if _require_native():
+            raise RuntimeError(
+                f"ADSALA_NATIVE_REQUIRE=1 but loading {library} failed: {exc}"
+            ) from exc
+        return None
+
+    kernels = NativeKernels(str(library))
+    kernels._lib = lib
+    kernels._numpy_cdll, kernels.svml_bridged = _wire_svml(lib)
+
+    kernels.descent = _make_descent_wrapper(lib.stacked_descent)
+    kernels.feature_fill = _make_fill_wrapper(lib.feature_fill)
+    kernels.fused_transform = _make_transform_wrapper(lib.fused_transform)
+    kernels.fused_evaluate = _make_evaluate_wrapper(lib.fused_evaluate)
+
+    # The transform's transcendentals are the one place host math
+    # libraries could diverge from NumPy: probe bit-exactness across
+    # every dispatch branch and drop the stage (and the fused chain that
+    # contains it) on any mismatch.
+    kernels.transform_verified = _verify_transform(kernels)
+    if not kernels.transform_verified:
+        kernels.fused_transform = None
+        kernels.fused_evaluate = None
+
+    # Per-stage kill switches; the fused chain needs all three stages.
+    if not stage_enabled("fill"):
+        kernels.feature_fill = None
+        kernels.fused_evaluate = None
+    if not stage_enabled("transform"):
+        kernels.fused_transform = None
+        kernels.fused_evaluate = None
+    if not stage_enabled("descent"):
+        kernels.descent = None
+        kernels.fused_evaluate = None
+    return kernels
+
+
+_DESCENT_ARGTYPES = [
+    _DOUBLE_P,  # x
+    ctypes.c_int64,  # n_samples
+    ctypes.c_int64,  # n_features
+    _INT64_P,  # roots
+    _INT64_P,  # depths
+    ctypes.c_int64,  # n_trees
+    ctypes.c_void_p,  # nodes
+    ctypes.c_int64,  # mode
+    ctypes.c_double,  # scale
+    _DOUBLE_P,  # out
+]
+
+_FILL_ARGTYPES = [
+    _DOUBLE_P,  # dims
+    ctypes.c_int64,  # n_shapes
+    ctypes.c_int64,  # n_dims
+    _DOUBLE_P,  # nt
+    ctypes.c_int64,  # n_threads
+    _INT64_P,  # base_off
+    ctypes.c_int64,  # n_bases
+    _DOUBLE_P,  # term_coef
+    _INT64_P,  # term_fac
+    _INT64_P,  # col_kind
+    _INT64_P,  # col_base
+    ctypes.c_int64,  # n_cols
+    _DOUBLE_P,  # grid
+]
+
+_TRANSFORM_ARGTYPES = [
+    _DOUBLE_P,  # x
+    ctypes.c_int64,  # n_rows
+    ctypes.c_int64,  # n_cols
+    ctypes.c_int64,  # has_lambdas
+    _DOUBLE_P,  # lambdas
+    _DOUBLE_P,  # shift
+    _DOUBLE_P,  # scale
+]
+
+_EVALUATE_ARGTYPES = (
+    _FILL_ARGTYPES
+    + [
+        ctypes.c_int64,  # has_lambdas
+        _DOUBLE_P,  # lambdas
+        _DOUBLE_P,  # shift
+        _DOUBLE_P,  # scale
+        ctypes.c_int64,  # model_mode
+        _INT64_P,  # roots
+        _INT64_P,  # depths
+        ctypes.c_int64,  # n_trees
+        ctypes.c_void_p,  # nodes
+        ctypes.c_double,  # fold_base
+        ctypes.c_double,  # fold_scale
+        _DOUBLE_P,  # out
+    ]
+)
+
+
+def _declare_signatures(lib) -> None:
+    lib.stacked_descent.restype = None
+    lib.stacked_descent.argtypes = _DESCENT_ARGTYPES
+    lib.feature_fill.restype = None
+    lib.feature_fill.argtypes = _FILL_ARGTYPES
+    lib.fused_transform.restype = None
+    lib.fused_transform.argtypes = _TRANSFORM_ARGTYPES
+    lib.fused_evaluate.restype = None
+    lib.fused_evaluate.argtypes = _EVALUATE_ARGTYPES
+    lib.set_svml_pointers.restype = None
+    lib.set_svml_pointers.argtypes = [ctypes.c_void_p, ctypes.c_void_p]
+
+
+def _wire_svml(lib):
+    """Hand NumPy's own SVML pow/log1p symbols to the kernel, if present.
+
+    Only on hosts where NumPy's dispatcher would itself pick the SVML
+    loops (AVX512_SKX): calling an AVX512 function elsewhere would be an
+    illegal instruction, and NumPy uses libm there anyway — which is the
+    kernel's fallback, so results still match.
+    """
+    try:
+        import numpy._core._multiarray_umath as umath
+    except ImportError:  # pragma: no cover - numpy < 2
+        return None, False
+    features = getattr(umath, "__cpu_features__", None) or {}
+    if not features.get("AVX512_SKX"):
+        return None, False
+    try:
+        numpy_cdll = ctypes.CDLL(umath.__file__)
+        pow8 = ctypes.cast(getattr(numpy_cdll, "__svml_pow8_ha"), ctypes.c_void_p)
+        log1p8 = ctypes.cast(
+            getattr(numpy_cdll, "__svml_log1p8_ha"), ctypes.c_void_p
+        )
+    except (OSError, AttributeError, TypeError):
+        return None, False
+    lib.set_svml_pointers(pow8, log1p8)
+    return numpy_cdll, True
+
+
+def _verify_transform(kernels) -> bool:
+    """Probe the fused transform against the NumPy reference, bitwise.
+
+    Exercises every dispatch branch: the λ fast paths {-1, 0.5, 1, 2}
+    and their 2-λ mirrors, the log1p thresholds (0, ≈0, 2, ≈2), generic
+    pow lambdas, positive and negative inputs, and a non-multiple-of-8
+    row count (tail lanes).
+    """
+    try:
+        from repro.preprocessing.power import yeo_johnson_transform_matrix
+    except Exception:  # pragma: no cover - degenerate environment
+        return False
+    lambdas = np.array(
+        [
+            -1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0,
+            0.37, -0.84, 2.5, 1e-13, 2.0 - 1e-13, 2.0 + 1e-13, -2.2,
+        ]
+    )
+    base = np.array(
+        [
+            0.0, 0.37, 1.0, 7.5, 1234.5, 1e6, -0.25,
+            -3.5, 0.999, 42.0, 1e-9, 5.0e4, 2.0,
+        ]
+    )
+    X = np.empty((base.shape[0], lambdas.shape[0]))
+    for j in range(lambdas.shape[0]):
+        X[:, j] = np.roll(base, j)
+    shift = np.linspace(-1.5, 2.0, lambdas.shape[0])
+    scale = np.linspace(0.5, 3.0, lambdas.shape[0])
+    try:
+        expected = (yeo_johnson_transform_matrix(X, lambdas) - shift) / scale
+        got = np.ascontiguousarray(X)
+        kernels.fused_transform(got, lambdas, shift, scale)
+        if not np.array_equal(expected, got):
+            return False
+        affine_expected = (X - shift) / scale
+        affine_got = np.ascontiguousarray(X)
+        kernels.fused_transform(affine_got, None, shift, scale)
+        return bool(np.array_equal(affine_expected, affine_got))
+    except Exception:  # pragma: no cover - probe must never take down load
+        return False
+
+
+def _make_descent_wrapper(fn):
     def kernel(
         x: np.ndarray,
         roots: np.ndarray,
@@ -256,5 +895,105 @@ def _make_wrapper(fn):
     # Introspection hook: the raw ctypes foreign function, so callers (and
     # the concurrency tests) can verify the GIL-releasing load path — a
     # ``CDLL`` export with explicit argtypes/restype, never ``PyDLL``.
+    kernel.ctypes_fn = fn
+    return kernel
+
+
+def _make_fill_wrapper(fn):
+    def kernel(
+        program,
+        dims: np.ndarray,
+        nt: np.ndarray,
+        grid: np.ndarray,
+    ) -> np.ndarray:
+        fn(
+            dims.ctypes.data_as(_DOUBLE_P),
+            dims.shape[0],
+            dims.shape[1],
+            nt.ctypes.data_as(_DOUBLE_P),
+            nt.shape[0],
+            program.base_offsets.ctypes.data_as(_INT64_P),
+            program.base_offsets.shape[0] - 1,
+            program.term_coef.ctypes.data_as(_DOUBLE_P),
+            program.term_fac.ctypes.data_as(_INT64_P),
+            program.col_kind.ctypes.data_as(_INT64_P),
+            program.col_base.ctypes.data_as(_INT64_P),
+            program.col_kind.shape[0],
+            grid.ctypes.data_as(_DOUBLE_P),
+        )
+        return grid
+
+    kernel.ctypes_fn = fn
+    return kernel
+
+
+def _make_transform_wrapper(fn):
+    def kernel(
+        x: np.ndarray,
+        lambdas: np.ndarray | None,
+        shift: np.ndarray,
+        scale: np.ndarray,
+    ) -> np.ndarray:
+        fn(
+            x.ctypes.data_as(_DOUBLE_P),
+            x.shape[0],
+            x.shape[1],
+            0 if lambdas is None else 1,
+            None if lambdas is None else lambdas.ctypes.data_as(_DOUBLE_P),
+            shift.ctypes.data_as(_DOUBLE_P),
+            scale.ctypes.data_as(_DOUBLE_P),
+        )
+        return x
+
+    kernel.ctypes_fn = fn
+    return kernel
+
+
+def _make_evaluate_wrapper(fn):
+    def kernel(
+        program,
+        dims: np.ndarray,
+        nt: np.ndarray,
+        grid: np.ndarray,
+        lambdas: np.ndarray | None,
+        shift: np.ndarray,
+        scale: np.ndarray,
+        model_mode: int,
+        roots: np.ndarray | None,
+        depths: np.ndarray | None,
+        nodes: np.ndarray | None,
+        fold_base: float,
+        fold_scale: float,
+        out: np.ndarray | None,
+    ) -> np.ndarray | None:
+        fn(
+            dims.ctypes.data_as(_DOUBLE_P),
+            dims.shape[0],
+            dims.shape[1],
+            nt.ctypes.data_as(_DOUBLE_P),
+            nt.shape[0],
+            program.base_offsets.ctypes.data_as(_INT64_P),
+            program.base_offsets.shape[0] - 1,
+            program.term_coef.ctypes.data_as(_DOUBLE_P),
+            program.term_fac.ctypes.data_as(_INT64_P),
+            program.col_kind.ctypes.data_as(_INT64_P),
+            program.col_base.ctypes.data_as(_INT64_P),
+            program.col_kind.shape[0],
+            grid.ctypes.data_as(_DOUBLE_P),
+            0 if lambdas is None else 1,
+            None if lambdas is None else lambdas.ctypes.data_as(_DOUBLE_P),
+            shift.ctypes.data_as(_DOUBLE_P),
+            scale.ctypes.data_as(_DOUBLE_P),
+            model_mode,
+            None if roots is None else roots.ctypes.data_as(_INT64_P),
+            None if depths is None else depths.ctypes.data_as(_INT64_P),
+            0 if roots is None else roots.shape[0],
+            None if nodes is None else nodes.ctypes.data,
+            fold_base,
+            fold_scale,
+            None if out is None else out.ctypes.data_as(_DOUBLE_P),
+        )
+        return out
+
     kernel.ctypes_fn = fn
     return kernel

@@ -31,7 +31,13 @@ import numpy as np
 from repro.ml import _native
 from repro.ml.base import BaseRegressor, check_X, check_X_y
 
-__all__ = ["DecisionTreeRegressor", "FlatTree", "StackedTrees", "reference_mode"]
+__all__ = [
+    "DecisionTreeRegressor",
+    "FlatTree",
+    "StackedTrees",
+    "native_descent_active",
+    "reference_mode",
+]
 
 
 #: Active implementation: "vectorized" (default) or "reference".
@@ -59,6 +65,16 @@ def reference_mode():
 def active_impl() -> str:
     """The currently active implementation ("vectorized" or "reference")."""
     return _IMPL
+
+
+def native_descent_active() -> bool:
+    """Whether new :class:`StackedTrees` will descend through the C kernel.
+
+    False when the build is unavailable or the descent stage is switched
+    off (``ADSALA_NATIVE=0`` or ``ADSALA_NATIVE_DESCENT=0``); existing
+    stacks keep whatever kernel they resolved at construction.
+    """
+    return _native.load_kernel() is not None
 
 
 #: Whether ensembles may predict through their StackedTrees compilation.
@@ -278,6 +294,12 @@ class StackedTrees:
     ``(n_trees * n_samples,)`` frontier with preallocated scratch buffers
     and ``np.take`` gathers — broadcast fancy indexing on 2-D frontiers
     costs several times more per level at the µs scale this serves.
+
+    When the native kernel built (:func:`native_descent_active`), descent
+    and fold instead run through the GIL-free C ``stacked_descent`` over
+    the packed 32-byte node array; ``ADSALA_NATIVE=0`` or
+    ``ADSALA_NATIVE_DESCENT=0`` falls back to the bit-identical NumPy
+    frontier loop above.
     """
 
     __slots__ = (

@@ -40,6 +40,10 @@ class FusedTransform:
     same input.  ``kept_indices`` maps back into the full feature set;
     :meth:`transform_kept` is the hot-path entry for callers (the compiled
     predictor) that materialise only the kept feature columns up front.
+
+    The native ``fused_transform`` kernel in :mod:`repro.ml._native`
+    reproduces :meth:`transform_kept` bit-identically in C (verified by a
+    probe at kernel load); :meth:`flat_arrays` exports the state it reads.
     """
 
     kept_indices: np.ndarray
@@ -56,6 +60,27 @@ class FusedTransform:
         if self.lambdas is not None:
             X_kept = yeo_johnson_transform_matrix(X_kept, self.lambdas)
         return (X_kept - self.shift) / self.scale
+
+    def flat_arrays(
+        self,
+    ) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+        """C-contiguous ``(lambdas, shift, scale)`` for the native kernel.
+
+        The native ``fused_transform`` stage reads these through raw
+        pointers; shared-memory mapped state can be non-owning views, so
+        contiguity is re-asserted here (a no-op for the common case —
+        ``PreprocessingPipeline.compile`` fancy-indexes, which copies).
+        """
+        lambdas = (
+            None
+            if self.lambdas is None
+            else np.ascontiguousarray(self.lambdas, dtype=np.float64)
+        )
+        return (
+            lambdas,
+            np.ascontiguousarray(self.shift, dtype=np.float64),
+            np.ascontiguousarray(self.scale, dtype=np.float64),
+        )
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         """Transform a full-width feature matrix (selects kept columns first)."""

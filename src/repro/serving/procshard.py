@@ -27,6 +27,12 @@ shard's engine into a worker **process**:
   thread backend and to a sequential single-engine replay; only
   ``from_cache`` flags may differ because each worker warms its own LRU.
 
+* **Prebuilt native kernel** — the parent compiles the fused native
+  kernel (:mod:`repro.ml._native`) once while building the spec and ships
+  the cached ``.so`` path; workers adopt it via
+  :func:`repro.ml._native.adopt_library` instead of racing the compiler
+  N-way on spawn.
+
 Workers are started with the ``spawn`` method by default (see
 :func:`repro.parallel.worker_context`): the frontend launches them lazily
 from a process that already runs drain threads, where ``fork`` is unsafe.
@@ -44,9 +50,10 @@ import numpy as np
 from repro.blas.api import ROUTINE_KEYS, parse_routine
 from repro.core.compiled import (
     CompiledPredictor,
-    evaluator_from_state,
     export_model_evaluator,
+    model_kernel_from_state,
 )
+from repro.ml import _native
 from repro.core.features import feature_names
 from repro.core.predictor import ThreadPredictor
 from repro.core.runtime import ExecutionPlan
@@ -338,6 +345,10 @@ def export_source_spec(
             "drift_threshold": drift_threshold,
         },
         "routines": routines,
+        # Compile the native kernel once here, in the parent, before any
+        # worker spawns: N workers adopt the finished .so instead of racing
+        # the compiler (or re-hashing the source on cold temp dirs).
+        "native_library": _native.library_path(),
     }
     return SharedSourceExport(registry, spec)
 
@@ -379,9 +390,9 @@ def _predictor_from_spec(key: str, rspec: dict, registry) -> ThreadPredictor:
     counters) and a pre-built :class:`CompiledPredictor`.
     """
     fused = FusedTransform.from_shared(rspec["fused"], registry)
-    evaluate = evaluator_from_state(rspec["evaluator"], registry)
+    kernel = model_kernel_from_state(rspec["evaluator"], registry)
     candidate_threads = [int(t) for t in rspec["candidate_threads"]]
-    compiled = CompiledPredictor.from_state(key, candidate_threads, fused, evaluate)
+    compiled = CompiledPredictor.from_state(key, candidate_threads, fused, kernel)
     predictor = ThreadPredictor.__new__(ThreadPredictor)
     predictor.routine = key
     predictor.pipeline = None
@@ -435,6 +446,7 @@ def _worker_main(conn, spec: dict) -> None:
     init_error: Optional[str] = None
     try:
         try:
+            _native.adopt_library(spec.get("native_library"))
             engine = _engine_from_spec(spec, registry)
         except BaseException as exc:
             init_error = f"worker initialisation failed: {exc!r}"

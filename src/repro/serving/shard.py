@@ -12,7 +12,11 @@ Two backends implement the interface:
 
 * :class:`EngineShard` (here) runs a
   :class:`~repro.serving.engine.ServingEngine` in-process; batches execute
-  on the drain thread under the engine's own lock.
+  on the drain thread under the engine's own lock.  N in-process shards
+  scale on real cores because the whole evaluate span (feature fill →
+  fused transform → stacked descent) runs as one GIL-free native call
+  (:mod:`repro.ml._native`); only per-batch Python bookkeeping
+  serialises.
 * :class:`~repro.serving.procshard.ProcessShard` runs the engine in a
   worker *process*; batches cross a pipe as compact framed arrays and the
   compiled model state is mapped from shared memory.

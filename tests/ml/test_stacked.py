@@ -161,8 +161,35 @@ class TestNativeKernelModule:
     def test_kernel_memoised(self):
         assert _native.load_kernel() is _native.load_kernel()
 
+    def test_kernel_bundle_memoised(self):
+        assert _native.load_kernels() is _native.load_kernels()
+
+    def test_legacy_accessor_is_bundle_descent(self):
+        bundle = _native.load_kernels()
+        if bundle is None:
+            assert _native.load_kernel() is None
+        else:
+            assert _native.load_kernel() is bundle.descent
+
     def test_env_kill_switch(self, monkeypatch):
         monkeypatch.setenv("ADSALA_NATIVE", "0")
         assert not _native.native_enabled()
         monkeypatch.delenv("ADSALA_NATIVE")
         assert _native.native_enabled()
+
+    def test_per_stage_kill_switches(self, monkeypatch):
+        for stage, env in [
+            ("fill", "ADSALA_NATIVE_FILL"),
+            ("transform", "ADSALA_NATIVE_TRANSFORM"),
+            ("descent", "ADSALA_NATIVE_DESCENT"),
+        ]:
+            assert _native.stage_enabled(stage)
+            monkeypatch.setenv(env, "0")
+            assert not _native.stage_enabled(stage)
+            monkeypatch.delenv(env)
+        # The master switch overrides every stage.
+        monkeypatch.setenv("ADSALA_NATIVE", "0")
+        assert not any(
+            _native.stage_enabled(stage)
+            for stage in ("fill", "transform", "descent")
+        )
