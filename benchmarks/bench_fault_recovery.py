@@ -1,0 +1,230 @@
+"""Benchmark: serving throughput and time-to-recovery under sustained chaos.
+
+The fault-tolerance contract costs something only when faults actually
+fire: supervision is passive bookkeeping on the healthy path.  This
+benchmark quantifies both sides, per shard backend:
+
+* **Healthy** — the PR 5/6 multi-client stress drive with supervision on
+  and no faults: the reference throughput.
+* **Chaos** — the same drive with ``kill:5`` injected from a seeded
+  schedule (worker SIGKILLs mid-traffic).  Every request id must still be
+  answered exactly once, bit-identical to a sequential single-engine
+  replay; the recorded metrics are the throughput retained under chaos
+  and the supervisor's measured time-to-recovery per failure episode
+  (failure detected → first healthy batch on the restarted worker).
+
+Each recovery must complete inside ``RECOVERY_WINDOW_S`` — a loose wall
+bound (worker respawn is ~1-2s of spawn + import) asserted on every run,
+so a regression that turns recovery into a retry storm fails loudly.
+
+Results land in ``benchmarks/results/fault_recovery.{txt,json}``.
+"""
+
+import threading
+import time
+
+from repro.core.install import install_adsala
+from repro.harness.tables import format_table
+from repro.machine.platforms import get_platform
+from repro.serving.engine import ServingEngine
+from repro.serving.faults import FaultInjector
+from repro.serving.frontend import ShardedFrontend
+from repro.serving.supervisor import RestartPolicy
+from repro.serving.workload import generate_workload
+
+from benchmarks.conftest import run_once
+
+ROUTINES = ["dgemm", "dsyrk"]
+BACKENDS = ("thread", "process")
+N_REQUESTS = 400
+N_WARMUP = 16
+N_SHARDS = 2
+N_CLIENTS = 4
+BATCH_SIZE = 4  # many small dispatches, so the whole schedule fires
+N_KILLS = 5
+FAULT_SEED = 11
+FAULT_HORIZON = 25
+#: Every failure episode must recover inside this wall-clock bound.
+RECOVERY_WINDOW_S = 10.0
+
+
+def _plan_key(plan):
+    return (
+        plan.routine,
+        tuple(sorted(plan.dims.items())),
+        plan.threads,
+        plan.predicted_time,
+        plan.baseline_time,
+        plan.policy,
+    )
+
+
+def _clear_caches(bundle):
+    for installation in bundle.routines.values():
+        installation.predictor.clear_cache()
+
+
+def _sequential_reference(bundle, workload):
+    _clear_caches(bundle)
+    engine = ServingEngine(bundle, max_batch_size=BATCH_SIZE)
+    return engine.plan_many(request.as_tuple() for request in workload)
+
+
+def _drive(bundle, backend, workload, warmup, injector):
+    """M client threads submitting futures; returns rate, plans, stats."""
+    _clear_caches(bundle)
+    frontend = ShardedFrontend.from_bundle(
+        bundle,
+        n_shards=N_SHARDS,
+        backend=backend,
+        max_batch_size=BATCH_SIZE,
+        max_pending=4096,
+        injector=injector,
+        restart_policy=RestartPolicy(backoff_base=0.01, backoff_cap=0.05),
+    )
+    results = [None] * len(workload)
+    with frontend:
+        # Worker spawn + import off the clock (and off the fault schedule's
+        # warmup ordinals).
+        frontend.plan_many(request.as_tuple() for request in warmup)
+
+        def client(client_index):
+            pending = []
+            for slot in range(client_index, len(workload), N_CLIENTS):
+                request = workload[slot]
+                pending.append(
+                    (slot, frontend.submit(request.routine, **request.dims))
+                )
+            for slot, future in pending:
+                results[slot] = future.result(timeout=120)
+
+        clients = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(N_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stats = frontend.stats()
+    return len(workload) / elapsed, results, stats
+
+
+def test_fault_recovery(benchmark, record, record_json):
+    platform = get_platform("laptop")
+    bundle = install_adsala(
+        platform=platform,
+        routines=ROUTINES,
+        n_samples=20,
+        threads_per_shape=6,
+        n_test_shapes=8,
+        candidate_models=["LinearRegression", "DecisionTree"],
+        seed=0,
+    )
+    workload = generate_workload(
+        ROUTINES, N_REQUESTS, distribution="cycling", seed=17, pool_size=12
+    )
+    warmup = generate_workload(
+        ROUTINES, N_WARMUP, distribution="cycling", seed=23, pool_size=8
+    )
+    reference = _sequential_reference(bundle, workload)
+
+    def run():
+        rows = []
+        for backend in BACKENDS:
+            healthy_rate, healthy_plans, healthy_stats = _drive(
+                bundle, backend, workload, warmup, injector=None
+            )
+            assert None not in healthy_plans
+            assert healthy_stats["supervision"]["failures"] == 0
+
+            injector = FaultInjector(
+                {"kill": N_KILLS}, seed=FAULT_SEED, horizon=FAULT_HORIZON
+            )
+            chaos_rate, chaos_plans, chaos_stats = _drive(
+                bundle, backend, workload, warmup, injector=injector
+            )
+            supervision = chaos_stats["supervision"]
+
+            # The whole schedule fired, and recovery held the contract:
+            # exactly one bit-identical plan per request, nothing shed,
+            # nothing quarantined, every episode inside the window.
+            assert supervision["injected"]["injected"] == {"kill": N_KILLS}
+            assert None not in chaos_plans, f"lost plans on {backend}"
+            assert chaos_stats["admission"]["shed"] == 0
+            assert chaos_stats["admission"]["in_flight"] == 0
+            assert supervision["quarantined"] == []
+            mismatches = [
+                slot
+                for slot, (chaos, ref) in enumerate(zip(chaos_plans, reference))
+                if _plan_key(chaos) != _plan_key(ref)
+            ]
+            assert not mismatches, (
+                f"plans diverged under chaos on {backend}: {mismatches[:5]}"
+            )
+            assert supervision["recovery_episodes"] >= 1
+            assert supervision["recovery_max_s"] <= RECOVERY_WINDOW_S, (
+                f"{backend} recovery took {supervision['recovery_max_s']:.2f}s "
+                f"(window {RECOVERY_WINDOW_S}s)"
+            )
+
+            rows.append(
+                {
+                    "backend": backend,
+                    "requests": N_REQUESTS,
+                    "kills": N_KILLS,
+                    "healthy_plans_per_s": round(healthy_rate),
+                    "chaos_plans_per_s": round(chaos_rate),
+                    "throughput_retained": round(chaos_rate / healthy_rate, 2),
+                    "restarts": supervision["restarts"],
+                    "redispatched": supervision["redispatched"],
+                    "recovery_mean_ms": round(
+                        supervision["recovery_mean_s"] * 1e3
+                    ),
+                    "recovery_max_ms": round(
+                        supervision["recovery_max_s"] * 1e3
+                    ),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    text = format_table(
+        rows,
+        title=(
+            f"Fault recovery: {N_KILLS} worker kills across {N_REQUESTS} "
+            f"requests ({N_SHARDS} shards x {N_CLIENTS} clients, "
+            f"batch {BATCH_SIZE})"
+        ),
+    )
+    print()
+    print(text)
+    record("fault_recovery", text)
+    record_json(
+        "fault_recovery",
+        [
+            {
+                "stage": (
+                    f"chaos serving, {row['backend']} backend "
+                    f"({N_KILLS} kills, {N_REQUESTS} requests, "
+                    f"{N_SHARDS} shards x {N_CLIENTS} clients)"
+                ),
+                # Schema note: reference is the healthy run, "optimized" the
+                # chaos run — the ratio reads as throughput retained under
+                # sustained faults (1.0 = chaos-free speed).
+                "reference_s": N_REQUESTS / row["healthy_plans_per_s"],
+                "optimized_s": N_REQUESTS / row["chaos_plans_per_s"],
+                "speedup": row["throughput_retained"],
+                "backend": row["backend"],
+                "kills": row["kills"],
+                "restarts": row["restarts"],
+                "redispatched": row["redispatched"],
+                "recovery_mean_ms": row["recovery_mean_ms"],
+                "recovery_max_ms": row["recovery_max_ms"],
+                "recovery_window_s": RECOVERY_WINDOW_S,
+            }
+            for row in rows
+        ],
+    )

@@ -113,6 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drift-threshold", type=float, default=0.25,
                        help="rolling mean |observed-predicted|/observed that flags "
                        "a routine for re-installation")
+    serve.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="seeded chaos for the sharded path: a fault spec like "
+                       "'kill:3,hang:1' (kinds: kill, hang, corrupt, shm, slow); "
+                       "forces the sharded frontend")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the deterministic fault schedule")
+    serve.add_argument("--fault-horizon", type=int, default=None,
+                       help="dispatch-ordinal window the fault schedule is drawn "
+                       "from (default: 8x the fault count)")
+    serve.add_argument("--hang-timeout", type=float, default=30.0,
+                       help="seconds a batch may stay in flight before the "
+                       "supervisor declares the shard hung")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request timeout in seconds; requests that "
+                       "expire before execution are shed, not served")
+    serve.add_argument("--no-supervise", action="store_true",
+                       help="disable shard supervision: worker deaths fail "
+                       "their requests instead of restart + redispatch")
 
     adapt = sub.add_parser(
         "adapt",
@@ -250,8 +268,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.harness.tables import format_table
     from repro.machine.simulator import TimingSimulator
     from repro.serving.engine import ServingEngine
-    from repro.serving.frontend import QueueFullError, ShardedFrontend
+    from repro.serving.faults import FaultInjector
+    from repro.serving.frontend import (
+        DeadlineExceededError,
+        QueueFullError,
+        ShardedFrontend,
+    )
     from repro.serving.registry import BundleHandle, ModelRegistry
+    from repro.serving.supervisor import RestartPolicy
     from repro.serving.telemetry import EngineTelemetry
     from repro.serving.workload import generate_workload, load_workload
 
@@ -260,6 +284,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     registry = ModelRegistry()
     try:
+        injector = None
+        if args.inject_faults:
+            injector = FaultInjector(
+                args.inject_faults,
+                seed=args.fault_seed,
+                horizon=args.fault_horizon,
+            )
+        supervise = not args.no_supervise
+        restart_policy = (
+            RestartPolicy(hang_timeout=args.hang_timeout) if supervise else None
+        )
         handle = registry.register(args.bundle)
         if args.workload:
             requests = load_workload(args.workload)
@@ -289,7 +324,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     plan, observer.time(plan.routine, plan.dims, plan.threads)
                 )
 
-        sharded = args.shards > 1 or args.clients > 1 or args.backend == "process"
+        sharded = (
+            args.shards > 1
+            or args.clients > 1
+            or args.backend == "process"
+            or injector is not None
+            or args.deadline is not None
+        )
         if sharded:
             if args.backend == "process":
                 # One shared export: every worker maps the same model pages.
@@ -301,6 +342,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     use_cache=not args.no_cache,
                     backend="process",
                     drift_threshold=args.drift_threshold,
+                    supervise=supervise,
+                    restart_policy=restart_policy,
+                    injector=injector,
                 )
             else:
                 # One independent lazy handle per shard (separate model/LRU
@@ -320,9 +364,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     engines,
                     max_pending=args.max_pending,
                     backpressure=args.backpressure,
+                    supervise=supervise,
+                    restart_policy=restart_policy,
+                    injector=injector,
                 )
             results: list = [None] * len(requests)
             client_errors: list = []
+            expired_slots: list = []
 
             def client(client_index: int) -> None:
                 # Round-robin slice, submitted in stream order; each
@@ -332,11 +380,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         request = requests[slot]
                         try:
                             future = frontend.submit(
-                                request.routine, **request.dims
+                                request.routine,
+                                timeout=args.deadline,
+                                **request.dims,
                             )
                         except QueueFullError:
                             continue  # counted in the frontend's shed stats
-                        results[slot] = future.result()
+                        try:
+                            results[slot] = future.result()
+                        except DeadlineExceededError:
+                            expired_slots.append(slot)  # shed, not lost
                 except Exception as exc:  # surfaced as exit code 1 below
                     client_errors.append(exc)
 
@@ -359,10 +412,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     print(f"error: client thread failed: {client_errors[0]}",
                           file=sys.stderr)
                     return 1
-                lost = len(requests) - len(plans) - frontend.n_shed
+                lost = (
+                    len(requests) - len(plans) - frontend.n_shed
+                    - len(expired_slots)
+                )
                 if lost:
-                    print(f"error: {lost} request(s) neither served nor shed",
-                          file=sys.stderr)
+                    print(f"error: {lost} request(s) neither served, shed "
+                          "nor expired", file=sys.stderr)
                     return 1
                 if args.observe:
                     observe_plans(frontend, plans)
@@ -399,6 +455,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{admission['shed']} shed ({admission['mode']} mode, "
                 f"capacity {admission['capacity']})"
             )
+            supervision = stats.get("supervision")
+            if supervision is not None:
+                quarantined = supervision["quarantined"]
+                recovery = ""
+                if supervision["recovery_episodes"]:
+                    recovery = (
+                        f" | recovery mean "
+                        f"{supervision['recovery_mean_s'] * 1e3:.0f} ms, max "
+                        f"{supervision['recovery_max_s'] * 1e3:.0f} ms"
+                    )
+                print(
+                    f"  supervision: {supervision['restarts']} restarts, "
+                    f"{supervision['failures']} failures, "
+                    f"{supervision['redispatched']} redispatched, "
+                    f"{supervision['rerouted']} rerouted, "
+                    f"{supervision['hangs']} hangs, "
+                    f"{supervision['deadline_expired']} deadline-expired | "
+                    f"healthy {supervision['healthy_shards']}/{stats['shards']}"
+                    + (f" | quarantined: {quarantined}" if quarantined else "")
+                    + recovery
+                )
+                injected = supervision.get("injected")
+                if injected is not None:
+                    fired = ", ".join(
+                        f"{kind}:{count}"
+                        for kind, count in sorted(injected["injected"].items())
+                    ) or "none"
+                    print(
+                        f"  injected faults: {fired} "
+                        f"(seed {injected['seed']}, "
+                        f"{injected['remaining']} unfired of "
+                        f"{sum(injected['spec'].values())} scheduled)"
+                    )
         cache = stats["cache"]
         print(
             f"  cache: {cache['cache_hits']} hits / {cache['cache_misses']} misses, "

@@ -19,6 +19,11 @@ engine fit for heavy traffic:
 * :mod:`repro.serving.fallback` — the composable fallback-policy chain
   (installed precision → cross precision → max-threads heuristic) that
   decides which installed model serves a request.
+* :mod:`repro.serving.supervisor` / :mod:`repro.serving.faults` — fault
+  tolerance: shard health monitoring, dead/hung-worker restart with capped
+  exponential backoff, exactly-once redispatch of stranded requests,
+  circuit-breaker quarantine with deterministic rerouting, and a seeded
+  fault-injection harness for chaos testing.
 * :mod:`repro.serving.telemetry` — online observed-vs-predicted error
   tracking, rolling drift statistics and re-install flagging.
 * :mod:`repro.serving.workload` — synthetic request streams (uniform /
@@ -43,6 +48,7 @@ from repro.serving.fallback import (
 )
 from repro.serving.telemetry import (
     EngineTelemetry,
+    FaultTelemetry,
     RollingStats,
     RoutineTelemetry,
     ShapeHistogram,
@@ -56,7 +62,23 @@ from repro.serving.frontend import (
     ShardedFrontend,
     shard_index,
 )
-from repro.serving.shard import EngineShard
+from repro.serving.shard import (
+    DeadlineExceededError,
+    EngineShard,
+    ShardFailure,
+)
+from repro.serving.procshard import (
+    FrameCorruptionError,
+    ProcessShard,
+    WorkerDiedError,
+    WorkerInitError,
+)
+from repro.serving.supervisor import (
+    NoHealthyShardError,
+    RestartPolicy,
+    ShardSupervisor,
+)
+from repro.serving.faults import FaultInjector, InjectedFault, parse_fault_spec
 from repro.serving.workload import (
     WorkloadRequest,
     append_jsonl,
@@ -87,10 +109,23 @@ __all__ = [
     "ServingEngine",
     "normalize_request",
     "EngineShard",
+    "ProcessShard",
     "ShardedFrontend",
     "PlanFuture",
     "QueueFullError",
     "shard_index",
+    "ShardFailure",
+    "DeadlineExceededError",
+    "WorkerDiedError",
+    "WorkerInitError",
+    "FrameCorruptionError",
+    "NoHealthyShardError",
+    "ShardSupervisor",
+    "RestartPolicy",
+    "FaultInjector",
+    "InjectedFault",
+    "parse_fault_spec",
+    "FaultTelemetry",
     "WorkloadRequest",
     "generate_workload",
     "load_workload",

@@ -62,15 +62,26 @@ class PlanRequest:
 
     ``dims_key`` is the canonical hashable form of ``dims`` (sorted items),
     computed once at submission and reused by every cache probe downstream.
+    ``deadline`` is an optional absolute :func:`time.monotonic` instant —
+    the drain loop sheds a request whose deadline already passed instead of
+    spending a micro-batch slot on an answer nobody is waiting for.  The
+    deadline never crosses the process-shard pipe: shedding happens on the
+    parent side, before dispatch.
     """
 
     request_id: int
     routine: str
     dims: Dict[str, int]
     dims_key: tuple = ()
+    deadline: Optional[float] = None
 
 
-def normalize_request(routine: str, dims: Dict[str, int], request_id: int) -> PlanRequest:
+def normalize_request(
+    routine: str,
+    dims: Dict[str, int],
+    request_id: int,
+    deadline: Optional[float] = None,
+) -> PlanRequest:
     """Validate and normalize one request into a :class:`PlanRequest`.
 
     Shared by :meth:`ServingEngine.submit` (engine-local ids) and the
@@ -84,6 +95,7 @@ def normalize_request(routine: str, dims: Dict[str, int], request_id: int) -> Pl
         routine=prefix + base,
         dims=normalized,
         dims_key=tuple(sorted(normalized.items())),
+        deadline=deadline,
     )
 
 

@@ -28,6 +28,17 @@ routine, dims, threads, predicted/baseline times, fallback policy — to a
 sequential single-engine replay of the same stream (the stress tests
 assert exactly this, keyed by request id).  Only the ``from_cache`` flags
 may differ, because each shard warms its own LRU.
+
+Fault tolerance: with ``supervise=True`` (the default) a
+:class:`~repro.serving.supervisor.ShardSupervisor` health-checks the
+shards, restarts dead/hung workers with capped exponential backoff,
+redispatches the in-flight requests a failure stranded (each answered
+exactly once, bit-identical to a healthy run) and quarantines a shard
+whose restarts keep failing, rerouting its key range to the survivors.
+Requests accept a per-request ``timeout=``: expired requests are shed
+from the drain loop with :class:`~repro.serving.shard.DeadlineExceededError`
+instead of wasting a micro-batch slot — deadlines bound *latency*, while
+``max_pending`` backpressure bounds *memory*; the two compose.
 """
 
 from __future__ import annotations
@@ -35,21 +46,29 @@ from __future__ import annotations
 import copy
 import itertools
 import threading
-import zlib
+import time
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.runtime import ExecutionPlan
 from repro.parallel import map_parallel
 from repro.serving.engine import PlanRequest, ServingEngine, normalize_request
 from repro.serving.procshard import ProcessShard, export_source_spec
-from repro.serving.shard import EngineShard, ShardBase
+from repro.serving.shard import (
+    DeadlineExceededError,
+    EngineShard,
+    ShardBase,
+    ShardFailure,
+    shard_index,
+)
+from repro.serving.supervisor import RestartPolicy, ShardSupervisor
 from repro.serving.telemetry import EngineTelemetry
 
 __all__ = [
     "BACKPRESSURE_MODES",
     "SHARD_BACKENDS",
+    "DeadlineExceededError",
     "QueueFullError",
     "PlanFuture",
     "ShardedFrontend",
@@ -66,28 +85,31 @@ class QueueFullError(RuntimeError):
     """The frontend's bounded in-flight budget is exhausted (reject mode)."""
 
 
-def shard_index(routine: str, dims_key: tuple, n_shards: int) -> int:
-    """Deterministic shard for one request.
-
-    CRC-32 over the canonical ``(routine, dims_key)`` repr: stable across
-    processes, runs and Python hash randomisation, so replaying a stream
-    always produces the same shard assignment (and the same per-shard
-    cache behaviour).
-    """
-    digest = zlib.crc32(repr((routine, dims_key)).encode("utf-8"))
-    return digest % n_shards
-
-
 class PlanFuture(Future):
     """A waitable plan: ``result()`` blocks until the shard answers.
 
-    Carries the globally allocated ``request_id`` so callers can match
-    answers back to submissions without extra bookkeeping.
+    Carries the globally allocated ``request_id`` and the index of the
+    shard serving it, so callers can match answers back to submissions
+    without extra bookkeeping — and so a timed-out ``result()`` can say
+    *which* request is stuck *where* instead of raising a bare
+    ``TimeoutError``.
     """
 
-    def __init__(self, request_id: int):
+    def __init__(self, request_id: int, shard: Optional[int] = None):
         super().__init__()
         self.request_id = int(request_id)
+        self.shard = shard
+
+    def result(self, timeout: Optional[float] = None):
+        try:
+            return super().result(timeout)
+        except DeadlineExceededError:
+            raise  # shed by the drain loop; already names request and shard
+        except TimeoutError:
+            raise DeadlineExceededError(
+                f"request {self.request_id} still unanswered after "
+                f"{timeout}s waiting on shard {self.shard}"
+            ) from None
 
 
 class ShardedFrontend:
@@ -129,6 +151,22 @@ class ShardedFrontend:
         Optional telemetry drift threshold for engines this frontend
         builds (both backends; ``None`` keeps the telemetry default).
         Ignored for pre-built engines, which carry their own telemetry.
+    supervise:
+        ``True`` (default) attaches a
+        :class:`~repro.serving.supervisor.ShardSupervisor`: dead or hung
+        shard workers are restarted with capped exponential backoff, the
+        requests they stranded are redispatched (answered exactly once),
+        and a shard whose restarts keep failing is quarantined with its
+        key range rerouted to the survivors.  ``False`` restores the
+        fail-fast behaviour: a worker death errors its in-flight futures.
+    restart_policy:
+        Optional :class:`~repro.serving.supervisor.RestartPolicy`
+        overriding the supervision thresholds (backoff, hang timeout,
+        quarantine threshold).  Ignored when ``supervise=False``.
+    injector:
+        Optional :class:`~repro.serving.faults.FaultInjector` whose
+        seeded chaos schedule fires on this frontend's shard dispatches
+        (testing/benchmarking only).
     """
 
     def __init__(
@@ -142,6 +180,9 @@ class ShardedFrontend:
         backend: str = "thread",
         start_method: Optional[str] = None,
         drift_threshold: Optional[float] = None,
+        supervise: bool = True,
+        restart_policy: Optional[RestartPolicy] = None,
+        injector=None,
     ):
         if not sources:
             raise ValueError("ShardedFrontend needs at least one source")
@@ -183,10 +224,9 @@ class ShardedFrontend:
                     "source across shards would race on its predictor caches "
                     "(use from_bundle()/from_directory())"
                 )
-            engines = [
-                source
-                if isinstance(source, ServingEngine)
-                else ServingEngine(
+
+            def build_engine(source) -> ServingEngine:
+                return ServingEngine(
                     source,
                     max_batch_size=max_batch_size,
                     use_cache=use_cache,
@@ -197,10 +237,36 @@ class ShardedFrontend:
                         else None
                     ),
                 )
-                for source in sources
-            ]
+
+            def engine_factory(source) -> Optional[Callable[[], ServingEngine]]:
+                # A restarted thread shard must NOT reuse the wedged
+                # engine (a hung batch may still hold its lock); rebuild
+                # from an independent copy of the source instead.
+                # Pre-built engines have no retained source to rebuild
+                # from, so their shards stay fail-fast on hangs.
+                if isinstance(source, ServingEngine):
+                    return None
+
+                def rebuild() -> ServingEngine:
+                    from repro.serving.registry import BundleHandle
+
+                    if isinstance(source, BundleHandle):
+                        fresh = BundleHandle(source.directory)
+                    else:
+                        fresh = copy.deepcopy(source)
+                    return build_engine(fresh)
+
+                return rebuild
+
             self.shards = [
-                EngineShard(index, engine) for index, engine in enumerate(engines)
+                EngineShard(
+                    index,
+                    source
+                    if isinstance(source, ServingEngine)
+                    else build_engine(source),
+                    engine_factory=engine_factory(source),
+                )
+                for index, source in enumerate(sources)
             ]
         self.max_pending = int(max_pending)
         self.backpressure = backpressure
@@ -215,6 +281,15 @@ class ShardedFrontend:
         self.n_completed = 0
         self.n_shed = 0
         self._closed = False
+        self.supervisor: Optional[ShardSupervisor] = None
+        if supervise:
+            self.supervisor = ShardSupervisor(
+                self.shards, policy=restart_policy, injector=injector
+            )
+            self.supervisor.attach()
+        elif injector is not None:
+            for shard in self.shards:
+                shard.injector = injector
 
     # -- construction helpers -------------------------------------------------------
     @classmethod
@@ -272,6 +347,8 @@ class ShardedFrontend:
         """Start every shard worker (idempotent; submit() does this lazily)."""
         for shard in self.shards:
             shard.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
 
     def close(self) -> None:
         """Answer everything in flight, then stop the shard workers.
@@ -283,6 +360,8 @@ class ShardedFrontend:
         """
         with self._lifecycle_lock:
             self._closed = True
+        if self.supervisor is not None:
+            self.supervisor.stop()
         for shard in self.shards:
             shard.stop()
 
@@ -295,9 +374,19 @@ class ShardedFrontend:
 
     # -- request path ----------------------------------------------------------------
     def _route(self, request: PlanRequest) -> ShardBase:
-        return self.shards[
-            shard_index(request.routine, request.dims_key, len(self.shards))
-        ]
+        primary = shard_index(request.routine, request.dims_key, len(self.shards))
+        if self.supervisor is not None:
+            return self.shards[self.supervisor.resolve_request(request, primary)]
+        return self.shards[primary]
+
+    @staticmethod
+    def _deadline_from(timeout: Optional[float]) -> Optional[float]:
+        if timeout is None:
+            return None
+        timeout = float(timeout)
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        return time.monotonic() + timeout
 
     def _admit(self) -> None:
         if self.backpressure == "block":
@@ -316,35 +405,57 @@ class ShardedFrontend:
         with self._counters_lock:
             self.n_completed += 1
 
-    def submit(self, routine: str, **dims: int) -> PlanFuture:
+    def submit(
+        self, routine: str, timeout: Optional[float] = None, **dims: int
+    ) -> PlanFuture:
         """Route one request to its shard; returns a waitable future.
 
         Validation happens first (bad requests raise ``ValueError`` without
         consuming an admission slot), then admission control, then the
         enqueue.  The slot is released when the future resolves — whether
         with a plan or an error.
+
+        ``timeout`` (seconds) stamps an end-to-end deadline on the request:
+        if it is still queued when the deadline passes, the drain loop
+        sheds it and the future raises
+        :class:`~repro.serving.shard.DeadlineExceededError` naming the
+        request and shard.
         """
-        request = normalize_request(routine, dims, next(self._request_ids))
+        request = normalize_request(
+            routine, dims, next(self._request_ids),
+            deadline=self._deadline_from(timeout),
+        )
         self._admit()
         with self._lifecycle_lock:
             if self._closed:
                 self._slots.release()  # the admission slot, no future to free it
                 raise RuntimeError("ShardedFrontend is closed")
+            try:
+                shard = self._route(request)
+            except ShardFailure:
+                self._slots.release()  # never enqueued, no future to free it
+                raise
             with self._counters_lock:
                 self.n_submitted += 1
-            future = PlanFuture(request.request_id)
+            future = PlanFuture(request.request_id, shard.index)
             future.add_done_callback(self._on_done)
-            shard = self._route(request)
             shard.start()
             shard.enqueue(request, future)
         return future
 
-    def plan(self, routine: str, **dims: int) -> ExecutionPlan:
-        """Blocking convenience: submit and wait for the plan."""
-        return self.submit(routine, **dims).result()
+    def plan(
+        self, routine: str, timeout: Optional[float] = None, **dims: int
+    ) -> ExecutionPlan:
+        """Blocking convenience: submit and wait for the plan.
+
+        ``timeout`` both stamps the request deadline and bounds the wait.
+        """
+        return self.submit(routine, timeout=timeout, **dims).result(timeout)
 
     def plan_many(
-        self, requests: Iterable[Tuple[str, Dict[str, int]]]
+        self,
+        requests: Iterable[Tuple[str, Dict[str, int]]],
+        timeout: Optional[float] = None,
     ) -> List[ExecutionPlan]:
         """Answer a whole stream synchronously; plans in request order.
 
@@ -354,18 +465,28 @@ class ShardedFrontend:
         per non-empty shard).  Bypasses the admission queue (the batch
         itself bounds memory) and is safe to run alongside concurrent
         :meth:`submit` traffic: the engines' locks serialise per shard.
+
+        ``timeout`` is one end-to-end deadline for the whole stream: a
+        chunk that has not started executing when it expires raises
+        :class:`~repro.serving.shard.DeadlineExceededError`.
         """
+        deadline = self._deadline_from(timeout)
         made = [
-            normalize_request(routine, dims, next(self._request_ids))
+            normalize_request(
+                routine, dims, next(self._request_ids), deadline=deadline
+            )
             for routine, dims in requests
         ]
         per_shard: List[List[Tuple[int, PlanRequest]]] = [
             [] for _ in self.shards
         ]
         for slot, request in enumerate(made):
-            per_shard[
-                shard_index(request.routine, request.dims_key, len(self.shards))
-            ].append((slot, request))
+            primary = shard_index(
+                request.routine, request.dims_key, len(self.shards)
+            )
+            if self.supervisor is not None:
+                primary = self.supervisor.resolve_request(request, primary)
+            per_shard[primary].append((slot, request))
         work = [
             (shard, assigned)
             for shard, assigned in zip(self.shards, per_shard)
@@ -374,7 +495,9 @@ class ShardedFrontend:
 
         def drain(item: Tuple[ShardBase, List[Tuple[int, PlanRequest]]]):
             shard, assigned = item
-            plans = shard.execute([request for _, request in assigned])
+            plans = shard.execute(
+                [request for _, request in assigned], deadline=deadline
+            )
             return [(slot, plan) for (slot, _), plan in zip(assigned, plans)]
 
         chunks = map_parallel(
@@ -507,9 +630,13 @@ class ShardedFrontend:
         flagged = set()
         for snapshot in shard_snapshots:
             flagged.update(snapshot["reinstall_candidates"])
+        supervision = (
+            self.supervisor.snapshot() if self.supervisor is not None else None
+        )
         return {
             "backend": self.backend,
             "shards": len(self.shards),
+            "supervision": supervision,
             "requests": requests,
             "batches": batches,
             "mean_batch_size": requests / batches if batches else 0.0,

@@ -41,6 +41,7 @@ from a process that already runs drain threads, where ``fork`` is unsafe.
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
@@ -62,11 +63,34 @@ from repro.parallel import worker_context
 from repro.preprocessing.pipeline import FusedTransform
 from repro.serving.engine import PlanRequest, ServingEngine
 from repro.serving.fallback import default_serving_chain
-from repro.serving.shard import ShardBase
+from repro.serving.shard import ShardBase, ShardFailure
 from repro.serving.telemetry import EngineTelemetry
 from repro.shm import SharedSegmentRegistry
 
-__all__ = ["ProcessShard", "SharedSourceExport", "export_source_spec"]
+__all__ = [
+    "FrameCorruptionError",
+    "ProcessShard",
+    "SharedSourceExport",
+    "WorkerDiedError",
+    "WorkerInitError",
+    "export_source_spec",
+]
+
+
+class WorkerDiedError(ShardFailure):
+    """The shard's worker process exited (or its pipe broke) mid-operation."""
+
+
+class WorkerInitError(ShardFailure):
+    """The worker came up but could not initialise its engine.
+
+    The classic cause is shared-memory segments that died between spawn
+    and attach; recovery re-exports the model state and respawns.
+    """
+
+
+class FrameCorruptionError(ShardFailure):
+    """A pipe frame failed to decode; the transport is desynchronised."""
 
 
 # ---------------------------------------------------------------------------
@@ -283,22 +307,72 @@ class SharedSourceExport:
     process shards: each shard ``acquire()``s the registry at construction
     and ``release()``s it exactly once at stop, so the last shard's
     teardown unlinks the segments.
+
+    The export also retains the original ``source`` (and the export
+    parameters), so :meth:`ensure_alive` can rebuild the whole family of
+    segments if they die while workers are being restarted — the registry
+    hand-off keeps the outstanding shard refcount, so teardown semantics
+    are unchanged after a re-export.
     """
 
-    def __init__(self, registry: SharedSegmentRegistry, spec: dict):
+    def __init__(
+        self,
+        registry: SharedSegmentRegistry,
+        spec: dict,
+        source=None,
+        params: Optional[dict] = None,
+    ):
         self.registry = registry
         self.spec = spec
+        self._source = source
+        self._params = dict(params or {})
+        # Serialises acquire/release against a registry swap so a release
+        # issued mid-re-export can never decrement the retiring registry
+        # after its refcount was copied to the replacement.
+        self._swap_lock = threading.Lock()
+        self.n_reexports = 0
 
     @property
     def max_batch_size(self) -> int:
         return int(self.spec["engine"]["max_batch_size"])
 
     def acquire(self) -> "SharedSourceExport":
-        self.registry.acquire()
+        with self._swap_lock:
+            self.registry.acquire()
         return self
 
     def release(self) -> None:
-        self.registry.release()
+        with self._swap_lock:
+            self.registry.release()
+
+    def ensure_alive(self) -> bool:
+        """Re-export the model state if its shared segments died.
+
+        A freshly spawned worker attaches segments *by name*; the parent's
+        own mappings survive an unlink but a replacement worker would get
+        ``FileNotFoundError`` at init.  Called before each restart: when
+        any owned segment no longer resolves, the retained source is
+        exported again into a new registry (which adopts the old one's
+        refcount) and the worker spec is swapped.  Returns whether a
+        re-export happened.
+        """
+        with self._swap_lock:
+            registry = self.registry
+            if not registry.missing_segments():
+                return False
+            if self._source is None:
+                raise ShardFailure(
+                    "shared model segments are gone and this export kept no "
+                    "source to rebuild them from"
+                )
+            fresh = export_source_spec(self._source, **self._params)
+            fresh.registry.adopt_refcount(registry.refcount)
+            self.registry = fresh.registry
+            self.spec = fresh.spec
+            self.n_reexports += 1
+            registry.adopt_refcount(0)
+            registry.close()
+            return True
 
 
 def export_source_spec(
@@ -307,6 +381,7 @@ def export_source_spec(
     use_cache: bool = True,
     timing_cache_capacity: int = 4096,
     drift_threshold: Optional[float] = None,
+    worker_faults: Optional[dict] = None,
 ) -> SharedSourceExport:
     """Flatten a bundle/handle into a picklable worker spec + shared segments.
 
@@ -349,8 +424,21 @@ def export_source_spec(
         # worker spawns: N workers adopt the finished .so instead of racing
         # the compiler (or re-hashing the source on cold temp dirs).
         "native_library": _native.library_path(),
+        # Worker-side chaos knobs (see serving/faults.py); empty in production.
+        "faults": dict(worker_faults or {}),
     }
-    return SharedSourceExport(registry, spec)
+    return SharedSourceExport(
+        registry,
+        spec,
+        source=source,
+        params={
+            "max_batch_size": max_batch_size,
+            "use_cache": use_cache,
+            "timing_cache_capacity": timing_cache_capacity,
+            "drift_threshold": drift_threshold,
+            "worker_faults": worker_faults,
+        },
+    )
 
 
 class _WorkerInstallation:
@@ -441,6 +529,12 @@ def _engine_from_spec(spec: dict, registry) -> ServingEngine:
 
 def _worker_main(conn, spec: dict) -> None:
     """Worker-process entry: map shared state, serve frames until STOP."""
+    faults = spec.get("faults") or {}
+    if faults.get("ignore_stop"):
+        # Chaos harness: simulate a worker wedged past graceful shutdown.
+        # It keeps serving but ignores STOP frames and SIGTERM, so only the
+        # parent's kill() escalation can end it (the close() backstop test).
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
     registry = SharedSegmentRegistry()
     engine: Optional[ServingEngine] = None
     init_error: Optional[str] = None
@@ -457,6 +551,8 @@ def _worker_main(conn, spec: dict) -> None:
                 break
             kind, count, payload = _parse_frame(data)
             if kind == KIND_STOP:
+                if faults.get("ignore_stop"):
+                    continue
                 break
             if kind == KIND_OBSERVE:
                 if engine is not None:
@@ -523,6 +619,7 @@ class ProcessShard(ShardBase):
         index: int,
         export: SharedSourceExport,
         start_method: Optional[str] = None,
+        stop_timeout: float = 10.0,
     ):
         super().__init__(index)
         self._export = export.acquire()
@@ -535,6 +632,12 @@ class ProcessShard(ShardBase):
         self._dead = False
         self._released = False
         self._final: Optional[dict] = None
+        self._stop_timeout = float(stop_timeout)
+        # Chaos hook: the fault injector arms this to mangle the next
+        # plans frame after it leaves the pipe (transport corruption).
+        self._corrupt_next_reply = False
+        #: Last close() escalation taken (None | "terminate" | "kill").
+        self.stop_escalation: Optional[str] = None
 
     # -- backend contract ----------------------------------------------------------
     @property
@@ -545,7 +648,19 @@ class ProcessShard(ShardBase):
         with self._pipe_lock:
             self._ensure_worker()
             _, count, payload = self._roundtrip(encode_requests(requests), "mid-batch")
-        return decode_plans(count, payload, requests)
+        if self._corrupt_next_reply:
+            self._corrupt_next_reply = False
+            payload = payload[:7]  # short buffer: every decode layout breaks
+        try:
+            return decode_plans(count, payload, requests)
+        except Exception as exc:
+            # The pipe may hold half-consumed garbage after a bad frame;
+            # the worker has to go so a restart gets a clean transport.
+            self._terminate_worker()
+            raise FrameCorruptionError(
+                f"process shard {self.index} received an undecodable plans "
+                f"frame ({exc!r}); worker terminated for restart"
+            ) from exc
 
     # -- worker lifecycle ----------------------------------------------------------
     def _ensure_worker(self) -> None:
@@ -574,9 +689,18 @@ class ProcessShard(ShardBase):
             self._raise_dead(doing, exc)
         kind, count, payload = _parse_frame(reply)
         if kind == KIND_ERROR:
+            message = payload.decode("utf-8", "replace")
+            if message.startswith("worker initialisation failed"):
+                # The worker process is up but its engine never built —
+                # typically the shared segments it attaches by name are
+                # gone.  Restartable: recovery re-exports and respawns.
+                self._terminate_worker_locked()
+                raise WorkerInitError(
+                    f"process shard {self.index} worker could not initialise "
+                    f"{doing}: {message}"
+                )
             raise RuntimeError(
-                f"process shard {self.index} worker error {doing}: "
-                + payload.decode("utf-8", "replace")
+                f"process shard {self.index} worker error {doing}: " + message
             )
         return kind, count, payload
 
@@ -588,10 +712,59 @@ class ProcessShard(ShardBase):
             process.join(timeout=1.0)
             exitcode = process.exitcode
         self._dead = True
-        raise RuntimeError(
+        raise WorkerDiedError(
             f"process shard {self.index} worker (pid {pid}) died {doing} "
             f"(exit code {exitcode})"
         ) from exc
+
+    def _terminate_worker(self) -> None:
+        with self._pipe_lock:
+            self._terminate_worker_locked()
+
+    def _terminate_worker_locked(self) -> None:
+        """Force the worker down and mark the shard dead (restart() revives)."""
+        process = self._proc
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=self._stop_timeout)
+        conn = self._conn
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conn = None
+        self._dead = True
+
+    def restart(self) -> None:
+        """Discard a dead/poisoned worker; the next batch spawns a fresh one.
+
+        Verifies the shared model segments first: if they died with the
+        worker (or were unlinked by chaos) the export rebuilds them from
+        its retained source, so the replacement worker attaches live
+        state.  Raises ``RuntimeError`` on a closed shard — a released
+        export cannot be revived.
+        """
+        with self._pipe_lock:
+            if self._released:
+                raise RuntimeError(f"process shard {self.index} is closed")
+            process = self._proc
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=self._stop_timeout)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=self._stop_timeout)
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except OSError:
+                    pass
+            self._proc = None
+            self._conn = None
+            self._dead = False
+            self._corrupt_next_reply = False
+        self._export.ensure_alive()
 
     def _on_stop(self) -> None:
         """Capture final stats, stop the worker, release the shared export.
@@ -611,10 +784,18 @@ class ProcessShard(ShardBase):
                         self._conn.send_bytes(_frame(KIND_STOP, 0))
                     except OSError:
                         pass
-            process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - stuck-worker backstop
+            process.join(timeout=self._stop_timeout)
+            if process.is_alive():
+                # Stuck worker: escalate with bounded joins so close() can
+                # never hang the serving process.  SIGTERM first (lets a
+                # live-but-slow worker flush), SIGKILL if that is ignored.
+                self.stop_escalation = "terminate"
                 process.terminate()
-                process.join(timeout=5)
+                process.join(timeout=self._stop_timeout)
+                if process.is_alive():
+                    self.stop_escalation = "kill"
+                    process.kill()
+                    process.join(timeout=self._stop_timeout)
             try:
                 self._conn.close()
             except OSError:  # pragma: no cover

@@ -24,6 +24,21 @@ Two backends implement the interface:
 The :class:`~repro.serving.frontend.ShardedFrontend` talks only to the
 :class:`ShardBase` interface — routing, admission control and statistics
 merging are identical for both backends.
+
+Fault tolerance
+---------------
+Backends raise :class:`ShardFailure` (or a subclass) for *transport*
+failures — a dead worker process, a corrupted pipe frame, a failed worker
+init — that a restart can heal, and plain exceptions for genuine request
+errors.  When a :class:`~repro.serving.supervisor.ShardSupervisor` is
+attached, the drain loop hands failed batches to it for restart +
+redispatch instead of failing the futures; without one, behaviour is
+unchanged (the error surfaces on every affected future).  Futures are
+resolved at-most-once via the future's own atomicity: a request that was
+redispatched *and* answered late by the original worker keeps the first
+answer and the duplicate is counted, never raised.  Requests carry an
+optional deadline; the drain loop sheds expired entries with
+:class:`DeadlineExceededError` before they cost a micro-batch slot.
 """
 
 from __future__ import annotations
@@ -31,15 +46,51 @@ from __future__ import annotations
 import os
 import queue
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+import zlib
+from concurrent.futures import InvalidStateError
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.runtime import ExecutionPlan
 from repro.serving.engine import PlanRequest, ServingEngine
 
-__all__ = ["EngineShard", "ShardBase"]
+__all__ = [
+    "DeadlineExceededError",
+    "EngineShard",
+    "ShardBase",
+    "ShardFailure",
+    "shard_index",
+]
 
 #: Inbox sentinel that tells the worker to drain leftovers and exit.
 _STOP = object()
+
+
+class ShardFailure(RuntimeError):
+    """A shard's execution backend failed in a restartable way.
+
+    Raised for transport-level faults (dead worker process, corrupted pipe
+    frame, failed worker initialisation, injected chaos) — failures a
+    supervisor can heal by restarting the worker and redispatching the
+    batch.  Engine-level errors (bad requests, model bugs) stay plain
+    exceptions and always surface on the affected futures.
+    """
+
+
+class DeadlineExceededError(TimeoutError):
+    """A request's deadline passed before a plan could be produced."""
+
+
+def shard_index(routine: str, dims_key: tuple, n_shards: int) -> int:
+    """Deterministic shard for one request.
+
+    CRC-32 over the canonical ``(routine, dims_key)`` repr: stable across
+    processes, runs and Python hash randomisation, so replaying a stream
+    always produces the same shard assignment (and the same per-shard
+    cache behaviour).
+    """
+    digest = zlib.crc32(repr((routine, dims_key)).encode("utf-8"))
+    return digest % n_shards
 
 
 class ShardBase:
@@ -65,9 +116,24 @@ class ShardBase:
         # both spawn a worker on the same inbox, and the orphan could eat
         # the stop sentinel meant for the tracked one.
         self._lifecycle_lock = threading.Lock()
+        # Bumped when a hung worker is abandoned: the zombie notices the
+        # stale generation and exits instead of stealing inbox traffic
+        # from its replacement.
+        self._generation = 0
+        # In-flight dispatches keyed by an opaque token: the supervisor's
+        # liveness monitor reads the oldest start time to detect a hung
+        # batch, and harvests the batches themselves for redispatch.
+        self._inflight_lock = threading.Lock()
+        self._inflight: Dict[object, Tuple[float, Optional[list]]] = {}
+        #: Attached by the supervisor/frontend; None means unsupervised.
+        self.supervisor = None
+        #: Optional deterministic chaos source (see serving/faults.py).
+        self.injector = None
         # Touched only by the worker thread; read by stats snapshots.
         self.n_batches_drained = 0
         self.n_requests_drained = 0
+        self.n_deadline_expired = 0
+        self.n_duplicate_answers = 0
 
     # -- backend contract ----------------------------------------------------------
     @property
@@ -76,6 +142,10 @@ class ShardBase:
 
     def _execute_batch(self, requests: Sequence[PlanRequest]) -> List[ExecutionPlan]:
         """Answer one micro-batch (at most ``max_batch_size`` requests)."""
+        raise NotImplementedError
+
+    def restart(self) -> None:
+        """Recover the execution backend after a :class:`ShardFailure`."""
         raise NotImplementedError
 
     def _on_start(self) -> None:
@@ -95,6 +165,7 @@ class ShardBase:
                 self._on_start()
                 worker = threading.Thread(
                     target=self._drain_loop,
+                    args=(self._generation,),
                     name=f"adsala-shard-{self.index}",
                     daemon=True,
                 )
@@ -111,28 +182,82 @@ class ShardBase:
                 self._worker = None
             self._on_stop()
 
+    def abandon_worker(self) -> List[list]:
+        """Give up on a hung drain worker (thread backends only).
+
+        Bumps the generation — the zombie thread exits (or has its late
+        answers suppressed) as soon as it unblocks — forgets the thread so
+        :meth:`start` can spawn a replacement on the same inbox, and
+        harvests the stuck in-flight batches so the caller can redispatch
+        them.  The zombie itself is left to the OS: a daemon thread wedged
+        inside a hung engine cannot be killed from Python.
+        """
+        with self._lifecycle_lock:
+            self._generation += 1
+            self._worker = None
+        with self._inflight_lock:
+            batches = [
+                batch for _, batch in self._inflight.values() if batch is not None
+            ]
+            self._inflight.clear()
+        return batches
+
     # -- intake --------------------------------------------------------------------
     def enqueue(self, request: PlanRequest, future) -> None:
         """Hand one routed request (and the future to resolve) to the worker."""
         self._inbox.put((request, future))
 
-    def execute(self, requests: Sequence[PlanRequest]) -> List[ExecutionPlan]:
+    def requeue(self, batch: Sequence[Tuple[PlanRequest, object]]) -> None:
+        """Put a harvested/failed batch back on the inbox for redispatch."""
+        for item in batch:
+            self._inbox.put(item)
+
+    def execute(
+        self,
+        requests: Sequence[PlanRequest],
+        deadline: Optional[float] = None,
+    ) -> List[ExecutionPlan]:
         """Synchronous bulk path: answer ``requests`` on the caller's thread.
 
         Bypasses the inbox entirely; safe to run concurrently with the
         worker because the backend serialises batches itself (the engine
-        lock in-process, the pipe lock for a worker process).
+        lock in-process, the pipe lock for a worker process).  When a
+        supervisor is attached, failed micro-batches are retried through
+        its restart/quarantine machinery instead of raising.  ``deadline``
+        (absolute monotonic time) bounds the whole drain: micro-batches
+        not yet dispatched when it passes raise
+        :class:`DeadlineExceededError`.
         """
         plans: List[ExecutionPlan] = []
         limit = self.max_batch_size
+        supervisor = self.supervisor
         for start in range(0, len(requests), limit):
-            plans.extend(self._execute_batch(requests[start : start + limit]))
+            chunk = requests[start : start + limit]
+            if deadline is not None and time.monotonic() > deadline:
+                raise DeadlineExceededError(
+                    f"request {chunk[0].request_id} missed its deadline before "
+                    f"execution on shard {self.index} "
+                    f"({len(requests) - start} of {len(requests)} still queued)"
+                )
+            if supervisor is not None:
+                plans.extend(supervisor.execute_batch(self, chunk, deadline=deadline))
+            else:
+                plans.extend(self._dispatch(chunk))
         return plans
 
     # -- worker --------------------------------------------------------------------
-    def _drain_loop(self) -> None:
+    def _drain_loop(self, generation: int) -> None:
         while True:
+            if generation != self._generation:
+                return  # abandoned: a replacement owns the inbox now
             item = self._inbox.get()
+            if generation != self._generation:
+                # Abandoned while blocked on the inbox: hand the item to
+                # the replacement worker and bow out.  Re-queueing may
+                # reorder, which is harmless — plans are pure functions of
+                # each request.
+                self._inbox.put(item)
+                return
             stopping = item is _STOP
             batch: List[Tuple[PlanRequest, object]] = [] if stopping else [item]
             while len(batch) < self.max_batch_size:
@@ -159,19 +284,97 @@ class ShardBase:
                     self._answer(leftovers)
                 return
 
+    def _dispatch(
+        self,
+        requests: Sequence[PlanRequest],
+        batch: Optional[list] = None,
+    ) -> List[ExecutionPlan]:
+        """Execute one micro-batch with liveness tracking + chaos hook."""
+        token = object()
+        with self._inflight_lock:
+            self._inflight[token] = (time.monotonic(), batch)
+        try:
+            injector = self.injector
+            if injector is not None:
+                injector.before_batch(self)
+            return self._execute_batch(requests)
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(token, None)
+
+    def stalled_for(self, now: Optional[float] = None) -> Optional[float]:
+        """Age in seconds of the oldest in-flight dispatch, or ``None``."""
+        with self._inflight_lock:
+            if not self._inflight:
+                return None
+            oldest = min(since for since, _ in self._inflight.values())
+        return (time.monotonic() if now is None else now) - oldest
+
+    def _resolve(self, future, plan=None, error: Optional[BaseException] = None):
+        """Resolve a future at-most-once; count (never raise on) duplicates."""
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(plan)
+        except InvalidStateError:
+            # A redispatched request was already answered by the original
+            # worker (or vice versa).  Both answers are bit-identical —
+            # plans are pure functions of the request — so keeping the
+            # first is exactly-once delivery, not data loss.
+            self.n_duplicate_answers += 1
+
+    def _fail_batch(self, batch, exc: BaseException) -> None:
+        for _, future in batch:
+            self._resolve(future, error=exc)
+
+    def _shed_expired(self, batch):
+        """Resolve expired entries with DeadlineExceededError; return the rest."""
+        if all(request.deadline is None for request, _ in batch):
+            return batch
+        now = time.monotonic()
+        live = []
+        for request, future in batch:
+            if request.deadline is not None and now > request.deadline:
+                self.n_deadline_expired += 1
+                self._resolve(
+                    future,
+                    error=DeadlineExceededError(
+                        f"request {request.request_id} missed its deadline "
+                        f"before execution on shard {self.index}"
+                    ),
+                )
+            else:
+                live.append((request, future))
+        return live
+
     def _answer(self, batch: List[Tuple[PlanRequest, object]]) -> None:
+        batch = self._shed_expired(batch)
+        if not batch:
+            return
         requests = [request for request, _ in batch]
         try:
-            plans = self._execute_batch(requests)
+            plans = self._dispatch(requests, batch)
+        except ShardFailure as exc:
+            supervisor = self.supervisor
+            if supervisor is not None:
+                # Recoverable transport failure: the supervisor restarts
+                # the backend and redispatches the batch — the futures
+                # stay pending until a healthy worker answers them.
+                supervisor.on_batch_failure(self, batch, exc)
+                return
+            self._fail_batch(batch, exc)
+            return
         except BaseException as exc:  # resolve futures even on backend bugs
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(exc)
+            self._fail_batch(batch, exc)
             return
         for (_, future), plan in zip(batch, plans):
-            future.set_result(plan)
+            self._resolve(future, plan=plan)
         self.n_batches_drained += 1
         self.n_requests_drained += len(batch)
+        supervisor = self.supervisor
+        if supervisor is not None:
+            supervisor.on_batch_success(self)
 
     # -- statistics interface ------------------------------------------------------
     # The frontend merges these without ever touching a backend's engine
@@ -210,6 +413,8 @@ class ShardBase:
             "batches_drained": self.n_batches_drained,
             "requests_drained": self.n_requests_drained,
             "pending": self.n_pending,
+            "deadline_expired": self.n_deadline_expired,
+            "duplicate_answers": self.n_duplicate_answers,
         }
 
 
@@ -219,13 +424,27 @@ class EngineShard(ShardBase):
     Batches run on the drain thread (or the caller's thread for the bulk
     path) under the engine's own lock; the ``engine`` attribute stays
     public for in-process telemetry and cache inspection.
+
+    ``engine_factory`` (optional) builds a replacement engine for
+    :meth:`restart`: after a hung worker is abandoned the old engine may be
+    wedged (its lock held forever by the zombie), so recovery swaps in a
+    fresh engine over an independent copy of the model state.  Without a
+    factory, restart keeps the existing engine — correct for injected
+    faults (which fire before the engine is entered) but unable to heal a
+    genuine engine hang.
     """
 
     backend = "thread"
 
-    def __init__(self, index: int, engine: ServingEngine):
+    def __init__(
+        self,
+        index: int,
+        engine: ServingEngine,
+        engine_factory: Optional[Callable[[], ServingEngine]] = None,
+    ):
         super().__init__(index)
         self.engine = engine
+        self._engine_factory = engine_factory
 
     @property
     def max_batch_size(self) -> int:
@@ -233,6 +452,10 @@ class EngineShard(ShardBase):
 
     def _execute_batch(self, requests: Sequence[PlanRequest]) -> List[ExecutionPlan]:
         return self.engine.execute(requests)
+
+    def restart(self) -> None:
+        if self._engine_factory is not None:
+            self.engine = self._engine_factory()
 
     # -- statistics interface ------------------------------------------------------
     def stats(self) -> Dict[str, object]:

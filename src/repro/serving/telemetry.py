@@ -25,6 +25,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 __all__ = [
+    "FaultTelemetry",
     "RollingStats",
     "ShapeHistogram",
     "TrafficRecord",
@@ -401,4 +402,45 @@ class EngineTelemetry:
                 routine: telemetry.snapshot()
                 for routine, telemetry in self.routines.items()
             },
+        }
+
+
+class FaultTelemetry:
+    """Supervision counters for one shard, owned by the shard supervisor.
+
+    Like every other class here this carries no locks of its own — the
+    :class:`~repro.serving.supervisor.ShardSupervisor` mutates it under its
+    own lock.  ``recovery`` tracks the seconds from the first failure of an
+    episode to the first healthy batch afterwards, over a bounded window,
+    so the merged stats (and ``bench_fault_recovery``) can report
+    time-to-recovery without unbounded growth.
+    """
+
+    def __init__(self, index: int, recovery_window: int = 64):
+        self.index = int(index)
+        self.n_failures = 0
+        self.n_restarts = 0
+        self.n_redispatched = 0
+        self.n_rerouted = 0
+        self.n_hangs = 0
+        self.consecutive_failures = 0
+        self.quarantined = False
+        self.last_error: Optional[str] = None
+        #: Monotonic instant the current failure episode started (None when healthy).
+        self.failure_started: Optional[float] = None
+        self.recovery = RollingStats(recovery_window)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "failures": self.n_failures,
+            "restarts": self.n_restarts,
+            "redispatched": self.n_redispatched,
+            "rerouted": self.n_rerouted,
+            "hangs": self.n_hangs,
+            "consecutive_failures": self.consecutive_failures,
+            "quarantined": self.quarantined,
+            "last_error": self.last_error,
+            "recovering": self.failure_started is not None,
+            "recovery": self.recovery.snapshot(),
         }

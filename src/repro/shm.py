@@ -129,7 +129,51 @@ class SharedSegmentRegistry:
         with self._lock:
             return sorted(self._owned)
 
+    def missing_segments(self) -> List[str]:
+        """Owned segments whose names no longer resolve for new attachers.
+
+        The creator's own mappings survive an unlink (the pages stay valid
+        until the last unmap), but a *newly spawned* worker attaches by
+        name and would fail — so the supervisor probes this before
+        restarting a worker and re-exports the model state when segments
+        died.  Probes ``/dev/shm`` directly where it exists (Linux), else
+        attempts a throwaway attach.
+        """
+        with self._lock:
+            names = sorted(self._owned)
+        if not names:
+            return []
+        missing: List[str] = []
+        if os.path.isdir("/dev/shm"):
+            for name in names:
+                if not os.path.exists(os.path.join("/dev/shm", name)):
+                    missing.append(name)
+            return missing
+        for name in names:  # pragma: no cover - non-Linux fallback
+            try:
+                probe = SharedMemory(name=name)
+            except FileNotFoundError:
+                missing.append(name)
+            else:
+                probe.close()
+        return missing
+
     # -- refcounting ---------------------------------------------------------------
+    @property
+    def refcount(self) -> int:
+        with self._lock:
+            return self._refcount
+
+    def adopt_refcount(self, count: int) -> None:
+        """Take over ``count`` outstanding acquires (registry hand-off).
+
+        Used when a re-export replaces a registry whose segments died: the
+        consumers that acquired the old registry will release the new one,
+        so the new registry starts with the old one's refcount.
+        """
+        with self._lock:
+            self._refcount = int(count)
+
     def acquire(self) -> "SharedSegmentRegistry":
         with self._lock:
             self._refcount += 1

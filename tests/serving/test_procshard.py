@@ -233,7 +233,11 @@ class TestWorkerDeath:
             shard.stop()
 
     def test_futures_resolve_with_error_after_kill(self, clear_caches):
-        frontend = ShardedFrontend.from_bundle(clear_caches, 1, backend="process")
+        # supervise=False restores the fail-fast contract this test pins
+        # down; the supervised recovery path is covered in test_supervisor.
+        frontend = ShardedFrontend.from_bundle(
+            clear_caches, 1, backend="process", supervise=False
+        )
         with frontend:
             assert frontend.plan("dgemm", m=64, k=64, n=64).threads >= 1
             _kill_worker(frontend.shards[0])
@@ -266,6 +270,43 @@ class TestWorkerDeath:
             shard.record_observation(plan, plan.predicted_time * 1.2)  # no-op
         finally:
             shard.stop()
+
+
+class TestCloseEscalation:
+    def test_close_escalates_to_kill_when_worker_ignores_stop(self, clear_caches):
+        """Regression for the stop() backstop: a worker that ignores both the
+        STOP frame and SIGTERM must be SIGKILLed within the bounded join
+        budget — close() may be slow, but it must never hang forever."""
+        export = export_source_spec(
+            clear_caches,
+            max_batch_size=8,
+            worker_faults={"ignore_stop": True},
+        )
+        shard = ProcessShard(0, export, stop_timeout=0.5)
+        request = normalize_request("dgemm", {"m": 64, "k": 32, "n": 16}, 0)
+        (plan,) = shard.execute([request])  # worker up and serving
+        assert plan.threads >= 1
+        start = time.perf_counter()
+        shard.stop()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30  # 3 bounded joins, not an unbounded hang
+        assert shard.stop_escalation == "kill"
+        assert export.registry.closed
+
+    def test_clean_close_does_not_escalate(self, clear_caches):
+        export = export_source_spec(clear_caches, max_batch_size=8)
+        shard = ProcessShard(0, export)
+        request = normalize_request("dgemm", {"m": 64, "k": 32, "n": 16}, 0)
+        shard.execute([request])
+        shard.stop()
+        assert shard.stop_escalation is None
+
+    def test_restart_on_closed_shard_raises(self, clear_caches):
+        export = export_source_spec(clear_caches, max_batch_size=8)
+        shard = ProcessShard(0, export)
+        shard.stop()
+        with pytest.raises(RuntimeError, match="closed"):
+            shard.restart()
 
 
 class TestStatsAndAttribution:
