@@ -72,7 +72,7 @@ from repro.core.predictor import ThreadPredictor
 from repro.machine import get_platform, list_platforms
 from repro.serving import ModelRegistry, ServingEngine, ShardedFrontend
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "install_adsala",

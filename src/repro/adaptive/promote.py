@@ -35,7 +35,7 @@ from repro.core.persistence import (
     write_manifest,
     write_routine_model,
 )
-from repro.serving.workload import append_jsonl, read_jsonl
+from repro.obs.journal import append_jsonl, read_jsonl
 
 __all__ = ["ADAPTATION_LOG_FILE", "HISTORY_DIR", "AdaptationLog", "BundlePromoter"]
 

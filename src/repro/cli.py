@@ -1,4 +1,4 @@
-"""Command-line interface: ``adsala install | predict | serve | adapt | bundle | bench | platforms``.
+"""Command-line interface: ``adsala install | predict | serve | adapt | bundle | analyze | bench | platforms``.
 
 The CLI mirrors how the paper's library is used, plus the serving layer:
 
@@ -16,6 +16,10 @@ The CLI mirrors how the paper's library is used, plus the serving layer:
   shadow-evaluate and promote retrained models — one-shot or ``--watch``;
 * ``adsala bundle`` inspects, checksum-verifies, schema-migrates or rolls
   back a bundle directory;
+* ``adsala analyze`` runs the offline analytics over a run journal written
+  by ``adsala serve --journal``: realized speedup vs the max-threads
+  baseline per routine, error trends across bundle versions, capacity
+  headroom, and the supervision counters of the recorded run;
 * ``adsala bench`` regenerates a paper table from the command line;
 * ``adsala platforms`` lists the built-in machine presets.
 """
@@ -131,6 +135,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-supervise", action="store_true",
                        help="disable shard supervision: worker deaths fail "
                        "their requests instead of restart + redispatch")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                       help="expose Prometheus text at "
+                       "http://127.0.0.1:PORT/metrics (JSON at /metrics.json) "
+                       "from a stdlib HTTP thread; 0 picks an ephemeral port")
+    serve.add_argument("--metrics-linger", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep the metrics endpoint up this long after the "
+                       "stream finishes, so scrapers can collect the final "
+                       "state (default: stop immediately)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="append every served plan, observation and shed "
+                       "event to a JSONL run journal at PATH "
+                       "(read it back with 'adsala analyze')")
+    serve.add_argument("--journal-max-bytes", type=int, default=0,
+                       help="rotate the journal when the live segment would "
+                       "exceed this size (0 = never rotate)")
 
     adapt = sub.add_parser(
         "adapt",
@@ -196,6 +216,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="archived bundle_version to restore (rollback only; default: "
         "the most recent version below the current one)",
     )
+
+    analyze = sub.add_parser(
+        "analyze", help="offline analytics over a run journal"
+    )
+    analyze.add_argument("--journal", required=True,
+                         help="run journal written by 'adsala serve --journal' "
+                         "(rotated segments are found automatically)")
+    analyze.add_argument("--window", type=float, default=1.0,
+                         help="capacity-report window in seconds")
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the full report as JSON instead of tables")
+    analyze.add_argument("--strict", action="store_true",
+                         help="fail on malformed journal lines instead of "
+                         "skipping them with a warning")
 
     bench = sub.add_parser("bench", help="regenerate a paper table")
     bench.add_argument(
@@ -309,6 +343,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("error: workload is empty", file=sys.stderr)
             return 2
 
+        bundle_version = handle.bundle_version
+        journal = None
+        if args.journal:
+            from repro.obs.journal import RunJournal
+
+            # Async writer: per-request journaling must not tax the serve
+            # loop; run_end + close() below drain everything to disk.
+            journal = RunJournal(
+                args.journal, max_bytes=args.journal_max_bytes, async_writer=True
+            )
+            journal.record_run_start(
+                bundle=str(args.bundle),
+                bundle_version=bundle_version,
+                source=source,
+                requests=len(requests),
+                shards=args.shards,
+                backend=args.backend,
+                clients=args.clients,
+                batch_size=args.batch_size,
+                observe=bool(args.observe),
+            )
+        # The scrape-time collector reads whatever stats callable the
+        # serving path has installed so far (live frontend/engine during
+        # the stream, the final snapshot afterwards).
+        stats_holder: dict = {}
+        metrics_server = None
+        if args.metrics_port is not None:
+            from repro.obs.collectors import StatsCollector
+            from repro.obs.metrics import MetricsRegistry, MetricsServer
+
+            metrics_registry = MetricsRegistry()
+            collector = StatsCollector(
+                metrics_registry,
+                stats_fn=lambda: stats_holder.get("fn", dict)(),
+                bundle_dir=args.bundle,
+            )
+            metrics_server = MetricsServer(
+                metrics_registry, port=args.metrics_port, collector=collector
+            )
+            metrics_server.start()
+            print(f"metrics: http://127.0.0.1:{metrics_server.port}/metrics")
+
         def observe_plans(recorder, served_plans) -> None:
             # An independently seeded simulator stands in for real measured
             # runtimes: same machine model (including any calibration a
@@ -320,9 +396,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 noise_level=float(settings.get("noise_level", 0.04)),
             )
             for plan in served_plans:
-                recorder.record_observation(
-                    plan, observer.time(plan.routine, plan.dims, plan.threads)
-                )
+                observed = observer.time(plan.routine, plan.dims, plan.threads)
+                recorder.record_observation(plan, observed)
+                if journal is not None:
+                    journal.record_observation(
+                        plan.routine,
+                        plan.threads,
+                        plan.predicted_time,
+                        observed,
+                        baseline_time=plan.baseline_time,
+                    )
 
         sharded = (
             args.shards > 1
@@ -385,11 +468,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 **request.dims,
                             )
                         except QueueFullError:
-                            continue  # counted in the frontend's shed stats
+                            # Counted in the frontend's shed stats.
+                            if journal is not None:
+                                journal.record_shed(
+                                    request.routine, "queue_full",
+                                    dims=request.dims,
+                                )
+                            continue
                         try:
-                            results[slot] = future.result()
+                            plan = future.result()
                         except DeadlineExceededError:
                             expired_slots.append(slot)  # shed, not lost
+                            if journal is not None:
+                                journal.record_shed(
+                                    request.routine, "deadline",
+                                    dims=request.dims,
+                                    request_id=future.request_id,
+                                )
+                            continue
+                        results[slot] = plan
+                        if journal is not None:
+                            journal.record_plan(
+                                plan.routine,
+                                plan.dims,
+                                plan.threads,
+                                plan.predicted_time,
+                                baseline_time=plan.baseline_time,
+                                from_cache=plan.from_cache,
+                                fallback_from=plan.fallback_from,
+                                policy=plan.policy,
+                                shard=future.shard,
+                                request_id=future.request_id,
+                                version=bundle_version,
+                            )
                 except Exception as exc:  # surfaced as exit code 1 below
                     client_errors.append(exc)
 
@@ -397,6 +508,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 threading.Thread(target=client, args=(index,))
                 for index in range(args.clients)
             ]
+            stats_holder["fn"] = frontend.stats
             start = time.perf_counter()
             # Observations and the stats snapshot happen inside the with
             # block: process-backend workers (and their telemetry) are gone
@@ -430,9 +542,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 use_cache=not args.no_cache,
                 telemetry=EngineTelemetry(drift_threshold=args.drift_threshold),
             )
+            stats_holder["fn"] = engine.stats
             start = time.perf_counter()
             plans = engine.plan_many(request.as_tuple() for request in requests)
             elapsed = time.perf_counter() - start
+            if journal is not None:
+                for slot, plan in enumerate(plans):
+                    journal.record_plan(
+                        plan.routine,
+                        plan.dims,
+                        plan.threads,
+                        plan.predicted_time,
+                        baseline_time=plan.baseline_time,
+                        from_cache=plan.from_cache,
+                        fallback_from=plan.fallback_from,
+                        policy=plan.policy,
+                        request_id=slot,
+                        version=bundle_version,
+                    )
             if args.observe:
                 observe_plans(engine, plans)
             stats = engine.stats()
@@ -515,6 +642,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else:
                 print(f"No routine drifted past {args.drift_threshold}")
             _print_adaptation_state(args.bundle)
+        # Scrapes after the stream read the final merged snapshot (live
+        # frontends/engines may already be closed).
+        stats_holder["fn"] = lambda: stats
+        if journal is not None:
+            journal.record_run_end(
+                stats=stats,
+                plans=len(plans),
+                elapsed_s=elapsed,
+            )
+            journal.close()
+            segments = 1 + journal.n_rotations if journal.max_bytes else 1
+            print(f"journal: {journal.path} ({journal.n_rows} rows, "
+                  f"{min(segments, journal.max_segments + 1)} segment(s))")
+        if metrics_server is not None:
+            if args.metrics_linger > 0:
+                time.sleep(args.metrics_linger)
+            metrics_server.stop()
         return 0
     except (FileNotFoundError, BundleFormatError, KeyError, ValueError) as exc:
         # KeyError/ValueError cover bad workload content: unknown routine
@@ -749,6 +893,141 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.harness.tables import format_table
+    from repro.obs.analytics import (
+        capacity_report,
+        error_trend,
+        speedup_by_routine,
+        supervision_summary,
+    )
+    from repro.obs.journal import journal_segments, read_journal
+
+    segments = journal_segments(args.journal)
+    if not segments:
+        print(f"error: no journal at {args.journal}", file=sys.stderr)
+        return 1
+    try:
+        rows = list(read_journal(args.journal, strict=args.strict))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    n_plans = sum(1 for row in rows if row.get("event") == "plan")
+    n_observations = sum(1 for row in rows if row.get("event") == "observation")
+    n_shed = sum(1 for row in rows if row.get("event") == "shed")
+
+    speedup = speedup_by_routine(rows)
+    trend = error_trend(rows)
+    capacity = capacity_report(rows, window=args.window)
+    supervision = supervision_summary(rows)
+
+    if args.as_json:
+        report = {
+            "journal": str(args.journal),
+            "segments": [str(path) for path in segments],
+            "rows": len(rows),
+            "plans": n_plans,
+            "observations": n_observations,
+            "shed": n_shed,
+            "speedup_by_routine": speedup,
+            "error_trend": {
+                " ".join(str(part) for part in key): value
+                for key, value in trend.items()
+            },
+            "capacity": capacity,
+            "supervision": supervision,
+        }
+        print(json.dumps(report, indent=2))
+        return 0
+
+    print(f"Journal {args.journal}: {len(rows)} rows in {len(segments)} "
+          f"segment(s) ({n_plans} plans, {n_observations} observations, "
+          f"{n_shed} shed)")
+
+    def cell(value, digits=3):
+        return "-" if value is None else round(value, digits)
+
+    table_rows = []
+    for routine, entry in speedup.items():
+        table_rows.append({
+            "routine": routine,
+            "plans": entry["plans"],
+            "cache_hits": entry["cache_hits"],
+            "fallbacks": entry["fallbacks"],
+            "observations": entry["observations"],
+            "speedup": cell(entry["speedup"]),
+            "basis": entry["basis"],
+        })
+    if table_rows:
+        print(format_table(
+            table_rows, title="Realized speedup vs max-threads baseline"
+        ))
+    else:
+        print("No plan or observation rows — nothing to attribute speedup to")
+
+    if trend:
+        trend_rows = []
+        for key in sorted(trend, key=str):
+            entry = trend[key]
+            routine, version = key[0], key[1]
+            trend_rows.append({
+                "routine": routine,
+                "version": "-" if version is None else version,
+                "observations": entry["observations"],
+                "mean_err": cell(entry["mean_abs_rel_error"]),
+                "p50_err": cell(entry["p50_abs_rel_error"]),
+                "p99_err": cell(entry["p99_abs_rel_error"]),
+                "max_err": cell(entry["max_abs_rel_error"]),
+            })
+        print(format_table(
+            trend_rows, title="Prediction error by routine x bundle version"
+        ))
+
+    if supervision is not None:
+        block = supervision.get("supervision")
+        if isinstance(block, dict):
+            quarantined = block.get("quarantined") or []
+            print(
+                f"Supervision (from the run_end snapshot): "
+                f"{block.get('restarts', 0)} restarts, "
+                f"{block.get('failures', 0)} failures, "
+                f"{block.get('redispatched', 0)} redispatched, "
+                f"{block.get('rerouted', 0)} rerouted, "
+                f"{block.get('hangs', 0)} hangs, "
+                f"{block.get('deadline_expired', 0)} deadline-expired | "
+                f"healthy {block.get('healthy_shards', '?')}"
+                + (f" | quarantined: {quarantined}" if quarantined else "")
+            )
+        admission = supervision.get("admission")
+        if isinstance(admission, dict):
+            print(
+                f"Admission: {admission.get('submitted', 0)} submitted, "
+                f"{admission.get('completed', 0)} completed, "
+                f"{admission.get('shed', 0)} shed "
+                f"(capacity {admission.get('capacity', '?')}, "
+                f"{admission.get('mode', '?')} mode)"
+            )
+    else:
+        print("No run_end snapshot in the journal (run crashed or still live)")
+
+    windows = capacity["windows"]
+    if windows:
+        busiest = max(windows, key=lambda w: w["request_rate"])
+        peak = capacity["peak_clean_rate"]
+        headroom = busiest["headroom"]
+        print(
+            f"Capacity: {len(windows)} x {capacity['window_s']:g}s windows | "
+            f"peak clean rate "
+            + (f"{peak:.0f} req/s" if peak else "n/a")
+            + f" | busiest window {busiest['request_rate']:.0f} req/s, "
+            f"shed fraction {busiest['shed_fraction']:.3f}"
+            + (f", headroom {headroom:+.1%}" if headroom is not None else "")
+        )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import experiments
     from repro.harness.tables import format_table
@@ -800,6 +1079,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "adapt": _cmd_adapt,
         "bundle": _cmd_bundle,
+        "analyze": _cmd_analyze,
         "bench": _cmd_bench,
         "platforms": _cmd_platforms,
     }

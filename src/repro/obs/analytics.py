@@ -1,0 +1,490 @@
+"""Composable offline aggregators over run-journal rows.
+
+The journal (:mod:`repro.obs.journal`) is the raw evidence; this module
+turns it into the claims the paper cares about.  The building block is
+:func:`aggregate`: group rows by any key function (routine, shard,
+bundle version, :func:`time_window` buckets, or tuples thereof) and
+reduce each group with named aggregator instances (:class:`Count`,
+:class:`Sum`, :class:`Mean`, :class:`Min`, :class:`Max`,
+:class:`Quantile`, :class:`Ratio`).  Aggregators see whole rows and pull
+their own fields, so one pass over the journal computes every metric for
+every group.
+
+On top sit the canned reports surfaced by ``adsala analyze``:
+
+* :func:`speedup_by_routine` — realized speedup vs the max-threads
+  baseline.  Prefers measured executions (``observation`` rows:
+  ``sum(baseline_time) / sum(observed_time)``); falls back to the
+  model's own predictions from ``plan`` rows when a run was served
+  without ``--observe``, and labels which basis it used.
+* :func:`error_trend` — observed-vs-predicted relative error grouped by
+  routine × bundle version (and optionally time window), tracking
+  whether promotions actually reduced error.
+* :func:`capacity_report` — per-window request rate, shed fraction and
+  headroom vs the busiest window.
+* :func:`supervision_summary` — the supervision counters the run's
+  ``run_end`` snapshot embedded, so an offline reader reproduces the
+  live ``stats()`` exactly.
+
+Everything here is pure functions over iterables of dicts — no file or
+registry access — so the same aggregators run over a journal replay, a
+list literal in a test, or rows streamed from somewhere else entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Count",
+    "Sum",
+    "Mean",
+    "Min",
+    "Max",
+    "Quantile",
+    "Ratio",
+    "aggregate",
+    "time_window",
+    "speedup_by_routine",
+    "error_trend",
+    "capacity_report",
+    "supervision_summary",
+]
+
+Row = Dict[str, object]
+
+
+# ---------------------------------------------------------------------------
+# Aggregators
+# ---------------------------------------------------------------------------
+class _Aggregator:
+    """One reduction over a group's rows.  Instances are *prototypes*:
+    :func:`aggregate` calls :meth:`fresh` per group, feeds rows through
+    :meth:`update`, then reads :meth:`result`."""
+
+    def fresh(self) -> "_Aggregator":
+        raise NotImplementedError
+
+    def update(self, row: Row) -> None:
+        raise NotImplementedError
+
+    def result(self) -> object:
+        raise NotImplementedError
+
+
+def _field_value(row: Row, field: Optional[str]) -> Optional[float]:
+    if field is None:
+        return 1.0
+    value = row.get(field)
+    if value is None or isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+class Count(_Aggregator):
+    """Rows in the group, optionally only those where ``predicate(row)``."""
+
+    def __init__(self, predicate: Optional[Callable[[Row], bool]] = None):
+        self.predicate = predicate
+        self.n = 0
+
+    def fresh(self) -> "Count":
+        return Count(self.predicate)
+
+    def update(self, row: Row) -> None:
+        if self.predicate is None or self.predicate(row):
+            self.n += 1
+
+    def result(self) -> int:
+        return self.n
+
+
+class Sum(_Aggregator):
+    """Sum of a numeric field (rows missing it are skipped)."""
+
+    def __init__(self, field: str):
+        self.field = field
+        self.total = 0.0
+        self.n = 0
+
+    def fresh(self) -> "Sum":
+        return Sum(self.field)
+
+    def update(self, row: Row) -> None:
+        value = _field_value(row, self.field)
+        if value is not None:
+            self.total += value
+            self.n += 1
+
+    def result(self) -> Optional[float]:
+        return self.total if self.n else None
+
+
+class Mean(_Aggregator):
+    def __init__(self, field: str):
+        self.field = field
+        self.total = 0.0
+        self.n = 0
+
+    def fresh(self) -> "Mean":
+        return Mean(self.field)
+
+    def update(self, row: Row) -> None:
+        value = _field_value(row, self.field)
+        if value is not None:
+            self.total += value
+            self.n += 1
+
+    def result(self) -> Optional[float]:
+        return self.total / self.n if self.n else None
+
+
+class Min(_Aggregator):
+    def __init__(self, field: str):
+        self.field = field
+        self.value: Optional[float] = None
+
+    def fresh(self) -> "Min":
+        return Min(self.field)
+
+    def update(self, row: Row) -> None:
+        value = _field_value(row, self.field)
+        if value is not None and (self.value is None or value < self.value):
+            self.value = value
+
+    def result(self) -> Optional[float]:
+        return self.value
+
+
+class Max(_Aggregator):
+    def __init__(self, field: str):
+        self.field = field
+        self.value: Optional[float] = None
+
+    def fresh(self) -> "Max":
+        return Max(self.field)
+
+    def update(self, row: Row) -> None:
+        value = _field_value(row, self.field)
+        if value is not None and (self.value is None or value > self.value):
+            self.value = value
+
+    def result(self) -> Optional[float]:
+        return self.value
+
+
+class Quantile(_Aggregator):
+    """Exact quantile of a field over the group (linear interpolation,
+    matching ``numpy.quantile``'s default).  Offline analytics can afford
+    to keep the values — unlike the live fixed-bucket histograms."""
+
+    def __init__(self, field: str, q: float):
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        self.field = field
+        self.q = q
+        self.values: List[float] = []
+
+    def fresh(self) -> "Quantile":
+        return Quantile(self.field, self.q)
+
+    def update(self, row: Row) -> None:
+        value = _field_value(row, self.field)
+        if value is not None:
+            self.values.append(value)
+
+    def result(self) -> Optional[float]:
+        if not self.values:
+            return None
+        values = sorted(self.values)
+        position = self.q * (len(values) - 1)
+        lower = int(math.floor(position))
+        upper = min(lower + 1, len(values) - 1)
+        fraction = position - lower
+        return values[lower] + (values[upper] - values[lower]) * fraction
+
+
+class Ratio(_Aggregator):
+    """Ratio of two aggregators' results (``None``-safe, 0-denominator-safe)."""
+
+    def __init__(self, numerator: _Aggregator, denominator: _Aggregator):
+        self.numerator = numerator
+        self.denominator = denominator
+
+    def fresh(self) -> "Ratio":
+        return Ratio(self.numerator.fresh(), self.denominator.fresh())
+
+    def update(self, row: Row) -> None:
+        self.numerator.update(row)
+        self.denominator.update(row)
+
+    def result(self) -> Optional[float]:
+        num = self.numerator.result()
+        den = self.denominator.result()
+        if num is None or den is None or den == 0:
+            return None
+        return float(num) / float(den)
+
+
+GroupKey = Callable[[Row], object]
+
+
+def aggregate(
+    rows: Iterable[Row],
+    by: GroupKey | str | Sequence[str],
+    metrics: Dict[str, _Aggregator],
+) -> Dict[object, Dict[str, object]]:
+    """Group ``rows`` by ``by`` and reduce each group with ``metrics``.
+
+    ``by`` may be a field name, a sequence of field names (the key is the
+    tuple of their values), or an arbitrary key function.  Rows whose key
+    function raises ``KeyError`` are skipped.  Returns
+    ``{group_key: {metric_name: result}}`` with groups in first-seen order.
+    """
+    if isinstance(by, str):
+        field = by
+        key_fn: GroupKey = lambda row: row.get(field)  # noqa: E731
+    elif callable(by):
+        key_fn = by
+    else:
+        fields = tuple(by)
+        key_fn = lambda row: tuple(row.get(f) for f in fields)  # noqa: E731
+
+    groups: Dict[object, Dict[str, _Aggregator]] = {}
+    for row in rows:
+        try:
+            key = key_fn(row)
+        except KeyError:
+            continue
+        group = groups.get(key)
+        if group is None:
+            group = {name: proto.fresh() for name, proto in metrics.items()}
+            groups[key] = group
+        for agg in group.values():
+            agg.update(row)
+    return {
+        key: {name: agg.result() for name, agg in group.items()}
+        for key, group in groups.items()
+    }
+
+
+def time_window(seconds: float, field: str = "ts") -> GroupKey:
+    """Key function bucketing rows into fixed windows of ``seconds``.
+
+    Keys are the window's *start* timestamp, so they sort chronologically
+    and render as absolute times.
+    """
+    if seconds <= 0:
+        raise ValueError("window must be positive")
+
+    def key(row: Row) -> float:
+        ts = _field_value(row, field)
+        if ts is None:
+            raise KeyError(field)
+        return math.floor(ts / seconds) * seconds
+
+    return key
+
+
+# ---------------------------------------------------------------------------
+# Canned reports
+# ---------------------------------------------------------------------------
+def speedup_by_routine(rows: Iterable[Row]) -> Dict[str, Dict[str, object]]:
+    """Per-routine realized speedup vs the max-threads baseline.
+
+    ``observation`` rows carry measured ``observed_time`` next to the
+    ``baseline_time`` the max-threads configuration would have cost, so
+    ``sum(baseline) / sum(observed)`` is the realized speedup over the
+    whole observed traffic (time-weighted, like the paper's headline
+    number).  Runs without ``--observe`` have only ``plan`` rows; there
+    the model's ``predicted_time`` stands in and ``basis`` says so.
+    """
+    plan_rows: List[Row] = []
+    obs_rows: List[Row] = []
+    for row in rows:
+        event = row.get("event")
+        if event == "plan":
+            plan_rows.append(row)
+        elif event == "observation":
+            obs_rows.append(row)
+
+    measured = aggregate(
+        obs_rows,
+        "routine",
+        {
+            "observations": Count(),
+            "speedup": Ratio(Sum("baseline_time"), Sum("observed_time")),
+            "baseline_s": Sum("baseline_time"),
+            "observed_s": Sum("observed_time"),
+        },
+    )
+    predicted = aggregate(
+        plan_rows,
+        "routine",
+        {
+            "plans": Count(),
+            "cache_hits": Count(lambda r: bool(r.get("from_cache"))),
+            "fallbacks": Count(lambda r: r.get("fallback_from") is not None),
+            "speedup": Ratio(Sum("baseline_time"), Sum("predicted_time")),
+            "mean_threads": Mean("threads"),
+        },
+    )
+
+    report: Dict[str, Dict[str, object]] = {}
+    for routine in sorted(set(measured) | set(predicted), key=str):
+        if routine is None:
+            continue
+        plan_block = predicted.get(routine, {})
+        obs_block = measured.get(routine, {})
+        realized = obs_block.get("speedup")
+        entry: Dict[str, object] = {
+            "plans": plan_block.get("plans", 0),
+            "cache_hits": plan_block.get("cache_hits", 0),
+            "fallbacks": plan_block.get("fallbacks", 0),
+            "mean_threads": plan_block.get("mean_threads"),
+            "observations": obs_block.get("observations", 0),
+        }
+        if realized is not None:
+            entry["speedup"] = realized
+            entry["basis"] = "observed"
+            entry["baseline_s"] = obs_block.get("baseline_s")
+            entry["served_s"] = obs_block.get("observed_s")
+        else:
+            entry["speedup"] = plan_block.get("speedup")
+            entry["basis"] = "predicted"
+        report[str(routine)] = entry
+    return report
+
+
+def error_trend(
+    rows: Iterable[Row], window: Optional[float] = None
+) -> Dict[Tuple[object, ...], Dict[str, object]]:
+    """Observed-vs-predicted |relative error| by routine × bundle version.
+
+    With ``window`` set, adds a time-window component so the trend is
+    visible *within* a version's lifetime too.  Error per observation is
+    ``|observed - predicted| / observed``; versions come from the plan
+    rows' ``version`` field when the serve path stamps one.
+    """
+    enriched: List[Row] = []
+    # request_id -> version from the matching plan row, so observation
+    # rows inherit the bundle version that produced their plan; when the
+    # whole run served one version, unmatched observations inherit it too.
+    versions: Dict[object, object] = {}
+    plan_versions: set = set()
+    for row in rows:
+        event = row.get("event")
+        if event == "plan":
+            plan_versions.add(row.get("version"))
+            if row.get("request_id") is not None:
+                versions[row["request_id"]] = row.get("version")
+        elif event == "observation":
+            observed = _field_value(row, "observed_time")
+            predicted = _field_value(row, "predicted_time")
+            if observed is None or predicted is None or observed <= 0:
+                continue
+            new_row = dict(row)
+            new_row["abs_rel_error"] = abs(observed - predicted) / observed
+            enriched.append(new_row)
+    sole_version = (
+        next(iter(plan_versions))
+        if len(plan_versions) == 1
+        else None
+    )
+    for new_row in enriched:
+        if "version" not in new_row:
+            resolved = versions.get(new_row.get("request_id"))
+            new_row["version"] = resolved if resolved is not None else sole_version
+
+    def key(row: Row) -> Tuple[object, ...]:
+        parts: List[object] = [row.get("routine"), row.get("version")]
+        if window is not None:
+            parts.append(time_window(window)(row))
+        return tuple(parts)
+
+    return aggregate(
+        enriched,
+        key,
+        {
+            "observations": Count(),
+            "mean_abs_rel_error": Mean("abs_rel_error"),
+            "p50_abs_rel_error": Quantile("abs_rel_error", 0.5),
+            "p99_abs_rel_error": Quantile("abs_rel_error", 0.99),
+            "max_abs_rel_error": Max("abs_rel_error"),
+        },
+    )
+
+
+def capacity_report(
+    rows: Iterable[Row], window: float = 1.0
+) -> Dict[str, object]:
+    """Request rate, shed fraction and headroom per time window.
+
+    Headroom is relative to the busiest window the run ever sustained
+    without shedding: ``1 - rate / peak_clean_rate``.  A negative
+    headroom marks windows that ran hotter than anything the run handled
+    cleanly — the capacity frontier the ROADMAP asks about.
+    """
+    interesting = [r for r in rows if r.get("event") in ("plan", "shed")]
+    per_window = aggregate(
+        interesting,
+        time_window(window),
+        {
+            "plans": Count(lambda r: r.get("event") == "plan"),
+            "shed": Count(lambda r: r.get("event") == "shed"),
+        },
+    )
+    windows = []
+    clean_peak = 0.0
+    for start in sorted(per_window):
+        block = per_window[start]
+        rate = (block["plans"] + block["shed"]) / window
+        served_rate = block["plans"] / window
+        total = block["plans"] + block["shed"]
+        shed_fraction = block["shed"] / total if total else 0.0
+        if block["shed"] == 0:
+            clean_peak = max(clean_peak, rate)
+        windows.append(
+            {
+                "window_start": start,
+                "plans": block["plans"],
+                "shed": block["shed"],
+                "request_rate": rate,
+                "served_rate": served_rate,
+                "shed_fraction": shed_fraction,
+            }
+        )
+    for block in windows:
+        block["headroom"] = (
+            1.0 - block["request_rate"] / clean_peak if clean_peak else None
+        )
+    return {
+        "window_s": window,
+        "peak_clean_rate": clean_peak or None,
+        "windows": windows,
+    }
+
+
+def supervision_summary(rows: Iterable[Row]) -> Optional[Dict[str, object]]:
+    """The supervision counters embedded in the last ``run_end`` snapshot.
+
+    Returns the ``stats["supervision"]`` block (plus admission shed and
+    request totals for context), or ``None`` if the run never wrote a
+    ``run_end`` row — e.g. it crashed, which is itself a finding.
+    """
+    last_stats: Optional[dict] = None
+    for row in rows:
+        if row.get("event") == "run_end" and isinstance(row.get("stats"), dict):
+            last_stats = row["stats"]
+    if last_stats is None:
+        return None
+    out: Dict[str, object] = {"requests": last_stats.get("requests")}
+    supervision = last_stats.get("supervision")
+    if isinstance(supervision, dict):
+        out["supervision"] = supervision
+    admission = last_stats.get("admission")
+    if isinstance(admission, dict):
+        out["admission"] = admission
+    return out

@@ -1,0 +1,558 @@
+"""Persistent append-only JSONL run journals with rotation.
+
+Two layers live here:
+
+* The low-level JSONL helpers :func:`append_jsonl` and :func:`read_jsonl`
+  (moved from the workload module — the adaptation audit trail and
+  workload replay share them unchanged): append heals a missing trailing
+  newline left by a crashed writer, read skips malformed lines with a
+  :class:`RuntimeWarning` unless ``strict``.
+* :class:`RunJournal`, the serving stack's flight recorder: one JSON
+  object per event (``plan`` / ``observation`` / ``shed`` / ``run_start``
+  / ``run_end``) appended to a journal file that rotates at a byte bound
+  (``journal.jsonl`` → ``journal.jsonl.1`` → … up to ``max_segments``,
+  oldest dropped), and :func:`read_journal`, which replays rotated
+  segments oldest-first through the same crash-tolerant reader.
+
+Every row carries ``ts`` (wall clock, orders events across processes)
+and ``mono`` (monotonic clock, orders events within the writing process
+immune to clock steps).  Plan rows record routine, dims key, threads,
+predicted/baseline time and disposition (cache / fallback / shed /
+deadline / shard); observation rows record predicted-vs-observed so the
+offline analytics can compute realized speedup without a join.
+
+Thread-safety: a :class:`RunJournal` holds one internal lock around its
+buffer and file handle, so many client threads may call ``record_*``
+concurrently.  With ``async_writer=True`` the hot ``record_*`` path is
+lock-free (a thread-safe deque enqueue); a daemon writer thread owns
+serialisation and file writes, ``flush()`` is a synchronous drain
+barrier, and ``close()`` drains everything before closing.  It is
+per-process — worker shards do not journal; the frontend process records
+dispositions as results come back.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import threading
+import time
+import warnings
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "RunJournal",
+    "append_jsonl",
+    "read_jsonl",
+    "read_journal",
+    "journal_segments",
+]
+
+
+def read_jsonl(path: str | Path, strict: bool = False) -> Iterator[Tuple[int, dict]]:
+    """Yield ``(line_number, row)`` for every JSON-object line of a file.
+
+    Blank lines are skipped.  Lines that are not valid JSON objects are a
+    ``ValueError`` (with the offending position) under ``strict``; otherwise
+    they are skipped with a :class:`RuntimeWarning`, so one corrupt line —
+    say, a crash mid-append to an audit log — does not make the rest of the
+    file unreadable.  Shared by workload replay, the adaptation log and the
+    run-journal reader.
+    """
+    path = Path(path)
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                if not isinstance(row, dict):
+                    raise ValueError("line is not a JSON object")
+            except ValueError as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: not a valid JSONL line: {exc}"
+                    ) from exc
+                warnings.warn(
+                    f"{path}:{line_number}: skipping malformed JSONL line ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            yield line_number, row
+
+
+def append_jsonl(path: str | Path, row: Dict[str, object]) -> Path:
+    """Append one JSON object as a line (creating parent directories).
+
+    If a previous writer crashed mid-append the file may end in a partial
+    line without a newline; gluing onto it would corrupt *this* record too,
+    so a missing trailing newline is repaired first (the partial line stays
+    malformed on its own and is skipped by :func:`read_jsonl`).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    needs_newline = False
+    if path.exists() and path.stat().st_size > 0:
+        with open(path, "rb") as handle:
+            handle.seek(-1, 2)
+            needs_newline = handle.read(1) != b"\n"
+    with open(path, "a") as handle:
+        if needs_newline:
+            handle.write("\n")
+        handle.write(json.dumps(row) + "\n")
+    return path
+
+
+def journal_segments(path: str | Path) -> List[Path]:
+    """All existing segments of a journal, oldest first.
+
+    Rotation shifts ``journal.jsonl`` to ``journal.jsonl.1`` (and ``.1``
+    to ``.2``, …), so the highest numeric suffix is the oldest and the
+    bare path the live segment.
+    """
+    path = Path(path)
+    rotated = []
+    for candidate in path.parent.glob(path.name + ".*"):
+        suffix = candidate.name[len(path.name) + 1 :]
+        if suffix.isdigit():
+            rotated.append((int(suffix), candidate))
+    segments = [p for _, p in sorted(rotated, reverse=True)]
+    if path.exists():
+        segments.append(path)
+    return segments
+
+
+def read_journal(path: str | Path, strict: bool = False) -> Iterator[dict]:
+    """Replay every row of a (possibly rotated) journal, oldest first.
+
+    Crash-tolerant via :func:`read_jsonl`: a torn final line in any
+    segment is skipped with a warning rather than poisoning the replay.
+    """
+    for segment in journal_segments(path):
+        for _, row in read_jsonl(segment, strict=strict):
+            yield row
+
+
+# Exact keysets written by record_plan/record_observation: rows matching
+# them take the %-template fast path below; anything else (run_start,
+# run_end, custom appends, extra fields) falls back to json.dumps.
+_PLAN_KEYS = frozenset((
+    "event", "ts", "mono", "routine", "dims", "threads", "predicted_time",
+    "baseline_time", "from_cache", "fallback_from", "policy", "shard",
+    "request_id", "version",
+))
+_OBSERVATION_KEYS = frozenset((
+    "event", "ts", "mono", "routine", "threads", "predicted_time",
+    "observed_time", "baseline_time", "shard", "request_id",
+))
+
+# Variable-per-row fields lead; the rest of the plan line is cached per
+# distinct (routine, dims, threads, prediction, disposition) combination,
+# which traffic repeats heavily — so the steady-state encode is one dict
+# lookup plus one %-format of four values.
+_PLAN_HEAD = '{"event":"plan","ts":%.17g,"mono":%.17g,"shard":%s,"request_id":%s,'
+_PLAN_TAIL_TEMPLATE = (
+    '"routine":%s,"dims":%s,"threads":%d,"predicted_time":%s,'
+    '"baseline_time":%s,"from_cache":%s,"fallback_from":%s,"policy":%s,'
+    '"version":%s}\n'
+)
+_OBSERVATION_TEMPLATE = (
+    '{"event":"observation","ts":%r,"mono":%r,"routine":%s,"threads":%d,'
+    '"predicted_time":%s,"observed_time":%s,"baseline_time":%s,"shard":%s,'
+    '"request_id":%s}\n'
+)
+
+
+def _json_number(value) -> str:
+    return repr(float(value))
+
+
+def _json_opt_number(value) -> str:
+    return "null" if value is None else repr(float(value))
+
+
+def _json_opt_int(value) -> str:
+    return "null" if value is None else "%d" % value
+
+
+class RunJournal:
+    """Append-only flight recorder for a serving run (see module docstring).
+
+    Parameters
+    ----------
+    path:
+        The live journal file.  Parent directories are created; a missing
+        trailing newline from a crashed previous run is healed on the
+        first append (same contract as :func:`append_jsonl`).
+    max_bytes:
+        Rotate when the live segment would exceed this size.  ``0``
+        disables rotation (the journal grows without bound).
+    max_segments:
+        Rotated segments to keep (``.1`` newest … ``.N`` oldest); older
+        ones are deleted.  With rotation enabled the journal's total
+        footprint is bounded by ``(max_segments + 1) * max_bytes``.
+    flush_every:
+        Rows buffered between flushes in the synchronous mode.  ``1``
+        (the default) flushes every row — crash-tolerant but
+        syscall-heavy.
+    async_writer:
+        Move serialisation and file writes off the caller's thread: each
+        ``record_*`` call only stamps the row and enqueues it (sub-µs),
+        and a daemon writer thread drains, serialises and appends in
+        batches.  This is what the serve hot path uses — per-request
+        journaling must not tax serving throughput.  The trade-off is a
+        small crash window (rows still queued are lost if the *process*
+        dies; :meth:`flush` is a synchronous barrier, and :meth:`close`
+        drains everything).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = 0,
+        max_segments: int = 4,
+        flush_every: int = 1,
+        async_writer: bool = False,
+    ):
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0 (0 disables rotation)")
+        if max_segments < 1:
+            raise ValueError("max_segments must be >= 1")
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.max_segments = int(max_segments)
+        self.flush_every = int(flush_every)
+        self.async_writer = bool(async_writer)
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+        self.n_rows = 0
+        self.n_rotations = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._heal_partial_tail()
+        self._handle = open(self.path, "a")
+        self._size = self.path.stat().st_size
+        # Small per-journal caches for the fast serialiser: dims dicts and
+        # routine/policy strings repeat heavily in cycling/skewed traffic.
+        self._dims_cache: Dict[Tuple, str] = {}
+        self._str_cache: Dict[str, str] = {}
+        self._plan_cache: Dict[Tuple, str] = {}
+        self._queue: Deque[dict] = collections.deque()
+        self._writer: Optional[threading.Thread] = None
+        if self.async_writer:
+            self._writer = threading.Thread(
+                target=self._drain_loop, name="adsala-journal", daemon=True
+            )
+            self._writer.start()
+
+    def _heal_partial_tail(self) -> None:
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    with open(self.path, "a") as out:
+                        out.write("\n")
+
+    # -- serialisation -------------------------------------------------------
+    def _json_string(self, value: str) -> str:
+        quoted = self._str_cache.get(value)
+        if quoted is None:
+            quoted = json.dumps(value)
+            if len(self._str_cache) < 512:
+                self._str_cache[value] = quoted
+        return quoted
+
+    def _json_dims(self, dims: Dict[str, int]) -> str:
+        key = tuple(dims.items())
+        fragment = self._dims_cache.get(key)
+        if fragment is None:
+            fragment = json.dumps(dims, separators=(",", ":"))
+            if len(self._dims_cache) < 4096:
+                self._dims_cache[key] = fragment
+        return fragment
+
+    def _plan_line(
+        self, ts, mono, routine, dims, threads, predicted_time,
+        baseline_time, from_cache, fallback_from, policy, shard,
+        request_id, version,
+    ) -> str:
+        key = (
+            routine, tuple(dims.items()), threads, predicted_time,
+            baseline_time, from_cache, fallback_from, policy, version,
+        )
+        template = self._plan_cache.get(key)
+        if template is None:
+            tail = _PLAN_TAIL_TEMPLATE % (
+                self._json_string(routine),
+                self._json_dims(dims),
+                threads,
+                _json_number(predicted_time),
+                _json_opt_number(baseline_time),
+                "true" if from_cache else "false",
+                "null" if fallback_from is None
+                else self._json_string(fallback_from),
+                self._json_string(policy),
+                _json_opt_int(version),
+            )
+            # The tail is spliced into a %-template: a literal % in a
+            # routine/policy name must not become a slot.
+            template = _PLAN_HEAD + tail.replace("%", "%%")
+            if len(self._plan_cache) < 4096:
+                self._plan_cache[key] = template
+        return template % (
+            ts, mono,
+            "null" if shard is None else shard,
+            "null" if request_id is None else request_id,
+        )
+
+    def _encode_item(self, item) -> str:
+        """Encode a queued item: a row dict or a ``record_plan`` tuple."""
+        if type(item) is tuple:
+            try:
+                return self._plan_line(*item[1:])
+            except (TypeError, ValueError, KeyError, AttributeError):
+                names = (
+                    "event", "ts", "mono", "routine", "dims", "threads",
+                    "predicted_time", "baseline_time", "from_cache",
+                    "fallback_from", "policy", "shard", "request_id",
+                    "version",
+                )
+                return json.dumps(dict(zip(names, item))) + "\n"
+        return self._encode(item)
+
+    def _encode(self, row: dict) -> str:
+        """One JSONL line for a row; templated fast paths for hot events.
+
+        Per-row ``json.dumps`` costs several µs — more than the async
+        serve path's whole overhead budget — so the two fixed-schema hot
+        events are formatted through %-templates instead (same JSON, just
+        compact).  Any shape surprise falls back to ``json.dumps``.
+        """
+        try:
+            event = row.get("event")
+            if event == "plan" and row.keys() == _PLAN_KEYS:
+                return self._plan_line(
+                    row["ts"], row["mono"], row["routine"], row["dims"],
+                    row["threads"], row["predicted_time"],
+                    row["baseline_time"], row["from_cache"],
+                    row["fallback_from"], row["policy"], row["shard"],
+                    row["request_id"], row["version"],
+                )
+            if event == "observation" and row.keys() == _OBSERVATION_KEYS:
+                return _OBSERVATION_TEMPLATE % (
+                    row["ts"], row["mono"],
+                    self._json_string(row["routine"]),
+                    row["threads"],
+                    _json_number(row["predicted_time"]),
+                    _json_number(row["observed_time"]),
+                    _json_opt_number(row["baseline_time"]),
+                    _json_opt_int(row["shard"]),
+                    _json_opt_int(row["request_id"]),
+                )
+        except (TypeError, ValueError, KeyError):
+            pass
+        return json.dumps(row) + "\n"
+
+    # -- writing -------------------------------------------------------------
+    def _write_line_locked(self, line: str) -> None:
+        if self.max_bytes and self._size and self._size + len(line) > self.max_bytes:
+            self._rotate_locked()
+        self._handle.write(line)
+        self._size += len(line)
+        self.n_rows += 1
+
+    def _drain_queue_locked(self) -> bool:
+        """Serialise and write everything queued; True if anything was."""
+        wrote = False
+        while True:
+            try:
+                item = self._queue.popleft()
+            except IndexError:
+                break
+            try:
+                line = self._encode_item(item)
+            except Exception as exc:  # never kill the daemon writer
+                warnings.warn(
+                    f"run journal dropped an unencodable row ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            self._write_line_locked(line)
+            wrote = True
+        return wrote
+
+    #: Seconds the async writer sleeps between drain batches.  Sleeping
+    #: *every* cycle — not just when idle — is load-bearing: a writer that
+    #: re-drains while producers are active busy-spins on the GIL and can
+    #: multiply the serialisation cost several-fold in stolen cycles.
+    #: Batching ~interval's worth of rows per wake keeps the steal at
+    #: roughly the raw serialisation cost.
+    DRAIN_INTERVAL = 0.05
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed and not self._queue:
+                    return
+                if self._drain_queue_locked():
+                    self._handle.flush()
+            if not self._closed:
+                time.sleep(self.DRAIN_INTERVAL)
+
+    def append(self, event: str, **fields: object) -> None:
+        """Record one event row, stamping ``ts``/``mono`` at call time."""
+        row = {"event": event, "ts": time.time(), "mono": time.monotonic()}
+        row.update(fields)
+        if self.async_writer:
+            # Hot path: no lock, no serialisation — deque.append is
+            # thread-safe and the writer thread does the rest.
+            if self._closed:
+                raise ValueError("journal is closed")
+            self._queue.append(row)
+            return
+        line = self._encode(row)
+        with self._lock:
+            if self._closed:
+                raise ValueError("journal is closed")
+            self._write_line_locked(line)
+            self._pending += 1
+            if self._pending >= self.flush_every:
+                self._handle.flush()
+                self._pending = 0
+
+    def record_plan(
+        self,
+        routine: str,
+        dims: Dict[str, int],
+        threads: int,
+        predicted_time: float,
+        baseline_time: Optional[float] = None,
+        from_cache: bool = False,
+        fallback_from: Optional[str] = None,
+        policy: str = "model",
+        shard: Optional[int] = None,
+        request_id: Optional[int] = None,
+        version: Optional[int] = None,
+    ) -> None:
+        """One served plan: what was asked, what was answered, from where."""
+        if self.async_writer:
+            # Hottest call in the serve loop: enqueue the raw arguments as
+            # a tuple (no dict building on the caller's thread); the
+            # writer thread expands it through the same plan template.
+            if self._closed:
+                raise ValueError("journal is closed")
+            self._queue.append((
+                "plan", time.time(), time.monotonic(), routine, dims, threads,
+                predicted_time, baseline_time, from_cache, fallback_from,
+                policy, shard, request_id, version,
+            ))
+            return
+        self.append(
+            "plan",
+            routine=routine,
+            dims=dims,
+            threads=threads,
+            predicted_time=predicted_time,
+            baseline_time=baseline_time,
+            from_cache=from_cache,
+            fallback_from=fallback_from,
+            policy=policy,
+            shard=shard,
+            request_id=request_id,
+            version=version,
+        )
+
+    def record_observation(
+        self,
+        routine: str,
+        threads: int,
+        predicted_time: float,
+        observed_time: float,
+        baseline_time: Optional[float] = None,
+        shard: Optional[int] = None,
+        request_id: Optional[int] = None,
+    ) -> None:
+        """A measured execution for a previously served plan."""
+        self.append(
+            "observation",
+            routine=routine,
+            threads=threads,
+            predicted_time=predicted_time,
+            observed_time=observed_time,
+            baseline_time=baseline_time,
+            shard=shard,
+            request_id=request_id,
+        )
+
+    def record_shed(
+        self,
+        routine: str,
+        reason: str,
+        dims: Optional[Dict[str, int]] = None,
+        request_id: Optional[int] = None,
+    ) -> None:
+        """A request the frontend refused (``queue_full``) or timed out (``deadline``)."""
+        self.append(
+            "shed", routine=routine, reason=reason, dims=dims, request_id=request_id
+        )
+
+    def record_run_start(self, **config: object) -> None:
+        self.append("run_start", **config)
+
+    def record_run_end(self, stats: Optional[dict] = None, **summary: object) -> None:
+        """Run summary; embeds the final merged ``stats()`` snapshot so the
+        offline analytics can reproduce the live counters exactly."""
+        self.append("run_end", stats=stats, **summary)
+
+    # -- rotation ------------------------------------------------------------
+    def _rotate_locked(self) -> None:
+        self._handle.flush()
+        self._handle.close()
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_segments}")
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.max_segments - 1, 0, -1):
+            source = self.path.with_name(f"{self.path.name}.{index}")
+            if source.exists():
+                source.rename(self.path.with_name(f"{self.path.name}.{index + 1}"))
+        self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._handle = open(self.path, "a")
+        self._size = 0
+        self._pending = 0
+        self.n_rotations += 1
+
+    # -- lifecycle -----------------------------------------------------------
+    def flush(self) -> None:
+        """Synchronous barrier: queued rows are on disk when this returns."""
+        with self._lock:
+            if not self._closed:
+                self._drain_queue_locked()
+                self._handle.flush()
+                self._pending = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._writer is not None:
+            self._writer.join()
+            self._writer = None
+        with self._lock:
+            # Catch rows enqueued in the window between the writer's last
+            # drain and _closed becoming visible to racing appenders.
+            self._drain_queue_locked()
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -330,6 +331,7 @@ class ServingEngine:
         max_threads = self.source.platform.max_threads
         plans: List[Optional[ExecutionPlan]] = [None] * len(batch)
         for (key, heuristic), indices in groups.items():
+            group_started = time.perf_counter()
             if heuristic:
                 threads = [max_threads] * len(indices)
                 from_cache = [False] * len(indices)
@@ -372,6 +374,12 @@ class ServingEngine:
                     heuristic=resolution.heuristic,
                     dims_key=batch[index].dims_key,
                 )
+            # Each plan's latency is its share of the group's batched
+            # predictor + timing pass — the per-request number an external
+            # scraper wants, not the whole batch's.
+            per_plan_latency = (time.perf_counter() - group_started) / len(indices)
+            for _ in indices:
+                self.telemetry.record_latency(key, per_plan_latency)
         # Every request resolves to exactly one group slot, so every slot
         # must hold a plan; a silent filter here would turn a resolution
         # bug into lost requests.
@@ -489,11 +497,19 @@ class ServingEngine:
             }
 
     def stats(self) -> Dict[str, object]:
-        """Telemetry snapshot plus queue/cache counters (JSON-serialisable)."""
+        """Telemetry snapshot plus queue/cache counters (JSON-serialisable).
+
+        Stamped with ``wall_time`` (orders snapshots across processes and
+        machines) and ``monotonic_time`` (orders them within this process,
+        immune to clock steps) so per-shard snapshots are orderable after
+        the frontend merges them.
+        """
         with self._lock:
             snapshot = self.telemetry.snapshot()
             snapshot["pending"] = self.n_pending
             snapshot["batch_size_limit"] = self.max_batch_size
             snapshot["fallback_chain"] = self.fallback.describe()
             snapshot["cache"] = self.cache_statistics()
+            snapshot["wall_time"] = time.time()
+            snapshot["monotonic_time"] = time.monotonic()
             return snapshot

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.runtime import ExecutionPlan
+from repro.obs.metrics import BucketHistogram
 from repro.parallel import map_parallel
 from repro.serving.engine import PlanRequest, ServingEngine, normalize_request
 from repro.serving.procshard import ProcessShard, export_source_spec
@@ -567,18 +568,30 @@ class ShardedFrontend:
     def stats(self) -> Dict[str, object]:
         """One merged, JSON-serialisable snapshot across every shard.
 
-        Counters sum; ``mean_batch_size`` and per-routine error means are
-        weighted by each shard's contribution; drift flags union.  The raw
-        per-shard snapshots ride along under ``"per_shard"``.  Every merged
-        value — including the cache block and drift flags — derives from
-        **one** ``engine.stats()`` call per shard, so the snapshot is
-        internally consistent (no second lock round-trip racing live
-        traffic).
+        Counters sum (including ``pending``); ``mean_batch_size`` and
+        per-routine error statistics are weighted by each shard's
+        contribution (quantile merges are therefore approximate — exact
+        per-shard values ride along under ``"per_shard"``) while
+        ``max_batch_size`` and error maxima take the max; per-routine
+        latency histograms sum bucket-wise (fixed buckets make this
+        exact); drift flags union.  The merged block carries the same
+        counter names as a single engine's snapshot — plus ``wall_time``
+        / ``monotonic_time`` stamped at merge time — so consumers need
+        one schema for both shapes.  Every merged value — including the
+        cache block and drift flags — derives from **one**
+        ``engine.stats()`` call per shard, so the snapshot is internally
+        consistent (no second lock round-trip racing live traffic).
         """
         shard_snapshots = [shard.stats() for shard in self.shards]
         requests = sum(snapshot["requests"] for snapshot in shard_snapshots)
         batches = sum(snapshot["batches"] for snapshot in shard_snapshots)
+        pending = sum(snapshot.get("pending", 0) for snapshot in shard_snapshots)
+        max_batch_size = max(
+            (snapshot.get("max_batch_size", 0) for snapshot in shard_snapshots),
+            default=0,
+        )
         routines: Dict[str, Dict[str, object]] = {}
+        latency_parts: Dict[str, List[Dict]] = {}
         for snapshot in shard_snapshots:
             for routine, entry in snapshot["routines"].items():
                 slot = routines.setdefault(
@@ -592,6 +605,8 @@ class ShardedFrontend:
                         "observations": 0,
                         "invalid_observations": 0,
                         "mean_abs_rel_error": 0.0,
+                        "p50_abs_rel_error": 0.0,
+                        "p99_abs_rel_error": 0.0,
                         "max_abs_rel_error": 0.0,
                     },
                 )
@@ -606,18 +621,37 @@ class ShardedFrontend:
                     slot[counter] += entry[counter]
                 # Weighted by observation count so shards that saw more
                 # traffic dominate the merged error, like one engine would.
-                slot["mean_abs_rel_error"] += (
-                    entry["mean_abs_rel_error"] * entry["observations"]
-                )
+                # For the quantiles this weighting is an approximation (the
+                # exact merged quantile would need the raw windows).
+                for stat in (
+                    "mean_abs_rel_error",
+                    "p50_abs_rel_error",
+                    "p99_abs_rel_error",
+                ):
+                    slot[stat] += entry.get(stat, 0.0) * entry["observations"]
                 slot["max_abs_rel_error"] = max(
                     slot["max_abs_rel_error"], entry["max_abs_rel_error"]
                 )
-        for entry in routines.values():
+                latency = entry.get("latency")
+                if isinstance(latency, dict):
+                    latency_parts.setdefault(routine, []).append(latency)
+        for routine, entry in routines.items():
             if entry["observations"]:
-                entry["mean_abs_rel_error"] /= entry["observations"]
+                for stat in (
+                    "mean_abs_rel_error",
+                    "p50_abs_rel_error",
+                    "p99_abs_rel_error",
+                ):
+                    entry[stat] /= entry["observations"]
             entry["cache_hit_rate"] = (
                 entry["cache_hits"] / entry["plans"] if entry["plans"] else 0.0
             )
+            parts = latency_parts.get(routine)
+            if parts:
+                merged_latency = BucketHistogram(parts[0]["bounds"])
+                for part in parts:
+                    merged_latency.merge_snapshot(part)
+                entry["latency"] = merged_latency.snapshot()
         with self._counters_lock:
             admission = {
                 "capacity": self.max_pending,
@@ -640,6 +674,11 @@ class ShardedFrontend:
             "requests": requests,
             "batches": batches,
             "mean_batch_size": requests / batches if batches else 0.0,
+            "max_batch_size": max_batch_size,
+            "pending": pending,
+            "batch_size_limit": shard_snapshots[0].get("batch_size_limit"),
+            "wall_time": time.time(),
+            "monotonic_time": time.monotonic(),
             "fallback_chain": self.shards[0].fallback_describe(),
             "reinstall_candidates": sorted(flagged),
             "routines": routines,

@@ -43,6 +43,7 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
@@ -841,6 +842,10 @@ class ProcessShard(ShardBase):
             "batch_size_limit": self.max_batch_size,
             "fallback_chain": default_serving_chain().describe(),
             "cache": self._empty_cache_stats(),
+            # Same timestamp keys the live engine stamps, so merged
+            # snapshots stay orderable even while a worker is down.
+            "wall_time": time.time(),
+            "monotonic_time": time.monotonic(),
         }
 
     def _empty_cache_stats(self) -> dict:

@@ -24,6 +24,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import BucketHistogram
+
 __all__ = [
     "FaultTelemetry",
     "RollingStats",
@@ -83,6 +85,25 @@ class RollingStats:
     @property
     def last(self) -> float:
         return self._values[-1] if self._values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile of the live window (0.0 when empty).
+
+        Sorted linear interpolation, matching ``numpy.quantile``'s default
+        method bit-for-bit on the same samples — the telemetry tests pin
+        this.  O(n log n) per call, so callers take it at snapshot time,
+        not per observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._values:
+            return 0.0
+        values = sorted(self._values)
+        position = q * (len(values) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(values) - 1)
+        fraction = position - lower
+        return values[lower] + (values[upper] - values[lower]) * fraction
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -204,6 +225,9 @@ class RoutineTelemetry:
         self.errors = RollingStats(window)
         self.shapes = ShapeHistogram(shape_capacity)
         self.traffic: Deque[TrafficRecord] = deque(maxlen=self.window)
+        #: Per-plan share of the micro-batch planning pass, fixed buckets —
+        #: the live p50/p99 plan-latency source for the metrics exporter.
+        self.latency = BucketHistogram()
 
     def record_plan(
         self,
@@ -221,6 +245,11 @@ class RoutineTelemetry:
             self.n_heuristic_plans += 1
         if dims_key is not None:
             self.shapes.record(dims_key)
+
+    def record_latency(self, seconds: float) -> None:
+        """Fold one plan's share of its batch's planning time into the
+        latency histogram (engine lock held, like every mutator here)."""
+        self.latency.observe(seconds)
 
     def record_observation(
         self,
@@ -286,7 +315,10 @@ class RoutineTelemetry:
             "observations": self.n_observations,
             "invalid_observations": self.n_invalid_observations,
             "mean_abs_rel_error": self.mean_abs_rel_error,
+            "p50_abs_rel_error": self.errors.quantile(0.5),
+            "p99_abs_rel_error": self.errors.quantile(0.99),
             "max_abs_rel_error": self.errors.max,
+            "latency": self.latency.snapshot(),
             "shapes": self.shapes.snapshot(),
             "traffic_records": len(self.traffic),
         }
@@ -356,6 +388,9 @@ class EngineTelemetry:
         self._routine(routine).record_plan(
             from_cache, fallback, heuristic, dims_key=dims_key
         )
+
+    def record_latency(self, routine: str, seconds: float) -> None:
+        self._routine(routine).record_latency(seconds)
 
     def record_observation(
         self,

@@ -22,11 +22,16 @@ import json
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.blas.api import parse_routine
+
+# Canonical home is the observability package now (the run journal
+# generalizes them); re-exported here because workload replay and long
+# -standing callers import them from this module.
+from repro.obs.journal import append_jsonl, read_jsonl
 
 __all__ = [
     "WorkloadRequest",
@@ -147,61 +152,6 @@ def save_workload(path: str | Path, requests: Sequence[WorkloadRequest]) -> Path
     with open(path, "w") as handle:
         for request in requests:
             handle.write(request.to_json() + "\n")
-    return path
-
-
-def read_jsonl(path: str | Path, strict: bool = False) -> Iterator[Tuple[int, dict]]:
-    """Yield ``(line_number, row)`` for every JSON-object line of a file.
-
-    Blank lines are skipped.  Lines that are not valid JSON objects are a
-    ``ValueError`` (with the offending position) under ``strict``; otherwise
-    they are skipped with a :class:`RuntimeWarning`, so one corrupt line —
-    say, a crash mid-append to an audit log — does not make the rest of the
-    file unreadable.  Shared by workload replay and the adaptation log.
-    """
-    path = Path(path)
-    with open(path) as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-                if not isinstance(row, dict):
-                    raise ValueError("line is not a JSON object")
-            except ValueError as exc:
-                if strict:
-                    raise ValueError(
-                        f"{path}:{line_number}: not a valid JSONL line: {exc}"
-                    ) from exc
-                warnings.warn(
-                    f"{path}:{line_number}: skipping malformed JSONL line ({exc})",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                continue
-            yield line_number, row
-
-
-def append_jsonl(path: str | Path, row: Dict[str, object]) -> Path:
-    """Append one JSON object as a line (creating parent directories).
-
-    If a previous writer crashed mid-append the file may end in a partial
-    line without a newline; gluing onto it would corrupt *this* record too,
-    so a missing trailing newline is repaired first (the partial line stays
-    malformed on its own and is skipped by :func:`read_jsonl`).
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    needs_newline = False
-    if path.exists() and path.stat().st_size > 0:
-        with open(path, "rb") as handle:
-            handle.seek(-1, 2)
-            needs_newline = handle.read(1) != b"\n"
-    with open(path, "a") as handle:
-        if needs_newline:
-            handle.write("\n")
-        handle.write(json.dumps(row) + "\n")
     return path
 
 

@@ -1,0 +1,33 @@
+"""Fixtures for the observability tests.
+
+The obs tests get their own trained bundle (like the serving tests do)
+so scraping/serving against it cannot perturb cache-state assertions
+made elsewhere in the suite against the shared ``small_bundle``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.install import install_adsala
+from repro.core.persistence import save_bundle
+
+
+@pytest.fixture(scope="session")
+def obs_bundle(laptop):
+    """A two-routine installation reserved for the observability tests."""
+    return install_adsala(
+        platform=laptop,
+        routines=["dgemm", "dsyrk"],
+        n_samples=10,
+        threads_per_shape=4,
+        n_test_shapes=4,
+        candidate_models=["LinearRegression", "DecisionTree"],
+        seed=3,
+    )
+
+
+@pytest.fixture()
+def obs_bundle_dir(obs_bundle, tmp_path):
+    """The obs bundle saved to disk (for hot-reload and registry tests)."""
+    return save_bundle(obs_bundle, tmp_path / "bundle", bundle_version=1)

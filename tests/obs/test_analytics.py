@@ -1,0 +1,268 @@
+"""Tests for the offline analytics aggregators and canned reports."""
+
+import numpy as np
+import pytest
+
+from repro.obs.analytics import (
+    Count,
+    Max,
+    Mean,
+    Min,
+    Quantile,
+    Ratio,
+    Sum,
+    aggregate,
+    capacity_report,
+    error_trend,
+    speedup_by_routine,
+    supervision_summary,
+    time_window,
+)
+
+
+class TestAggregators:
+    def test_count_with_and_without_predicate(self):
+        rows = [{"x": 1}, {"x": 2}, {"x": 3}]
+        out = aggregate(rows, lambda r: "all", {
+            "n": Count(), "odd": Count(lambda r: r["x"] % 2 == 1),
+        })
+        assert out["all"] == {"n": 3, "odd": 2}
+
+    def test_numeric_aggregators_skip_unusable_values(self):
+        rows = [
+            {"t": 1.0}, {"t": 3.0}, {"t": None}, {"t": "oops"},
+            {"t": True}, {"t": float("nan")}, {"other": 9},
+        ]
+        out = aggregate(rows, lambda r: 0, {
+            "sum": Sum("t"), "mean": Mean("t"), "min": Min("t"), "max": Max("t"),
+        })[0]
+        assert out["sum"] == pytest.approx(4.0)
+        assert out["mean"] == pytest.approx(2.0)
+        assert out["min"] == 1.0 and out["max"] == 3.0
+
+    def test_empty_group_results_are_none(self):
+        out = aggregate([{"t": None}], lambda r: 0, {
+            "sum": Sum("t"), "q": Quantile("t", 0.5), "r": Ratio(Sum("t"), Count()),
+        })[0]
+        assert out == {"sum": None, "q": None, "r": None}
+
+    def test_quantile_matches_numpy_on_spiky_stream(self):
+        rng = np.random.default_rng(5)
+        values = rng.random(501)
+        values[::50] = 1e6  # spikes
+        rows = [{"t": float(v)} for v in values]
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            out = aggregate(rows, lambda r: 0, {"q": Quantile("t", q)})[0]["q"]
+            assert out == pytest.approx(float(np.quantile(values, q)), rel=1e-12)
+
+    def test_quantile_validates_q(self):
+        with pytest.raises(ValueError):
+            Quantile("t", 1.5)
+
+    def test_ratio_zero_denominator_is_none(self):
+        out = aggregate([{"a": 1.0, "b": 0.0}], lambda r: 0, {
+            "r": Ratio(Sum("a"), Sum("b")),
+        })[0]
+        assert out["r"] is None
+
+    def test_prototypes_are_not_shared_between_groups(self):
+        rows = [{"g": "a", "t": 1.0}, {"g": "b", "t": 5.0}]
+        out = aggregate(rows, "g", {"sum": Sum("t")})
+        assert out["a"]["sum"] == 1.0 and out["b"]["sum"] == 5.0
+
+
+class TestAggregateKeys:
+    def test_by_field_name_and_sequence(self):
+        rows = [
+            {"routine": "dgemm", "shard": 0, "t": 1.0},
+            {"routine": "dgemm", "shard": 1, "t": 2.0},
+            {"routine": "dsyrk", "shard": 0, "t": 4.0},
+        ]
+        by_routine = aggregate(rows, "routine", {"sum": Sum("t")})
+        assert by_routine["dgemm"]["sum"] == pytest.approx(3.0)
+        by_pair = aggregate(rows, ("routine", "shard"), {"n": Count()})
+        assert by_pair[("dgemm", 1)]["n"] == 1
+
+    def test_key_error_skips_row(self):
+        def key(row):
+            return row["missing"]
+
+        assert aggregate([{"x": 1}], key, {"n": Count()}) == {}
+
+    def test_groups_in_first_seen_order(self):
+        rows = [{"g": "z"}, {"g": "a"}, {"g": "z"}]
+        assert list(aggregate(rows, "g", {"n": Count()})) == ["z", "a"]
+
+
+class TestTimeWindow:
+    def test_floors_to_window_start(self):
+        key = time_window(10.0)
+        assert key({"ts": 1000.0}) == 1000.0
+        assert key({"ts": 1009.99}) == 1000.0
+        assert key({"ts": 1010.0}) == 1010.0
+
+    def test_missing_timestamp_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            time_window(10.0)({"no_ts": 1})
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            time_window(0.0)
+
+
+def _plan(routine, predicted, baseline, **extra):
+    row = {
+        "event": "plan", "routine": routine, "ts": extra.pop("ts", 100.0),
+        "predicted_time": predicted, "baseline_time": baseline,
+        "from_cache": False, "fallback_from": None,
+    }
+    row.update(extra)
+    return row
+
+
+def _obs(routine, predicted, observed, baseline=None, **extra):
+    row = {
+        "event": "observation", "routine": routine, "ts": extra.pop("ts", 100.0),
+        "predicted_time": predicted, "observed_time": observed,
+        "baseline_time": baseline,
+    }
+    row.update(extra)
+    return row
+
+
+class TestSpeedupByRoutine:
+    def test_observed_basis_preferred(self):
+        rows = [
+            _plan("dgemm", 1.0, 3.0, from_cache=True),
+            _plan("dgemm", 1.0, 3.0, fallback_from="model"),
+            _obs("dgemm", 1.0, 2.0, baseline=6.0),
+            _obs("dgemm", 1.0, 2.0, baseline=2.0),
+        ]
+        report = speedup_by_routine(rows)
+        entry = report["dgemm"]
+        assert entry["basis"] == "observed"
+        assert entry["speedup"] == pytest.approx((6.0 + 2.0) / (2.0 + 2.0))
+        assert entry["plans"] == 2 and entry["observations"] == 2
+        assert entry["cache_hits"] == 1 and entry["fallbacks"] == 1
+        assert entry["baseline_s"] == pytest.approx(8.0)
+        assert entry["served_s"] == pytest.approx(4.0)
+
+    def test_predicted_basis_without_observations(self):
+        rows = [_plan("dsyrk", 1.0, 4.0, threads=2), _plan("dsyrk", 1.0, 2.0, threads=4)]
+        entry = speedup_by_routine(rows)["dsyrk"]
+        assert entry["basis"] == "predicted"
+        assert entry["speedup"] == pytest.approx(6.0 / 2.0)
+        assert entry["mean_threads"] == pytest.approx(3.0)
+        assert entry["observations"] == 0
+
+    def test_routines_do_not_mix(self):
+        rows = [
+            _obs("dgemm", 1.0, 1.0, baseline=2.0),
+            _obs("dsyrk", 1.0, 1.0, baseline=8.0),
+        ]
+        report = speedup_by_routine(rows)
+        assert report["dgemm"]["speedup"] == pytest.approx(2.0)
+        assert report["dsyrk"]["speedup"] == pytest.approx(8.0)
+
+
+class TestErrorTrend:
+    def test_error_definition_and_grouping(self):
+        rows = [
+            _plan("dgemm", 1.0, 2.0, request_id=1, version=1),
+            _obs("dgemm", 1.0, 2.0, request_id=1),  # |2-1|/2 = 0.5
+            _obs("dgemm", 1.0, 1.0, request_id=1),  # 0.0
+        ]
+        trend = error_trend(rows)
+        entry = trend[("dgemm", 1)]
+        assert entry["observations"] == 2
+        assert entry["mean_abs_rel_error"] == pytest.approx(0.25)
+        assert entry["max_abs_rel_error"] == pytest.approx(0.5)
+
+    def test_versions_resolved_per_request(self):
+        rows = [
+            _plan("dgemm", 1.0, 2.0, request_id=1, version=1),
+            _plan("dgemm", 1.0, 2.0, request_id=2, version=2),
+            _obs("dgemm", 1.0, 2.0, request_id=1),
+            _obs("dgemm", 1.0, 4.0, request_id=2),
+        ]
+        trend = error_trend(rows)
+        assert ("dgemm", 1) in trend and ("dgemm", 2) in trend
+        assert trend[("dgemm", 1)]["mean_abs_rel_error"] == pytest.approx(0.5)
+        assert trend[("dgemm", 2)]["mean_abs_rel_error"] == pytest.approx(0.75)
+
+    def test_single_version_run_inherits_version(self):
+        # The CLI's observation rows carry no request_id; when every plan
+        # was served from one bundle version the observations inherit it.
+        rows = [
+            _plan("dgemm", 1.0, 2.0, version=3),
+            _obs("dgemm", 1.0, 2.0),
+        ]
+        assert ("dgemm", 3) in error_trend(rows)
+
+    def test_invalid_observations_dropped(self):
+        rows = [
+            _obs("dgemm", 1.0, 0.0),  # non-positive observed
+            _obs("dgemm", None, 1.0),
+        ]
+        assert error_trend(rows) == {}
+
+    def test_window_component(self):
+        rows = [
+            _obs("dgemm", 1.0, 2.0, ts=100.0),
+            _obs("dgemm", 1.0, 2.0, ts=112.0),
+        ]
+        trend = error_trend(rows, window=10.0)
+        assert ("dgemm", None, 100.0) in trend
+        assert ("dgemm", None, 110.0) in trend
+
+
+class TestCapacityReport:
+    def test_rates_shed_and_headroom(self):
+        rows = []
+        for offset in range(4):  # window A: 4 plans, no shed
+            rows.append(_plan("dgemm", 1.0, 2.0, ts=100.0 + offset * 0.2))
+        for offset in range(6):  # window B: 6 plans + 2 shed
+            rows.append(_plan("dgemm", 1.0, 2.0, ts=101.0 + offset * 0.1))
+        rows.append({"event": "shed", "routine": "dgemm", "ts": 101.6, "reason": "queue_full"})
+        rows.append({"event": "shed", "routine": "dgemm", "ts": 101.7, "reason": "deadline"})
+        report = capacity_report(rows, window=1.0)
+        windows = {w["window_start"]: w for w in report["windows"]}
+        assert report["peak_clean_rate"] == pytest.approx(4.0)
+        clean = windows[100.0]
+        assert clean["shed"] == 0 and clean["headroom"] == pytest.approx(0.0)
+        hot = windows[101.0]
+        assert hot["request_rate"] == pytest.approx(8.0)
+        assert hot["served_rate"] == pytest.approx(6.0)
+        assert hot["shed_fraction"] == pytest.approx(0.25)
+        assert hot["headroom"] == pytest.approx(1.0 - 8.0 / 4.0)  # negative: over frontier
+
+    def test_no_clean_window_gives_none_headroom(self):
+        rows = [
+            _plan("dgemm", 1.0, 2.0, ts=100.0),
+            {"event": "shed", "routine": "dgemm", "ts": 100.1, "reason": "queue_full"},
+        ]
+        report = capacity_report(rows)
+        assert report["peak_clean_rate"] is None
+        assert report["windows"][0]["headroom"] is None
+
+
+class TestSupervisionSummary:
+    def test_last_run_end_wins(self):
+        rows = [
+            {"event": "run_end", "ts": 1.0, "stats": {"requests": 1}},
+            {
+                "event": "run_end", "ts": 2.0,
+                "stats": {
+                    "requests": 300,
+                    "supervision": {"restarts": 2, "failures": 2},
+                    "admission": {"submitted": 300, "shed": 0},
+                },
+            },
+        ]
+        summary = supervision_summary(rows)
+        assert summary["requests"] == 300
+        assert summary["supervision"]["restarts"] == 2
+        assert summary["admission"]["submitted"] == 300
+
+    def test_missing_run_end_is_none(self):
+        assert supervision_summary([_plan("dgemm", 1.0, 2.0)]) is None

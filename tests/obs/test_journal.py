@@ -1,0 +1,253 @@
+"""Tests for the JSONL helpers and the rotating run journal."""
+
+import json
+
+import pytest
+
+from repro.obs.journal import (
+    RunJournal,
+    append_jsonl,
+    journal_segments,
+    read_journal,
+    read_jsonl,
+)
+
+
+class TestJsonlHelpers:
+    def test_append_then_read_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_jsonl(path, {"a": 1})
+        append_jsonl(path, {"b": 2})
+        rows = list(read_jsonl(path))
+        assert rows == [(1, {"a": 1}), (2, {"b": 2})]
+
+    def test_append_heals_missing_trailing_newline(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"ok": 1}\n{"torn"')  # crashed writer mid-line
+        append_jsonl(path, {"ok": 2})
+        text = path.read_text()
+        assert '{"torn"\n' in text  # partial line isolated, not glued onto
+        with pytest.warns(RuntimeWarning, match="skipping malformed"):
+            rows = [row for _, row in read_jsonl(path)]
+        assert rows == [{"ok": 1}, {"ok": 2}]
+
+    def test_read_strict_raises_with_position(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=r"log\.jsonl:2"):
+            list(read_jsonl(path, strict=True))
+
+    def test_non_object_lines_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.warns(RuntimeWarning, match="not a JSON object"):
+            assert list(read_jsonl(path)) == []
+
+    def test_blank_lines_skipped_silently(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('\n{"ok": 1}\n\n')
+        assert [row for _, row in read_jsonl(path)] == [{"ok": 1}]
+
+
+class TestJournalSegments:
+    def test_orders_oldest_first(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        for suffix in ("", ".1", ".2", ".10"):
+            (tmp_path / ("journal.jsonl" + suffix)).write_text("")
+        (tmp_path / "journal.jsonl.bak").write_text("")  # ignored
+        names = [p.name for p in journal_segments(path)]
+        assert names == [
+            "journal.jsonl.10", "journal.jsonl.2", "journal.jsonl.1", "journal.jsonl",
+        ]
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert journal_segments(tmp_path / "absent.jsonl") == []
+
+
+class TestRunJournal:
+    def test_parameter_validation(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with pytest.raises(ValueError):
+            RunJournal(path, max_bytes=-1)
+        with pytest.raises(ValueError):
+            RunJournal(path, max_segments=0)
+        with pytest.raises(ValueError):
+            RunJournal(path, flush_every=0)
+
+    def test_rows_are_stamped_and_flushed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("custom", answer=42)
+            # flush_every=1: the row is on disk before close.
+            row = json.loads(path.read_text())
+        assert row["event"] == "custom" and row["answer"] == 42
+        assert row["ts"] > 1e9 and row["mono"] >= 0.0
+        assert journal.n_rows == 1
+
+    def test_flush_every_buffers_until_flush(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path, flush_every=1000)
+        journal.append("plan")
+        assert path.read_text() == ""  # still buffered
+        journal.flush()
+        assert json.loads(path.read_text())["event"] == "plan"
+        journal.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            journal.append("late")
+
+    def test_heals_partial_tail_from_previous_run(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event": "plan"}\n{"torn')
+        with RunJournal(path) as journal:
+            journal.append("plan", n=2)
+        with pytest.warns(RuntimeWarning):
+            rows = list(read_journal(path))
+        assert [row["event"] for row in rows] == ["plan", "plan"]
+        assert rows[1]["n"] == 2
+
+    def test_rotation_bounds_live_segment_and_drops_oldest(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path, max_bytes=200, max_segments=2) as journal:
+            for index in range(40):
+                journal.append("plan", index=index)
+        assert journal.n_rotations > 2  # enough churn to drop segments
+        segments = journal_segments(path)
+        assert [p.name for p in segments] == ["j.jsonl.2", "j.jsonl.1", "j.jsonl"]
+        assert all(p.stat().st_size <= 200 for p in segments)
+        # Replay is oldest-first and contiguous: the surviving rows are the
+        # most recent ones, in order.
+        indices = [row["index"] for row in read_journal(path)]
+        assert indices == list(range(indices[0], 40))
+
+    def test_rotation_disabled_by_default(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            for index in range(50):
+                journal.append("plan", index=index)
+        assert journal.n_rotations == 0
+        assert journal_segments(path) == [path]
+
+    def test_reader_survives_corrupt_middle_segment(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path, max_bytes=120, max_segments=3) as journal:
+            for index in range(12):
+                journal.append("plan", index=index)
+        rotated = journal_segments(path)[0]
+        with open(rotated, "a") as handle:
+            handle.write("garbage not json\n")
+        with pytest.warns(RuntimeWarning, match="skipping malformed"):
+            rows = list(read_journal(path))
+        assert [row["event"] for row in rows].count("plan") == len(rows)
+        with pytest.raises(ValueError):
+            list(read_journal(path, strict=True))
+
+    def test_fast_serializer_matches_json(self, tmp_path):
+        # The hot plan/observation events go through %-templates instead
+        # of json.dumps; the result must still be plain JSON with the
+        # exact same values.
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_plan(
+                'dg"emm', {"m": 64, "n": 32}, threads=4,
+                predicted_time=1.5e-3, baseline_time=None, from_cache=False,
+                fallback_from="heuristic", policy="model",
+                shard=0, request_id=11, version=None,
+            )
+            journal.record_observation(
+                "dsyrk", threads=2, predicted_time=0.1,
+                observed_time=0.30000000000000004, baseline_time=0.2,
+            )
+        rows = list(read_journal(path))
+        plan, observation = rows
+        assert plan["routine"] == 'dg"emm'  # quoting survives the template
+        assert plan["dims"] == {"m": 64, "n": 32}
+        assert plan["baseline_time"] is None and plan["from_cache"] is False
+        assert plan["fallback_from"] == "heuristic" and plan["shard"] == 0
+        assert plan["version"] is None
+        # Floats roundtrip exactly (repr-based formatting).
+        assert observation["observed_time"] == 0.30000000000000004
+        assert observation["shard"] is None
+
+    def test_async_writer_drains_on_flush_and_close(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path, async_writer=True)
+        for index in range(100):
+            journal.record_plan(
+                "dgemm", {"m": index}, threads=2, predicted_time=1e-3,
+                request_id=index,
+            )
+        journal.flush()  # barrier: everything queued is on disk now
+        on_disk = [row["request_id"] for row in read_journal(path)
+                   if row["event"] == "plan"]
+        assert on_disk == list(range(100))
+        journal.append("custom", tail=True)
+        journal.close()
+        rows = list(read_journal(path))
+        assert rows[-1]["tail"] is True
+        assert journal.n_rows == 101
+        with pytest.raises(ValueError, match="closed"):
+            journal.append("late")
+
+    def test_async_writer_rotates_and_orders(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path, max_bytes=400, max_segments=2,
+                        async_writer=True) as journal:
+            for index in range(60):
+                journal.append("plan", index=index)
+        assert journal.n_rotations > 0
+        indices = [row["index"] for row in read_journal(path)]
+        assert indices == list(range(indices[0], 60))
+
+    def test_async_writer_concurrent_appends(self, tmp_path):
+        import threading
+
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path, async_writer=True) as journal:
+            def worker(base):
+                for index in range(50):
+                    journal.append("plan", index=base + index)
+
+            threads = [threading.Thread(target=worker, args=(base * 50,))
+                       for base in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        indices = sorted(row["index"] for row in read_journal(path))
+        assert indices == list(range(200))
+        assert journal.n_rows == 200
+
+    def test_record_schemas(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_run_start(bundle="/b", shards=2)
+            journal.record_plan(
+                "dgemm", {"m": 64, "k": 64, "n": 64}, threads=4,
+                predicted_time=1e-3, baseline_time=2e-3, from_cache=True,
+                shard=1, request_id=7, version=3,
+            )
+            journal.record_observation(
+                "dgemm", threads=4, predicted_time=1e-3, observed_time=1.5e-3,
+                baseline_time=2e-3, request_id=7,
+            )
+            journal.record_shed("dsyrk", "queue_full", dims={"n": 32, "k": 32})
+            journal.record_run_end(stats={"requests": 1}, plans=1)
+        rows = list(read_journal(path))
+        events = [row["event"] for row in rows]
+        assert events == ["run_start", "plan", "observation", "shed", "run_end"]
+        plan = rows[1]
+        assert plan["routine"] == "dgemm" and plan["threads"] == 4
+        assert plan["from_cache"] is True and plan["version"] == 3
+        assert plan["shard"] == 1 and plan["request_id"] == 7
+        observation = rows[2]
+        assert observation["observed_time"] == pytest.approx(1.5e-3)
+        assert rows[3]["reason"] == "queue_full"
+        assert rows[4]["stats"] == {"requests": 1}
+        # Monotonic stamps order the rows within this process.
+        monos = [row["mono"] for row in rows]
+        assert monos == sorted(monos)

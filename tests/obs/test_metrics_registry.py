@@ -1,0 +1,319 @@
+"""Tests for the metrics registry, primitives and exposition endpoint."""
+
+import json
+import math
+import re
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    BucketHistogram,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    MetricsServer,
+    merge_histogram_snapshots,
+    now_timestamps,
+)
+
+
+class TestBucketHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            BucketHistogram(())
+        with pytest.raises(ValueError):
+            BucketHistogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            BucketHistogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            BucketHistogram((1.0, math.inf))
+
+    def test_bucket_assignment_le_inclusive(self):
+        # Prometheus le is inclusive: an observation exactly at a bound
+        # belongs to that bound's bucket.
+        hist = BucketHistogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 2, 1]
+        assert hist.cumulative() == [2, 4, 6, 7]
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(21.0)
+
+    def test_cumulative_is_monotone(self):
+        rng = np.random.default_rng(0)
+        hist = BucketHistogram()
+        for value in rng.exponential(0.01, size=500):
+            hist.observe(value)
+        cumulative = hist.cumulative()
+        assert all(b >= a for a, b in zip(cumulative, cumulative[1:]))
+        assert cumulative[-1] == hist.count == 500
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = BucketHistogram((1.0, 2.0))
+        for _ in range(10):
+            hist.observe(1.5)  # all mass in (1, 2]
+        # Median rank is halfway through the only occupied bucket.
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(0.0) == pytest.approx(1.0)
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_first_bucket_interpolates_from_zero(self):
+        hist = BucketHistogram((1.0, 2.0))
+        hist.observe(0.25)
+        hist.observe(0.75)
+        assert hist.quantile(0.5) == pytest.approx(0.5)
+
+    def test_quantile_edge_cases(self):
+        hist = BucketHistogram((1.0, 2.0))
+        assert hist.quantile(0.5) == 0.0  # empty
+        hist.observe(100.0)  # overflow bucket
+        assert hist.quantile(0.99) == 2.0  # cannot resolve past last bound
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_merge_snapshot_sums_everything(self):
+        a = BucketHistogram((1.0, 2.0))
+        b = BucketHistogram((1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.sum == pytest.approx(11.0)
+
+    def test_merge_rejects_different_buckets(self):
+        a = BucketHistogram((1.0, 2.0))
+        b = BucketHistogram((1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_merge_histogram_snapshots_helper(self):
+        parts = []
+        for seed in range(3):
+            hist = BucketHistogram()
+            rng = np.random.default_rng(seed)
+            for value in rng.exponential(0.005, size=50):
+                hist.observe(value)
+            parts.append(hist.snapshot())
+        merged = merge_histogram_snapshots(parts)
+        assert merged["count"] == 150
+        assert merged["sum"] == pytest.approx(sum(p["sum"] for p in parts))
+        assert merged["bounds"] == list(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestPrimitives:
+    def test_counter_is_monotone_under_inc(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_counter_set_total_allows_reset(self):
+        # A collected value below the current one is a Prometheus counter
+        # reset (a restarted shard), not an error.
+        counter = Counter()
+        counter.set_total(100.0)
+        counter.set_total(3.0)
+        assert counter.value == 3.0
+
+    def test_gauge_goes_anywhere(self):
+        gauge = Gauge()
+        gauge.set(5.0)
+        gauge.dec(7.0)
+        gauge.inc(1.0)
+        assert gauge.value == pytest.approx(-1.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "help")
+        second = registry.counter("requests_total", "help")
+        assert first is second
+        assert first.labels() is second.labels()
+
+    def test_re_registration_with_different_shape_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ValueError):
+            registry.gauge("thing_total")
+        registry.gauge("depth", labels=("shard",))
+        with pytest.raises(ValueError):
+            registry.gauge("depth", labels=("routine",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("2bad")
+        with pytest.raises(ValueError):
+            registry.counter("has space")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("__reserved",))
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("bad-label",))
+
+    def test_labels_must_match_family(self):
+        registry = MetricsRegistry()
+        family = registry.counter("plans_total", labels=("routine",))
+        with pytest.raises(ValueError):
+            family.labels(shard="0")
+        assert family.labels(routine="dgemm") is family.labels(routine="dgemm")
+        assert family.labels(routine="dgemm") is not family.labels(routine="dsyrk")
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("adsala_plans_total", "Plans served", ("routine",)).labels(
+            routine="dgemm"
+        ).inc(3)
+        registry.gauge("adsala_pending", "Queue depth").labels().set(2.0)
+        text = registry.render_prometheus()
+        assert "# HELP adsala_plans_total Plans served\n" in text
+        assert "# TYPE adsala_plans_total counter\n" in text
+        assert 'adsala_plans_total{routine="dgemm"} 3\n' in text
+        assert "# TYPE adsala_pending gauge\n" in text
+        assert "adsala_pending 2\n" in text  # integral floats collapse
+        assert text.endswith("\n")
+
+    def test_render_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("weird", 1.0, label='a"b\\c\nd')
+        text = registry.render_prometheus()
+        assert 'label="a\\"b\\\\c\\nd"' in text
+
+    def test_render_histogram_expansion(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "latency_seconds", "Latency", ("routine",), buckets=(0.5, 1.0)
+        )
+        child = family.labels(routine="dgemm")
+        for value in (0.1, 0.7, 5.0):
+            child.observe(value)
+        text = registry.render_prometheus()
+        assert 'latency_seconds_bucket{routine="dgemm",le="0.5"} 1\n' in text
+        assert 'latency_seconds_bucket{routine="dgemm",le="1"} 2\n' in text
+        assert 'latency_seconds_bucket{routine="dgemm",le="+Inf"} 3\n' in text
+        assert 'latency_seconds_count{routine="dgemm"} 3\n' in text
+        sum_lines = [
+            line for line in text.splitlines()
+            if line.startswith('latency_seconds_sum{routine="dgemm"} ')
+        ]
+        assert len(sum_lines) == 1
+        assert float(sum_lines[0].rsplit(" ", 1)[1]) == pytest.approx(5.8)
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.set_counter("adsala_requests_total", 10)
+        registry.histogram("lat", buckets=(1.0,)).labels().observe(0.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["adsala_requests_total"]["type"] == "counter"
+        assert snapshot["adsala_requests_total"]["series"][0]["value"] == 10
+        assert snapshot["lat"]["series"][0]["counts"] == [1, 0]
+
+    def test_set_counter_and_set_gauge_convenience(self):
+        registry = MetricsRegistry()
+        registry.set_counter("c_total", 4, routine="dgemm")
+        registry.set_counter("c_total", 7, routine="dgemm")
+        registry.set_gauge("g", 1.25)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"]["series"][0]["value"] == 7
+        assert snapshot["g"]["series"][0]["value"] == 1.25
+
+    def test_clear_empties_registry(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.0)
+        registry.clear()
+        assert registry.snapshot() == {}
+        assert registry.render_prometheus() == "\n"
+
+
+class TestMetricsServer:
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.read().decode(), response.headers.get("Content-Type")
+
+    def test_serves_all_routes_on_ephemeral_port(self):
+        registry = MetricsRegistry()
+        registry.set_counter("adsala_requests_total", 5)
+        with MetricsServer(registry, port=0) as server:
+            assert server.port not in (None, 0)
+            base = f"http://127.0.0.1:{server.port}"
+            body, content_type = self._get(base + "/metrics")
+            assert "adsala_requests_total 5" in body
+            assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+            body, content_type = self._get(base + "/metrics.json")
+            assert content_type == "application/json"
+            doc = json.loads(body)
+            assert doc["adsala_requests_total"]["series"][0]["value"] == 5
+            body, _ = self._get(base + "/healthz")
+            assert body == "ok\n"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(base + "/nope")
+            assert excinfo.value.code == 404
+        assert server.port is None  # stopped
+
+    def test_collector_runs_before_every_scrape(self):
+        registry = MetricsRegistry()
+        scrapes = []
+
+        def collector():
+            scrapes.append(True)
+            registry.set_gauge("adsala_scrapes", float(len(scrapes)))
+
+        with MetricsServer(registry, collector=collector) as server:
+            first, _ = self._get(server.url)
+            second, _ = self._get(server.url)
+        assert "adsala_scrapes 1" in first
+        assert "adsala_scrapes 2" in second
+
+    def test_start_stop_idempotent(self):
+        server = MetricsServer(MetricsRegistry())
+        server.start()
+        port = server.port
+        server.start()
+        assert server.port == port
+        server.stop()
+        server.stop()
+        assert server.url is None
+
+
+_LINE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"  # labels
+    r" (?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|Inf)|NaN)$"  # value
+)
+
+
+def assert_parseable_prometheus(text):
+    """Every non-comment line must match the exposition grammar."""
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _LINE_RE.match(line), f"unparseable exposition line: {line!r}"
+
+
+class TestExpositionGrammar:
+    def test_every_rendered_line_parses(self):
+        registry = MetricsRegistry()
+        registry.set_counter("a_total", 3, routine="dgemm", shard="0")
+        registry.set_gauge("b", -1.5)
+        registry.set_gauge("c", 2e-07)
+        registry.histogram("d_seconds", "h", ("routine",)).labels(
+            routine="dsyrk"
+        ).observe(0.003)
+        assert_parseable_prometheus(registry.render_prometheus())
+
+
+def test_now_timestamps_keys():
+    stamps = now_timestamps()
+    assert set(stamps) == {"wall_time", "monotonic_time"}
+    assert stamps["wall_time"] > 1e9
+    assert stamps["monotonic_time"] >= 0.0

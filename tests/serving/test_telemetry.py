@@ -291,3 +291,67 @@ class TestTrafficLog:
         assert telemetry.reset_routine("dgemm") is True
         assert telemetry.reinstall_candidates() == []
         assert telemetry.reset_routine("unknown") is False
+
+
+class TestRollingQuantile:
+    def test_empty_and_validation(self):
+        stats = RollingStats(window=4)
+        assert stats.quantile(0.5) == 0.0
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.quantile(1.5)
+        with pytest.raises(ValueError):
+            stats.quantile(-0.1)
+
+    def test_matches_numpy_on_spiky_stream(self):
+        # Pin against np.quantile's default (linear-interpolation) method
+        # on exactly the kind of stream the error window sees: mostly
+        # small relative errors with occasional huge spikes from
+        # near-zero observed times.
+        rng = np.random.default_rng(77)
+        stats = RollingStats(window=256)
+        samples = []
+        for index in range(1000):
+            value = 1e7 if index % 97 == 0 else float(rng.random())
+            stats.add(value)
+            samples.append(value)
+        window = np.asarray(samples[-256:], dtype=float)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert stats.quantile(q) == float(np.quantile(window, q))
+
+    def test_quantile_tracks_the_live_window_only(self):
+        stats = RollingStats(window=2)
+        for value in (100.0, 1.0, 3.0):
+            stats.add(value)
+        # Only (1, 3) remain: the median interpolates between them.
+        assert stats.quantile(0.5) == pytest.approx(2.0)
+
+
+class TestLatencyTelemetry:
+    def test_snapshot_reports_error_quantiles(self):
+        telemetry = RoutineTelemetry("dgemm")
+        for observed in (1.0, 2.0, 4.0, 8.0):
+            telemetry.record_observation(predicted=1.0, observed=observed)
+        snap = telemetry.snapshot()
+        errors = [abs(o - 1.0) / o for o in (1.0, 2.0, 4.0, 8.0)]
+        assert snap["p50_abs_rel_error"] == pytest.approx(
+            float(np.quantile(errors, 0.5))
+        )
+        assert snap["p99_abs_rel_error"] == pytest.approx(
+            float(np.quantile(errors, 0.99))
+        )
+
+    def test_record_latency_feeds_histogram_snapshot(self):
+        telemetry = EngineTelemetry()
+        telemetry.record_latency("dgemm", 3e-4)
+        telemetry.record_latency("dgemm", 2e-3)
+        snap = telemetry.snapshot()["routines"]["dgemm"]["latency"]
+        assert snap["count"] == 2
+        assert snap["sum"] == pytest.approx(2.3e-3)
+        assert sum(snap["counts"]) == 2
+
+    def test_latency_survives_window_reset(self):
+        telemetry = RoutineTelemetry("dgemm")
+        telemetry.record_latency(1e-4)
+        telemetry.reset_window()
+        assert telemetry.latency.count == 1  # like shapes: survives promotion

@@ -441,3 +441,116 @@ class TestServeShowsAdaptationState:
         )
         assert exit_code == 0
         assert "Adaptation state" not in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    def test_parser_accepts_observability_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--bundle", "/b", "--metrics-port", "0",
+                "--journal", "/tmp/j.jsonl", "--journal-max-bytes", "1000",
+            ]
+        )
+        assert args.metrics_port == 0 and args.journal == "/tmp/j.jsonl"
+        args = build_parser().parse_args(
+            ["analyze", "--journal", "/tmp/j.jsonl", "--window", "0.5", "--json"]
+        )
+        assert args.command == "analyze" and args.as_json is True
+        with pytest.raises(SystemExit):  # --journal is required
+            build_parser().parse_args(["analyze"])
+
+    def test_serve_journal_metrics_then_analyze(self, installed_dir, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        exit_code = main(
+            [
+                "serve",
+                "--bundle", str(installed_dir),
+                "--requests", "48",
+                "--mix", "cycling",
+                "--shards", "2",
+                "--clients", "2",
+                "--seed", "9",
+                "--observe",
+                "--journal", str(journal),
+                "--metrics-port", "0",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "metrics: http://127.0.0.1:" in out
+        assert f"journal: {journal}" in out
+        assert journal.exists()
+
+        from repro.obs.journal import read_journal
+
+        rows = list(read_journal(journal))
+        events = {row["event"] for row in rows}
+        assert {"run_start", "plan", "observation", "run_end"} <= events
+        plans = [row for row in rows if row["event"] == "plan"]
+        assert len(plans) == 48
+        assert all(row["version"] == 2 for row in plans)  # bundle v2 fixture
+        assert all(row["shard"] in (0, 1) for row in plans)
+
+        assert main(["analyze", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "Realized speedup vs max-threads baseline" in out
+        assert "observed" in out  # --observe gives the measured basis
+        assert "dgemm" in out and "dsyrk" in out
+        assert "Prediction error by routine x bundle version" in out
+        assert "Supervision" in out and "Capacity" in out
+
+    def test_serve_process_backend_with_observability(
+        self, installed_dir, tmp_path, capsys
+    ):
+        journal = tmp_path / "journal.jsonl"
+        exit_code = main(
+            [
+                "serve",
+                "--bundle", str(installed_dir),
+                "--requests", "32",
+                "--shards", "2",
+                "--backend", "process",
+                "--clients", "2",
+                "--seed", "13",
+                "--journal", str(journal),
+                "--metrics-port", "0",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Served 32 plans" in out
+        assert "metrics: http://127.0.0.1:" in out
+        assert main(["analyze", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        # No --observe: speedup falls back to the model's own predictions.
+        assert "predicted" in out
+
+    def test_analyze_json_output(self, installed_dir, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        assert main(
+            [
+                "serve",
+                "--bundle", str(installed_dir),
+                "--requests", "24",
+                "--seed", "4",
+                "--observe",
+                "--journal", str(journal),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--journal", str(journal), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["plans"] == 24
+        assert set(report["speedup_by_routine"]) <= {"dgemm", "dsyrk"}
+        for entry in report["speedup_by_routine"].values():
+            assert entry["basis"] == "observed"
+            assert entry["speedup"] > 0
+        assert report["capacity"]["windows"]
+        # Single-engine run: the run_end snapshot has no supervision or
+        # admission block, just the request total.
+        assert report["supervision"] == {"requests": 24}
+
+    def test_analyze_missing_journal_fails(self, tmp_path, capsys):
+        exit_code = main(["analyze", "--journal", str(tmp_path / "nope.jsonl")])
+        assert exit_code == 1
+        assert "no journal" in capsys.readouterr().err
