@@ -1,0 +1,50 @@
+"""A minimal out-of-tree ADSALA routine plugin.
+
+The core library never imports this file: drop the directory onto
+``ADSALA_PLUGIN_PATH`` and the catalog discovers it.  The routine is a
+"black box" — no analytic cost model, only a ``measure`` hook standing in
+for timing the real kernel on the machine (here: a synthetic scaling law
+reading the live platform calibration, so machine drift moves its times
+and the adaptation loop can re-learn them).
+"""
+
+import numpy as np
+
+from repro.routines import make_routine_spec
+
+PLUGIN_NAME = "example-blackbox"
+PLUGIN_VERSION = "1.0"
+
+
+def _measure(platform, precision, dims, threads):
+    """Measured wall time (seconds) for batches of opaque_scan calls."""
+    p = np.asarray(dims["p"], dtype=np.float64)
+    q = np.asarray(dims["q"], dtype=np.float64)
+    t = np.asarray(threads, dtype=np.float64)
+    width = 2.0 if precision == "s" else 1.0
+    rate = platform.peak_gflops_per_core * 1e9 * width
+    work = 48.0 * p * q * np.sqrt(q)
+    kernel = work / (rate * t / (1.0 + 0.10 * (t - 1.0)))
+    itemsize = 4.0 if precision == "s" else 8.0
+    traffic = 3.0 * p * q * itemsize / (
+        platform.total_memory_bandwidth_gbs * 1e9 * t / (t + 5.0)
+    )
+    return kernel + traffic + 2e-6 * t
+
+
+ROUTINES = [
+    make_routine_spec(
+        "opaque_scan",
+        ("p", "q"),
+        [
+            ("input", ("p", "q"), "regular"),
+            ("state", ("q", "q"), "regular"),
+            ("output", ("p", "q"), "regular"),
+        ],
+        flops=lambda d: 48.0 * d["p"] * d["q"] * np.sqrt(
+            np.asarray(d["q"], dtype=np.float64)
+        ),
+        measure=_measure,
+        dim_ranges={"p": (64, 8192), "q": (32, 2048)},
+    )
+]

@@ -1,18 +1,28 @@
 """Unified BLAS Level 3 routine interface and specifications (paper Table I).
 
 A *routine key* such as ``"dgemm"`` or ``"ssyr2k"`` combines a precision
-prefix (``s`` = float32, ``d`` = float64) with a base routine name.  The
-:data:`ROUTINE_SPECS` table records, for every base routine, the operand
-shapes and types of Table I, the names of its free dimension parameters and
-how FLOPs and memory footprint are computed from them.
+prefix (``s`` = float32, ``d`` = float64) with a base routine name.  Since
+the routine-plugin refactor the specifications themselves live in
+:mod:`repro.routines`: the Table I built-ins are provided by
+:class:`repro.routines.builtin.BuiltinBlasPlugin` and :func:`parse_routine`
+/ :func:`routine_dims` are thin queries against the process-wide
+:class:`~repro.routines.catalog.RoutineCatalog`, so plugin routines
+(``ADSALA_PLUGIN_PATH`` directories, ``adsala.routines`` entry points)
+resolve everywhere these helpers are used.  This module remains the
+backward-compatible import surface: :data:`ROUTINE_SPECS`,
+:data:`ROUTINE_KEYS` and :data:`ROUTINE_NAMES` still describe the builtin
+BLAS-12 (the default installation campaign); the catalog's ``keys()`` is
+the full dynamic listing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
+
+from repro.routines.builtin import ROUTINE_SPECS
+from repro.routines.spec import PRECISIONS, OperandSpec, RoutineSpec
 
 __all__ = [
     "RoutineSpec",
@@ -29,176 +39,27 @@ __all__ = [
 ]
 
 
-PRECISIONS: Dict[str, np.dtype] = {
-    "s": np.dtype(np.float32),
-    "d": np.dtype(np.float64),
-}
-
-
-@dataclass(frozen=True)
-class OperandSpec:
-    """Shape/type of one matrix operand as listed in Table I."""
-
-    name: str
-    shape: Tuple[str, str]
-    kind: str  # "regular", "symmetric", "triangular"
-
-
-@dataclass(frozen=True)
-class RoutineSpec:
-    """Specification of one BLAS Level 3 base routine.
-
-    Attributes
-    ----------
-    name:
-        Base routine name (``"gemm"``, ``"symm"``, ...).
-    dim_names:
-        The free size parameters the ADSALA sampler draws (paper: three for
-        GEMM, two for the rest).
-    operands:
-        Operand table matching the paper's Table I.
-    flops:
-        Callable mapping the dimension dict to the floating-point operation
-        count of the routine.
-    memory_words:
-        Callable mapping the dimension dict to the number of matrix elements
-        that must be resident (input/output operands counted once even when
-        overwritten, per the paper's footnote on TRMM/TRSM).
-
-    Both callables are pure arithmetic on the dimension values, so they
-    accept scalars *or* aligned NumPy arrays (one entry per problem shape)
-    and return a float or float array accordingly — the batch timing path
-    (:meth:`repro.machine.perfmodel.PerformanceModel.breakdown_batch`)
-    relies on this.
-    """
-
-    name: str
-    dim_names: Tuple[str, ...]
-    operands: Tuple[OperandSpec, ...]
-    flops: Callable[[Dict[str, int]], float]
-    memory_words: Callable[[Dict[str, int]], float]
-
-    @property
-    def n_dims(self) -> int:
-        return len(self.dim_names)
-
-    def dims_from_args(self, *args: int, **kwargs: int) -> Dict[str, int]:
-        """Build the dimension dict from positional or keyword sizes."""
-        if args and kwargs:
-            raise TypeError("Pass dimensions either positionally or by name, not both")
-        if args:
-            if len(args) != self.n_dims:
-                raise ValueError(
-                    f"{self.name} expects {self.n_dims} dimensions "
-                    f"{self.dim_names}, got {len(args)}"
-                )
-            dims = dict(zip(self.dim_names, args))
-        else:
-            missing = [d for d in self.dim_names if d not in kwargs]
-            if missing:
-                raise ValueError(f"{self.name} missing dimensions: {missing}")
-            extra = [d for d in kwargs if d not in self.dim_names]
-            if extra:
-                raise ValueError(f"{self.name} got unexpected dimensions: {extra}")
-            dims = {d: kwargs[d] for d in self.dim_names}
-        for key, value in dims.items():
-            value = int(value)
-            if value < 1:
-                raise ValueError(f"Dimension {key} must be positive, got {value}")
-            dims[key] = value
-        return dims
-
-
-ROUTINE_SPECS: Dict[str, RoutineSpec] = {
-    "gemm": RoutineSpec(
-        name="gemm",
-        dim_names=("m", "k", "n"),
-        operands=(
-            OperandSpec("A", ("m", "k"), "regular"),
-            OperandSpec("B", ("k", "n"), "regular"),
-            OperandSpec("C", ("m", "n"), "regular"),
-        ),
-        flops=lambda d: 2.0 * d["m"] * d["k"] * d["n"],
-        memory_words=lambda d: 1.0
-        * (d["m"] * d["k"] + d["k"] * d["n"] + d["m"] * d["n"]),
-    ),
-    "symm": RoutineSpec(
-        name="symm",
-        dim_names=("m", "n"),
-        operands=(
-            OperandSpec("A", ("m", "m"), "symmetric"),
-            OperandSpec("B", ("m", "n"), "regular"),
-            OperandSpec("C", ("m", "n"), "regular"),
-        ),
-        flops=lambda d: 2.0 * d["m"] * d["m"] * d["n"],
-        memory_words=lambda d: 1.0 * (d["m"] * d["m"] + 2 * d["m"] * d["n"]),
-    ),
-    "syrk": RoutineSpec(
-        name="syrk",
-        dim_names=("n", "k"),
-        operands=(
-            OperandSpec("A", ("n", "k"), "regular"),
-            OperandSpec("C", ("n", "n"), "symmetric"),
-        ),
-        flops=lambda d: 1.0 * d["n"] * (d["n"] + 1) * d["k"],
-        memory_words=lambda d: 1.0 * (d["n"] * d["k"] + d["n"] * d["n"]),
-    ),
-    "syr2k": RoutineSpec(
-        name="syr2k",
-        dim_names=("n", "k"),
-        operands=(
-            OperandSpec("A", ("n", "k"), "regular"),
-            OperandSpec("B", ("n", "k"), "regular"),
-            OperandSpec("C", ("n", "n"), "symmetric"),
-        ),
-        flops=lambda d: 2.0 * d["n"] * (d["n"] + 1) * d["k"],
-        memory_words=lambda d: 1.0 * (2 * d["n"] * d["k"] + d["n"] * d["n"]),
-    ),
-    "trmm": RoutineSpec(
-        name="trmm",
-        dim_names=("m", "n"),
-        operands=(
-            OperandSpec("A", ("m", "m"), "triangular"),
-            OperandSpec("B", ("m", "n"), "regular"),
-        ),
-        flops=lambda d: 1.0 * d["m"] * d["m"] * d["n"],
-        memory_words=lambda d: 1.0 * (d["m"] * d["m"] + d["m"] * d["n"]),
-    ),
-    "trsm": RoutineSpec(
-        name="trsm",
-        dim_names=("m", "n"),
-        operands=(
-            OperandSpec("A", ("m", "m"), "triangular"),
-            OperandSpec("B", ("m", "n"), "regular"),
-        ),
-        flops=lambda d: 1.0 * d["m"] * d["m"] * d["n"],
-        memory_words=lambda d: 1.0 * (d["m"] * d["m"] + d["m"] * d["n"]),
-    ),
-}
-
+#: Base names of the builtin BLAS L3 routines (the paper's fixed set).
 ROUTINE_NAMES: List[str] = list(ROUTINE_SPECS)
 
-#: All precision-qualified routine keys ("sgemm", "dgemm", ..., "dtrsm").
+#: The builtin precision-qualified routine keys ("sgemm", ..., "dtrsm") —
+#: the default installation campaign.  Plugin keys are listed by
+#: ``repro.routines.get_catalog().keys()``.
 ROUTINE_KEYS: List[str] = [
     prec + name for name in ROUTINE_NAMES for prec in ("s", "d")
 ]
 
 
 def parse_routine(routine: str) -> Tuple[str, str, RoutineSpec]:
-    """Split ``"dgemm"`` into ``("d", "gemm", spec)``.
+    """Split ``"dgemm"`` into ``("d", "gemm", spec)`` via the catalog.
 
-    A bare base name (``"gemm"``) defaults to double precision.
+    A bare base name (``"gemm"``) defaults to double precision.  Unknown
+    keys raise :class:`repro.routines.UnknownRoutineError` (a
+    :class:`KeyError`) naming the registered catalog keys.
     """
-    key = routine.lower()
-    if key in ROUTINE_SPECS:
-        return "d", key, ROUTINE_SPECS[key]
-    prefix, base = key[:1], key[1:]
-    if prefix in PRECISIONS and base in ROUTINE_SPECS:
-        return prefix, base, ROUTINE_SPECS[base]
-    raise KeyError(
-        f"Unknown BLAS routine {routine!r}; expected one of "
-        f"{ROUTINE_KEYS} or a base name in {ROUTINE_NAMES}"
-    )
+    from repro.routines.catalog import get_catalog
+
+    return get_catalog().resolve(routine)
 
 
 def routine_dims(routine: str, *args: int, **kwargs: int) -> Dict[str, int]:

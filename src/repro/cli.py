@@ -21,7 +21,10 @@ The CLI mirrors how the paper's library is used, plus the serving layer:
   baseline per routine, error trends across bundle versions, capacity
   headroom, and the supervision counters of the recorded run;
 * ``adsala bench`` regenerates a paper table from the command line;
-* ``adsala platforms`` lists the built-in machine presets.
+* ``adsala platforms`` lists the built-in machine presets;
+* ``adsala routines`` lists every registered routine — builtin BLAS keys
+  plus any plugin routines discovered from ``ADSALA_PLUGIN_PATH``
+  directories or ``adsala.routines`` entry points.
 """
 
 from __future__ import annotations
@@ -239,6 +242,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--platform", default="gadi")
 
     sub.add_parser("platforms", help="list built-in platform presets")
+
+    routines_cmd = sub.add_parser(
+        "routines",
+        help="list every registered routine (builtin + discovered plugins)",
+    )
+    routines_cmd.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the catalog as JSON instead of a table",
+    )
     return parser
 
 
@@ -1070,6 +1082,44 @@ def _cmd_platforms(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_routines(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.harness.tables import format_table
+    from repro.routines.catalog import get_catalog
+
+    catalog = get_catalog()
+    rows = []
+    for entry in catalog.entries():
+        spec = entry.spec
+        for key in entry.keys():
+            rows.append(
+                {
+                    "key": key,
+                    "dims": " ".join(spec.dim_names),
+                    "source": entry.source,
+                    "plugin": entry.plugin_name,
+                    "version": entry.plugin_version,
+                    "simulator": "yes" if spec.has_simulator else "no",
+                }
+            )
+    rows.sort(key=lambda row: row["key"])
+    if args.as_json:
+        report = {"routines": rows}
+        if catalog.load_errors:
+            report["load_errors"] = [
+                {"source": source, "error": message}
+                for source, message in catalog.load_errors
+            ]
+        print(json.dumps(report, indent=2))
+        return 0
+    print(format_table(rows, title=f"Registered routines ({len(rows)} keys)"))
+    for source, message in catalog.load_errors:
+        print(f"warning: plugin source {source} failed to load: {message}",
+              file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1082,6 +1132,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
         "platforms": _cmd_platforms,
+        "routines": _cmd_routines,
     }
     return handlers[args.command](args)
 

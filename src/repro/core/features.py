@@ -1,10 +1,15 @@
 """Feature engineering for the runtime-prediction models (paper Table III).
 
-Two feature sets exist, one for routines with three free matrix dimensions
-(GEMM) and one for routines with two (SYMM, SYRK, SYR2K, TRMM, TRSM).  Both
-combine the raw dimensions, pairwise/cubic products (operand sizes and FLOP
-count), the memory footprint, the thread count and the per-thread variants
-of each size term.
+The paper describes two feature sets, one for routines with three free
+matrix dimensions (GEMM) and one for routines with two (SYMM, SYRK, SYR2K,
+TRMM, TRSM).  Both are instances of one rule — raw dimensions, thread
+count, all dimension products, memory footprint, and the per-thread variant
+of every size term — which this module now derives from the routine's
+:class:`~repro.routines.spec.RoutineSpec` via
+:func:`repro.routines.spec.feature_layout`, so plugin routines with any
+number of dimensions get a feature set for free.  For the builtin two- and
+three-dimension routines the derived layout reproduces
+:data:`TWO_DIM_FEATURES` / :data:`THREE_DIM_FEATURES` exactly, bit for bit.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import numpy as np
 
 from repro.blas.api import parse_routine
 from repro.blas.flops import memory_words
+from repro.routines.spec import derive_footprint_terms, feature_layout
 
 __all__ = [
     "THREE_DIM_FEATURES",
@@ -68,11 +74,9 @@ TWO_DIM_FEATURES: List[str] = [
 
 
 def feature_names(routine: str) -> List[str]:
-    """Feature names for a routine key (three- or two-dimension set)."""
+    """Feature names for a routine key, derived from its spec."""
     _, _, spec = parse_routine(routine)
-    if spec.n_dims == 3:
-        return list(THREE_DIM_FEATURES)
-    return list(TWO_DIM_FEATURES)
+    return list(feature_layout(spec).names)
 
 
 def compute_features(routine: str, dims: Dict[str, int], threads: int) -> np.ndarray:
@@ -89,40 +93,26 @@ def compute_features(routine: str, dims: Dict[str, int], threads: int) -> np.nda
     footprint = memory_words(routine, dims)
     nt = float(threads)
 
-    if spec.n_dims == 3:
-        m, k, n = (float(dims[d]) for d in ("m", "k", "n"))
-        values = [
-            m,
-            k,
-            n,
-            nt,
-            m * k,
-            m * n,
-            k * n,
-            m * k * n,
-            footprint,
-            m / nt,
-            k / nt,
-            n / nt,
-            m * k / nt,
-            m * n / nt,
-            k * n / nt,
-            m * k * n / nt,
-            footprint / nt,
-        ]
-    else:
-        d1, d2 = (float(dims[d]) for d in spec.dim_names)
-        values = [
-            d1,
-            d2,
-            nt,
-            d1 * d2,
-            footprint,
-            d1 / nt,
-            d2 / nt,
-            d1 * d2 / nt,
-            footprint / nt,
-        ]
+    layout = feature_layout(spec)
+    raw = [float(dims[d]) for d in spec.dim_names]
+    # Size bases in layout order: raw dims, then left-to-right products —
+    # the exact association (e.g. ``(m * k) * n``) the legacy literal
+    # expressions used — then the memory footprint.
+    bases = []
+    for subset in layout.subsets:
+        value = raw[subset[0]]
+        for index in subset[1:]:
+            value = value * raw[index]
+        bases.append(value)
+    bases.append(footprint)
+    values = []
+    for kind, index in layout.ops:
+        if kind == "nt":
+            values.append(nt)
+        elif kind == "base":
+            values.append(bases[index])
+        else:  # "pt": the per-thread variant of base ``index``
+            values.append(bases[index] / nt)
     return np.asarray(values, dtype=np.float64)
 
 
@@ -173,62 +163,26 @@ def feature_matrix_grid(
     footprint = spec.memory_words(dim_cols)
     nt_row = nt[None, :]
 
-    if spec.n_dims == 3:
-        m, k, n = (dim_cols[d] for d in ("m", "k", "n"))
-        blocks = [
-            m,
-            k,
-            n,
-            nt_row,
-            m * k,
-            m * n,
-            k * n,
-            m * k * n,
-            footprint,
-            m / nt_row,
-            k / nt_row,
-            n / nt_row,
-            m * k / nt_row,
-            m * n / nt_row,
-            k * n / nt_row,
-            m * k * n / nt_row,
-            footprint / nt_row,
-        ]
-    else:
-        d1, d2 = (dim_cols[d] for d in spec.dim_names)
-        blocks = [
-            d1,
-            d2,
-            nt_row,
-            d1 * d2,
-            footprint,
-            d1 / nt_row,
-            d2 / nt_row,
-            d1 * d2 / nt_row,
-            footprint / nt_row,
-        ]
+    layout = feature_layout(spec)
+    raw = [dim_cols[d] for d in spec.dim_names]
+    bases = []
+    for subset in layout.subsets:
+        column = raw[subset[0]]
+        for index in subset[1:]:
+            column = column * raw[index]
+        bases.append(column)
+    bases.append(footprint)
+    blocks = []
+    for kind, index in layout.ops:
+        if kind == "nt":
+            blocks.append(nt_row)
+        elif kind == "base":
+            blocks.append(bases[index])
+        else:
+            blocks.append(bases[index] / nt_row)
     return np.column_stack(
         [np.broadcast_to(block, (n_shapes, n_threads)).ravel() for block in blocks]
     )
-
-
-#: Table III features expressed as operations over precomputed *base* columns.
-#: ``("base", i)`` copies base ``i``, ``("pt", i)`` divides base ``i`` by the
-#: thread count, ``("nt", None)`` is the thread count itself.  The base order
-#: is ``(m, k, n, m*k, m*n, k*n, m*k*n, footprint)`` for three-dimension
-#: routines and ``(d1, d2, d1*d2, footprint)`` for two-dimension routines;
-#: the tables below reproduce :data:`THREE_DIM_FEATURES` /
-#: :data:`TWO_DIM_FEATURES` exactly, feature for feature.
-_THREE_DIM_OPS = [
-    ("base", 0), ("base", 1), ("base", 2), ("nt", None),
-    ("base", 3), ("base", 4), ("base", 5), ("base", 6), ("base", 7),
-    ("pt", 0), ("pt", 1), ("pt", 2), ("pt", 3), ("pt", 4), ("pt", 5),
-    ("pt", 6), ("pt", 7),
-]
-_TWO_DIM_OPS = [
-    ("base", 0), ("base", 1), ("nt", None), ("base", 2), ("base", 3),
-    ("pt", 0), ("pt", 1), ("pt", 2), ("pt", 3),
-]
 
 
 @dataclass(frozen=True)
@@ -262,19 +216,21 @@ class ColumnProgram:
         return int(self.col_kind.shape[0])
 
 
-#: ``memory_words`` of each routine as (coefficient, dim-index factors)
-#: terms, summed left to right — the exact operation order of the lambdas
-#: in :mod:`repro.blas.api` (their leading ``1.0 *`` is an exact no-op).
-#: Dim indices follow ``spec.dim_names``: (m, k, n) for GEMM, (m, n) or
-#: (n, k) for the two-dimension routines.
-_FOOTPRINT_TERMS = {
-    "gemm": ((1.0, (0, 1)), (1.0, (1, 2)), (1.0, (0, 2))),
-    "symm": ((1.0, (0, 0)), (2.0, (0, 1))),
-    "syrk": ((1.0, (0, 1)), (1.0, (0, 0))),
-    "syr2k": ((2.0, (0, 1)), (1.0, (0, 0))),
-    "trmm": ((1.0, (0, 0)), (1.0, (0, 1))),
-    "trsm": ((1.0, (0, 0)), (1.0, (0, 1))),
-}
+#: Awkward float dimension values for the bitwise program probe — chosen so
+#: any reassociation of the products or footprint terms changes rounding.
+#: The first ``n_dims`` columns are used; specs with more dimensions than
+#: probe columns get no native program (NumPy fallback).
+_PROBE_VALUES = np.array(
+    [
+        [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        [3.0, 5.0, 7.0, 11.0, 13.0, 17.0, 19.0, 23.0],
+        [12.7, 901.3, 64.1, 7.77, 513.9, 2.25, 99.01, 4.5],
+        [8192.0, 1.0, 40000.0, 3.0, 17.0, 257.0, 6.0, 1025.0],
+        [1e-3, 1e6, 3.1415, 2.718, 1e-2, 1e4, 0.577, 144.0],
+        [641.0, 1283.0, 757.0, 389.0, 211.0, 97.0, 53.0, 29.0],
+    ],
+    dtype=np.float64,
+)
 
 
 class FeatureGridWriter:
@@ -308,7 +264,8 @@ class FeatureGridWriter:
         self.routine = routine
         self.spec = spec
         self.nt = nt
-        ops = _THREE_DIM_OPS if spec.n_dims == 3 else _TWO_DIM_OPS
+        self._layout = feature_layout(spec)
+        ops = self._layout.ops
         if columns is None:
             columns = np.arange(len(ops), dtype=np.intp)
         else:
@@ -349,14 +306,15 @@ class FeatureGridWriter:
 
     def _bases(self, dim_values: np.ndarray) -> tuple:
         spec = self.spec
-        if spec.n_dims == 3:
-            m, k, n = dim_values[:, 0], dim_values[:, 1], dim_values[:, 2]
-            mk = m * k
-            footprint = spec.memory_words({"m": m, "k": k, "n": n})
-            return (m, k, n, mk, m * n, k * n, mk * n, footprint)
-        d1, d2 = dim_values[:, 0], dim_values[:, 1]
-        footprint = spec.memory_words(dict(zip(spec.dim_names, (d1, d2))))
-        return (d1, d2, d1 * d2, footprint)
+        raw = [dim_values[:, j] for j in range(spec.n_dims)]
+        bases = []
+        for subset in self._layout.subsets:
+            column = raw[subset[0]]
+            for index in subset[1:]:
+                column = column * raw[index]
+            bases.append(column)
+        bases.append(spec.memory_words(dict(zip(spec.dim_names, raw))))
+        return tuple(bases)
 
     def write(self, dim_values: np.ndarray) -> np.ndarray:
         """Fill the grid from a ``(n_shapes, n_dims)`` dimension array.
@@ -452,27 +410,20 @@ class FeatureGridWriter:
         return self._program_cache
 
     def _build_program(self) -> ColumnProgram | None:
-        footprint_terms = _FOOTPRINT_TERMS.get(self.spec.name)
+        footprint_terms = derive_footprint_terms(self.spec)
         if footprint_terms is None:
             return None
-        if self.spec.n_dims == 3:
-            base_terms = [
-                ((1.0, (0,)),),
-                ((1.0, (1,)),),
-                ((1.0, (2,)),),
-                ((1.0, (0, 1)),),
-                ((1.0, (0, 2)),),
-                ((1.0, (1, 2)),),
-                ((1.0, (0, 1, 2)),),
-                footprint_terms,
-            ]
-        else:
-            base_terms = [
-                ((1.0, (0,)),),
-                ((1.0, (1,)),),
-                ((1.0, (0, 1)),),
-                footprint_terms,
-            ]
+        base_terms = [
+            ((1.0, subset),) for subset in self._layout.subsets
+        ]
+        base_terms.append(footprint_terms)
+        # The native kernel multiplies at most three dim factors per term;
+        # wider products (4+-dimension plugins, higher-order footprints)
+        # have no encoding and take the NumPy path.
+        for terms in base_terms:
+            for _, factors in terms:
+                if len(factors) > 3:
+                    return None
         offsets = [0]
         coefs: list[float] = []
         facs: list[tuple[int, int, int]] = []
@@ -515,17 +466,9 @@ class FeatureGridWriter:
         would change the rounding) and compares against the vectorised
         NumPy bases.
         """
-        probe = np.array(
-            [
-                [1.0, 1.0, 1.0],
-                [3.0, 5.0, 7.0],
-                [12.7, 901.3, 64.1],
-                [8192.0, 1.0, 40000.0],
-                [1e-3, 1e6, 3.1415],
-                [641.0, 1283.0, 757.0],
-            ],
-            dtype=np.float64,
-        )[:, : self.spec.n_dims]
+        if self.spec.n_dims > _PROBE_VALUES.shape[1]:
+            return False
+        probe = _PROBE_VALUES[:, : self.spec.n_dims]
         expected = self._bases(probe)
         if len(expected) != program.n_bases:
             return False

@@ -26,6 +26,12 @@ versions of one platform side by side.  Schema history:
   ``test_shapes``, ``settings``) fall back to empty defaults.
 * **2** — adds ``schema_version``, ``bundle_version`` and a per-routine
   ``checksum`` over the model file, verified before unpickling.
+* **3** — adds per-routine ``plugin`` provenance (name/version/source of the
+  :class:`~repro.routines.plugin.RoutinePlugin` that provided the routine).
+  Loading a bundle whose plugin is not registered in the current process
+  fails with a :class:`BundleFormatError` naming the missing plugin; v1/v2
+  bundles (builtin BLAS routines only) still load, and ``adsala bundle
+  migrate`` stamps the provenance in place.
 
 Structural problems (unknown schema, missing model file, checksum mismatch,
 corrupt pickle) raise :class:`BundleFormatError` with a human-readable
@@ -48,6 +54,7 @@ from repro.core.selection import CandidateEvaluation, SelectionReport
 from repro.machine.platforms import get_platform
 from repro.machine.simulator import TimingSimulator
 from repro.machine.topology import MachineTopology, apply_calibration
+from repro.routines.catalog import UnknownRoutineError, get_catalog
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -67,7 +74,7 @@ __all__ = [
 _BUNDLE_FILE = "bundle.json"
 
 #: Current on-disk manifest schema revision.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class BundleFormatError(RuntimeError):
@@ -157,6 +164,7 @@ def write_routine_model(
         pickle.dump(predictor.model, handle)
     os.replace(tmp, model_path)
     return {
+        "plugin": _routine_provenance(routine),
         "model_file": model_path.name,
         "checksum": f"sha256:{_sha256_file(model_path)}",
         "model_name": predictor.model_name,
@@ -166,6 +174,32 @@ def write_routine_model(
         "dataset": installation.dataset.to_dict(),
         "test_shapes": [dict(s) for s in installation.test_shapes],
     }
+
+
+def _routine_provenance(routine: str) -> dict:
+    """Identity of the catalog plugin providing ``routine`` (schema v3)."""
+    return get_catalog().entry_for_key(routine).provenance()
+
+
+def _require_resolvable(routine: str, meta: dict) -> None:
+    """Fail with a clear error when a bundle routine has no plugin."""
+    try:
+        get_catalog().resolve(routine)
+    except UnknownRoutineError as exc:
+        plugin = meta.get("plugin") or {}
+        if plugin.get("name"):
+            raise BundleFormatError(
+                f"Bundle routine {routine!r} was installed by plugin "
+                f"{plugin['name']!r} (version {plugin.get('version', '?')}, "
+                f"source {plugin.get('source', '?')}), which is not registered "
+                f"in this process; point ADSALA_PLUGIN_PATH at the plugin "
+                f"directory or install the plugin distribution, then reload"
+            ) from exc
+        raise BundleFormatError(
+            f"Bundle routine {routine!r} is not provided by any registered "
+            f"routine plugin; register the plugin (ADSALA_PLUGIN_PATH or an "
+            f"'adsala.routines' entry point) before loading this bundle"
+        ) from exc
 
 
 def save_bundle(
@@ -287,6 +321,7 @@ def load_routine(
     """
     from repro.preprocessing.pipeline import PreprocessingPipeline
 
+    _require_resolvable(routine, meta)
     directory = Path(directory)
     model_file = meta.get("model_file", f"{routine}.model.pkl")
     model_path = directory / model_file
@@ -386,12 +421,17 @@ def verify_bundle(directory: str | Path) -> dict:
         {"directory": ..., "schema_version": int, "bundle_version": int,
          "platform": str, "ok": bool,
          "routines": {routine: "ok" | "missing file" | "no checksum"
-                               | "checksum mismatch"}}
+                               | "checksum mismatch" | "unknown plugin"}}
     """
     directory = Path(directory)
     manifest = read_manifest(directory)
     statuses: Dict[str, str] = {}
     for routine, meta in manifest["routines"].items():
+        try:
+            get_catalog().resolve(routine)
+        except UnknownRoutineError:
+            statuses[routine] = "unknown plugin"
+            continue
         model_path = directory / meta.get("model_file", f"{routine}.model.pkl")
         if not model_path.exists():
             statuses[routine] = "missing file"
@@ -423,14 +463,16 @@ def migrate_manifest(directory: str | Path) -> dict:
     """Upgrade an on-disk manifest in place to the current schema.
 
     Computes the missing per-routine checksums from the model files, renames
-    the legacy ``format_version`` key and stamps ``schema_version`` /
-    ``bundle_version``.  A manifest already at the current schema is
-    returned unchanged.  Returns the (possibly rewritten) manifest.
+    the legacy ``format_version`` key, stamps ``schema_version`` /
+    ``bundle_version`` and records each routine's plugin provenance from
+    the live catalog (schema v3).  A manifest already at the current schema
+    is returned unchanged.  Returns the (possibly rewritten) manifest.
     """
     directory = Path(directory)
     manifest = read_manifest(directory)
     if manifest_schema_version(manifest) == SCHEMA_VERSION and all(
-        meta.get("checksum") for meta in manifest["routines"].values()
+        meta.get("checksum") and meta.get("plugin")
+        for meta in manifest["routines"].values()
     ):
         return manifest
     manifest.pop("format_version", None)
@@ -442,7 +484,9 @@ def migrate_manifest(directory: str | Path) -> dict:
             raise BundleFormatError(
                 f"Cannot migrate {directory}: model file for {routine!r} is missing"
             )
+        _require_resolvable(routine, meta)
         meta["model_file"] = model_path.name
         meta["checksum"] = f"sha256:{_sha256_file(model_path)}"
+        meta.setdefault("plugin", _routine_provenance(routine))
     _write_manifest(directory, manifest)
     return manifest

@@ -128,16 +128,28 @@ class ScrambledHaltonSequence(HaltonSequence):
         )
 
 
-#: Number of operand matrices of the *square* problem of each base routine
-#: (used to derive the default per-dimension upper bound from the memory cap).
-_SQUARE_OPERAND_COUNT = {
-    "gemm": 3,
-    "symm": 3,
-    "syrk": 2,
-    "syr2k": 3,
-    "trmm": 2,
-    "trsm": 2,
-}
+#: Halton bases for sampler dimensions beyond the paper's 3-D set — pairwise
+#: coprime continuations keeping low discrepancy for plugin routines with
+#: four or more free dimensions.
+_EXTENDED_BASES = (2, 3, 4, 5, 7, 11, 13, 17)
+
+
+def _sampler_bases(n_dims: int) -> tuple:
+    """Halton bases for an ``n_dims``-dimension routine.
+
+    Two and three dimensions use the paper's exact base tuples; plugin
+    routines with more dimensions extend with coprime bases.
+    """
+    if n_dims == 3:
+        return DEFAULT_BASES_3D
+    if n_dims == 2:
+        return DEFAULT_BASES_2D
+    if n_dims <= len(_EXTENDED_BASES):
+        return _EXTENDED_BASES[:n_dims]
+    raise ValueError(
+        f"DomainSampler supports at most {len(_EXTENDED_BASES)} dimensions, "
+        f"got {n_dims}"
+    )
 
 
 class DomainSampler:
@@ -200,14 +212,27 @@ class DomainSampler:
         if max_dim is None:
             itemsize = 4 if prefix == "s" else 8
             cap_words = memory_cap_bytes / itemsize
-            square_edge = math.sqrt(cap_words / _SQUARE_OPERAND_COUNT[base])
+            square_edge = math.sqrt(cap_words / max(1, len(spec.operands)))
             max_dim = int(square_edge * skew)
         if min_dim < 1 or max_dim <= min_dim:
             raise ValueError("require 1 <= min_dim < max_dim")
         self.min_dim = min_dim
         self.max_dim = max_dim
+        # Per-dimension bounds: the spec's declared dim_ranges (the plugin's
+        # dims schema) override the sampler-wide defaults dimension by
+        # dimension.
+        self._bounds = {}
+        for name in spec.dim_names:
+            declared = spec.dim_bounds(name)
+            lo, hi = declared if declared is not None else (min_dim, max_dim)
+            if lo < 1 or hi <= lo:
+                raise ValueError(
+                    f"dimension {name!r} of {routine} needs 1 <= min < max, "
+                    f"got ({lo}, {hi})"
+                )
+            self._bounds[name] = (lo, hi)
 
-        bases = DEFAULT_BASES_3D if spec.n_dims == 3 else DEFAULT_BASES_2D
+        bases = _sampler_bases(spec.n_dims)
         sequence_cls = ScrambledHaltonSequence if scrambled else HaltonSequence
         if scrambled:
             self.sequence = sequence_cls(bases, seed=seed)
@@ -218,17 +243,18 @@ class DomainSampler:
         """Map a unit-cube point to integer dimensions on the chosen scale."""
         dims = {}
         for name, u in zip(self.spec.dim_names, point):
+            lo, hi = self._bounds[name]
             if self.scale == "log":
-                log_min = math.log2(self.min_dim)
-                log_max = math.log2(self.max_dim)
+                log_min = math.log2(lo)
+                log_max = math.log2(hi)
                 value = 2.0 ** (log_min + u * (log_max - log_min))
             elif self.scale == "sqrt":
-                sqrt_min = math.sqrt(self.min_dim)
-                sqrt_max = math.sqrt(self.max_dim)
+                sqrt_min = math.sqrt(lo)
+                sqrt_max = math.sqrt(hi)
                 value = (sqrt_min + u * (sqrt_max - sqrt_min)) ** 2
             else:  # linear
-                value = self.min_dim + u * (self.max_dim - self.min_dim)
-            dims[name] = max(self.min_dim, min(self.max_dim, int(round(value))))
+                value = lo + u * (hi - lo)
+            dims[name] = max(lo, min(hi, int(round(value))))
         return dims
 
     def _fits(self, dims: Dict[str, int]) -> bool:

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.blas.api import RoutineSpec, parse_routine, precision_bytes
 from repro.machine.topology import MachineTopology
+from repro.routines.spec import tiling_schema
 
 __all__ = [
     "CostBreakdown",
@@ -187,26 +188,28 @@ class PerformanceModel:
 
     # -- helpers ---------------------------------------------------------------
     @staticmethod
-    def _output_grid(base: str, dims: Dict[str, int]) -> float:
-        """Number of independent output tiles the routine exposes."""
-        if base in ("gemm", "symm", "trmm", "trsm"):
-            rows, cols = dims["m"], dims["n"]
-            row_tiles = math.ceil(rows / MODEL_TILE)
-            col_tiles = math.ceil(cols / MODEL_TILE)
-            return float(row_tiles * col_tiles)
-        # syrk / syr2k update a triangular n x n output.
-        n_tiles = math.ceil(dims["n"] / MODEL_TILE)
-        return float(n_tiles * (n_tiles + 1) / 2)
+    def _output_grid(spec: RoutineSpec, dims: Dict[str, int]) -> float:
+        """Number of independent output tiles the routine exposes.
+
+        Derived from the spec's operand table via
+        :func:`repro.routines.spec.tiling_schema`: the product of tile
+        counts over the output dimensions, or the triangular count when the
+        output is a symmetric square (SYRK/SYR2K).
+        """
+        tile_dims, triangular, _ = tiling_schema(spec)
+        if triangular:
+            n_tiles = math.ceil(dims[tile_dims[0]] / MODEL_TILE)
+            return float(n_tiles * (n_tiles + 1) / 2)
+        tiles = math.ceil(dims[tile_dims[0]] / MODEL_TILE)
+        for name in tile_dims[1:]:
+            tiles = tiles * math.ceil(dims[name] / MODEL_TILE)
+        return float(tiles)
 
     @staticmethod
-    def _panel_depth(base: str, dims: Dict[str, int]) -> int:
+    def _panel_depth(spec: RoutineSpec, dims: Dict[str, int]) -> int:
         """Length of the accumulation dimension (drives barrier count)."""
-        if base == "gemm":
-            return dims["k"]
-        if base in ("syrk", "syr2k"):
-            return dims["k"]
-        # symm/trmm/trsm accumulate over the square operand dimension m.
-        return dims["m"]
+        _, _, panel_dim = tiling_schema(spec)
+        return dims[panel_dim]
 
     def _spans_sockets(self, threads: int) -> bool:
         per_socket_threads = self.platform.cores_per_socket * self.platform.smt
@@ -230,7 +233,7 @@ class PerformanceModel:
         core_capacity = busy_cores + profile.smt_yield * smt_extra
 
         # Parallelism actually available in the tiled algorithm.
-        max_tasks = self._output_grid(base, dims)
+        max_tasks = self._output_grid(spec, dims)
         workers = min(core_capacity, max_tasks)
 
         # Baseline-library scaling saturation: beyond `saturation_threads`
@@ -251,7 +254,7 @@ class PerformanceModel:
 
         # Cache pressure: once the per-task panel working set exceeds the L3
         # slice shared by a cache group, the effective rate drops.
-        panel_words = MODEL_TILE * self._panel_depth(base, dims)
+        panel_words = MODEL_TILE * self._panel_depth(spec, dims)
         l3_words = (
             self.platform.l3_cache_mb_per_group
             * 1e6
@@ -309,14 +312,14 @@ class PerformanceModel:
         return profile.copy_factor * (stream_time + pack_time)
 
     def sync_time(self, routine: str, dims: Dict[str, int], threads: int) -> float:
-        _, base, _ = parse_routine(routine)
+        _, base, spec = parse_routine(routine)
         profile = self.platform.routine_profile(base)
 
         # A BLAS call synchronises its worker team a handful of times (team
         # wake-up, per-panel barriers, final join); the count grows with the
         # accumulation depth but saturates — vendor BLAS fuses panels into a
         # single parallel region rather than re-synchronising per k-block.
-        n_barriers = min(6.0, 1.0 + self._panel_depth(base, dims) / (4.0 * MODEL_KC))
+        n_barriers = min(6.0, 1.0 + self._panel_depth(spec, dims) / (4.0 * MODEL_KC))
         socket_penalty = (
             self.platform.cross_socket_sync_penalty if self._spans_sockets(threads) else 1.0
         )
@@ -330,7 +333,7 @@ class PerformanceModel:
 
         # Oversubscription: threads beyond the available tile parallelism
         # spin at the barrier while the useful work finishes.
-        max_tasks = self._output_grid(base, dims)
+        max_tasks = self._output_grid(spec, dims)
         idle_threads = max(0.0, threads - max_tasks)
         oversubscription = (
             self.platform.sync_cost_per_thread
@@ -361,19 +364,20 @@ class PerformanceModel:
     # the scalar methods above stay as the reference implementation and the
     # equivalence is asserted in tests/machine/test_batch_timing.py.
     @staticmethod
-    def _output_grid_batch(base: str, dims: Dict[str, np.ndarray]) -> np.ndarray:
-        if base in ("gemm", "symm", "trmm", "trsm"):
-            row_tiles = np.ceil(dims["m"] / MODEL_TILE)
-            col_tiles = np.ceil(dims["n"] / MODEL_TILE)
-            return row_tiles * col_tiles
-        n_tiles = np.ceil(dims["n"] / MODEL_TILE)
-        return n_tiles * (n_tiles + 1) / 2
+    def _output_grid_batch(spec: RoutineSpec, dims: Dict[str, np.ndarray]) -> np.ndarray:
+        tile_dims, triangular, _ = tiling_schema(spec)
+        if triangular:
+            n_tiles = np.ceil(dims[tile_dims[0]] / MODEL_TILE)
+            return n_tiles * (n_tiles + 1) / 2
+        tiles = np.ceil(dims[tile_dims[0]] / MODEL_TILE)
+        for name in tile_dims[1:]:
+            tiles = tiles * np.ceil(dims[name] / MODEL_TILE)
+        return tiles
 
     @staticmethod
-    def _panel_depth_batch(base: str, dims: Dict[str, np.ndarray]) -> np.ndarray:
-        if base in ("gemm", "syrk", "syr2k"):
-            return dims["k"]
-        return dims["m"]
+    def _panel_depth_batch(spec: RoutineSpec, dims: Dict[str, np.ndarray]) -> np.ndarray:
+        _, _, panel_dim = tiling_schema(spec)
+        return dims[panel_dim]
 
     def _aggregate_bandwidth_batch(self, threads: np.ndarray) -> np.ndarray:
         physical = np.minimum(threads, self.platform.physical_cores)
@@ -399,7 +403,7 @@ class PerformanceModel:
         smt_extra = np.maximum(0, threads - physical)
         core_capacity = busy_cores + profile.smt_yield * smt_extra
 
-        max_tasks = self._output_grid_batch(base, dims)
+        max_tasks = self._output_grid_batch(spec, dims)
         workers = np.minimum(core_capacity, max_tasks)
 
         saturation = profile.saturation_threads
@@ -420,7 +424,7 @@ class PerformanceModel:
         waves = np.ceil(max_tasks / concurrent)
         imbalance = np.where(max_tasks > 0, waves * concurrent / max_tasks, 1.0)
 
-        panel_words = MODEL_TILE * self._panel_depth_batch(base, dims)
+        panel_words = MODEL_TILE * self._panel_depth_batch(spec, dims)
         l3_words = (
             self.platform.l3_cache_mb_per_group
             * 1e6
@@ -466,11 +470,11 @@ class PerformanceModel:
     def sync_time_batch(
         self, routine: str, dims: Dict[str, np.ndarray], threads: np.ndarray
     ) -> np.ndarray:
-        _, base, _ = parse_routine(routine)
+        _, base, spec = parse_routine(routine)
         profile = self.platform.routine_profile(base)
 
         n_barriers = np.minimum(
-            6.0, 1.0 + self._panel_depth_batch(base, dims) / (4.0 * MODEL_KC)
+            6.0, 1.0 + self._panel_depth_batch(spec, dims) / (4.0 * MODEL_KC)
         )
         per_socket_threads = self.platform.cores_per_socket * self.platform.smt
         socket_penalty = np.where(
@@ -481,7 +485,7 @@ class PerformanceModel:
         team_scale = _pow065(threads)
         barrier_cost = self.platform.sync_cost_per_thread * team_scale * socket_penalty
 
-        max_tasks = self._output_grid_batch(base, dims)
+        max_tasks = self._output_grid_batch(spec, dims)
         idle_threads = np.maximum(0.0, threads - max_tasks)
         oversubscription = (
             self.platform.sync_cost_per_thread

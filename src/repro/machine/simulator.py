@@ -41,7 +41,7 @@ from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
-from repro.blas.api import parse_routine
+from repro.blas.api import RoutineSpec, parse_routine
 from repro.machine.perfmodel import (
     CostBreakdown,
     CostBreakdownBatch,
@@ -49,8 +49,16 @@ from repro.machine.perfmodel import (
     normalize_batch_inputs,
 )
 from repro.machine.topology import MachineTopology
+from repro.routines.replay import NoTimingSourceError, ReplayTimingModel
 
 __all__ = ["TimingSimulator", "ThreadSweep"]
+
+
+#: How a total-seconds timing source (plugin cost_model/measure hook or
+#: traffic replay) is apportioned into breakdown components.  The builtin
+#: analytic routines get a real per-component model; external sources only
+#: report totals, so the split is a fixed documented convention.
+_HOOK_SPLIT = (0.70, 0.15, 0.05, 0.10)  # kernel, copy, sync, other
 
 
 # -- splitmix64 integer mixing -------------------------------------------------
@@ -153,7 +161,59 @@ class TimingSimulator:
         self.patch_probability = patch_probability
         self.patch_strength = patch_strength
         self.n_evaluations = 0
+        self._replays: Dict[str, ReplayTimingModel] = {}
         self._hash_base = _splitmix64(_string_code(platform.name) ^ (seed & _MASK64))
+
+    # -- timing-source dispatch --------------------------------------------------
+    def attach_replay(self, routine: str, replay: ReplayTimingModel) -> None:
+        """Attach an observed-traffic replay as the timing source of a routine.
+
+        Used for catalog routines with neither the builtin analytic model
+        nor plugin hooks: once traffic has been observed (or a dataset
+        gathered elsewhere), replay makes the routine timeable again —
+        sweeps, gathers and adaptation all work against it.
+        """
+        _, base, _ = parse_routine(routine)
+        self._replays[base] = replay
+
+    def detach_replay(self, routine: str) -> None:
+        """Remove a previously attached replay timing source."""
+        _, base, _ = parse_routine(routine)
+        self._replays.pop(base, None)
+
+    def _timing_hook(self, base: str, spec: RoutineSpec):
+        """The non-analytic timing source of a routine, or None for builtin.
+
+        Precedence: plugin ``cost_model`` (analytic), builtin performance
+        model (``spec.analytic``), plugin ``measure`` hook, attached
+        replay.  Raises :class:`NoTimingSourceError` when nothing applies.
+        """
+        if spec.cost_model is not None:
+            return spec.cost_model
+        if spec.analytic:
+            return None
+        if spec.measure is not None:
+            return spec.measure
+        replay = self._replays.get(base)
+        if replay is not None:
+            return lambda platform, prefix, dims, threads: replay.time_batch(
+                dims, threads
+            )
+        raise NoTimingSourceError(
+            f"Routine {base!r} has no analytic cost model, no measure hook "
+            "and no attached traffic replay; provide a cost_model/measure in "
+            "the plugin spec or call TimingSimulator.attach_replay()"
+        )
+
+    @staticmethod
+    def _split_total(total):
+        """Apportion hook/replay total seconds into breakdown components."""
+        return (
+            total * _HOOK_SPLIT[0],
+            total * _HOOK_SPLIT[1],
+            total * _HOOK_SPLIT[2],
+            total * _HOOK_SPLIT[3],
+        )
 
     # -- deterministic pseudo-randomness ---------------------------------------
     def _fraction(self, tag_code: int, routine: str, values) -> float:
@@ -251,9 +311,34 @@ class TimingSimulator:
     # -- timing API --------------------------------------------------------------
     def breakdown(self, routine: str, dims: Dict[str, int], threads: int) -> CostBreakdown:
         """Noisy per-component breakdown of one call (scalar reference path)."""
-        _, _, spec = parse_routine(routine)
+        prefix, base_name, spec = parse_routine(routine)
         dims = spec.dims_from_args(**dims)
-        base = self.model.breakdown(routine, dims, threads)
+        hook = self._timing_hook(base_name, spec)
+        if hook is None:
+            base = self.model.breakdown(routine, dims, threads)
+        else:
+            if threads < 1:
+                raise ValueError("threads must be at least 1")
+            if threads > self.platform.max_threads:
+                raise ValueError(
+                    f"threads={threads} exceeds the platform maximum "
+                    f"({self.platform.max_threads})"
+                )
+            # Scalar path = batch of one, so hook-timed routines are
+            # scalar/batch bit-identical by construction.
+            dim_arrays = {
+                name: np.asarray([dims[name]], dtype=np.int64)
+                for name in spec.dim_names
+            }
+            threads_arr = np.asarray([threads], dtype=np.int64)
+            total = np.asarray(
+                hook(self.platform, prefix, dim_arrays, threads_arr),
+                dtype=np.float64,
+            )
+            kernel, copy, sync, other = self._split_total(
+                float(total.reshape(-1)[0])
+            )
+            base = CostBreakdown(kernel=kernel, copy=copy, sync=sync, other=other)
         factor = self._noise_factor(routine, dims, threads) * self._patch_factor(
             routine, dims, threads
         )
@@ -289,11 +374,23 @@ class TimingSimulator:
         aligned array.  Row ``i`` is bit-identical to the scalar
         :meth:`breakdown` of the ``i``-th configuration.
         """
-        _, _, spec = parse_routine(routine)
+        prefix, base_name, spec = parse_routine(routine)
         dim_arrays, threads_arr, n = normalize_batch_inputs(
             spec, dims, threads, max_threads=self.platform.max_threads
         )
-        base = self.model.breakdown_batch(routine, dim_arrays, threads_arr)
+        hook = self._timing_hook(base_name, spec)
+        if hook is None:
+            base = self.model.breakdown_batch(routine, dim_arrays, threads_arr)
+        else:
+            total = np.asarray(
+                hook(self.platform, prefix, dim_arrays, threads_arr),
+                dtype=np.float64,
+            )
+            total = np.broadcast_to(total.reshape(-1), (n,))
+            kernel, copy, sync, other = self._split_total(total)
+            base = CostBreakdownBatch(
+                kernel=kernel, copy=copy, sync=sync, other=other
+            )
         factor = self._noise_factor_batch(
             routine, dim_arrays, threads_arr, n
         ) * self._patch_factor_batch(routine, dim_arrays, threads_arr, n)

@@ -196,6 +196,11 @@ def collect_serving_stats(registry: MetricsRegistry, stats: Mapping) -> None:
         registry, "adsala_batches_total", stats.get("batches"),
         "Micro-batches processed",
     )
+    _set_counter(
+        registry, "adsala_rejected_unknown_routine_total",
+        stats.get("rejected_unknown_routine"),
+        "Requests rejected at intake for an unregistered routine key",
+    )
     _set_gauge(
         registry, "adsala_batch_size_mean", stats.get("mean_batch_size"),
         "Mean micro-batch size over the rolling window",

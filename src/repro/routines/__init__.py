@@ -1,0 +1,54 @@
+"""Pluggable routine ecosystem.
+
+The fixed BLAS-12 of the paper lives on as the first plugin
+(:mod:`repro.routines.builtin`); anything else — other precisions, batched
+kernels, sparse or spectral routines, black-box libraries — registers a
+:class:`~repro.routines.spec.RoutineSpec` through the
+:class:`~repro.routines.catalog.RoutineCatalog` and immediately flows
+through sampling, gathering, installation, simulation, serving and the
+CLI.  See ``examples/plugins/README.md`` for the authoring walkthrough.
+"""
+
+from repro.routines.catalog import (
+    ENTRY_POINT_GROUP,
+    PLUGIN_PATH_ENV,
+    CatalogEntry,
+    RoutineCatalog,
+    UnknownRoutineError,
+    build_catalog,
+    get_catalog,
+    reset_catalog,
+)
+from repro.routines.plugin import RoutinePlugin, SpecListPlugin
+from repro.routines.replay import NoTimingSourceError, ReplayTimingModel
+from repro.routines.spec import (
+    PRECISIONS,
+    FeatureLayout,
+    OperandSpec,
+    RoutineSpec,
+    derive_footprint_terms,
+    feature_layout,
+    make_routine_spec,
+)
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "PLUGIN_PATH_ENV",
+    "CatalogEntry",
+    "RoutineCatalog",
+    "UnknownRoutineError",
+    "build_catalog",
+    "get_catalog",
+    "reset_catalog",
+    "RoutinePlugin",
+    "SpecListPlugin",
+    "NoTimingSourceError",
+    "ReplayTimingModel",
+    "PRECISIONS",
+    "FeatureLayout",
+    "OperandSpec",
+    "RoutineSpec",
+    "derive_footprint_terms",
+    "feature_layout",
+    "make_routine_spec",
+]

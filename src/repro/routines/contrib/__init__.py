@@ -1,0 +1,53 @@
+"""Proof-of-diversity routine plugins shipped with the library.
+
+These plugins exercise every degree of freedom of the
+:class:`~repro.routines.plugin.RoutinePlugin` protocol that the builtin
+BLAS-12 does not: batched kernels with a batch dimension
+(:mod:`~repro.routines.contrib.batched`), a multi-routine family
+(:mod:`~repro.routines.contrib.triangular`), a memory-bound sparse kernel
+whose ``nnz`` is a first-class sampled dimension
+(:mod:`~repro.routines.contrib.sparse`) and an FFT-shaped kernel with a
+non-polynomial FLOPs formula (:mod:`~repro.routines.contrib.fft`).  All
+four provide plugin ``cost_model`` hooks, so they are fully installable
+and servable without the builtin analytic performance model.
+
+They are *not* registered by default — the catalog's builtin set stays
+the paper's BLAS-12.  Register them explicitly::
+
+    from repro.routines import get_catalog
+    from repro.routines.contrib import register
+
+    register(get_catalog())
+
+or point ``ADSALA_PLUGIN_PATH`` at this directory.
+"""
+
+from __future__ import annotations
+
+from repro.routines.contrib.batched import BatchedGemmPlugin
+from repro.routines.contrib.fft import FftPlugin
+from repro.routines.contrib.sparse import SparsePlugin
+from repro.routines.contrib.triangular import TriangularSolvePlugin
+
+__all__ = [
+    "BatchedGemmPlugin",
+    "TriangularSolvePlugin",
+    "SparsePlugin",
+    "FftPlugin",
+    "CONTRIB_PLUGINS",
+    "register",
+]
+
+#: Every contrib plugin class, in registration order.
+CONTRIB_PLUGINS = (
+    BatchedGemmPlugin,
+    TriangularSolvePlugin,
+    SparsePlugin,
+    FftPlugin,
+)
+
+
+def register(catalog) -> None:
+    """Register every contrib plugin on ``catalog``."""
+    for plugin_cls in CONTRIB_PLUGINS:
+        catalog.register_plugin(plugin_cls())

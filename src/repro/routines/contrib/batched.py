@@ -1,0 +1,70 @@
+"""Batched small-GEMM plugin: many independent m x m x n products.
+
+Vendor libraries expose this shape as ``gemm_batch`` (oneMKL) /
+``gemmBatched`` (cuBLAS): ``b`` independent products too small to
+parallelise individually, so the thread-count trade-off is entirely
+different from one large GEMM — threads round-robin over batch items,
+fork/join overhead grows with the team size, and the optimum tracks the
+batch count rather than the matrix sizes.  That makes it a good stress of
+the plugin feature path: the batch dimension ``b`` participates in the
+sampled domain, the feature products and the footprint like any matrix
+dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routines.plugin import SpecListPlugin
+from repro.routines.spec import make_routine_spec
+
+__all__ = ["BatchedGemmPlugin", "GEMM_BATCH_SPEC"]
+
+#: Fraction of per-core peak a small kernel reaches, as a function of m.
+_EFFICIENCY_KNEE = 48.0
+#: Fork/join cost per extra thread per batched call (seconds).
+_LAUNCH_SECONDS = 2e-6
+
+
+def _gemm_batch_cost(platform, precision, dims, threads):
+    """Analytic cost of ``b`` independent m x m @ m x n products."""
+    b = np.asarray(dims["b"], dtype=np.float64)
+    m = np.asarray(dims["m"], dtype=np.float64)
+    n = np.asarray(dims["n"], dtype=np.float64)
+    t = np.asarray(threads, dtype=np.float64)
+    width = 2.0 if precision == "s" else 1.0
+    itemsize = 4.0 if precision == "s" else 8.0
+    peak = platform.peak_gflops_per_core * 1e9 * width
+    # Small kernels run far below peak; efficiency grows with m.
+    efficiency = m / (m + _EFFICIENCY_KNEE)
+    # Threads round-robin over batch items: the makespan is set by the
+    # thread holding ceil(b / t) items, so extra threads beyond b idle.
+    per_item = 2.0 * m * m * n / (peak * efficiency)
+    kernel = np.ceil(b / t) * per_item
+    bytes_moved = b * (m * m + 2.0 * m * n) * itemsize
+    bandwidth = platform.total_memory_bandwidth_gbs * 1e9
+    traffic = bytes_moved / (bandwidth * t / (t + 4.0))
+    return kernel + traffic + _LAUNCH_SECONDS * t
+
+
+GEMM_BATCH_SPEC = make_routine_spec(
+    "gemm_batch",
+    ("b", "m", "n"),
+    [
+        ("A", ("b", "m", "m"), "regular"),
+        ("B", ("b", "m", "n"), "regular"),
+        ("C", ("b", "m", "n"), "regular"),
+    ],
+    flops=lambda d: 2.0 * d["b"] * d["m"] * d["m"] * d["n"],
+    cost_model=_gemm_batch_cost,
+    dim_ranges={"b": (4, 4096), "m": (4, 256), "n": (4, 256)},
+)
+
+
+class BatchedGemmPlugin(SpecListPlugin):
+    """Batched small-GEMM routine (``sgemm_batch`` / ``dgemm_batch``)."""
+
+    def __init__(self):
+        super().__init__(
+            "contrib-batched-gemm", [GEMM_BATCH_SPEC], version="1.0"
+        )

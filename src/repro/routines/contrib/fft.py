@@ -1,0 +1,59 @@
+"""FFT-shaped kernel plugin: a 2-D complex transform.
+
+The interesting property is the FLOPs formula: ``5 m n log2(m n)`` is not
+a monomial in the dimensions, so the derived footprint/feature machinery
+must fall back gracefully (the *operand* table is still monomial — two
+complex m x n arrays — only the work formula is not).  The scaling law
+has an all-to-all transpose phase between the row and column passes whose
+cost grows with the thread count, giving a genuine interior optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routines.plugin import SpecListPlugin
+from repro.routines.spec import make_routine_spec
+
+__all__ = ["FftPlugin", "FFT2D_SPEC"]
+
+#: Transpose/exchange cost factor per thread pair (seconds per word).
+_EXCHANGE_SECONDS_PER_WORD = 2.5e-11
+
+
+def _fft2d_cost(platform, precision, dims, threads):
+    m = np.asarray(dims["m"], dtype=np.float64)
+    n = np.asarray(dims["n"], dtype=np.float64)
+    t = np.asarray(threads, dtype=np.float64)
+    width = 2.0 if precision == "s" else 1.0
+    peak = platform.peak_gflops_per_core * 1e9 * width
+    points = m * n
+    flops = 5.0 * points * np.log2(np.maximum(points, 2.0))
+    # Butterflies are latency-bound: ~35% of peak, scaling with threads.
+    kernel = flops / (peak * 0.35 * t)
+    # The row->column transpose is an all-to-all exchange whose per-word
+    # cost grows with the number of participating threads.
+    exchange = _EXCHANGE_SECONDS_PER_WORD * points * np.log2(t + 1.0)
+    return kernel + exchange
+
+
+FFT2D_SPEC = make_routine_spec(
+    "fft2d",
+    ("m", "n"),
+    [
+        ("input", ("2", "m", "n"), "regular"),
+        ("output", ("2", "m", "n"), "regular"),
+    ],
+    flops=lambda d: 5.0 * d["m"] * d["n"] * np.log2(
+        np.maximum(np.asarray(d["m"], dtype=np.float64) * d["n"], 2.0)
+    ),
+    cost_model=_fft2d_cost,
+    dim_ranges={"m": (64, 16384), "n": (64, 16384)},
+)
+
+
+class FftPlugin(SpecListPlugin):
+    """2-D complex FFT (``sfft2d`` / ``dfft2d``)."""
+
+    def __init__(self):
+        super().__init__("contrib-fft", [FFT2D_SPEC], version="1.0")

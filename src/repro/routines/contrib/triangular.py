@@ -1,0 +1,92 @@
+"""Triangular-solve family plugin: banded and packed multi-RHS solves.
+
+One plugin registering *two* routines — the catalog treats a plugin as a
+provider of a routine family, and this is the smallest real family:
+
+* ``tbtrs`` — banded triangular solve, A stored as a ``kd``-wide band of
+  an ``n x n`` triangular matrix, solved against ``r`` right-hand sides;
+* ``tptrs`` — packed triangular solve, A stored as the ``n(n+1)/2``
+  packed triangle, against ``r`` right-hand sides.
+
+Both are forward-substitution shaped: the sweep along ``n`` is sequential
+and only the right-hand sides parallelise, so the useful thread count
+saturates at ``r`` — a scaling law none of the builtin BLAS-12 exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routines.plugin import SpecListPlugin
+from repro.routines.spec import make_routine_spec
+
+__all__ = ["TriangularSolvePlugin", "TBTRS_SPEC", "TPTRS_SPEC"]
+
+#: Per-column-block synchronisation cost (seconds) of the n-sweep.
+_SWEEP_SYNC_SECONDS = 4e-7
+
+
+def _substitution_cost(flops, rhs, n, platform, precision, threads):
+    """Shared scaling law: parallel over ``rhs``, sequential along ``n``."""
+    t = np.asarray(threads, dtype=np.float64)
+    width = 2.0 if precision == "s" else 1.0
+    peak = platform.peak_gflops_per_core * 1e9 * width
+    # Substitution streams the triangle once; it runs memory-shaped, far
+    # below peak, and only min(t, rhs) threads do useful work.
+    useful = np.minimum(t, rhs)
+    kernel = flops / (peak * 0.25 * useful)
+    sync = _SWEEP_SYNC_SECONDS * np.sqrt(n) * t
+    return kernel + sync
+
+
+def _tbtrs_cost(platform, precision, dims, threads):
+    n = np.asarray(dims["n"], dtype=np.float64)
+    kd = np.asarray(dims["kd"], dtype=np.float64)
+    r = np.asarray(dims["r"], dtype=np.float64)
+    flops = 2.0 * n * kd * r
+    return _substitution_cost(flops, r, n, platform, precision, threads)
+
+
+def _tptrs_cost(platform, precision, dims, threads):
+    n = np.asarray(dims["n"], dtype=np.float64)
+    r = np.asarray(dims["r"], dtype=np.float64)
+    flops = n * n * r
+    return _substitution_cost(flops, r, n, platform, precision, threads)
+
+
+TBTRS_SPEC = make_routine_spec(
+    "tbtrs",
+    ("n", "kd", "r"),
+    [
+        ("A", ("kd", "n"), "triangular"),
+        ("B", ("n", "r"), "regular"),
+        ("X", ("n", "r"), "regular"),
+    ],
+    flops=lambda d: 2.0 * d["n"] * d["kd"] * d["r"],
+    cost_model=_tbtrs_cost,
+    dim_ranges={"n": (64, 16384), "kd": (1, 512), "r": (1, 1024)},
+)
+
+TPTRS_SPEC = make_routine_spec(
+    "tptrs",
+    ("n", "r"),
+    [
+        ("A", ("0.5", "n", "n"), "triangular"),
+        ("B", ("n", "r"), "regular"),
+        ("X", ("n", "r"), "regular"),
+    ],
+    flops=lambda d: 1.0 * d["n"] * d["n"] * d["r"],
+    cost_model=_tptrs_cost,
+    dim_ranges={"n": (64, 8192), "r": (1, 1024)},
+)
+
+
+class TriangularSolvePlugin(SpecListPlugin):
+    """Banded + packed triangular solves (``tbtrs`` / ``tptrs``)."""
+
+    def __init__(self):
+        super().__init__(
+            "contrib-triangular-solve",
+            [TBTRS_SPEC, TPTRS_SPEC],
+            version="1.0",
+        )

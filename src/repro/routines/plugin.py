@@ -1,0 +1,55 @@
+"""The routine-plugin protocol.
+
+A plugin is anything that can hand the catalog a batch of
+:class:`~repro.routines.spec.RoutineSpec` objects under a (name, version)
+identity.  The identity is recorded per routine in every saved bundle
+(manifest schema v3), so a bundle knows which plugin must be present before
+its models can be served again.
+
+Three author-facing shapes are accepted by the discovery machinery:
+
+* a :class:`RoutinePlugin` subclass or instance (``PLUGIN`` attribute of a
+  plugin-directory module, or an ``adsala.routines`` entry point);
+* a module-level ``ROUTINES`` list of specs (the catalog wraps it in a
+  :class:`SpecListPlugin` named after the module);
+* a module-level ``register(catalog)`` function for full control.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.routines.spec import RoutineSpec
+
+__all__ = ["RoutinePlugin", "SpecListPlugin"]
+
+
+class RoutinePlugin:
+    """Base class for routine providers.
+
+    Subclasses set ``name``/``version`` (recorded as bundle provenance) and
+    implement :meth:`routine_specs`.
+    """
+
+    #: Plugin identity recorded in bundle manifests (schema v3).
+    name: str = "unnamed"
+    version: str = "0"
+
+    def routine_specs(self) -> Sequence[RoutineSpec]:
+        """The routine specs this plugin provides."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, version={self.version!r})"
+
+
+class SpecListPlugin(RoutinePlugin):
+    """Adapter wrapping a plain list of specs in a plugin identity."""
+
+    def __init__(self, name: str, specs: Sequence[RoutineSpec], version: str = "0"):
+        self.name = str(name)
+        self.version = str(version)
+        self._specs = tuple(specs)
+
+    def routine_specs(self) -> Sequence[RoutineSpec]:
+        return self._specs

@@ -1,0 +1,84 @@
+"""Observed-traffic replay as a timing source.
+
+A plugin routine with neither an analytic ``cost_model`` nor a ``measure``
+hook can still be timed by *replaying* previously observed calls: the
+:class:`ReplayTimingModel` holds a set of observed ``(dims, threads, time)``
+triples — from a gathered :class:`~repro.core.dataset.TimingDataset` or
+from serving :class:`~repro.serving.telemetry.TrafficRecord` logs — and
+answers any query with the time of the nearest observation in
+(log2-dimension, log2-thread) space.  Piecewise-constant, fully
+deterministic, and attached to a simulator via
+:meth:`repro.machine.simulator.TimingSimulator.attach_replay`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ReplayTimingModel", "NoTimingSourceError"]
+
+
+class NoTimingSourceError(RuntimeError):
+    """A routine has no analytic model, no measure hook and no replay data."""
+
+
+class ReplayTimingModel:
+    """Nearest-observation replay over a log-scaled (dims, threads) space."""
+
+    def __init__(
+        self,
+        dim_names: Sequence[str],
+        dims: Sequence[Dict[str, int]],
+        threads: Sequence[int],
+        times: Sequence[float],
+    ):
+        self.dim_names = tuple(dim_names)
+        if not (len(dims) == len(threads) == len(times)):
+            raise ValueError("dims, threads and times must be aligned")
+        if len(times) == 0:
+            raise ValueError("replay needs at least one observation")
+        points = np.empty((len(dims), len(self.dim_names) + 1), dtype=np.float64)
+        for i, d in enumerate(dims):
+            for j, name in enumerate(self.dim_names):
+                points[i, j] = d[name]
+        points[:, -1] = np.asarray(threads, dtype=np.float64)
+        self._points = np.log2(np.maximum(points, 1.0))
+        self._times = np.asarray(times, dtype=np.float64)
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "ReplayTimingModel":
+        """Build from a gathered :class:`~repro.core.dataset.TimingDataset`."""
+        dim_names = tuple(dataset.dims[0]) if dataset.dims else ()
+        return cls(dim_names, dataset.dims, dataset.threads, dataset.times)
+
+    @classmethod
+    def from_traffic(
+        cls, dim_names: Sequence[str], records: Iterable
+    ) -> "ReplayTimingModel":
+        """Build from serving ``TrafficRecord`` observations."""
+        records = list(records)
+        return cls(
+            dim_names,
+            [record.dims for record in records],
+            [record.threads for record in records],
+            [record.observed for record in records],
+        )
+
+    @property
+    def n_observations(self) -> int:
+        return int(self._times.size)
+
+    def time_batch(
+        self, dims: Dict[str, np.ndarray], threads: np.ndarray
+    ) -> np.ndarray:
+        """Replayed total seconds for aligned dimension/thread arrays."""
+        columns = [np.asarray(dims[name], dtype=np.float64) for name in self.dim_names]
+        columns.append(np.asarray(threads, dtype=np.float64))
+        query = np.log2(np.maximum(np.column_stack(columns), 1.0))
+        # (n_query, n_obs) squared distances; argmin ties resolve to the
+        # earliest observation, keeping the replay deterministic.
+        deltas = query[:, None, :] - self._points[None, :, :]
+        nearest = np.argmin(np.einsum("qod,qod->qo", deltas, deltas), axis=1)
+        return self._times[nearest]

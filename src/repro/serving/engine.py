@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.blas.api import parse_routine
 from repro.core.persistence import BundleFormatError
+from repro.routines.catalog import UnknownRoutineError
 from repro.core.runtime import ExecutionPlan
 from repro.serving.fallback import FallbackChain, default_serving_chain
 from repro.serving.telemetry import EngineTelemetry
@@ -155,6 +156,7 @@ class ServingEngine:
         self.n_timing_hits = 0
         self.n_timing_misses = 0
         self._queue: List[PlanRequest] = []
+        self.n_rejected_unknown = 0
         # CPython guarantees next() on one iterator is atomic, so request-id
         # allocation never touches the engine lock.
         self._request_ids = itertools.count()
@@ -184,8 +186,19 @@ class ServingEngine:
 
     # -- request intake -------------------------------------------------------------
     def _make_request(self, routine: str, dims: Dict[str, int]) -> PlanRequest:
-        """Validate and normalize one request (shared by submit and plan)."""
-        return normalize_request(routine, dims, next(self._request_ids))
+        """Validate and normalize one request (shared by submit and plan).
+
+        An unknown routine key raises the catalog's structured
+        :class:`~repro.routines.catalog.UnknownRoutineError` (naming every
+        registered routine key) and is counted in :meth:`stats` under
+        ``rejected_unknown_routine``.
+        """
+        try:
+            return normalize_request(routine, dims, next(self._request_ids))
+        except UnknownRoutineError:
+            with self._lock:
+                self.n_rejected_unknown += 1
+            raise
 
     def submit(self, routine: str, **dims: int) -> int:
         """Queue one plan request; returns its request id.
@@ -509,6 +522,7 @@ class ServingEngine:
             snapshot["pending"] = self.n_pending
             snapshot["batch_size_limit"] = self.max_batch_size
             snapshot["fallback_chain"] = self.fallback.describe()
+            snapshot["rejected_unknown_routine"] = self.n_rejected_unknown
             snapshot["cache"] = self.cache_statistics()
             snapshot["wall_time"] = time.time()
             snapshot["monotonic_time"] = time.monotonic()

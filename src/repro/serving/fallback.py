@@ -152,10 +152,13 @@ class FallbackChain:
             resolution = policy.resolve(requested, source)
             if resolution is not None:
                 return resolution
+        from repro.routines.catalog import get_catalog
+
         raise UnservableRoutineError(
             f"Routine {requested!r} was not installed and no fallback policy "
-            f"({[p.name for p in self.policies]}) could serve it; available: "
-            f"{sorted(source.routines)}"
+            f"({[p.name for p in self.policies]}) could serve it; installed: "
+            f"{sorted(source.routines)}; registered routine keys: "
+            f"{sorted(get_catalog().keys())}"
         )
 
     def describe(self) -> str:

@@ -54,6 +54,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.runtime import ExecutionPlan
 from repro.obs.metrics import BucketHistogram
 from repro.parallel import map_parallel
+from repro.routines.catalog import UnknownRoutineError
 from repro.serving.engine import PlanRequest, ServingEngine, normalize_request
 from repro.serving.procshard import ProcessShard, export_source_spec
 from repro.serving.shard import (
@@ -281,6 +282,7 @@ class ShardedFrontend:
         self.n_submitted = 0
         self.n_completed = 0
         self.n_shed = 0
+        self.n_rejected_unknown = 0
         self._closed = False
         self.supervisor: Optional[ShardSupervisor] = None
         if supervise:
@@ -422,10 +424,15 @@ class ShardedFrontend:
         :class:`~repro.serving.shard.DeadlineExceededError` naming the
         request and shard.
         """
-        request = normalize_request(
-            routine, dims, next(self._request_ids),
-            deadline=self._deadline_from(timeout),
-        )
+        try:
+            request = normalize_request(
+                routine, dims, next(self._request_ids),
+                deadline=self._deadline_from(timeout),
+            )
+        except UnknownRoutineError:
+            with self._counters_lock:
+                self.n_rejected_unknown += 1
+            raise
         self._admit()
         with self._lifecycle_lock:
             if self._closed:
@@ -584,6 +591,12 @@ class ShardedFrontend:
         """
         shard_snapshots = [shard.stats() for shard in self.shards]
         requests = sum(snapshot["requests"] for snapshot in shard_snapshots)
+        with self._counters_lock:
+            rejected_unknown = self.n_rejected_unknown
+        rejected_unknown += sum(
+            snapshot.get("rejected_unknown_routine", 0)
+            for snapshot in shard_snapshots
+        )
         batches = sum(snapshot["batches"] for snapshot in shard_snapshots)
         pending = sum(snapshot.get("pending", 0) for snapshot in shard_snapshots)
         max_batch_size = max(
@@ -680,6 +693,7 @@ class ShardedFrontend:
             "wall_time": time.time(),
             "monotonic_time": time.monotonic(),
             "fallback_chain": self.shards[0].fallback_describe(),
+            "rejected_unknown_routine": rejected_unknown,
             "reinstall_candidates": sorted(flagged),
             "routines": routines,
             "admission": admission,

@@ -49,7 +49,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.blas.api import ROUTINE_KEYS, parse_routine
+from repro.blas.api import parse_routine
 from repro.core.compiled import (
     CompiledPredictor,
     export_model_evaluator,
@@ -111,10 +111,6 @@ STATS_CACHE = 1
 STATS_REINSTALL = 2
 STATS_FALLBACK = 3
 
-#: Stable routine <-> wire-index mapping shared by both pipe ends.
-_CATALOG = tuple(ROUTINE_KEYS)
-_CATALOG_INDEX = {key: index for index, key in enumerate(_CATALOG)}
-
 _I8 = np.dtype("<i8")
 _F8 = np.dtype("<f8")
 
@@ -134,36 +130,75 @@ def _frame(kind: int, count: int, payload: bytes = b"") -> bytes:
     return np.array([kind, count], dtype=_I8).tobytes() + payload
 
 
+def _string_table(strings: Sequence[str]) -> bytes:
+    """Length-prefixed newline-joined table (same shape as the policy table).
+
+    Routine keys ride the pipe as per-frame deduplicated string tables
+    rather than a fixed builtin-key numbering, so plugin routines the
+    static BLAS-12 never heard of serialise without both pipe ends having
+    to agree on a catalog order.
+    """
+    table = "\n".join(strings).encode("utf-8")
+    return np.array([len(table)], dtype=_I8).tobytes() + table
+
+
+def _read_string_table(payload: bytes, offset: int):
+    """Decode a :func:`_string_table` at ``offset``; returns (strings, end)."""
+    (length,) = np.frombuffer(payload, dtype=_I8, count=1, offset=offset)
+    end = offset + 8 + int(length)
+    table = payload[offset + 8 : end]
+    return (table.decode("utf-8").split("\n") if table else []), end
+
+
+def _intern_keys(values) -> tuple:
+    """Map each value through a per-frame dedup table; returns (indices, keys)."""
+    keys: List[str] = []
+    index: Dict[str, int] = {}
+    slots: List[int] = []
+    for value in values:
+        slot = index.get(value)
+        if slot is None:
+            slot = len(keys)
+            index[value] = slot
+            keys.append(value)
+        slots.append(slot)
+    return np.asarray(slots, dtype=_I8), keys
+
+
 def _parse_frame(data: bytes):
     header = np.frombuffer(data, dtype=_I8, count=2)
     return int(header[0]), int(header[1]), data[16:]
 
 
 def encode_requests(requests: Sequence[PlanRequest]) -> bytes:
-    """REQUESTS frame: ids · routine indices · flat dims (spec order)."""
+    """REQUESTS frame: ids · routine table refs · flat dims (spec order)."""
     n = len(requests)
     ids = np.fromiter((r.request_id for r in requests), dtype=_I8, count=n)
-    routine_idx = np.fromiter(
-        (_CATALOG_INDEX[r.routine] for r in requests), dtype=_I8, count=n
-    )
+    routine_idx, routine_keys = _intern_keys(r.routine for r in requests)
     dims_flat: List[int] = []
     for request in requests:
         dims = request.dims
         dims_flat.extend(dims[name] for name in _dim_names(request.routine))
     dims_arr = np.asarray(dims_flat, dtype=_I8)
     return _frame(
-        KIND_REQUESTS, n, ids.tobytes() + routine_idx.tobytes() + dims_arr.tobytes()
+        KIND_REQUESTS,
+        n,
+        ids.tobytes()
+        + routine_idx.tobytes()
+        + _string_table(routine_keys)
+        + dims_arr.tobytes(),
     )
 
 
 def decode_requests(count: int, payload: bytes) -> List[PlanRequest]:
     ids = np.frombuffer(payload, dtype=_I8, count=count)
     routine_idx = np.frombuffer(payload, dtype=_I8, count=count, offset=8 * count)
-    dims_flat = np.frombuffer(payload, dtype=_I8, offset=16 * count)
+    routine_keys, dims_offset = _read_string_table(payload, 16 * count)
+    dims_flat = np.frombuffer(payload, dtype=_I8, offset=dims_offset)
     requests: List[PlanRequest] = []
     position = 0
     for i in range(count):
-        routine = _CATALOG[routine_idx[i]]
+        routine = routine_keys[int(routine_idx[i])]
         names = _dim_names(routine)
         values = dims_flat[position : position + len(names)]
         position += len(names)
@@ -200,12 +235,19 @@ def encode_plans(plans: Sequence[ExecutionPlan]) -> bytes:
     # ExecutionPlan carries no request id; plans ride in request order (the
     # engine answers one plan per request in order; decode re-checks counts).
     threads = np.fromiter((p.threads for p in plans), dtype=_I8, count=n)
+    # Routine keys and fallback sources share one per-frame dedup table;
+    # fallback slot -1 encodes "no substitution".
+    both = [p.routine for p in plans] + [
+        p.fallback_from for p in plans if p.fallback_from is not None
+    ]
+    _, routine_keys = _intern_keys(both)
+    key_index = {key: slot for slot, key in enumerate(routine_keys)}
     routine_idx = np.fromiter(
-        (_CATALOG_INDEX[p.routine] for p in plans), dtype=_I8, count=n
+        (key_index[p.routine] for p in plans), dtype=_I8, count=n
     )
     fallback_idx = np.fromiter(
         (
-            -1 if p.fallback_from is None else _CATALOG_INDEX[p.fallback_from]
+            -1 if p.fallback_from is None else key_index[p.fallback_from]
             for p in plans
         ),
         dtype=_I8,
@@ -225,6 +267,7 @@ def encode_plans(plans: Sequence[ExecutionPlan]) -> bytes:
         + from_cache.tobytes()
         + np.array([len(table)], dtype=_I8).tobytes()
         + table
+        + _string_table(routine_keys)
     )
     return _frame(KIND_PLANS, n, payload)
 
@@ -249,18 +292,19 @@ def decode_plans(
     (table_length,) = np.frombuffer(payload, dtype=_I8, count=1, offset=offset)
     table = payload[offset + 8 : offset + 8 + int(table_length)]
     policies = table.decode("utf-8").split("\n") if table else []
+    routine_keys, _ = _read_string_table(payload, offset + 8 + int(table_length))
     plans: List[ExecutionPlan] = []
     for i, request in enumerate(requests):
         fb = int(fallback_idx[i])
         plans.append(
             ExecutionPlan(
-                routine=_CATALOG[routine_idx[i]],
+                routine=routine_keys[int(routine_idx[i])],
                 dims=request.dims,
                 threads=int(threads[i]),
                 predicted_time=float(predicted[i]),
                 baseline_time=float(baseline[i]),
                 from_cache=bool(from_cache[i]),
-                fallback_from=None if fb < 0 else _CATALOG[fb],
+                fallback_from=None if fb < 0 else routine_keys[fb],
                 policy=policies[int(policy_idx[i])],
             )
         )
@@ -268,22 +312,25 @@ def decode_plans(
 
 
 def encode_observation(plan: ExecutionPlan, observed_time: float) -> bytes:
-    """OBSERVE frame (no reply): routine · threads · dims · predicted/observed."""
+    """OBSERVE frame (no reply): routine key · threads · dims · predicted/observed."""
     names = _dim_names(plan.routine)
-    head = np.array(
-        [_CATALOG_INDEX[plan.routine], plan.threads, len(names)], dtype=_I8
-    )
+    key = plan.routine.encode("utf-8")
+    head = np.array([len(key), plan.threads, len(names)], dtype=_I8)
     dims = np.asarray([plan.dims[name] for name in names], dtype=_I8)
     tail = np.array([plan.predicted_time, observed_time], dtype=_F8)
-    return _frame(KIND_OBSERVE, 1, head.tobytes() + dims.tobytes() + tail.tobytes())
+    return _frame(
+        KIND_OBSERVE, 1, head.tobytes() + key + dims.tobytes() + tail.tobytes()
+    )
 
 
 def _apply_observation(engine: ServingEngine, payload: bytes) -> None:
     head = np.frombuffer(payload, dtype=_I8, count=3)
-    routine = _CATALOG[head[0]]
+    key_length = int(head[0])
+    routine = payload[24 : 24 + key_length].decode("utf-8")
     n_dims = int(head[2])
-    values = np.frombuffer(payload, dtype=_I8, count=n_dims, offset=24)
-    tail = np.frombuffer(payload, dtype=_F8, count=2, offset=24 + 8 * n_dims)
+    offset = 24 + key_length
+    values = np.frombuffer(payload, dtype=_I8, count=n_dims, offset=offset)
+    tail = np.frombuffer(payload, dtype=_F8, count=2, offset=offset + 8 * n_dims)
     dims = {
         name: int(value) for name, value in zip(_dim_names(routine), values)
     }

@@ -1,0 +1,156 @@
+"""Replay timing model and simulator timing-dispatch tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine.platforms import get_platform
+from repro.machine.simulator import TimingSimulator
+from repro.routines.catalog import get_catalog, reset_catalog
+from repro.routines.replay import NoTimingSourceError, ReplayTimingModel
+from repro.routines.spec import make_routine_spec
+from repro.serving.telemetry import TrafficRecord
+
+
+@pytest.fixture()
+def fresh_global_catalog():
+    reset_catalog()
+    yield get_catalog()
+    reset_catalog()
+
+
+class TestReplayTimingModel:
+    def test_nearest_observation_wins(self):
+        replay = ReplayTimingModel(
+            ("p",),
+            [{"p": 64}, {"p": 4096}],
+            [4, 8],
+            [1.0, 2.0],
+        )
+        out = replay.time_batch(
+            {"p": np.array([70, 4000])}, np.array([4, 8])
+        )
+        assert list(out) == [1.0, 2.0]
+
+    def test_exact_match_returns_observed_time(self):
+        replay = ReplayTimingModel(
+            ("p", "q"),
+            [{"p": 10, "q": 20}, {"p": 100, "q": 200}],
+            [2, 6],
+            [0.5, 0.75],
+        )
+        out = replay.time_batch(
+            {"p": np.array([100]), "q": np.array([200])}, np.array([6])
+        )
+        assert float(out[0]) == 0.75
+
+    def test_tie_resolves_to_earliest_observation(self):
+        replay = ReplayTimingModel(
+            ("p",), [{"p": 32}, {"p": 32}], [4, 4], [1.5, 9.9]
+        )
+        out = replay.time_batch({"p": np.array([32])}, np.array([4]))
+        assert float(out[0]) == 1.5
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError, match="aligned"):
+            ReplayTimingModel(("p",), [{"p": 1}], [1, 2], [0.1])
+        with pytest.raises(ValueError, match="at least one"):
+            ReplayTimingModel(("p",), [], [], [])
+
+    def test_from_traffic(self):
+        records = [
+            TrafficRecord(dims={"p": 128, "q": 64}, threads=4,
+                          predicted=1e-3, observed=2e-3),
+            TrafficRecord(dims={"p": 2048, "q": 512}, threads=16,
+                          predicted=5e-3, observed=7e-3),
+        ]
+        replay = ReplayTimingModel.from_traffic(("p", "q"), records)
+        assert replay.n_observations == 2
+        out = replay.time_batch(
+            {"p": np.array([2000]), "q": np.array([500])}, np.array([16])
+        )
+        assert float(out[0]) == 7e-3
+
+
+class TestSimulatorDispatch:
+    def test_no_timing_source_raises(self, fresh_global_catalog):
+        spec = make_routine_spec(
+            "opaque",
+            ("p", "q"),
+            [("A", ("p", "q"), "regular")],
+            flops=lambda d: 1.0 * d["p"] * d["q"],
+        )
+        fresh_global_catalog.register_spec(spec, plugin_name="t")
+        simulator = TimingSimulator(get_platform("laptop"), seed=0)
+        with pytest.raises(NoTimingSourceError, match="opaque"):
+            simulator.time("dopaque", {"p": 100, "q": 100}, 4)
+
+    def test_attached_replay_serves_and_detaches(self, fresh_global_catalog):
+        spec = make_routine_spec(
+            "opaque",
+            ("p", "q"),
+            [("A", ("p", "q"), "regular")],
+            flops=lambda d: 1.0 * d["p"] * d["q"],
+        )
+        fresh_global_catalog.register_spec(spec, plugin_name="t")
+        simulator = TimingSimulator(get_platform("laptop"), seed=0)
+        replay = ReplayTimingModel(
+            ("p", "q"), [{"p": 100, "q": 100}], [4], [1e-3]
+        )
+        simulator.attach_replay("dopaque", replay)
+        time = simulator.time("dopaque", {"p": 100, "q": 100}, 4)
+        assert time > 0
+        batch = simulator.time_batch(
+            "dopaque", [{"p": 100, "q": 100}], [4]
+        )
+        assert time == float(batch[0])
+        simulator.detach_replay("dopaque")
+        with pytest.raises(NoTimingSourceError):
+            simulator.time("dopaque", {"p": 100, "q": 100}, 4)
+
+    def test_measure_hook_scalar_batch_identity(self, fresh_global_catalog):
+        def measure(platform, precision, dims, threads):
+            p = np.asarray(dims["p"], dtype=np.float64)
+            t = np.asarray(threads, dtype=np.float64)
+            return 1e-9 * p / t + 1e-6 * t
+
+        spec = make_routine_spec(
+            "measured",
+            ("p", "q"),
+            [("A", ("p", "q"), "regular")],
+            flops=lambda d: 1.0 * d["p"] * d["q"],
+            measure=measure,
+        )
+        fresh_global_catalog.register_spec(spec, plugin_name="t")
+        simulator = TimingSimulator(get_platform("laptop"), seed=3)
+        shapes = [{"p": 1000 * (i + 1), "q": 64} for i in range(5)]
+        threads = [1, 2, 4, 6, 8]
+        batch = simulator.time_batch("dmeasured", shapes, threads)
+        for i, (dims, nt) in enumerate(zip(shapes, threads)):
+            assert simulator.time("dmeasured", dims, nt) == float(batch[i])
+
+    def test_hook_respects_thread_bounds(self, fresh_global_catalog):
+        spec = make_routine_spec(
+            "measured",
+            ("p", "q"),
+            [("A", ("p", "q"), "regular")],
+            flops=lambda d: 1.0 * d["p"] * d["q"],
+            measure=lambda platform, prec, dims, t: np.asarray(t, dtype=float),
+        )
+        fresh_global_catalog.register_spec(spec, plugin_name="t")
+        platform = get_platform("laptop")
+        simulator = TimingSimulator(platform, seed=0)
+        with pytest.raises(ValueError):
+            simulator.time("dmeasured", {"p": 10, "q": 10}, 0)
+        with pytest.raises(ValueError):
+            simulator.time(
+                "dmeasured", {"p": 10, "q": 10}, platform.max_threads + 1
+            )
+
+    def test_builtins_do_not_use_hooks(self):
+        simulator = TimingSimulator(get_platform("laptop"), seed=0)
+        # unchanged analytic path: stable deterministic value
+        a = simulator.time("dgemm", {"m": 500, "k": 400, "n": 300}, 4)
+        b = TimingSimulator(get_platform("laptop"), seed=0).time(
+            "dgemm", {"m": 500, "k": 400, "n": 300}, 4
+        )
+        assert a == b

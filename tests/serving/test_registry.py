@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core.persistence import save_bundle
+from repro.core.persistence import SCHEMA_VERSION, save_bundle
 from repro.serving.registry import BundleHandle, ModelRegistry
 
 
@@ -42,7 +42,7 @@ class TestBundleHandleLazyLoading:
 
     def test_versions_exposed(self, saved_bundle_dir):
         handle = BundleHandle(saved_bundle_dir)
-        assert handle.schema_version == 2
+        assert handle.schema_version == SCHEMA_VERSION
         assert handle.bundle_version == 1
 
     def test_verify_passthrough(self, saved_bundle_dir):

@@ -52,6 +52,24 @@ class TestPlatformsCommand:
         assert "setonix" in out and "gadi" in out and "laptop" in out
 
 
+class TestRoutinesCommand:
+    def test_table_lists_builtin_catalog(self, capsys):
+        assert main(["routines"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered routines" in out
+        assert "dgemm" in out
+        assert "builtin-blas3" in out
+
+    def test_json_mode_reports_provenance(self, capsys):
+        assert main(["routines", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        rows = {row["key"]: row for row in report["routines"]}
+        assert len(rows) >= 12
+        assert rows["dgemm"]["source"] == "builtin"
+        assert rows["dgemm"]["simulator"] == "yes"
+        assert rows["strsm"]["dims"] == "m n"
+
+
 class TestBenchCommand:
     def test_static_tables_print(self, capsys):
         for table in ("table1", "table2", "table3"):
@@ -129,7 +147,7 @@ class TestServeCommand:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "plans/sec" in out
-        assert "bundle v2, schema v2" in out
+        assert "bundle v2, schema v3" in out
         assert "dgemm" in out and "dsyrk" in out
 
     def test_serve_workload_file(self, installed_dir, tmp_path, capsys):
@@ -222,7 +240,7 @@ class TestBundleCommand:
     def test_inspect(self, installed_dir, capsys):
         assert main(["bundle", "inspect", "--bundle", str(installed_dir)]) == 0
         out = capsys.readouterr().out
-        assert "schema version: 2" in out
+        assert "schema version: 3" in out
         assert "sha256" not in out  # checksums shown truncated, without prefix
         assert "dgemm" in out
 
@@ -258,7 +276,7 @@ class TestBundleCommand:
         assert main(["bundle", "verify", "--bundle", str(legacy)]) == 1
         capsys.readouterr()
         assert main(["bundle", "migrate", "--bundle", str(legacy)]) == 0
-        assert "v1 -> v2" in capsys.readouterr().out
+        assert "v1 -> v3" in capsys.readouterr().out
         assert main(["bundle", "verify", "--bundle", str(legacy)]) == 0
 
     def test_missing_bundle_reports_error(self, tmp_path, capsys):
